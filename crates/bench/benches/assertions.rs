@@ -1,0 +1,83 @@
+//! Assertion costs: instrumentation overhead in gates and the runtime
+//! cost of executing asserted vs bare circuits (plus the fig6/fig7
+//! verification circuits themselves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qassert::{run_with_assertions, AssertingCircuit, Parity, SuperpositionBasis};
+use qcircuit::library;
+use qsim::{Backend, StatevectorBackend};
+
+fn bench_instrumentation(c: &mut Criterion) {
+    c.bench_function("instrument_bell_entanglement", |b| {
+        b.iter(|| {
+            let mut ac = AssertingCircuit::new(library::bell());
+            ac.assert_entangled([0, 1], Parity::Even).unwrap();
+            ac.measure_data();
+            std::hint::black_box(ac.circuit().len())
+        });
+    });
+    c.bench_function("instrument_ghz5_strong", |b| {
+        b.iter(|| {
+            let mut ac = AssertingCircuit::new(library::ghz(5))
+                .with_mode(qassert::EntanglementMode::Strong);
+            ac.assert_entangled([0, 1, 2, 3, 4], Parity::Even).unwrap();
+            ac.measure_data();
+            std::hint::black_box(ac.circuit().len())
+        });
+    });
+}
+
+fn bench_runtime_overhead(c: &mut Criterion) {
+    let backend = StatevectorBackend::new().with_seed(3);
+    let mut group = c.benchmark_group("run_1024_shots");
+    group.sample_size(20);
+
+    group.bench_function("bell_bare", |b| {
+        let mut bare = library::bell();
+        bare.measure_all();
+        b.iter(|| std::hint::black_box(backend.run(&bare, 1024).unwrap().counts.total()));
+    });
+    group.bench_function("bell_asserted", |b| {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        b.iter(|| {
+            std::hint::black_box(
+                run_with_assertions(&backend, &ac, 1024)
+                    .unwrap()
+                    .shots_kept(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_verification_circuits(c: &mut Criterion) {
+    let backend = StatevectorBackend::new().with_seed(5);
+    c.bench_function("fig6_classical_assert_quirk", |b| {
+        let mut base = qcircuit::QuantumCircuit::new(1, 0);
+        base.h(0).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        ac.measure_data();
+        b.iter(|| {
+            std::hint::black_box(backend.run(ac.circuit(), 256).unwrap().counts.total())
+        });
+    });
+    c.bench_function("fig7_superposition_assert_quirk", |b| {
+        let mut ac = AssertingCircuit::new(qcircuit::QuantumCircuit::new(1, 0));
+        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.measure_data();
+        b.iter(|| {
+            std::hint::black_box(backend.run(ac.circuit(), 256).unwrap().counts.total())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_instrumentation,
+    bench_runtime_overhead,
+    bench_verification_circuits
+);
+criterion_main!(benches);

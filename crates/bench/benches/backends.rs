@@ -1,0 +1,53 @@
+//! Backend comparison: exact density-matrix executor vs Monte-Carlo
+//! trajectory sampling (single- and multi-threaded) on the paper's
+//! Table-2 workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qassert::{AssertingCircuit, Parity};
+use qcircuit::library;
+use qsim::{Backend, DensityMatrixBackend, TrajectoryBackend};
+
+fn table2_circuit() -> qcircuit::QuantumCircuit {
+    let mut ac = AssertingCircuit::new(library::bell());
+    ac.assert_entangled([0, 1], Parity::Even).unwrap();
+    ac.measure_data();
+    ac.circuit().clone()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let circuit = table2_circuit();
+    let noise = qnoise::presets::ibmqx4();
+
+    let mut group = c.benchmark_group("table2_1024_shots");
+    group.sample_size(10);
+
+    group.bench_function("density_exact", |b| {
+        let backend = DensityMatrixBackend::new(noise.clone());
+        b.iter(|| std::hint::black_box(backend.run(&circuit, 1024).unwrap().counts.total()));
+    });
+    group.bench_function("trajectory_1_thread", |b| {
+        let backend = TrajectoryBackend::new(noise.clone()).with_seed(1);
+        b.iter(|| std::hint::black_box(backend.run(&circuit, 1024).unwrap().counts.total()));
+    });
+    group.bench_function("trajectory_4_threads", |b| {
+        let backend = TrajectoryBackend::new(noise.clone())
+            .with_seed(1)
+            .with_threads(4);
+        b.iter(|| std::hint::black_box(backend.run(&circuit, 1024).unwrap().counts.total()));
+    });
+    group.finish();
+}
+
+fn bench_exact_distribution(c: &mut Criterion) {
+    let circuit = table2_circuit();
+    let noise = qnoise::presets::ibmqx4();
+    c.bench_function("table2_exact_distribution", |b| {
+        let backend = DensityMatrixBackend::new(noise.clone());
+        b.iter(|| {
+            std::hint::black_box(backend.exact_distribution(&circuit).unwrap().outcomes.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_backends, bench_exact_distribution);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Simulator performance: state-vector gate application scaling and
+//! density-matrix evolution cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcircuit::{Gate, QubitId};
+use qsim::{DensityMatrix, StateVector};
+
+/// One layer of H on every qubit plus a CX chain.
+fn entangling_layer(psi: &mut StateVector) {
+    let n = psi.num_qubits();
+    for q in 0..n {
+        psi.apply_gate(&Gate::H, &[QubitId::from(q)]).unwrap();
+    }
+    for q in 0..n - 1 {
+        psi.apply_gate(&Gate::Cx, &[QubitId::from(q), QubitId::from(q + 1)])
+            .unwrap();
+    }
+}
+
+fn bench_statevector_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_layer");
+    group.sample_size(20);
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut psi = StateVector::zero_state(n);
+                entangling_layer(&mut psi);
+                std::hint::black_box(psi.norm_sqr())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_layer");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rho = DensityMatrix::zero_state(n);
+                for q in 0..n {
+                    rho.apply_gate(&Gate::H, &[QubitId::from(q)]).unwrap();
+                }
+                for q in 0..n - 1 {
+                    rho.apply_gate(&Gate::Cx, &[QubitId::from(q), QubitId::from(q + 1)])
+                        .unwrap();
+                }
+                std::hint::black_box(rho.purity())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kraus_application(c: &mut Criterion) {
+    let dep1 = qnoise::Kraus::depolarizing(0.01).unwrap();
+    let dep2 = qnoise::Kraus::depolarizing2(0.05).unwrap();
+    c.bench_function("kraus_1q_on_4q_density", |b| {
+        b.iter(|| {
+            let mut rho = DensityMatrix::zero_state(4);
+            rho.apply_kraus(&dep1, &[QubitId::new(2)]).unwrap();
+            std::hint::black_box(rho.trace())
+        });
+    });
+    c.bench_function("kraus_2q_on_4q_density", |b| {
+        b.iter(|| {
+            let mut rho = DensityMatrix::zero_state(4);
+            rho.apply_kraus(&dep2, &[QubitId::new(1), QubitId::new(2)])
+                .unwrap();
+            std::hint::black_box(rho.trace())
+        });
+    });
+}
+
+fn bench_measurement_sampling(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    c.bench_function("sample_1024_from_12q_state", |b| {
+        let mut psi = StateVector::zero_state(12);
+        entangling_layer(&mut psi);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut acc = 0usize;
+            for _ in 0..1024 {
+                acc ^= psi.sample_index(&mut rng);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_statevector_scaling,
+    bench_density_scaling,
+    bench_kraus_application,
+    bench_measurement_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Transpiler performance: full pipeline onto `ibmqx4` and the
+//! individual passes on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcircuit::library;
+use qdevice::transpile::{transpile, DecomposePass, OptimizePass, Pass};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let topo = qdevice::presets::ibmqx4();
+    let mut group = c.benchmark_group("transpile_ibmqx4");
+    group.sample_size(30);
+    for (name, circuit) in [
+        ("bell", library::bell()),
+        ("ghz5", library::ghz(5)),
+        ("qft4", library::qft(4)),
+        ("grover3", library::grover(3, 0b101, 2)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(transpile(&circuit, &topo).unwrap().circuit.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    c.bench_function("decompose_grover3", |b| {
+        let circuit = library::grover(3, 0b011, 2);
+        b.iter(|| std::hint::black_box(DecomposePass.run(&circuit).unwrap().len()));
+    });
+    c.bench_function("optimize_cancellation_chain", |b| {
+        // A circuit with many adjacent cancelling pairs.
+        let mut circuit = qcircuit::QuantumCircuit::new(4, 0);
+        for _ in 0..32 {
+            circuit.h(0).unwrap().h(0).unwrap();
+            circuit.cx(0, 1).unwrap().cx(0, 1).unwrap();
+            circuit.s(2).unwrap().sdg(2).unwrap();
+            circuit.rz(0.25, 3).unwrap().rz(-0.25, 3).unwrap();
+        }
+        b.iter(|| std::hint::black_box(OptimizePass.run(&circuit).unwrap().len()));
+    });
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro                # run every experiment
+//! repro table1 fig7    # run selected experiments
+//! repro --list         # list experiment ids
+//! repro --json out.json  # additionally export reports as JSON
+//! ```
+
+use qassert_bench::{registry, run_by_id};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, description, _) in registry() {
+            println!("{id:<10} {description}");
+        }
+        return;
+    }
+
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| json_path.as_deref() != Some(a.as_str()))
+        .cloned()
+        .collect();
+
+    let mut reports = Vec::new();
+    if selected.is_empty() {
+        for (id, _, runner) in registry() {
+            eprintln!("running {id} ...");
+            reports.push(runner());
+        }
+    } else {
+        for id in &selected {
+            match run_by_id(id) {
+                Some(report) => reports.push(report),
+                None => {
+                    eprintln!("unknown experiment '{id}'; use --list to see ids");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    for report in &reports {
+        println!("{}", report.render());
+    }
+
+    let diverging: Vec<String> = reports
+        .iter()
+        .flat_map(|r| {
+            r.comparisons
+                .iter()
+                .filter(|c| !c.shape_holds())
+                .map(move |c| format!("{}: {}", r.id, c.metric))
+        })
+        .collect();
+    if diverging.is_empty() {
+        println!("all paper-vs-measured shapes hold.");
+    } else {
+        println!("DIVERGING metrics:");
+        for d in &diverging {
+            println!("  {d}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Ablations on the entanglement-assertion design.
+//!
+//! Part A — the even-CNOT rule (paper Fig. 4): with an odd number of
+//! CNOTs the ancilla stays entangled with the qubits under test,
+//! corrupting downstream computation (data purity and fidelity drop to
+//! 1/2); with the even count both stay exactly 1.
+//!
+//! Part B — single-ancilla (paper) vs pairwise "strong" mode: a
+//! *double* bit-flip bug preserves total parity, so the paper's single
+//! parity check can never see it, while the pairwise extension catches
+//! it with certainty.
+
+use qassert::{AssertingCircuit, Comparison, EntanglementMode, ExperimentReport, Parity};
+use qcircuit::{library, Gate, QuantumCircuit, QubitId};
+use qsim::{DensityMatrix, DensityMatrixBackend, StateVector};
+
+fn q(i: u32) -> QubitId {
+    QubitId::new(i)
+}
+
+/// Downstream data purity and GHZ fidelity after checking GHZ(k) parity
+/// into one ancilla with `cnots` CNOTs (controls cycling over the data
+/// qubits).
+fn parity_check_effect(k: usize, cnots: usize) -> (f64, f64) {
+    let mut psi = StateVector::zero_state(k + 1);
+    psi.apply_gate(&Gate::H, &[q(0)]).expect("valid");
+    for i in 1..k {
+        psi.apply_gate(&Gate::Cx, &[q(0), q(i as u32)]).expect("valid");
+    }
+    let reference = {
+        let mut r = StateVector::zero_state(k);
+        r.apply_gate(&Gate::H, &[q(0)]).expect("valid");
+        for i in 1..k {
+            r.apply_gate(&Gate::Cx, &[q(0), q(i as u32)]).expect("valid");
+        }
+        r
+    };
+    let anc = q(k as u32);
+    for c in 0..cnots {
+        psi.apply_gate(&Gate::Cx, &[q((c % k) as u32), anc]).expect("valid");
+    }
+    let rho = DensityMatrix::from_statevector(&psi);
+    let data = rho.trace_out(&[anc]).expect("valid ancilla");
+    let purity = data.purity();
+    let fidelity = data.fidelity_pure(&reference).expect("same width");
+    (purity, fidelity)
+}
+
+/// Detection probability of a bug by an instrumented GHZ(4) entanglement
+/// assertion in the given mode. `bug` mutates the prepared state.
+fn detection_probability(
+    mode: EntanglementMode,
+    bug: impl Fn(&mut QuantumCircuit),
+) -> f64 {
+    let mut base = library::ghz(4);
+    bug(&mut base);
+    let mut ac = AssertingCircuit::new(base).with_mode(mode);
+    ac.assert_entangled([0, 1, 2, 3], Parity::Even)
+        .expect("valid targets");
+    let dist = DensityMatrixBackend::ideal()
+        .exact_distribution(ac.circuit())
+        .expect("simulates");
+    // Any assertion clbit reading 1 = detected.
+    let clear_key = 0u64;
+    1.0 - dist.probability(clear_key)
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "ablation",
+        "even-CNOT rule (Fig. 4) and strong-mode coverage ablations",
+    );
+
+    // Part A: even vs odd CNOT count on GHZ(3).
+    let (purity_even, fidelity_even) = parity_check_effect(3, 4);
+    let (purity_odd, fidelity_odd) = parity_check_effect(3, 3);
+    report.comparisons.push(Comparison::new(
+        "GHZ(3) data purity, even CNOTs (paper rule)",
+        1.0,
+        purity_even,
+    ));
+    report.comparisons.push(Comparison::new(
+        "GHZ(3) data fidelity, even CNOTs",
+        1.0,
+        fidelity_even,
+    ));
+    report.comparisons.push(Comparison::new(
+        "GHZ(3) data purity, odd CNOTs (rule violated)",
+        0.5,
+        purity_odd,
+    ));
+    report.comparisons.push(Comparison::new(
+        "GHZ(3) data fidelity, odd CNOTs",
+        0.5,
+        fidelity_odd,
+    ));
+
+    // Larger k: the rule generalizes.
+    for k in [4usize, 5] {
+        let even_cnots = (k + 1) & !1;
+        let (p_even, _) = parity_check_effect(k, even_cnots);
+        report.comparisons.push(Comparison::new(
+            format!("GHZ({k}) data purity, even CNOTs"),
+            1.0,
+            p_even,
+        ));
+    }
+
+    // Part B: bug coverage, paper vs strong mode.
+    let single_flip = |c: &mut QuantumCircuit| {
+        c.x(1).expect("valid");
+    };
+    let double_flip = |c: &mut QuantumCircuit| {
+        c.x(1).expect("valid");
+        c.x(2).expect("valid");
+    };
+    report.comparisons.push(Comparison::new(
+        "single bit-flip detection, paper mode",
+        1.0,
+        detection_probability(EntanglementMode::Paper, single_flip),
+    ));
+    report.comparisons.push(Comparison::new(
+        "single bit-flip detection, strong mode",
+        1.0,
+        detection_probability(EntanglementMode::Strong, single_flip),
+    ));
+    report.comparisons.push(Comparison::new(
+        "double bit-flip detection, paper mode (parity-blind)",
+        0.0,
+        detection_probability(EntanglementMode::Paper, double_flip),
+    ));
+    report.comparisons.push(Comparison::new(
+        "double bit-flip detection, strong mode",
+        1.0,
+        detection_probability(EntanglementMode::Strong, double_flip),
+    ));
+
+    report.notes.push(
+        "strong mode spends k−1 ancillas instead of 1; the overhead buys parity-blind bug \
+         coverage"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_rule_preserves_data_exactly() {
+        let (purity, fidelity) = parity_check_effect(3, 4);
+        assert!((purity - 1.0).abs() < 1e-10);
+        assert!((fidelity - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn odd_rule_violation_halves_purity() {
+        let (purity, fidelity) = parity_check_effect(3, 3);
+        assert!((purity - 0.5).abs() < 1e-10);
+        assert!((fidelity - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn paper_mode_is_blind_to_double_flips() {
+        let p = detection_probability(EntanglementMode::Paper, |c| {
+            c.x(1).unwrap();
+            c.x(2).unwrap();
+        });
+        assert!(p < 1e-10, "paper mode detected parity-even bug: {p}");
+    }
+
+    #[test]
+    fn strong_mode_catches_double_flips() {
+        let p = detection_probability(EntanglementMode::Strong, |c| {
+            c.x(1).unwrap();
+            c.x(2).unwrap();
+        });
+        assert!((p - 1.0).abs() < 1e-10, "strong mode missed: {p}");
+    }
+
+    #[test]
+    fn all_shapes_hold() {
+        let report = run();
+        for c in &report.comparisons {
+            assert!(c.shape_holds(), "{} diverges: {c:?}", c.metric);
+        }
+    }
+}

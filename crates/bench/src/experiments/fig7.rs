@@ -1,0 +1,111 @@
+//! Figure 7 — verifying the superposition assertion circuit on the ideal
+//! simulator.
+//!
+//! Input set to a classical state (a bug relative to the asserted `|+⟩`):
+//! the ancilla flags an error 50% of the time, and — whichever outcome is
+//! measured — the tested qubit is forced into an equal-magnitude
+//! superposition (`|k| = 1/√2`).
+
+use qassert::{theory, AssertingCircuit, Comparison, ExperimentReport, OutcomeTable};
+use qcircuit::{Gate, QuantumCircuit, QubitId};
+use qsim::{Counts, DensityMatrixBackend, StateVector};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "superposition assertion on a classical |0⟩ input (QUIRK substitute)",
+    );
+
+    let q0 = QubitId::new(0);
+    let anc = QubitId::new(1);
+
+    // Fig. 5 circuit on classical input |0⟩.
+    let mut psi = StateVector::zero_state(2);
+    psi.apply_gate(&Gate::Cx, &[q0, anc]).expect("valid qubits");
+    psi.apply_gate(&Gate::H, &[q0]).expect("valid qubit");
+    psi.apply_gate(&Gate::H, &[anc]).expect("valid qubit");
+    psi.apply_gate(&Gate::Cx, &[q0, anc]).expect("valid qubits");
+
+    let p_error = psi.probability_of_one(anc).expect("valid qubit");
+    let (theory_p0, theory_p1) = theory::superposition_outcome_probabilities(1.0, 0.0);
+    report.comparisons.push(Comparison::new(
+        "assertion error probability on classical input",
+        theory_p1,
+        p_error,
+    ));
+    report.comparisons.push(Comparison::new(
+        "pass probability on classical input",
+        theory_p0,
+        1.0 - p_error,
+    ));
+
+    // Both ancilla outcomes force |k| = 1/√2 on the tested qubit.
+    let k2 = theory::superposition_forced_magnitude().powi(2);
+    for outcome in [false, true] {
+        let mut branch = psi.clone();
+        branch.post_select(anc, outcome).expect("both branches weighted");
+        let p1 = branch.probability_of_one(q0).expect("valid qubit");
+        report.comparisons.push(Comparison::new(
+            format!("P(q = 1) after ancilla measured {}", u8::from(outcome)),
+            k2,
+            p1,
+        ));
+    }
+
+    // Cross-check through the instrumented API + exact backend.
+    let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+    ac.assert_superposition(0, qassert::SuperpositionBasis::Plus)
+        .expect("valid target");
+    let dist = DensityMatrixBackend::ideal()
+        .exact_distribution(ac.circuit())
+        .expect("simulates");
+    report.comparisons.push(Comparison::new(
+        "instrumented API assertion error rate",
+        0.5,
+        dist.probability(1),
+    ));
+
+    let mut counts = Counts::new(2);
+    for (idx, p) in psi.probabilities().iter().enumerate() {
+        counts.record(idx as u64, (p * 10_000.0).round() as u64);
+    }
+    report.tables.push(OutcomeTable::from_counts(
+        "Joint distribution after the Fig. 5 circuit (10k pseudo-shots)",
+        "q,anc",
+        &counts,
+        &[0, 1],
+        |bits| {
+            if bits.ends_with('0') {
+                "pass branch: qubit forced into |+⟩-like state".to_string()
+            } else {
+                "error branch: qubit forced into |−⟩-like state".to_string()
+            }
+        },
+    ));
+    report
+        .notes
+        .push("the classical input is the paper's buggy case; |+⟩ input never fires".to_string());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_fifty_fifty_and_forced_magnitude() {
+        let report = run();
+        for c in &report.comparisons {
+            assert!(c.shape_holds(), "{} diverges: {c:?}", c.metric);
+            // The ideal simulator must match theory exactly.
+            assert!(
+                (c.measured - c.paper).abs() < 1e-10,
+                "{}: {} vs {}",
+                c.metric,
+                c.measured,
+                c.paper
+            );
+        }
+    }
+}

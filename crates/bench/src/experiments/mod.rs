@@ -1,0 +1,91 @@
+//! One module per paper artifact (table / figure / section), plus the
+//! ablations and the statistical-assertion baseline comparison.
+
+pub mod ablation;
+pub mod baseline;
+pub mod fig6;
+pub mod fig7;
+pub mod mitigation;
+pub mod noise_sweep;
+pub mod placement;
+pub mod sec43;
+pub mod table1;
+pub mod table2;
+pub mod theory_sweep;
+
+use qassert::AssertingCircuit;
+use qcircuit::QuantumCircuit;
+use qdevice::transpile::transpile;
+use qnoise::NoiseModel;
+use qsim::{Backend, DensityMatrixBackend, RunResult};
+
+/// Shots used by the hardware-model experiments (the paper used IBM Q's
+/// standard 8192).
+pub const HW_SHOTS: u64 = 8192;
+
+/// Transpiles an instrumented circuit onto the `ibmqx4` topology
+/// (decompose → route → direction-fix → optimize), preserving clbits so
+/// the assertion analysis still applies.
+///
+/// # Panics
+///
+/// Panics when the circuit does not fit the 5-qubit device — experiment
+/// circuits are fixed-size, so this is a programming error.
+pub fn to_ibmqx4(circuit: &QuantumCircuit) -> QuantumCircuit {
+    transpile(circuit, &qdevice::presets::ibmqx4())
+        .expect("experiment circuits fit ibmqx4")
+        .circuit
+}
+
+/// Runs a circuit on the exact density-matrix backend under the given
+/// noise model with [`HW_SHOTS`] deterministic largest-remainder counts.
+///
+/// # Panics
+///
+/// Panics on simulation failure — experiment circuits are validated by
+/// construction.
+pub fn run_exact(circuit: &QuantumCircuit, noise: NoiseModel) -> RunResult {
+    DensityMatrixBackend::new(noise)
+        .run(circuit, HW_SHOTS)
+        .expect("experiment circuits simulate")
+}
+
+/// Transpiles to `ibmqx4`, runs on its exact noise model, and analyzes
+/// assertion outcomes.
+///
+/// # Panics
+///
+/// Panics on simulation failure.
+pub fn run_on_ibmqx4(ac: &AssertingCircuit) -> qassert::AssertionOutcome {
+    let native = to_ibmqx4(ac.circuit());
+    let raw = run_exact(&native, qnoise::presets::ibmqx4());
+    qassert::analyze(raw, ac).expect("some shots survive filtering")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qassert::Parity;
+    use qcircuit::library;
+
+    #[test]
+    fn ibmqx4_pipeline_produces_native_circuits() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let native = to_ibmqx4(ac.circuit());
+        qdevice::verify::check_native(&native, &qdevice::presets::ibmqx4()).unwrap();
+        assert_eq!(native.num_clbits(), ac.circuit().num_clbits());
+    }
+
+    #[test]
+    fn run_on_ibmqx4_keeps_most_shots() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let outcome = run_on_ibmqx4(&ac);
+        assert!(outcome.shots_kept() > HW_SHOTS / 2);
+        assert!(outcome.assertion_error_rate > 0.0);
+        assert!(outcome.assertion_error_rate < 0.5);
+    }
+}

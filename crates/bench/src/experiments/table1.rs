@@ -1,0 +1,131 @@
+//! Table 1 — classical assertion on the `ibmqx4` device model.
+//!
+//! The paper's circuit: data qubit expected in `|0⟩`, one ancilla, one
+//! CNOT, measure both. The table reports the four joint outcomes, the
+//! raw vs assertion-filtered error rate of the data qubit, and the
+//! relative error-rate reduction.
+
+use super::{run_on_ibmqx4, HW_SHOTS};
+use qassert::{AssertingCircuit, Comparison, ErrorReduction, ExperimentReport, OutcomeTable};
+use qcircuit::QuantumCircuit;
+
+/// Paper Table 1 percentages, in `q1q2` row order `00, 01, 10, 11`
+/// (`q1` = data, `q2` = assertion ancilla).
+pub const PAPER_ROWS: [f64; 4] = [93.8, 2.7, 2.4, 1.1];
+/// Paper raw data-error rate (2.4% + 1.1%).
+pub const PAPER_RAW_ERROR: f64 = 0.035;
+/// Paper filtered error rate (2.4 / (93.8 + 2.4)).
+pub const PAPER_FILTERED_ERROR: f64 = 0.025;
+/// Paper relative reduction ("a reduction of 28.5%").
+pub const PAPER_REDUCTION: f64 = 0.285;
+
+/// Builds the instrumented Table-1 circuit: one data qubit asserted
+/// `== |0⟩`, then measured.
+pub fn circuit() -> AssertingCircuit {
+    let base = QuantumCircuit::with_name("table1", 1, 0);
+    let mut ac = AssertingCircuit::new(base);
+    ac.assert_classical([0], [false])
+        .expect("valid assertion target");
+    ac.measure_data();
+    ac
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table1",
+        format!("classical assertion (q == |0⟩) on ibmqx4 model, {HW_SHOTS} shots"),
+    );
+    let ac = circuit();
+    let outcome = run_on_ibmqx4(&ac);
+
+    // Clbit 0 = ancilla, clbit 1 = data; the paper prints q1q2 =
+    // (data, ancilla).
+    let table = OutcomeTable::from_counts(
+        "Table 1 — classical assertion outcomes",
+        "q1q2",
+        &outcome.raw.counts,
+        &[1, 0],
+        |bits| match bits {
+            "00" => "No assertion error, q1 is 0".to_string(),
+            "01" => "Assertion error, q1 is 0 (potential false positive)".to_string(),
+            "10" => "No assertion error, q1 is 1 (false negative)".to_string(),
+            "11" => "Assertion error, q1 is 1".to_string(),
+            _ => unreachable!("two-bit table"),
+        },
+    );
+    for (row, paper) in table.rows.iter().zip(PAPER_ROWS) {
+        report.comparisons.push(Comparison::new(
+            format!("P(q1q2 = {}) %", row.bits),
+            paper,
+            row.percent,
+        ));
+    }
+    report.tables.push(table);
+
+    // Error rates: the data qubit (clbit 1) should read 0.
+    let reduction = ErrorReduction::compute(
+        &outcome.raw.counts,
+        &ac.assertion_clbits(),
+        |key| (key >> 1) & 1 == 0,
+    );
+    report.comparisons.push(Comparison::new(
+        "raw data error rate",
+        PAPER_RAW_ERROR,
+        reduction.raw,
+    ));
+    report.comparisons.push(Comparison::new(
+        "filtered data error rate",
+        PAPER_FILTERED_ERROR,
+        reduction.filtered,
+    ));
+    report.comparisons.push(Comparison::new(
+        "relative error-rate reduction",
+        PAPER_REDUCTION,
+        reduction.relative_reduction(),
+    ));
+    report.notes.push(
+        "noise model uses era-ballpark ibmqx4 calibration, not the paper's hardware snapshot"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_filtering_reduces_error_rate() {
+        let report = run();
+        let raw = report
+            .comparisons
+            .iter()
+            .find(|c| c.metric.starts_with("raw"))
+            .unwrap()
+            .measured;
+        let filtered = report
+            .comparisons
+            .iter()
+            .find(|c| c.metric.starts_with("filtered"))
+            .unwrap()
+            .measured;
+        assert!(filtered < raw, "filtering must help: {filtered} vs {raw}");
+    }
+
+    #[test]
+    fn table1_shapes_hold() {
+        let report = run();
+        for c in &report.comparisons {
+            assert!(c.shape_holds(), "{} diverges: {c:?}", c.metric);
+        }
+    }
+
+    #[test]
+    fn table1_dominant_outcome_is_all_zero() {
+        let report = run();
+        let first_row = &report.tables[0].rows[0];
+        assert_eq!(first_row.bits, "00");
+        assert!(first_row.percent > 85.0);
+    }
+}

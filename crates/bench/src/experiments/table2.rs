@@ -1,0 +1,144 @@
+//! Table 2 — entanglement assertion on the `ibmqx4` device model.
+//!
+//! The paper's circuit: Bell-pair preparation on two data qubits, then a
+//! parity check into one ancilla (two CNOTs) and measurement of all
+//! three. The table lists the eight joint outcomes; filtering shots with
+//! an assertion error reduces the data error rate.
+
+use super::{run_on_ibmqx4, HW_SHOTS};
+use qassert::{AssertingCircuit, Comparison, ErrorReduction, ExperimentReport, OutcomeTable, Parity};
+use qcircuit::library;
+
+/// Paper Table 2 percentages in `q0q1q2` row order `000 … 111`
+/// (`q0` = assertion ancilla, `q1 q2` = Bell pair).
+pub const PAPER_ROWS: [f64; 8] = [39.1, 6.3, 4.4, 34.6, 4.0, 5.6, 2.1, 3.9];
+/// Paper raw error rate of the expected entangled state (18.4%).
+pub const PAPER_RAW_ERROR: f64 = 0.184;
+/// Paper filtered error rate (12.6%).
+pub const PAPER_FILTERED_ERROR: f64 = 0.126;
+/// Paper relative improvement (31.5%).
+pub const PAPER_REDUCTION: f64 = 0.315;
+/// Paper assertion-error share (rows with q0 = 1: 15.6%).
+pub const PAPER_ASSERTION_RATE: f64 = 0.156;
+
+/// Builds the instrumented Table-2 circuit.
+pub fn circuit() -> AssertingCircuit {
+    let mut ac = AssertingCircuit::new(library::bell());
+    ac.assert_entangled([0, 1], Parity::Even)
+        .expect("valid assertion targets");
+    ac.measure_data();
+    ac
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table2",
+        format!("entanglement assertion on a Bell pair, ibmqx4 model, {HW_SHOTS} shots"),
+    );
+    let ac = circuit();
+    let outcome = run_on_ibmqx4(&ac);
+
+    // Clbit 0 = ancilla (paper q0), clbits 1–2 = data (paper q1 q2).
+    let table = OutcomeTable::from_counts(
+        "Table 2 — entanglement assertion outcomes",
+        "q0q1q2",
+        &outcome.raw.counts,
+        &[0, 1, 2],
+        |bits| {
+            let anc_err = bits.starts_with('1');
+            let data = &bits[1..];
+            let entangled = data == "00" || data == "11";
+            match (anc_err, entangled) {
+                (false, true) => "No assertion error, q1 q2 entangled".to_string(),
+                (false, false) => {
+                    "No assertion error, q1 q2 not entangled (false negative)".to_string()
+                }
+                (true, true) => "Assertion error (potential false positive)".to_string(),
+                (true, false) => "Assertion error, q1 q2 not entangled".to_string(),
+            }
+        },
+    );
+    for (row, paper) in table.rows.iter().zip(PAPER_ROWS) {
+        report.comparisons.push(Comparison::new(
+            format!("P(q0q1q2 = {}) %", row.bits),
+            paper,
+            row.percent,
+        ));
+    }
+    report.tables.push(table);
+
+    // Correct outcomes: the data bits agree (clbits 1 and 2).
+    let reduction = ErrorReduction::compute(
+        &outcome.raw.counts,
+        &ac.assertion_clbits(),
+        |key| ((key >> 1) & 1) == ((key >> 2) & 1),
+    );
+    report.comparisons.push(Comparison::new(
+        "raw data error rate",
+        PAPER_RAW_ERROR,
+        reduction.raw,
+    ));
+    report.comparisons.push(Comparison::new(
+        "filtered data error rate",
+        PAPER_FILTERED_ERROR,
+        reduction.filtered,
+    ));
+    report.comparisons.push(Comparison::new(
+        "relative error-rate reduction",
+        PAPER_REDUCTION,
+        reduction.relative_reduction(),
+    ));
+    report.comparisons.push(Comparison::new(
+        "assertion error rate",
+        PAPER_ASSERTION_RATE,
+        outcome.assertion_error_rate,
+    ));
+    report.notes.push(
+        "direction fixing adds H sandwiches on ibmqx4's reversed edges, as IBM's compiler did"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_filtering_reduces_error_rate() {
+        let report = run();
+        let raw = report
+            .comparisons
+            .iter()
+            .find(|c| c.metric.starts_with("raw"))
+            .unwrap()
+            .measured;
+        let filtered = report
+            .comparisons
+            .iter()
+            .find(|c| c.metric.starts_with("filtered"))
+            .unwrap()
+            .measured;
+        assert!(filtered < raw, "filtering must help: {filtered} vs {raw}");
+    }
+
+    #[test]
+    fn table2_entangled_outcomes_dominate() {
+        let report = run();
+        let rows = &report.tables[0].rows;
+        // 000 and 011 are the correct pass outcomes and must dominate.
+        let good = rows[0].percent + rows[3].percent;
+        assert!(good > 50.0, "correct outcomes at {good}%");
+    }
+
+    #[test]
+    fn table2_shapes_hold_for_headline_metrics() {
+        let report = run();
+        for c in &report.comparisons {
+            if c.metric.contains("error") {
+                assert!(c.shape_holds(), "{} diverges: {c:?}", c.metric);
+            }
+        }
+    }
+}

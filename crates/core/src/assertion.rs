@@ -1,0 +1,308 @@
+//! Assertion types.
+//!
+//! The paper defines three assertion families (Section 3); [`Assertion`]
+//! is their declarative description, independent of where ancillas get
+//! allocated. Synthesis into circuit fragments lives in
+//! [`crate::instrument`].
+
+use crate::error::AssertError;
+use qcircuit::QubitId;
+use std::fmt;
+
+/// Which GHZ-type parity class an entanglement assertion expects
+/// (Section 3.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// `a|0…0⟩ + b|1…1⟩` — all qubits agree (ancilla initialized `|0⟩`).
+    #[default]
+    Even,
+    /// `a|01⟩ + b|10⟩` — qubits anti-correlated (ancilla initialized
+    /// `|1⟩`).
+    Odd,
+}
+
+/// Which equal-superposition state a superposition assertion expects
+/// (Section 3.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SuperpositionBasis {
+    /// `|+⟩ = (|0⟩ + |1⟩)/√2`.
+    #[default]
+    Plus,
+    /// `|−⟩ = (|0⟩ − |1⟩)/√2`.
+    Minus,
+}
+
+/// How entanglement assertions allocate ancillas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EntanglementMode {
+    /// The paper's design: one ancilla accumulating an even number of
+    /// CNOTs (Figures 3–4).
+    #[default]
+    Paper,
+    /// Extension: `k−1` ancillas checking each adjacent pair — catches
+    /// bugs the single-parity check cannot (e.g. a corrupted middle
+    /// qubit whose parity error cancels), at the cost of more ancillas.
+    Strong,
+}
+
+/// A dynamic runtime assertion (the paper's contribution).
+///
+/// # Example
+///
+/// ```
+/// use qassert::{Assertion, Parity};
+/// let a = Assertion::entanglement([0, 1, 2], Parity::Even)?;
+/// assert_eq!(a.qubits().len(), 3);
+/// assert_eq!(a.num_ancillas(Default::default()), 1);
+/// # Ok::<(), qassert::AssertError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Assertion {
+    /// Assert that each qubit holds a classical value (Section 3.1,
+    /// Figure 2): one ancilla and one CNOT per qubit.
+    Classical {
+        /// The qubits under test.
+        qubits: Vec<QubitId>,
+        /// The expected classical bit per qubit.
+        expected: Vec<bool>,
+    },
+    /// Assert GHZ-type entanglement (Section 3.2, Figures 3–4): a parity
+    /// computation into one ancilla with an even number of CNOTs.
+    Entanglement {
+        /// The qubits under test (at least two).
+        qubits: Vec<QubitId>,
+        /// The expected correlation class.
+        parity: Parity,
+    },
+    /// Assert an equal superposition (Section 3.3, Figure 5):
+    /// `CX(q,a); H⊗H; CX(q,a)` and measure the ancilla.
+    Superposition {
+        /// The qubit under test.
+        qubit: QubitId,
+        /// Whether `|+⟩` or `|−⟩` is expected.
+        basis: SuperpositionBasis,
+    },
+}
+
+impl Assertion {
+    /// Builds a classical-value assertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::ExpectedLengthMismatch`] when the lists
+    /// differ in length, [`AssertError::TooFewQubits`] for an empty
+    /// list, or [`AssertError::DuplicateQubit`].
+    pub fn classical<Q: Into<QubitId>>(
+        qubits: impl IntoIterator<Item = Q>,
+        expected: impl IntoIterator<Item = bool>,
+    ) -> Result<Self, AssertError> {
+        let qubits: Vec<QubitId> = qubits.into_iter().map(Into::into).collect();
+        let expected: Vec<bool> = expected.into_iter().collect();
+        if qubits.is_empty() {
+            return Err(AssertError::TooFewQubits { got: 0, needed: 1 });
+        }
+        if qubits.len() != expected.len() {
+            return Err(AssertError::ExpectedLengthMismatch {
+                qubits: qubits.len(),
+                expected: expected.len(),
+            });
+        }
+        check_distinct(&qubits)?;
+        Ok(Assertion::Classical { qubits, expected })
+    }
+
+    /// Builds an entanglement assertion over at least two qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::TooFewQubits`] or
+    /// [`AssertError::DuplicateQubit`].
+    pub fn entanglement<Q: Into<QubitId>>(
+        qubits: impl IntoIterator<Item = Q>,
+        parity: Parity,
+    ) -> Result<Self, AssertError> {
+        let qubits: Vec<QubitId> = qubits.into_iter().map(Into::into).collect();
+        if qubits.len() < 2 {
+            return Err(AssertError::TooFewQubits {
+                got: qubits.len(),
+                needed: 2,
+            });
+        }
+        check_distinct(&qubits)?;
+        Ok(Assertion::Entanglement { qubits, parity })
+    }
+
+    /// Builds a superposition assertion on one qubit.
+    pub fn superposition(qubit: impl Into<QubitId>, basis: SuperpositionBasis) -> Self {
+        Assertion::Superposition {
+            qubit: qubit.into(),
+            basis,
+        }
+    }
+
+    /// The qubits under test.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match self {
+            Assertion::Classical { qubits, .. } | Assertion::Entanglement { qubits, .. } => {
+                qubits.clone()
+            }
+            Assertion::Superposition { qubit, .. } => vec![*qubit],
+        }
+    }
+
+    /// Number of ancilla qubits (and classical bits) the assertion
+    /// consumes under the given entanglement mode.
+    pub fn num_ancillas(&self, mode: EntanglementMode) -> usize {
+        match self {
+            Assertion::Classical { qubits, .. } => qubits.len(),
+            Assertion::Entanglement { qubits, .. } => match mode {
+                EntanglementMode::Paper => 1,
+                EntanglementMode::Strong => qubits.len() - 1,
+            },
+            Assertion::Superposition { .. } => 1,
+        }
+    }
+
+    /// Number of CNOT gates the synthesized fragment adds under the
+    /// given mode (the paper's overhead metric).
+    pub fn cnot_overhead(&self, mode: EntanglementMode) -> usize {
+        match self {
+            Assertion::Classical { qubits, .. } => qubits.len(),
+            Assertion::Entanglement { qubits, .. } => match mode {
+                // Even number of CNOTs: k rounded up to even (Fig. 4).
+                EntanglementMode::Paper => (qubits.len() + 1) & !1,
+                EntanglementMode::Strong => 2 * (qubits.len() - 1),
+            },
+            Assertion::Superposition { .. } => 2,
+        }
+    }
+
+    /// A short name for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Assertion::Classical { .. } => "classical",
+            Assertion::Entanglement { .. } => "entanglement",
+            Assertion::Superposition { .. } => "superposition",
+        }
+    }
+}
+
+fn check_distinct(qubits: &[QubitId]) -> Result<(), AssertError> {
+    for (i, q) in qubits.iter().enumerate() {
+        if qubits[i + 1..].contains(q) {
+            return Err(AssertError::DuplicateQubit { qubit: q.index() });
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assertion::Classical { qubits, expected } => {
+                let parts: Vec<String> = qubits
+                    .iter()
+                    .zip(expected)
+                    .map(|(q, e)| format!("{q}=={}", u8::from(*e)))
+                    .collect();
+                write!(f, "assert_classical({})", parts.join(", "))
+            }
+            Assertion::Entanglement { qubits, parity } => {
+                let qs: Vec<String> = qubits.iter().map(|q| q.to_string()).collect();
+                write!(f, "assert_entangled({}; {:?})", qs.join(", "), parity)
+            }
+            Assertion::Superposition { qubit, basis } => {
+                let sign = match basis {
+                    SuperpositionBasis::Plus => "+",
+                    SuperpositionBasis::Minus => "-",
+                };
+                write!(f, "assert_superposition({qubit} == |{sign}⟩)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_builder_validates() {
+        assert!(Assertion::classical([0, 1], [true, false]).is_ok());
+        assert!(matches!(
+            Assertion::classical([0, 1], [true]),
+            Err(AssertError::ExpectedLengthMismatch { qubits: 2, expected: 1 })
+        ));
+        assert!(matches!(
+            Assertion::classical(Vec::<u32>::new(), Vec::new()),
+            Err(AssertError::TooFewQubits { .. })
+        ));
+        assert!(matches!(
+            Assertion::classical([1, 1], [true, true]),
+            Err(AssertError::DuplicateQubit { qubit: 1 })
+        ));
+    }
+
+    #[test]
+    fn entanglement_builder_validates() {
+        assert!(Assertion::entanglement([0, 1], Parity::Even).is_ok());
+        assert!(matches!(
+            Assertion::entanglement([0], Parity::Even),
+            Err(AssertError::TooFewQubits { got: 1, needed: 2 })
+        ));
+    }
+
+    #[test]
+    fn ancilla_counts_follow_paper() {
+        let c = Assertion::classical([0, 1, 2], [false, false, false]).unwrap();
+        assert_eq!(c.num_ancillas(EntanglementMode::Paper), 3);
+
+        let e2 = Assertion::entanglement([0, 1], Parity::Even).unwrap();
+        assert_eq!(e2.num_ancillas(EntanglementMode::Paper), 1);
+        let e4 = Assertion::entanglement([0, 1, 2, 3], Parity::Even).unwrap();
+        assert_eq!(e4.num_ancillas(EntanglementMode::Paper), 1);
+        assert_eq!(e4.num_ancillas(EntanglementMode::Strong), 3);
+
+        let s = Assertion::superposition(0, SuperpositionBasis::Plus);
+        assert_eq!(s.num_ancillas(EntanglementMode::Paper), 1);
+    }
+
+    #[test]
+    fn cnot_overhead_uses_even_rule() {
+        // Fig. 3: two qubits → 2 CNOTs; Fig. 4: three qubits → 4 CNOTs.
+        let e2 = Assertion::entanglement([0, 1], Parity::Even).unwrap();
+        assert_eq!(e2.cnot_overhead(EntanglementMode::Paper), 2);
+        let e3 = Assertion::entanglement([0, 1, 2], Parity::Even).unwrap();
+        assert_eq!(e3.cnot_overhead(EntanglementMode::Paper), 4);
+        let e5 = Assertion::entanglement([0, 1, 2, 3, 4], Parity::Even).unwrap();
+        assert_eq!(e5.cnot_overhead(EntanglementMode::Paper), 6);
+        assert_eq!(e3.cnot_overhead(EntanglementMode::Strong), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Assertion::classical([1], [false]).unwrap();
+        assert_eq!(a.to_string(), "assert_classical(q1==0)");
+        let s = Assertion::superposition(2, SuperpositionBasis::Minus);
+        assert!(s.to_string().contains("|-⟩"));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(
+            Assertion::superposition(0, SuperpositionBasis::Plus).kind_name(),
+            "superposition"
+        );
+        assert_eq!(
+            Assertion::entanglement([0, 1], Parity::Odd).unwrap().kind_name(),
+            "entanglement"
+        );
+    }
+
+    #[test]
+    fn qubits_accessor_collects() {
+        let a = Assertion::entanglement([3, 1, 2], Parity::Even).unwrap();
+        let qs: Vec<usize> = a.qubits().iter().map(|q| q.index()).collect();
+        assert_eq!(qs, vec![3, 1, 2]);
+    }
+}

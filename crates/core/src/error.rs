@@ -1,0 +1,108 @@
+//! Error types for the assertion library.
+
+use qcircuit::CircuitError;
+use qsim::SimError;
+use std::fmt;
+
+/// Error produced when building or running assertions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssertError {
+    /// An assertion references a qubit outside the circuit.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// An assertion lists the same qubit twice.
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// A classical assertion's expected-bit list does not match its
+    /// qubit list.
+    ExpectedLengthMismatch {
+        /// Number of qubits asserted.
+        qubits: usize,
+        /// Number of expected bits supplied.
+        expected: usize,
+    },
+    /// Entanglement assertions need at least two qubits.
+    TooFewQubits {
+        /// Qubits supplied.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// Circuit construction failed while splicing the assertion.
+    Circuit(CircuitError),
+    /// Simulation failed while executing the instrumented circuit.
+    Sim(SimError),
+    /// The outcome analysis needs at least one kept shot.
+    NoShotsKept,
+}
+
+impl fmt::Display for AssertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssertError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "asserted qubit q{qubit} out of range for {num_qubits} qubits")
+            }
+            AssertError::DuplicateQubit { qubit } => {
+                write!(f, "qubit q{qubit} listed more than once in one assertion")
+            }
+            AssertError::ExpectedLengthMismatch { qubits, expected } => {
+                write!(f, "classical assertion over {qubits} qubit(s) got {expected} expected bit(s)")
+            }
+            AssertError::TooFewQubits { got, needed } => {
+                write!(f, "assertion needs at least {needed} qubits, got {got}")
+            }
+            AssertError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
+            AssertError::Sim(e) => write!(f, "simulation failed: {e}"),
+            AssertError::NoShotsKept => write!(f, "no shots survived assertion filtering"),
+        }
+    }
+}
+
+impl std::error::Error for AssertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AssertError::Circuit(e) => Some(e),
+            AssertError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for AssertError {
+    fn from(e: CircuitError) -> Self {
+        AssertError::Circuit(e)
+    }
+}
+
+impl From<SimError> for AssertError {
+    fn from(e: SimError) -> Self {
+        AssertError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AssertError::ExpectedLengthMismatch { qubits: 2, expected: 3 };
+        assert!(e.to_string().contains("2 qubit(s)"));
+        let e = AssertError::TooFewQubits { got: 1, needed: 2 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let ce: AssertError = CircuitError::DuplicateQubit { qubit: 1 }.into();
+        assert!(matches!(ce, AssertError::Circuit(_)));
+        let se: AssertError = SimError::AllShotsDiscarded.into();
+        assert!(matches!(se, AssertError::Sim(_)));
+    }
+}

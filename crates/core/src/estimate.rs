@@ -1,0 +1,202 @@
+//! Amplitude estimation from assertion statistics.
+//!
+//! The paper notes, for each assertion family, that "the probability
+//! distribution of assertion errors over repeated runs can be used to
+//! estimate a and b, if needed". This module implements exactly that:
+//!
+//! * **classical** assertion errors estimate `|b|²` directly (Sec. 3.1),
+//! * **superposition** assertion errors estimate the real cross term
+//!   `ab` via `P(error) = (2 − 4ab)/4` (Sec. 3.3); combined with
+//!   normalization this pins down real amplitudes up to the (a ↔ b)
+//!   ambiguity,
+//! * **entanglement** assertion errors estimate the odd-parity mass
+//!   `|c|² + |d|²` (Sec. 3.2).
+//!
+//! Estimates carry Wilson-score confidence intervals.
+
+use qmath::stats::wilson_interval;
+
+/// A probability estimated from assertion outcomes, with a confidence
+/// interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Point estimate.
+    pub value: f64,
+    /// Lower bound of the confidence interval.
+    pub low: f64,
+    /// Upper bound of the confidence interval.
+    pub high: f64,
+}
+
+impl Estimate {
+    /// Builds an estimate from `fired` assertion errors out of `shots`
+    /// at confidence `z` (1.96 ≈ 95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shots == 0` or `fired > shots`.
+    pub fn from_counts(fired: u64, shots: u64, z: f64) -> Estimate {
+        let (low, high) = wilson_interval(fired, shots, z);
+        Estimate {
+            value: fired as f64 / shots as f64,
+            low,
+            high,
+        }
+    }
+
+    /// Width of the confidence interval.
+    pub fn uncertainty(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Returns `true` when `truth` lies inside the interval.
+    pub fn covers(&self, truth: f64) -> bool {
+        (self.low..=self.high).contains(&truth)
+    }
+}
+
+/// Section 3.1: from classical-assertion error statistics, estimate
+/// `|b|²` (the excited-state population of `a|0⟩ + b|1⟩`).
+pub fn excited_population(fired: u64, shots: u64, z: f64) -> Estimate {
+    Estimate::from_counts(fired, shots, z)
+}
+
+/// Section 3.3: from superposition-assertion error statistics on a
+/// **real-amplitude** state, estimate the cross term `ab` via
+/// `P(error) = (2 − 4ab)/4 ⇒ ab = (2 − 4·P)/4`.
+///
+/// The interval maps monotonically (decreasing), so the bounds swap.
+pub fn cross_term(fired: u64, shots: u64, z: f64) -> Estimate {
+    let p = Estimate::from_counts(fired, shots, z);
+    let map = |x: f64| (2.0 - 4.0 * x) / 4.0;
+    Estimate {
+        value: map(p.value),
+        low: map(p.high),
+        high: map(p.low),
+    }
+}
+
+/// Section 3.3 continued: recover real amplitude magnitudes `(|a|, |b|)`
+/// from an estimated cross term, using `a² + b² = 1` and `a·b = t`:
+/// `a, b = √((1 ± √(1 − 4t²))/2)`. Returns `None` when `|t| > 1/2`
+/// (unphysical, can happen from sampling noise).
+///
+/// The assignment of which root is `a` is ambiguous (the assertion
+/// cannot distinguish `a ↔ b`); the larger magnitude is returned first.
+pub fn real_amplitudes_from_cross_term(t: f64) -> Option<(f64, f64)> {
+    let disc = 1.0 - 4.0 * t * t;
+    if disc < 0.0 {
+        return None;
+    }
+    let root = disc.sqrt();
+    let a2 = (1.0 + root) / 2.0;
+    let b2 = (1.0 - root) / 2.0;
+    let (a, b) = (a2.max(0.0).sqrt(), b2.max(0.0).sqrt());
+    // ab must reproduce t's sign: if t < 0 the smaller amplitude is
+    // negative.
+    Some(if t >= 0.0 { (a, b) } else { (a, -b) })
+}
+
+/// Section 3.2: from entanglement-assertion error statistics, estimate
+/// the odd-parity mass `|c|² + |d|²` of
+/// `a|00⟩ + b|11⟩ + c|10⟩ + d|01⟩`.
+pub fn odd_parity_mass(fired: u64, shots: u64, z: f64) -> Estimate {
+    Estimate::from_counts(fired, shots, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::FRAC_1_SQRT_2;
+
+    #[test]
+    fn estimate_from_counts_brackets_truth() {
+        let e = Estimate::from_counts(300, 1000, 1.96);
+        assert!((e.value - 0.3).abs() < 1e-12);
+        assert!(e.covers(0.3));
+        assert!(e.low < 0.3 && 0.3 < e.high);
+        assert!(e.uncertainty() < 0.07);
+    }
+
+    #[test]
+    fn excited_population_is_direct() {
+        let e = excited_population(500, 1000, 1.96);
+        assert!(e.covers(0.5));
+    }
+
+    #[test]
+    fn cross_term_maps_error_rate() {
+        // |+⟩: P(error) = 0 → ab = 1/2.
+        let e = cross_term(0, 10_000, 1.96);
+        assert!((e.value - 0.5).abs() < 1e-12);
+        assert!(e.low <= e.high);
+        // Classical state: P(error) = 1/2 → ab = 0.
+        let e = cross_term(5_000, 10_000, 1.96);
+        assert!(e.covers(0.0));
+        // |−⟩: P(error) = 1 → ab = −1/2.
+        let e = cross_term(10_000, 10_000, 1.96);
+        assert!((e.value + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitudes_recover_from_cross_term() {
+        // |+⟩: t = 1/2 → a = b = 1/√2.
+        let (a, b) = real_amplitudes_from_cross_term(0.5).unwrap();
+        assert!((a - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((b - FRAC_1_SQRT_2).abs() < 1e-12);
+        // Classical: t = 0 → (1, 0).
+        let (a, b) = real_amplitudes_from_cross_term(0.0).unwrap();
+        assert!((a - 1.0).abs() < 1e-12 && b.abs() < 1e-12);
+        // |−⟩: t = −1/2 → (1/√2, −1/√2).
+        let (a, b) = real_amplitudes_from_cross_term(-0.5).unwrap();
+        assert!((a - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((b + FRAC_1_SQRT_2).abs() < 1e-12);
+        // Round trip on a generic angle.
+        let theta = 0.73f64;
+        let (ta, tb) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let (ra, rb) = real_amplitudes_from_cross_term(ta * tb).unwrap();
+        // Ambiguity: larger magnitude first.
+        assert!((ra - ta.max(tb)).abs() < 1e-12);
+        assert!((rb - ta.min(tb)).abs() < 1e-12);
+        // Normalization always holds.
+        assert!((ra * ra + rb * rb - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unphysical_cross_terms_rejected() {
+        assert!(real_amplitudes_from_cross_term(0.51).is_none());
+        assert!(real_amplitudes_from_cross_term(-0.6).is_none());
+    }
+
+    #[test]
+    fn end_to_end_estimation_against_simulator() {
+        // Run the classical assertion on Ry(θ)|0⟩ many times and check
+        // the estimate brackets sin²(θ/2).
+        use crate::AssertingCircuit;
+        use qsim::Backend;
+        let theta = 1.1f64;
+        let truth = (theta / 2.0).sin().powi(2);
+        let mut base = qcircuit::QuantumCircuit::new(1, 0);
+        base.ry(theta, 0).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        let raw = qsim::StatevectorBackend::new()
+            .with_seed(17)
+            .run(ac.circuit(), 20_000)
+            .unwrap();
+        let fired: u64 = raw
+            .counts
+            .iter()
+            .filter(|(k, _)| k & 1 == 1)
+            .map(|(_, n)| n)
+            .sum();
+        let est = excited_population(fired, 20_000, 2.58); // 99%
+        assert!(est.covers(truth), "estimate {est:?} missed {truth}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_shots_panics() {
+        let _ = Estimate::from_counts(0, 0, 1.96);
+    }
+}

@@ -1,0 +1,161 @@
+//! Post-selection filtering and error-rate accounting.
+//!
+//! The paper's NISQ use case (Section 4): run the instrumented circuit,
+//! *discard* every shot whose assertion ancilla measured 1, and compare
+//! the error rate of the remaining distribution against the unfiltered
+//! one. Tables 1–2 report exactly the quantities computed here.
+
+use qcircuit::ClbitId;
+use qsim::Counts;
+
+/// Keeps only shots where every listed assertion clbit reads 0
+/// (no assertion error).
+pub fn filter_assertion_bits(counts: &Counts, assertion_clbits: &[ClbitId]) -> Counts {
+    counts.filter(|key| {
+        assertion_clbits
+            .iter()
+            .all(|c| (key >> c.index()) & 1 == 0)
+    })
+}
+
+/// The fraction of shots flagged by at least one assertion bit.
+///
+/// Returns 0 for empty histograms.
+pub fn assertion_error_rate(counts: &Counts, assertion_clbits: &[ClbitId]) -> f64 {
+    let total = counts.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let flagged: u64 = counts
+        .iter()
+        .filter(|(key, _)| {
+            assertion_clbits
+                .iter()
+                .any(|c| (key >> c.index()) & 1 == 1)
+        })
+        .map(|(_, n)| n)
+        .sum();
+    flagged as f64 / total as f64
+}
+
+/// The fraction of shots whose outcome `is_correct` rejects.
+///
+/// Returns 0 for empty histograms.
+pub fn error_rate(counts: &Counts, is_correct: impl Fn(u64) -> bool) -> f64 {
+    let total = counts.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let wrong: u64 = counts
+        .iter()
+        .filter(|(key, _)| !is_correct(*key))
+        .map(|(_, n)| n)
+        .sum();
+    wrong as f64 / total as f64
+}
+
+/// Raw-vs-filtered error rates and the relative reduction the paper
+/// reports (e.g. Table 1: 3.5% → 2.5%, "a reduction of 28.5%").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorReduction {
+    /// Error rate over all shots.
+    pub raw: f64,
+    /// Error rate over assertion-filtered shots.
+    pub filtered: f64,
+}
+
+impl ErrorReduction {
+    /// Computes both error rates for a run.
+    ///
+    /// `is_correct` judges an outcome *by its data bits*; assertion bits
+    /// are ignored for correctness but drive the filtering.
+    pub fn compute(
+        counts: &Counts,
+        assertion_clbits: &[ClbitId],
+        is_correct: impl Fn(u64) -> bool + Copy,
+    ) -> ErrorReduction {
+        let raw = error_rate(counts, is_correct);
+        let kept = filter_assertion_bits(counts, assertion_clbits);
+        let filtered = error_rate(&kept, is_correct);
+        ErrorReduction { raw, filtered }
+    }
+
+    /// Relative improvement `(raw − filtered) / raw`; 0 when the raw
+    /// rate is 0.
+    pub fn relative_reduction(&self) -> f64 {
+        if self.raw <= 0.0 {
+            0.0
+        } else {
+            (self.raw - self.filtered) / self.raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mirror of the paper's Table 1 counts (scaled to 1000 shots):
+    /// bit 0 = q1 (data), bit 1 = q2 (assertion ancilla).
+    fn table1_counts() -> Counts {
+        Counts::from_pairs(
+            2,
+            [
+                (0b00, 938), // no error, q1 = 0
+                (0b10, 27),  // assertion error, q1 = 0
+                (0b01, 24),  // no assertion error, q1 = 1 (false negative)
+                (0b11, 11),  // assertion error, q1 = 1
+            ],
+        )
+    }
+
+    #[test]
+    fn filtering_drops_flagged_shots() {
+        let counts = table1_counts();
+        let kept = filter_assertion_bits(&counts, &[ClbitId::new(1)]);
+        assert_eq!(kept.total(), 938 + 24);
+        assert_eq!(kept.get(0b10), 0);
+        assert_eq!(kept.get(0b11), 0);
+    }
+
+    #[test]
+    fn assertion_error_rate_counts_any_flag() {
+        let counts = table1_counts();
+        let rate = assertion_error_rate(&counts, &[ClbitId::new(1)]);
+        assert!((rate - 0.038).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_reduction_reproduces_table1_arithmetic() {
+        // Paper: raw error 3.5%, filtered 24/(938+24) = 2.5%,
+        // reduction ≈ 28.5%.
+        let counts = table1_counts();
+        let red = ErrorReduction::compute(&counts, &[ClbitId::new(1)], |key| key & 1 == 0);
+        assert!((red.raw - 0.035).abs() < 1e-12);
+        assert!((red.filtered - 24.0 / 962.0).abs() < 1e-12);
+        assert!((red.relative_reduction() - 0.2871).abs() < 0.01);
+    }
+
+    #[test]
+    fn multiple_assertion_bits_all_must_be_clear() {
+        let counts = Counts::from_pairs(3, [(0b000, 10), (0b010, 5), (0b100, 5), (0b110, 2)]);
+        let kept = filter_assertion_bits(&counts, &[ClbitId::new(1), ClbitId::new(2)]);
+        assert_eq!(kept.total(), 10);
+    }
+
+    #[test]
+    fn empty_counts_are_harmless() {
+        let counts = Counts::new(2);
+        assert_eq!(assertion_error_rate(&counts, &[ClbitId::new(0)]), 0.0);
+        assert_eq!(error_rate(&counts, |_| true), 0.0);
+        let red = ErrorReduction { raw: 0.0, filtered: 0.0 };
+        assert_eq!(red.relative_reduction(), 0.0);
+    }
+
+    #[test]
+    fn zero_error_rate_when_all_correct() {
+        let counts = Counts::from_pairs(1, [(0, 100)]);
+        assert_eq!(error_rate(&counts, |k| k == 0), 0.0);
+        assert_eq!(error_rate(&counts, |k| k == 1), 1.0);
+    }
+}

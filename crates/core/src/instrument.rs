@@ -1,0 +1,496 @@
+//! Assertion instrumentation.
+//!
+//! [`AssertingCircuit`] wraps a [`QuantumCircuit`] under construction and
+//! splices in the paper's assertion fragments at the current program
+//! point, allocating ancilla qubits and classical bits as it goes:
+//!
+//! * **classical** (Fig. 2) — per asserted qubit: fresh ancilla,
+//!   optional `X` (to assert `== |1⟩`), `CX(q → a)`, measure `a`,
+//! * **entanglement** (Figs. 3–4) — one ancilla, optional `X` (odd
+//!   parity), CNOTs from the qubits under test with the **even-count
+//!   rule** (`k` odd ⇒ the last CNOT is repeated so the ancilla
+//!   disentangles), measure,
+//! * **superposition** (Fig. 5) — `CX(q,a); H(q); H(a); CX(q,a)`,
+//!   optional `X(a)` to expect `|−⟩`, measure.
+//!
+//! The uniform runtime convention is: **an assertion clbit reading 1
+//! means assertion error** — exactly the paper's convention.
+
+use crate::assertion::{Assertion, EntanglementMode, Parity, SuperpositionBasis};
+use crate::error::AssertError;
+use qcircuit::{ClbitId, QuantumCircuit, QubitId};
+
+/// Identifier of an instrumented assertion within one circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AssertionId(usize);
+
+impl AssertionId {
+    /// The index of this assertion in [`AssertingCircuit::records`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Bookkeeping for one instrumented assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssertionRecord {
+    /// The assertion that was instrumented.
+    pub assertion: Assertion,
+    /// The ancilla qubits it allocated (or reused).
+    pub ancillas: Vec<QubitId>,
+    /// The classical bits its ancilla measurements landed in; a bit
+    /// reading 1 at runtime means this assertion fired.
+    pub clbits: Vec<ClbitId>,
+}
+
+/// A circuit plus its instrumented assertions.
+///
+/// # Example
+///
+/// ```
+/// use qassert::{AssertingCircuit, Parity};
+/// use qcircuit::library;
+///
+/// # fn main() -> Result<(), qassert::AssertError> {
+/// let mut ac = AssertingCircuit::new(library::bell());
+/// ac.assert_entangled([0, 1], Parity::Even)?;
+/// ac.measure_data();
+/// // 2 data qubits + 1 ancilla
+/// assert_eq!(ac.circuit().num_qubits(), 3);
+/// assert_eq!(ac.records().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AssertingCircuit {
+    circuit: QuantumCircuit,
+    data_qubits: usize,
+    records: Vec<AssertionRecord>,
+    mode: EntanglementMode,
+    reuse_ancillas: bool,
+    free_ancillas: Vec<QubitId>,
+}
+
+impl AssertingCircuit {
+    /// Wraps a base circuit; all of its current qubits are treated as
+    /// data qubits.
+    pub fn new(base: QuantumCircuit) -> Self {
+        let data_qubits = base.num_qubits();
+        AssertingCircuit {
+            circuit: base,
+            data_qubits,
+            records: Vec::new(),
+            mode: EntanglementMode::Paper,
+            reuse_ancillas: false,
+            free_ancillas: Vec::new(),
+        }
+    }
+
+    /// Selects the entanglement-assertion ancilla strategy.
+    #[must_use]
+    pub fn with_mode(mut self, mode: EntanglementMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables ancilla recycling: measured ancillas are reset and reused
+    /// by later assertions, trading circuit depth for width (an
+    /// extension beyond the paper).
+    #[must_use]
+    pub fn with_ancilla_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_ancillas = reuse;
+        self
+    }
+
+    /// The instrumented circuit so far.
+    pub fn circuit(&self) -> &QuantumCircuit {
+        &self.circuit
+    }
+
+    /// Mutable access to keep appending program logic between
+    /// assertions.
+    pub fn circuit_mut(&mut self) -> &mut QuantumCircuit {
+        &mut self.circuit
+    }
+
+    /// Consumes the wrapper, returning the instrumented circuit and the
+    /// assertion records.
+    pub fn into_parts(self) -> (QuantumCircuit, Vec<AssertionRecord>) {
+        (self.circuit, self.records)
+    }
+
+    /// The instrumented assertions in insertion order.
+    pub fn records(&self) -> &[AssertionRecord] {
+        &self.records
+    }
+
+    /// Number of original (data) qubits.
+    pub fn num_data_qubits(&self) -> usize {
+        self.data_qubits
+    }
+
+    /// All classical bits carrying assertion outcomes.
+    pub fn assertion_clbits(&self) -> Vec<ClbitId> {
+        self.records
+            .iter()
+            .flat_map(|r| r.clbits.iter().copied())
+            .collect()
+    }
+
+    /// The classical bits *not* used by assertions (the program's own
+    /// measurement results).
+    pub fn data_clbits(&self) -> Vec<ClbitId> {
+        let assertion: Vec<ClbitId> = self.assertion_clbits();
+        (0..self.circuit.num_clbits())
+            .map(ClbitId::from)
+            .filter(|c| !assertion.contains(c))
+            .collect()
+    }
+
+    fn validate_targets(&self, qubits: &[QubitId]) -> Result<(), AssertError> {
+        for q in qubits {
+            if q.index() >= self.circuit.num_qubits() {
+                return Err(AssertError::QubitOutOfRange {
+                    qubit: q.index(),
+                    num_qubits: self.circuit.num_qubits(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquires an ancilla: recycled when reuse is on, fresh otherwise.
+    fn acquire_ancilla(&mut self) -> QubitId {
+        if self.reuse_ancillas {
+            if let Some(a) = self.free_ancillas.pop() {
+                return a;
+            }
+        }
+        self.circuit.add_qubit()
+    }
+
+    /// Measures an ancilla into a fresh clbit and (optionally) recycles
+    /// it.
+    fn measure_ancilla(&mut self, ancilla: QubitId) -> Result<ClbitId, AssertError> {
+        let clbit = self.circuit.add_clbit();
+        self.circuit.measure(ancilla, clbit)?;
+        if self.reuse_ancillas {
+            self.circuit.reset(ancilla)?;
+            self.free_ancillas.push(ancilla);
+        }
+        Ok(clbit)
+    }
+
+    /// Instruments the given assertion at the current program point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AssertError`] when targets are invalid.
+    pub fn assert_now(&mut self, assertion: Assertion) -> Result<AssertionId, AssertError> {
+        self.validate_targets(&assertion.qubits())?;
+        let (ancillas, clbits) = match &assertion {
+            Assertion::Classical { qubits, expected } => {
+                let mut ancillas = Vec::with_capacity(qubits.len());
+                let mut clbits = Vec::with_capacity(qubits.len());
+                for (q, e) in qubits.clone().iter().zip(expected.clone()) {
+                    let a = self.acquire_ancilla();
+                    if e {
+                        // Paper: initialize the ancilla to |1⟩ to assert
+                        // (ψ == |1⟩).
+                        self.circuit.x(a)?;
+                    }
+                    self.circuit.cx(*q, a)?;
+                    clbits.push(self.measure_ancilla(a)?);
+                    ancillas.push(a);
+                }
+                (ancillas, clbits)
+            }
+            Assertion::Entanglement { qubits, parity } => match self.mode {
+                EntanglementMode::Paper => {
+                    let a = self.acquire_ancilla();
+                    if *parity == Parity::Odd {
+                        self.circuit.x(a)?;
+                    }
+                    for q in qubits.clone() {
+                        self.circuit.cx(q, a)?;
+                    }
+                    // Even-count rule (Fig. 4): an odd number of CNOTs
+                    // would leave the ancilla entangled with the qubits
+                    // under test, corrupting later computation.
+                    if qubits.len() % 2 == 1 {
+                        self.circuit.cx(*qubits.last().expect("nonempty"), a)?;
+                    }
+                    let clbit = self.measure_ancilla(a)?;
+                    (vec![a], vec![clbit])
+                }
+                EntanglementMode::Strong => {
+                    let mut ancillas = Vec::new();
+                    let mut clbits = Vec::new();
+                    let qubits = qubits.clone();
+                    let parity = *parity;
+                    for pair in qubits.windows(2) {
+                        let a = self.acquire_ancilla();
+                        if parity == Parity::Odd {
+                            self.circuit.x(a)?;
+                        }
+                        self.circuit.cx(pair[0], a)?;
+                        self.circuit.cx(pair[1], a)?;
+                        clbits.push(self.measure_ancilla(a)?);
+                        ancillas.push(a);
+                    }
+                    (ancillas, clbits)
+                }
+            },
+            Assertion::Superposition { qubit, basis } => {
+                let q = *qubit;
+                let basis = *basis;
+                let a = self.acquire_ancilla();
+                self.circuit.cx(q, a)?;
+                self.circuit.h(q)?;
+                self.circuit.h(a)?;
+                self.circuit.cx(q, a)?;
+                if basis == SuperpositionBasis::Minus {
+                    // |−⟩ drives the raw ancilla to 1; flip so the
+                    // uniform "1 = error" convention holds.
+                    self.circuit.x(a)?;
+                    // The Fig. 5 circuit maps |−⟩ to |+⟩ on the qubit
+                    // under test (the paper's |ψ4⟩ = |+⟩⊗|1⟩). Restore
+                    // the asserted state with a Z so the program can
+                    // keep using it; this is sound because the
+                    // post-measurement data state always has equal
+                    // coefficient magnitudes (Section 3.3).
+                    self.circuit.z(q)?;
+                }
+                let clbit = self.measure_ancilla(a)?;
+                (vec![a], vec![clbit])
+            }
+        };
+        let id = AssertionId(self.records.len());
+        self.records.push(AssertionRecord {
+            assertion,
+            ancillas,
+            clbits,
+        });
+        Ok(id)
+    }
+
+    /// Asserts `(qᵢ == expectedᵢ)` for each listed qubit (Section 3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AssertError`] for invalid targets.
+    pub fn assert_classical<Q: Into<QubitId>>(
+        &mut self,
+        qubits: impl IntoIterator<Item = Q>,
+        expected: impl IntoIterator<Item = bool>,
+    ) -> Result<AssertionId, AssertError> {
+        self.assert_now(Assertion::classical(qubits, expected)?)
+    }
+
+    /// Asserts GHZ-type entanglement across the listed qubits
+    /// (Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AssertError`] for invalid targets.
+    pub fn assert_entangled<Q: Into<QubitId>>(
+        &mut self,
+        qubits: impl IntoIterator<Item = Q>,
+        parity: Parity,
+    ) -> Result<AssertionId, AssertError> {
+        self.assert_now(Assertion::entanglement(qubits, parity)?)
+    }
+
+    /// Asserts the qubit is in `|+⟩` (or `|−⟩`) (Section 3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AssertError`] for invalid targets.
+    pub fn assert_superposition(
+        &mut self,
+        qubit: impl Into<QubitId>,
+        basis: SuperpositionBasis,
+    ) -> Result<AssertionId, AssertError> {
+        self.assert_now(Assertion::superposition(qubit, basis))
+    }
+
+    /// Measures every data qubit `i` into a data clbit, growing the
+    /// classical register as needed (call once at the end of the
+    /// program).
+    pub fn measure_data(&mut self) -> &mut Self {
+        for q in 0..self.data_qubits {
+            let clbit = self.circuit.add_clbit();
+            self.circuit
+                .measure(q, clbit)
+                .expect("data qubits are in range");
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::library;
+    use qcircuit::Gate;
+
+    #[test]
+    fn classical_assertion_adds_one_ancilla_per_qubit() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
+        ac.assert_classical([0, 1], [false, true]).unwrap();
+        assert_eq!(ac.circuit().num_qubits(), 4);
+        assert_eq!(ac.circuit().num_clbits(), 2);
+        // Expected-one qubit gets an X prep on its ancilla.
+        assert_eq!(ac.circuit().count_ops()["x"], 1);
+        assert_eq!(ac.circuit().count_ops()["cx"], 2);
+        assert_eq!(ac.circuit().count_ops()["measure"], 2);
+    }
+
+    #[test]
+    fn entanglement_assertion_even_qubits_uses_k_cnots() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        // Bell prep has 1 cx; the assertion adds exactly 2.
+        assert_eq!(ac.circuit().count_ops()["cx"], 3);
+        assert_eq!(ac.records()[0].ancillas.len(), 1);
+    }
+
+    #[test]
+    fn entanglement_assertion_odd_qubits_duplicates_last_cnot() {
+        let mut ac = AssertingCircuit::new(library::ghz(3));
+        ac.assert_entangled([0, 1, 2], Parity::Even).unwrap();
+        // GHZ(3) prep has 2 cx; the even-count rule adds 4, not 3.
+        assert_eq!(ac.circuit().count_ops()["cx"], 6);
+    }
+
+    #[test]
+    fn odd_parity_prepends_x_on_ancilla() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
+        ac.assert_entangled([0, 1], Parity::Odd).unwrap();
+        assert_eq!(ac.circuit().count_ops()["x"], 1);
+    }
+
+    #[test]
+    fn superposition_assertion_structure() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        let ops = ac.circuit().count_ops();
+        assert_eq!(ops["cx"], 2);
+        assert_eq!(ops["h"], 2);
+        assert_eq!(ops.get("x"), None);
+
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+        ac.assert_superposition(0, SuperpositionBasis::Minus).unwrap();
+        assert_eq!(ac.circuit().count_ops()["x"], 1);
+        // The |−⟩ variant also restores the tested qubit with a Z.
+        assert_eq!(ac.circuit().count_ops()["z"], 1);
+    }
+
+    #[test]
+    fn minus_assertion_preserves_minus_state_for_reuse() {
+        // |−⟩ in, assert Minus, then H should yield |1⟩ deterministically
+        // — only true if the assertion restored |−⟩.
+        let mut base = QuantumCircuit::new(1, 0);
+        base.x(0).unwrap().h(0).unwrap(); // |−⟩
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_superposition(0, SuperpositionBasis::Minus).unwrap();
+        ac.circuit_mut().h(0).unwrap();
+        ac.measure_data();
+        let dist = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(ac.circuit())
+            .unwrap();
+        // clbit 0 = assertion (0 = pass), clbit 1 = data (must be 1).
+        assert!((dist.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_mode_uses_pairwise_ancillas() {
+        let mut ac =
+            AssertingCircuit::new(library::ghz(4)).with_mode(EntanglementMode::Strong);
+        ac.assert_entangled([0, 1, 2, 3], Parity::Even).unwrap();
+        assert_eq!(ac.records()[0].ancillas.len(), 3);
+        assert_eq!(ac.records()[0].clbits.len(), 3);
+        // 3 GHZ-prep CXs + 2 per pair × 3 pairs.
+        assert_eq!(ac.circuit().count_ops()["cx"], 9);
+    }
+
+    #[test]
+    fn ancilla_reuse_recycles_wires() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0)).with_ancilla_reuse(true);
+        ac.assert_classical([0], [false]).unwrap();
+        ac.assert_classical([0], [false]).unwrap();
+        // One shared ancilla wire, two clbits, a reset between uses.
+        assert_eq!(ac.circuit().num_qubits(), 2);
+        assert_eq!(ac.circuit().num_clbits(), 2);
+        assert!(ac.circuit().count_ops()["reset"] >= 1);
+        assert_eq!(ac.records()[0].ancillas, ac.records()[1].ancillas);
+    }
+
+    #[test]
+    fn without_reuse_each_assertion_gets_fresh_ancilla() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+        ac.assert_classical([0], [false]).unwrap();
+        ac.assert_classical([0], [false]).unwrap();
+        assert_eq!(ac.circuit().num_qubits(), 3);
+        assert_ne!(ac.records()[0].ancillas, ac.records()[1].ancillas);
+    }
+
+    #[test]
+    fn clbit_partition_separates_assertion_and_data_bits() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let assertion_bits = ac.assertion_clbits();
+        let data_bits = ac.data_clbits();
+        assert_eq!(assertion_bits.len(), 1);
+        assert_eq!(data_bits.len(), 2);
+        assert_eq!(
+            assertion_bits.len() + data_bits.len(),
+            ac.circuit().num_clbits()
+        );
+    }
+
+    #[test]
+    fn invalid_targets_are_rejected() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+        assert!(matches!(
+            ac.assert_classical([5], [false]),
+            Err(AssertError::QubitOutOfRange { qubit: 5, num_qubits: 1 })
+        ));
+    }
+
+    #[test]
+    fn program_logic_can_continue_after_assertion() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
+        ac.circuit_mut().h(0).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        // Keep computing on the data qubits after the check.
+        ac.circuit_mut().cx(0, 1).unwrap();
+        ac.measure_data();
+        assert!(ac.circuit().len() > 5);
+    }
+
+    #[test]
+    fn into_parts_returns_everything() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        let (circuit, records) = ac.into_parts();
+        assert_eq!(records.len(), 1);
+        assert!(circuit.num_qubits() == 3);
+    }
+
+    #[test]
+    fn assertion_gates_touch_only_expected_wires() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        let anc = ac.records()[0].ancillas[0];
+        // Every CX added by the assertion targets the ancilla.
+        let assertion_cxs: Vec<_> = ac
+            .circuit()
+            .instructions()
+            .iter()
+            .filter(|i| i.as_gate() == Some(&Gate::Cx) && i.qubits()[1] == anc)
+            .collect();
+        assert_eq!(assertion_cxs.len(), 2);
+    }
+}

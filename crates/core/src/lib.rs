@@ -1,0 +1,68 @@
+//! Dynamic runtime assertions for quantum programs.
+//!
+//! This crate implements the primary contribution of Zhou & Byrd,
+//! *Quantum Circuits for Dynamic Runtime Assertions in Quantum
+//! Computation* (ASPLOS 2020): runtime assertions that check quantum
+//! program state **without stopping execution**, by entangling an ancilla
+//! qubit with the qubits under test and measuring only the ancilla.
+//!
+//! Three assertion families (paper Section 3):
+//!
+//! * [`Assertion::Classical`] — `(ψ == |0⟩)` / `(ψ == |1⟩)` per qubit
+//!   (Fig. 2): one CNOT into a per-qubit ancilla,
+//! * [`Assertion::Entanglement`] — GHZ-type parity (Figs. 3–4): CNOTs
+//!   from each qubit into one ancilla, with the even-count rule so the
+//!   ancilla disentangles,
+//! * [`Assertion::Superposition`] — `(ψ == |+⟩/|−⟩)` (Fig. 5):
+//!   `CX; H⊗H; CX`.
+//!
+//! An ancilla measuring **1 signals an assertion error**. Beyond
+//! debugging, the measurements filter erroneous NISQ shots
+//! ([`filter::ErrorReduction`], paper Section 4 / Tables 1–2), and the
+//! ancilla measurement can *project* the tested qubits into the asserted
+//! subspace ([`theory`], verified against the Section 3 proofs).
+//!
+//! The stop-and-measure [`statistical`] baseline (Huang & Martonosi,
+//! ISCA'19) is included for comparison; its verdicts report
+//! `program_continues = false`, the limitation dynamic assertions
+//! remove.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qassert::{run_with_assertions, AssertingCircuit, Parity};
+//! use qcircuit::library;
+//! use qsim::StatevectorBackend;
+//!
+//! # fn main() -> Result<(), qassert::AssertError> {
+//! // Build a Bell pair, assert its entanglement mid-circuit, keep going.
+//! let mut program = AssertingCircuit::new(library::bell());
+//! program.assert_entangled([0, 1], Parity::Even)?;
+//! program.measure_data();
+//!
+//! let outcome = run_with_assertions(&StatevectorBackend::new(), &program, 1024)?;
+//! assert_eq!(outcome.assertion_error_rate, 0.0); // correct program
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assertion;
+pub mod error;
+pub mod estimate;
+pub mod filter;
+pub mod instrument;
+pub mod mitigation;
+pub mod report;
+pub mod runtime;
+pub mod statistical;
+pub mod theory;
+
+pub use assertion::{Assertion, EntanglementMode, Parity, SuperpositionBasis};
+pub use error::AssertError;
+pub use estimate::Estimate;
+pub use filter::{assertion_error_rate, error_rate, filter_assertion_bits, ErrorReduction};
+pub use mitigation::ReadoutMitigator;
+pub use instrument::{AssertingCircuit, AssertionId, AssertionRecord};
+pub use report::{Comparison, ExperimentReport, OutcomeRow, OutcomeTable};
+pub use runtime::{analyze, run_with_assertions, AssertionOutcome, AssertionStats};
+pub use statistical::{StatisticalAssertion, StatisticalKind, StatisticalVerdict};

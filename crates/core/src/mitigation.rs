@@ -1,0 +1,300 @@
+//! Readout-error mitigation (extension).
+//!
+//! On the `ibmqx4` generation, measurement assignment error was the
+//! single largest error source — it is a big part of what the paper's
+//! assertion filtering removes. This module implements the standard
+//! complementary technique: invert the known per-qubit assignment
+//! matrices on the measured histogram. Because the full `2^n × 2^n`
+//! calibration matrix is a tensor product of per-qubit 2×2 matrices, the
+//! inverse is applied bitwise in `O(n·2^n)` without building it.
+//!
+//! The `mitigation` ablation compares assertion filtering, readout
+//! mitigation, and their combination on the Table-2 workload.
+
+use crate::error::AssertError;
+use qcircuit::ClbitId;
+use qnoise::{NoiseModel, ReadoutError};
+use qsim::Counts;
+
+/// Inverts per-clbit readout assignment errors on measured histograms.
+///
+/// # Example
+///
+/// ```
+/// use qassert::mitigation::ReadoutMitigator;
+/// use qnoise::ReadoutError;
+/// use qsim::Counts;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // True distribution: always 0; readout flips 10% of them to 1.
+/// let observed = Counts::from_pairs(1, [(0, 900), (1, 100)]);
+/// let mitigator = ReadoutMitigator::new(vec![ReadoutError::new(0.1, 0.0)?]);
+/// let corrected = mitigator.mitigate(&observed);
+/// assert!((corrected[0] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReadoutMitigator {
+    /// Assignment error of clbit `i` (the error of the qubit measured
+    /// into it).
+    per_clbit: Vec<ReadoutError>,
+}
+
+impl ReadoutMitigator {
+    /// Builds a mitigator from explicit per-clbit readout errors.
+    pub fn new(per_clbit: Vec<ReadoutError>) -> Self {
+        ReadoutMitigator { per_clbit }
+    }
+
+    /// Builds a mitigator for a circuit's measurement map under a noise
+    /// model: `qubit_of_clbit[i]` names the qubit measured into clbit
+    /// `i`.
+    pub fn from_noise_model(
+        model: &NoiseModel,
+        qubit_of_clbit: &[qcircuit::QubitId],
+    ) -> Self {
+        ReadoutMitigator {
+            per_clbit: qubit_of_clbit
+                .iter()
+                .map(|q| model.readout_error(*q))
+                .collect(),
+        }
+    }
+
+    /// Number of classical bits covered.
+    pub fn num_bits(&self) -> usize {
+        self.per_clbit.len()
+    }
+
+    /// Applies the inverse assignment map, returning quasi-probabilities
+    /// over all `2^n` outcomes (entries may be slightly negative due to
+    /// statistical noise; see [`ReadoutMitigator::mitigate_clipped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the histogram's width differs from the mitigator's.
+    pub fn mitigate(&self, observed: &Counts) -> Vec<f64> {
+        assert_eq!(
+            observed.num_bits(),
+            self.per_clbit.len(),
+            "histogram width does not match mitigator"
+        );
+        let mut p = observed.probabilities_vec();
+        for (bit, ro) in self.per_clbit.iter().enumerate() {
+            if ro.is_ideal() {
+                continue;
+            }
+            // Per-bit assignment matrix M = [[1−ε₀, ε₁], [ε₀, 1−ε₁]];
+            // apply M⁻¹ = 1/det · [[1−ε₁, −ε₁], [−ε₀, 1−ε₀]] on the bit.
+            let e0 = ro.p_meas1_given0();
+            let e1 = ro.p_meas0_given1();
+            let det = 1.0 - e0 - e1;
+            assert!(
+                det.abs() > 1e-9,
+                "assignment matrix for bit {bit} is singular (ε₀ + ε₁ ≈ 1)"
+            );
+            let stride = 1usize << bit;
+            let len = p.len();
+            let mut base = 0usize;
+            while base < len {
+                for offset in base..base + stride {
+                    let lo = p[offset];
+                    let hi = p[offset + stride];
+                    p[offset] = ((1.0 - e1) * lo - e1 * hi) / det;
+                    p[offset + stride] = (-e0 * lo + (1.0 - e0) * hi) / det;
+                }
+                base += 2 * stride;
+            }
+        }
+        p
+    }
+
+    /// Like [`ReadoutMitigator::mitigate`] but clips negative
+    /// quasi-probabilities to zero and renormalizes — the standard
+    /// projection back onto the probability simplex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::NoShotsKept`] when everything clips to
+    /// zero (pathological input).
+    pub fn mitigate_clipped(&self, observed: &Counts) -> Result<Vec<f64>, AssertError> {
+        let mut p = self.mitigate(observed);
+        let mut total = 0.0;
+        for v in &mut p {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+            total += *v;
+        }
+        if total <= 0.0 {
+            return Err(AssertError::NoShotsKept);
+        }
+        for v in &mut p {
+            *v /= total;
+        }
+        Ok(p)
+    }
+}
+
+/// Error rate of a mitigated probability vector under a correctness
+/// predicate over outcome keys.
+pub fn mitigated_error_rate(probs: &[f64], is_correct: impl Fn(u64) -> bool) -> f64 {
+    probs
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !is_correct(*k as u64))
+        .map(|(_, p)| p.max(0.0))
+        .sum()
+}
+
+/// Convenience: restrict a mitigated probability vector to the shots
+/// passing the assertion bits, renormalized — combining both techniques.
+///
+/// # Errors
+///
+/// Returns [`AssertError::NoShotsKept`] when no probability mass passes.
+pub fn filter_mitigated(
+    probs: &[f64],
+    assertion_clbits: &[ClbitId],
+) -> Result<Vec<f64>, AssertError> {
+    let mut out = vec![0.0; probs.len()];
+    let mut kept = 0.0;
+    for (k, p) in probs.iter().enumerate() {
+        let pass = assertion_clbits
+            .iter()
+            .all(|c| (k >> c.index()) & 1 == 0);
+        if pass && *p > 0.0 {
+            out[k] = *p;
+            kept += *p;
+        }
+    }
+    if kept <= 0.0 {
+        return Err(AssertError::NoShotsKept);
+    }
+    for v in &mut out {
+        *v /= kept;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_inversion_recovers_true_distribution() {
+        // True distribution 70/30 over 1 bit; known readout error.
+        let ro = ReadoutError::new(0.08, 0.12).unwrap();
+        let p_true = [0.7f64, 0.3f64];
+        // Forward-apply the assignment matrix.
+        let observed0 = (1.0 - 0.08) * p_true[0] + 0.12 * p_true[1];
+        let observed1 = 0.08 * p_true[0] + (1.0 - 0.12) * p_true[1];
+        let counts = Counts::from_pairs(
+            1,
+            [
+                (0, (observed0 * 1e6).round() as u64),
+                (1, (observed1 * 1e6).round() as u64),
+            ],
+        );
+        let corrected = ReadoutMitigator::new(vec![ro]).mitigate(&counts);
+        assert!((corrected[0] - 0.7).abs() < 1e-4);
+        assert!((corrected[1] - 0.3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multi_bit_inversion_is_tensor_structured() {
+        // Two bits with different errors; true distribution all on 0b10.
+        let ro0 = ReadoutError::new(0.05, 0.05).unwrap();
+        let ro1 = ReadoutError::new(0.10, 0.02).unwrap();
+        // Forward model applied manually to point mass on (b1=1, b0=0).
+        let mut observed = [0.0f64; 4];
+        for rec0 in 0..2usize {
+            for rec1 in 0..2usize {
+                let p = ro0.p_record(false, rec0 == 1) * ro1.p_record(true, rec1 == 1);
+                observed[rec0 + 2 * rec1] += p;
+            }
+        }
+        let counts = Counts::from_pairs(
+            2,
+            observed
+                .iter()
+                .enumerate()
+                .map(|(k, p)| (k as u64, (p * 1e7).round() as u64)),
+        );
+        let corrected = ReadoutMitigator::new(vec![ro0, ro1]).mitigate(&counts);
+        assert!((corrected[0b10] - 1.0).abs() < 1e-4, "{corrected:?}");
+    }
+
+    #[test]
+    fn ideal_mitigator_is_identity() {
+        let counts = Counts::from_pairs(2, [(0, 10), (3, 30)]);
+        let m = ReadoutMitigator::new(vec![ReadoutError::ideal(); 2]);
+        let p = m.mitigate(&counts);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[3] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_projects_back_to_simplex() {
+        // Overcorrection can push small probabilities negative.
+        let ro = ReadoutError::new(0.3, 0.3).unwrap();
+        let counts = Counts::from_pairs(1, [(0, 999), (1, 1)]);
+        let m = ReadoutMitigator::new(vec![ro]);
+        let raw = m.mitigate(&counts);
+        assert!(raw[1] < 0.0, "expected a negative quasi-probability");
+        let clipped = m.mitigate_clipped(&counts).unwrap();
+        assert!(clipped.iter().all(|p| *p >= 0.0));
+        assert!((clipped.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_assignment_matrix_panics() {
+        let ro = ReadoutError::new(0.5, 0.5).unwrap();
+        let counts = Counts::from_pairs(1, [(0, 1)]);
+        let _ = ReadoutMitigator::new(vec![ro]).mitigate(&counts);
+    }
+
+    #[test]
+    fn from_noise_model_picks_per_qubit_errors() {
+        let mut model = NoiseModel::new();
+        model.with_readout_error(2, ReadoutError::symmetric(0.07).unwrap());
+        let m = ReadoutMitigator::from_noise_model(
+            &model,
+            &[qcircuit::QubitId::new(2), qcircuit::QubitId::new(0)],
+        );
+        assert_eq!(m.num_bits(), 2);
+        // clbit 0 ← qubit 2 (noisy), clbit 1 ← qubit 0 (ideal).
+        let counts = Counts::from_pairs(2, [(0, 93), (1, 7)]);
+        let p = m.mitigate(&counts);
+        assert!(p[0] > 0.93);
+    }
+
+    #[test]
+    fn mitigated_error_rate_counts_wrong_mass() {
+        let probs = [0.8, 0.15, 0.05, 0.0];
+        let rate = mitigated_error_rate(&probs, |k| k == 0);
+        assert!((rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_mitigated_combines_both_techniques() {
+        // Bit 1 is the assertion bit.
+        let probs = [0.5, 0.2, 0.2, 0.1];
+        let kept = filter_mitigated(&probs, &[ClbitId::new(1)]).unwrap();
+        assert!((kept[0] - 0.5 / 0.7).abs() < 1e-12);
+        assert!((kept[1] - 0.2 / 0.7).abs() < 1e-12);
+        assert_eq!(kept[2], 0.0);
+        assert_eq!(kept[3], 0.0);
+    }
+
+    #[test]
+    fn filter_mitigated_rejects_empty_pass_set() {
+        let probs = [0.0, 0.0, 0.6, 0.4];
+        assert!(matches!(
+            filter_mitigated(&probs, &[ClbitId::new(1)]),
+            Err(AssertError::NoShotsKept)
+        ));
+    }
+}

@@ -1,0 +1,253 @@
+//! Paper-style result tables and serializable experiment reports.
+//!
+//! The experiment harness prints the same table shapes as the paper
+//! (Table 1's `q1q2 / % / Meaning` rows, Table 2's `q0q1q2` rows) and
+//! exports machine-readable records for `EXPERIMENTS.md`.
+
+use qsim::Counts;
+use serde::Serialize;
+
+/// One row of a paper-style outcome table.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct OutcomeRow {
+    /// The outcome bits rendered in the table's qubit order.
+    pub bits: String,
+    /// Share of shots, in percent.
+    pub percent: f64,
+    /// Interpretation of the outcome (e.g. "assertion error, q1 is 1").
+    pub meaning: String,
+}
+
+/// A paper-style outcome table.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct OutcomeTable {
+    /// Table caption.
+    pub title: String,
+    /// Header of the bits column (e.g. "q1q2").
+    pub bits_header: String,
+    /// The rows, in ascending outcome order.
+    pub rows: Vec<OutcomeRow>,
+}
+
+impl OutcomeTable {
+    /// Builds a table from counts.
+    ///
+    /// `bit_order[j]` names the clbit printed at string position `j`
+    /// (leftmost first), matching how the paper orders its columns.
+    /// `meaning` maps each rendered bitstring to its interpretation.
+    pub fn from_counts(
+        title: impl Into<String>,
+        bits_header: impl Into<String>,
+        counts: &Counts,
+        bit_order: &[usize],
+        meaning: impl Fn(&str) -> String,
+    ) -> OutcomeTable {
+        let total = counts.total().max(1) as f64;
+        let k = bit_order.len();
+        let mut rows = Vec::with_capacity(1 << k);
+        for pattern in 0..(1u64 << k) {
+            // `pattern` enumerates rendered strings in lexicographic
+            // order: bit j of the string (from the left) set means a '1'
+            // at position j.
+            let bits: String = (0..k)
+                .map(|j| {
+                    if (pattern >> (k - 1 - j)) & 1 == 1 {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect();
+            // Accumulate all keys that render to this pattern.
+            let n: u64 = counts
+                .iter()
+                .filter(|(key, _)| counts.bitstring_custom(*key, bit_order) == bits)
+                .map(|(_, n)| n)
+                .sum();
+            rows.push(OutcomeRow {
+                meaning: meaning(&bits),
+                percent: 100.0 * n as f64 / total,
+                bits,
+            });
+        }
+        OutcomeTable {
+            title: title.into(),
+            bits_header: bits_header.into(),
+            rows,
+        }
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{:>8} {:>8}  {}\n", self.bits_header, "%", "Meaning"));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:>8} {:>7.2}%  {}\n",
+                row.bits, row.percent, row.meaning
+            ));
+        }
+        out
+    }
+}
+
+/// A paper-vs-measured comparison line for `EXPERIMENTS.md`.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Comparison {
+    /// What is being compared (e.g. "raw error rate").
+    pub metric: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction measured.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison line.
+    pub fn new(metric: impl Into<String>, paper: f64, measured: f64) -> Self {
+        Comparison {
+            metric: metric.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// Whether the measured value has the same sign of effect and the
+    /// same order of magnitude — the reproduction bar for a simulated
+    /// substrate (absolute hardware numbers are not recoverable).
+    pub fn shape_holds(&self) -> bool {
+        if self.paper == 0.0 {
+            return self.measured.abs() < 1e-6;
+        }
+        let ratio = self.measured / self.paper;
+        ratio > 0.0 && (0.1..=10.0).contains(&ratio)
+    }
+}
+
+/// A complete experiment report.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id from DESIGN.md (e.g. "table1").
+    pub id: String,
+    /// What the experiment reproduces.
+    pub description: String,
+    /// Rendered outcome tables.
+    pub tables: Vec<OutcomeTable>,
+    /// Paper-vs-measured comparisons.
+    pub comparisons: Vec<Comparison>,
+    /// Free-form notes (calibration caveats, etc.).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            description: description.into(),
+            tables: Vec::new(),
+            comparisons: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} — {}\n", self.id, self.description));
+        for t in &self.tables {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        if !self.comparisons.is_empty() {
+            out.push_str("\npaper vs measured:\n");
+            for c in &self.comparisons {
+                out.push_str(&format!(
+                    "  {:<38} paper {:>8.3}  measured {:>8.3}  [{}]\n",
+                    c.metric,
+                    c.paper,
+                    c.measured,
+                    if c.shape_holds() { "shape ok" } else { "DIVERGES" }
+                ));
+            }
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_counts() -> Counts {
+        // bit 0 = q1 data, bit 1 = q2 ancilla.
+        Counts::from_pairs(2, [(0b00, 938), (0b10, 27), (0b01, 24), (0b11, 11)])
+    }
+
+    #[test]
+    fn table_rows_cover_all_patterns_in_order() {
+        let t = OutcomeTable::from_counts(
+            "Table 1",
+            "q1q2",
+            &table1_counts(),
+            &[0, 1], // q1 printed first, ancilla q2 second
+            |bits| format!("outcome {bits}"),
+        );
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0].bits, "00");
+        assert_eq!(t.rows[3].bits, "11");
+        // 0b00 key renders "00": 93.8%.
+        assert!((t.rows[0].percent - 93.8).abs() < 1e-9);
+        // key 0b10 (ancilla=1, q1=0) renders "01" in q1q2 order: 2.7%.
+        assert!((t.rows[1].percent - 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let t = OutcomeTable::from_counts("t", "b", &table1_counts(), &[0, 1], |_| String::new());
+        let sum: f64 = t.rows.iter().map(|r| r.percent).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let t = OutcomeTable::from_counts("Table X", "q1q2", &table1_counts(), &[0, 1], |b| {
+            format!("m{b}")
+        });
+        let s = t.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("93.80%"));
+        assert!(s.contains("m00"));
+    }
+
+    #[test]
+    fn comparison_shape_check() {
+        assert!(Comparison::new("x", 0.285, 0.31).shape_holds());
+        assert!(Comparison::new("x", 0.285, 0.04).shape_holds()); // same order-ish
+        assert!(!Comparison::new("x", 0.285, -0.2).shape_holds()); // wrong sign
+        assert!(!Comparison::new("x", 0.285, 9.0).shape_holds()); // 30x off
+        assert!(Comparison::new("zero", 0.0, 0.0).shape_holds());
+    }
+
+    #[test]
+    fn report_renders_sections() {
+        let mut r = ExperimentReport::new("table1", "classical assertion");
+        r.comparisons.push(Comparison::new("raw error", 0.035, 0.031));
+        r.notes.push("calibration is era-ballpark".to_string());
+        let s = r.render();
+        assert!(s.contains("=== table1"));
+        assert!(s.contains("shape ok"));
+        assert!(s.contains("note: calibration"));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let r = ExperimentReport::new("fig6", "quirk classical");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"id\":\"fig6\""));
+    }
+}

@@ -1,0 +1,259 @@
+//! The assertion runtime: execute an instrumented circuit and analyze
+//! its assertion outcomes.
+
+use crate::error::AssertError;
+use crate::filter::{assertion_error_rate, filter_assertion_bits};
+use crate::instrument::{AssertingCircuit, AssertionRecord};
+use qcircuit::ClbitId;
+use qsim::{Backend, Counts, RunResult};
+
+/// Per-assertion runtime statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssertionStats {
+    /// The record describing the instrumented assertion.
+    pub record: AssertionRecord,
+    /// Fraction of shots in which this assertion fired (any of its
+    /// clbits read 1).
+    pub error_rate: f64,
+    /// Absolute number of shots in which it fired.
+    pub fired: u64,
+}
+
+/// The analyzed outcome of running an asserting circuit.
+#[derive(Clone, Debug)]
+pub struct AssertionOutcome {
+    /// The backend's raw result (all shots, full classical register).
+    pub raw: RunResult,
+    /// Shots surviving assertion filtering (full keys preserved).
+    pub kept: Counts,
+    /// Raw counts marginalized onto the data clbits (bit `j` of a key is
+    /// `data_clbits[j]`).
+    pub data_raw: Counts,
+    /// Kept counts marginalized onto the data clbits.
+    pub data_kept: Counts,
+    /// Fraction of shots flagged by at least one assertion.
+    pub assertion_error_rate: f64,
+    /// Per-assertion firing statistics, in instrumentation order.
+    pub per_assertion: Vec<AssertionStats>,
+    /// The data clbit indices backing `data_raw`/`data_kept` keys.
+    pub data_clbits: Vec<ClbitId>,
+}
+
+impl AssertionOutcome {
+    /// Shots surviving the filter.
+    pub fn shots_kept(&self) -> u64 {
+        self.kept.total()
+    }
+}
+
+/// Runs an instrumented circuit on `backend` and analyzes assertion
+/// outcomes.
+///
+/// # Errors
+///
+/// Returns [`AssertError::Sim`] when execution fails and
+/// [`AssertError::NoShotsKept`] when the filter removes everything.
+///
+/// # Example
+///
+/// ```
+/// use qassert::{run_with_assertions, AssertingCircuit, Parity};
+/// use qcircuit::library;
+/// use qsim::StatevectorBackend;
+///
+/// # fn main() -> Result<(), qassert::AssertError> {
+/// let mut ac = AssertingCircuit::new(library::bell());
+/// ac.assert_entangled([0, 1], Parity::Even)?;
+/// ac.measure_data();
+/// let outcome = run_with_assertions(&StatevectorBackend::new(), &ac, 500)?;
+/// // A correct Bell pair never trips the assertion on an ideal backend.
+/// assert_eq!(outcome.assertion_error_rate, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_with_assertions<B: Backend + ?Sized>(
+    backend: &B,
+    asserting: &AssertingCircuit,
+    shots: u64,
+) -> Result<AssertionOutcome, AssertError> {
+    let raw = backend.run(asserting.circuit(), shots)?;
+    analyze(raw, asserting)
+}
+
+/// Analyzes an existing backend result against an asserting circuit's
+/// records (useful when the caller ran the circuit itself, e.g. after
+/// transpilation).
+///
+/// # Errors
+///
+/// Returns [`AssertError::NoShotsKept`] when filtering removes every
+/// shot.
+pub fn analyze(
+    raw: RunResult,
+    asserting: &AssertingCircuit,
+) -> Result<AssertionOutcome, AssertError> {
+    let assertion_clbits = asserting.assertion_clbits();
+    let data_clbits = asserting.data_clbits();
+
+    let kept = filter_assertion_bits(&raw.counts, &assertion_clbits);
+    if raw.counts.total() > 0 && kept.total() == 0 {
+        return Err(AssertError::NoShotsKept);
+    }
+    let overall = assertion_error_rate(&raw.counts, &assertion_clbits);
+
+    let per_assertion = asserting
+        .records()
+        .iter()
+        .map(|record| {
+            let rate = assertion_error_rate(&raw.counts, &record.clbits);
+            let fired = (rate * raw.counts.total() as f64).round() as u64;
+            AssertionStats {
+                record: record.clone(),
+                error_rate: rate,
+                fired,
+            }
+        })
+        .collect();
+
+    let data_bit_indices: Vec<usize> = data_clbits.iter().map(|c| c.index()).collect();
+    let data_raw = raw.counts.marginal(&data_bit_indices);
+    let data_kept = kept.marginal(&data_bit_indices);
+
+    Ok(AssertionOutcome {
+        raw,
+        kept,
+        data_raw,
+        data_kept,
+        assertion_error_rate: overall,
+        per_assertion,
+        data_clbits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::{Parity, SuperpositionBasis};
+    use qcircuit::{library, QuantumCircuit};
+    use qnoise::presets;
+    use qsim::{DensityMatrixBackend, StatevectorBackend};
+
+    #[test]
+    fn correct_bell_never_fires_on_ideal_backend() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let outcome =
+            run_with_assertions(&StatevectorBackend::new().with_seed(1), &ac, 1000).unwrap();
+        assert_eq!(outcome.assertion_error_rate, 0.0);
+        assert_eq!(outcome.shots_kept(), 1000);
+        // Data marginal still shows the Bell correlation.
+        assert_eq!(outcome.data_kept.get(0b01) + outcome.data_kept.get(0b10), 0);
+    }
+
+    #[test]
+    fn classical_assertion_on_wrong_value_always_fires() {
+        let mut base = QuantumCircuit::new(1, 0);
+        base.x(0).unwrap(); // |1⟩, but we assert == |0⟩
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        ac.measure_data();
+        let outcome =
+            run_with_assertions(&StatevectorBackend::new().with_seed(2), &ac, 64);
+        // Every shot fires the assertion → filter removes everything.
+        assert!(matches!(outcome, Err(AssertError::NoShotsKept)));
+    }
+
+    #[test]
+    fn classical_assertion_expected_one_passes() {
+        let mut base = QuantumCircuit::new(1, 0);
+        base.x(0).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [true]).unwrap();
+        ac.measure_data();
+        let outcome =
+            run_with_assertions(&StatevectorBackend::new().with_seed(3), &ac, 200).unwrap();
+        assert_eq!(outcome.assertion_error_rate, 0.0);
+    }
+
+    #[test]
+    fn superposition_on_classical_input_fires_half_the_time() {
+        // Fig. 7: classical input asserted as |+⟩ → 50% assertion error.
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.measure_data();
+        let outcome =
+            run_with_assertions(&StatevectorBackend::new().with_seed(4), &ac, 4000).unwrap();
+        assert!(
+            (outcome.assertion_error_rate - 0.5).abs() < 0.03,
+            "rate = {}",
+            outcome.assertion_error_rate
+        );
+    }
+
+    #[test]
+    fn per_assertion_stats_are_separated() {
+        // First assertion correct (never fires), second wrong (always
+        // fires) — per-assertion stats must distinguish them.
+        let mut base = QuantumCircuit::new(2, 0);
+        base.x(1).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap(); // holds
+        ac.assert_classical([1], [false]).unwrap(); // violated
+        ac.measure_data();
+        let raw = StatevectorBackend::new()
+            .with_seed(5)
+            .run(ac.circuit(), 100)
+            .unwrap();
+        let outcome = analyze(raw, &ac);
+        // Filtering removes everything (second always fires)...
+        assert!(matches!(outcome, Err(AssertError::NoShotsKept)));
+        // ...so check stats without filtering via a fresh run keeping raw.
+        let raw = StatevectorBackend::new()
+            .with_seed(5)
+            .run(ac.circuit(), 100)
+            .unwrap();
+        let assertion_bits = ac.assertion_clbits();
+        assert_eq!(assertion_bits.len(), 2);
+        let first_rate = assertion_error_rate(&raw.counts, &ac.records()[0].clbits);
+        let second_rate = assertion_error_rate(&raw.counts, &ac.records()[1].clbits);
+        assert_eq!(first_rate, 0.0);
+        assert_eq!(second_rate, 1.0);
+    }
+
+    #[test]
+    fn noisy_backend_shows_filtering_benefit() {
+        // Bell pair under depolarizing noise: filtered error < raw error.
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let backend = DensityMatrixBackend::new(presets::uniform(3, 0.003, 0.03, 0.02).unwrap());
+        let outcome = run_with_assertions(&backend, &ac, 100_000).unwrap();
+        assert!(outcome.assertion_error_rate > 0.0);
+
+        // Data bits: bit 0 = q0, bit 1 = q1; correct Bell outcomes agree.
+        let correct = |key: u64| (key & 1) == ((key >> 1) & 1);
+        let raw_err = crate::filter::error_rate(&outcome.data_raw, correct);
+        let kept_err = crate::filter::error_rate(&outcome.data_kept, correct);
+        assert!(
+            kept_err < raw_err,
+            "filtering did not help: raw {raw_err}, kept {kept_err}"
+        );
+    }
+
+    #[test]
+    fn data_marginals_use_data_bit_order() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let outcome =
+            run_with_assertions(&StatevectorBackend::new().with_seed(6), &ac, 500).unwrap();
+        assert_eq!(outcome.data_raw.num_bits(), 2);
+        assert_eq!(outcome.data_clbits.len(), 2);
+        // All mass on 00/11 in data space.
+        assert_eq!(
+            outcome.data_raw.get(0b00) + outcome.data_raw.get(0b11),
+            500
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! The statistical-assertion baseline (Huang & Martonosi, ISCA'19).
+//!
+//! The paper positions its dynamic assertions against the prior
+//! statistical approach: stop the program at the assertion point, measure
+//! the qubits of interest over many repeated truncated runs, and apply a
+//! χ² hypothesis test against the asserted distribution. The fundamental
+//! limitation (the paper's motivation) is reproduced faithfully here:
+//! a statistical assertion **consumes the measured state**, so the
+//! program cannot continue past the check — see
+//! [`StatisticalVerdict::program_continues`], which is always `false`.
+
+use crate::error::AssertError;
+use qcircuit::{QuantumCircuit, QubitId};
+use qmath::stats::{chi2_goodness_of_fit, Chi2Outcome};
+use qsim::Backend;
+
+/// The distribution class a statistical assertion tests against.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StatisticalKind {
+    /// All mass on one classical value per qubit.
+    Classical {
+        /// Expected bit per asserted qubit.
+        expected: Vec<bool>,
+    },
+    /// The uniform distribution over all `2^k` outcomes of the asserted
+    /// qubits.
+    UniformSuperposition,
+    /// GHZ-type correlation: equal mass on all-zeros and all-ones,
+    /// nothing elsewhere.
+    EntangledGhz,
+}
+
+/// A stop-and-measure statistical assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatisticalAssertion {
+    qubits: Vec<QubitId>,
+    kind: StatisticalKind,
+    alpha: f64,
+}
+
+/// The verdict of a statistical assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatisticalVerdict {
+    /// The χ² test outcome (statistic, dof, p-value).
+    pub chi2: Chi2Outcome,
+    /// `true` when the observed histogram is consistent with the
+    /// asserted distribution at the configured significance level.
+    pub passed: bool,
+    /// Shots consumed by the check (all measured destructively).
+    pub shots_used: u64,
+    /// Whether the program can continue after the check. Statistical
+    /// assertions measure the data qubits themselves, so this is always
+    /// `false` — the limitation dynamic assertions remove.
+    pub program_continues: bool,
+}
+
+impl StatisticalAssertion {
+    /// Creates a statistical assertion over `qubits` at significance
+    /// level `alpha` (e.g. 0.05).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::TooFewQubits`] for an empty qubit list or
+    /// [`AssertError::ExpectedLengthMismatch`] for a classical kind with
+    /// the wrong number of expected bits.
+    pub fn new<Q: Into<QubitId>>(
+        qubits: impl IntoIterator<Item = Q>,
+        kind: StatisticalKind,
+        alpha: f64,
+    ) -> Result<Self, AssertError> {
+        let qubits: Vec<QubitId> = qubits.into_iter().map(Into::into).collect();
+        if qubits.is_empty() {
+            return Err(AssertError::TooFewQubits { got: 0, needed: 1 });
+        }
+        if let StatisticalKind::Classical { expected } = &kind {
+            if expected.len() != qubits.len() {
+                return Err(AssertError::ExpectedLengthMismatch {
+                    qubits: qubits.len(),
+                    expected: expected.len(),
+                });
+            }
+        }
+        Ok(StatisticalAssertion {
+            qubits,
+            kind,
+            alpha,
+        })
+    }
+
+    /// The asserted qubits.
+    pub fn qubits(&self) -> &[QubitId] {
+        &self.qubits
+    }
+
+    /// The expected probability of each of the `2^k` outcomes, indexed
+    /// with asserted-qubit `j` at bit `j`.
+    pub fn expected_distribution(&self) -> Vec<f64> {
+        let k = self.qubits.len();
+        let dim = 1usize << k;
+        match &self.kind {
+            StatisticalKind::Classical { expected } => {
+                let mut target = 0usize;
+                for (j, e) in expected.iter().enumerate() {
+                    if *e {
+                        target |= 1 << j;
+                    }
+                }
+                let mut p = vec![0.0; dim];
+                p[target] = 1.0;
+                p
+            }
+            StatisticalKind::UniformSuperposition => vec![1.0 / dim as f64; dim],
+            StatisticalKind::EntangledGhz => {
+                let mut p = vec![0.0; dim];
+                p[0] = 0.5;
+                p[dim - 1] = 0.5;
+                p
+            }
+        }
+    }
+
+    /// Runs the statistical check: truncates the program at the
+    /// assertion point (i.e. takes `prefix` as-is), appends destructive
+    /// measurements of the asserted qubits, executes `shots` repetitions,
+    /// and χ²-tests the histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::Sim`] on execution failure or a wrapped
+    /// statistics error for degenerate histograms.
+    pub fn check<B: Backend + ?Sized>(
+        &self,
+        backend: &B,
+        prefix: &QuantumCircuit,
+        shots: u64,
+    ) -> Result<StatisticalVerdict, AssertError> {
+        // Destructive measurement of the asserted qubits only.
+        let mut measured = prefix.clone();
+        let mut clbits = Vec::with_capacity(self.qubits.len());
+        for q in &self.qubits {
+            let c = measured.add_clbit();
+            measured.measure(*q, c)?;
+            clbits.push(c);
+        }
+        let result = backend.run(&measured, shots)?;
+
+        // Histogram over the asserted qubits in assertion order.
+        let bit_indices: Vec<usize> = clbits.iter().map(|c| c.index()).collect();
+        let marginal = result.counts.marginal(&bit_indices);
+        let dim = 1usize << self.qubits.len();
+        let observed: Vec<u64> = (0..dim as u64).map(|k| marginal.get(k)).collect();
+
+        let expected = self.expected_distribution();
+        let chi2 = match chi2_goodness_of_fit(&observed, &expected) {
+            Ok(outcome) => outcome,
+            // A point-mass expectation with every observation on the
+            // expected value leaves fewer than two testable categories —
+            // that is a perfect match, not a test failure.
+            Err(qmath::stats::StatsError::DegenerateCategories) => Chi2Outcome {
+                statistic: 0.0,
+                dof: 1,
+                p_value: 1.0,
+            },
+            Err(_) => return Err(AssertError::Sim(qsim::SimError::AllShotsDiscarded)),
+        };
+        Ok(StatisticalVerdict {
+            passed: chi2.p_value >= self.alpha,
+            chi2,
+            shots_used: shots,
+            program_continues: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::library;
+    use qsim::StatevectorBackend;
+
+    fn backend() -> StatevectorBackend {
+        StatevectorBackend::new().with_seed(99)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(StatisticalAssertion::new(
+            [0, 1],
+            StatisticalKind::Classical { expected: vec![true] },
+            0.05
+        )
+        .is_err());
+        assert!(
+            StatisticalAssertion::new(Vec::<u32>::new(), StatisticalKind::EntangledGhz, 0.05)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn expected_distributions_are_normalized() {
+        let cases = [
+            StatisticalAssertion::new(
+                [0, 1],
+                StatisticalKind::Classical { expected: vec![true, false] },
+                0.05,
+            )
+            .unwrap(),
+            StatisticalAssertion::new([0, 1, 2], StatisticalKind::UniformSuperposition, 0.05)
+                .unwrap(),
+            StatisticalAssertion::new([0, 1], StatisticalKind::EntangledGhz, 0.05).unwrap(),
+        ];
+        for a in cases {
+            let p = a.expected_distribution();
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classical_expected_distribution_places_mass_correctly() {
+        let a = StatisticalAssertion::new(
+            [0, 1],
+            StatisticalKind::Classical { expected: vec![true, false] },
+            0.05,
+        )
+        .unwrap();
+        let p = a.expected_distribution();
+        // qubit 0 expected 1, qubit 1 expected 0 → index 0b01.
+        assert_eq!(p[0b01], 1.0);
+    }
+
+    #[test]
+    fn correct_classical_state_passes() {
+        let mut prefix = QuantumCircuit::new(2, 0);
+        prefix.x(1).unwrap();
+        let a = StatisticalAssertion::new(
+            [0, 1],
+            StatisticalKind::Classical { expected: vec![false, true] },
+            0.05,
+        )
+        .unwrap();
+        let verdict = a.check(&backend(), &prefix, 500).unwrap();
+        assert!(verdict.passed, "p = {}", verdict.chi2.p_value);
+        assert!(!verdict.program_continues);
+        assert_eq!(verdict.shots_used, 500);
+    }
+
+    #[test]
+    fn wrong_classical_state_fails() {
+        let mut prefix = QuantumCircuit::new(1, 0);
+        prefix.x(0).unwrap();
+        let a = StatisticalAssertion::new(
+            [0],
+            StatisticalKind::Classical { expected: vec![false] },
+            0.05,
+        )
+        .unwrap();
+        let verdict = a.check(&backend(), &prefix, 500).unwrap();
+        assert!(!verdict.passed);
+        assert_eq!(verdict.chi2.p_value, 0.0);
+    }
+
+    #[test]
+    fn uniform_superposition_passes_on_h_layer() {
+        let prefix = library::uniform_superposition(3);
+        let a =
+            StatisticalAssertion::new([0, 1, 2], StatisticalKind::UniformSuperposition, 0.01)
+                .unwrap();
+        let verdict = a.check(&backend(), &prefix, 4000).unwrap();
+        assert!(verdict.passed, "p = {}", verdict.chi2.p_value);
+    }
+
+    #[test]
+    fn uniform_superposition_fails_on_biased_state() {
+        let mut prefix = QuantumCircuit::new(2, 0);
+        prefix.h(0).unwrap(); // qubit 1 stays |0⟩ → not uniform over 4
+        let a = StatisticalAssertion::new([0, 1], StatisticalKind::UniformSuperposition, 0.05)
+            .unwrap();
+        let verdict = a.check(&backend(), &prefix, 2000).unwrap();
+        assert!(!verdict.passed);
+    }
+
+    #[test]
+    fn ghz_correlation_passes_on_bell_and_fails_on_product() {
+        let a = StatisticalAssertion::new([0, 1], StatisticalKind::EntangledGhz, 0.01).unwrap();
+        let verdict = a.check(&backend(), &library::bell(), 3000).unwrap();
+        assert!(verdict.passed, "p = {}", verdict.chi2.p_value);
+
+        // |+⟩⊗|+⟩ has the same marginals but no correlation.
+        let product = library::uniform_superposition(2);
+        let verdict = a.check(&backend(), &product, 3000).unwrap();
+        assert!(!verdict.passed);
+    }
+
+    #[test]
+    fn statistical_assertions_cannot_continue_the_program() {
+        // The baseline's structural limitation: the verdict reports that
+        // execution stopped.
+        let a = StatisticalAssertion::new([0, 1], StatisticalKind::EntangledGhz, 0.05).unwrap();
+        let verdict = a.check(&backend(), &library::bell(), 100).unwrap();
+        assert!(!verdict.program_continues);
+    }
+}

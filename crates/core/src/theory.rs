@@ -1,0 +1,152 @@
+//! Closed-form predictions from the paper's Section 3 proofs.
+//!
+//! Each assertion's proof derives the exact probability of the ancilla
+//! flagging an error as a function of the input amplitudes, plus the
+//! state the qubits under test are *forced into* by the ancilla
+//! measurement. These formulas back the `theory` experiment and the
+//! paper-proof test suite: the simulator must match them to machine
+//! precision on ideal backends.
+
+use qmath::Complex;
+
+/// Section 3.1 — classical assertion `(ψ == |0⟩)` on
+/// `|ψ⟩ = a|0⟩ + b|1⟩`: the ancilla reads 1 (assertion error) with
+/// probability `|b|²`.
+pub fn classical_error_probability(a: Complex, b: Complex) -> f64 {
+    let _ = a;
+    b.norm_sqr()
+}
+
+/// Section 3.1 — the state the qubit under test collapses to after the
+/// ancilla measurement: `|0⟩` on pass, `|1⟩` on error. Returned as the
+/// probability pair `(P(pass), P(error))` with the forced classical
+/// outcomes implied.
+pub fn classical_outcome_probabilities(a: Complex, b: Complex) -> (f64, f64) {
+    (a.norm_sqr(), b.norm_sqr())
+}
+
+/// Section 3.2 — entanglement assertion on a general two-qubit state
+/// `a|00⟩ + b|11⟩ + c|10⟩ + d|01⟩`: the ancilla flags an error with
+/// probability `|c|² + |d|²` (the odd-parity mass).
+pub fn entanglement_error_probability(a: Complex, b: Complex, c: Complex, d: Complex) -> f64 {
+    let _ = (a, b);
+    c.norm_sqr() + d.norm_sqr()
+}
+
+/// Section 3.3 — superposition assertion `(ψ == |+⟩)` on real
+/// amplitudes `a`, `b` (the paper's derivation assumes real
+/// coefficients): returns `(P(ancilla = 0), P(ancilla = 1))` =
+/// `((2 + 4ab)/4, (2 − 4ab)/4)`.
+pub fn superposition_outcome_probabilities(a: f64, b: f64) -> (f64, f64) {
+    ((2.0 + 4.0 * a * b) / 4.0, (2.0 - 4.0 * a * b) / 4.0)
+}
+
+/// Section 3.3 — for complex amplitudes the general form is
+/// `P(0) = |a + b|²/2`, `P(1) = |a − b|²/2` (which reduces to the real
+/// formula above).
+pub fn superposition_outcome_probabilities_complex(a: Complex, b: Complex) -> (f64, f64) {
+    let p0 = (a + b).norm_sqr() / 2.0;
+    let p1 = (a - b).norm_sqr() / 2.0;
+    (p0, p1)
+}
+
+/// Section 3.3 — after the superposition assertion's ancilla is
+/// measured, the qubit under test is forced into an equal-magnitude
+/// superposition `k|0⟩ + k|1⟩` (ancilla 0) or `k|0⟩ − k|1⟩` (ancilla 1)
+/// with `|k| = 1/√2`. Returns that magnitude.
+pub fn superposition_forced_magnitude() -> f64 {
+    std::f64::consts::FRAC_1_SQRT_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::FRAC_1_SQRT_2;
+
+    fn c(re: f64) -> Complex {
+        Complex::real(re)
+    }
+
+    #[test]
+    fn classical_error_is_excited_population() {
+        assert_eq!(classical_error_probability(c(1.0), c(0.0)), 0.0);
+        assert_eq!(classical_error_probability(c(0.0), c(1.0)), 1.0);
+        let p = classical_error_probability(c(0.6), c(0.8));
+        assert!((p - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classical_outcomes_partition() {
+        let (p0, p1) = classical_outcome_probabilities(c(0.6), c(0.8));
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entanglement_error_is_odd_parity_mass() {
+        // Perfect Bell state: never fires.
+        let s = FRAC_1_SQRT_2;
+        assert_eq!(
+            entanglement_error_probability(c(s), c(s), c(0.0), c(0.0)),
+            0.0
+        );
+        // Fully odd-parity state: always fires.
+        assert!(
+            (entanglement_error_probability(c(0.0), c(0.0), c(s), c(s)) - 1.0).abs() < 1e-12
+        );
+        // Mixed case.
+        let p = entanglement_error_probability(c(0.5), c(0.5), c(0.5), c(0.5));
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_plus_never_fires() {
+        let s = FRAC_1_SQRT_2;
+        let (p0, p1) = superposition_outcome_probabilities(s, s);
+        assert!((p0 - 1.0).abs() < 1e-12);
+        assert!(p1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_minus_always_fires() {
+        let s = FRAC_1_SQRT_2;
+        let (p0, p1) = superposition_outcome_probabilities(s, -s);
+        assert!(p0.abs() < 1e-12);
+        assert!((p1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_classical_input_is_fifty_fifty() {
+        // Paper: "In the case of |ψ⟩ being in a classical state ... equal
+        // probability of 50%".
+        for (a, b) in [(1.0, 0.0), (0.0, 1.0)] {
+            let (p0, p1) = superposition_outcome_probabilities(a, b);
+            assert!((p0 - 0.5).abs() < 1e-12);
+            assert!((p1 - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_form_reduces_to_real_form() {
+        // The reduction requires normalized amplitudes (a² + b² = 1).
+        for (a, b) in [(0.6, 0.8), (0.28, -0.96), (FRAC_1_SQRT_2, FRAC_1_SQRT_2)] {
+            let (r0, r1) = superposition_outcome_probabilities(a, b);
+            let (c0, c1) = superposition_outcome_probabilities_complex(c(a), c(b));
+            assert!((r0 - c0).abs() < 1e-9, "({a},{b}): {r0} vs {c0}");
+            assert!((r1 - c1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_probabilities_partition_for_unit_states() {
+        // a, b on the unit circle with |a|²+|b|² = 1.
+        let a = Complex::from_polar(0.6, 0.4);
+        let b = Complex::from_polar(0.8, -1.1);
+        let (p0, p1) = superposition_outcome_probabilities_complex(a, b);
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forced_magnitude_is_equal_superposition() {
+        assert!((superposition_forced_magnitude() - FRAC_1_SQRT_2).abs() < 1e-15);
+    }
+}

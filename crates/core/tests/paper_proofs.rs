@@ -1,0 +1,348 @@
+//! Machine-checked versions of the paper's Section 3 proofs.
+//!
+//! Every claim in the derivations of Sections 3.1–3.3 is asserted against
+//! the exact simulator: intermediate states, ancilla outcome
+//! probabilities, disentanglement of the ancilla, and the projection
+//! ("automatic correction") effects of measuring the ancilla.
+
+use qassert::{theory, AssertingCircuit, Parity, SuperpositionBasis};
+use qcircuit::{Gate, QuantumCircuit, QubitId};
+use qmath::Complex;
+use qsim::{DensityMatrix, StateVector};
+
+fn q(i: u32) -> QubitId {
+    QubitId::new(i)
+}
+
+/// Builds `a|0⟩ + b|1⟩` on qubit 0 of an n-qubit register via Ry.
+fn prepare_ry(n: usize, theta: f64) -> StateVector {
+    let mut psi = StateVector::zero_state(n);
+    psi.apply_gate(&Gate::Ry(theta), &[q(0)]).unwrap();
+    psi
+}
+
+// ------------------------- Section 3.1 ---------------------------------
+
+/// |ψ1⟩ = |ψ⟩⊗|0⟩ and |ψ2⟩ = a|00⟩ + b|11⟩: the CNOT entangles the
+/// ancilla exactly as the proof states.
+#[test]
+fn s31_cnot_produces_entangled_intermediate_state() {
+    let theta = 1.1f64;
+    let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let mut psi = prepare_ry(2, theta);
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    // amplitudes: index 0b00 → a, 0b11 → b, others 0.
+    assert!(psi.amplitude(0b00).approx_eq(Complex::real(a), 1e-12));
+    assert!(psi.amplitude(0b11).approx_eq(Complex::real(b), 1e-12));
+    assert!(psi.amplitude(0b01).norm() < 1e-12);
+    assert!(psi.amplitude(0b10).norm() < 1e-12);
+}
+
+/// Classical inputs: ancilla deterministically reproduces the qubit, so
+/// measuring it flags exactly the (ψ == |0⟩) violations.
+#[test]
+fn s31_classical_inputs_give_deterministic_ancilla() {
+    for (input_one, expected_error) in [(false, false), (true, true)] {
+        let mut base = QuantumCircuit::new(1, 0);
+        if input_one {
+            base.x(0).unwrap();
+        }
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        let dist = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(ac.circuit())
+            .unwrap();
+        let p_error = dist.probability(1); // assertion clbit is bit 0
+        assert!((p_error - f64::from(u8::from(expected_error))).abs() < 1e-12);
+    }
+}
+
+/// Superposition input: P(error) = |b|² (the proof's probability
+/// estimate), matching `theory::classical_error_probability`.
+#[test]
+fn s31_error_probability_matches_born_rule() {
+    for theta in [0.0f64, 0.4, 1.0, std::f64::consts::FRAC_PI_2, 2.5] {
+        let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let mut base = QuantumCircuit::new(1, 0);
+        base.ry(theta, 0).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        let dist = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(ac.circuit())
+            .unwrap();
+        let predicted =
+            theory::classical_error_probability(Complex::real(a), Complex::real(b));
+        assert!(
+            (dist.probability(1) - predicted).abs() < 1e-10,
+            "theta={theta}"
+        );
+    }
+}
+
+/// The projection effect (Fig. 6): passing the check forces a
+/// superposed qubit into |0⟩ — "the proposed circuit may have
+/// automatically corrected the qubit".
+#[test]
+fn s31_passing_check_projects_qubit_to_zero() {
+    let mut psi = prepare_ry(2, 1.3);
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    // Post-select the ancilla on 0 (QUIRK's post-select operator).
+    psi.post_select(q(1), false).unwrap();
+    assert!(psi.probability_of_one(q(0)).unwrap() < 1e-12);
+    // And on assertion error, the qubit is |1⟩.
+    let mut psi = prepare_ry(2, 1.3);
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    psi.post_select(q(1), true).unwrap();
+    assert!((psi.probability_of_one(q(0)).unwrap() - 1.0).abs() < 1e-12);
+}
+
+/// Asserting (ψ == |1⟩) by initializing the ancilla to |1⟩ (paper:
+/// "If we initialize the ancilla qubit to be |1⟩, the same circuit
+/// asserts (|ψ⟩ == |1⟩)").
+#[test]
+fn s31_ancilla_initialized_one_asserts_one() {
+    let mut base = QuantumCircuit::new(1, 0);
+    base.x(0).unwrap();
+    let mut ac = AssertingCircuit::new(base);
+    ac.assert_classical([0], [true]).unwrap();
+    let dist = qsim::DensityMatrixBackend::ideal()
+        .exact_distribution(ac.circuit())
+        .unwrap();
+    assert!((dist.probability(0) - 1.0).abs() < 1e-12); // never fires
+}
+
+// ------------------------- Section 3.2 ---------------------------------
+
+/// Entangled input a|00⟩+b|11⟩: |ψ3⟩ = |ψ⟩⊗|0⟩ — the ancilla
+/// disentangles and the tested state is unaffected.
+#[test]
+fn s32_entangled_input_leaves_ancilla_unentangled_and_state_intact() {
+    let theta = 0.9f64;
+    // Prepare a|00⟩ + b|11⟩ with a = cos(θ/2).
+    let mut psi = StateVector::zero_state(3);
+    psi.apply_gate(&Gate::Ry(theta), &[q(0)]).unwrap();
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    let reference = psi.clone();
+
+    // Parity check into ancilla q2 (two CNOTs).
+    psi.apply_gate(&Gate::Cx, &[q(0), q(2)]).unwrap();
+    psi.apply_gate(&Gate::Cx, &[q(1), q(2)]).unwrap();
+
+    // Ancilla must be exactly |0⟩ and unentangled: the full state equals
+    // the reference (which has the ancilla in |0⟩).
+    assert!((psi.fidelity(&reference).unwrap() - 1.0).abs() < 1e-12);
+    // Reduced ancilla state is pure |0⟩⟨0|.
+    let rho = DensityMatrix::from_statevector(&psi);
+    let anc = rho.trace_out(&[q(0), q(1)]).unwrap();
+    assert!((anc.get(0, 0).re - 1.0).abs() < 1e-12);
+    assert!((anc.purity() - 1.0).abs() < 1e-12);
+}
+
+/// Non-entangled input a|00⟩+b|11⟩+c|10⟩+d|01⟩: P(error) = |c|²+|d|²,
+/// and each ancilla outcome forces the state into the corresponding
+/// entangled subspace — the proof's |ψ3⟩ projection claims.
+#[test]
+fn s32_unentangled_input_probabilities_and_forcing() {
+    // Product state (α|0⟩+β|1⟩)⊗(γ|0⟩+δ|1⟩) — generically unentangled.
+    let mut psi = StateVector::zero_state(3);
+    psi.apply_gate(&Gate::Ry(0.7), &[q(0)]).unwrap();
+    psi.apply_gate(&Gate::Ry(1.9), &[q(1)]).unwrap();
+    let a = psi.amplitude(0b00);
+    let b = psi.amplitude(0b11);
+    let c = psi.amplitude(0b01); // q0=1, q1=0 → the paper's |10⟩ term
+    let d = psi.amplitude(0b10);
+
+    psi.apply_gate(&Gate::Cx, &[q(0), q(2)]).unwrap();
+    psi.apply_gate(&Gate::Cx, &[q(1), q(2)]).unwrap();
+
+    let predicted = theory::entanglement_error_probability(a, b, c, d);
+    let p1 = psi.probability_of_one(q(2)).unwrap();
+    assert!((p1 - predicted).abs() < 1e-10);
+
+    // Outcome 0 forces a'|00⟩ + b'|11⟩.
+    let mut pass = psi.clone();
+    pass.post_select(q(2), false).unwrap();
+    assert!(pass.amplitude(0b001).norm() < 1e-10);
+    assert!(pass.amplitude(0b010).norm() < 1e-10);
+    // Outcome 1 forces c'|10⟩ + d'|01⟩ (with the ancilla bit set).
+    let mut fail = psi.clone();
+    fail.post_select(q(2), true).unwrap();
+    assert!(fail.amplitude(0b100).norm() < 1e-10);
+    assert!(fail.amplitude(0b111).norm() < 1e-10);
+}
+
+/// Odd parity class: ancilla initialized |1⟩ asserts a|01⟩+b|10⟩.
+#[test]
+fn s32_odd_parity_assertion_accepts_anticorrelated_pairs() {
+    // Prepare (|01⟩ + |10⟩)/√2.
+    let mut base = QuantumCircuit::new(2, 0);
+    base.h(0).unwrap().cx(0, 1).unwrap().x(1).unwrap();
+    let mut ac = AssertingCircuit::new(base);
+    ac.assert_entangled([0, 1], Parity::Odd).unwrap();
+    let dist = qsim::DensityMatrixBackend::ideal()
+        .exact_distribution(ac.circuit())
+        .unwrap();
+    assert!((dist.probability(0) - 1.0).abs() < 1e-12);
+}
+
+/// The even-CNOT rule (Fig. 4): with an odd number of CNOTs the ancilla
+/// *remains entangled* with the qubits under test, which "would alter
+/// the functionality of subsequent computations"; with the even count it
+/// disentangles.
+#[test]
+fn s32_even_cnot_rule_on_three_qubits() {
+    let ghz3 = |extra_cnots: &[u32]| {
+        let mut psi = StateVector::zero_state(4);
+        psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+        psi.apply_gate(&Gate::Cx, &[q(0), q(2)]).unwrap();
+        for &ctl in extra_cnots {
+            psi.apply_gate(&Gate::Cx, &[q(ctl), q(3)]).unwrap();
+        }
+        DensityMatrix::from_statevector(&psi)
+    };
+
+    // Odd (3 CNOTs): data subsystem becomes mixed — entangled ancilla.
+    let odd = ghz3(&[0, 1, 2]);
+    let data_odd = odd.trace_out(&[q(3)]).unwrap();
+    assert!(data_odd.purity() < 0.9, "purity {}", data_odd.purity());
+
+    // Even (4 CNOTs, Fig. 4): ancilla disentangles, data stays pure.
+    let even = ghz3(&[0, 1, 2, 2]);
+    let data_even = even.trace_out(&[q(3)]).unwrap();
+    assert!((data_even.purity() - 1.0).abs() < 1e-10);
+    let anc_even = even.trace_out(&[q(0), q(1), q(2)]).unwrap();
+    assert!((anc_even.get(0, 0).re - 1.0).abs() < 1e-10);
+}
+
+/// The instrumenter applies the even-count rule automatically for GHZ(3).
+#[test]
+fn s32_instrumented_ghz3_assertion_is_silent_and_preserves_state() {
+    let mut ac = AssertingCircuit::new(qcircuit::library::ghz(3));
+    ac.assert_entangled([0, 1, 2], Parity::Even).unwrap();
+    let dist = qsim::DensityMatrixBackend::ideal()
+        .exact_distribution(ac.circuit())
+        .unwrap();
+    assert!((dist.probability(0) - 1.0).abs() < 1e-12);
+}
+
+// ------------------------- Section 3.3 ---------------------------------
+
+/// Intermediate state |ψ4⟩ = ½[(a+b)|00⟩+(a−b)|01⟩+(a+b)|10⟩+(a−b)|11⟩]
+/// — the proof's amplitude bookkeeping, checked exactly.
+#[test]
+fn s33_psi4_amplitudes_match_derivation() {
+    let theta = 0.8f64;
+    let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let mut psi = prepare_ry(2, theta);
+    // Fig. 5 circuit: CX(q→anc), H⊗H, CX(q→anc).
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(1)]).unwrap();
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+
+    // Paper's |xy⟩ = |qubit, ancilla⟩; our index bit0 = qubit, bit1 = anc.
+    let plus = Complex::real((a + b) / 2.0);
+    let minus = Complex::real((a - b) / 2.0);
+    assert!(psi.amplitude(0b00).approx_eq(plus, 1e-12)); // |00⟩
+    assert!(psi.amplitude(0b01).approx_eq(plus, 1e-12)); // qubit=1, anc=0 → |10⟩
+    assert!(psi.amplitude(0b10).approx_eq(minus, 1e-12)); // |01⟩
+    assert!(psi.amplitude(0b11).approx_eq(minus, 1e-12)); // |11⟩
+}
+
+/// |+⟩ input: ancilla always 0, qubit stays |+⟩, ancilla unentangled.
+#[test]
+fn s33_plus_state_passes_silently_and_survives() {
+    let mut psi = StateVector::zero_state(2);
+    psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+    let reference = psi.clone();
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(1)]).unwrap();
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    assert!(psi.probability_of_one(q(1)).unwrap() < 1e-12);
+    assert!((psi.fidelity(&reference).unwrap() - 1.0).abs() < 1e-12);
+}
+
+/// |−⟩ input: ancilla always 1 (which the instrumenter's Minus basis
+/// maps back to "no error").
+#[test]
+fn s33_minus_state_drives_ancilla_to_one() {
+    let mut psi = StateVector::zero_state(2);
+    psi.apply_gate(&Gate::X, &[q(0)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(0)]).unwrap(); // |−⟩
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+    psi.apply_gate(&Gate::H, &[q(1)]).unwrap();
+    psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+    assert!((psi.probability_of_one(q(1)).unwrap() - 1.0).abs() < 1e-12);
+
+    // And the instrumented Minus assertion reports no error.
+    let mut base = QuantumCircuit::new(1, 0);
+    base.x(0).unwrap();
+    base.h(0).unwrap();
+    let mut ac = AssertingCircuit::new(base);
+    ac.assert_superposition(0, SuperpositionBasis::Minus).unwrap();
+    let dist = qsim::DensityMatrixBackend::ideal()
+        .exact_distribution(ac.circuit())
+        .unwrap();
+    assert!((dist.probability(0) - 1.0).abs() < 1e-12);
+}
+
+/// Arbitrary real input: P(0) = (2+4ab)/4, P(1) = (2−4ab)/4, the
+/// derivation's probability formulas.
+#[test]
+fn s33_outcome_probabilities_match_formula_across_sweep() {
+    for theta in [0.0f64, 0.3, 0.9, 1.5708, 2.2, 3.14159, 4.5] {
+        let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let mut psi = prepare_ry(2, theta);
+        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+        psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+        psi.apply_gate(&Gate::H, &[q(1)]).unwrap();
+        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+        let (p0, p1) = theory::superposition_outcome_probabilities(a, b);
+        let measured_p1 = psi.probability_of_one(q(1)).unwrap();
+        assert!((measured_p1 - p1).abs() < 1e-10, "theta={theta}");
+        assert!((1.0 - measured_p1 - p0).abs() < 1e-10, "theta={theta}");
+    }
+}
+
+/// The forcing effect (Fig. 7): whatever the ancilla outcome, the tested
+/// qubit ends in an equal-magnitude superposition, |k| = 1/√2.
+#[test]
+fn s33_qubit_is_forced_into_equal_magnitude_superposition() {
+    for outcome in [false, true] {
+        // Classical input |0⟩ — the buggy case of Fig. 7.
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+        psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
+        psi.apply_gate(&Gate::H, &[q(1)]).unwrap();
+        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
+        psi.post_select(q(1), outcome).unwrap();
+        let p1 = psi.probability_of_one(q(0)).unwrap();
+        let k = theory::superposition_forced_magnitude();
+        assert!(
+            (p1 - k * k).abs() < 1e-10,
+            "outcome {outcome}: P(1) = {p1}, expected {}",
+            k * k
+        );
+    }
+}
+
+/// Classical inputs flag 50% of the time — the "equal probability of
+/// 50% being |0⟩ or |1⟩" indicator for classical states.
+#[test]
+fn s33_classical_input_fires_half_the_time() {
+    for input_one in [false, true] {
+        let mut base = QuantumCircuit::new(1, 0);
+        if input_one {
+            base.x(0).unwrap();
+        }
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        let dist = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(ac.circuit())
+            .unwrap();
+        assert!((dist.probability(1) - 0.5).abs() < 1e-12);
+    }
+}

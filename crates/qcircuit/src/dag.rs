@@ -1,0 +1,204 @@
+//! Wire-dependency DAG over a circuit's instructions.
+//!
+//! Instructions depend on the previous instruction touching any shared
+//! wire (qubit, classical bit, or condition bit). The DAG exposes
+//! predecessor/successor queries, per-wire chains (used by the peephole
+//! optimizer), and greedy layering (used by the ASCII renderer and for
+//! depth-style scheduling).
+
+use crate::circuit::QuantumCircuit;
+use crate::register::QubitId;
+
+/// Dependency graph of a circuit; node `i` is instruction `i`.
+#[derive(Clone, Debug)]
+pub struct CircuitDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    qubit_chains: Vec<Vec<usize>>,
+    layers: Vec<Vec<usize>>,
+}
+
+impl CircuitDag {
+    /// Builds the DAG for `circuit`.
+    pub fn build(circuit: &QuantumCircuit) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut qubit_chains: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
+
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        let mut last_on_clbit: Vec<Option<usize>> = vec![None; circuit.num_clbits()];
+
+        for (i, instr) in circuit.instructions().iter().enumerate() {
+            let add_edge = |from: Option<usize>, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+                if let Some(p) = from {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+            };
+            for q in instr.qubits() {
+                add_edge(last_on_qubit[q.index()], &mut preds, &mut succs);
+            }
+            for c in instr.clbits() {
+                add_edge(last_on_clbit[c.index()], &mut preds, &mut succs);
+            }
+            if let Some(cond) = instr.condition() {
+                add_edge(last_on_clbit[cond.clbit.index()], &mut preds, &mut succs);
+            }
+            for q in instr.qubits() {
+                last_on_qubit[q.index()] = Some(i);
+                qubit_chains[q.index()].push(i);
+            }
+            for c in instr.clbits() {
+                last_on_clbit[c.index()] = Some(i);
+            }
+            if let Some(cond) = instr.condition() {
+                last_on_clbit[cond.clbit.index()] = Some(i);
+            }
+        }
+
+        // Greedy layering: a node's layer is one past its deepest
+        // predecessor. Instructions were appended in a topological order,
+        // so a single forward pass suffices.
+        let mut level = vec![0usize; n];
+        let mut max_level = 0usize;
+        for i in 0..n {
+            let l = preds[i].iter().map(|p| level[*p] + 1).max().unwrap_or(0);
+            level[i] = l;
+            max_level = max_level.max(l);
+        }
+        let mut layers: Vec<Vec<usize>> = vec![Vec::new(); if n == 0 { 0 } else { max_level + 1 }];
+        for i in 0..n {
+            layers[level[i]].push(i);
+        }
+
+        CircuitDag {
+            preds,
+            succs,
+            qubit_chains,
+            layers,
+        }
+    }
+
+    /// Number of nodes (instructions).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` when the circuit had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Direct predecessors of node `i`.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of node `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Instruction indices touching `qubit`, in program order.
+    pub fn qubit_chain(&self, qubit: QubitId) -> &[usize] {
+        &self.qubit_chains[qubit.index()]
+    }
+
+    /// Greedy layering of the instructions: `layers()[k]` lists the
+    /// instructions whose deepest dependency chain has length `k`.
+    pub fn layers(&self) -> &[Vec<usize>] {
+        &self.layers
+    }
+
+    /// A topological ordering of the nodes (program order, which is
+    /// topological by construction).
+    pub fn topological_order(&self) -> impl Iterator<Item = usize> {
+        0..self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::QuantumCircuit;
+
+    fn sample() -> QuantumCircuit {
+        let mut c = QuantumCircuit::new(3, 1);
+        c.h(0).unwrap(); // 0
+        c.cx(0, 1).unwrap(); // 1 (depends on 0)
+        c.x(2).unwrap(); // 2 (independent)
+        c.cx(1, 2).unwrap(); // 3 (depends on 1 and 2)
+        c.measure(2, 0).unwrap(); // 4 (depends on 3)
+        c
+    }
+
+    #[test]
+    fn edges_follow_wire_dependencies() {
+        let dag = CircuitDag::build(&sample());
+        assert!(dag.predecessors(0).is_empty());
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert!(dag.predecessors(2).is_empty());
+        let mut p3 = dag.predecessors(3).to_vec();
+        p3.sort_unstable();
+        assert_eq!(p3, vec![1, 2]);
+        assert_eq!(dag.predecessors(4), &[3]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn layers_group_independent_instructions() {
+        let dag = CircuitDag::build(&sample());
+        let layers = dag.layers();
+        assert_eq!(layers[0], vec![0, 2]); // h(0) and x(2) are parallel
+        assert_eq!(layers[1], vec![1]);
+        assert_eq!(layers[2], vec![3]);
+        assert_eq!(layers[3], vec![4]);
+    }
+
+    #[test]
+    fn qubit_chains_list_program_order() {
+        let dag = CircuitDag::build(&sample());
+        assert_eq!(dag.qubit_chain(QubitId::new(0)), &[0, 1]);
+        assert_eq!(dag.qubit_chain(QubitId::new(1)), &[1, 3]);
+        assert_eq!(dag.qubit_chain(QubitId::new(2)), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn classical_condition_creates_dependency() {
+        let mut c = QuantumCircuit::new(2, 1);
+        c.measure(0, 0).unwrap(); // 0
+        c.gate_if(crate::Gate::X, [1], 0, true).unwrap(); // 1 depends on 0 via c0
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn multi_edge_collapses_to_single_dependency() {
+        let mut c = QuantumCircuit::new(2, 0);
+        c.cx(0, 1).unwrap(); // 0
+        c.cx(0, 1).unwrap(); // 1 shares both wires with 0
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.predecessors(1), &[0]); // one edge, not two
+    }
+
+    #[test]
+    fn empty_circuit_yields_empty_dag() {
+        let dag = CircuitDag::build(&QuantumCircuit::new(2, 0));
+        assert!(dag.is_empty());
+        assert!(dag.layers().is_empty());
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let dag = CircuitDag::build(&sample());
+        let pos: Vec<usize> = dag.topological_order().collect();
+        for i in 0..dag.len() {
+            for &p in dag.predecessors(i) {
+                assert!(pos.iter().position(|&x| x == p) < pos.iter().position(|&x| x == i));
+            }
+        }
+    }
+}

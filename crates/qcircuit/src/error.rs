@@ -1,0 +1,107 @@
+//! Error types for circuit construction and manipulation.
+
+use std::fmt;
+
+/// Error produced when building or transforming a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A qubit operand references a wire the circuit does not have.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// A classical operand references a bit the circuit does not have.
+    ClbitOutOfRange {
+        /// The offending classical index.
+        clbit: usize,
+        /// The circuit's classical bit count.
+        num_clbits: usize,
+    },
+    /// A multi-qubit instruction lists the same qubit twice.
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// A gate received the wrong number of qubit operands.
+    ArityMismatch {
+        /// Gate name.
+        gate: &'static str,
+        /// Number of qubits the gate acts on.
+        expected: usize,
+        /// Number of operands supplied.
+        got: usize,
+    },
+    /// A classical condition was attached to an operation that cannot be
+    /// conditioned (measure, barrier, post-select).
+    UnsupportedCondition {
+        /// The operation's mnemonic.
+        op: &'static str,
+    },
+    /// The circuit cannot be inverted because it contains a non-unitary
+    /// operation.
+    NotInvertible {
+        /// The first offending operation's mnemonic.
+        op: &'static str,
+    },
+    /// A composition mapping has the wrong size for the circuit being
+    /// inlined.
+    MappingSizeMismatch {
+        /// What the mapping addresses ("qubit" or "clbit").
+        wire_kind: &'static str,
+        /// Wires the inlined circuit declares.
+        expected: usize,
+        /// Mapping entries supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit q{qubit} out of range for a circuit with {num_qubits} qubits")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "clbit c{clbit} out of range for a circuit with {num_clbits} clbits")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit q{qubit} appears more than once in one instruction")
+            }
+            CircuitError::ArityMismatch { gate, expected, got } => {
+                write!(f, "gate '{gate}' acts on {expected} qubit(s) but received {got}")
+            }
+            CircuitError::UnsupportedCondition { op } => {
+                write!(f, "operation '{op}' cannot carry a classical condition")
+            }
+            CircuitError::NotInvertible { op } => {
+                write!(f, "circuit contains non-unitary operation '{op}' and cannot be inverted")
+            }
+            CircuitError::MappingSizeMismatch { wire_kind, expected, got } => {
+                write!(f, "{wire_kind} mapping has {got} entries but the circuit declares {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = CircuitError::QubitOutOfRange { qubit: 7, num_qubits: 3 };
+        assert_eq!(e.to_string(), "qubit q7 out of range for a circuit with 3 qubits");
+        let e = CircuitError::ArityMismatch { gate: "cx", expected: 2, got: 3 };
+        assert!(e.to_string().contains("'cx'"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CircuitError>();
+    }
+}

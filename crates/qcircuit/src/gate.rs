@@ -1,0 +1,532 @@
+//! The gate set.
+//!
+//! [`Gate`] covers the standard single-qubit gates (Pauli, Hadamard,
+//! phase-family, rotations, the IBM `U3`), the two-qubit controlled gates
+//! and SWAP, and the three-qubit Toffoli/Fredkin gates — everything the
+//! paper's circuits and the transpiler's `{U3, CX}` basis need.
+//!
+//! # Matrix convention
+//!
+//! [`Gate::matrix`] returns the unitary in the *local* basis of the
+//! instruction's qubit list: **qubit `qubits[j]` corresponds to bit `j`
+//! (the 2^j place) of the local basis index**. For `Gate::Cx` applied to
+//! `[control, target]`, the control is bit 0 and the target is bit 1, so
+//! `|control=1, target=0⟩` is local index 1 and maps to local index 3.
+//! Simulators and verifiers in this workspace all share this convention.
+
+use qmath::{CMatrix, Complex, Mat2, FRAC_1_SQRT_2};
+use std::fmt;
+
+/// A quantum gate (unitary operation) with bound parameters.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::Gate;
+/// assert_eq!(Gate::H.num_qubits(), 1);
+/// assert_eq!(Gate::Ccx.num_qubits(), 3);
+/// assert_eq!(Gate::S.inverse(), Gate::Sdg);
+/// assert!(Gate::Rx(0.3).matrix().is_unitary(1e-12));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate √Z = diag(1, i).
+    S,
+    /// Inverse phase gate diag(1, −i).
+    Sdg,
+    /// T gate (π/8): diag(1, e^{iπ/4}).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// √X gate.
+    Sx,
+    /// Inverse √X gate.
+    Sxdg,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Phase rotation diag(1, e^{iλ}) (OpenQASM `u1`/`p`).
+    P(f64),
+    /// General single-qubit unitary `U3(θ, φ, λ)` (IBM convention).
+    U3(f64, f64, f64),
+    /// Controlled-X (CNOT); qubit order `[control, target]`.
+    Cx,
+    /// Controlled-Y; qubit order `[control, target]`.
+    Cy,
+    /// Controlled-Z (symmetric in its qubits).
+    Cz,
+    /// Controlled-Hadamard; qubit order `[control, target]`.
+    Ch,
+    /// Controlled phase diag(1,1,1,e^{iλ}) (symmetric).
+    Cp(f64),
+    /// SWAP (symmetric).
+    Swap,
+    /// Toffoli (CCX); qubit order `[control, control, target]`.
+    Ccx,
+    /// Fredkin (controlled-SWAP); qubit order `[control, a, b]`.
+    Cswap,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub const fn num_qubits(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Sxdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::P(_)
+            | Gate::U3(..) => 1,
+            Gate::Cx | Gate::Cy | Gate::Cz | Gate::Ch | Gate::Cp(_) | Gate::Swap => 2,
+            Gate::Ccx | Gate::Cswap => 3,
+        }
+    }
+
+    /// The OpenQASM-style lowercase name of the gate.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Sxdg => "sxdg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::P(_) => "p",
+            Gate::U3(..) => "u3",
+            Gate::Cx => "cx",
+            Gate::Cy => "cy",
+            Gate::Cz => "cz",
+            Gate::Ch => "ch",
+            Gate::Cp(_) => "cp",
+            Gate::Swap => "swap",
+            Gate::Ccx => "ccx",
+            Gate::Cswap => "cswap",
+        }
+    }
+
+    /// The gate's real-valued parameters, in declaration order.
+    pub fn params(&self) -> Vec<f64> {
+        match self {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::P(t) | Gate::Cp(t) => vec![*t],
+            Gate::U3(t, p, l) => vec![*t, *p, *l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The inverse gate `G⁻¹`, such that `G·G⁻¹ = I`.
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::P(t) => Gate::P(-t),
+            Gate::Cp(t) => Gate::Cp(-t),
+            Gate::U3(t, p, l) => Gate::U3(-t, -l, -p),
+            // All remaining gates are involutions.
+            g => *g,
+        }
+    }
+
+    /// Returns `true` for gates that are their own inverse.
+    pub fn is_self_inverse(&self) -> bool {
+        self.inverse() == *self
+    }
+
+    /// The 2×2 matrix of a single-qubit gate, or `None` for multi-qubit
+    /// gates.
+    pub fn mat2(&self) -> Option<Mat2> {
+        let c = Complex::new;
+        let m = match self {
+            Gate::I => Mat2::identity(),
+            Gate::X => Mat2::from_real(0.0, 1.0, 1.0, 0.0),
+            Gate::Y => Mat2::new(Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO),
+            Gate::Z => Mat2::from_real(1.0, 0.0, 0.0, -1.0),
+            Gate::H => Mat2::from_real(1.0, 1.0, 1.0, -1.0).scale(FRAC_1_SQRT_2),
+            Gate::S => Mat2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I),
+            Gate::Sdg => Mat2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::I),
+            Gate::T => Mat2::new(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Tdg => Mat2::new(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(-std::f64::consts::FRAC_PI_4),
+            ),
+            Gate::Sx => Mat2::new(c(0.5, 0.5), c(0.5, -0.5), c(0.5, -0.5), c(0.5, 0.5)),
+            Gate::Sxdg => Mat2::new(c(0.5, -0.5), c(0.5, 0.5), c(0.5, 0.5), c(0.5, -0.5)),
+            Gate::Rx(t) => {
+                let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
+                Mat2::new(c(co, 0.0), c(0.0, -s), c(0.0, -s), c(co, 0.0))
+            }
+            Gate::Ry(t) => {
+                let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
+                Mat2::from_real(co, -s, s, co)
+            }
+            Gate::Rz(t) => Mat2::new(
+                Complex::cis(-t / 2.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(t / 2.0),
+            ),
+            Gate::P(l) => Mat2::new(
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::cis(*l),
+            ),
+            Gate::U3(t, p, l) => {
+                let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
+                Mat2::new(
+                    c(co, 0.0),
+                    -Complex::cis(*l).scale(s),
+                    Complex::cis(*p).scale(s),
+                    Complex::cis(p + l).scale(co),
+                )
+            }
+            _ => return None,
+        };
+        Some(m)
+    }
+
+    /// The full unitary matrix of the gate in the local-qubit convention
+    /// described in the [module docs](self) (qubit `j` of the instruction's
+    /// qubit list is local bit `j`).
+    pub fn matrix(&self) -> CMatrix {
+        if let Some(m) = self.mat2() {
+            return m.to_cmatrix();
+        }
+        match self {
+            Gate::Cx => controlled_1q(&Gate::X.mat2().expect("X is 1q")),
+            Gate::Cy => controlled_1q(&Gate::Y.mat2().expect("Y is 1q")),
+            Gate::Cz => controlled_1q(&Gate::Z.mat2().expect("Z is 1q")),
+            Gate::Ch => controlled_1q(&Gate::H.mat2().expect("H is 1q")),
+            Gate::Cp(l) => controlled_1q(&Gate::P(*l).mat2().expect("P is 1q")),
+            Gate::Swap => {
+                let mut m = CMatrix::zeros(4);
+                m.set(0, 0, Complex::ONE);
+                m.set(3, 3, Complex::ONE);
+                // |01⟩ (local index 1: bit0=1) ↔ |10⟩ (local index 2: bit1=1)
+                m.set(1, 2, Complex::ONE);
+                m.set(2, 1, Complex::ONE);
+                m
+            }
+            Gate::Ccx => {
+                // Controls are bits 0 and 1, target is bit 2: indices 3 and
+                // 7 (both controls set) exchange the target bit.
+                let mut m = CMatrix::identity(8);
+                m.set(3, 3, Complex::ZERO);
+                m.set(7, 7, Complex::ZERO);
+                m.set(3, 7, Complex::ONE);
+                m.set(7, 3, Complex::ONE);
+                m
+            }
+            Gate::Cswap => {
+                // Control is bit 0; when set, bits 1 and 2 swap: indices
+                // 3 (c=1, a=1, b=0) and 5 (c=1, a=0, b=1) exchange.
+                let mut m = CMatrix::identity(8);
+                m.set(3, 3, Complex::ZERO);
+                m.set(5, 5, Complex::ZERO);
+                m.set(3, 5, Complex::ONE);
+                m.set(5, 3, Complex::ONE);
+                m
+            }
+            _ => unreachable!("1q gates handled via mat2"),
+        }
+    }
+}
+
+/// Builds the 4×4 matrix of a controlled single-qubit gate with the control
+/// on local bit 0 and the target on local bit 1.
+fn controlled_1q(u: &Mat2) -> CMatrix {
+    let mut m = CMatrix::zeros(4);
+    // Control clear (local indices 0 and 2): identity on the target bit.
+    m.set(0, 0, Complex::ONE);
+    m.set(2, 2, Complex::ONE);
+    // Control set (local indices 1 and 3): apply `u` on the target bit.
+    // Local index 1 = |target=0, control=1⟩, 3 = |target=1, control=1⟩.
+    m.set(1, 1, u.a);
+    m.set(1, 3, u.b);
+    m.set(3, 1, u.c);
+    m.set(3, 3, u.d);
+    m
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p:.6}")).collect();
+            write!(f, "{}({})", self.name(), rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const ALL_GATES: &[Gate] = &[
+        Gate::I,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::H,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::Sx,
+        Gate::Sxdg,
+        Gate::Rx(0.3),
+        Gate::Ry(-1.2),
+        Gate::Rz(2.2),
+        Gate::P(0.7),
+        Gate::U3(0.4, 1.1, -0.6),
+        Gate::Cx,
+        Gate::Cy,
+        Gate::Cz,
+        Gate::Ch,
+        Gate::Cp(0.9),
+        Gate::Swap,
+        Gate::Ccx,
+        Gate::Cswap,
+    ];
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for g in ALL_GATES {
+            assert!(g.matrix().is_unitary(1e-12), "{g:?} is not unitary");
+        }
+    }
+
+    #[test]
+    fn every_gate_times_its_inverse_is_identity() {
+        for g in ALL_GATES {
+            let prod = g.matrix().mul(&g.inverse().matrix()).unwrap();
+            let dim = prod.dim();
+            assert!(
+                prod.approx_eq(&CMatrix::identity(dim), 1e-12),
+                "{g:?}·{:?} != I",
+                g.inverse()
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_dimension_matches_arity() {
+        for g in ALL_GATES {
+            assert_eq!(g.matrix().dim(), 1 << g.num_qubits(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn cx_truth_table_in_local_convention() {
+        // Control = bit 0, target = bit 1.
+        let m = Gate::Cx.matrix();
+        let basis = |i: usize| {
+            let mut v = vec![Complex::ZERO; 4];
+            v[i] = Complex::ONE;
+            v
+        };
+        // |c=0,t=0⟩ (0) → itself
+        assert_eq!(m.matvec(&basis(0)).unwrap()[0], Complex::ONE);
+        // |c=1,t=0⟩ (1) → |c=1,t=1⟩ (3)
+        assert_eq!(m.matvec(&basis(1)).unwrap()[3], Complex::ONE);
+        // |c=0,t=1⟩ (2) → itself
+        assert_eq!(m.matvec(&basis(2)).unwrap()[2], Complex::ONE);
+        // |c=1,t=1⟩ (3) → |c=1,t=0⟩ (1)
+        assert_eq!(m.matvec(&basis(3)).unwrap()[1], Complex::ONE);
+    }
+
+    #[test]
+    fn swap_exchanges_local_bits() {
+        let m = Gate::Swap.matrix();
+        let mut v = vec![Complex::ZERO; 4];
+        v[1] = Complex::ONE; // |bit0=1, bit1=0⟩
+        let out = m.matvec(&v).unwrap();
+        assert_eq!(out[2], Complex::ONE); // |bit0=0, bit1=1⟩
+    }
+
+    #[test]
+    fn toffoli_flips_only_when_both_controls_set() {
+        let m = Gate::Ccx.matrix();
+        for i in 0..8usize {
+            let mut v = vec![Complex::ZERO; 8];
+            v[i] = Complex::ONE;
+            let out = m.matvec(&v).unwrap();
+            let expected = if i & 0b011 == 0b011 { i ^ 0b100 } else { i };
+            assert_eq!(out[expected], Complex::ONE, "input index {i}");
+        }
+    }
+
+    #[test]
+    fn fredkin_swaps_targets_only_when_control_set() {
+        let m = Gate::Cswap.matrix();
+        for i in 0..8usize {
+            let mut v = vec![Complex::ZERO; 8];
+            v[i] = Complex::ONE;
+            let out = m.matvec(&v).unwrap();
+            let expected = if i & 1 == 1 {
+                // swap bits 1 and 2
+                let a = (i >> 1) & 1;
+                let b = (i >> 2) & 1;
+                (i & 1) | (b << 1) | (a << 2)
+            } else {
+                i
+            };
+            assert_eq!(out[expected], Complex::ONE, "input index {i}");
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = Gate::H.matrix();
+        assert!(h.mul(&h).unwrap().approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn s_is_sqrt_z_and_t_is_sqrt_s() {
+        let s2 = Gate::S.matrix().mul(&Gate::S.matrix()).unwrap();
+        assert!(s2.approx_eq(&Gate::Z.matrix(), 1e-12));
+        let t2 = Gate::T.matrix().mul(&Gate::T.matrix()).unwrap();
+        assert!(t2.approx_eq(&Gate::S.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let sx2 = Gate::Sx.matrix().mul(&Gate::Sx.matrix()).unwrap();
+        assert!(sx2.approx_eq(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rotation_gates_match_pauli_at_pi_up_to_phase() {
+        // Rx(π) = -iX
+        let rx = Gate::Rx(PI).matrix();
+        let x = Gate::X.matrix().scale_c(Complex::new(0.0, -1.0));
+        assert!(rx.approx_eq(&x, 1e-12));
+        // Rz(π) = -iZ
+        let rz = Gate::Rz(PI).matrix();
+        let z = Gate::Z.matrix().scale_c(Complex::new(0.0, -1.0));
+        assert!(rz.approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(π/2, 0, π) = H
+        let u = Gate::U3(FRAC_PI_2, 0.0, PI).matrix();
+        assert!(u.approx_eq(&Gate::H.matrix(), 1e-12));
+        // U3(0, 0, λ) = P(λ)
+        let u = Gate::U3(0.0, 0.0, 0.8).matrix();
+        assert!(u.approx_eq(&Gate::P(0.8).matrix(), 1e-12));
+        // U3(π, 0, π) = X
+        let u = Gate::U3(PI, 0.0, PI).matrix();
+        assert!(u.approx_eq(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn p_and_rz_differ_by_global_phase_only() {
+        let p = Gate::P(0.6).matrix();
+        let rz = Gate::Rz(0.6).matrix().scale_c(Complex::cis(0.3));
+        assert!(p.approx_eq(&rz, 1e-12));
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_diagonal() {
+        let m = Gate::Cz.matrix();
+        assert!(m.approx_eq(&m.transpose(), 1e-15));
+        assert_eq!(m.get(3, 3), -Complex::ONE);
+        assert_eq!(m.get(1, 1), Complex::ONE);
+        assert_eq!(m.get(2, 2), Complex::ONE);
+    }
+
+    #[test]
+    fn cp_at_pi_equals_cz() {
+        assert!(Gate::Cp(PI).matrix().approx_eq(&Gate::Cz.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for g in ALL_GATES {
+            assert_eq!(g.inverse().inverse(), *g, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn u3_inverse_swaps_phi_lambda() {
+        assert_eq!(Gate::U3(0.4, 1.1, -0.6).inverse(), Gate::U3(-0.4, 0.6, -1.1));
+    }
+
+    #[test]
+    fn names_are_qasm_style() {
+        assert_eq!(Gate::H.name(), "h");
+        assert_eq!(Gate::Sdg.name(), "sdg");
+        assert_eq!(Gate::U3(0.0, 0.0, 0.0).name(), "u3");
+        assert_eq!(Gate::Ccx.name(), "ccx");
+    }
+
+    #[test]
+    fn params_extraction() {
+        assert!(Gate::H.params().is_empty());
+        assert_eq!(Gate::Rx(0.5).params(), vec![0.5]);
+        assert_eq!(Gate::U3(1.0, 2.0, 3.0).params(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn display_includes_params() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::Rx(0.5).to_string(), "rx(0.500000)");
+    }
+
+    #[test]
+    fn self_inverse_classification() {
+        assert!(Gate::X.is_self_inverse());
+        assert!(Gate::Cx.is_self_inverse());
+        assert!(!Gate::S.is_self_inverse());
+        assert!(!Gate::Rx(0.5).is_self_inverse());
+        assert!(Gate::Rx(0.0).is_self_inverse());
+    }
+}

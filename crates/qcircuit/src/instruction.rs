@@ -1,0 +1,312 @@
+//! Circuit instructions: gates plus the non-unitary operations.
+//!
+//! An [`Instruction`] binds an [`OpKind`] to concrete qubit/clbit operands
+//! and an optional classical [`Condition`]. Structural validity (arity,
+//! index bounds, operand uniqueness) is enforced when the instruction is
+//! appended to a circuit, so a constructed `Instruction` is just data.
+
+use crate::gate::Gate;
+use crate::register::{ClbitId, QubitId};
+use std::fmt;
+
+/// The operation an instruction performs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpKind {
+    /// A unitary gate.
+    Gate(Gate),
+    /// Projective measurement of one qubit into one classical bit.
+    Measure,
+    /// Reset one qubit to `|0⟩` (measure and conditionally flip).
+    Reset,
+    /// Scheduling barrier across the listed qubits; no physical effect.
+    Barrier,
+    /// Simulator-only post-selection: keep only runs where the qubit
+    /// measures to `outcome`. This mirrors QUIRK's post-select display
+    /// operator used in the paper's Figures 6–7.
+    PostSelect {
+        /// The required measurement outcome.
+        outcome: bool,
+    },
+}
+
+impl OpKind {
+    /// The lowercase mnemonic for this operation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Gate(g) => g.name(),
+            OpKind::Measure => "measure",
+            OpKind::Reset => "reset",
+            OpKind::Barrier => "barrier",
+            OpKind::PostSelect { .. } => "post_select",
+        }
+    }
+}
+
+/// A classical condition gating an instruction (`if (c == value) op`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Condition {
+    /// The classical bit inspected.
+    pub clbit: ClbitId,
+    /// The value the bit must hold for the operation to execute.
+    pub value: bool,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if({}=={})", self.clbit, u8::from(self.value))
+    }
+}
+
+/// One operation bound to its operands.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::{Gate, Instruction};
+/// let cx = Instruction::gate(Gate::Cx, [0, 1]);
+/// assert_eq!(cx.qubits().len(), 2);
+/// let m = Instruction::measure(0, 0);
+/// assert_eq!(m.clbits().len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    kind: OpKind,
+    qubits: Vec<QubitId>,
+    clbits: Vec<ClbitId>,
+    condition: Option<Condition>,
+}
+
+impl Instruction {
+    /// Creates a gate instruction on the given qubits.
+    pub fn gate<Q, I>(gate: Gate, qubits: I) -> Self
+    where
+        Q: Into<QubitId>,
+        I: IntoIterator<Item = Q>,
+    {
+        Instruction {
+            kind: OpKind::Gate(gate),
+            qubits: qubits.into_iter().map(Into::into).collect(),
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Creates a measurement of `qubit` into `clbit`.
+    pub fn measure(qubit: impl Into<QubitId>, clbit: impl Into<ClbitId>) -> Self {
+        Instruction {
+            kind: OpKind::Measure,
+            qubits: vec![qubit.into()],
+            clbits: vec![clbit.into()],
+            condition: None,
+        }
+    }
+
+    /// Creates a reset of `qubit` to `|0⟩`.
+    pub fn reset(qubit: impl Into<QubitId>) -> Self {
+        Instruction {
+            kind: OpKind::Reset,
+            qubits: vec![qubit.into()],
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Creates a barrier across the given qubits.
+    pub fn barrier<Q, I>(qubits: I) -> Self
+    where
+        Q: Into<QubitId>,
+        I: IntoIterator<Item = Q>,
+    {
+        Instruction {
+            kind: OpKind::Barrier,
+            qubits: qubits.into_iter().map(Into::into).collect(),
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Creates a post-selection of `qubit` on `outcome` (simulator only).
+    pub fn post_select(qubit: impl Into<QubitId>, outcome: bool) -> Self {
+        Instruction {
+            kind: OpKind::PostSelect { outcome },
+            qubits: vec![qubit.into()],
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Attaches a classical condition (only valid on gate and reset
+    /// instructions; enforced on append).
+    #[must_use]
+    pub fn with_condition(mut self, condition: Condition) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// The operation performed.
+    pub fn kind(&self) -> &OpKind {
+        &self.kind
+    }
+
+    /// The gate, when this instruction is a gate.
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match &self.kind {
+            OpKind::Gate(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Qubit operands in order.
+    pub fn qubits(&self) -> &[QubitId] {
+        &self.qubits
+    }
+
+    /// Classical-bit operands in order.
+    pub fn clbits(&self) -> &[ClbitId] {
+        &self.clbits
+    }
+
+    /// The classical condition, if any.
+    pub fn condition(&self) -> Option<Condition> {
+        self.condition
+    }
+
+    /// Returns a copy with all qubit/clbit operands remapped through the
+    /// provided functions (used by `compose` and the transpiler's layout
+    /// application).
+    pub fn remapped(
+        &self,
+        qmap: impl Fn(QubitId) -> QubitId,
+        cmap: impl Fn(ClbitId) -> ClbitId,
+    ) -> Instruction {
+        Instruction {
+            kind: self.kind,
+            qubits: self.qubits.iter().map(|q| qmap(*q)).collect(),
+            clbits: self.clbits.iter().map(|c| cmap(*c)).collect(),
+            condition: self.condition.map(|cond| Condition {
+                clbit: cmap(cond.clbit),
+                value: cond.value,
+            }),
+        }
+    }
+
+    /// Returns `true` if this instruction touches the given qubit.
+    pub fn uses_qubit(&self, q: QubitId) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// Returns `true` if this instruction reads or writes the given
+    /// classical bit (including via its condition).
+    pub fn uses_clbit(&self, c: ClbitId) -> bool {
+        self.clbits.contains(&c) || self.condition.map(|cond| cond.clbit == c).unwrap_or(false)
+    }
+
+    /// Returns `true` for operations that are not unitary gates
+    /// (measure, reset, barrier, post-select).
+    pub fn is_non_unitary(&self) -> bool {
+        !matches!(self.kind, OpKind::Gate(_))
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(cond) = self.condition {
+            write!(f, "{cond} ")?;
+        }
+        match &self.kind {
+            OpKind::Gate(g) => write!(f, "{g}")?,
+            OpKind::Measure => write!(f, "measure")?,
+            OpKind::Reset => write!(f, "reset")?,
+            OpKind::Barrier => write!(f, "barrier")?,
+            OpKind::PostSelect { outcome } => write!(f, "post_select[{}]", u8::from(*outcome))?,
+        }
+        let qs: Vec<String> = self.qubits.iter().map(|q| q.to_string()).collect();
+        write!(f, " {}", qs.join(", "))?;
+        if !self.clbits.is_empty() {
+            let cs: Vec<String> = self.clbits.iter().map(|c| c.to_string()).collect();
+            write!(f, " -> {}", cs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_constructor_collects_operands() {
+        let i = Instruction::gate(Gate::Ccx, [2, 0, 1]);
+        assert_eq!(i.qubits(), &[QubitId::new(2), QubitId::new(0), QubitId::new(1)]);
+        assert!(i.clbits().is_empty());
+        assert_eq!(i.as_gate(), Some(&Gate::Ccx));
+        assert!(!i.is_non_unitary());
+    }
+
+    #[test]
+    fn measure_constructor_binds_both_wires() {
+        let i = Instruction::measure(3, 1);
+        assert_eq!(i.kind(), &OpKind::Measure);
+        assert_eq!(i.qubits(), &[QubitId::new(3)]);
+        assert_eq!(i.clbits(), &[ClbitId::new(1)]);
+        assert!(i.is_non_unitary());
+        assert!(i.as_gate().is_none());
+    }
+
+    #[test]
+    fn condition_attachment() {
+        let cond = Condition {
+            clbit: ClbitId::new(0),
+            value: true,
+        };
+        let i = Instruction::gate(Gate::X, [0]).with_condition(cond);
+        assert_eq!(i.condition(), Some(cond));
+        assert!(i.uses_clbit(ClbitId::new(0)));
+    }
+
+    #[test]
+    fn wire_usage_queries() {
+        let i = Instruction::gate(Gate::Cx, [0, 2]);
+        assert!(i.uses_qubit(QubitId::new(0)));
+        assert!(i.uses_qubit(QubitId::new(2)));
+        assert!(!i.uses_qubit(QubitId::new(1)));
+        assert!(!i.uses_clbit(ClbitId::new(0)));
+    }
+
+    #[test]
+    fn remapping_applies_to_all_operands() {
+        let cond = Condition {
+            clbit: ClbitId::new(1),
+            value: false,
+        };
+        let i = Instruction::measure(0, 1).with_condition(cond);
+        let r = i.remapped(
+            |q| QubitId::new(q.index() as u32 + 10),
+            |c| ClbitId::new(c.index() as u32 + 20),
+        );
+        assert_eq!(r.qubits(), &[QubitId::new(10)]);
+        assert_eq!(r.clbits(), &[ClbitId::new(21)]);
+        assert_eq!(r.condition().unwrap().clbit, ClbitId::new(21));
+    }
+
+    #[test]
+    fn post_select_records_outcome() {
+        let i = Instruction::post_select(1, true);
+        assert_eq!(i.kind(), &OpKind::PostSelect { outcome: true });
+        assert_eq!(i.kind().name(), "post_select");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let i = Instruction::gate(Gate::Cx, [0, 1]);
+        assert_eq!(i.to_string(), "cx q0, q1");
+        let m = Instruction::measure(2, 0);
+        assert_eq!(m.to_string(), "measure q2 -> c0");
+        let cond = Condition {
+            clbit: ClbitId::new(0),
+            value: true,
+        };
+        let g = Instruction::gate(Gate::X, [1]).with_condition(cond);
+        assert_eq!(g.to_string(), "if(c0==1) x q1");
+    }
+}

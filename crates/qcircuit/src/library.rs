@@ -1,0 +1,466 @@
+//! Standard circuit constructors.
+//!
+//! These are the workloads the assertion experiments instrument: Bell/GHZ
+//! state preparation (entanglement assertions), uniform superposition
+//! layers (superposition assertions), quantum teleportation and superdense
+//! coding (classical + entanglement assertions), plus QFT, Grover,
+//! Bernstein–Vazirani, and Deutsch–Jozsa for larger integration workloads.
+
+use crate::circuit::QuantumCircuit;
+use std::f64::consts::PI;
+
+/// Two-qubit Bell pair preparation: `H(0); CX(0,1)` yielding
+/// `(|00⟩+|11⟩)/√2`.
+pub fn bell() -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_name("bell", 2, 0);
+    c.h(0).expect("in range").cx(0, 1).expect("in range");
+    c
+}
+
+/// `n`-qubit GHZ state preparation: `(|0…0⟩+|1…1⟩)/√2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: usize) -> QuantumCircuit {
+    assert!(n >= 1, "GHZ state needs at least one qubit");
+    let mut c = QuantumCircuit::with_name(format!("ghz{n}"), n, 0);
+    c.h(0).expect("in range");
+    for q in 1..n {
+        c.cx(0, q).expect("in range");
+    }
+    c
+}
+
+/// Uniform superposition over `n` qubits: a Hadamard on every wire.
+pub fn uniform_superposition(n: usize) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_name(format!("uniform{n}"), n, 0);
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    c
+}
+
+/// Quantum Fourier transform on `n` qubits (with the final qubit-reversal
+/// SWAPs).
+pub fn qft(n: usize) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_name(format!("qft{n}"), n, 0);
+    for i in (0..n).rev() {
+        c.h(i).expect("in range");
+        for j in (0..i).rev() {
+            let angle = PI / f64::from(1u32 << (i - j));
+            c.cp(angle, j, i).expect("in range");
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i).expect("in range");
+    }
+    c
+}
+
+/// Inverse quantum Fourier transform on `n` qubits.
+pub fn iqft(n: usize) -> QuantumCircuit {
+    let mut inv = qft(n).inverse().expect("qft is unitary");
+    inv.set_name(format!("iqft{n}"));
+    inv
+}
+
+/// Quantum teleportation of qubit 0's state onto qubit 2.
+///
+/// Wires: `q0` = state to teleport (prepare before composing), `q1`/`q2` =
+/// Bell pair, `c0`/`c1` = Alice's measurement results driving Bob's
+/// classically-conditioned corrections.
+pub fn teleportation() -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_name("teleport", 3, 2);
+    // Entangle q1–q2 (the shared Bell pair).
+    c.h(1).expect("in range").cx(1, 2).expect("in range");
+    // Bell measurement of q0 against q1.
+    c.cx(0, 1).expect("in range").h(0).expect("in range");
+    c.measure(0, 0).expect("in range").measure(1, 1).expect("in range");
+    // Bob's corrections.
+    c.gate_if(crate::Gate::X, [2usize], 1, true).expect("in range");
+    c.gate_if(crate::Gate::Z, [2usize], 0, true).expect("in range");
+    c
+}
+
+/// Superdense coding of two classical bits `(b1, b0)` through one shared
+/// Bell pair; measuring recovers `b1` on qubit 1 and `b0` on qubit 0.
+pub fn superdense_coding(b1: bool, b0: bool) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_name("superdense", 2, 2);
+    c.h(0).expect("in range").cx(0, 1).expect("in range");
+    // Alice encodes onto her half (qubit 0). After Bob's decoding the
+    // X-encoded bit appears on qubit 1 and the Z-encoded bit on qubit 0.
+    if b1 {
+        c.x(0).expect("in range");
+    }
+    if b0 {
+        c.z(0).expect("in range");
+    }
+    // Bob decodes.
+    c.cx(0, 1).expect("in range").h(0).expect("in range");
+    c.measure(0, 0).expect("in range").measure(1, 1).expect("in range");
+    c
+}
+
+/// Bernstein–Vazirani circuit recovering the secret bitstring
+/// `secret` (LSB = qubit 0) in a single oracle query.
+///
+/// Uses `secret.len() + 1` qubits; the last qubit is the phase ancilla.
+/// Measuring qubits `0..n` yields `secret` with certainty on an ideal
+/// machine.
+pub fn bernstein_vazirani(secret: &[bool]) -> QuantumCircuit {
+    let n = secret.len();
+    let mut c = QuantumCircuit::with_name("bernstein_vazirani", n + 1, n);
+    // Ancilla in |−⟩.
+    c.x(n).expect("in range").h(n).expect("in range");
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    // Oracle: f(x) = secret · x, implemented as CNOTs into the ancilla.
+    for (q, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cx(q, n).expect("in range");
+        }
+    }
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    for q in 0..n {
+        c.measure(q, q).expect("in range");
+    }
+    c
+}
+
+/// Appends a controlled-Ry via the standard two-CX decomposition
+/// (`CRy(θ) = Ry(θ/2)·CX·Ry(−θ/2)·CX` on the target).
+fn append_cry(c: &mut QuantumCircuit, theta: f64, control: usize, target: usize) {
+    c.ry(theta / 2.0, target).expect("in range");
+    c.cx(control, target).expect("in range");
+    c.ry(-theta / 2.0, target).expect("in range");
+    c.cx(control, target).expect("in range");
+}
+
+/// `n`-qubit W state: `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n`.
+///
+/// Built by the standard cascade: an excitation on qubit 0 is spread
+/// rightward with controlled-Ry rotations of angle `2·acos(√(1/(n−i)))`
+/// followed by CXs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> QuantumCircuit {
+    assert!(n >= 1, "W state needs at least one qubit");
+    let mut c = QuantumCircuit::with_name(format!("w{n}"), n, 0);
+    c.x(0).expect("in range");
+    for i in 0..n - 1 {
+        // Qubit i keeps 1/(n−i) of the remaining excitation probability
+        // (cos²(θ/2) of it); the rest moves on to qubit i+1.
+        let keep = 1.0 / (n - i) as f64;
+        let theta = 2.0 * keep.sqrt().acos();
+        append_cry(&mut c, theta, i, i + 1);
+        c.cx(i + 1, i).expect("in range");
+    }
+    c
+}
+
+/// Quantum phase estimation of the eigenphase `phi ∈ [0, 1)` of the
+/// phase gate `P(2π·phi)` applied to its `|1⟩` eigenstate, with
+/// `counting` counting qubits.
+///
+/// Qubits `0..counting` hold the estimate (LSB = qubit 0); qubit
+/// `counting` is the eigenstate target. Measuring the counting register
+/// yields `round(phi · 2^counting)` with high probability (exactly, when
+/// `phi` is an exact binary fraction).
+///
+/// # Panics
+///
+/// Panics if `counting == 0`.
+pub fn phase_estimation(phi: f64, counting: usize) -> QuantumCircuit {
+    assert!(counting >= 1, "phase estimation needs counting qubits");
+    let n = counting;
+    let mut c = QuantumCircuit::with_name(format!("qpe{n}"), n + 1, n);
+    // Eigenstate |1⟩ of P(λ).
+    c.x(n).expect("in range");
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    // Controlled powers: counting qubit j applies P(2π·phi·2^j).
+    for j in 0..n {
+        let angle = std::f64::consts::TAU * phi * f64::from(1u32 << j) as f64;
+        c.cp(angle, j, n).expect("in range");
+    }
+    // Inverse QFT on the counting register.
+    let inv = iqft(n);
+    let mapping: Vec<crate::QubitId> = (0..n).map(crate::QubitId::from).collect();
+    c.compose(&inv, &mapping, &[]).expect("mapping covers iqft");
+    for q in 0..n {
+        c.measure(q, q).expect("in range");
+    }
+    c
+}
+
+/// Oracle flavor for [`deutsch_jozsa`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DjOracle {
+    /// f(x) = 0 for all x.
+    ConstantZero,
+    /// f(x) = 1 for all x.
+    ConstantOne,
+    /// f(x) = x₀ (balanced).
+    BalancedOnFirstBit,
+    /// f(x) = parity of all bits (balanced).
+    BalancedParity,
+}
+
+/// Deutsch–Jozsa circuit over `n` input qubits with the chosen oracle.
+///
+/// Measuring all input qubits as 0 means "constant"; anything else means
+/// "balanced".
+pub fn deutsch_jozsa(n: usize, oracle: DjOracle) -> QuantumCircuit {
+    let mut c = QuantumCircuit::with_name("deutsch_jozsa", n + 1, n);
+    c.x(n).expect("in range").h(n).expect("in range");
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    match oracle {
+        DjOracle::ConstantZero => {}
+        DjOracle::ConstantOne => {
+            c.x(n).expect("in range");
+        }
+        DjOracle::BalancedOnFirstBit => {
+            c.cx(0, n).expect("in range");
+        }
+        DjOracle::BalancedParity => {
+            for q in 0..n {
+                c.cx(q, n).expect("in range");
+            }
+        }
+    }
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    for q in 0..n {
+        c.measure(q, q).expect("in range");
+    }
+    c
+}
+
+/// Appends a multi-controlled Z over all `n` qubits of `c` (supported for
+/// `n ∈ {1, 2, 3}`; the three-qubit case uses the `H·CCX·H` identity).
+fn append_mcz(c: &mut QuantumCircuit, n: usize) {
+    match n {
+        1 => {
+            c.z(0).expect("in range");
+        }
+        2 => {
+            c.cz(0, 1).expect("in range");
+        }
+        3 => {
+            c.h(2).expect("in range");
+            c.ccx(0, 1, 2).expect("in range");
+            c.h(2).expect("in range");
+        }
+        _ => panic!("multi-controlled Z supported for up to 3 qubits, got {n}"),
+    }
+}
+
+/// Grover search over `n ∈ {2, 3}` qubits for the single `marked` basis
+/// state, with `iterations` Grover iterations.
+///
+/// # Panics
+///
+/// Panics if `n` is not 2 or 3 or `marked >= 2^n`.
+pub fn grover(n: usize, marked: usize, iterations: usize) -> QuantumCircuit {
+    assert!((2..=3).contains(&n), "grover supported for 2 or 3 qubits, got {n}");
+    assert!(marked < (1 << n), "marked state {marked} out of range for {n} qubits");
+    let mut c = QuantumCircuit::with_name(format!("grover{n}_m{marked}"), n, n);
+    for q in 0..n {
+        c.h(q).expect("in range");
+    }
+    for _ in 0..iterations {
+        // Oracle: phase-flip the marked state.
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                c.x(q).expect("in range");
+            }
+        }
+        append_mcz(&mut c, n);
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                c.x(q).expect("in range");
+            }
+        }
+        // Diffuser: reflect about the uniform superposition.
+        for q in 0..n {
+            c.h(q).expect("in range");
+        }
+        for q in 0..n {
+            c.x(q).expect("in range");
+        }
+        append_mcz(&mut c, n);
+        for q in 0..n {
+            c.x(q).expect("in range");
+        }
+        for q in 0..n {
+            c.h(q).expect("in range");
+        }
+    }
+    for q in 0..n {
+        c.measure(q, q).expect("in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::instruction::OpKind;
+
+    #[test]
+    fn bell_structure() {
+        let c = bell();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.instructions()[0].as_gate(), Some(&Gate::H));
+        assert_eq!(c.instructions()[1].as_gate(), Some(&Gate::Cx));
+    }
+
+    #[test]
+    fn ghz_gate_counts() {
+        let c = ghz(5);
+        let ops = c.count_ops();
+        assert_eq!(ops["h"], 1);
+        assert_eq!(ops["cx"], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn ghz_rejects_zero_qubits() {
+        let _ = ghz(0);
+    }
+
+    #[test]
+    fn uniform_superposition_is_all_h() {
+        let c = uniform_superposition(4);
+        assert_eq!(c.len(), 4);
+        assert!(c.instructions().iter().all(|i| i.as_gate() == Some(&Gate::H)));
+    }
+
+    #[test]
+    fn qft_gate_counts() {
+        let c = qft(4);
+        let ops = c.count_ops();
+        assert_eq!(ops["h"], 4);
+        assert_eq!(ops["cp"], 6); // n(n-1)/2 controlled phases
+        assert_eq!(ops["swap"], 2);
+    }
+
+    #[test]
+    fn iqft_is_qft_inverse_structurally() {
+        let f = qft(3);
+        let b = iqft(3);
+        assert_eq!(f.len(), b.len());
+        // First gate of the inverse is the inverse of the last gate.
+        let last = f.instructions().last().unwrap();
+        let first = b.instructions().first().unwrap();
+        assert_eq!(last.as_gate().unwrap().inverse(), *first.as_gate().unwrap());
+    }
+
+    #[test]
+    fn teleportation_has_conditioned_corrections() {
+        let c = teleportation();
+        let conditioned: Vec<_> = c
+            .instructions()
+            .iter()
+            .filter(|i| i.condition().is_some())
+            .collect();
+        assert_eq!(conditioned.len(), 2);
+        assert_eq!(c.measurement_count(), 2);
+    }
+
+    #[test]
+    fn superdense_encodes_each_bit_pattern_differently() {
+        let c00 = superdense_coding(false, false);
+        let c11 = superdense_coding(true, true);
+        assert_eq!(c00.len() + 2, c11.len()); // x and z extra gates
+    }
+
+    #[test]
+    fn bernstein_vazirani_oracle_size_matches_secret_weight() {
+        let secret = [true, false, true, true];
+        let c = bernstein_vazirani(&secret);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.count_ops()["cx"], 3);
+        assert_eq!(c.measurement_count(), 4);
+    }
+
+    #[test]
+    fn deutsch_jozsa_variants_build() {
+        for oracle in [
+            DjOracle::ConstantZero,
+            DjOracle::ConstantOne,
+            DjOracle::BalancedOnFirstBit,
+            DjOracle::BalancedParity,
+        ] {
+            let c = deutsch_jozsa(3, oracle);
+            assert_eq!(c.num_qubits(), 4);
+            assert_eq!(c.measurement_count(), 3);
+        }
+    }
+
+    #[test]
+    fn grover_two_qubit_structure() {
+        let c = grover(2, 0b11, 1);
+        assert!(c.count_ops().contains_key("cz"));
+        assert_eq!(c.measurement_count(), 2);
+    }
+
+    #[test]
+    fn grover_three_qubit_uses_toffoli() {
+        let c = grover(3, 0b101, 2);
+        assert!(c.count_ops()["ccx"] >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grover_rejects_bad_marked_state() {
+        let _ = grover(2, 7, 1);
+    }
+
+    #[test]
+    fn w_state_structure() {
+        let c = w_state(4);
+        assert_eq!(c.num_qubits(), 4);
+        // One X, plus (cry = 2 ry + 2 cx) + 1 cx per cascade step.
+        assert_eq!(c.count_ops()["x"], 1);
+        assert_eq!(c.count_ops()["cx"], 9);
+        assert_eq!(c.count_ops()["ry"], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn w_state_rejects_zero() {
+        let _ = w_state(0);
+    }
+
+    #[test]
+    fn phase_estimation_structure() {
+        let c = phase_estimation(0.25, 3);
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.num_clbits(), 3);
+        assert_eq!(c.measurement_count(), 3);
+        assert_eq!(c.count_ops()["cp"], 3 + 3); // controlled powers + iqft phases
+    }
+
+    #[test]
+    fn library_circuits_have_no_post_select() {
+        for c in [bell(), ghz(3), qft(3), teleportation()] {
+            assert!(!c
+                .instructions()
+                .iter()
+                .any(|i| matches!(i.kind(), OpKind::PostSelect { .. })));
+        }
+    }
+}

@@ -1,0 +1,770 @@
+//! OpenQASM 2.0 export and import.
+//!
+//! The exporter targets the `qelib1.inc` gate vocabulary; the importer
+//! accepts the same subset plus common aliases (`p`/`u1`, `cp`/`cu1`,
+//! `u`/`u3`). Post-selection — which has no QASM representation — round
+//! trips through a `// pragma qassert post_select` comment.
+//!
+//! Classically-conditioned gates are exported by declaring one
+//! single-bit classical register per circuit clbit (`creg c3[1];`), since
+//! OpenQASM 2 conditions apply to whole registers.
+
+use crate::circuit::QuantumCircuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::instruction::{Condition, Instruction, OpKind};
+use crate::register::{ClbitId, QubitId};
+use std::fmt;
+
+/// Error produced while parsing OpenQASM source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QasmError {
+    /// The source is missing the `OPENQASM 2.0;` header.
+    MissingHeader,
+    /// A statement could not be parsed.
+    Malformed {
+        /// Line number (1-based).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A gate name is not in the supported vocabulary.
+    UnknownGate {
+        /// Line number (1-based).
+        line: usize,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A register reference was not declared.
+    UnknownRegister {
+        /// Line number (1-based).
+        line: usize,
+        /// The unrecognized register name.
+        name: String,
+    },
+    /// The parsed program failed circuit validation.
+    Invalid(CircuitError),
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::MissingHeader => write!(f, "missing OPENQASM 2.0 header"),
+            QasmError::Malformed { line, reason } => {
+                write!(f, "malformed statement on line {line}: {reason}")
+            }
+            QasmError::UnknownGate { line, name } => {
+                write!(f, "unknown gate '{name}' on line {line}")
+            }
+            QasmError::UnknownRegister { line, name } => {
+                write!(f, "unknown register '{name}' on line {line}")
+            }
+            QasmError::Invalid(e) => write!(f, "invalid circuit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QasmError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for QasmError {
+    fn from(e: CircuitError) -> Self {
+        QasmError::Invalid(e)
+    }
+}
+
+/// Serializes a circuit to OpenQASM 2.0 source.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::{QuantumCircuit, qasm};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = QuantumCircuit::new(2, 2);
+/// c.h(0)?.cx(0, 1)?.measure(0, 0)?;
+/// let src = qasm::to_qasm(&c);
+/// assert!(src.contains("cx q[0],q[1];"));
+/// let back = qasm::from_qasm(&src)?;
+/// assert_eq!(back.len(), c.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_qasm(circuit: &QuantumCircuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let per_bit_cregs = circuit
+        .instructions()
+        .iter()
+        .any(|i| i.condition().is_some());
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits().max(1)));
+    if per_bit_cregs {
+        for c in 0..circuit.num_clbits() {
+            out.push_str(&format!("creg c{c}[1];\n"));
+        }
+    } else if circuit.num_clbits() > 0 {
+        out.push_str(&format!("creg c[{}];\n", circuit.num_clbits()));
+    }
+
+    let clbit = |c: ClbitId| {
+        if per_bit_cregs {
+            format!("c{}[0]", c.index())
+        } else {
+            format!("c[{}]", c.index())
+        }
+    };
+
+    for instr in circuit.instructions() {
+        if let Some(cond) = instr.condition() {
+            out.push_str(&format!(
+                "if(c{}=={}) ",
+                cond.clbit.index(),
+                u8::from(cond.value)
+            ));
+        }
+        match instr.kind() {
+            OpKind::Gate(g) => {
+                let name = match g {
+                    Gate::P(_) => "u1",
+                    Gate::Cp(_) => "cu1",
+                    other => other.name(),
+                };
+                let params = g.params();
+                if params.is_empty() {
+                    out.push_str(name);
+                } else {
+                    let rendered: Vec<String> =
+                        params.iter().map(|p| format!("{p:.17}")).collect();
+                    out.push_str(&format!("{name}({})", rendered.join(",")));
+                }
+                let qs: Vec<String> = instr
+                    .qubits()
+                    .iter()
+                    .map(|q| format!("q[{}]", q.index()))
+                    .collect();
+                out.push_str(&format!(" {};\n", qs.join(",")));
+            }
+            OpKind::Measure => {
+                out.push_str(&format!(
+                    "measure q[{}] -> {};\n",
+                    instr.qubits()[0].index(),
+                    clbit(instr.clbits()[0])
+                ));
+            }
+            OpKind::Reset => {
+                out.push_str(&format!("reset q[{}];\n", instr.qubits()[0].index()));
+            }
+            OpKind::Barrier => {
+                let qs: Vec<String> = instr
+                    .qubits()
+                    .iter()
+                    .map(|q| format!("q[{}]", q.index()))
+                    .collect();
+                out.push_str(&format!("barrier {};\n", qs.join(",")));
+            }
+            OpKind::PostSelect { outcome } => {
+                out.push_str(&format!(
+                    "// pragma qassert post_select q[{}] {}\n",
+                    instr.qubits()[0].index(),
+                    u8::from(*outcome)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A declared register: name and flat offset into the circuit's wires.
+struct Register {
+    name: String,
+    offset: usize,
+    size: usize,
+}
+
+/// Parses OpenQASM 2.0 source into a circuit.
+///
+/// Supports the statement subset produced by [`to_qasm`]: register
+/// declarations, the qelib1 gates used by this workspace, `measure`,
+/// `reset`, `barrier`, single-register `if(c==v)` conditions, and the
+/// `post_select` pragma.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] describing the first offending line.
+pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
+    let mut qregs: Vec<Register> = Vec::new();
+    let mut cregs: Vec<Register> = Vec::new();
+    let mut num_qubits = 0usize;
+    let mut num_clbits = 0usize;
+    let mut body: Vec<(usize, String, Option<Condition>)> = Vec::new();
+    let mut saw_header = false;
+    let mut pragmas: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("// pragma qassert ") {
+            pragmas.push((lineno, rest.to_string()));
+            continue;
+        }
+        let line = match line.find("//") {
+            Some(pos) => line[..pos].trim(),
+            None => line,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") {
+                saw_header = true;
+            } else if stmt.starts_with("include") {
+                // qelib1.inc is implied.
+            } else if let Some(rest) = stmt.strip_prefix("qreg ") {
+                let (name, size) = parse_reg_decl(rest, lineno)?;
+                qregs.push(Register { name, offset: num_qubits, size });
+                num_qubits += size;
+            } else if let Some(rest) = stmt.strip_prefix("creg ") {
+                let (name, size) = parse_reg_decl(rest, lineno)?;
+                cregs.push(Register { name, offset: num_clbits, size });
+                num_clbits += size;
+            } else {
+                body.push((lineno, stmt.to_string(), None));
+            }
+        }
+    }
+    if !saw_header {
+        return Err(QasmError::MissingHeader);
+    }
+
+    let mut circuit = QuantumCircuit::new(num_qubits, num_clbits);
+
+    let lookup_q = |name: &str, idx: usize, line: usize| -> Result<QubitId, QasmError> {
+        let reg = qregs
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| QasmError::UnknownRegister { line, name: name.to_string() })?;
+        if idx >= reg.size {
+            return Err(QasmError::Malformed {
+                line,
+                reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
+            });
+        }
+        Ok(QubitId::from(reg.offset + idx))
+    };
+    let lookup_c = |name: &str, idx: usize, line: usize| -> Result<ClbitId, QasmError> {
+        let reg = cregs
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| QasmError::UnknownRegister { line, name: name.to_string() })?;
+        if idx >= reg.size {
+            return Err(QasmError::Malformed {
+                line,
+                reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
+            });
+        }
+        Ok(ClbitId::from(reg.offset + idx))
+    };
+
+    // Interleave pragmas back into the body by line number.
+    let mut stream: Vec<(usize, String)> = body
+        .into_iter()
+        .map(|(l, s, _)| (l, s))
+        .chain(pragmas.into_iter().map(|(l, p)| (l, format!("@{p}"))))
+        .collect();
+    stream.sort_by_key(|(l, _)| *l);
+
+    for (line, stmt) in stream {
+        if let Some(p) = stmt.strip_prefix('@') {
+            // post_select q[i] v
+            let parts: Vec<&str> = p.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "post_select" {
+                return Err(QasmError::Malformed {
+                    line,
+                    reason: format!("unrecognized pragma '{p}'"),
+                });
+            }
+            let (name, idx) = parse_indexed(parts[1], line)?;
+            let q = lookup_q(&name, idx, line)?;
+            let outcome = parts[2] == "1";
+            circuit.append(Instruction::post_select(q, outcome))?;
+            continue;
+        }
+
+        let (stmt, condition) = if let Some(rest) = stmt.strip_prefix("if(") {
+            let close = rest.find(')').ok_or_else(|| QasmError::Malformed {
+                line,
+                reason: "unterminated if(...)".to_string(),
+            })?;
+            let cond_src = &rest[..close];
+            let tail = rest[close + 1..].trim().to_string();
+            let eq = cond_src.find("==").ok_or_else(|| QasmError::Malformed {
+                line,
+                reason: "condition must use ==".to_string(),
+            })?;
+            let reg_name = cond_src[..eq].trim();
+            let value: u64 = cond_src[eq + 2..]
+                .trim()
+                .parse()
+                .map_err(|_| QasmError::Malformed {
+                    line,
+                    reason: "condition value must be an integer".to_string(),
+                })?;
+            let clbit = lookup_c(reg_name, 0, line)?;
+            (tail, Some(Condition { clbit, value: value != 0 }))
+        } else {
+            (stmt, None)
+        };
+
+        if let Some(rest) = stmt.strip_prefix("measure ") {
+            let arrow = rest.find("->").ok_or_else(|| QasmError::Malformed {
+                line,
+                reason: "measure requires '->'".to_string(),
+            })?;
+            let (qname, qidx) = parse_indexed(rest[..arrow].trim(), line)?;
+            let (cname, cidx) = parse_indexed(rest[arrow + 2..].trim(), line)?;
+            let instr =
+                Instruction::measure(lookup_q(&qname, qidx, line)?, lookup_c(&cname, cidx, line)?);
+            circuit.append(instr)?;
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("reset ") {
+            let (qname, qidx) = parse_indexed(rest.trim(), line)?;
+            let mut instr = Instruction::reset(lookup_q(&qname, qidx, line)?);
+            if let Some(c) = condition {
+                instr = instr.with_condition(c);
+            }
+            circuit.append(instr)?;
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("barrier ") {
+            let mut qs = Vec::new();
+            for operand in rest.split(',') {
+                let (qname, qidx) = parse_indexed(operand.trim(), line)?;
+                qs.push(lookup_q(&qname, qidx, line)?);
+            }
+            circuit.append(Instruction::barrier(qs))?;
+            continue;
+        }
+
+        // Gate application: name[(params)] operands
+        let (head, operands) = match stmt.find(' ') {
+            Some(pos) => (&stmt[..pos], stmt[pos + 1..].trim()),
+            None => {
+                return Err(QasmError::Malformed {
+                    line,
+                    reason: format!("unrecognized statement '{stmt}'"),
+                })
+            }
+        };
+        let (name, params) = if let Some(open) = head.find('(') {
+            let close = head.rfind(')').ok_or_else(|| QasmError::Malformed {
+                line,
+                reason: "unterminated parameter list".to_string(),
+            })?;
+            let params: Result<Vec<f64>, QasmError> = head[open + 1..close]
+                .split(',')
+                .map(|e| {
+                    parse_param_expr(e).map_err(|reason| QasmError::Malformed { line, reason })
+                })
+                .collect();
+            (&head[..open], params?)
+        } else {
+            (head, Vec::new())
+        };
+
+        let gate = gate_from_name(name, &params)
+            .ok_or_else(|| QasmError::UnknownGate { line, name: name.to_string() })?;
+        let mut qs = Vec::new();
+        for operand in operands.split(',') {
+            let (qname, qidx) = parse_indexed(operand.trim(), line)?;
+            qs.push(lookup_q(&qname, qidx, line)?);
+        }
+        let mut instr = Instruction::gate(gate, qs);
+        if let Some(c) = condition {
+            instr = instr.with_condition(c);
+        }
+        circuit.append(instr)?;
+    }
+
+    Ok(circuit)
+}
+
+/// Parses `name[size]` from a register declaration.
+fn parse_reg_decl(src: &str, line: usize) -> Result<(String, usize), QasmError> {
+    let (name, idx) = parse_indexed(src.trim(), line)?;
+    Ok((name, idx))
+}
+
+/// Parses `name[index]` into its parts.
+fn parse_indexed(src: &str, line: usize) -> Result<(String, usize), QasmError> {
+    let open = src.find('[').ok_or_else(|| QasmError::Malformed {
+        line,
+        reason: format!("expected name[index], got '{src}'"),
+    })?;
+    let close = src.rfind(']').ok_or_else(|| QasmError::Malformed {
+        line,
+        reason: format!("missing ']' in '{src}'"),
+    })?;
+    let name = src[..open].trim().to_string();
+    let idx: usize = src[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::Malformed {
+            line,
+            reason: format!("index in '{src}' is not an integer"),
+        })?;
+    Ok((name, idx))
+}
+
+/// Maps a QASM gate name plus parsed parameters onto [`Gate`].
+fn gate_from_name(name: &str, params: &[f64]) -> Option<Gate> {
+    let g = match (name, params.len()) {
+        ("id", 0) => Gate::I,
+        ("x", 0) => Gate::X,
+        ("y", 0) => Gate::Y,
+        ("z", 0) => Gate::Z,
+        ("h", 0) => Gate::H,
+        ("s", 0) => Gate::S,
+        ("sdg", 0) => Gate::Sdg,
+        ("t", 0) => Gate::T,
+        ("tdg", 0) => Gate::Tdg,
+        ("sx", 0) => Gate::Sx,
+        ("sxdg", 0) => Gate::Sxdg,
+        ("rx", 1) => Gate::Rx(params[0]),
+        ("ry", 1) => Gate::Ry(params[0]),
+        ("rz", 1) => Gate::Rz(params[0]),
+        ("p" | "u1", 1) => Gate::P(params[0]),
+        ("u3" | "u", 3) => Gate::U3(params[0], params[1], params[2]),
+        ("cx", 0) => Gate::Cx,
+        ("cy", 0) => Gate::Cy,
+        ("cz", 0) => Gate::Cz,
+        ("ch", 0) => Gate::Ch,
+        ("cp" | "cu1", 1) => Gate::Cp(params[0]),
+        ("swap", 0) => Gate::Swap,
+        ("ccx", 0) => Gate::Ccx,
+        ("cswap", 0) => Gate::Cswap,
+        _ => return None,
+    };
+    Some(g)
+}
+
+/// Evaluates a QASM parameter expression: numbers, `pi`, unary minus,
+/// `+ - * /`, and parentheses.
+fn parse_param_expr(src: &str) -> Result<f64, String> {
+    let tokens = tokenize(src)?;
+    let mut pos = 0;
+    let v = parse_sum(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens in expression '{src}'"));
+    }
+    Ok(v)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Num(f64),
+    Pi,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            'p' if chars.get(i + 1) == Some(&'i') => {
+                out.push(Tok::Pi);
+                i += 2;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || (i > start
+                            && (chars[i] == '+' || chars[i] == '-')
+                            && matches!(chars[i - 1], 'e' | 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let v: f64 = text.parse().map_err(|_| format!("bad number '{text}'"))?;
+                out.push(Tok::Num(v));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_sum(tokens: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    let mut acc = parse_product(tokens, pos)?;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            Tok::Plus => {
+                *pos += 1;
+                acc += parse_product(tokens, pos)?;
+            }
+            Tok::Minus => {
+                *pos += 1;
+                acc -= parse_product(tokens, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_product(tokens: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    let mut acc = parse_atom(tokens, pos)?;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            Tok::Star => {
+                *pos += 1;
+                acc *= parse_atom(tokens, pos)?;
+            }
+            Tok::Slash => {
+                *pos += 1;
+                acc /= parse_atom(tokens, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_atom(tokens: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    match tokens.get(*pos) {
+        Some(Tok::Num(v)) => {
+            *pos += 1;
+            Ok(*v)
+        }
+        Some(Tok::Pi) => {
+            *pos += 1;
+            Ok(std::f64::consts::PI)
+        }
+        Some(Tok::Minus) => {
+            *pos += 1;
+            Ok(-parse_atom(tokens, pos)?)
+        }
+        Some(Tok::Plus) => {
+            *pos += 1;
+            parse_atom(tokens, pos)
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let v = parse_sum(tokens, pos)?;
+            if tokens.get(*pos) != Some(&Tok::RParen) {
+                return Err("missing closing parenthesis".to_string());
+            }
+            *pos += 1;
+            Ok(v)
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sample() -> QuantumCircuit {
+        let mut c = QuantumCircuit::new(3, 3);
+        c.h(0)
+            .unwrap()
+            .cx(0, 1)
+            .unwrap()
+            .rx(0.25, 2)
+            .unwrap()
+            .u3(0.1, 0.2, 0.3, 2)
+            .unwrap()
+            .cp(1.5, 0, 2)
+            .unwrap()
+            .barrier([0usize, 1, 2])
+            .unwrap()
+            .measure(0, 0)
+            .unwrap()
+            .measure(1, 1)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn export_contains_expected_statements() {
+        let src = to_qasm(&sample());
+        assert!(src.starts_with("OPENQASM 2.0;"));
+        assert!(src.contains("qreg q[3];"));
+        assert!(src.contains("creg c[3];"));
+        assert!(src.contains("h q[0];"));
+        assert!(src.contains("cx q[0],q[1];"));
+        assert!(src.contains("measure q[0] -> c[0];"));
+        assert!(src.contains("barrier q[0],q[1],q[2];"));
+    }
+
+    #[test]
+    fn round_trip_preserves_instruction_stream() {
+        let original = sample();
+        let parsed = from_qasm(&to_qasm(&original)).unwrap();
+        assert_eq!(parsed.num_qubits(), original.num_qubits());
+        assert_eq!(parsed.num_clbits(), original.num_clbits());
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.instructions().iter().zip(parsed.instructions()) {
+            match (a.as_gate(), b.as_gate()) {
+                (Some(ga), Some(gb)) => {
+                    assert_eq!(ga.name(), gb.name());
+                    for (pa, pb) in ga.params().iter().zip(gb.params()) {
+                        assert!((pa - pb).abs() < 1e-12);
+                    }
+                }
+                _ => assert_eq!(a.kind().name(), b.kind().name()),
+            }
+            assert_eq!(a.qubits(), b.qubits());
+            assert_eq!(a.clbits(), b.clbits());
+        }
+    }
+
+    #[test]
+    fn conditions_round_trip_via_per_bit_registers() {
+        let mut c = QuantumCircuit::new(2, 2);
+        c.measure(0, 1).unwrap();
+        c.gate_if(Gate::X, [1], 1, true).unwrap();
+        let src = to_qasm(&c);
+        assert!(src.contains("creg c1[1];"));
+        assert!(src.contains("if(c1==1) x q[1];"));
+        let parsed = from_qasm(&src).unwrap();
+        let cond = parsed.instructions()[1].condition().unwrap();
+        assert_eq!(cond.clbit.index(), 1);
+        assert!(cond.value);
+    }
+
+    #[test]
+    fn post_select_round_trips_through_pragma() {
+        let mut c = QuantumCircuit::new(1, 0);
+        c.h(0).unwrap().post_select(0, true).unwrap();
+        let src = to_qasm(&c);
+        assert!(src.contains("// pragma qassert post_select q[0] 1"));
+        let parsed = from_qasm(&src).unwrap();
+        assert_eq!(
+            parsed.instructions()[1].kind(),
+            &OpKind::PostSelect { outcome: true }
+        );
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert_eq!(from_qasm("qreg q[1];\nh q[0];"), Err(QasmError::MissingHeader));
+    }
+
+    #[test]
+    fn unknown_gate_is_reported_with_line() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];";
+        match from_qasm(src) {
+            Err(QasmError::UnknownGate { line, name }) => {
+                assert_eq!(line, 3);
+                assert_eq!(name, "frobnicate");
+            }
+            other => panic!("expected UnknownGate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_register_is_reported() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nh r[0];";
+        assert!(matches!(from_qasm(src), Err(QasmError::UnknownRegister { .. })));
+    }
+
+    #[test]
+    fn index_out_of_range_is_reported() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nh q[3];";
+        assert!(matches!(from_qasm(src), Err(QasmError::Malformed { .. })));
+    }
+
+    #[test]
+    fn pi_expressions_evaluate() {
+        assert!((parse_param_expr("pi").unwrap() - PI).abs() < 1e-15);
+        assert!((parse_param_expr("pi/2").unwrap() - PI / 2.0).abs() < 1e-15);
+        assert!((parse_param_expr("-pi/4").unwrap() + PI / 4.0).abs() < 1e-15);
+        assert!((parse_param_expr("3*pi/2").unwrap() - 3.0 * PI / 2.0).abs() < 1e-15);
+        assert!((parse_param_expr("0.5").unwrap() - 0.5).abs() < 1e-15);
+        assert!((parse_param_expr("1e-3").unwrap() - 1e-3).abs() < 1e-18);
+        assert!((parse_param_expr("(pi+1)/2").unwrap() - (PI + 1.0) / 2.0).abs() < 1e-15);
+        assert!((parse_param_expr("1-2").unwrap() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bad_expressions_are_rejected ()  {
+        assert!(parse_param_expr("pi pi").is_err());
+        assert!(parse_param_expr("(1").is_err());
+        assert!(parse_param_expr("&").is_err());
+        assert!(parse_param_expr("").is_err());
+    }
+
+    #[test]
+    fn gates_with_pi_params_parse() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrx(pi/2) q[0];\nu3(pi,0,pi) q[0];";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+        match c.instructions()[0].as_gate() {
+            Some(Gate::Rx(t)) => assert!((t - PI / 2.0).abs() < 1e-15),
+            other => panic!("expected rx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_registers_map_to_flat_indices() {
+        let src = "OPENQASM 2.0;\nqreg a[1];\nqreg b[2];\ncreg m[2];\nh b[1];\nmeasure b[1] -> m[0];";
+        let c = from_qasm(src).unwrap();
+        // a occupies index 0, b occupies 1..3, so b[1] is flat qubit 2.
+        assert_eq!(c.instructions()[0].qubits()[0].index(), 2);
+    }
+
+    #[test]
+    fn u_and_p_aliases_are_accepted() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\np(0.5) q[0];\nu(0.1,0.2,0.3) q[0];\nu1(0.4) q[0];";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+}

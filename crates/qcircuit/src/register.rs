@@ -1,0 +1,170 @@
+//! Typed wire identifiers.
+//!
+//! Qubit and classical-bit indices are distinct newtypes so that a qubit
+//! index can never be passed where a classical index is expected (and vice
+//! versa) — a real bug class in measurement-heavy assertion circuits.
+
+use std::fmt;
+
+/// Identifier of a qubit (quantum wire) within a circuit.
+///
+/// Construct from a plain index with `QubitId::from(3)` or `3.into()`.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::QubitId;
+/// let q = QubitId::new(2);
+/// assert_eq!(q.index(), 2);
+/// assert_eq!(q.to_string(), "q2");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QubitId(u32);
+
+impl QubitId {
+    /// Creates a qubit identifier from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        QubitId(index)
+    }
+
+    /// The raw index of this qubit.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for QubitId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        QubitId(index)
+    }
+}
+
+impl From<usize> for QubitId {
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (circuits that large are not
+    /// representable).
+    #[inline]
+    fn from(index: usize) -> Self {
+        QubitId(u32::try_from(index).expect("qubit index exceeds u32::MAX"))
+    }
+}
+
+impl From<i32> for QubitId {
+    /// Convenience for integer literals in builder calls (`circuit.h(0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is negative.
+    #[inline]
+    fn from(index: i32) -> Self {
+        QubitId(u32::try_from(index).expect("qubit index must be non-negative"))
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a classical bit within a circuit.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::ClbitId;
+/// let c = ClbitId::new(0);
+/// assert_eq!(c.to_string(), "c0");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClbitId(u32);
+
+impl ClbitId {
+    /// Creates a classical-bit identifier from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ClbitId(index)
+    }
+
+    /// The raw index of this classical bit.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ClbitId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        ClbitId(index)
+    }
+}
+
+impl From<usize> for ClbitId {
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    fn from(index: usize) -> Self {
+        ClbitId(u32::try_from(index).expect("clbit index exceeds u32::MAX"))
+    }
+}
+
+impl From<i32> for ClbitId {
+    /// Convenience for integer literals in builder calls
+    /// (`circuit.measure(0, 0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is negative.
+    #[inline]
+    fn from(index: i32) -> Self {
+        ClbitId(u32::try_from(index).expect("clbit index must be non-negative"))
+    }
+}
+
+impl fmt::Display for ClbitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_id_round_trips_index() {
+        assert_eq!(QubitId::new(5).index(), 5);
+        assert_eq!(QubitId::from(7u32).index(), 7);
+        assert_eq!(QubitId::from(9usize).index(), 9);
+    }
+
+    #[test]
+    fn clbit_id_round_trips_index() {
+        assert_eq!(ClbitId::new(5).index(), 5);
+        assert_eq!(ClbitId::from(3u32).index(), 3);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(QubitId::new(1) < QubitId::new(2));
+        assert!(ClbitId::new(0) < ClbitId::new(9));
+    }
+
+    #[test]
+    fn display_uses_wire_prefixes() {
+        assert_eq!(QubitId::new(11).to_string(), "q11");
+        assert_eq!(ClbitId::new(4).to_string(), "c4");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_usize_panics() {
+        let _ = QubitId::from(usize::MAX);
+    }
+}

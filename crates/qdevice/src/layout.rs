@@ -1,0 +1,188 @@
+//! Logical-to-physical qubit layouts.
+//!
+//! The router tracks where each logical qubit currently lives as SWAPs
+//! accumulate. A [`Layout`] is a permutation `logical → physical`.
+
+use qcircuit::QubitId;
+use std::fmt;
+
+/// A bijective map from logical circuit qubits to physical device
+/// qubits.
+///
+/// # Example
+///
+/// ```
+/// use qdevice::Layout;
+/// let mut layout = Layout::trivial(3);
+/// layout.swap_physical(0.into(), 2.into());
+/// assert_eq!(layout.physical(0.into()).index(), 2);
+/// assert_eq!(layout.logical(2.into()).unwrap().index(), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// `logical_to_physical[l]` is the physical home of logical qubit
+    /// `l`.
+    logical_to_physical: Vec<u32>,
+    /// Inverse map; `u32::MAX` marks a physical qubit hosting no logical
+    /// qubit (device larger than circuit).
+    physical_to_logical: Vec<u32>,
+}
+
+impl Layout {
+    /// The identity layout of `num_logical` qubits on a device with
+    /// `num_physical ≥ num_logical` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is smaller than the circuit.
+    pub fn trivial_on(num_logical: usize, num_physical: usize) -> Self {
+        assert!(
+            num_physical >= num_logical,
+            "device has {num_physical} qubits, circuit needs {num_logical}"
+        );
+        let mut physical_to_logical = vec![u32::MAX; num_physical];
+        for l in 0..num_logical {
+            physical_to_logical[l] = l as u32;
+        }
+        Layout {
+            logical_to_physical: (0..num_logical as u32).collect(),
+            physical_to_logical,
+        }
+    }
+
+    /// The identity layout on an equally sized device.
+    pub fn trivial(num_qubits: usize) -> Self {
+        Layout::trivial_on(num_qubits, num_qubits)
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_physical(&self) -> usize {
+        self.physical_to_logical.len()
+    }
+
+    /// The physical home of a logical qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `logical` is out of range.
+    pub fn physical(&self, logical: QubitId) -> QubitId {
+        QubitId::new(self.logical_to_physical[logical.index()])
+    }
+
+    /// The logical occupant of a physical qubit, or `None` for spare
+    /// device qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `physical` is out of range.
+    pub fn logical(&self, physical: QubitId) -> Option<QubitId> {
+        match self.physical_to_logical[physical.index()] {
+            u32::MAX => None,
+            l => Some(QubitId::new(l)),
+        }
+    }
+
+    /// Records a SWAP between two physical locations: whatever logical
+    /// qubits live there exchange homes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either location is out of range.
+    pub fn swap_physical(&mut self, a: QubitId, b: QubitId) {
+        let la = self.physical_to_logical[a.index()];
+        let lb = self.physical_to_logical[b.index()];
+        self.physical_to_logical.swap(a.index(), b.index());
+        if la != u32::MAX {
+            self.logical_to_physical[la as usize] = b.index() as u32;
+        }
+        if lb != u32::MAX {
+            self.logical_to_physical[lb as usize] = a.index() as u32;
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pairs: Vec<String> = self
+            .logical_to_physical
+            .iter()
+            .enumerate()
+            .map(|(l, p)| format!("q{l}→Q{p}"))
+            .collect();
+        write!(f, "layout({})", pairs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let layout = Layout::trivial(3);
+        for i in 0..3u32 {
+            assert_eq!(layout.physical(q(i)), q(i));
+            assert_eq!(layout.logical(q(i)), Some(q(i)));
+        }
+    }
+
+    #[test]
+    fn oversized_device_has_spares() {
+        let layout = Layout::trivial_on(2, 5);
+        assert_eq!(layout.num_logical(), 2);
+        assert_eq!(layout.num_physical(), 5);
+        assert_eq!(layout.logical(q(4)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn undersized_device_panics() {
+        let _ = Layout::trivial_on(5, 2);
+    }
+
+    #[test]
+    fn swap_updates_both_directions() {
+        let mut layout = Layout::trivial(3);
+        layout.swap_physical(q(0), q(2));
+        assert_eq!(layout.physical(q(0)), q(2));
+        assert_eq!(layout.physical(q(2)), q(0));
+        assert_eq!(layout.physical(q(1)), q(1));
+        assert_eq!(layout.logical(q(0)), Some(q(2)));
+        assert_eq!(layout.logical(q(2)), Some(q(0)));
+    }
+
+    #[test]
+    fn swap_with_spare_slot() {
+        let mut layout = Layout::trivial_on(1, 3);
+        layout.swap_physical(q(0), q(2));
+        assert_eq!(layout.physical(q(0)), q(2));
+        assert_eq!(layout.logical(q(0)), None);
+        assert_eq!(layout.logical(q(2)), Some(q(0)));
+    }
+
+    #[test]
+    fn swaps_compose_like_permutations() {
+        let mut layout = Layout::trivial(3);
+        layout.swap_physical(q(0), q(1));
+        layout.swap_physical(q(1), q(2));
+        // logical 0: 0→1→2; logical 1: 1→0; logical 2: 2→1.
+        assert_eq!(layout.physical(q(0)), q(2));
+        assert_eq!(layout.physical(q(1)), q(0));
+        assert_eq!(layout.physical(q(2)), q(1));
+    }
+
+    #[test]
+    fn display_shows_mapping() {
+        let layout = Layout::trivial(2);
+        assert_eq!(layout.to_string(), "layout(q0→Q0, q1→Q1)");
+    }
+}

@@ -1,0 +1,40 @@
+//! Device topologies and transpilation.
+//!
+//! Substrate S6 of the dynamic-assertion reproduction (see the workspace
+//! `DESIGN.md`). The paper notes that "due to the constraints on
+//! connectivity of the IBM Q computer, we used qubit q2 as the ancilla" —
+//! this crate models exactly those constraints and the rewrites needed to
+//! satisfy them:
+//!
+//! * [`Topology`] — directed coupling graphs, with the `ibmqx4`
+//!   (Tenerife) preset the paper ran on ([`presets`]),
+//! * [`Layout`] — logical→physical qubit tracking through routing,
+//! * [`transpile`] — the pass pipeline: decomposition to `{1q, CX}`,
+//!   greedy SWAP routing, CX direction fixing via H-sandwiches, peephole
+//!   optimization, and optional `U3` basis translation,
+//! * [`verify`] — conformance checks and unitary-equivalence testing of
+//!   every rewrite.
+//!
+//! # Example
+//!
+//! ```
+//! use qcircuit::library;
+//! use qdevice::{presets, transpile, verify};
+//!
+//! # fn main() -> Result<(), qdevice::TranspileError> {
+//! let bell = library::bell();
+//! let result = transpile::transpile(&bell, &presets::ibmqx4())?;
+//! verify::check_native(&result.circuit, &presets::ibmqx4())?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod layout;
+pub mod presets;
+pub mod topology;
+pub mod transpile;
+pub mod verify;
+
+pub use layout::Layout;
+pub use topology::Topology;
+pub use transpile::{transpile as transpile_for, Pass, TranspileError, TranspileResult};

@@ -1,0 +1,218 @@
+//! Topology presets.
+
+use crate::topology::Topology;
+
+/// The IBM Q 5 "Tenerife" (`ibmqx4`) coupling map the paper ran on:
+/// five qubits, directed CX edges
+/// `1→0, 2→0, 2→1, 3→2, 3→4, 4→2`.
+pub fn ibmqx4() -> Topology {
+    let mut t = Topology::new(5);
+    for (c, tgt) in qnoise_edges() {
+        t.add_edge(c, tgt);
+    }
+    t
+}
+
+/// The `ibmqx4` edges; kept in one place so the noise preset
+/// (`qnoise::presets::IBMQX4_EDGES`) and this topology cannot drift
+/// apart (asserted in tests).
+fn qnoise_edges() -> [(u32, u32); 6] {
+    [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)]
+}
+
+/// The IBM Q 5 "Yorktown" (`ibmqx2`) coupling map: a bow-tie of five
+/// qubits with directed edges
+/// `0→1, 0→2, 1→2, 3→2, 3→4, 4→2`.
+pub fn ibmqx2() -> Topology {
+    let mut t = Topology::new(5);
+    for (c, tgt) in [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)] {
+        t.add_edge(c, tgt);
+    }
+    t
+}
+
+/// An IBM Q 16 "Melbourne"-style ladder: two seven-qubit rails with
+/// rungs, 14 qubits total (directionality follows the published map's
+/// pattern: top rail rightward, bottom rail leftward, rungs downward).
+pub fn melbourne() -> Topology {
+    let mut t = Topology::new(14);
+    // Top rail 0→1→…→6, bottom rail 13→12→…→7 (reversed direction).
+    for i in 0..6 {
+        t.add_edge(i, i + 1);
+    }
+    for i in (8..14).rev() {
+        t.add_edge(i as u32, i as u32 - 1);
+    }
+    // Rungs: top qubit i couples down to 13−i.
+    for i in 1..7u32 {
+        t.add_edge(i, 13 - i);
+    }
+    t
+}
+
+/// A linear chain `0 → 1 → … → n−1`.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn linear(n: usize) -> Topology {
+    assert!(n >= 1, "linear topology needs at least one qubit");
+    let mut t = Topology::new(n);
+    for i in 0..n.saturating_sub(1) {
+        t.add_edge(i as u32, i as u32 + 1);
+    }
+    t
+}
+
+/// A ring of `n` qubits (`i → i+1 mod n`).
+///
+/// # Panics
+///
+/// Panics when `n < 3`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "ring topology needs at least three qubits");
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        t.add_edge(i as u32, ((i + 1) % n) as u32);
+    }
+    t
+}
+
+/// A `width × height` grid with edges rightward and downward.
+///
+/// # Panics
+///
+/// Panics when either dimension is zero.
+pub fn grid(width: usize, height: usize) -> Topology {
+    assert!(width >= 1 && height >= 1, "grid dimensions must be positive");
+    let mut t = Topology::new(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let idx = (y * width + x) as u32;
+            if x + 1 < width {
+                t.add_edge(idx, idx + 1);
+            }
+            if y + 1 < height {
+                t.add_edge(idx, idx + width as u32);
+            }
+        }
+    }
+    t
+}
+
+/// All-to-all connectivity (both directions on every pair).
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn fully_connected(n: usize) -> Topology {
+    assert!(n >= 1, "topology needs at least one qubit");
+    let mut t = Topology::new(n);
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            if a != b {
+                t.add_edge(a, b);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::QubitId;
+
+    #[test]
+    fn ibmqx4_matches_published_coupling_map() {
+        let t = ibmqx4();
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.has_directed_edge(QubitId::new(1), QubitId::new(0)));
+        assert!(t.has_directed_edge(QubitId::new(4), QubitId::new(2)));
+        assert!(!t.has_directed_edge(QubitId::new(0), QubitId::new(1)));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn ibmqx4_edges_agree_with_noise_preset() {
+        let from_topo: Vec<(u32, u32)> = ibmqx4()
+            .edges()
+            .map(|(c, t)| (c.index() as u32, t.index() as u32))
+            .collect();
+        let mut from_noise = qnoise::presets::IBMQX4_EDGES.to_vec();
+        from_noise.sort_unstable();
+        assert_eq!(from_topo, from_noise);
+    }
+
+    #[test]
+    fn ibmqx2_bowtie_structure() {
+        let t = ibmqx2();
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.is_connected());
+        // Qubit 2 is the hub: coupled to all four others.
+        assert_eq!(t.neighbors(QubitId::new(2)).len(), 4);
+    }
+
+    #[test]
+    fn melbourne_ladder_structure() {
+        let t = melbourne();
+        assert_eq!(t.num_qubits(), 14);
+        assert!(t.is_connected());
+        // Rails + rungs: 6 + 6 + 6 edges.
+        assert_eq!(t.edge_count(), 18);
+        // Opposite corners are far apart.
+        assert!(t.distance(QubitId::new(0), QubitId::new(7)).unwrap() >= 4);
+    }
+
+    #[test]
+    fn melbourne_routes_wide_circuits() {
+        let t = melbourne();
+        let ghz = qcircuit::library::ghz(10);
+        let result = crate::transpile::transpile(&ghz, &t).unwrap();
+        crate::verify::check_native(&result.circuit, &t).unwrap();
+    }
+
+    #[test]
+    fn linear_chain_distances() {
+        let t = linear(5);
+        assert_eq!(t.distance(QubitId::new(0), QubitId::new(4)), Some(4));
+        assert_eq!(t.edge_count(), 4);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let t = ring(6);
+        assert_eq!(t.distance(QubitId::new(0), QubitId::new(5)), Some(1));
+        assert_eq!(t.distance(QubitId::new(0), QubitId::new(3)), Some(3));
+    }
+
+    #[test]
+    fn grid_adjacency() {
+        let t = grid(3, 2);
+        assert_eq!(t.num_qubits(), 6);
+        // (0,0) connects right to 1 and down to 3.
+        assert!(t.are_connected(QubitId::new(0), QubitId::new(1)));
+        assert!(t.are_connected(QubitId::new(0), QubitId::new(3)));
+        assert!(!t.are_connected(QubitId::new(0), QubitId::new(4)));
+    }
+
+    #[test]
+    fn fully_connected_distance_is_one() {
+        let t = fully_connected(4);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    assert_eq!(t.distance(QubitId::new(a), QubitId::new(b)), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_presets() {
+        assert!(linear(1).is_connected());
+        assert_eq!(grid(1, 1).edge_count(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Device coupling topologies.
+//!
+//! NISQ devices permit two-qubit gates only between coupled qubits, and —
+//! on the `ibmqx4` generation — only in one *direction* per edge (the
+//! paper had to pick q2 as its assertion ancilla because of exactly this).
+//! [`Topology`] is a directed graph over physical qubits with the
+//! reachability queries the router and direction-fixer need.
+
+use qcircuit::QubitId;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// A directed coupling graph over `num_qubits` physical qubits.
+///
+/// An edge `(c, t)` means the hardware natively implements `CX` with
+/// control `c` and target `t`. Undirected adjacency (either direction)
+/// is what routing cares about; direction matters to the
+/// direction-fixing pass.
+///
+/// # Example
+///
+/// ```
+/// use qdevice::Topology;
+/// let mut topo = Topology::new(3);
+/// topo.add_edge(0, 1);
+/// topo.add_edge(1, 2);
+/// assert!(topo.has_directed_edge(0.into(), 1.into()));
+/// assert!(!topo.has_directed_edge(1.into(), 0.into()));
+/// assert!(topo.are_connected(1.into(), 0.into()));
+/// assert_eq!(topo.distance(0.into(), 2.into()), Some(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl Topology {
+    /// Creates a topology with no edges.
+    pub fn new(num_qubits: usize) -> Self {
+        Topology {
+            num_qubits,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Adds a directed edge `control → target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of range or the edge is a
+    /// self-loop.
+    pub fn add_edge(&mut self, control: u32, target: u32) -> &mut Self {
+        assert!(
+            (control as usize) < self.num_qubits && (target as usize) < self.num_qubits,
+            "edge ({control},{target}) out of range for {} qubits",
+            self.num_qubits
+        );
+        assert_ne!(control, target, "self-loop edges are not allowed");
+        self.edges.insert((control, target));
+        self
+    }
+
+    /// The directed edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (QubitId, QubitId)> + '_ {
+        self.edges
+            .iter()
+            .map(|(c, t)| (QubitId::new(*c), QubitId::new(*t)))
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the hardware has the directed edge `c → t`.
+    pub fn has_directed_edge(&self, control: QubitId, target: QubitId) -> bool {
+        self.edges
+            .contains(&(control.index() as u32, target.index() as u32))
+    }
+
+    /// Returns `true` when the qubits are coupled in either direction.
+    pub fn are_connected(&self, a: QubitId, b: QubitId) -> bool {
+        self.has_directed_edge(a, b) || self.has_directed_edge(b, a)
+    }
+
+    /// The undirected neighbors of `q`.
+    pub fn neighbors(&self, q: QubitId) -> Vec<QubitId> {
+        let qi = q.index() as u32;
+        let mut out: Vec<QubitId> = Vec::new();
+        for (c, t) in &self.edges {
+            if *c == qi && !out.contains(&QubitId::new(*t)) {
+                out.push(QubitId::new(*t));
+            }
+            if *t == qi && !out.contains(&QubitId::new(*c)) {
+                out.push(QubitId::new(*c));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Undirected shortest-path distance in hops, or `None` when
+    /// unreachable.
+    pub fn distance(&self, a: QubitId, b: QubitId) -> Option<usize> {
+        self.shortest_path(a, b).map(|p| p.len() - 1)
+    }
+
+    /// An undirected shortest path from `a` to `b` inclusive, or `None`
+    /// when unreachable. Ties break toward lower qubit indices, so
+    /// routing is deterministic.
+    pub fn shortest_path(&self, a: QubitId, b: QubitId) -> Option<Vec<QubitId>> {
+        if a.index() >= self.num_qubits || b.index() >= self.num_qubits {
+            return None;
+        }
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev: Vec<Option<QubitId>> = vec![None; self.num_qubits];
+        let mut visited = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        visited[a.index()] = true;
+        queue.push_back(a);
+        while let Some(cur) = queue.pop_front() {
+            for nb in self.neighbors(cur) {
+                if !visited[nb.index()] {
+                    visited[nb.index()] = true;
+                    prev[nb.index()] = Some(cur);
+                    if nb == b {
+                        let mut path = vec![b];
+                        let mut node = b;
+                        while let Some(p) = prev[node.index()] {
+                            path.push(p);
+                            node = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` when every qubit can reach every other (undirected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits <= 1 {
+            return true;
+        }
+        let start = QubitId::new(0);
+        (1..self.num_qubits).all(|q| self.distance(start, QubitId::from(q)).is_some())
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology({} qubits; ", self.num_qubits)?;
+        let rendered: Vec<String> = self
+            .edges
+            .iter()
+            .map(|(c, t)| format!("{c}->{t}"))
+            .collect();
+        write!(f, "{})", rendered.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    fn line4() -> Topology {
+        let mut t = Topology::new(4);
+        t.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+        t
+    }
+
+    #[test]
+    fn directed_and_undirected_queries() {
+        let t = line4();
+        assert!(t.has_directed_edge(q(0), q(1)));
+        assert!(!t.has_directed_edge(q(1), q(0)));
+        assert!(t.are_connected(q(1), q(0)));
+        assert!(!t.are_connected(q(0), q(2)));
+    }
+
+    #[test]
+    fn neighbors_are_undirected_and_sorted() {
+        let t = line4();
+        assert_eq!(t.neighbors(q(1)), vec![q(0), q(2)]);
+        assert_eq!(t.neighbors(q(0)), vec![q(1)]);
+    }
+
+    #[test]
+    fn distances_along_a_line() {
+        let t = line4();
+        assert_eq!(t.distance(q(0), q(0)), Some(0));
+        assert_eq!(t.distance(q(0), q(1)), Some(1));
+        assert_eq!(t.distance(q(0), q(3)), Some(3));
+        assert_eq!(t.distance(q(3), q(0)), Some(3));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_inclusive() {
+        let t = line4();
+        assert_eq!(t.shortest_path(q(0), q(2)), Some(vec![q(0), q(1), q(2)]));
+        assert_eq!(t.shortest_path(q(2), q(0)), Some(vec![q(2), q(1), q(0)]));
+    }
+
+    #[test]
+    fn unreachable_pairs_return_none() {
+        let mut t = Topology::new(4);
+        t.add_edge(0, 1); // 2, 3 isolated
+        assert_eq!(t.distance(q(0), q(2)), None);
+        assert!(!t.is_connected());
+        assert!(line4().is_connected());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_none() {
+        let t = line4();
+        assert_eq!(t.distance(q(0), q(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adding_out_of_range_edge_panics() {
+        Topology::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_are_rejected() {
+        Topology::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let t = line4();
+        let s = t.to_string();
+        assert!(s.contains("0->1"));
+        assert!(s.contains("4 qubits"));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut t = Topology::new(2);
+        t.add_edge(0, 1).add_edge(0, 1);
+        assert_eq!(t.edge_count(), 1);
+    }
+}

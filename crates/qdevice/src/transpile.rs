@@ -1,0 +1,853 @@
+//! Transpilation passes.
+//!
+//! [`transpile`] lowers an abstract circuit onto a [`Topology`] the way
+//! IBM's toolchain did for the paper's `ibmqx4` runs:
+//!
+//! 1. **Decompose** multi-qubit and exotic controlled gates to
+//!    `{1q, CX, SWAP}`,
+//! 2. **Route** with greedy shortest-path SWAP insertion (trivial initial
+//!    layout, deterministic tie-breaking),
+//! 3. **Decompose SWAPs** into three CXs,
+//! 4. **Fix CX direction** with Hadamard sandwiches where the hardware
+//!    edge points the other way,
+//! 5. **Peephole-optimize**: cancel adjacent inverse pairs, merge
+//!    same-axis rotations, drop identities.
+//!
+//! The optional [`BasisTranslationPass`] additionally rewrites every
+//! single-qubit gate into `U3` angles (ZYZ-style extraction), yielding
+//! the historical IBM `{u3, cx}` basis.
+
+use crate::layout::Layout;
+use crate::topology::Topology;
+use qcircuit::{CircuitError, Gate, Instruction, OpKind, QuantumCircuit, QubitId};
+use qmath::Mat2;
+use std::f64::consts::{FRAC_PI_4, PI};
+use std::fmt;
+
+/// Error produced by the transpiler.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TranspileError {
+    /// The circuit needs more qubits than the device provides.
+    TooManyQubits {
+        /// Qubits in the circuit.
+        circuit: usize,
+        /// Qubits on the device.
+        device: usize,
+    },
+    /// Two operands cannot be connected on the device.
+    Unroutable {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+    /// An operation is not supported by a pass (e.g. a ≥3-qubit gate
+    /// reaching the router).
+    UnsupportedOperation {
+        /// The operation's mnemonic.
+        op: String,
+    },
+    /// The circuit violates the native gate set or coupling constraints.
+    NotNative {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Rebuilding the circuit failed (should not happen for valid
+    /// inputs).
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::TooManyQubits { circuit, device } => {
+                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+            }
+            TranspileError::Unroutable { a, b } => {
+                write!(f, "no path between physical qubits Q{a} and Q{b}")
+            }
+            TranspileError::UnsupportedOperation { op } => {
+                write!(f, "operation '{op}' is not supported by this pass")
+            }
+            TranspileError::NotNative { reason } => write!(f, "not native: {reason}"),
+            TranspileError::Circuit(e) => write!(f, "circuit rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TranspileError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for TranspileError {
+    fn from(e: CircuitError) -> Self {
+        TranspileError::Circuit(e)
+    }
+}
+
+/// A circuit-to-circuit rewrite.
+pub trait Pass {
+    /// The pass name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranspileError`] when the circuit contains operations
+    /// the pass cannot handle.
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, TranspileError>;
+}
+
+/// Output of the full pipeline.
+#[derive(Clone, Debug)]
+pub struct TranspileResult {
+    /// The hardware-conformant circuit (width = device qubits).
+    pub circuit: QuantumCircuit,
+    /// Where each logical qubit ended up after routing SWAPs.
+    pub final_layout: Layout,
+}
+
+/// Runs the full pipeline for `topology`.
+///
+/// # Errors
+///
+/// Returns a [`TranspileError`] when the circuit does not fit the device
+/// or contains unsupported operations.
+///
+/// # Example
+///
+/// ```
+/// use qcircuit::library;
+/// use qdevice::{presets, transpile};
+///
+/// # fn main() -> Result<(), qdevice::TranspileError> {
+/// let ghz = library::ghz(3);
+/// let result = transpile::transpile(&ghz, &presets::ibmqx4())?;
+/// qdevice::verify::check_native(&result.circuit, &presets::ibmqx4())?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn transpile(
+    circuit: &QuantumCircuit,
+    topology: &Topology,
+) -> Result<TranspileResult, TranspileError> {
+    let decomposed = DecomposePass.run(circuit)?;
+    let (routed, final_layout) = route(&decomposed, topology)?;
+    let unswapped = DecomposeSwapPass.run(&routed)?;
+    let directed = FixDirectionPass {
+        topology: topology.clone(),
+    }
+    .run(&unswapped)?;
+    let optimized = OptimizePass.run(&directed)?;
+    Ok(TranspileResult {
+        circuit: optimized,
+        final_layout,
+    })
+}
+
+/// Lowers `{CZ, CY, CH, CP, CCX, CSWAP}` to `{1q, CX, SWAP}`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecomposePass;
+
+impl DecomposePass {
+    fn lower(gate: &Gate, qs: &[QubitId], out: &mut Vec<Instruction>) {
+        let g = |gate: Gate, qubits: &[QubitId]| Instruction::gate(gate, qubits.iter().copied());
+        match gate {
+            Gate::Cz => {
+                // CZ = (I⊗H)·CX·(I⊗H)
+                out.push(g(Gate::H, &[qs[1]]));
+                out.push(g(Gate::Cx, &[qs[0], qs[1]]));
+                out.push(g(Gate::H, &[qs[1]]));
+            }
+            Gate::Cy => {
+                // CY = (I⊗S)·CX·(I⊗S†)
+                out.push(g(Gate::Sdg, &[qs[1]]));
+                out.push(g(Gate::Cx, &[qs[0], qs[1]]));
+                out.push(g(Gate::S, &[qs[1]]));
+            }
+            Gate::Ch => {
+                // CH = (I⊗Ry(−π/4))·CX·(I⊗Ry(π/4)) — exact (H is a
+                // π rotation about the (X+Z)/√2 axis).
+                out.push(g(Gate::Ry(FRAC_PI_4), &[qs[1]]));
+                out.push(g(Gate::Cx, &[qs[0], qs[1]]));
+                out.push(g(Gate::Ry(-FRAC_PI_4), &[qs[1]]));
+            }
+            Gate::Cp(l) => {
+                // Standard cu1 identity.
+                out.push(g(Gate::P(l / 2.0), &[qs[0]]));
+                out.push(g(Gate::Cx, &[qs[0], qs[1]]));
+                out.push(g(Gate::P(-l / 2.0), &[qs[1]]));
+                out.push(g(Gate::Cx, &[qs[0], qs[1]]));
+                out.push(g(Gate::P(l / 2.0), &[qs[1]]));
+            }
+            Gate::Ccx => {
+                // Standard 6-CX Toffoli decomposition.
+                let (a, b, c) = (qs[0], qs[1], qs[2]);
+                out.push(g(Gate::H, &[c]));
+                out.push(g(Gate::Cx, &[b, c]));
+                out.push(g(Gate::Tdg, &[c]));
+                out.push(g(Gate::Cx, &[a, c]));
+                out.push(g(Gate::T, &[c]));
+                out.push(g(Gate::Cx, &[b, c]));
+                out.push(g(Gate::Tdg, &[c]));
+                out.push(g(Gate::Cx, &[a, c]));
+                out.push(g(Gate::T, &[b]));
+                out.push(g(Gate::T, &[c]));
+                out.push(g(Gate::H, &[c]));
+                out.push(g(Gate::Cx, &[a, b]));
+                out.push(g(Gate::T, &[a]));
+                out.push(g(Gate::Tdg, &[b]));
+                out.push(g(Gate::Cx, &[a, b]));
+            }
+            Gate::Cswap => {
+                // Fredkin = CX sandwich around a Toffoli.
+                let (c, a, b) = (qs[0], qs[1], qs[2]);
+                out.push(g(Gate::Cx, &[b, a]));
+                Self::lower(&Gate::Ccx, &[c, a, b], out);
+                out.push(g(Gate::Cx, &[b, a]));
+            }
+            other => out.push(g(*other, qs)),
+        }
+    }
+}
+
+impl Pass for DecomposePass {
+    fn name(&self) -> &'static str {
+        "decompose"
+    }
+
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, TranspileError> {
+        let mut out = QuantumCircuit::with_name(
+            circuit.name().to_string(),
+            circuit.num_qubits(),
+            circuit.num_clbits(),
+        );
+        for instr in circuit.instructions() {
+            match instr.kind() {
+                OpKind::Gate(gate) if instr.condition().is_none() => {
+                    let mut lowered = Vec::new();
+                    Self::lower(gate, instr.qubits(), &mut lowered);
+                    for li in lowered {
+                        out.append(li)?;
+                    }
+                }
+                _ => {
+                    out.append(instr.clone())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Lowers every SWAP into three CXs (run after routing).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecomposeSwapPass;
+
+impl Pass for DecomposeSwapPass {
+    fn name(&self) -> &'static str {
+        "decompose-swap"
+    }
+
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, TranspileError> {
+        let mut out = QuantumCircuit::with_name(
+            circuit.name().to_string(),
+            circuit.num_qubits(),
+            circuit.num_clbits(),
+        );
+        for instr in circuit.instructions() {
+            if let (OpKind::Gate(Gate::Swap), None) = (instr.kind(), instr.condition()) {
+                let (a, b) = (instr.qubits()[0], instr.qubits()[1]);
+                out.cx(a, b)?.cx(b, a)?.cx(a, b)?;
+            } else {
+                out.append(instr.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Routes a circuit onto `topology` with greedy SWAP insertion and a
+/// trivial initial layout, returning the rewritten circuit (width =
+/// device qubits) and the final logical→physical layout.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the circuit does not
+/// fit, [`TranspileError::Unroutable`] for disconnected operand pairs, or
+/// [`TranspileError::UnsupportedOperation`] for ≥3-qubit gates (run
+/// [`DecomposePass`] first).
+pub fn route(
+    circuit: &QuantumCircuit,
+    topology: &Topology,
+) -> Result<(QuantumCircuit, Layout), TranspileError> {
+    if circuit.num_qubits() > topology.num_qubits() {
+        return Err(TranspileError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: topology.num_qubits(),
+        });
+    }
+    let mut layout = Layout::trivial_on(circuit.num_qubits(), topology.num_qubits());
+    let mut out = QuantumCircuit::with_name(
+        circuit.name().to_string(),
+        topology.num_qubits(),
+        circuit.num_clbits(),
+    );
+    for instr in circuit.instructions() {
+        match instr.qubits().len() {
+            0 | 1 => {
+                let mapped = instr.remapped(|q| layout.physical(q), |c| c);
+                out.append(mapped)?;
+            }
+            2 => {
+                let pa = layout.physical(instr.qubits()[0]);
+                let pb = layout.physical(instr.qubits()[1]);
+                if !topology.are_connected(pa, pb) {
+                    let path = topology.shortest_path(pa, pb).ok_or(
+                        TranspileError::Unroutable {
+                            a: pa.index(),
+                            b: pb.index(),
+                        },
+                    )?;
+                    // Walk the first operand down the path until it is
+                    // adjacent to the second.
+                    for w in path.windows(2).take(path.len().saturating_sub(2)) {
+                        out.swap(w[0], w[1])?;
+                        layout.swap_physical(w[0], w[1]);
+                    }
+                }
+                let mapped = instr.remapped(|q| layout.physical(q), |c| c);
+                out.append(mapped)?;
+            }
+            n if matches!(instr.kind(), OpKind::Barrier) => {
+                let _ = n;
+                let mapped = instr.remapped(|q| layout.physical(q), |c| c);
+                out.append(mapped)?;
+            }
+            _ => {
+                return Err(TranspileError::UnsupportedOperation {
+                    op: instr.kind().name().to_string(),
+                });
+            }
+        }
+    }
+    Ok((out, layout))
+}
+
+/// Replaces wrong-direction CXs with the H-sandwich identity
+/// `CX(a→b) = (H⊗H)·CX(b→a)·(H⊗H)`.
+#[derive(Clone, Debug)]
+pub struct FixDirectionPass {
+    /// The device whose directed edges constrain CX orientation.
+    pub topology: Topology,
+}
+
+impl Pass for FixDirectionPass {
+    fn name(&self) -> &'static str {
+        "fix-direction"
+    }
+
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, TranspileError> {
+        let mut out = QuantumCircuit::with_name(
+            circuit.name().to_string(),
+            circuit.num_qubits(),
+            circuit.num_clbits(),
+        );
+        for instr in circuit.instructions() {
+            if let (OpKind::Gate(Gate::Cx), None) = (instr.kind(), instr.condition()) {
+                let (c, t) = (instr.qubits()[0], instr.qubits()[1]);
+                if self.topology.has_directed_edge(c, t) {
+                    out.append(instr.clone())?;
+                } else if self.topology.has_directed_edge(t, c) {
+                    out.h(c)?.h(t)?.cx(t, c)?.h(c)?.h(t)?;
+                } else {
+                    return Err(TranspileError::Unroutable {
+                        a: c.index(),
+                        b: t.index(),
+                    });
+                }
+            } else {
+                out.append(instr.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Peephole optimizer: cancels adjacent inverse pairs, merges same-axis
+/// rotations, and removes identity gates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimizePass;
+
+impl OptimizePass {
+    /// One sweep; returns `None` when nothing changed.
+    fn sweep(circuit: &QuantumCircuit) -> Option<QuantumCircuit> {
+        let instrs = circuit.instructions();
+        let n = instrs.len();
+        // next[i] = for each qubit of i, the next instruction touching it.
+        let mut removed = vec![false; n];
+        let mut merged: Vec<Option<Instruction>> = vec![None; n];
+        let mut changed = false;
+
+        // Last instruction index seen per qubit, scanned backward to get
+        // successor links.
+        let mut next_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        let mut successors: Vec<Vec<Option<usize>>> = vec![Vec::new(); n];
+        for i in (0..n).rev() {
+            let qs = instrs[i].qubits();
+            successors[i] = qs.iter().map(|q| next_on_qubit[q.index()]).collect();
+            for q in qs {
+                next_on_qubit[q.index()] = Some(i);
+            }
+        }
+
+        for i in 0..n {
+            if removed[i] {
+                continue;
+            }
+            let a = &instrs[i];
+            let (ga, cond) = match (a.as_gate(), a.condition()) {
+                (Some(g), None) => (g, false),
+                _ => continue,
+            };
+            let _ = cond;
+            // Drop explicit identities immediately.
+            if is_identity_gate(ga) {
+                removed[i] = true;
+                changed = true;
+                continue;
+            }
+            // All wires must lead to the same next instruction.
+            let succ = &successors[i];
+            let j = match succ.first().copied().flatten() {
+                Some(j) if succ.iter().all(|s| *s == Some(j)) => j,
+                _ => continue,
+            };
+            if removed[j] {
+                continue;
+            }
+            let b = &instrs[j];
+            let gb = match (b.as_gate(), b.condition()) {
+                (Some(g), None) => g,
+                _ => continue,
+            };
+            if a.qubits() != b.qubits() {
+                // Symmetric two-qubit gates may cancel with reversed
+                // operands.
+                let symmetric = matches!(ga, Gate::Cz | Gate::Swap | Gate::Cp(_));
+                let reversed: Vec<QubitId> = b.qubits().iter().rev().copied().collect();
+                if !(symmetric && a.qubits() == reversed.as_slice()) {
+                    continue;
+                }
+            }
+            // Inverse pair: remove both.
+            if gates_cancel(ga, gb) {
+                removed[i] = true;
+                removed[j] = true;
+                changed = true;
+                continue;
+            }
+            // Same-axis rotation merge.
+            if let Some(m) = merge_rotations(ga, gb) {
+                removed[j] = true;
+                if is_identity_gate(&m) {
+                    removed[i] = true;
+                } else {
+                    merged[i] = Some(Instruction::gate(m, a.qubits().iter().copied()));
+                }
+                changed = true;
+            }
+        }
+
+        if !changed {
+            return None;
+        }
+        let mut out = QuantumCircuit::with_name(
+            circuit.name().to_string(),
+            circuit.num_qubits(),
+            circuit.num_clbits(),
+        );
+        for i in 0..n {
+            if removed[i] {
+                continue;
+            }
+            let instr = merged[i].clone().unwrap_or_else(|| instrs[i].clone());
+            out.append(instr).expect("rewrite preserves validity");
+        }
+        Some(out)
+    }
+}
+
+/// Returns `true` for gates that act as the identity (up to global
+/// phase, which is unobservable).
+fn is_identity_gate(g: &Gate) -> bool {
+    const EPS: f64 = 1e-12;
+    match g {
+        Gate::I => true,
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::P(t) | Gate::Cp(t) => t.abs() < EPS,
+        Gate::U3(t, p, l) => t.abs() < EPS && (p + l).abs() < EPS,
+        _ => false,
+    }
+}
+
+/// Returns `true` when `b` undoes `a` exactly.
+fn gates_cancel(a: &Gate, b: &Gate) -> bool {
+    match (a, b) {
+        // Parameterized gates compare within float tolerance.
+        (Gate::Rx(x), Gate::Rx(y))
+        | (Gate::Ry(x), Gate::Ry(y))
+        | (Gate::Rz(x), Gate::Rz(y))
+        | (Gate::P(x), Gate::P(y))
+        | (Gate::Cp(x), Gate::Cp(y)) => (x + y).abs() < 1e-12,
+        _ => a.inverse() == *b,
+    }
+}
+
+/// Merges two same-axis rotations into one, if possible.
+fn merge_rotations(a: &Gate, b: &Gate) -> Option<Gate> {
+    match (a, b) {
+        (Gate::Rx(x), Gate::Rx(y)) => Some(Gate::Rx(x + y)),
+        (Gate::Ry(x), Gate::Ry(y)) => Some(Gate::Ry(x + y)),
+        (Gate::Rz(x), Gate::Rz(y)) => Some(Gate::Rz(x + y)),
+        (Gate::P(x), Gate::P(y)) => Some(Gate::P(x + y)),
+        (Gate::Cp(x), Gate::Cp(y)) => Some(Gate::Cp(x + y)),
+        _ => None,
+    }
+}
+
+impl Pass for OptimizePass {
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, TranspileError> {
+        let mut current = circuit.clone();
+        while let Some(next) = Self::sweep(&current) {
+            current = next;
+        }
+        Ok(current)
+    }
+}
+
+/// Rewrites every single-qubit gate as a `U3`, producing the historical
+/// IBM `{U3, CX}` basis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BasisTranslationPass;
+
+/// Extracts `U3(θ, φ, λ)` angles from a single-qubit unitary, dropping
+/// the global phase. The returned angles satisfy
+/// `U3(θ, φ, λ) = e^{-iα}·m` for some real `α`.
+pub fn u3_angles(m: &Mat2) -> (f64, f64, f64) {
+    let na = m.a.norm();
+    let nc = m.c.norm();
+    let theta = 2.0 * nc.atan2(na);
+    if na > 1e-12 {
+        let g = m.a.arg();
+        let phi = if nc > 1e-12 { m.c.arg() - g } else { 0.0 };
+        let lambda = if m.b.norm() > 1e-12 {
+            (-m.b).arg() - g
+        } else {
+            // θ ≈ 0: only φ+λ matters; put it all in λ.
+            m.d.arg() - g - phi
+        };
+        (theta, phi, lambda)
+    } else {
+        // θ ≈ π: anchor the phase on the lower-left entry.
+        let g = m.c.arg();
+        (PI, 0.0, (-m.b).arg() - g)
+    }
+}
+
+impl Pass for BasisTranslationPass {
+    fn name(&self) -> &'static str {
+        "basis-translation"
+    }
+
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, TranspileError> {
+        let mut out = QuantumCircuit::with_name(
+            circuit.name().to_string(),
+            circuit.num_qubits(),
+            circuit.num_clbits(),
+        );
+        for instr in circuit.instructions() {
+            match (instr.kind(), instr.condition()) {
+                (OpKind::Gate(g), None) if g.num_qubits() == 1 && !matches!(g, Gate::U3(..)) => {
+                    if is_identity_gate(g) {
+                        continue;
+                    }
+                    let m = g.mat2().expect("1q gate has a 2x2 matrix");
+                    let (t, p, l) = u3_angles(&m);
+                    out.u3(t, p, l, instr.qubits()[0])?;
+                }
+                _ => {
+                    out.append(instr.clone())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::verify;
+
+    #[test]
+    fn decompose_removes_exotic_gates() {
+        let mut c = QuantumCircuit::new(3, 0);
+        c.cz(0, 1).unwrap();
+        c.cy(1, 2).unwrap();
+        c.ch(0, 2).unwrap();
+        c.cp(0.7, 0, 1).unwrap();
+        c.ccx(0, 1, 2).unwrap();
+        c.cswap(2, 0, 1).unwrap();
+        let lowered = DecomposePass.run(&c).unwrap();
+        for instr in lowered.instructions() {
+            let g = instr.as_gate().unwrap();
+            assert!(
+                g.num_qubits() == 1 || matches!(g, Gate::Cx | Gate::Swap),
+                "unexpected {g:?} after decompose"
+            );
+        }
+    }
+
+    #[test]
+    fn decompositions_are_exact_unitaries() {
+        for (builder, n) in [
+            (
+                Box::new(|c: &mut QuantumCircuit| c.cz(0, 1).map(|_| ())) as Box<dyn Fn(&mut QuantumCircuit) -> Result<(), CircuitError>>,
+                2usize,
+            ),
+            (Box::new(|c: &mut QuantumCircuit| c.cy(0, 1).map(|_| ())), 2),
+            (Box::new(|c: &mut QuantumCircuit| c.ch(0, 1).map(|_| ())), 2),
+            (Box::new(|c: &mut QuantumCircuit| c.cp(1.3, 0, 1).map(|_| ())), 2),
+            (Box::new(|c: &mut QuantumCircuit| c.ccx(0, 1, 2).map(|_| ())), 3),
+            (Box::new(|c: &mut QuantumCircuit| c.cswap(0, 1, 2).map(|_| ())), 3),
+        ] {
+            let mut original = QuantumCircuit::new(n, 0);
+            builder(&mut original).unwrap();
+            let lowered = DecomposePass.run(&original).unwrap();
+            assert!(
+                verify::circuits_equivalent(&original, &lowered, 1e-9).unwrap(),
+                "decomposition of {:?} is wrong",
+                original.instructions()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn swap_decomposition_is_exact() {
+        let mut original = QuantumCircuit::new(2, 0);
+        original.swap(0, 1).unwrap();
+        let lowered = DecomposeSwapPass.run(&original).unwrap();
+        assert_eq!(lowered.count_ops()["cx"], 3);
+        assert!(verify::circuits_equivalent(&original, &lowered, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn route_adjacent_gates_unchanged() {
+        let topo = presets::linear(3);
+        let mut c = QuantumCircuit::new(2, 0);
+        c.cx(0, 1).unwrap();
+        let (routed, layout) = route(&c, &topo).unwrap();
+        assert_eq!(routed.count_ops().get("swap"), None);
+        assert_eq!(layout.physical(QubitId::new(0)), QubitId::new(0));
+    }
+
+    #[test]
+    fn route_inserts_swaps_for_distant_pairs() {
+        let topo = presets::linear(4);
+        let mut c = QuantumCircuit::new(4, 0);
+        c.cx(0, 3).unwrap();
+        let (routed, layout) = route(&c, &topo).unwrap();
+        assert!(routed.count_ops()["swap"] >= 2);
+        // Logical 0 moved toward logical 3.
+        assert_ne!(layout.physical(QubitId::new(0)), QubitId::new(0));
+    }
+
+    #[test]
+    fn route_rejects_oversized_circuits() {
+        let topo = presets::linear(2);
+        let c = QuantumCircuit::new(5, 0);
+        assert!(matches!(
+            route(&c, &topo),
+            Err(TranspileError::TooManyQubits { circuit: 5, device: 2 })
+        ));
+    }
+
+    #[test]
+    fn route_rejects_disconnected_operands() {
+        let mut topo = Topology::new(4);
+        topo.add_edge(0, 1); // 2,3 isolated
+        let mut c = QuantumCircuit::new(4, 0);
+        c.cx(0, 3).unwrap();
+        assert!(matches!(route(&c, &topo), Err(TranspileError::Unroutable { .. })));
+    }
+
+    #[test]
+    fn route_remaps_measurements_with_layout() {
+        let topo = presets::linear(3);
+        let mut c = QuantumCircuit::new(3, 3);
+        c.cx(0, 2).unwrap(); // forces a swap
+        c.measure(0, 0).unwrap();
+        let (routed, layout) = route(&c, &topo).unwrap();
+        let m = routed
+            .instructions()
+            .iter()
+            .find(|i| matches!(i.kind(), OpKind::Measure))
+            .unwrap();
+        assert_eq!(m.qubits()[0], layout.physical(QubitId::new(0)));
+        assert_eq!(m.clbits()[0].index(), 0); // clbits unchanged
+    }
+
+    #[test]
+    fn fix_direction_keeps_native_and_flips_reversed() {
+        let topo = presets::ibmqx4(); // has 1→0 but not 0→1
+        let mut c = QuantumCircuit::new(5, 0);
+        c.cx(1, 0).unwrap();
+        c.cx(0, 1).unwrap();
+        let fixed = FixDirectionPass { topology: topo.clone() }.run(&c).unwrap();
+        // First CX unchanged; second becomes H·H CX(1,0) H·H.
+        assert_eq!(fixed.count_ops()["cx"], 2);
+        assert_eq!(fixed.count_ops()["h"], 4);
+        for instr in fixed.instructions() {
+            if instr.as_gate() == Some(&Gate::Cx) {
+                assert!(topo.has_directed_edge(instr.qubits()[0], instr.qubits()[1]));
+            }
+        }
+        assert!(verify::circuits_equivalent(&c, &fixed, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn optimize_cancels_adjacent_self_inverse_pairs() {
+        let mut c = QuantumCircuit::new(2, 0);
+        c.h(0).unwrap().h(0).unwrap().cx(0, 1).unwrap().cx(0, 1).unwrap().x(1).unwrap();
+        let opt = OptimizePass.run(&c).unwrap();
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.instructions()[0].as_gate(), Some(&Gate::X));
+    }
+
+    #[test]
+    fn optimize_does_not_cancel_across_blockers() {
+        let mut c = QuantumCircuit::new(2, 0);
+        c.h(0).unwrap().cx(0, 1).unwrap().h(0).unwrap();
+        let opt = OptimizePass.run(&c).unwrap();
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn optimize_merges_rotations_and_drops_zero() {
+        let mut c = QuantumCircuit::new(1, 0);
+        c.rz(0.3, 0).unwrap().rz(0.4, 0).unwrap();
+        let opt = OptimizePass.run(&c).unwrap();
+        assert_eq!(opt.len(), 1);
+        match opt.instructions()[0].as_gate() {
+            Some(Gate::Rz(t)) => assert!((t - 0.7).abs() < 1e-12),
+            other => panic!("expected merged rz, got {other:?}"),
+        }
+
+        let mut c = QuantumCircuit::new(1, 0);
+        c.rx(0.5, 0).unwrap().rx(-0.5, 0).unwrap();
+        let opt = OptimizePass.run(&c).unwrap();
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn optimize_cancels_s_sdg_and_symmetric_reversals() {
+        let mut c = QuantumCircuit::new(2, 0);
+        c.s(0).unwrap().sdg(0).unwrap();
+        c.cz(0, 1).unwrap();
+        c.cz(1, 0).unwrap(); // symmetric: cancels despite reversed operands
+        let opt = OptimizePass.run(&c).unwrap();
+        assert!(opt.is_empty(), "left: {opt}");
+    }
+
+    #[test]
+    fn optimize_removes_identity_gates() {
+        let mut c = QuantumCircuit::new(1, 0);
+        c.id(0).unwrap().rz(0.0, 0).unwrap().x(0).unwrap();
+        let opt = OptimizePass.run(&c).unwrap();
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn optimize_preserves_measurements() {
+        let mut c = QuantumCircuit::new(1, 1);
+        c.h(0).unwrap().measure(0, 0).unwrap().h(0).unwrap();
+        let opt = OptimizePass.run(&c).unwrap();
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn u3_angles_reconstruct_standard_gates() {
+        for g in [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.1),
+            Gate::Rz(2.9),
+            Gate::P(0.4),
+        ] {
+            let m = g.mat2().unwrap();
+            let (t, p, l) = u3_angles(&m);
+            let rebuilt = Gate::U3(t, p, l).mat2().unwrap();
+            // Compare up to global phase by aligning on the largest entry.
+            let mut c1 = QuantumCircuit::new(1, 0);
+            c1.gate(g, [0usize]).unwrap();
+            let mut c2 = QuantumCircuit::new(1, 0);
+            c2.gate(Gate::U3(t, p, l), [0usize]).unwrap();
+            assert!(
+                verify::circuits_equivalent(&c1, &c2, 1e-9).unwrap(),
+                "u3 angles wrong for {g:?}: rebuilt {rebuilt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn basis_translation_leaves_only_u3_and_cx() {
+        let mut c = QuantumCircuit::new(2, 0);
+        c.h(0).unwrap().t(1).unwrap().cx(0, 1).unwrap().sdg(0).unwrap();
+        let translated = BasisTranslationPass.run(&c).unwrap();
+        for instr in translated.instructions() {
+            match instr.as_gate().unwrap() {
+                Gate::U3(..) | Gate::Cx => {}
+                other => panic!("non-basis gate {other:?} survived"),
+            }
+        }
+        assert!(verify::circuits_equivalent(&c, &translated, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn full_pipeline_on_ibmqx4_is_native_and_equivalent() {
+        let topo = presets::ibmqx4();
+        let mut c = QuantumCircuit::new(3, 0);
+        c.h(0).unwrap().ccx(0, 1, 2).unwrap().cz(2, 0).unwrap();
+        let result = transpile(&c, &topo).unwrap();
+        verify::check_native(&result.circuit, &topo).unwrap();
+        assert!(verify::routed_equivalent(&c, &result.circuit, &result.final_layout, 1e-8)
+            .unwrap());
+    }
+
+    #[test]
+    fn pipeline_handles_measured_circuits() {
+        let topo = presets::ibmqx4();
+        let mut c = qcircuit::library::ghz(3);
+        c.measure_all();
+        let result = transpile(&c, &topo).unwrap();
+        verify::check_native(&result.circuit, &topo).unwrap();
+        assert_eq!(result.circuit.measurement_count(), 3);
+    }
+}

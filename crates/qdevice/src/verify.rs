@@ -1,0 +1,319 @@
+//! Transpilation verification.
+//!
+//! Two kinds of checks: *conformance* (does a circuit respect a device's
+//! gate set and coupling?) and *equivalence* (does the rewritten circuit
+//! implement the same unitary, up to global phase and the router's qubit
+//! permutation?). Every pass in [`crate::transpile`] is tested against
+//! these.
+
+use crate::layout::Layout;
+use crate::topology::Topology;
+use crate::transpile::TranspileError;
+use qcircuit::{Gate, OpKind, QuantumCircuit, QubitId};
+use qmath::approx::approx_eq_up_to_global_phase;
+use qmath::{CMatrix, Complex};
+use qsim::StateVector;
+
+/// Checks undirected coupling: every two-qubit gate acts on an adjacent
+/// pair; gates on three or more qubits are rejected.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::NotNative`] describing the first violation.
+pub fn check_connectivity(
+    circuit: &QuantumCircuit,
+    topology: &Topology,
+) -> Result<(), TranspileError> {
+    for instr in circuit.instructions() {
+        let qs = instr.qubits();
+        match qs.len() {
+            0 | 1 => {}
+            2 if matches!(instr.kind(), OpKind::Gate(_)) => {
+                if !topology.are_connected(qs[0], qs[1]) {
+                    return Err(TranspileError::NotNative {
+                        reason: format!("gate on unconnected pair ({}, {})", qs[0], qs[1]),
+                    });
+                }
+            }
+            _ if matches!(instr.kind(), OpKind::Barrier) => {}
+            _ => {
+                return Err(TranspileError::NotNative {
+                    reason: format!("{}-qubit operation '{}'", qs.len(), instr.kind().name()),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks full hardware conformance: single-qubit gates anywhere, CX
+/// only along *directed* edges, no other multi-qubit gates.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::NotNative`] describing the first violation.
+pub fn check_native(circuit: &QuantumCircuit, topology: &Topology) -> Result<(), TranspileError> {
+    for instr in circuit.instructions() {
+        match instr.kind() {
+            OpKind::Gate(g) => match g.num_qubits() {
+                1 => {}
+                2 => {
+                    if !matches!(g, Gate::Cx) {
+                        return Err(TranspileError::NotNative {
+                            reason: format!("two-qubit gate '{}' is not CX", g.name()),
+                        });
+                    }
+                    let (c, t) = (instr.qubits()[0], instr.qubits()[1]);
+                    if !topology.has_directed_edge(c, t) {
+                        return Err(TranspileError::NotNative {
+                            reason: format!("cx({c}, {t}) is not a directed hardware edge"),
+                        });
+                    }
+                }
+                n => {
+                    return Err(TranspileError::NotNative {
+                        reason: format!("{n}-qubit gate '{}'", g.name()),
+                    });
+                }
+            },
+            OpKind::Measure | OpKind::Reset | OpKind::Barrier | OpKind::PostSelect { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Builds the full unitary of a measurement-free circuit by evolving
+/// every basis state (practical for ≤ 10 qubits).
+///
+/// # Errors
+///
+/// Returns [`TranspileError::UnsupportedOperation`] when the circuit
+/// contains a non-unitary operation or a conditioned gate.
+pub fn circuit_unitary(circuit: &QuantumCircuit) -> Result<CMatrix, TranspileError> {
+    let n = circuit.num_qubits();
+    let dim = 1usize << n;
+    let mut u = CMatrix::zeros(dim);
+    for j in 0..dim {
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[j] = Complex::ONE;
+        let mut psi = StateVector::from_amplitudes(amps).expect("basis state is normalized");
+        for instr in circuit.instructions() {
+            if instr.condition().is_some() {
+                return Err(TranspileError::UnsupportedOperation {
+                    op: "conditioned gate".to_string(),
+                });
+            }
+            match instr.kind() {
+                OpKind::Gate(g) => psi
+                    .apply_gate(g, instr.qubits())
+                    .map_err(|_| TranspileError::UnsupportedOperation {
+                        op: g.name().to_string(),
+                    })?,
+                OpKind::Barrier => {}
+                other => {
+                    return Err(TranspileError::UnsupportedOperation {
+                        op: other.name().to_string(),
+                    });
+                }
+            }
+        }
+        for (i, a) in psi.amplitudes().iter().enumerate() {
+            u.set(i, j, *a);
+        }
+    }
+    Ok(u)
+}
+
+/// Returns `true` when two equal-width, measurement-free circuits
+/// implement the same unitary up to a global phase.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::UnsupportedOperation`] for non-unitary
+/// circuits or a width mismatch.
+pub fn circuits_equivalent(
+    a: &QuantumCircuit,
+    b: &QuantumCircuit,
+    tol: f64,
+) -> Result<bool, TranspileError> {
+    if a.num_qubits() != b.num_qubits() {
+        return Err(TranspileError::UnsupportedOperation {
+            op: format!(
+                "width mismatch: {} vs {} qubits",
+                a.num_qubits(),
+                b.num_qubits()
+            ),
+        });
+    }
+    let ua = circuit_unitary(a)?;
+    let ub = circuit_unitary(b)?;
+    Ok(approx_eq_up_to_global_phase(
+        ua.as_slice(),
+        ub.as_slice(),
+        tol,
+    ))
+}
+
+/// Returns `true` when a routed circuit implements the original unitary
+/// modulo the router's final qubit permutation: amplitude of logical
+/// index `k` must appear at the physical index obtained by placing bit
+/// `l` of `k` at `final_layout.physical(l)`, with spare device qubits
+/// left in `|0⟩`.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::UnsupportedOperation`] for non-unitary
+/// circuits.
+pub fn routed_equivalent(
+    original: &QuantumCircuit,
+    transpiled: &QuantumCircuit,
+    final_layout: &Layout,
+    tol: f64,
+) -> Result<bool, TranspileError> {
+    let n = original.num_qubits();
+    let dim = 1usize << n;
+    let u_orig = circuit_unitary(original)?;
+    let u_trans = circuit_unitary(transpiled)?;
+
+    let place = |logical_index: usize| -> usize {
+        let mut phys = 0usize;
+        for l in 0..n {
+            if (logical_index >> l) & 1 == 1 {
+                phys |= 1 << final_layout.physical(QubitId::from(l)).index();
+            }
+        }
+        phys
+    };
+
+    // Extract the effective logical unitary from the transpiled one:
+    // column j (logical input j = physical input j under the trivial
+    // initial layout) restricted to rows in the image of `place`.
+    let big_dim = u_trans.dim();
+    let mut effective = CMatrix::zeros(dim);
+    for j in 0..dim {
+        let mut seen_mass = 0.0;
+        for k in 0..dim {
+            let amp = u_trans.get(place(k), j);
+            effective.set(k, j, amp);
+            seen_mass += amp.norm_sqr();
+        }
+        // All probability mass must live inside the layout image
+        // (spare qubits stay |0⟩).
+        let total: f64 = (0..big_dim).map(|r| u_trans.get(r, j).norm_sqr()).sum();
+        if (total - seen_mass).abs() > tol {
+            return Ok(false);
+        }
+    }
+    Ok(approx_eq_up_to_global_phase(
+        u_orig.as_slice(),
+        effective.as_slice(),
+        tol,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::transpile::{route, transpile};
+    use qcircuit::library;
+
+    #[test]
+    fn connectivity_check_accepts_adjacent_and_rejects_distant() {
+        let topo = presets::linear(3);
+        let mut ok = QuantumCircuit::new(3, 0);
+        ok.cx(0, 1).unwrap().cx(2, 1).unwrap();
+        assert!(check_connectivity(&ok, &topo).is_ok());
+
+        let mut bad = QuantumCircuit::new(3, 0);
+        bad.cx(0, 2).unwrap();
+        assert!(check_connectivity(&bad, &topo).is_err());
+    }
+
+    #[test]
+    fn connectivity_check_rejects_three_qubit_gates() {
+        let topo = presets::fully_connected(3);
+        let mut c = QuantumCircuit::new(3, 0);
+        c.ccx(0, 1, 2).unwrap();
+        assert!(check_connectivity(&c, &topo).is_err());
+    }
+
+    #[test]
+    fn native_check_enforces_direction() {
+        let topo = presets::ibmqx4();
+        let mut ok = QuantumCircuit::new(5, 0);
+        ok.cx(1, 0).unwrap().h(3).unwrap();
+        assert!(check_native(&ok, &topo).is_ok());
+
+        let mut bad = QuantumCircuit::new(5, 0);
+        bad.cx(0, 1).unwrap(); // reversed direction
+        assert!(check_native(&bad, &topo).is_err());
+
+        let mut swap = QuantumCircuit::new(5, 0);
+        swap.swap(0, 1).unwrap();
+        assert!(check_native(&swap, &topo).is_err());
+    }
+
+    #[test]
+    fn circuit_unitary_of_bell_prep() {
+        let u = circuit_unitary(&library::bell()).unwrap();
+        // Column 0 is the Bell state.
+        let s = qmath::FRAC_1_SQRT_2;
+        assert!(u.get(0, 0).approx_eq(Complex::real(s), 1e-12));
+        assert!(u.get(3, 0).approx_eq(Complex::real(s), 1e-12));
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn circuit_unitary_rejects_measurement() {
+        let mut c = QuantumCircuit::new(1, 1);
+        c.measure(0, 0).unwrap();
+        assert!(circuit_unitary(&c).is_err());
+    }
+
+    #[test]
+    fn equivalence_detects_difference() {
+        let mut a = QuantumCircuit::new(1, 0);
+        a.h(0).unwrap();
+        let mut b = QuantumCircuit::new(1, 0);
+        b.x(0).unwrap();
+        assert!(!circuits_equivalent(&a, &b, 1e-9).unwrap());
+        assert!(circuits_equivalent(&a, &a, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn equivalence_ignores_global_phase() {
+        let mut a = QuantumCircuit::new(1, 0);
+        a.rz(1.0, 0).unwrap();
+        let mut b = QuantumCircuit::new(1, 0);
+        b.p(1.0, 0).unwrap(); // P = e^{iθ/2}·Rz
+        assert!(circuits_equivalent(&a, &b, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn routed_ghz_is_equivalent_via_layout() {
+        let topo = presets::linear(4);
+        let ghz = library::ghz(4); // cx(0,2), cx(0,3) need routing
+        let (routed, layout) = route(&ghz, &topo).unwrap();
+        assert!(routed_equivalent(&ghz, &routed, &layout, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn routed_equivalence_catches_wrong_layout() {
+        let topo = presets::linear(4);
+        let ghz = library::ghz(4);
+        let (routed, _) = route(&ghz, &topo).unwrap();
+        // The trivial layout is wrong after routing inserted swaps.
+        let wrong = Layout::trivial_on(4, 4);
+        assert!(!routed_equivalent(&ghz, &routed, &wrong, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn full_pipeline_qft_equivalence_on_ring() {
+        let topo = presets::ring(4);
+        let qft = library::qft(3);
+        let result = transpile(&qft, &topo).unwrap();
+        check_native(&result.circuit, &topo).unwrap();
+        assert!(routed_equivalent(&qft, &result.circuit, &result.final_layout, 1e-7).unwrap());
+    }
+}

@@ -1,0 +1,155 @@
+//! Tolerance-based comparison helpers.
+//!
+//! Floating-point quantum state math accumulates rounding error with circuit
+//! depth; every crate in the workspace compares states, matrices and
+//! probabilities through these helpers so tolerances are consistent.
+
+use crate::complex::Complex;
+
+/// Default absolute tolerance used across the workspace test suites.
+///
+/// Chosen so that circuits several hundred gates deep still compare equal
+/// while genuine algorithmic differences (which are ≥ 1e-3 in this suite)
+/// never do.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` absolutely.
+///
+/// # Example
+///
+/// ```
+/// use qmath::approx::approx_eq_f64;
+/// assert!(approx_eq_f64(0.1 + 0.2, 0.3, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` when both components of `a` and `b` differ by at most
+/// `tol`.
+#[inline]
+pub fn approx_eq_c(a: Complex, b: Complex, tol: f64) -> bool {
+    a.approx_eq(b, tol)
+}
+
+/// Returns `true` when two complex slices are element-wise approximately
+/// equal.
+///
+/// Slices of different lengths are never equal.
+pub fn approx_eq_slice(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(*y, tol))
+}
+
+/// Returns `true` when two real slices are element-wise approximately equal.
+pub fn approx_eq_f64_slice(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| approx_eq_f64(*x, *y, tol))
+}
+
+/// Returns `true` when two complex slices describe the same quantum state up
+/// to a global phase.
+///
+/// Quantum states are rays: `|ψ⟩` and `e^{iφ}|ψ⟩` are physically identical.
+/// This helper aligns the phases on the largest-magnitude amplitude before
+/// comparing, which is how transpiler-equivalence tests must compare
+/// circuits (decompositions routinely introduce global phases).
+pub fn approx_eq_up_to_global_phase(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // Find the amplitude with the largest magnitude in `a` to anchor the
+    // phase; if `a` is all-zero the states are equal iff `b` is too.
+    let (k, max) = a
+        .iter()
+        .enumerate()
+        .map(|(i, z)| (i, z.norm_sqr()))
+        .fold((0, 0.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+    if max <= tol * tol {
+        return b.iter().all(|z| z.norm() <= tol);
+    }
+    if b[k].norm() <= tol {
+        return false;
+    }
+    let phase = a[k] / b[k];
+    // The ratio must be a pure phase, otherwise the states differ in more
+    // than a global phase.
+    if (phase.norm() - 1.0).abs() > tol {
+        return false;
+    }
+    a.iter().zip(b).all(|(x, y)| x.approx_eq(*y * phase, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn f64_comparison_respects_tolerance() {
+        assert!(approx_eq_f64(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq_f64(1.0, 1.001, 1e-10));
+    }
+
+    #[test]
+    fn complex_comparison_checks_both_components() {
+        assert!(approx_eq_c(c(1.0, 1.0), c(1.0 + 1e-12, 1.0 - 1e-12), 1e-10));
+        assert!(!approx_eq_c(c(1.0, 1.0), c(1.0, 1.1), 1e-10));
+    }
+
+    #[test]
+    fn slice_comparison_rejects_length_mismatch() {
+        assert!(!approx_eq_slice(&[Complex::ONE], &[], 1.0));
+        assert!(approx_eq_slice(&[], &[], 1e-12));
+    }
+
+    #[test]
+    fn slice_comparison_elementwise() {
+        let a = [c(1.0, 0.0), c(0.0, 1.0)];
+        let b = [c(1.0, 1e-12), c(-1e-12, 1.0)];
+        assert!(approx_eq_slice(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn real_slice_comparison() {
+        assert!(approx_eq_f64_slice(&[0.5, 0.5], &[0.5 + 1e-12, 0.5], 1e-10));
+        assert!(!approx_eq_f64_slice(&[0.5], &[0.6], 1e-10));
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let a = [c(s, 0.0), c(s, 0.0)];
+        // Same state multiplied by e^{iπ/3}.
+        let phase = Complex::cis(std::f64::consts::FRAC_PI_3);
+        let b = [a[0] * phase, a[1] * phase];
+        assert!(approx_eq_up_to_global_phase(&a, &b, 1e-12));
+        assert!(!approx_eq_slice(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn relative_phase_is_not_ignored() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let plus = [c(s, 0.0), c(s, 0.0)];
+        let minus = [c(s, 0.0), c(-s, 0.0)];
+        assert!(!approx_eq_up_to_global_phase(&plus, &minus, 1e-12));
+    }
+
+    #[test]
+    fn global_phase_zero_state_edge_case() {
+        let zero = [Complex::ZERO, Complex::ZERO];
+        assert!(approx_eq_up_to_global_phase(&zero, &zero, 1e-12));
+        let nonzero = [Complex::ONE, Complex::ZERO];
+        assert!(!approx_eq_up_to_global_phase(&zero, &nonzero, 1e-12));
+        assert!(!approx_eq_up_to_global_phase(&nonzero, &zero, 1e-12));
+    }
+
+    #[test]
+    fn global_phase_different_magnitudes_rejected() {
+        let a = [Complex::ONE, Complex::ZERO];
+        let b = [Complex::new(2.0, 0.0), Complex::ZERO];
+        assert!(!approx_eq_up_to_global_phase(&a, &b, 1e-9));
+    }
+}

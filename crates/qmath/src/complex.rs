@@ -1,0 +1,456 @@
+//! Double-precision complex numbers.
+//!
+//! [`Complex`] is a plain value type (`Copy`, 16 bytes) with the full set of
+//! arithmetic operators, mixed `f64` operators, and the handful of analytic
+//! functions quantum simulation needs (`exp`, `sqrt`, polar forms).
+//!
+//! The suite standardizes on this type rather than an external crate because
+//! the math substrate is part of the reproduction (see `DESIGN.md` §5).
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i` with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use qmath::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!(z * z.conj(), Complex::new(25.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qmath::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - Complex::new(0.0, 2.0)).norm() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Returns the complex conjugate `re − im·i`.
+    #[inline]
+    pub const fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Returns the squared modulus `re² + im²`.
+    ///
+    /// For a quantum amplitude this is the associated measurement
+    /// probability (the Born rule).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the modulus `√(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns the argument (phase angle) in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns the principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Returns the multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value when `z` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Compares against `other` component-wise with absolute tolerance
+    /// `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Add<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        rhs + self
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl DivAssign<f64> for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        self.re /= rhs;
+        self.im /= rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex> for Complex {
+    fn sum<I: Iterator<Item = &'a Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + *z)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |acc, z| acc * z)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn constants_are_correct() {
+        assert_eq!(Complex::ZERO, Complex::new(0.0, 0.0));
+        assert_eq!(Complex::ONE, Complex::new(1.0, 0.0));
+        assert_eq!(Complex::I, Complex::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        assert_eq!(a + b, Complex::new(4.0, -2.0));
+        assert_eq!(a - b, Complex::new(-2.0, 6.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn multiplication_expands_correctly() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, 4.0);
+        // (1+2i)(3+4i) = 3+4i+6i+8i² = -5+10i
+        assert_eq!(a * b, Complex::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, 4.0);
+        let q = (a * b) / b;
+        assert!(q.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn recip_of_i_is_minus_i() {
+        assert!(Complex::I.recip().approx_eq(-Complex::I, 1e-15));
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        assert_eq!(Complex::new(3.0, 4.0).norm(), 5.0);
+        assert_eq!(Complex::new(3.0, 4.0).norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.5, 1.1);
+        assert!((z.norm() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_quarter_turn() {
+        assert!(Complex::cis(FRAC_PI_2).approx_eq(Complex::I, 1e-12));
+        assert!(Complex::cis(PI).approx_eq(-Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_phase() {
+        let z = Complex::new(0.0, FRAC_PI_4).exp();
+        assert!(z.approx_eq(Complex::cis(FRAC_PI_4), 1e-12));
+        // e^{0} = 1
+        assert!(Complex::ZERO.exp().approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn sqrt_of_minus_one_is_i() {
+        let z = Complex::new(-1.0, 0.0).sqrt();
+        assert!(z.approx_eq(Complex::I, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 7.0);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.5, 3.0);
+        assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-12));
+        assert!((a * a.conj()).approx_eq(Complex::real(a.norm_sqr()), 1e-12));
+    }
+
+    #[test]
+    fn mixed_scalar_operators() {
+        let z = Complex::new(1.0, 1.0);
+        assert_eq!(z * 2.0, Complex::new(2.0, 2.0));
+        assert_eq!(2.0 * z, Complex::new(2.0, 2.0));
+        assert_eq!(z / 2.0, Complex::new(0.5, 0.5));
+        assert_eq!(z + 1.0, Complex::new(2.0, 1.0));
+        assert_eq!(z - 1.0, Complex::new(0.0, 1.0));
+        assert_eq!(1.0 + z, Complex::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = Complex::new(1.0, 2.0);
+        z += Complex::ONE;
+        assert_eq!(z, Complex::new(2.0, 2.0));
+        z -= Complex::I;
+        assert_eq!(z, Complex::new(2.0, 1.0));
+        z *= 2.0;
+        assert_eq!(z, Complex::new(4.0, 2.0));
+        z /= 2.0;
+        assert_eq!(z, Complex::new(2.0, 1.0));
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let v = [Complex::ONE, Complex::I, Complex::new(1.0, 1.0)];
+        let s: Complex = v.iter().sum();
+        assert_eq!(s, Complex::new(2.0, 2.0));
+        let p: Complex = v.iter().copied().product();
+        // 1 · i · (1+i) = i + i² = -1 + i
+        assert_eq!(p, Complex::new(-1.0, 1.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn from_f64_is_real() {
+        let z: Complex = 3.25.into();
+        assert_eq!(z, Complex::new(3.25, 0.0));
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Complex::new(1.0, 2.0).is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,44 @@
+//! Mathematical substrate for the dynamic quantum assertion suite.
+//!
+//! This crate provides everything the higher layers need that `std` does not:
+//!
+//! * [`Complex`] — double-precision complex numbers with full operator
+//!   support (the suite deliberately avoids external linear-algebra crates;
+//!   this substrate is part of the reproduction, see `DESIGN.md` §5),
+//! * [`CMatrix`] / [`Mat2`] — dense square complex matrices with the
+//!   operations quantum simulation needs: products, adjoints, Kronecker
+//!   products, unitarity/hermiticity checks,
+//! * [`stats`] — log-gamma, regularized incomplete gamma and the χ²
+//!   survival function used by the statistical-assertion baseline
+//!   (Huang & Martonosi, ISCA'19),
+//! * [`random`] — Haar-random single-qubit unitaries and random state
+//!   vectors for property-based testing,
+//! * [`approx`] — tolerance-based comparison helpers shared by the test
+//!   suites of every crate in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use qmath::{Complex, Mat2};
+//!
+//! let h = Mat2::new(
+//!     Complex::new(1.0, 0.0), Complex::new(1.0, 0.0),
+//!     Complex::new(1.0, 0.0), Complex::new(-1.0, 0.0),
+//! ).scale(std::f64::consts::FRAC_1_SQRT_2);
+//! assert!(h.is_unitary(1e-12));
+//! // H² = I
+//! assert!(h.mul(&h).approx_eq(&Mat2::identity(), 1e-12));
+//! ```
+
+pub mod approx;
+pub mod complex;
+pub mod matrix;
+pub mod random;
+pub mod stats;
+
+pub use approx::{approx_eq_c, approx_eq_f64, approx_eq_slice, DEFAULT_TOL};
+pub use complex::Complex;
+pub use matrix::{is_cptp, CMatrix, Mat2};
+
+/// 1/√2, the amplitude of the equal superposition state `|+⟩`.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;

@@ -1,0 +1,771 @@
+//! Dense square complex matrices.
+//!
+//! Two representations are provided:
+//!
+//! * [`Mat2`] — a fixed 2×2 matrix used on the hot path of single-qubit gate
+//!   application (no allocation, fully inlined),
+//! * [`CMatrix`] — a heap-allocated n×n matrix used for multi-qubit gate
+//!   matrices, Kraus operators and verification.
+
+use crate::complex::Complex;
+use std::fmt;
+
+/// A 2×2 complex matrix `[[a, b], [c, d]]`, the natural representation of a
+/// single-qubit gate.
+///
+/// # Example
+///
+/// ```
+/// use qmath::{Complex, Mat2};
+/// let x = Mat2::new(
+///     Complex::ZERO, Complex::ONE,
+///     Complex::ONE, Complex::ZERO,
+/// );
+/// assert!(x.mul(&x).approx_eq(&Mat2::identity(), 1e-15));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat2 {
+    /// Row 0, column 0.
+    pub a: Complex,
+    /// Row 0, column 1.
+    pub b: Complex,
+    /// Row 1, column 0.
+    pub c: Complex,
+    /// Row 1, column 1.
+    pub d: Complex,
+}
+
+impl Mat2 {
+    /// Creates a matrix from its four entries in row-major order.
+    #[inline]
+    pub const fn new(a: Complex, b: Complex, c: Complex, d: Complex) -> Self {
+        Mat2 { a, b, c, d }
+    }
+
+    /// The 2×2 identity matrix.
+    #[inline]
+    pub const fn identity() -> Self {
+        Mat2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE)
+    }
+
+    /// Creates a matrix from real entries.
+    #[inline]
+    pub const fn from_real(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Mat2::new(
+            Complex::real(a),
+            Complex::real(b),
+            Complex::real(c),
+            Complex::real(d),
+        )
+    }
+
+    /// Matrix product `self · rhs`.
+    #[inline]
+    pub fn mul(&self, rhs: &Mat2) -> Mat2 {
+        Mat2::new(
+            self.a * rhs.a + self.b * rhs.c,
+            self.a * rhs.b + self.b * rhs.d,
+            self.c * rhs.a + self.d * rhs.c,
+            self.c * rhs.b + self.d * rhs.d,
+        )
+    }
+
+    /// Multiplies every entry by the real scalar `k`.
+    #[inline]
+    pub fn scale(&self, k: f64) -> Mat2 {
+        Mat2::new(
+            self.a.scale(k),
+            self.b.scale(k),
+            self.c.scale(k),
+            self.d.scale(k),
+        )
+    }
+
+    /// Multiplies every entry by the complex scalar `k`.
+    #[inline]
+    pub fn scale_c(&self, k: Complex) -> Mat2 {
+        Mat2::new(self.a * k, self.b * k, self.c * k, self.d * k)
+    }
+
+    /// Conjugate transpose `A†`.
+    #[inline]
+    pub fn adjoint(&self) -> Mat2 {
+        Mat2::new(
+            self.a.conj(),
+            self.c.conj(),
+            self.b.conj(),
+            self.d.conj(),
+        )
+    }
+
+    /// Entry-wise complex conjugate (no transpose).
+    #[inline]
+    pub fn conj(&self) -> Mat2 {
+        Mat2::new(self.a.conj(), self.b.conj(), self.c.conj(), self.d.conj())
+    }
+
+    /// Transpose (no conjugation).
+    #[inline]
+    pub fn transpose(&self) -> Mat2 {
+        Mat2::new(self.a, self.c, self.b, self.d)
+    }
+
+    /// Determinant `ad − bc`.
+    #[inline]
+    pub fn det(&self) -> Complex {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Trace `a + d`.
+    #[inline]
+    pub fn trace(&self) -> Complex {
+        self.a + self.d
+    }
+
+    /// Applies the matrix to a 2-vector `(x, y)`.
+    #[inline]
+    pub fn apply(&self, x: Complex, y: Complex) -> (Complex, Complex) {
+        (self.a * x + self.b * y, self.c * x + self.d * y)
+    }
+
+    /// Returns `true` when `A†A = I` within absolute tolerance `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.adjoint().mul(self).approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Entry-wise approximate comparison.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        self.a.approx_eq(other.a, tol)
+            && self.b.approx_eq(other.b, tol)
+            && self.c.approx_eq(other.c, tol)
+            && self.d.approx_eq(other.d, tol)
+    }
+
+    /// Converts to a dynamically sized [`CMatrix`] of dimension 2.
+    pub fn to_cmatrix(&self) -> CMatrix {
+        CMatrix::from_rows(&[&[self.a, self.b], &[self.c, self.d]])
+            .expect("2x2 rows are well-formed")
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}, {}]", self.a, self.b)?;
+        write!(f, "[{}, {}]", self.c, self.d)
+    }
+}
+
+/// Error returned by fallible [`CMatrix`] constructors and operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The provided rows do not form a square matrix.
+    NotSquare {
+        /// Number of rows provided.
+        rows: usize,
+        /// Length of the offending row.
+        row_len: usize,
+    },
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::NotSquare { rows, row_len } => {
+                write!(f, "matrix is not square: {rows} rows but a row of length {row_len}")
+            }
+            MatrixError::DimensionMismatch { left, right } => {
+                write!(f, "matrix dimensions do not match: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense, heap-allocated n×n complex matrix in row-major order.
+///
+/// Used for multi-qubit gate matrices (dimension 4 and 8), Kraus operators,
+/// and unitary-equivalence verification. Dimensions in this suite are tiny
+/// (≤ 2⁶), so the implementation favours clarity over blocking/SIMD.
+///
+/// # Example
+///
+/// ```
+/// use qmath::CMatrix;
+/// let i2 = CMatrix::identity(2);
+/// let i4 = i2.kron(&i2);
+/// assert_eq!(i4.dim(), 4);
+/// assert!(i4.is_unitary(1e-15));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    dim: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates the zero matrix of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        CMatrix {
+            dim,
+            data: vec![Complex::ZERO; dim * dim],
+        }
+    }
+
+    /// Creates the identity matrix of dimension `dim`.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = CMatrix::zeros(dim);
+        for i in 0..dim {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] when any row's length differs from
+    /// the number of rows.
+    pub fn from_rows(rows: &[&[Complex]]) -> Result<Self, MatrixError> {
+        let dim = rows.len();
+        let mut data = Vec::with_capacity(dim * dim);
+        for row in rows {
+            if row.len() != dim {
+                return Err(MatrixError::NotSquare {
+                    rows: dim,
+                    row_len: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(CMatrix { dim, data })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] when `data.len() != dim²`.
+    pub fn from_vec(dim: usize, data: Vec<Complex>) -> Result<Self, MatrixError> {
+        if data.len() != dim * dim {
+            return Err(MatrixError::NotSquare {
+                rows: dim,
+                row_len: data.len(),
+            });
+        }
+        Ok(CMatrix { dim, data })
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[Complex]) -> Self {
+        let mut m = CMatrix::zeros(diag.len());
+        for (i, z) in diag.iter().enumerate() {
+            m.set(i, i, *z);
+        }
+        m
+    }
+
+    /// The matrix dimension n (the matrix is n×n).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.dim + col]
+    }
+
+    /// Sets the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        self.data[row * self.dim + col] = value;
+    }
+
+    /// Immutable view of the row-major backing buffer.
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when the dimensions differ.
+    pub fn mul(&self, rhs: &CMatrix) -> Result<CMatrix, MatrixError> {
+        if self.dim != rhs.dim {
+            return Err(MatrixError::DimensionMismatch {
+                left: self.dim,
+                right: rhs.dim,
+            });
+        }
+        let n = self.dim;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = out.get(i, j) + aik * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when `v.len() != dim`.
+    pub fn matvec(&self, v: &[Complex]) -> Result<Vec<Complex>, MatrixError> {
+        if v.len() != self.dim {
+            return Err(MatrixError::DimensionMismatch {
+                left: self.dim,
+                right: v.len(),
+            });
+        }
+        let n = self.dim;
+        let mut out = vec![Complex::ZERO; n];
+        for i in 0..n {
+            let mut acc = Complex::ZERO;
+            for j in 0..n {
+                acc += self.get(i, j) * v[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Entry-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when the dimensions differ.
+    pub fn add(&self, rhs: &CMatrix) -> Result<CMatrix, MatrixError> {
+        if self.dim != rhs.dim {
+            return Err(MatrixError::DimensionMismatch {
+                left: self.dim,
+                right: rhs.dim,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a + *b)
+            .collect();
+        Ok(CMatrix {
+            dim: self.dim,
+            data,
+        })
+    }
+
+    /// Entry-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when the dimensions differ.
+    pub fn sub(&self, rhs: &CMatrix) -> Result<CMatrix, MatrixError> {
+        if self.dim != rhs.dim {
+            return Err(MatrixError::DimensionMismatch {
+                left: self.dim,
+                right: rhs.dim,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a - *b)
+            .collect();
+        Ok(CMatrix {
+            dim: self.dim,
+            data,
+        })
+    }
+
+    /// Multiplies every entry by the real scalar `k`.
+    pub fn scale(&self, k: f64) -> CMatrix {
+        CMatrix {
+            dim: self.dim,
+            data: self.data.iter().map(|z| z.scale(k)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by the complex scalar `k`.
+    pub fn scale_c(&self, k: Complex) -> CMatrix {
+        CMatrix {
+            dim: self.dim,
+            data: self.data.iter().map(|z| *z * k).collect(),
+        }
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> CMatrix {
+        let n = self.dim;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out.set(j, i, self.get(i, j).conj());
+            }
+        }
+        out
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> CMatrix {
+        let n = self.dim;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate (no transpose).
+    pub fn conj(&self) -> CMatrix {
+        CMatrix {
+            dim: self.dim,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Trace `Σᵢ Aᵢᵢ`.
+    pub fn trace(&self) -> Complex {
+        (0..self.dim).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// The result has dimension `self.dim() * rhs.dim()`. Index convention:
+    /// entry `((i1·m + i2), (j1·m + j2)) = self[i1,j1] · rhs[i2,j2]` where
+    /// `m = rhs.dim()`, i.e. the *left* operand occupies the most
+    /// significant digits — the standard textbook convention.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let n = self.dim;
+        let m = rhs.dim;
+        let mut out = CMatrix::zeros(n * m);
+        for i1 in 0..n {
+            for j1 in 0..n {
+                let a = self.get(i1, j1);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for i2 in 0..m {
+                    for j2 in 0..m {
+                        out.set(i1 * m + i2, j1 * m + j2, a * rhs.get(i2, j2));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` when `A†A = I` within absolute tolerance `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        match self.adjoint().mul(self) {
+            Ok(p) => p.approx_eq(&CMatrix::identity(self.dim), tol),
+            Err(_) => false,
+        }
+    }
+
+    /// Returns `true` when `A = A†` within absolute tolerance `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Entry-wise approximate comparison. Matrices of different dimensions
+    /// are never equal.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Frobenius norm `√(Σ |Aᵢⱼ|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` when every entry's magnitude is at most `tol`.
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.data.iter().all(|z| z.norm() <= tol)
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.dim {
+            write!(f, "[")?;
+            for j in 0..self.dim {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(i, j))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks that a set of Kraus operators `{Kᵢ}` forms a completely positive
+/// trace-preserving map, i.e. `Σᵢ Kᵢ†Kᵢ = I`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if the operators do not share a
+/// single dimension or the set is empty.
+pub fn is_cptp(kraus_ops: &[CMatrix], tol: f64) -> Result<bool, MatrixError> {
+    let dim = match kraus_ops.first() {
+        Some(k) => k.dim(),
+        None => {
+            return Err(MatrixError::DimensionMismatch { left: 0, right: 0 });
+        }
+    };
+    let mut acc = CMatrix::zeros(dim);
+    for k in kraus_ops {
+        let prod = k.adjoint().mul(k)?;
+        acc = acc.add(&prod)?;
+    }
+    Ok(acc.approx_eq(&CMatrix::identity(dim), tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FRAC_1_SQRT_2;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    fn hadamard() -> Mat2 {
+        Mat2::from_real(1.0, 1.0, 1.0, -1.0).scale(FRAC_1_SQRT_2)
+    }
+
+    #[test]
+    fn mat2_identity_is_neutral() {
+        let h = hadamard();
+        assert!(h.mul(&Mat2::identity()).approx_eq(&h, 1e-15));
+        assert!(Mat2::identity().mul(&h).approx_eq(&h, 1e-15));
+    }
+
+    #[test]
+    fn mat2_hadamard_self_inverse() {
+        let h = hadamard();
+        assert!(h.mul(&h).approx_eq(&Mat2::identity(), 1e-12));
+        assert!(h.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mat2_adjoint_of_phase_gate() {
+        // S = diag(1, i); S† = diag(1, -i)
+        let s = Mat2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::I);
+        let sdg = s.adjoint();
+        assert_eq!(sdg.d, -Complex::I);
+        assert!(s.mul(&sdg).approx_eq(&Mat2::identity(), 1e-15));
+    }
+
+    #[test]
+    fn mat2_det_and_trace() {
+        let m = Mat2::from_real(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.det(), c(-2.0, 0.0));
+        assert_eq!(m.trace(), c(5.0, 0.0));
+    }
+
+    #[test]
+    fn mat2_apply_matches_matvec() {
+        let h = hadamard();
+        let (x, y) = h.apply(Complex::ONE, Complex::ZERO);
+        assert!(x.approx_eq(c(FRAC_1_SQRT_2, 0.0), 1e-15));
+        assert!(y.approx_eq(c(FRAC_1_SQRT_2, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn mat2_transpose_and_conj_compose_to_adjoint() {
+        let m = Mat2::new(c(1.0, 2.0), c(3.0, -1.0), c(0.5, 0.5), c(-2.0, 1.0));
+        assert!(m.transpose().conj().approx_eq(&m.adjoint(), 1e-15));
+    }
+
+    #[test]
+    fn cmatrix_identity_multiplication() {
+        let m = CMatrix::from_rows(&[
+            &[c(1.0, 0.0), c(2.0, 1.0)],
+            &[c(0.0, -1.0), c(3.0, 0.0)],
+        ])
+        .unwrap();
+        let i = CMatrix::identity(2);
+        assert!(m.mul(&i).unwrap().approx_eq(&m, 1e-15));
+        assert!(i.mul(&m).unwrap().approx_eq(&m, 1e-15));
+    }
+
+    #[test]
+    fn cmatrix_from_rows_rejects_ragged() {
+        let err = CMatrix::from_rows(&[&[Complex::ONE], &[Complex::ONE, Complex::ZERO]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cmatrix_from_vec_validates_len() {
+        assert!(CMatrix::from_vec(2, vec![Complex::ONE; 4]).is_ok());
+        assert!(CMatrix::from_vec(2, vec![Complex::ONE; 3]).is_err());
+    }
+
+    #[test]
+    fn cmatrix_mul_dimension_mismatch() {
+        let a = CMatrix::identity(2);
+        let b = CMatrix::identity(3);
+        assert_eq!(
+            a.mul(&b).unwrap_err(),
+            MatrixError::DimensionMismatch { left: 2, right: 3 }
+        );
+    }
+
+    #[test]
+    fn cmatrix_matvec_applies_rows() {
+        let m = CMatrix::from_rows(&[
+            &[c(0.0, 0.0), c(1.0, 0.0)],
+            &[c(1.0, 0.0), c(0.0, 0.0)],
+        ])
+        .unwrap();
+        let v = m.matvec(&[Complex::ONE, Complex::ZERO]).unwrap();
+        assert!(v[0].approx_eq(Complex::ZERO, 1e-15));
+        assert!(v[1].approx_eq(Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn cmatrix_kron_of_identities() {
+        let i2 = CMatrix::identity(2);
+        let i4 = i2.kron(&i2);
+        assert!(i4.approx_eq(&CMatrix::identity(4), 1e-15));
+    }
+
+    #[test]
+    fn cmatrix_kron_ordering_convention() {
+        // Z ⊗ I: left operand occupies the most significant bit, so the
+        // minus signs land on the bottom-right block.
+        let z = CMatrix::diagonal(&[Complex::ONE, -Complex::ONE]);
+        let i2 = CMatrix::identity(2);
+        let zi = z.kron(&i2);
+        assert_eq!(zi.get(0, 0), Complex::ONE);
+        assert_eq!(zi.get(1, 1), Complex::ONE);
+        assert_eq!(zi.get(2, 2), -Complex::ONE);
+        assert_eq!(zi.get(3, 3), -Complex::ONE);
+    }
+
+    #[test]
+    fn cmatrix_kron_dimensions() {
+        let a = CMatrix::identity(2);
+        let b = CMatrix::identity(4);
+        assert_eq!(a.kron(&b).dim(), 8);
+    }
+
+    #[test]
+    fn cmatrix_trace_of_diagonal() {
+        let d = CMatrix::diagonal(&[c(1.0, 0.0), c(2.0, 3.0)]);
+        assert_eq!(d.trace(), c(3.0, 3.0));
+    }
+
+    #[test]
+    fn cmatrix_hermitian_detection() {
+        let herm = CMatrix::from_rows(&[
+            &[c(1.0, 0.0), c(0.0, -1.0)],
+            &[c(0.0, 1.0), c(2.0, 0.0)],
+        ])
+        .unwrap();
+        assert!(herm.is_hermitian(1e-15));
+        let not_herm = CMatrix::from_rows(&[
+            &[c(1.0, 0.0), c(1.0, 0.0)],
+            &[c(0.0, 0.0), c(2.0, 0.0)],
+        ])
+        .unwrap();
+        assert!(!not_herm.is_hermitian(1e-15));
+    }
+
+    #[test]
+    fn cmatrix_unitary_detection() {
+        let h = hadamard().to_cmatrix();
+        assert!(h.is_unitary(1e-12));
+        let not_u = CMatrix::diagonal(&[c(2.0, 0.0), c(1.0, 0.0)]);
+        assert!(!not_u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn cmatrix_add_sub_roundtrip() {
+        let a = CMatrix::identity(2);
+        let b = CMatrix::diagonal(&[Complex::I, -Complex::I]);
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        assert!(back.approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn cmatrix_frobenius_norm() {
+        let i = CMatrix::identity(4);
+        assert!((i.frobenius_norm() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cptp_check_accepts_valid_kraus_set() {
+        // Bit-flip channel with p = 0.3: K0 = √0.7·I, K1 = √0.3·X.
+        let k0 = CMatrix::identity(2).scale(0.7f64.sqrt());
+        let x = CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ])
+        .unwrap();
+        let k1 = x.scale(0.3f64.sqrt());
+        assert!(is_cptp(&[k0, k1], 1e-12).unwrap());
+    }
+
+    #[test]
+    fn cptp_check_rejects_invalid_set() {
+        let k0 = CMatrix::identity(2).scale(0.9);
+        assert!(!is_cptp(&[k0], 1e-12).unwrap());
+    }
+
+    #[test]
+    fn cptp_check_rejects_empty_set() {
+        assert!(is_cptp(&[], 1e-12).is_err());
+    }
+
+    #[test]
+    fn scale_c_rotates_entries() {
+        let m = CMatrix::identity(2).scale_c(Complex::I);
+        assert_eq!(m.get(0, 0), Complex::I);
+        assert_eq!(m.get(1, 1), Complex::I);
+    }
+
+    #[test]
+    fn is_zero_detects_zero_matrix() {
+        assert!(CMatrix::zeros(3).is_zero(0.0));
+        assert!(!CMatrix::identity(3).is_zero(1e-12));
+    }
+}

@@ -1,0 +1,160 @@
+//! Random quantum objects for testing and workload generation.
+//!
+//! Property-based tests across the workspace need Haar-distributed
+//! single-qubit unitaries (to exercise gate application on arbitrary
+//! rotations) and random normalized state vectors (to exercise simulators on
+//! arbitrary inputs). `rand` provides only uniform sampling offline, so the
+//! Gaussian sampling needed for Haar states is implemented here via
+//! Box–Muller.
+
+use crate::complex::Complex;
+use crate::matrix::Mat2;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Draws a complex number with independent standard-normal components.
+pub fn standard_normal_complex<R: Rng + ?Sized>(rng: &mut R) -> Complex {
+    Complex::new(standard_normal(rng), standard_normal(rng))
+}
+
+/// Draws a Haar-distributed single-qubit unitary.
+///
+/// Parameterized as `e^{iα}·Rz(β)·Ry(γ)·Rz(δ)` with `β, δ, α ~ U[0, 2π)` and
+/// `γ = 2·asin(√u)` for `u ~ U[0, 1)`, which is the Haar measure on SU(2)
+/// times a uniform global phase.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = qmath::random::haar_unitary2(&mut rng);
+/// assert!(u.is_unitary(1e-12));
+/// ```
+pub fn haar_unitary2<R: Rng + ?Sized>(rng: &mut R) -> Mat2 {
+    let alpha: f64 = rng.gen::<f64>() * 2.0 * PI;
+    let beta: f64 = rng.gen::<f64>() * 2.0 * PI;
+    let delta: f64 = rng.gen::<f64>() * 2.0 * PI;
+    let gamma = 2.0 * (rng.gen::<f64>().sqrt()).asin();
+
+    let rz = |theta: f64| {
+        Mat2::new(
+            Complex::cis(-theta / 2.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::cis(theta / 2.0),
+        )
+    };
+    let ry = |theta: f64| {
+        let (s, c) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+        Mat2::from_real(c, -s, s, c)
+    };
+
+    rz(beta)
+        .mul(&ry(gamma))
+        .mul(&rz(delta))
+        .scale_c(Complex::cis(alpha))
+}
+
+/// Draws a Haar-random normalized state vector over `num_qubits` qubits
+/// (length `2^num_qubits`).
+///
+/// Components are i.i.d. complex Gaussians, normalized — the standard
+/// construction of the uniform measure on the complex unit sphere.
+///
+/// # Panics
+///
+/// Panics if `num_qubits` is large enough to overflow the address space
+/// (`num_qubits >= 48`).
+pub fn random_statevector<R: Rng + ?Sized>(num_qubits: usize, rng: &mut R) -> Vec<Complex> {
+    assert!(num_qubits < 48, "statevector of 2^{num_qubits} amplitudes is not addressable");
+    let len = 1usize << num_qubits;
+    let mut v: Vec<Complex> = (0..len).map(|_| standard_normal_complex(rng)).collect();
+    let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    for z in &mut v {
+        *z /= norm;
+    }
+    v
+}
+
+/// Draws a uniformly random point on the unit circle, returned as real
+/// amplitudes `(a, b)` with `a² + b² = 1`.
+///
+/// This matches the paper's Section 3 derivations, which analyze assertion
+/// error probabilities for *real* coefficients `a`, `b`.
+pub fn random_real_amplitudes<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let theta: f64 = rng.gen::<f64>() * 2.0 * PI;
+    (theta.cos(), theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let u = haar_unitary2(&mut rng);
+            assert!(u.is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn haar_unitary_is_deterministic_per_seed() {
+        let a = haar_unitary2(&mut StdRng::seed_from_u64(7));
+        let b = haar_unitary2(&mut StdRng::seed_from_u64(7));
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn random_statevector_is_normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 0..6 {
+            let v = random_statevector(n, &mut rng);
+            assert_eq!(v.len(), 1 << n);
+            let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12, "norm² = {norm} for n = {n}");
+        }
+    }
+
+    #[test]
+    fn real_amplitudes_lie_on_unit_circle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let (a, b) = random_real_amplitudes(&mut rng);
+            assert!((a * a + b * b - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.08, "variance = {var}");
+    }
+
+    #[test]
+    fn haar_unitary_column_norms_are_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = haar_unitary2(&mut rng);
+        let col0 = u.a.norm_sqr() + u.c.norm_sqr();
+        let col1 = u.b.norm_sqr() + u.d.norm_sqr();
+        assert!((col0 - 1.0).abs() < 1e-12);
+        assert!((col1 - 1.0).abs() < 1e-12);
+    }
+}

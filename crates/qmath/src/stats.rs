@@ -1,0 +1,485 @@
+//! Statistical special functions and hypothesis tests.
+//!
+//! The statistical-assertion baseline (Huang & Martonosi, ISCA'19) decides
+//! whether measured outcome histograms are consistent with an asserted
+//! distribution via Pearson's χ² test. This module implements the required
+//! special functions from scratch: log-gamma (Lanczos approximation) and the
+//! regularized incomplete gamma functions (series + continued fraction, after
+//! Numerical Recipes), plus the χ² survival function built on them and a
+//! Wilson score interval for binomial error bars.
+
+/// Lanczos coefficients for g = 7, n = 9.
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_59,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Iteration cap for the incomplete-gamma series/continued fraction.
+const ITMAX: usize = 500;
+/// Relative accuracy target for the incomplete-gamma evaluations.
+const EPS: f64 = 3.0e-14;
+/// Number near the smallest representable normal f64, used to guard the
+/// continued fraction against division by zero.
+const FPMIN: f64 = 1.0e-300;
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`
+/// (values `x ≤ 0` are handled by the reflection formula and return NaN at
+/// the poles).
+///
+/// Accuracy is ~15 significant digits over the range used by the χ² tests.
+///
+/// # Example
+///
+/// ```
+/// use qmath::stats::ln_gamma;
+/// // Γ(5) = 4! = 24
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS[0];
+        for (i, &coef) in LANCZOS.iter().enumerate().skip(1) {
+            acc += coef / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)` for `a > 0`,
+/// `x ≥ 0`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)` rises from 0 at `x = 0` to 1 as `x → ∞`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0 (got {a})");
+    assert!(x >= 0.0, "gamma_p requires x >= 0 (got {x})");
+    if x == 0.0 {
+        0.0
+    } else if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0 (got {a})");
+    assert!(x >= 0.0, "gamma_q requires x >= 0 (got {x})");
+    if x == 0.0 {
+        1.0
+    } else if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, converges fast for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..ITMAX {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x)` (modified Lentz),
+/// converges fast for `x ≥ a + 1`.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=ITMAX {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Survival function of the χ² distribution with `dof` degrees of freedom:
+/// the p-value `P(X ≥ statistic)`.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `statistic < 0`.
+///
+/// # Example
+///
+/// ```
+/// use qmath::stats::chi2_sf;
+/// // The classic 5% critical value for 1 degree of freedom is 3.841.
+/// assert!((chi2_sf(3.841, 1) - 0.05).abs() < 1e-3);
+/// ```
+pub fn chi2_sf(statistic: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "chi-squared requires at least one degree of freedom");
+    assert!(statistic >= 0.0, "chi-squared statistic must be non-negative");
+    gamma_q(dof as f64 / 2.0, statistic / 2.0)
+}
+
+/// Cumulative distribution function of the χ² distribution with `dof`
+/// degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `statistic < 0`.
+pub fn chi2_cdf(statistic: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "chi-squared requires at least one degree of freedom");
+    assert!(statistic >= 0.0, "chi-squared statistic must be non-negative");
+    gamma_p(dof as f64 / 2.0, statistic / 2.0)
+}
+
+/// Outcome of a Pearson χ² goodness-of-fit test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Chi2Outcome {
+    /// The χ² statistic `Σ (Oᵢ − Eᵢ)² / Eᵢ`.
+    pub statistic: f64,
+    /// Degrees of freedom used (non-degenerate categories − 1).
+    pub dof: u32,
+    /// The p-value `P(X ≥ statistic)` under the null hypothesis.
+    pub p_value: f64,
+}
+
+/// Errors from the hypothesis-test helpers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatsError {
+    /// Observed counts and expected probabilities have different lengths.
+    LengthMismatch {
+        /// Number of observed categories.
+        observed: usize,
+        /// Number of expected probabilities.
+        expected: usize,
+    },
+    /// No events were observed (total count is zero).
+    NoSamples,
+    /// Fewer than two non-degenerate categories remain, so no test is
+    /// possible.
+    DegenerateCategories,
+    /// An expected probability is negative or the probabilities do not sum
+    /// to ~1.
+    InvalidProbabilities,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::LengthMismatch { observed, expected } => write!(
+                f,
+                "observed ({observed}) and expected ({expected}) category counts differ"
+            ),
+            StatsError::NoSamples => write!(f, "no samples observed"),
+            StatsError::DegenerateCategories => {
+                write!(f, "fewer than two non-degenerate categories")
+            }
+            StatsError::InvalidProbabilities => {
+                write!(f, "expected probabilities are invalid (negative or do not sum to 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Pearson χ² goodness-of-fit test of observed counts against expected
+/// probabilities.
+///
+/// Categories with zero expected probability are dropped when their observed
+/// count is also zero; if such a category *was* observed the returned
+/// p-value is exactly 0 (an impossible outcome occurred).
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] when the slices differ in length,
+/// * [`StatsError::NoSamples`] when no events were observed,
+/// * [`StatsError::InvalidProbabilities`] when probabilities are negative or
+///   do not sum to ~1,
+/// * [`StatsError::DegenerateCategories`] when fewer than two categories
+///   have positive expectation.
+pub fn chi2_goodness_of_fit(
+    observed: &[u64],
+    expected_probs: &[f64],
+) -> Result<Chi2Outcome, StatsError> {
+    if observed.len() != expected_probs.len() {
+        return Err(StatsError::LengthMismatch {
+            observed: observed.len(),
+            expected: expected_probs.len(),
+        });
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return Err(StatsError::NoSamples);
+    }
+    let psum: f64 = expected_probs.iter().sum();
+    if expected_probs.iter().any(|p| *p < 0.0) || (psum - 1.0).abs() > 1e-6 {
+        return Err(StatsError::InvalidProbabilities);
+    }
+
+    let n = total as f64;
+    let mut statistic = 0.0;
+    let mut categories = 0u32;
+    let mut impossible_observed = false;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        if p <= 0.0 {
+            if o > 0 {
+                impossible_observed = true;
+            }
+            continue;
+        }
+        categories += 1;
+        let e = p * n;
+        let diff = o as f64 - e;
+        statistic += diff * diff / e;
+    }
+    if impossible_observed {
+        return Ok(Chi2Outcome {
+            statistic: f64::INFINITY,
+            dof: categories.max(2) - 1,
+            p_value: 0.0,
+        });
+    }
+    if categories < 2 {
+        return Err(StatsError::DegenerateCategories);
+    }
+    let dof = categories - 1;
+    Ok(Chi2Outcome {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    })
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` bounds on the true success probability given
+/// `successes` out of `trials` at confidence `z` (1.96 for 95%).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval requires at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Sample mean of a slice.
+///
+/// Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance of a slice (n−1 denominator).
+///
+/// Returns 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_of_integers_matches_factorials() {
+        assert!(ln_gamma(1.0).abs() < 1e-13);
+        assert!(ln_gamma(2.0).abs() < 1e-13);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(11.0) - 3_628_800f64.ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn ln_gamma_of_half_is_ln_sqrt_pi() {
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds() {
+        // Γ(x+1) = x Γ(x) ⇒ lnΓ(x+1) = ln x + lnΓ(x)
+        for &x in &[0.7, 1.3, 2.9, 7.5] {
+            assert!((ln_gamma(x + 1.0) - (x.ln() + ln_gamma(x))).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn gamma_p_q_are_complementary() {
+        for &a in &[0.5, 1.0, 2.5, 10.0] {
+            for &x in &[0.1, 1.0, 3.0, 20.0] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "P+Q != 1 at a={a} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_boundaries() {
+        assert_eq!(gamma_p(2.0, 0.0), 0.0);
+        assert!(gamma_p(2.0, 1e6) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}
+        for &x in &[0.2, 1.0, 4.2] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chi2_critical_values_match_tables() {
+        // Standard critical values (statistic, dof, alpha).
+        let table = [
+            (3.841, 1, 0.05),
+            (6.635, 1, 0.01),
+            (5.991, 2, 0.05),
+            (7.815, 3, 0.05),
+            (9.488, 4, 0.05),
+            (18.307, 10, 0.05),
+        ];
+        for (stat, dof, alpha) in table {
+            let p = chi2_sf(stat, dof);
+            assert!(
+                (p - alpha).abs() < 2e-4,
+                "chi2_sf({stat}, {dof}) = {p}, expected ~{alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn chi2_cdf_and_sf_complement() {
+        for &dof in &[1u32, 2, 5, 30] {
+            for &x in &[0.5, 2.0, 10.0, 40.0] {
+                assert!((chi2_cdf(x, dof) + chi2_sf(x, dof) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_sf_at_zero_is_one() {
+        assert_eq!(chi2_sf(0.0, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn chi2_sf_rejects_zero_dof() {
+        chi2_sf(1.0, 0);
+    }
+
+    #[test]
+    fn goodness_of_fit_perfect_match_has_high_p() {
+        // 1000 shots split exactly as expected for a uniform distribution.
+        let outcome = chi2_goodness_of_fit(&[250, 250, 250, 250], &[0.25; 4]).unwrap();
+        assert!(outcome.statistic.abs() < 1e-12);
+        assert!((outcome.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(outcome.dof, 3);
+    }
+
+    #[test]
+    fn goodness_of_fit_gross_mismatch_has_tiny_p() {
+        // All mass on one of four supposedly uniform outcomes.
+        let outcome = chi2_goodness_of_fit(&[1000, 0, 0, 0], &[0.25; 4]).unwrap();
+        assert!(outcome.p_value < 1e-10);
+    }
+
+    #[test]
+    fn goodness_of_fit_impossible_outcome_gives_zero_p() {
+        let outcome = chi2_goodness_of_fit(&[10, 5], &[1.0, 0.0]).unwrap();
+        assert_eq!(outcome.p_value, 0.0);
+    }
+
+    #[test]
+    fn goodness_of_fit_input_validation() {
+        assert!(matches!(
+            chi2_goodness_of_fit(&[1, 2, 3], &[0.5, 0.5]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            chi2_goodness_of_fit(&[0, 0], &[0.5, 0.5]),
+            Err(StatsError::NoSamples)
+        ));
+        assert!(matches!(
+            chi2_goodness_of_fit(&[1, 1], &[0.9, 0.9]),
+            Err(StatsError::InvalidProbabilities)
+        ));
+    }
+
+    #[test]
+    fn goodness_of_fit_moderate_deviation() {
+        // 60/40 split on a fair coin over 100 flips: χ² = 4, p ≈ 0.0455.
+        let outcome = chi2_goodness_of_fit(&[60, 40], &[0.5, 0.5]).unwrap();
+        assert!((outcome.statistic - 4.0).abs() < 1e-12);
+        assert!((outcome.p_value - 0.0455).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_proportion() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(lo > 0.39 && hi < 0.61);
+    }
+
+    #[test]
+    fn wilson_interval_extreme_counts_stay_in_unit_range() {
+        let (lo, _) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo, 0.0);
+        let (_, hi) = wilson_interval(20, 20, 1.96);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use qmath::{approx::approx_eq_up_to_global_phase, CMatrix, Complex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    -1e3..1e3f64
+}
+
+fn complex() -> impl Strategy<Value = Complex> {
+    (finite_f64(), finite_f64()).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+fn nonzero_complex() -> impl Strategy<Value = Complex> {
+    complex().prop_filter("nonzero", |z| z.norm() > 1e-6)
+}
+
+proptest! {
+    #[test]
+    fn complex_addition_commutes(a in complex(), b in complex()) {
+        prop_assert!((a + b).approx_eq(b + a, 1e-9));
+    }
+
+    #[test]
+    fn complex_multiplication_commutes(a in complex(), b in complex()) {
+        prop_assert!((a * b).approx_eq(b * a, 1e-6));
+    }
+
+    #[test]
+    fn complex_multiplication_associates(a in complex(), b in complex(), c in complex()) {
+        let tol = 1e-3; // magnitudes up to 1e9 after two products
+        prop_assert!(((a * b) * c).approx_eq(a * (b * c), tol));
+    }
+
+    #[test]
+    fn complex_distributive_law(a in complex(), b in complex(), c in complex()) {
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-6));
+    }
+
+    #[test]
+    fn conjugation_is_multiplicative(a in complex(), b in complex()) {
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-6));
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in complex(), b in complex()) {
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn division_undoes_multiplication(a in complex(), b in nonzero_complex()) {
+        prop_assert!(((a * b) / b).approx_eq(a, 1e-5));
+    }
+
+    #[test]
+    fn polar_round_trip(r in 1e-3..1e3f64, theta in -3.1f64..3.1f64) {
+        let z = Complex::from_polar(r, theta);
+        prop_assert!((z.norm() - r).abs() < 1e-9 * r.max(1.0));
+        prop_assert!((z.arg() - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haar_unitaries_compose_to_unitary(seed1 in 0u64..1_000, seed2 in 0u64..1_000) {
+        let u = qmath::random::haar_unitary2(&mut StdRng::seed_from_u64(seed1));
+        let v = qmath::random::haar_unitary2(&mut StdRng::seed_from_u64(seed2));
+        prop_assert!(u.mul(&v).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn mat2_adjoint_reverses_products(seed1 in 0u64..1_000, seed2 in 0u64..1_000) {
+        let u = qmath::random::haar_unitary2(&mut StdRng::seed_from_u64(seed1));
+        let v = qmath::random::haar_unitary2(&mut StdRng::seed_from_u64(seed2));
+        let lhs = u.mul(&v).adjoint();
+        let rhs = v.adjoint().mul(&u.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn kron_dimension_is_product(n in 1usize..4, m in 1usize..4) {
+        let a = CMatrix::identity(n);
+        let b = CMatrix::identity(m);
+        prop_assert_eq!(a.kron(&b).dim(), n * m);
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(seed1 in 0u64..500, seed2 in 0u64..500) {
+        let u = qmath::random::haar_unitary2(&mut StdRng::seed_from_u64(seed1)).to_cmatrix();
+        let v = qmath::random::haar_unitary2(&mut StdRng::seed_from_u64(seed2)).to_cmatrix();
+        prop_assert!(u.kron(&v).is_unitary(1e-8));
+    }
+
+    #[test]
+    fn random_statevectors_are_normalized(seed in 0u64..2_000, n in 0usize..7) {
+        let v = qmath::random::random_statevector(n, &mut StdRng::seed_from_u64(seed));
+        let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        prop_assert!((norm - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn global_phase_equivalence_is_reflexive_under_phase(
+        seed in 0u64..2_000,
+        phi in -3.1f64..3.1f64,
+    ) {
+        let v = qmath::random::random_statevector(3, &mut StdRng::seed_from_u64(seed));
+        let w: Vec<Complex> = v.iter().map(|z| *z * Complex::cis(phi)).collect();
+        prop_assert!(approx_eq_up_to_global_phase(&v, &w, 1e-9));
+    }
+
+    #[test]
+    fn chi2_sf_is_monotone_decreasing(dof in 1u32..20, x in 0.0f64..50.0) {
+        let p1 = qmath::stats::chi2_sf(x, dof);
+        let p2 = qmath::stats::chi2_sf(x + 1.0, dof);
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    #[test]
+    fn chi2_cdf_in_unit_interval(dof in 1u32..30, x in 0.0f64..100.0) {
+        let c = qmath::stats::chi2_cdf(x, dof);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate(s in 0u64..100, extra in 1u64..100) {
+        let n = s + extra;
+        let (lo, hi) = qmath::stats::wilson_interval(s, n, 1.96);
+        let p = s as f64 / n as f64;
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+    }
+}

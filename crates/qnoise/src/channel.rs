@@ -1,0 +1,553 @@
+//! Quantum noise channels in Kraus form.
+//!
+//! A channel `E(ρ) = Σᵢ Kᵢ ρ Kᵢ†` is represented by its Kraus operators
+//! [`Kraus`]. The constructors cover the standard NISQ error processes:
+//! depolarizing (1- and 2-qubit), bit/phase flips, amplitude and phase
+//! damping, and thermal relaxation parameterized by `T1`/`T2` and a gate
+//! duration — the ingredients of the `ibmqx4`-like device model used to
+//! reproduce the paper's Tables 1–2.
+
+use qmath::{is_cptp, CMatrix, Complex};
+use std::fmt;
+
+/// Error produced when constructing an invalid channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChannelError {
+    /// A probability parameter is outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the parameter.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Probabilities sum to more than 1.
+    ProbabilitySumExceedsOne {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// Relaxation times are unphysical (T1 ≤ 0, T2 ≤ 0, or T2 > 2·T1).
+    InvalidRelaxation {
+        /// Longitudinal relaxation time.
+        t1: f64,
+        /// Transverse relaxation time.
+        t2: f64,
+    },
+    /// Gate duration must be non-negative.
+    InvalidDuration {
+        /// The offending duration.
+        duration: f64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidProbability { param, value } => {
+                write!(f, "probability '{param}' must lie in [0, 1], got {value}")
+            }
+            ChannelError::ProbabilitySumExceedsOne { sum } => {
+                write!(f, "pauli error probabilities sum to {sum} > 1")
+            }
+            ChannelError::InvalidRelaxation { t1, t2 } => {
+                write!(f, "relaxation times are unphysical: t1={t1}, t2={t2} (need 0 < t2 <= 2*t1)")
+            }
+            ChannelError::InvalidDuration { duration } => {
+                write!(f, "gate duration must be non-negative, got {duration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Rotation axis for [`Kraus::coherent_overrotation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RotationAxis {
+    /// Rotation about X.
+    X,
+    /// Rotation about Y.
+    Y,
+    /// Rotation about Z.
+    Z,
+}
+
+/// A completely positive trace-preserving map in Kraus form.
+///
+/// # Example
+///
+/// ```
+/// use qnoise::Kraus;
+/// let flip = Kraus::bit_flip(0.1)?;
+/// assert_eq!(flip.num_qubits(), 1);
+/// assert_eq!(flip.ops().len(), 2);
+/// # Ok::<(), qnoise::ChannelError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Kraus {
+    ops: Vec<CMatrix>,
+    num_qubits: usize,
+}
+
+/// The four single-qubit Pauli matrices in index order I, X, Y, Z.
+fn pauli(i: usize) -> CMatrix {
+    let mut m = CMatrix::zeros(2);
+    match i {
+        0 => {
+            m.set(0, 0, Complex::ONE);
+            m.set(1, 1, Complex::ONE);
+        }
+        1 => {
+            m.set(0, 1, Complex::ONE);
+            m.set(1, 0, Complex::ONE);
+        }
+        2 => {
+            m.set(0, 1, -Complex::I);
+            m.set(1, 0, Complex::I);
+        }
+        3 => {
+            m.set(0, 0, Complex::ONE);
+            m.set(1, 1, -Complex::ONE);
+        }
+        _ => unreachable!("pauli index must be 0..4"),
+    }
+    m
+}
+
+fn check_prob(param: &'static str, value: f64) -> Result<(), ChannelError> {
+    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+        return Err(ChannelError::InvalidProbability { param, value });
+    }
+    Ok(())
+}
+
+impl Kraus {
+    /// Builds a channel from raw Kraus operators.
+    ///
+    /// The operators are trusted to satisfy CPTP; use [`Kraus::is_cptp`]
+    /// to verify when they come from an untrusted source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ops` is empty or the operators' dimensions differ or
+    /// are not a power of two.
+    pub fn from_ops(ops: Vec<CMatrix>) -> Self {
+        let dim = ops.first().expect("kraus set must be non-empty").dim();
+        assert!(dim.is_power_of_two(), "kraus dimension must be a power of two");
+        assert!(
+            ops.iter().all(|k| k.dim() == dim),
+            "kraus operators must share one dimension"
+        );
+        Kraus {
+            ops,
+            num_qubits: dim.trailing_zeros() as usize,
+        }
+    }
+
+    /// The identity (no-noise) channel on one qubit.
+    pub fn identity() -> Self {
+        Kraus::from_ops(vec![CMatrix::identity(2)])
+    }
+
+    /// Single-qubit depolarizing channel:
+    /// `ρ → (1−p)·ρ + p·I/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn depolarizing(p: f64) -> Result<Self, ChannelError> {
+        check_prob("p", p)?;
+        let mut ops = vec![pauli(0).scale((1.0 - 0.75 * p).sqrt())];
+        for i in 1..4 {
+            ops.push(pauli(i).scale((p / 4.0).sqrt()));
+        }
+        Ok(Kraus::from_ops(ops))
+    }
+
+    /// Two-qubit depolarizing channel:
+    /// `ρ → (1−p)·ρ + p·I/4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn depolarizing2(p: f64) -> Result<Self, ChannelError> {
+        check_prob("p", p)?;
+        let mut ops = Vec::with_capacity(16);
+        for i in 0..4 {
+            for j in 0..4 {
+                let coeff = if i == 0 && j == 0 {
+                    (1.0 - 15.0 * p / 16.0).sqrt()
+                } else {
+                    (p / 16.0).sqrt()
+                };
+                if coeff > 0.0 {
+                    ops.push(pauli(i).kron(&pauli(j)).scale(coeff));
+                }
+            }
+        }
+        Ok(Kraus::from_ops(ops))
+    }
+
+    /// Bit-flip channel: applies X with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn bit_flip(p: f64) -> Result<Self, ChannelError> {
+        check_prob("p", p)?;
+        Ok(Kraus::from_ops(vec![
+            pauli(0).scale((1.0 - p).sqrt()),
+            pauli(1).scale(p.sqrt()),
+        ]))
+    }
+
+    /// Phase-flip channel: applies Z with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn phase_flip(p: f64) -> Result<Self, ChannelError> {
+        check_prob("p", p)?;
+        Ok(Kraus::from_ops(vec![
+            pauli(0).scale((1.0 - p).sqrt()),
+            pauli(3).scale(p.sqrt()),
+        ]))
+    }
+
+    /// General Pauli channel: applies X, Y, Z with probabilities `px`,
+    /// `py`, `pz` (identity otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChannelError`] when any probability is invalid or they
+    /// sum past 1.
+    pub fn pauli_channel(px: f64, py: f64, pz: f64) -> Result<Self, ChannelError> {
+        check_prob("px", px)?;
+        check_prob("py", py)?;
+        check_prob("pz", pz)?;
+        let sum = px + py + pz;
+        if sum > 1.0 + 1e-12 {
+            return Err(ChannelError::ProbabilitySumExceedsOne { sum });
+        }
+        Ok(Kraus::from_ops(vec![
+            pauli(0).scale((1.0 - sum).max(0.0).sqrt()),
+            pauli(1).scale(px.sqrt()),
+            pauli(2).scale(py.sqrt()),
+            pauli(3).scale(pz.sqrt()),
+        ]))
+    }
+
+    /// Amplitude-damping channel with decay probability `gamma`
+    /// (models T1 energy relaxation toward `|0⟩`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `gamma ∉ [0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Result<Self, ChannelError> {
+        check_prob("gamma", gamma)?;
+        let mut k0 = CMatrix::zeros(2);
+        k0.set(0, 0, Complex::ONE);
+        k0.set(1, 1, Complex::real((1.0 - gamma).sqrt()));
+        let mut k1 = CMatrix::zeros(2);
+        k1.set(0, 1, Complex::real(gamma.sqrt()));
+        Ok(Kraus::from_ops(vec![k0, k1]))
+    }
+
+    /// Phase-damping channel with dephasing probability `lambda`
+    /// (models pure T2 dephasing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `lambda ∉ [0, 1]`.
+    pub fn phase_damping(lambda: f64) -> Result<Self, ChannelError> {
+        check_prob("lambda", lambda)?;
+        let mut k0 = CMatrix::zeros(2);
+        k0.set(0, 0, Complex::ONE);
+        k0.set(1, 1, Complex::real((1.0 - lambda).sqrt()));
+        let mut k1 = CMatrix::zeros(2);
+        k1.set(1, 1, Complex::real(lambda.sqrt()));
+        Ok(Kraus::from_ops(vec![k0, k1]))
+    }
+
+    /// Coherent over-rotation error: a *unitary* error channel applying
+    /// `Rx(ε)`-style rotation after every gate (one Kraus operator).
+    ///
+    /// Coherent errors accumulate quadratically with depth rather than
+    /// linearly — a different error signature than the stochastic
+    /// channels, and one the assertion circuits still catch (the
+    /// ancilla measures population leakage regardless of its origin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidProbability`] when `epsilon` is
+    /// not finite.
+    pub fn coherent_overrotation(axis: RotationAxis, epsilon: f64) -> Result<Self, ChannelError> {
+        if !epsilon.is_finite() {
+            return Err(ChannelError::InvalidProbability {
+                param: "epsilon",
+                value: epsilon,
+            });
+        }
+        let (c, s) = ((epsilon / 2.0).cos(), (epsilon / 2.0).sin());
+        let mut m = CMatrix::zeros(2);
+        match axis {
+            RotationAxis::X => {
+                m.set(0, 0, Complex::real(c));
+                m.set(0, 1, Complex::new(0.0, -s));
+                m.set(1, 0, Complex::new(0.0, -s));
+                m.set(1, 1, Complex::real(c));
+            }
+            RotationAxis::Y => {
+                m.set(0, 0, Complex::real(c));
+                m.set(0, 1, Complex::real(-s));
+                m.set(1, 0, Complex::real(s));
+                m.set(1, 1, Complex::real(c));
+            }
+            RotationAxis::Z => {
+                m.set(0, 0, Complex::cis(-epsilon / 2.0));
+                m.set(1, 1, Complex::cis(epsilon / 2.0));
+            }
+        }
+        Ok(Kraus::from_ops(vec![m]))
+    }
+
+    /// Thermal-relaxation channel for a gate of `duration` on a qubit with
+    /// relaxation times `t1` and `t2` (all in consistent units, e.g.
+    /// nanoseconds).
+    ///
+    /// Modeled as amplitude damping with `γ = 1 − e^{−t/T1}` composed with
+    /// pure dephasing `λ = 1 − e^{−t/Tφ}` where `1/Tφ = 1/T2 − 1/(2·T1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidRelaxation`] for unphysical times
+    /// (requires `0 < T2 ≤ 2·T1`) or [`ChannelError::InvalidDuration`]
+    /// for negative durations.
+    pub fn thermal_relaxation(t1: f64, t2: f64, duration: f64) -> Result<Self, ChannelError> {
+        if t1 <= 0.0 || t2 <= 0.0 || t2 > 2.0 * t1 {
+            return Err(ChannelError::InvalidRelaxation { t1, t2 });
+        }
+        if duration < 0.0 || !duration.is_finite() {
+            return Err(ChannelError::InvalidDuration { duration });
+        }
+        let gamma = 1.0 - (-duration / t1).exp();
+        // 1/Tφ = 1/T2 − 1/(2 T1); when T2 = 2·T1 there is no pure
+        // dephasing beyond amplitude damping.
+        let inv_tphi = 1.0 / t2 - 1.0 / (2.0 * t1);
+        let lambda = if inv_tphi <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-duration * inv_tphi).exp()
+        };
+        let ad = Kraus::amplitude_damping(gamma)?;
+        let pd = Kraus::phase_damping(lambda)?;
+        Ok(ad.then(&pd))
+    }
+
+    /// Sequential composition: the channel applying `self` first, then
+    /// `other` (Kraus set `{Lⱼ·Kᵢ}` with near-zero products pruned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channels act on different qubit counts.
+    pub fn then(&self, other: &Kraus) -> Kraus {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "composed channels must act on the same qubits"
+        );
+        let mut ops = Vec::with_capacity(self.ops.len() * other.ops.len());
+        for l in &other.ops {
+            for k in &self.ops {
+                let prod = l.mul(k).expect("dimensions match");
+                if !prod.is_zero(1e-15) {
+                    ops.push(prod);
+                }
+            }
+        }
+        Kraus::from_ops(ops)
+    }
+
+    /// Tensor product of two channels acting on disjoint qubits:
+    /// `self` on the low-order local qubit(s), `other` on the high-order
+    /// ones. Kraus set `{Lⱼ ⊗ Kᵢ}`.
+    pub fn kron(&self, other: &Kraus) -> Kraus {
+        let mut ops = Vec::with_capacity(self.ops.len() * other.ops.len());
+        for l in &other.ops {
+            for k in &self.ops {
+                // CMatrix::kron puts the left operand on the most
+                // significant digits, so `other` (high qubits) goes left.
+                let prod = l.kron(k);
+                if !prod.is_zero(1e-15) {
+                    ops.push(prod);
+                }
+            }
+        }
+        Kraus::from_ops(ops)
+    }
+
+    /// The Kraus operators.
+    pub fn ops(&self) -> &[CMatrix] {
+        &self.ops
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Verifies the trace-preservation condition `Σ Kᵢ†Kᵢ = I`.
+    pub fn is_cptp(&self, tol: f64) -> bool {
+        is_cptp(&self.ops, tol).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_standard_channels_are_cptp() {
+        let channels = [
+            Kraus::identity(),
+            Kraus::depolarizing(0.1).unwrap(),
+            Kraus::depolarizing2(0.05).unwrap(),
+            Kraus::bit_flip(0.2).unwrap(),
+            Kraus::phase_flip(0.3).unwrap(),
+            Kraus::pauli_channel(0.1, 0.05, 0.2).unwrap(),
+            Kraus::amplitude_damping(0.25).unwrap(),
+            Kraus::phase_damping(0.15).unwrap(),
+            Kraus::thermal_relaxation(50_000.0, 30_000.0, 100.0).unwrap(),
+        ];
+        for ch in &channels {
+            assert!(ch.is_cptp(1e-10), "{ch:?} violates CPTP");
+        }
+    }
+
+    #[test]
+    fn probability_bounds_are_enforced() {
+        assert!(Kraus::depolarizing(-0.1).is_err());
+        assert!(Kraus::depolarizing(1.1).is_err());
+        assert!(Kraus::bit_flip(f64::NAN).is_err());
+        assert!(Kraus::pauli_channel(0.5, 0.4, 0.3).is_err());
+    }
+
+    #[test]
+    fn relaxation_parameter_validation() {
+        assert!(Kraus::thermal_relaxation(-1.0, 1.0, 1.0).is_err());
+        assert!(Kraus::thermal_relaxation(10.0, 25.0, 1.0).is_err()); // T2 > 2 T1
+        assert!(Kraus::thermal_relaxation(10.0, 5.0, -1.0).is_err());
+        assert!(Kraus::thermal_relaxation(10.0, 20.0, 0.0).is_ok()); // T2 = 2 T1 allowed
+    }
+
+    #[test]
+    fn zero_probability_channels_are_identity_like() {
+        for ch in [
+            Kraus::depolarizing(0.0).unwrap(),
+            Kraus::bit_flip(0.0).unwrap(),
+            Kraus::amplitude_damping(0.0).unwrap(),
+        ] {
+            // One Kraus operator carries all the weight and equals I.
+            let dominant = ch
+                .ops()
+                .iter()
+                .find(|k| (k.get(0, 0).norm() - 1.0).abs() < 1e-12)
+                .expect("identity-weight operator");
+            assert!(dominant.approx_eq(&CMatrix::identity(2), 1e-12));
+        }
+    }
+
+    #[test]
+    fn full_depolarizing_has_uniform_paulis() {
+        let ch = Kraus::depolarizing(1.0).unwrap();
+        // At p=1, all four Paulis carry weight 1/4 each.
+        for k in ch.ops() {
+            let weight = k.adjoint().mul(k).unwrap().trace().re / 2.0;
+            assert!((weight - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_kills_excited_population() {
+        // K0|1⟩ shrinks by √(1−γ); K1|1⟩ → √γ|0⟩.
+        let ch = Kraus::amplitude_damping(0.36).unwrap();
+        let k0 = &ch.ops()[0];
+        let k1 = &ch.ops()[1];
+        assert!((k0.get(1, 1).re - 0.8).abs() < 1e-12);
+        assert!((k1.get(0, 1).re - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_relaxation_limits() {
+        // Very long T1/T2 relative to the duration ≈ identity channel.
+        let ch = Kraus::thermal_relaxation(1e12, 1e12, 1.0).unwrap();
+        assert!(ch.is_cptp(1e-10));
+        let sum_weight: f64 = ch.ops()[0].get(0, 0).norm_sqr();
+        assert!((sum_weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_is_cptp_and_prunes_zeros() {
+        let a = Kraus::bit_flip(0.5).unwrap();
+        let b = Kraus::phase_flip(0.5).unwrap();
+        let ab = a.then(&b);
+        assert!(ab.is_cptp(1e-10));
+        assert_eq!(ab.ops().len(), 4);
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_has_sixteen_ops() {
+        let ch = Kraus::depolarizing2(0.2).unwrap();
+        assert_eq!(ch.ops().len(), 16);
+        assert_eq!(ch.num_qubits(), 2);
+    }
+
+    #[test]
+    fn coherent_overrotation_is_unitary_and_cptp() {
+        for axis in [RotationAxis::X, RotationAxis::Y, RotationAxis::Z] {
+            let ch = Kraus::coherent_overrotation(axis, 0.05).unwrap();
+            assert_eq!(ch.ops().len(), 1);
+            assert!(ch.ops()[0].is_unitary(1e-12), "{axis:?}");
+            assert!(ch.is_cptp(1e-12));
+        }
+        assert!(Kraus::coherent_overrotation(RotationAxis::X, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn coherent_x_overrotation_matches_rx() {
+        // ε-rotation about X must equal the Rx(ε) gate matrix.
+        let ch = Kraus::coherent_overrotation(RotationAxis::X, 0.3).unwrap();
+        let rx = qcircuit::Gate::Rx(0.3).matrix();
+        assert!(ch.ops()[0].approx_eq(&rx, 1e-12));
+    }
+
+    #[test]
+    fn coherent_errors_compose_coherently() {
+        // Two ε rotations = one 2ε rotation (phase-coherent growth).
+        let one = Kraus::coherent_overrotation(RotationAxis::Y, 0.1).unwrap();
+        let two = one.then(&one);
+        let expected = Kraus::coherent_overrotation(RotationAxis::Y, 0.2).unwrap();
+        assert!(two.ops()[0].approx_eq(&expected.ops()[0], 1e-12));
+    }
+
+    #[test]
+    fn kron_of_channels_is_cptp_with_product_arity() {
+        let a = Kraus::amplitude_damping(0.1).unwrap();
+        let b = Kraus::depolarizing(0.2).unwrap();
+        let ab = a.kron(&b);
+        assert_eq!(ab.num_qubits(), 2);
+        assert!(ab.is_cptp(1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_kraus_set_is_rejected() {
+        let _ = Kraus::from_ops(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "same qubits")]
+    fn composing_mismatched_arities_panics() {
+        let a = Kraus::depolarizing(0.1).unwrap();
+        let b = Kraus::depolarizing2(0.1).unwrap();
+        let _ = a.then(&b);
+    }
+}

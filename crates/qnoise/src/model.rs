@@ -1,0 +1,408 @@
+//! Per-gate noise models.
+//!
+//! A [`NoiseModel`] attaches [`Kraus`] channels to gate applications and
+//! [`ReadoutError`]s to measurements, mirroring how device calibration data
+//! is reported: per-gate error rates, per-qubit coherence times, per-qubit
+//! readout fidelities. The noisy executors in `qsim` query
+//! [`NoiseModel::channels_for`] after applying each ideal gate.
+//!
+//! Lookup precedence, most specific first:
+//! 1. channel registered for `(gate name, exact qubits)`,
+//! 2. channel registered for `gate name` on any qubits,
+//! 3. default channel for the gate's arity (1q / 2q).
+//!
+//! All channels found at the *most specific non-empty tier* are applied in
+//! registration order (so depolarizing + thermal relaxation can stack).
+
+use crate::channel::Kraus;
+use crate::readout::ReadoutError;
+use qcircuit::{Instruction, OpKind, QubitId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A noise channel bound to the qubits it should act on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppliedChannel {
+    /// The channel.
+    pub kraus: Kraus,
+    /// The circuit qubits the channel acts on, in the channel's local
+    /// order.
+    pub qubits: Vec<QubitId>,
+}
+
+/// How a registered channel selects its target qubits.
+#[derive(Clone, Debug, PartialEq)]
+enum ChannelScope {
+    /// Acts on the instruction's qubits (arity must match).
+    GateQubits(Kraus),
+    /// Acts independently on each of the instruction's qubits
+    /// (1-qubit channel broadcast over the operands).
+    EachQubit(Kraus),
+}
+
+/// Noise description for a simulated device.
+///
+/// # Example
+///
+/// ```
+/// use qnoise::{Kraus, NoiseModel, ReadoutError};
+/// # fn main() -> Result<(), qnoise::ChannelError> {
+/// let mut model = NoiseModel::new();
+/// model
+///     .with_default_1q(Kraus::depolarizing(0.001)?)
+///     .with_default_2q(Kraus::depolarizing2(0.02)?)
+///     .with_readout_error(0, ReadoutError::symmetric(0.03)?);
+/// assert!(!model.is_ideal());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NoiseModel {
+    name: String,
+    default_1q: Vec<Kraus>,
+    default_2q: Vec<Kraus>,
+    per_gate: HashMap<String, Vec<ChannelScope>>,
+    per_gate_qubits: HashMap<(String, Vec<QubitId>), Vec<Kraus>>,
+    readout: HashMap<QubitId, ReadoutError>,
+}
+
+impl NoiseModel {
+    /// Creates an empty (ideal) noise model.
+    pub fn new() -> Self {
+        NoiseModel {
+            name: String::from("custom"),
+            ..NoiseModel::default()
+        }
+    }
+
+    /// Creates an empty noise model with a display name.
+    pub fn with_name(name: impl Into<String>) -> Self {
+        NoiseModel {
+            name: name.into(),
+            ..NoiseModel::default()
+        }
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the model (used by sweep presets).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Registers a channel applied after every single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is not a 1-qubit channel.
+    pub fn with_default_1q(&mut self, kraus: Kraus) -> &mut Self {
+        assert_eq!(kraus.num_qubits(), 1, "default 1q channel must act on one qubit");
+        self.default_1q.push(kraus);
+        self
+    }
+
+    /// Registers a channel applied after every two-qubit gate.
+    ///
+    /// Accepts either a 2-qubit channel (applied to the gate's qubit
+    /// pair) or a 1-qubit channel (broadcast to both operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel acts on more than two qubits.
+    pub fn with_default_2q(&mut self, kraus: Kraus) -> &mut Self {
+        assert!(kraus.num_qubits() <= 2, "default 2q channel must act on 1 or 2 qubits");
+        self.default_2q.push(kraus);
+        self
+    }
+
+    /// Registers a channel applied after every occurrence of the named
+    /// gate. A channel whose arity matches the gate acts on the gate's
+    /// qubits; a 1-qubit channel on a multi-qubit gate is broadcast to
+    /// each operand.
+    pub fn with_gate_error(&mut self, gate_name: impl Into<String>, kraus: Kraus) -> &mut Self {
+        self.per_gate
+            .entry(gate_name.into())
+            .or_default()
+            .push(ChannelScope::GateQubits(kraus));
+        self
+    }
+
+    /// Registers a 1-qubit channel applied to *each operand* of the named
+    /// gate (e.g. thermal relaxation on both qubits of a CX).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is not a 1-qubit channel.
+    pub fn with_gate_error_each_qubit(
+        &mut self,
+        gate_name: impl Into<String>,
+        kraus: Kraus,
+    ) -> &mut Self {
+        assert_eq!(kraus.num_qubits(), 1, "per-operand channel must act on one qubit");
+        self.per_gate
+            .entry(gate_name.into())
+            .or_default()
+            .push(ChannelScope::EachQubit(kraus));
+        self
+    }
+
+    /// Registers a channel applied only when the named gate acts on
+    /// exactly the given qubits (calibration data is edge-specific on
+    /// real devices).
+    pub fn with_gate_error_on(
+        &mut self,
+        gate_name: impl Into<String>,
+        qubits: impl IntoIterator<Item = QubitId>,
+        kraus: Kraus,
+    ) -> &mut Self {
+        self.per_gate_qubits
+            .entry((gate_name.into(), qubits.into_iter().collect()))
+            .or_default()
+            .push(kraus);
+        self
+    }
+
+    /// Sets the readout error of one qubit.
+    pub fn with_readout_error(
+        &mut self,
+        qubit: impl Into<QubitId>,
+        error: ReadoutError,
+    ) -> &mut Self {
+        self.readout.insert(qubit.into(), error);
+        self
+    }
+
+    /// The readout error of a qubit (ideal when unset).
+    pub fn readout_error(&self, qubit: QubitId) -> ReadoutError {
+        self.readout.get(&qubit).copied().unwrap_or_default()
+    }
+
+    /// Returns `true` when no channels or readout errors are registered.
+    pub fn is_ideal(&self) -> bool {
+        self.default_1q.is_empty()
+            && self.default_2q.is_empty()
+            && self.per_gate.is_empty()
+            && self.per_gate_qubits.is_empty()
+            && self.readout.values().all(ReadoutError::is_ideal)
+    }
+
+    /// The noise channels to apply after executing `instruction`, in
+    /// application order.
+    ///
+    /// Non-gate instructions (measure, reset, barrier, post-select)
+    /// produce no channels — measurement noise is modeled by
+    /// [`NoiseModel::readout_error`] instead.
+    pub fn channels_for(&self, instruction: &Instruction) -> Vec<AppliedChannel> {
+        let gate = match instruction.kind() {
+            OpKind::Gate(g) => g,
+            _ => return Vec::new(),
+        };
+        let qubits = instruction.qubits();
+
+        // Tier 1: exact (gate, qubits) registration.
+        if let Some(channels) = self
+            .per_gate_qubits
+            .get(&(gate.name().to_string(), qubits.to_vec()))
+        {
+            return channels
+                .iter()
+                .map(|k| bind(k.clone(), qubits))
+                .collect();
+        }
+        // Tier 2: per-gate-name registration.
+        if let Some(scopes) = self.per_gate.get(gate.name()) {
+            let mut out = Vec::new();
+            for scope in scopes {
+                match scope {
+                    ChannelScope::GateQubits(k) => out.push(bind(k.clone(), qubits)),
+                    ChannelScope::EachQubit(k) => {
+                        for q in qubits {
+                            out.push(AppliedChannel {
+                                kraus: k.clone(),
+                                qubits: vec![*q],
+                            });
+                        }
+                    }
+                }
+            }
+            return out;
+        }
+        // Tier 3: defaults by arity.
+        let defaults = match qubits.len() {
+            1 => &self.default_1q,
+            2 => &self.default_2q,
+            _ => return Vec::new(),
+        };
+        defaults.iter().map(|k| bind(k.clone(), qubits)).collect()
+    }
+}
+
+/// Binds a channel to an instruction's qubits: a channel of matching
+/// arity targets all of them; a 1-qubit channel on a wider gate is
+/// broadcast per operand.
+fn bind(kraus: Kraus, qubits: &[QubitId]) -> AppliedChannel {
+    if kraus.num_qubits() == qubits.len() {
+        AppliedChannel {
+            kraus,
+            qubits: qubits.to_vec(),
+        }
+    } else {
+        assert_eq!(
+            kraus.num_qubits(),
+            1,
+            "channel arity {} does not match gate arity {}",
+            kraus.num_qubits(),
+            qubits.len()
+        );
+        // Broadcast handled by caller for per-gate scopes; defaults with
+        // one qubit on a 2q gate bind to the first operand's pair-wise
+        // application below.
+        AppliedChannel {
+            kraus,
+            qubits: vec![qubits[0]],
+        }
+    }
+}
+
+impl fmt::Display for NoiseModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "noise model '{}' (1q defaults: {}, 2q defaults: {}, gate rules: {}, edge rules: {}, readout: {})",
+            self.name,
+            self.default_1q.len(),
+            self.default_2q.len(),
+            self.per_gate.len(),
+            self.per_gate_qubits.len(),
+            self.readout.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{Gate, Instruction};
+
+    fn dep1() -> Kraus {
+        Kraus::depolarizing(0.01).unwrap()
+    }
+
+    fn dep2() -> Kraus {
+        Kraus::depolarizing2(0.05).unwrap()
+    }
+
+    #[test]
+    fn empty_model_is_ideal_and_silent() {
+        let model = NoiseModel::new();
+        assert!(model.is_ideal());
+        let instr = Instruction::gate(Gate::H, [0]);
+        assert!(model.channels_for(&instr).is_empty());
+        assert!(model.readout_error(QubitId::new(0)).is_ideal());
+    }
+
+    #[test]
+    fn default_tiers_dispatch_by_arity() {
+        let mut model = NoiseModel::new();
+        model.with_default_1q(dep1()).with_default_2q(dep2());
+        let one = model.channels_for(&Instruction::gate(Gate::H, [0]));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].kraus.num_qubits(), 1);
+        let two = model.channels_for(&Instruction::gate(Gate::Cx, [0, 1]));
+        assert_eq!(two.len(), 1);
+        assert_eq!(two[0].kraus.num_qubits(), 2);
+        assert_eq!(two[0].qubits, vec![QubitId::new(0), QubitId::new(1)]);
+    }
+
+    #[test]
+    fn per_gate_rule_overrides_default() {
+        let mut model = NoiseModel::new();
+        model
+            .with_default_2q(dep2())
+            .with_gate_error("cx", Kraus::depolarizing2(0.2).unwrap());
+        let channels = model.channels_for(&Instruction::gate(Gate::Cx, [0, 1]));
+        assert_eq!(channels.len(), 1);
+        // The override (p = 0.2), not the default (p = 0.05).
+        let weight = channels[0].kraus.ops()[0].get(0, 0).norm_sqr();
+        assert!((weight - (1.0 - 15.0 * 0.2 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_specific_rule_overrides_per_gate() {
+        let mut model = NoiseModel::new();
+        model
+            .with_gate_error("cx", dep2())
+            .with_gate_error_on("cx", [QubitId::new(1), QubitId::new(0)], Kraus::depolarizing2(0.3).unwrap());
+        // The registered edge (1, 0).
+        let hit = model.channels_for(&Instruction::gate(Gate::Cx, [1, 0]));
+        let weight = hit[0].kraus.ops()[0].get(0, 0).norm_sqr();
+        assert!((weight - (1.0 - 15.0 * 0.3 / 16.0)).abs() < 1e-12);
+        // A different edge falls back to the per-gate rule.
+        let miss = model.channels_for(&Instruction::gate(Gate::Cx, [0, 1]));
+        let weight = miss[0].kraus.ops()[0].get(0, 0).norm_sqr();
+        assert!((weight - (1.0 - 15.0 * 0.05 / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn each_qubit_scope_broadcasts() {
+        let mut model = NoiseModel::new();
+        model.with_gate_error_each_qubit("cx", dep1());
+        let channels = model.channels_for(&Instruction::gate(Gate::Cx, [2, 4]));
+        assert_eq!(channels.len(), 2);
+        assert_eq!(channels[0].qubits, vec![QubitId::new(2)]);
+        assert_eq!(channels[1].qubits, vec![QubitId::new(4)]);
+    }
+
+    #[test]
+    fn channels_stack_in_registration_order() {
+        let mut model = NoiseModel::new();
+        model
+            .with_gate_error("h", dep1())
+            .with_gate_error_each_qubit("h", Kraus::amplitude_damping(0.1).unwrap());
+        let channels = model.channels_for(&Instruction::gate(Gate::H, [0]));
+        assert_eq!(channels.len(), 2);
+    }
+
+    #[test]
+    fn non_gate_instructions_get_no_channels() {
+        let mut model = NoiseModel::new();
+        model.with_default_1q(dep1());
+        assert!(model.channels_for(&Instruction::measure(0, 0)).is_empty());
+        assert!(model.channels_for(&Instruction::barrier([0, 1])).is_empty());
+        assert!(model
+            .channels_for(&Instruction::post_select(0, false))
+            .is_empty());
+    }
+
+    #[test]
+    fn readout_errors_are_per_qubit() {
+        let mut model = NoiseModel::new();
+        model.with_readout_error(1, ReadoutError::symmetric(0.04).unwrap());
+        assert!(model.readout_error(QubitId::new(0)).is_ideal());
+        assert_eq!(
+            model.readout_error(QubitId::new(1)).p_meas1_given0(),
+            0.04
+        );
+        assert!(!model.is_ideal());
+    }
+
+    #[test]
+    fn three_qubit_gates_get_no_default_noise() {
+        let mut model = NoiseModel::new();
+        model.with_default_1q(dep1()).with_default_2q(dep2());
+        let channels = model.channels_for(&Instruction::gate(Gate::Ccx, [0, 1, 2]));
+        assert!(channels.is_empty());
+    }
+
+    #[test]
+    fn display_summarizes_contents() {
+        let mut model = NoiseModel::with_name("test-device");
+        model.with_default_1q(dep1());
+        let s = model.to_string();
+        assert!(s.contains("test-device"));
+        assert!(s.contains("1q defaults: 1"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared matrix-application kernels.
+//!
+//! These free functions apply (not necessarily unitary) matrices to
+//! selected bit positions of a complex amplitude buffer. The state-vector
+//! simulator calls them with qubit indices directly; the density-matrix
+//! simulator reuses the exact same kernels on its vectorized
+//! representation (row qubits at bits `0..n`, column qubits at bits
+//! `n..2n`, with conjugated matrices on the column side).
+
+use qmath::{CMatrix, Complex, Mat2};
+
+/// Applies a 2×2 matrix to bit `bit` of `amps`.
+///
+/// `amps.len()` must be a power of two and `bit` must address it.
+pub fn apply_mat2_at(amps: &mut [Complex], bit: usize, m: &Mat2) {
+    let stride = 1usize << bit;
+    let len = amps.len();
+    let mut base = 0usize;
+    while base < len {
+        for offset in base..base + stride {
+            let i0 = offset;
+            let i1 = offset + stride;
+            let (a, b) = m.apply(amps[i0], amps[i1]);
+            amps[i0] = a;
+            amps[i1] = b;
+        }
+        base += 2 * stride;
+    }
+}
+
+/// Applies a controlled 2×2 matrix: `m` acts on bit `target` only where
+/// bit `control` is set.
+pub fn apply_controlled_mat2_at(amps: &mut [Complex], control: usize, target: usize, m: &Mat2) {
+    let stride = 1usize << target;
+    let cmask = 1usize << control;
+    let len = amps.len();
+    let mut base = 0usize;
+    while base < len {
+        for offset in base..base + stride {
+            if offset & cmask == 0 {
+                continue;
+            }
+            let i0 = offset;
+            let i1 = offset + stride;
+            let (a, b) = m.apply(amps[i0], amps[i1]);
+            amps[i0] = a;
+            amps[i1] = b;
+        }
+        base += 2 * stride;
+    }
+}
+
+/// Applies an arbitrary `2^k × 2^k` matrix to the bit positions `bits`
+/// (bit `bits[j]` is local bit `j` of the matrix's basis).
+///
+/// # Panics
+///
+/// Panics if `m.dim() != 2^bits.len()` or any two bit positions collide.
+pub fn apply_matrix_at(amps: &mut [Complex], bits: &[usize], m: &CMatrix) {
+    let k = bits.len();
+    let dim = 1usize << k;
+    assert_eq!(m.dim(), dim, "matrix dimension must be 2^k");
+    let full_mask: usize = bits.iter().fold(0, |acc, b| {
+        let mask = 1usize << b;
+        assert_eq!(acc & mask, 0, "duplicate bit positions");
+        acc | mask
+    });
+
+    // Precompute the global offset of each local basis index.
+    let mut offsets = vec![0usize; dim];
+    for (li, offset) in offsets.iter_mut().enumerate() {
+        let mut o = 0usize;
+        for (j, b) in bits.iter().enumerate() {
+            if (li >> j) & 1 == 1 {
+                o |= 1 << b;
+            }
+        }
+        *offset = o;
+    }
+
+    let len = amps.len();
+    let mut local = vec![Complex::ZERO; dim];
+    for i in 0..len {
+        if i & full_mask != 0 {
+            continue;
+        }
+        for (li, o) in offsets.iter().enumerate() {
+            local[li] = amps[i + o];
+        }
+        for (row, o) in offsets.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (col, l) in local.iter().enumerate() {
+                let mij = m.get(row, col);
+                if mij != Complex::ZERO {
+                    acc += mij * *l;
+                }
+            }
+            amps[i + o] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+    use qmath::approx_eq_slice;
+
+    fn basis(n: usize, i: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; 1 << n];
+        v[i] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn mat2_on_each_bit_of_three() {
+        let x = Gate::X.mat2().unwrap();
+        for bit in 0..3 {
+            let mut amps = basis(3, 0);
+            apply_mat2_at(&mut amps, bit, &x);
+            assert!(approx_eq_slice(&amps, &basis(3, 1 << bit), 1e-12));
+        }
+    }
+
+    #[test]
+    fn controlled_mat2_respects_control() {
+        let x = Gate::X.mat2().unwrap();
+        // Control bit 0 clear: nothing happens.
+        let mut amps = basis(2, 0b00);
+        apply_controlled_mat2_at(&mut amps, 0, 1, &x);
+        assert!(approx_eq_slice(&amps, &basis(2, 0b00), 1e-12));
+        // Control set: target flips.
+        let mut amps = basis(2, 0b01);
+        apply_controlled_mat2_at(&mut amps, 0, 1, &x);
+        assert!(approx_eq_slice(&amps, &basis(2, 0b11), 1e-12));
+    }
+
+    #[test]
+    fn general_matrix_matches_mat2_kernel() {
+        let h = Gate::H;
+        let mut a = basis(3, 0b101);
+        let mut b = a.clone();
+        apply_mat2_at(&mut a, 1, &h.mat2().unwrap());
+        apply_matrix_at(&mut b, &[1], &h.matrix());
+        assert!(approx_eq_slice(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn general_matrix_cx_truth_table() {
+        let cx = Gate::Cx.matrix();
+        // control = bit 2, target = bit 0 in a 3-bit register.
+        let mut amps = basis(3, 0b100);
+        apply_matrix_at(&mut amps, &[2, 0], &cx);
+        assert!(approx_eq_slice(&amps, &basis(3, 0b101), 1e-12));
+        // control clear: unchanged.
+        let mut amps = basis(3, 0b010);
+        apply_matrix_at(&mut amps, &[2, 0], &cx);
+        assert!(approx_eq_slice(&amps, &basis(3, 0b010), 1e-12));
+    }
+
+    #[test]
+    fn general_matrix_toffoli() {
+        let ccx = Gate::Ccx.matrix();
+        let mut amps = basis(4, 0b0110);
+        // controls bits 1,2, target bit 3.
+        apply_matrix_at(&mut amps, &[1, 2, 3], &ccx);
+        assert!(approx_eq_slice(&amps, &basis(4, 0b1110), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bit")]
+    fn duplicate_bits_panic() {
+        let mut amps = basis(2, 0);
+        apply_matrix_at(&mut amps, &[0, 0], &Gate::Cx.matrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn wrong_dimension_panics() {
+        let mut amps = basis(2, 0);
+        apply_matrix_at(&mut amps, &[0], &Gate::Cx.matrix());
+    }
+}

@@ -1,0 +1,450 @@
+//! Measurement outcome histograms.
+//!
+//! [`Counts`] maps classical-register values to shot counts. Bit `i` of a
+//! key is classical bit `i` (LSB convention); string rendering is
+//! MSB-first (`c_{n-1}…c_0`), matching qiskit. The paper's tables print
+//! custom bit orders (`q1q2`, `q0q1q2`), which the experiment harness
+//! produces via [`Counts::bitstring_custom`].
+//!
+//! The post-selection filter at the heart of the paper's NISQ use case is
+//! [`Counts::filter_bit`]: drop every shot whose assertion ancilla
+//! flagged an error.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Histogram of classical outcomes over a fixed number of bits.
+///
+/// # Example
+///
+/// ```
+/// use qsim::Counts;
+/// let mut counts = Counts::new(2);
+/// counts.record(0b01, 3);
+/// counts.record(0b10, 1);
+/// assert_eq!(counts.total(), 4);
+/// assert_eq!(counts.get_str("01").unwrap(), 3);
+/// assert!((counts.probability(0b01) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counts {
+    num_bits: usize,
+    map: HashMap<u64, u64>,
+}
+
+impl Counts {
+    /// Creates an empty histogram over `num_bits` classical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits > 64` (keys are packed into `u64`).
+    pub fn new(num_bits: usize) -> Self {
+        assert!(num_bits <= 64, "counts keys are limited to 64 bits");
+        Counts {
+            num_bits,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Creates a histogram from `(key, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits > 64` or any key uses bits above `num_bits`.
+    pub fn from_pairs(num_bits: usize, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut c = Counts::new(num_bits);
+        for (k, n) in pairs {
+            c.record(k, n);
+        }
+        c
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Adds `n` observations of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` uses bits above `num_bits`.
+    pub fn record(&mut self, key: u64, n: u64) {
+        assert!(
+            self.num_bits == 64 || key < (1u64 << self.num_bits),
+            "key {key:#b} exceeds {} bits",
+            self.num_bits
+        );
+        if n > 0 {
+            *self.map.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// The count for `key` (0 when never observed).
+    pub fn get(&self, key: u64) -> u64 {
+        self.map.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The count for an MSB-first bitstring such as `"010"`.
+    ///
+    /// Returns `None` when the string's length does not match or it
+    /// contains non-binary characters.
+    pub fn get_str(&self, bits: &str) -> Option<u64> {
+        Some(self.get(key_from_str(bits, self.num_bits)?))
+    }
+
+    /// Total number of recorded shots.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Empirical probability of `key`.
+    ///
+    /// Returns 0 when no shots are recorded.
+    pub fn probability(&self, key: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(key) as f64 / total as f64
+        }
+    }
+
+    /// Iterates over `(key, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The outcomes sorted by key, as `(bitstring, count)` pairs.
+    pub fn to_sorted_vec(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(u64, u64)> = self.map.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v.into_iter()
+            .map(|(k, n)| (bitstring(k, self.num_bits), n))
+            .collect()
+    }
+
+    /// The most frequent outcome, or `None` when empty. Ties break toward
+    /// the smaller key so the result is deterministic.
+    pub fn most_frequent(&self) -> Option<u64> {
+        self.map
+            .iter()
+            .max_by(|(ka, na), (kb, nb)| na.cmp(nb).then(kb.cmp(ka)))
+            .map(|(k, _)| *k)
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bit widths differ.
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.num_bits, other.num_bits, "cannot merge different widths");
+        for (k, n) in other.iter() {
+            self.record(k, n);
+        }
+    }
+
+    /// Keeps only the outcomes for which `predicate` returns `true`.
+    pub fn filter(&self, predicate: impl Fn(u64) -> bool) -> Counts {
+        Counts {
+            num_bits: self.num_bits,
+            map: self
+                .map
+                .iter()
+                .filter(|(k, _)| predicate(**k))
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+        }
+    }
+
+    /// Post-selects on classical bit `bit` holding `value` — the paper's
+    /// assertion-based filtering: keep only shots whose assertion ancilla
+    /// measured to the expected value.
+    pub fn filter_bit(&self, bit: usize, value: bool) -> Counts {
+        self.filter(|k| ((k >> bit) & 1 == 1) == value)
+    }
+
+    /// Projects the histogram onto a subset of bits. `bits[j]` becomes
+    /// bit `j` of the new keys.
+    pub fn marginal(&self, bits: &[usize]) -> Counts {
+        let mut out = Counts::new(bits.len());
+        for (k, n) in self.iter() {
+            let mut key = 0u64;
+            for (j, b) in bits.iter().enumerate() {
+                if (k >> b) & 1 == 1 {
+                    key |= 1 << j;
+                }
+            }
+            out.record(key, n);
+        }
+        out
+    }
+
+    /// Dense probability vector of length `2^num_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_bits > 24` (the dense vector would be too large).
+    pub fn probabilities_vec(&self) -> Vec<f64> {
+        assert!(self.num_bits <= 24, "dense probability vector too large");
+        let mut v = vec![0.0; 1 << self.num_bits];
+        let total = self.total();
+        if total == 0 {
+            return v;
+        }
+        for (k, n) in self.iter() {
+            v[k as usize] = n as f64 / total as f64;
+        }
+        v
+    }
+
+    /// Total variation distance to another histogram over the same bits:
+    /// `½ Σ |p(k) − q(k)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bit widths differ.
+    pub fn tvd(&self, other: &Counts) -> f64 {
+        assert_eq!(self.num_bits, other.num_bits, "tvd requires equal widths");
+        let keys: std::collections::HashSet<u64> =
+            self.map.keys().chain(other.map.keys()).copied().collect();
+        0.5 * keys
+            .into_iter()
+            .map(|k| (self.probability(k) - other.probability(k)).abs())
+            .sum::<f64>()
+    }
+
+    /// Hellinger distance to another histogram:
+    /// `√(1 − Σ √(p(k)·q(k)))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bit widths differ.
+    pub fn hellinger(&self, other: &Counts) -> f64 {
+        assert_eq!(self.num_bits, other.num_bits, "hellinger requires equal widths");
+        let keys: std::collections::HashSet<u64> =
+            self.map.keys().chain(other.map.keys()).copied().collect();
+        let bc: f64 = keys
+            .into_iter()
+            .map(|k| (self.probability(k) * other.probability(k)).sqrt())
+            .sum();
+        (1.0 - bc.min(1.0)).sqrt()
+    }
+
+    /// Renders `key` with a caller-chosen bit order: `order[0]` is printed
+    /// first (leftmost). The paper's Table 2 prints `q0q1q2`, i.e.
+    /// `order = [0, 1, 2]`.
+    pub fn bitstring_custom(&self, key: u64, order: &[usize]) -> String {
+        order
+            .iter()
+            .map(|b| if (key >> b) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+}
+
+/// Renders a key MSB-first over `num_bits` bits.
+pub fn bitstring(key: u64, num_bits: usize) -> String {
+    (0..num_bits)
+        .rev()
+        .map(|b| if (key >> b) & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+/// Parses an MSB-first bitstring into a key; `None` on length or
+/// character mismatch.
+pub fn key_from_str(bits: &str, num_bits: usize) -> Option<u64> {
+    if bits.len() != num_bits {
+        return None;
+    }
+    let mut key = 0u64;
+    for (i, ch) in bits.chars().enumerate() {
+        match ch {
+            '0' => {}
+            '1' => key |= 1 << (num_bits - 1 - i),
+            _ => return None,
+        }
+    }
+    Some(key)
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "counts ({} bits, {} shots):", self.num_bits, total)?;
+        for (bits, n) in self.to_sorted_vec() {
+            let pct = if total > 0 {
+                100.0 * n as f64 / total as f64
+            } else {
+                0.0
+            };
+            writeln!(f, "  {bits}: {n} ({pct:.2}%)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counts {
+        Counts::from_pairs(3, [(0b000, 50), (0b011, 30), (0b100, 15), (0b111, 5)])
+    }
+
+    #[test]
+    fn record_and_get() {
+        let c = sample();
+        assert_eq!(c.get(0b000), 50);
+        assert_eq!(c.get(0b011), 30);
+        assert_eq!(c.get(0b001), 0);
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.distinct(), 4);
+    }
+
+    #[test]
+    fn zero_count_records_are_ignored() {
+        let mut c = Counts::new(1);
+        c.record(0, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_key_panics() {
+        let mut c = Counts::new(2);
+        c.record(0b100, 1);
+    }
+
+    #[test]
+    fn string_round_trip_is_msb_first() {
+        let c = sample();
+        // 0b011 renders as "011": c2=0, c1=1, c0=1.
+        assert_eq!(bitstring(0b011, 3), "011");
+        assert_eq!(c.get_str("011").unwrap(), 30);
+        assert_eq!(key_from_str("100", 3), Some(0b100));
+        assert_eq!(key_from_str("10", 3), None);
+        assert_eq!(key_from_str("10x", 3), None);
+    }
+
+    #[test]
+    fn probability_normalizes() {
+        let c = sample();
+        assert!((c.probability(0b000) - 0.5).abs() < 1e-12);
+        let empty = Counts::new(2);
+        assert_eq!(empty.probability(0), 0.0);
+    }
+
+    #[test]
+    fn most_frequent_breaks_ties_deterministically() {
+        let c = Counts::from_pairs(2, [(0b01, 10), (0b10, 10), (0b11, 3)]);
+        assert_eq!(c.most_frequent(), Some(0b01));
+        assert_eq!(Counts::new(1).most_frequent(), None);
+    }
+
+    #[test]
+    fn filter_bit_post_selects() {
+        let c = sample();
+        // Keep shots with bit 2 (the "ancilla") = 0.
+        let kept = c.filter_bit(2, false);
+        assert_eq!(kept.total(), 80);
+        assert_eq!(kept.get(0b000), 50);
+        assert_eq!(kept.get(0b011), 30);
+        assert_eq!(kept.get(0b100), 0);
+    }
+
+    #[test]
+    fn marginal_projects_and_reindexes() {
+        let c = sample();
+        // Keep bits [0, 1] (drop the ancilla bit 2).
+        let m = c.marginal(&[0, 1]);
+        assert_eq!(m.num_bits(), 2);
+        assert_eq!(m.get(0b00), 65); // 000 and 100 collapse
+        assert_eq!(m.get(0b11), 35); // 011 and 111 collapse
+    }
+
+    #[test]
+    fn marginal_can_reorder_bits() {
+        let c = Counts::from_pairs(2, [(0b01, 7)]);
+        let swapped = c.marginal(&[1, 0]);
+        assert_eq!(swapped.get(0b10), 7);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counts::from_pairs(2, [(0b00, 5)]);
+        let b = Counts::from_pairs(2, [(0b00, 3), (0b01, 2)]);
+        a.merge(&b);
+        assert_eq!(a.get(0b00), 8);
+        assert_eq!(a.get(0b01), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = Counts::new(2);
+        a.merge(&Counts::new(3));
+    }
+
+    #[test]
+    fn tvd_properties() {
+        let a = Counts::from_pairs(1, [(0, 50), (1, 50)]);
+        let b = Counts::from_pairs(1, [(0, 100)]);
+        assert!((a.tvd(&a)).abs() < 1e-12);
+        assert!((a.tvd(&b) - 0.5).abs() < 1e-12);
+        assert!((a.tvd(&b) - b.tvd(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_bounds() {
+        let a = Counts::from_pairs(1, [(0, 100)]);
+        let b = Counts::from_pairs(1, [(1, 100)]);
+        assert!((a.hellinger(&b) - 1.0).abs() < 1e-12); // disjoint supports
+        assert!(a.hellinger(&a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_vec_is_dense() {
+        let c = sample();
+        let v = c.probabilities_vec();
+        assert_eq!(v.len(), 8);
+        assert!((v[0] - 0.5).abs() < 1e-12);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_bit_order_matches_paper_tables() {
+        let c = sample();
+        // Table-2 style q0q1q2 ordering of key 0b011 (c0=1, c1=1, c2=0):
+        // printed order [0, 1, 2] → "110".
+        assert_eq!(c.bitstring_custom(0b011, &[0, 1, 2]), "110");
+        // qiskit-style MSB-first is the reverse.
+        assert_eq!(bitstring(0b011, 3), "011");
+    }
+
+    #[test]
+    fn sorted_vec_is_key_ordered() {
+        let c = sample();
+        let v = c.to_sorted_vec();
+        assert_eq!(v[0].0, "000");
+        assert_eq!(v[3].0, "111");
+    }
+
+    #[test]
+    fn display_includes_percentages() {
+        let c = Counts::from_pairs(1, [(0, 3), (1, 1)]);
+        let s = c.to_string();
+        assert!(s.contains("75.00%"));
+        assert!(s.contains("25.00%"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulator error types.
+
+use qcircuit::CircuitError;
+use std::fmt;
+
+/// Error produced by the simulators in this crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// An operand addresses a qubit the state does not have.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The state's qubit count.
+        num_qubits: usize,
+    },
+    /// An amplitude buffer's length is not a power of two.
+    InvalidAmplitudeCount {
+        /// The offending length.
+        len: usize,
+    },
+    /// A state vector's norm differs from 1 beyond tolerance.
+    NotNormalized {
+        /// The offending squared norm.
+        norm_sqr: f64,
+    },
+    /// A post-selection condition has (near-)zero probability, so the
+    /// conditioned state does not exist.
+    ImpossiblePostSelection {
+        /// The qubit being post-selected.
+        qubit: usize,
+        /// The required outcome.
+        outcome: bool,
+    },
+    /// A matrix dimension does not match the number of target qubits.
+    MatrixDimensionMismatch {
+        /// The matrix dimension provided.
+        dim: usize,
+        /// The number of target qubits.
+        qubits: usize,
+    },
+    /// The circuit references more qubits/clbits than the executor was
+    /// configured with, or is otherwise malformed.
+    Circuit(CircuitError),
+    /// Classical register too wide for the 64-bit outcome keys used by
+    /// [`crate::Counts`].
+    TooManyClbits {
+        /// The circuit's classical width.
+        num_clbits: usize,
+    },
+    /// The executor ran out of shots: every shot was discarded by
+    /// post-selection.
+    AllShotsDiscarded,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit q{qubit} out of range for a {num_qubits}-qubit state")
+            }
+            SimError::InvalidAmplitudeCount { len } => {
+                write!(f, "amplitude buffer length {len} is not a power of two")
+            }
+            SimError::NotNormalized { norm_sqr } => {
+                write!(f, "state is not normalized (|ψ|² = {norm_sqr})")
+            }
+            SimError::ImpossiblePostSelection { qubit, outcome } => {
+                write!(
+                    f,
+                    "post-selection of q{qubit} on {} has zero probability",
+                    u8::from(*outcome)
+                )
+            }
+            SimError::MatrixDimensionMismatch { dim, qubits } => {
+                write!(f, "matrix dimension {dim} does not match 2^{qubits} target qubits")
+            }
+            SimError::Circuit(e) => write!(f, "invalid circuit: {e}"),
+            SimError::TooManyClbits { num_clbits } => {
+                write!(f, "circuits with {num_clbits} clbits exceed the 64-bit outcome keys")
+            }
+            SimError::AllShotsDiscarded => {
+                write!(f, "post-selection discarded every shot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SimError {
+    fn from(e: CircuitError) -> Self {
+        SimError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = SimError::QubitOutOfRange { qubit: 4, num_qubits: 2 };
+        assert!(e.to_string().contains("q4"));
+        let e = SimError::ImpossiblePostSelection { qubit: 1, outcome: true };
+        assert!(e.to_string().contains("zero probability"));
+    }
+
+    #[test]
+    fn circuit_errors_convert() {
+        let ce = CircuitError::DuplicateQubit { qubit: 3 };
+        let se: SimError = ce.clone().into();
+        assert_eq!(se, SimError::Circuit(ce));
+    }
+}

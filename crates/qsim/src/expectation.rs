@@ -1,0 +1,347 @@
+//! Pauli-string observables.
+//!
+//! Expectation values `⟨P⟩ = ⟨ψ|P|ψ⟩` (or `tr(Pρ)` for mixed states) for
+//! tensor products of Pauli operators — the standard way to characterize
+//! asserted states beyond raw outcome histograms (e.g. a Bell pair has
+//! `⟨ZZ⟩ = ⟨XX⟩ = 1`, `⟨YY⟩ = −1`).
+
+use crate::density::DensityMatrix;
+use crate::error::SimError;
+use crate::statevector::StateVector;
+use qcircuit::QubitId;
+use qmath::Complex;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// Parses one Pauli character (case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+}
+
+/// A tensor product of Pauli operators bound to qubits.
+///
+/// # Example
+///
+/// ```
+/// use qsim::expectation::PauliString;
+/// use qsim::StateVector;
+/// use qcircuit::Gate;
+///
+/// # fn main() -> Result<(), qsim::SimError> {
+/// let mut bell = StateVector::zero_state(2);
+/// bell.apply_gate(&Gate::H, &[0.into()])?;
+/// bell.apply_gate(&Gate::Cx, &[0.into(), 1.into()])?;
+/// let zz = PauliString::parse("ZZ").expect("valid label");
+/// assert!((zz.expectation(&bell)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PauliString {
+    /// `(qubit, operator)` pairs; identity on unlisted qubits.
+    ops: Vec<(QubitId, Pauli)>,
+}
+
+impl PauliString {
+    /// Builds a Pauli string from explicit `(qubit, operator)` pairs.
+    /// Identity entries are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Circuit`] wrapping a duplicate-qubit error
+    /// when the same qubit appears twice; range validation happens at
+    /// evaluation time against the concrete state.
+    pub fn from_pairs<Q: Into<QubitId>>(
+        pairs: impl IntoIterator<Item = (Q, Pauli)>,
+    ) -> Result<Self, SimError> {
+        let mut ops: Vec<(QubitId, Pauli)> = Vec::new();
+        let mut seen: Vec<QubitId> = Vec::new();
+        for (q, p) in pairs {
+            let q = q.into();
+            if seen.contains(&q) {
+                return Err(SimError::Circuit(
+                    qcircuit::CircuitError::DuplicateQubit { qubit: q.index() },
+                ));
+            }
+            seen.push(q);
+            if p != Pauli::I {
+                ops.push((q, p));
+            }
+        }
+        Ok(PauliString { ops })
+    }
+
+    /// Parses a label like `"XIZ"`; the **leftmost** character applies to
+    /// the **highest** qubit (matching MSB-first bitstring rendering), so
+    /// `"XZ"` means X on qubit 1 and Z on qubit 0.
+    pub fn parse(label: &str) -> Option<Self> {
+        let n = label.len();
+        let mut ops = Vec::new();
+        for (i, c) in label.chars().enumerate() {
+            let p = Pauli::from_char(c)?;
+            if p != Pauli::I {
+                ops.push((QubitId::from(n - 1 - i), p));
+            }
+        }
+        Some(PauliString { ops })
+    }
+
+    /// The non-identity `(qubit, operator)` pairs.
+    pub fn ops(&self) -> &[(QubitId, Pauli)] {
+        &self.ops
+    }
+
+    /// Returns `true` when the string is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// For basis state `|k⟩`: `P|k⟩ = c · |k ^ flip_mask⟩`. Returns
+    /// `(flip_mask, c)`.
+    fn action_on_basis(&self, k: usize) -> (usize, Complex) {
+        let mut mask = 0usize;
+        let mut coeff = Complex::ONE;
+        for (q, p) in &self.ops {
+            let bit = (k >> q.index()) & 1;
+            match p {
+                Pauli::I => {}
+                Pauli::X => mask |= 1 << q.index(),
+                Pauli::Y => {
+                    mask |= 1 << q.index();
+                    // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                    coeff = coeff * if bit == 0 { Complex::I } else { -Complex::I };
+                }
+                Pauli::Z => {
+                    if bit == 1 {
+                        coeff = -coeff;
+                    }
+                }
+            }
+        }
+        (mask, coeff)
+    }
+
+    /// Expectation value `⟨ψ|P|ψ⟩` on a pure state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] when the string addresses a
+    /// qubit the state does not have.
+    pub fn expectation(&self, psi: &StateVector) -> Result<f64, SimError> {
+        self.check(psi.num_qubits())?;
+        let amps = psi.amplitudes();
+        let mut acc = Complex::ZERO;
+        for (k, amp) in amps.iter().enumerate() {
+            if *amp == Complex::ZERO {
+                continue;
+            }
+            let (mask, coeff) = self.action_on_basis(k);
+            // ⟨ψ|P|ψ⟩ = Σ_k conj(ψ_{k⊕mask}) · c_k · ψ_k
+            acc += amps[k ^ mask].conj() * coeff * *amp;
+        }
+        Ok(acc.re)
+    }
+
+    /// Expectation value `tr(Pρ)` on a mixed state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] when the string addresses a
+    /// qubit the state does not have.
+    pub fn expectation_density(&self, rho: &DensityMatrix) -> Result<f64, SimError> {
+        self.check(rho.num_qubits())?;
+        let dim = 1usize << rho.num_qubits();
+        let mut acc = Complex::ZERO;
+        // tr(Pρ) = Σ_k ⟨k|Pρ|k⟩ = Σ_k c_{?} ρ(k ⊕ mask, k) — with
+        // P|j⟩ = c_j |j ⊕ mask⟩, the row is j = k ⊕ mask whose source
+        // column amplitude ρ(·, k) is scaled by c_{k ⊕ mask}... more
+        // directly: P_{j,k} ≠ 0 iff j = k' where P|k⟩ = c_k |k'⟩, and
+        // then tr(Pρ) = Σ_k c_k ρ(k, k ⊕ mask)? Evaluate carefully:
+        // (Pρ)_{kk} = Σ_m P_{km} ρ_{mk}. P_{km} = c_m when k = m ⊕ mask.
+        // So (Pρ)_{kk} = c_{k ⊕ mask} ρ(k ⊕ mask, k).
+        for k in 0..dim {
+            let (mask, _) = self.action_on_basis(k);
+            let m = k ^ mask;
+            let (_, coeff_m) = self.action_on_basis(m);
+            acc += coeff_m * rho.get(m, k);
+        }
+        Ok(acc.re)
+    }
+
+    fn check(&self, num_qubits: usize) -> Result<(), SimError> {
+        for (q, _) in &self.ops {
+            if q.index() >= num_qubits {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: q.index(),
+                    num_qubits,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ops.is_empty() {
+            return write!(f, "I");
+        }
+        let parts: Vec<String> = self
+            .ops
+            .iter()
+            .map(|(q, p)| format!("{p:?}{}", q.index()))
+            .collect();
+        write!(f, "{}", parts.join("·"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Gate;
+
+    fn bell() -> StateVector {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&Gate::H, &[0.into()]).unwrap();
+        psi.apply_gate(&Gate::Cx, &[0.into(), 1.into()]).unwrap();
+        psi
+    }
+
+    #[test]
+    fn parse_maps_leftmost_to_highest_qubit() {
+        let p = PauliString::parse("XZ").unwrap();
+        let mut ops = p.ops().to_vec();
+        ops.sort_by_key(|(q, _)| *q);
+        assert_eq!(ops[0], (QubitId::new(0), Pauli::Z));
+        assert_eq!(ops[1], (QubitId::new(1), Pauli::X));
+        assert!(PauliString::parse("XQ").is_none());
+        assert!(PauliString::parse("II").unwrap().is_identity());
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let zero = StateVector::zero_state(1);
+        let z = PauliString::parse("Z").unwrap();
+        assert!((z.expectation(&zero).unwrap() - 1.0).abs() < 1e-12);
+        let mut one = StateVector::zero_state(1);
+        one.apply_gate(&Gate::X, &[0.into()]).unwrap();
+        assert!((z.expectation(&one).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_minus() {
+        let x = PauliString::parse("X").unwrap();
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_gate(&Gate::H, &[0.into()]).unwrap();
+        assert!((x.expectation(&plus).unwrap() - 1.0).abs() < 1e-12);
+        let mut minus = StateVector::zero_state(1);
+        minus.apply_gate(&Gate::X, &[0.into()]).unwrap();
+        minus.apply_gate(&Gate::H, &[0.into()]).unwrap();
+        assert!((x.expectation(&minus).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_on_eigenstate() {
+        // |+i⟩ = (|0⟩ + i|1⟩)/√2 = S·H|0⟩.
+        let mut psi = StateVector::zero_state(1);
+        psi.apply_gate(&Gate::H, &[0.into()]).unwrap();
+        psi.apply_gate(&Gate::S, &[0.into()]).unwrap();
+        let y = PauliString::parse("Y").unwrap();
+        assert!((y.expectation(&psi).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let bell = bell();
+        for (label, expected) in [("ZZ", 1.0), ("XX", 1.0), ("YY", -1.0), ("ZI", 0.0), ("IZ", 0.0)]
+        {
+            let p = PauliString::parse(label).unwrap();
+            let v = p.expectation(&bell).unwrap();
+            assert!((v - expected).abs() < 1e-12, "{label}: {v}");
+        }
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let p = PauliString::parse("II").unwrap();
+        assert!((p.expectation(&bell()).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_agrees_with_statevector() {
+        let bell = bell();
+        let rho = DensityMatrix::from_statevector(&bell);
+        for label in ["ZZ", "XX", "YY", "XZ", "ZX", "XI"] {
+            let p = PauliString::parse(label).unwrap();
+            let pure = p.expectation(&bell).unwrap();
+            let mixed = p.expectation_density(&rho).unwrap();
+            assert!((pure - mixed).abs() < 1e-10, "{label}: {pure} vs {mixed}");
+        }
+    }
+
+    #[test]
+    fn maximally_mixed_state_has_zero_expectations() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_kraus(&qnoise::Kraus::depolarizing(1.0).unwrap(), &[0.into()])
+            .unwrap();
+        for label in ["X", "Y", "Z"] {
+            let p = PauliString::parse(label).unwrap();
+            assert!(p.expectation_density(&rho).unwrap().abs() < 1e-10, "{label}");
+        }
+    }
+
+    #[test]
+    fn chsh_value_of_bell_state() {
+        // CHSH with optimal angles: S = ⟨A₀B₀⟩+⟨A₀B₁⟩+⟨A₁B₀⟩−⟨A₁B₁⟩ =
+        // 2√2 where A are Z/X on qubit 0 and B are rotated on qubit 1.
+        // Evaluate by rotating qubit 1 by Ry(∓π/4) before measuring ZZ/XZ.
+        let s = |angle: f64, pauli0: char| -> f64 {
+            let mut psi = bell();
+            psi.apply_gate(&Gate::Ry(angle), &[1.into()]).unwrap();
+            let label = format!("Z{pauli0}"); // qubit1 = Z (left), qubit0 = pauli0
+            PauliString::parse(&label).unwrap().expectation(&psi).unwrap()
+        };
+        let pi4 = std::f64::consts::FRAC_PI_4;
+        let chsh = s(-pi4, 'Z') + s(pi4, 'Z') + s(-pi4, 'X') - s(pi4, 'X');
+        assert!((chsh - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-10, "S = {chsh}");
+    }
+
+    #[test]
+    fn duplicate_qubits_rejected() {
+        assert!(PauliString::from_pairs([(0, Pauli::X), (0, Pauli::Z)]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected_at_evaluation() {
+        let p = PauliString::from_pairs([(5, Pauli::Z)]).unwrap();
+        assert!(p.expectation(&StateVector::zero_state(2)).is_err());
+    }
+
+    #[test]
+    fn display_renders_operators() {
+        let p = PauliString::parse("XZ").unwrap();
+        let s = p.to_string();
+        assert!(s.contains('X') && s.contains('Z'));
+        assert_eq!(PauliString::parse("I").unwrap().to_string(), "I");
+    }
+}

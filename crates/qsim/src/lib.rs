@@ -1,0 +1,57 @@
+//! Quantum circuit simulators.
+//!
+//! Substrates S3 and S4 of the dynamic-assertion reproduction (see the
+//! workspace `DESIGN.md`): the QUIRK-equivalent ideal simulator the paper
+//! uses for Figures 6–7, and the `ibmqx4`-equivalent noisy execution used
+//! for Tables 1–2.
+//!
+//! * [`StateVector`] — pure states with gate application, measurement
+//!   collapse, and QUIRK-style post-selection,
+//! * [`DensityMatrix`] — mixed states with Kraus channels, projection,
+//!   partial trace,
+//! * [`Counts`] — outcome histograms with the post-selection filtering
+//!   ([`Counts::filter_bit`]) at the heart of the paper's NISQ use case,
+//! * [`Backend`] implementations: [`StatevectorBackend`] (ideal),
+//!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded), and
+//!   [`DensityMatrixBackend`] (exact noisy with measurement branching).
+//!
+//! # Bit conventions
+//!
+//! Qubit `i` is bit `i` (LSB) of a basis-state index; classical bit `i`
+//! is bit `i` of a [`Counts`] key. Strings render MSB-first.
+//!
+//! # Example
+//!
+//! ```
+//! use qsim::{Backend, DensityMatrixBackend};
+//! use qcircuit::library;
+//! use qnoise::presets;
+//!
+//! # fn main() -> Result<(), qsim::SimError> {
+//! let mut bell = library::bell();
+//! bell.measure_all();
+//! let backend = DensityMatrixBackend::new(presets::ibmqx4());
+//! let dist = backend.exact_distribution(&bell)?;
+//! // Noise leaks probability into the odd-parity outcomes.
+//! assert!(dist.probability(0b01) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod apply;
+pub mod counts;
+pub mod density;
+pub mod error;
+pub mod executor;
+pub mod expectation;
+pub mod statevector;
+
+pub use counts::{bitstring, key_from_str, Counts};
+pub use expectation::{Pauli, PauliString};
+pub use density::DensityMatrix;
+pub use error::SimError;
+pub use executor::{
+    run_shot, Backend, DensityMatrixBackend, ExactDistribution, RunResult, ShotRecord,
+    StatevectorBackend, TrajectoryBackend,
+};
+pub use statevector::StateVector;

@@ -1,0 +1,178 @@
+//! Property-based tests for the simulators.
+
+use proptest::prelude::*;
+use qcircuit::{Gate, QubitId};
+use qmath::random::{haar_unitary2, random_statevector};
+use qsim::{DensityMatrix, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_1q_gate() -> impl Strategy<Value = Gate> {
+    let angle = -6.3f64..6.3f64;
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::T),
+        Just(Gate::Sx),
+        angle.clone().prop_map(Gate::Rx),
+        angle.clone().prop_map(Gate::Ry),
+        angle.clone().prop_map(Gate::Rz),
+        (angle.clone(), angle.clone(), angle).prop_map(|(t, p, l)| Gate::U3(t, p, l)),
+    ]
+}
+
+/// A random (gate, qubits) program over `n` qubits encoded as seeds.
+fn arb_program() -> impl Strategy<Value = (usize, Vec<(Gate, u64)>)> {
+    (
+        2usize..5,
+        proptest::collection::vec((arb_1q_gate(), any::<u64>()), 1..24),
+    )
+}
+
+fn operands(seed: u64, arity: usize, n: usize) -> Vec<QubitId> {
+    let mut qs = Vec::with_capacity(arity);
+    let mut s = seed;
+    while qs.len() < arity {
+        let q = QubitId::from((s % n as u64) as usize);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if !qs.contains(&q) {
+            qs.push(q);
+        }
+    }
+    qs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_preserve_norm((n, prog) in arb_program(), two_q in any::<bool>()) {
+        let mut psi = StateVector::zero_state(n);
+        for (i, (g, seed)) in prog.iter().enumerate() {
+            if two_q && i % 3 == 2 {
+                let qs = operands(*seed, 2, n);
+                psi.apply_gate(&Gate::Cx, &qs).unwrap();
+            } else {
+                let qs = operands(*seed, 1, n);
+                psi.apply_gate(g, &qs).unwrap();
+            }
+        }
+        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_then_inverse_is_identity_on_random_states(
+        seed in 0u64..5_000,
+        g in arb_1q_gate(),
+        q in 0usize..3,
+    ) {
+        let amps = random_statevector(3, &mut StdRng::seed_from_u64(seed));
+        let original = StateVector::from_amplitudes(amps).unwrap();
+        let mut psi = original.clone();
+        psi.apply_gate(&g, &[QubitId::from(q)]).unwrap();
+        psi.apply_gate(&g.inverse(), &[QubitId::from(q)]).unwrap();
+        prop_assert!((psi.fidelity(&original).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_after_random_unitaries(seed in 0u64..5_000, n in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut psi = StateVector::zero_state(n);
+        for q in 0..n {
+            let u = haar_unitary2(&mut rng);
+            psi.apply_mat2(&u, QubitId::from(q)).unwrap();
+        }
+        let total: f64 = psi.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn measurement_projects_into_eigenstate(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps = random_statevector(2, &mut rng);
+        let mut psi = StateVector::from_amplitudes(amps).unwrap();
+        let outcome = psi.measure(QubitId::new(0), &mut rng).unwrap();
+        let p1 = psi.probability_of_one(QubitId::new(0)).unwrap();
+        prop_assert!((p1 - f64::from(u8::from(outcome))).abs() < 1e-10);
+        prop_assert!((psi.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn density_tracks_statevector_on_random_programs((n, prog) in arb_program()) {
+        let mut psi = StateVector::zero_state(n);
+        let mut rho = DensityMatrix::zero_state(n);
+        for (g, seed) in &prog {
+            let qs = operands(*seed, 1, n);
+            psi.apply_gate(g, &qs).unwrap();
+            rho.apply_gate(g, &qs).unwrap();
+        }
+        prop_assert!((rho.fidelity_pure(&psi).unwrap() - 1.0).abs() < 1e-8);
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn kraus_channels_preserve_trace_on_random_states(
+        seed in 0u64..5_000,
+        p in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps = random_statevector(2, &mut rng);
+        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let mut rho = DensityMatrix::from_statevector(&psi);
+        for ch in [
+            qnoise::Kraus::depolarizing(p).unwrap(),
+            qnoise::Kraus::amplitude_damping(p).unwrap(),
+            qnoise::Kraus::phase_damping(p).unwrap(),
+        ] {
+            rho.apply_kraus(&ch, &[QubitId::new(0)]).unwrap();
+            prop_assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn purity_never_increases_under_noise(seed in 0u64..5_000, p in 0.01f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps = random_statevector(2, &mut rng);
+        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let mut rho = DensityMatrix::from_statevector(&psi);
+        let before = rho.purity();
+        rho.apply_kraus(&qnoise::Kraus::depolarizing(p).unwrap(), &[QubitId::new(1)])
+            .unwrap();
+        prop_assert!(rho.purity() <= before + 1e-10);
+    }
+
+    #[test]
+    fn post_selection_probabilities_partition(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps = random_statevector(3, &mut rng);
+        let psi = StateVector::from_amplitudes(amps).unwrap();
+        let q = QubitId::new(1);
+        let p1 = psi.probability_of_one(q).unwrap();
+        let mut a = psi.clone();
+        let mut b = psi.clone();
+        let pa = a.post_select(q, true).map(|p| p).unwrap_or(0.0);
+        let pb = b.post_select(q, false).map(|p| p).unwrap_or(0.0);
+        prop_assert!((pa + pb - 1.0).abs() < 1e-9);
+        prop_assert!((pa - p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_filter_conserves_or_reduces(keys in proptest::collection::vec((0u64..16, 1u64..100), 1..10)) {
+        let counts = qsim::Counts::from_pairs(4, keys);
+        let kept = counts.filter_bit(2, false);
+        let dropped = counts.filter_bit(2, true);
+        prop_assert_eq!(kept.total() + dropped.total(), counts.total());
+    }
+
+    #[test]
+    fn marginal_preserves_total(keys in proptest::collection::vec((0u64..32, 1u64..50), 1..12)) {
+        let counts = qsim::Counts::from_pairs(5, keys);
+        let marg = counts.marginal(&[0, 3]);
+        prop_assert_eq!(marg.total(), counts.total());
+    }
+}

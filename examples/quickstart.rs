@@ -1,0 +1,47 @@
+//! Quickstart: assert a Bell pair's entanglement at runtime.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the Bell-pair circuit, splices in the paper's entanglement
+//! assertion (one ancilla, two CNOTs), runs 1024 shots on the ideal
+//! backend, and shows that a correct program never trips the assertion.
+
+use qassert_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A correct Bell-pair program.
+    let mut program = AssertingCircuit::new(qcircuit::library::bell());
+
+    // 2. Dynamic assertion: the two qubits must be entangled as
+    //    a|00⟩ + b|11⟩ at this point (paper Fig. 3). Execution will NOT
+    //    stop here — only an ancilla is measured.
+    program.assert_entangled([0, 1], Parity::Even)?;
+
+    // 3. The program continues: measure the data qubits.
+    program.measure_data();
+
+    println!("{}", qcircuit::display::render(program.circuit()));
+
+    // 4. Run and analyze.
+    let outcome = run_with_assertions(&StatevectorBackend::new().with_seed(7), &program, 1024)?;
+    println!(
+        "assertion error rate: {:.4} (correct program — never fires)",
+        outcome.assertion_error_rate
+    );
+    println!("data outcomes (filtered):\n{}", outcome.data_kept);
+
+    // 5. Now the buggy version: the entangling CNOT is missing.
+    let mut buggy = QuantumCircuit::new(2, 0);
+    buggy.h(0)?;
+    let mut program = AssertingCircuit::new(buggy);
+    program.assert_entangled([0, 1], Parity::Even)?;
+    program.measure_data();
+    let outcome = run_with_assertions(&StatevectorBackend::new().with_seed(7), &program, 1024)?;
+    println!(
+        "buggy program assertion error rate: {:.3} (theory: 0.5)",
+        outcome.assertion_error_rate
+    );
+    Ok(())
+}

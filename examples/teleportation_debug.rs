@@ -1,0 +1,66 @@
+//! Debugging quantum teleportation with dynamic assertions.
+//!
+//! ```text
+//! cargo run --example teleportation_debug
+//! ```
+//!
+//! Teleports `|−⟩` from qubit 0 to qubit 2 and asserts, at runtime, that
+//! the teleported qubit is in the `|−⟩` superposition. An injected bug —
+//! the missing Bell-pair Hadamard, exactly the bug class Huang &
+//! Martonosi catalogued — is caught by the same assertion.
+//!
+//! Note why the input is `|−⟩` and not `|1⟩`: teleporting a *basis*
+//! state succeeds even without entanglement (the CNOTs copy classical
+//! bits), so only a superposition input exposes the broken Bell pair.
+
+use qassert_suite::prelude::*;
+
+/// Builds a teleportation run with an optional bug, asserting the
+/// output qubit's state.
+fn teleport(inject_bug: bool) -> Result<AssertingCircuit, Box<dyn std::error::Error>> {
+    let mut base = QuantumCircuit::new(3, 2);
+    // State to teleport: |−⟩ on q0.
+    base.x(0)?.h(0)?;
+    // Shared Bell pair on q1–q2 (the bug drops the Hadamard).
+    if !inject_bug {
+        base.h(1)?;
+    }
+    base.cx(1, 2)?;
+    // Alice's Bell measurement.
+    base.cx(0, 1)?.h(0)?;
+    base.measure(0, 0)?.measure(1, 1)?;
+    // Bob's classically-controlled corrections.
+    base.gate_if(Gate::X, [2usize], 1, true)?;
+    base.gate_if(Gate::Z, [2usize], 0, true)?;
+
+    let mut program = AssertingCircuit::new(base);
+    // Runtime check: the teleported qubit must be |−⟩ now.
+    program.assert_superposition(2, SuperpositionBasis::Minus)?;
+    Ok(program)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let backend = StatevectorBackend::new().with_seed(11);
+
+    let correct = teleport(false)?;
+    let outcome = run_with_assertions(&backend, &correct, 2048)?;
+    println!(
+        "correct teleportation: assertion error rate {:.4} (expect 0)",
+        outcome.assertion_error_rate
+    );
+    assert!(outcome.assertion_error_rate < 1e-12);
+
+    let buggy = teleport(true)?;
+    let raw = backend.run(buggy.circuit(), 2048)?;
+    let rate = qassert::assertion_error_rate(&raw.counts, &buggy.assertion_clbits());
+    println!(
+        "buggy teleportation:   assertion error rate {rate:.4} (theory: 0.5 — bug detected!)"
+    );
+    assert!(rate > 0.4, "the missing-H bug must be visible");
+
+    println!(
+        "\ninstrumented circuit:\n{}",
+        qcircuit::display::render(correct.circuit())
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Cross-crate property tests.
+
+use proptest::prelude::*;
+use qassert_suite::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Correct GHZ(k) programs never fire the entanglement assertion on
+    /// the ideal backend, for any width and either instrumentation mode.
+    #[test]
+    fn correct_ghz_never_fires(k in 2usize..6, strong in any::<bool>()) {
+        let mode = if strong {
+            EntanglementMode::Strong
+        } else {
+            EntanglementMode::Paper
+        };
+        let mut program = AssertingCircuit::new(qcircuit::library::ghz(k)).with_mode(mode);
+        program.assert_entangled(0..k, Parity::Even).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(program.circuit())
+            .unwrap();
+        prop_assert!((dist.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    /// The classical assertion's firing probability equals sin²(θ/2) for
+    /// any Ry(θ) input — the paper's |b|² claim over the whole sweep.
+    #[test]
+    fn classical_assertion_matches_born_rule(theta in -6.3f64..6.3) {
+        let mut base = QuantumCircuit::new(1, 0);
+        base.ry(theta, 0).unwrap();
+        let mut program = AssertingCircuit::new(base);
+        program.assert_classical([0], [false]).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(program.circuit())
+            .unwrap();
+        let expected = (theta / 2.0).sin().powi(2);
+        prop_assert!((dist.probability(1) - expected).abs() < 1e-9);
+    }
+
+    /// Assertion filtering never increases the error rate on the noisy
+    /// Bell workload, across noise scales.
+    #[test]
+    fn filtering_never_hurts_on_bell(scale in 0.1f64..3.0) {
+        let mut program = AssertingCircuit::new(qcircuit::library::bell());
+        program.assert_entangled([0, 1], Parity::Even).unwrap();
+        program.measure_data();
+        let noise = qnoise::presets::ibmqx4_scaled(scale);
+        let raw = DensityMatrixBackend::new(noise)
+            .run(program.circuit(), 4096)
+            .unwrap();
+        let red = ErrorReduction::compute(
+            &raw.counts,
+            &program.assertion_clbits(),
+            |k| ((k >> 1) & 1) == ((k >> 2) & 1),
+        );
+        prop_assert!(red.filtered <= red.raw + 1e-9);
+    }
+
+    /// Transpiling any GHZ preparation to any of the preset topologies
+    /// preserves its unitary (modulo layout).
+    #[test]
+    fn transpile_preserves_ghz_semantics(k in 2usize..5, topo_idx in 0usize..3) {
+        let topo = match topo_idx {
+            0 => qdevice::presets::ibmqx4(),
+            1 => qdevice::presets::linear(5),
+            _ => qdevice::presets::ring(5),
+        };
+        let ghz = qcircuit::library::ghz(k);
+        let result = qdevice::transpile::transpile(&ghz, &topo).unwrap();
+        qdevice::verify::check_native(&result.circuit, &topo).unwrap();
+        prop_assert!(qdevice::verify::routed_equivalent(
+            &ghz,
+            &result.circuit,
+            &result.final_layout,
+            1e-7
+        )
+        .unwrap());
+    }
+
+    /// Superposition assertions on Ry(θ) inputs match the paper's
+    /// (2 − 4ab)/4 formula end-to-end through the instrumented API.
+    #[test]
+    fn superposition_assertion_matches_formula(theta in -6.3f64..6.3) {
+        let mut base = QuantumCircuit::new(1, 0);
+        base.ry(theta, 0).unwrap();
+        let mut program = AssertingCircuit::new(base);
+        program.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(program.circuit())
+            .unwrap();
+        let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        let (_, p_err) = qassert::theory::superposition_outcome_probabilities(a, b);
+        prop_assert!((dist.probability(1) - p_err).abs() < 1e-9);
+    }
+
+    /// Counts filtered on assertion bits partition the total.
+    #[test]
+    fn assertion_filter_partitions_shots(seed in 0u64..500) {
+        let mut program = AssertingCircuit::new(qcircuit::library::bell());
+        program.assert_entangled([0, 1], Parity::Even).unwrap();
+        program.measure_data();
+        let noise = qnoise::presets::uniform(3, 0.01, 0.05, 0.02).unwrap();
+        let raw = TrajectoryBackend::new(noise)
+            .with_seed(seed)
+            .run(program.circuit(), 512)
+            .unwrap();
+        let kept = qassert::filter_assertion_bits(&raw.counts, &program.assertion_clbits());
+        let rate = qassert::assertion_error_rate(&raw.counts, &program.assertion_clbits());
+        let flagged = raw.counts.total() - kept.total();
+        prop_assert_eq!(flagged, (rate * 512.0).round() as u64);
+    }
+}

@@ -1,0 +1,73 @@
+//! QASM interop across the stack: instrumented circuits export to
+//! OpenQASM 2, re-import, and still simulate and analyze identically.
+
+use qassert_suite::prelude::*;
+use qcircuit::qasm;
+
+#[test]
+fn instrumented_circuit_round_trips_through_qasm() {
+    let mut program = AssertingCircuit::new(qcircuit::library::bell());
+    program.assert_entangled([0, 1], Parity::Even).unwrap();
+    program.measure_data();
+
+    let src = qasm::to_qasm(program.circuit());
+    let parsed = qasm::from_qasm(&src).unwrap();
+    assert_eq!(parsed.num_qubits(), program.circuit().num_qubits());
+    assert_eq!(parsed.num_clbits(), program.circuit().num_clbits());
+
+    let original = DensityMatrixBackend::ideal()
+        .exact_distribution(program.circuit())
+        .unwrap();
+    let reparsed = DensityMatrixBackend::ideal()
+        .exact_distribution(&parsed)
+        .unwrap();
+    for (key, p) in &original.outcomes {
+        assert!((reparsed.probability(*key) - p).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn conditioned_teleportation_round_trips() {
+    let circuit = qcircuit::library::teleportation();
+    let src = qasm::to_qasm(&circuit);
+    assert!(src.contains("if(c1==1)"));
+    let parsed = qasm::from_qasm(&src).unwrap();
+    assert_eq!(parsed.len(), circuit.len());
+    // Conditions preserved?
+    let conds: Vec<bool> = parsed
+        .instructions()
+        .iter()
+        .map(|i| i.condition().is_some())
+        .collect();
+    let expected: Vec<bool> = circuit
+        .instructions()
+        .iter()
+        .map(|i| i.condition().is_some())
+        .collect();
+    assert_eq!(conds, expected);
+}
+
+#[test]
+fn transpiled_circuit_exports_valid_qasm() {
+    let topo = qdevice::presets::ibmqx4();
+    let lowered = qdevice::transpile::transpile(&qcircuit::library::ghz(3), &topo).unwrap();
+    let src = qasm::to_qasm(&lowered.circuit);
+    let parsed = qasm::from_qasm(&src).unwrap();
+    qdevice::verify::check_native(&parsed, &topo).unwrap();
+    assert!(qdevice::verify::circuits_equivalent(&lowered.circuit, &parsed, 1e-9).unwrap());
+}
+
+#[test]
+fn post_select_pragma_survives_round_trip_and_simulation() {
+    let mut circuit = QuantumCircuit::new(2, 1);
+    circuit.h(0).unwrap();
+    circuit.cx(0, 1).unwrap();
+    circuit.post_select(1, true).unwrap();
+    circuit.measure(0, 0).unwrap();
+
+    let parsed = qasm::from_qasm(&qasm::to_qasm(&circuit)).unwrap();
+    let result = StatevectorBackend::new().with_seed(3).run(&parsed, 400).unwrap();
+    // Post-selected on the Bell partner being 1 → q0 always 1.
+    assert_eq!(result.counts.get(0), 0);
+    assert!(result.shots_discarded > 0);
+}
