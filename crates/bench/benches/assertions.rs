@@ -18,8 +18,8 @@ fn bench_instrumentation(c: &mut Criterion) {
     });
     c.bench_function("instrument_ghz5_strong", |b| {
         b.iter(|| {
-            let mut ac = AssertingCircuit::new(library::ghz(5))
-                .with_mode(qassert::EntanglementMode::Strong);
+            let mut ac =
+                AssertingCircuit::new(library::ghz(5)).with_mode(qassert::EntanglementMode::Strong);
             ac.assert_entangled([0, 1, 2, 3, 4], Parity::Even).unwrap();
             ac.measure_data();
             std::hint::black_box(ac.circuit().len())
@@ -60,17 +60,14 @@ fn bench_verification_circuits(c: &mut Criterion) {
         let mut ac = AssertingCircuit::new(base);
         ac.assert_classical([0], [false]).unwrap();
         ac.measure_data();
-        b.iter(|| {
-            std::hint::black_box(backend.run(ac.circuit(), 256).unwrap().counts.total())
-        });
+        b.iter(|| std::hint::black_box(backend.run(ac.circuit(), 256).unwrap().counts.total()));
     });
     c.bench_function("fig7_superposition_assert_quirk", |b| {
         let mut ac = AssertingCircuit::new(qcircuit::QuantumCircuit::new(1, 0));
-        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Plus)
+            .unwrap();
         ac.measure_data();
-        b.iter(|| {
-            std::hint::black_box(backend.run(ac.circuit(), 256).unwrap().counts.total())
-        });
+        b.iter(|| std::hint::black_box(backend.run(ac.circuit(), 256).unwrap().counts.total()));
     });
 }
 

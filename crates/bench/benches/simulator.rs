@@ -1,9 +1,15 @@
-//! Simulator performance: state-vector gate application scaling and
-//! density-matrix evolution cost.
+//! Simulator performance: state-vector gate application scaling,
+//! density-matrix evolution cost, and the compiled execution layer
+//! (compile-vs-interpret and fused-vs-unfused).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qcircuit::{Gate, QubitId};
-use qsim::{DensityMatrix, StateVector};
+use qcircuit::{Gate, QuantumCircuit, QubitId};
+use qsim::{
+    compile_with, run_compiled_shot, run_shot, Backend, CompileOptions, DensityMatrix, StateVector,
+    StatevectorBackend, TrajectoryBackend,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// One layer of H on every qubit plus a CX chain.
 fn entangling_layer(psi: &mut StateVector) {
@@ -74,8 +80,6 @@ fn bench_kraus_application(c: &mut Criterion) {
 }
 
 fn bench_measurement_sampling(c: &mut Criterion) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     c.bench_function("sample_1024_from_12q_state", |b| {
         let mut psi = StateVector::zero_state(12);
         entangling_layer(&mut psi);
@@ -90,11 +94,153 @@ fn bench_measurement_sampling(c: &mut Criterion) {
     });
 }
 
+/// A 1q-heavy per-shot workload: teleportation-style conditioning defeats
+/// the fast path, so every shot walks the full op stream.
+fn per_shot_workload(n: usize, depth: usize) -> QuantumCircuit {
+    let mut c = QuantumCircuit::new(n, n);
+    for d in 0..depth {
+        for q in 0..n {
+            c.h(q).unwrap();
+            c.t(q).unwrap();
+            c.rz(0.1 * d as f64, q).unwrap();
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1).unwrap();
+        }
+    }
+    // Mid-circuit measurement + conditioned correction force per-shot
+    // execution on every backend.
+    c.measure(0, 0).unwrap();
+    c.gate_if(Gate::X, [n - 1], 0, true).unwrap();
+    for q in 0..n {
+        c.measure(q, q).unwrap();
+    }
+    c
+}
+
+/// Compile-once-execute-many vs interpret-per-shot: the tentpole of the
+/// compiled execution layer. Both sides execute the same 1000 shots with
+/// the same seed; the compiled side pays lowering once outside the loop.
+fn bench_compile_vs_interpret(c: &mut Criterion) {
+    let circuit = per_shot_workload(6, 6);
+    let noise = qnoise::presets::uniform(6, 0.005, 0.02, 0.01).unwrap();
+    let mut group = c.benchmark_group("run_1000_shots_6q");
+    group.sample_size(10);
+
+    group.bench_function("interpret_ideal", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                if let Some(r) = run_shot(&circuit, None, &mut rng).unwrap() {
+                    acc ^= r.clbits;
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.bench_function("compiled_ideal", |b| {
+        let program = compile_with(&circuit, None, CompileOptions::default()).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                if let Some(r) = run_compiled_shot(&program, &mut rng).unwrap() {
+                    acc ^= r.clbits;
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.bench_function("interpret_noisy", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                if let Some(r) = run_shot(&circuit, Some(&noise), &mut rng).unwrap() {
+                    acc ^= r.clbits;
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.bench_function("compiled_noisy", |b| {
+        let program = compile_with(&circuit, Some(&noise), CompileOptions::default()).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                if let Some(r) = run_compiled_shot(&program, &mut rng).unwrap() {
+                    acc ^= r.clbits;
+                }
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.finish();
+
+    c.bench_function("compile_6q_depth6", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                compile_with(&circuit, None, CompileOptions::default())
+                    .unwrap()
+                    .ops()
+                    .len(),
+            )
+        });
+    });
+}
+
+/// Fused vs unfused execution through the public backend API.
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let circuit = per_shot_workload(6, 6);
+    let mut group = c.benchmark_group("statevector_1000_shots");
+    group.sample_size(10);
+    group.bench_function("fused", |b| {
+        let backend = StatevectorBackend::new().with_seed(2);
+        let program = backend.compile(&circuit).unwrap();
+        b.iter(|| {
+            std::hint::black_box(backend.run_compiled(&program, 1000).unwrap().counts.total())
+        });
+    });
+    group.bench_function("unfused", |b| {
+        let backend = StatevectorBackend::new().with_seed(2).with_fusion(false);
+        let program = backend.compile(&circuit).unwrap();
+        b.iter(|| {
+            std::hint::black_box(backend.run_compiled(&program, 1000).unwrap().counts.total())
+        });
+    });
+    group.finish();
+
+    let noise = qnoise::presets::uniform(6, 0.005, 0.02, 0.01).unwrap();
+    let mut group = c.benchmark_group("trajectory_500_shots");
+    group.sample_size(10);
+    group.bench_function("fused", |b| {
+        let backend = TrajectoryBackend::new(noise.clone()).with_seed(2);
+        let program = backend.compile(&circuit).unwrap();
+        b.iter(|| {
+            std::hint::black_box(backend.run_compiled(&program, 500).unwrap().counts.total())
+        });
+    });
+    group.bench_function("unfused", |b| {
+        let backend = TrajectoryBackend::new(noise.clone())
+            .with_seed(2)
+            .with_fusion(false);
+        let program = backend.compile(&circuit).unwrap();
+        b.iter(|| {
+            std::hint::black_box(backend.run_compiled(&program, 500).unwrap().counts.total())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_statevector_scaling,
     bench_density_scaling,
     bench_kraus_application,
-    bench_measurement_sampling
+    bench_measurement_sampling,
+    bench_compile_vs_interpret,
+    bench_fused_vs_unfused
 );
 criterion_main!(benches);

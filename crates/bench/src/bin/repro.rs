@@ -72,7 +72,8 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        let json = format!("[{}]", body.join(","));
         std::fs::write(&path, json).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

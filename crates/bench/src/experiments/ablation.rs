@@ -25,19 +25,22 @@ fn parity_check_effect(k: usize, cnots: usize) -> (f64, f64) {
     let mut psi = StateVector::zero_state(k + 1);
     psi.apply_gate(&Gate::H, &[q(0)]).expect("valid");
     for i in 1..k {
-        psi.apply_gate(&Gate::Cx, &[q(0), q(i as u32)]).expect("valid");
+        psi.apply_gate(&Gate::Cx, &[q(0), q(i as u32)])
+            .expect("valid");
     }
     let reference = {
         let mut r = StateVector::zero_state(k);
         r.apply_gate(&Gate::H, &[q(0)]).expect("valid");
         for i in 1..k {
-            r.apply_gate(&Gate::Cx, &[q(0), q(i as u32)]).expect("valid");
+            r.apply_gate(&Gate::Cx, &[q(0), q(i as u32)])
+                .expect("valid");
         }
         r
     };
     let anc = q(k as u32);
     for c in 0..cnots {
-        psi.apply_gate(&Gate::Cx, &[q((c % k) as u32), anc]).expect("valid");
+        psi.apply_gate(&Gate::Cx, &[q((c % k) as u32), anc])
+            .expect("valid");
     }
     let rho = DensityMatrix::from_statevector(&psi);
     let data = rho.trace_out(&[anc]).expect("valid ancilla");
@@ -48,10 +51,7 @@ fn parity_check_effect(k: usize, cnots: usize) -> (f64, f64) {
 
 /// Detection probability of a bug by an instrumented GHZ(4) entanglement
 /// assertion in the given mode. `bug` mutates the prepared state.
-fn detection_probability(
-    mode: EntanglementMode,
-    bug: impl Fn(&mut QuantumCircuit),
-) -> f64 {
+fn detection_probability(mode: EntanglementMode, bug: impl Fn(&mut QuantumCircuit)) -> f64 {
     let mut base = library::ghz(4);
     bug(&mut base);
     let mut ac = AssertingCircuit::new(base).with_mode(mode);

@@ -27,12 +27,11 @@ pub fn run() -> ExperimentReport {
     psi.apply_gate(&Gate::Cx, &[q0, anc]).expect("valid qubits");
 
     // QUIRK's post-select operator: keep only ancilla = 0 runs.
-    let p_pass = 1.0
-        - psi
-            .probability_of_one(anc)
-            .expect("valid qubit");
+    let p_pass = 1.0 - psi.probability_of_one(anc).expect("valid qubit");
     let mut projected = psi.clone();
-    projected.post_select(anc, false).expect("pass branch has weight");
+    projected
+        .post_select(anc, false)
+        .expect("pass branch has weight");
     let p_one_after = projected.probability_of_one(q0).expect("valid qubit");
 
     // The paper's claim: the |+⟩ input is forced to |0⟩ after the check.
@@ -46,8 +45,10 @@ pub fn run() -> ExperimentReport {
         0.0,
         p_one_after,
     ));
-    let predicted_error =
-        theory::classical_error_probability(Complex::real(FRAC_1_SQRT_2), Complex::real(FRAC_1_SQRT_2));
+    let predicted_error = theory::classical_error_probability(
+        Complex::real(FRAC_1_SQRT_2),
+        Complex::real(FRAC_1_SQRT_2),
+    );
     report.comparisons.push(Comparison::new(
         "assertion error probability (|b|^2)",
         predicted_error,

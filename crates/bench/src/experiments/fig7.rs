@@ -44,7 +44,9 @@ pub fn run() -> ExperimentReport {
     let k2 = theory::superposition_forced_magnitude().powi(2);
     for outcome in [false, true] {
         let mut branch = psi.clone();
-        branch.post_select(anc, outcome).expect("both branches weighted");
+        branch
+            .post_select(anc, outcome)
+            .expect("both branches weighted");
         let p1 = branch.probability_of_one(q0).expect("valid qubit");
         report.comparisons.push(Comparison::new(
             format!("P(q = 1) after ancilla measured {}", u8::from(outcome)),

@@ -18,11 +18,9 @@ pub fn sweep_point(factor: f64) -> (f64, f64, f64, f64) {
     let ac = super::table2::circuit();
     let native = to_ibmqx4(ac.circuit());
     let raw = run_exact(&native, qnoise::presets::ibmqx4_scaled(factor));
-    let reduction = ErrorReduction::compute(
-        &raw.counts,
-        &ac.assertion_clbits(),
-        |key| ((key >> 1) & 1) == ((key >> 2) & 1),
-    );
+    let reduction = ErrorReduction::compute(&raw.counts, &ac.assertion_clbits(), |key| {
+        ((key >> 1) & 1) == ((key >> 2) & 1)
+    });
     (
         factor,
         reduction.raw,

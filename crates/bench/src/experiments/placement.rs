@@ -20,14 +20,9 @@ pub fn placement_cost(data: u32, ancilla: u32) -> (usize, usize) {
     circuit.cx(data, ancilla).expect("distinct physical wires");
     circuit.measure(ancilla, 0).expect("valid");
     circuit.measure(data, 1).expect("valid");
-    let lowered = transpile(&circuit, &qdevice::presets::ibmqx4())
-        .expect("5-qubit circuit fits the device");
-    let cx = lowered
-        .circuit
-        .count_ops()
-        .get("cx")
-        .copied()
-        .unwrap_or(0);
+    let lowered =
+        transpile(&circuit, &qdevice::presets::ibmqx4()).expect("5-qubit circuit fits the device");
+    let cx = lowered.circuit.count_ops().get("cx").copied().unwrap_or(0);
     (cx, lowered.circuit.len())
 }
 
@@ -116,8 +111,10 @@ mod tests {
                 }
                 let (cx, total) = placement_cost(data, ancilla);
                 assert!(cx >= 1 && total >= 3);
-                let connected =
-                    topo.are_connected(qcircuit::QubitId::new(data), qcircuit::QubitId::new(ancilla));
+                let connected = topo.are_connected(
+                    qcircuit::QubitId::new(data),
+                    qcircuit::QubitId::new(ancilla),
+                );
                 if connected {
                     assert_eq!(cx, 1, "coupled pair ({data},{ancilla}) should cost 1 CX");
                 }

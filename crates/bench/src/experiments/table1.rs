@@ -64,11 +64,9 @@ pub fn run() -> ExperimentReport {
     report.tables.push(table);
 
     // Error rates: the data qubit (clbit 1) should read 0.
-    let reduction = ErrorReduction::compute(
-        &outcome.raw.counts,
-        &ac.assertion_clbits(),
-        |key| (key >> 1) & 1 == 0,
-    );
+    let reduction = ErrorReduction::compute(&outcome.raw.counts, &ac.assertion_clbits(), |key| {
+        (key >> 1) & 1 == 0
+    });
     report.comparisons.push(Comparison::new(
         "raw data error rate",
         PAPER_RAW_ERROR,

@@ -6,7 +6,9 @@
 //! an assertion error reduces the data error rate.
 
 use super::{run_on_ibmqx4, HW_SHOTS};
-use qassert::{AssertingCircuit, Comparison, ErrorReduction, ExperimentReport, OutcomeTable, Parity};
+use qassert::{
+    AssertingCircuit, Comparison, ErrorReduction, ExperimentReport, OutcomeTable, Parity,
+};
 use qcircuit::library;
 
 /// Paper Table 2 percentages in `q0q1q2` row order `000 … 111`
@@ -69,11 +71,9 @@ pub fn run() -> ExperimentReport {
     report.tables.push(table);
 
     // Correct outcomes: the data bits agree (clbits 1 and 2).
-    let reduction = ErrorReduction::compute(
-        &outcome.raw.counts,
-        &ac.assertion_clbits(),
-        |key| ((key >> 1) & 1) == ((key >> 2) & 1),
-    );
+    let reduction = ErrorReduction::compute(&outcome.raw.counts, &ac.assertion_clbits(), |key| {
+        ((key >> 1) & 1) == ((key >> 2) & 1)
+    });
     report.comparisons.push(Comparison::new(
         "raw data error rate",
         PAPER_RAW_ERROR,

@@ -37,8 +37,7 @@ pub fn run() -> ExperimentReport {
         psi.apply_gate(&Gate::Ry(theta), &[q(0)]).expect("valid");
         psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).expect("valid");
         let measured = psi.probability_of_one(q(1)).expect("valid");
-        let predicted =
-            theory::classical_error_probability(Complex::real(a), Complex::real(b));
+        let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
         max_dev_classical = max_dev_classical.max((measured - predicted).abs());
 
         // Superposition assertion (Fig. 5).
@@ -95,12 +94,7 @@ mod tests {
     fn simulator_matches_theory_exactly() {
         let report = run();
         for c in &report.comparisons {
-            assert!(
-                c.measured < 1e-10,
-                "{}: deviation {}",
-                c.metric,
-                c.measured
-            );
+            assert!(c.measured < 1e-10, "{}: deviation {}", c.metric, c.measured);
             assert!(c.shape_holds());
         }
     }

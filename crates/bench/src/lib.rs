@@ -17,10 +17,13 @@ pub mod experiments;
 
 use qassert::ExperimentReport;
 
+/// One registry entry: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> ExperimentReport);
+
 /// The experiment registry: `(id, description, runner)`.
 ///
 /// Ids match the per-experiment index in `DESIGN.md`.
-pub fn registry() -> Vec<(&'static str, &'static str, fn() -> ExperimentReport)> {
+pub fn registry() -> Vec<Experiment> {
     vec![
         (
             "fig6",

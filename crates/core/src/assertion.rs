@@ -231,7 +231,10 @@ mod tests {
         assert!(Assertion::classical([0, 1], [true, false]).is_ok());
         assert!(matches!(
             Assertion::classical([0, 1], [true]),
-            Err(AssertError::ExpectedLengthMismatch { qubits: 2, expected: 1 })
+            Err(AssertError::ExpectedLengthMismatch {
+                qubits: 2,
+                expected: 1
+            })
         ));
         assert!(matches!(
             Assertion::classical(Vec::<u32>::new(), Vec::new()),
@@ -294,7 +297,9 @@ mod tests {
             "superposition"
         );
         assert_eq!(
-            Assertion::entanglement([0, 1], Parity::Odd).unwrap().kind_name(),
+            Assertion::entanglement([0, 1], Parity::Odd)
+                .unwrap()
+                .kind_name(),
             "entanglement"
         );
     }

@@ -46,13 +46,19 @@ impl fmt::Display for AssertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AssertError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "asserted qubit q{qubit} out of range for {num_qubits} qubits")
+                write!(
+                    f,
+                    "asserted qubit q{qubit} out of range for {num_qubits} qubits"
+                )
             }
             AssertError::DuplicateQubit { qubit } => {
                 write!(f, "qubit q{qubit} listed more than once in one assertion")
             }
             AssertError::ExpectedLengthMismatch { qubits, expected } => {
-                write!(f, "classical assertion over {qubits} qubit(s) got {expected} expected bit(s)")
+                write!(
+                    f,
+                    "classical assertion over {qubits} qubit(s) got {expected} expected bit(s)"
+                )
             }
             AssertError::TooFewQubits { got, needed } => {
                 write!(f, "assertion needs at least {needed} qubits, got {got}")
@@ -92,7 +98,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = AssertError::ExpectedLengthMismatch { qubits: 2, expected: 3 };
+        let e = AssertError::ExpectedLengthMismatch {
+            qubits: 2,
+            expected: 3,
+        };
         assert!(e.to_string().contains("2 qubit(s)"));
         let e = AssertError::TooFewQubits { got: 1, needed: 2 };
         assert!(e.to_string().contains("at least 2"));

@@ -11,11 +11,7 @@ use qsim::Counts;
 /// Keeps only shots where every listed assertion clbit reads 0
 /// (no assertion error).
 pub fn filter_assertion_bits(counts: &Counts, assertion_clbits: &[ClbitId]) -> Counts {
-    counts.filter(|key| {
-        assertion_clbits
-            .iter()
-            .all(|c| (key >> c.index()) & 1 == 0)
-    })
+    counts.filter(|key| assertion_clbits.iter().all(|c| (key >> c.index()) & 1 == 0))
 }
 
 /// The fraction of shots flagged by at least one assertion bit.
@@ -28,11 +24,7 @@ pub fn assertion_error_rate(counts: &Counts, assertion_clbits: &[ClbitId]) -> f6
     }
     let flagged: u64 = counts
         .iter()
-        .filter(|(key, _)| {
-            assertion_clbits
-                .iter()
-                .any(|c| (key >> c.index()) & 1 == 1)
-        })
+        .filter(|(key, _)| assertion_clbits.iter().any(|c| (key >> c.index()) & 1 == 1))
         .map(|(_, n)| n)
         .sum();
     flagged as f64 / total as f64
@@ -148,7 +140,10 @@ mod tests {
         let counts = Counts::new(2);
         assert_eq!(assertion_error_rate(&counts, &[ClbitId::new(0)]), 0.0);
         assert_eq!(error_rate(&counts, |_| true), 0.0);
-        let red = ErrorReduction { raw: 0.0, filtered: 0.0 };
+        let red = ErrorReduction {
+            raw: 0.0,
+            filtered: 0.0,
+        };
         assert_eq!(red.relative_reduction(), 0.0);
     }
 

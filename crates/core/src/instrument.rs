@@ -373,14 +373,16 @@ mod tests {
     #[test]
     fn superposition_assertion_structure() {
         let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
-        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Plus)
+            .unwrap();
         let ops = ac.circuit().count_ops();
         assert_eq!(ops["cx"], 2);
         assert_eq!(ops["h"], 2);
         assert_eq!(ops.get("x"), None);
 
         let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
-        ac.assert_superposition(0, SuperpositionBasis::Minus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Minus)
+            .unwrap();
         assert_eq!(ac.circuit().count_ops()["x"], 1);
         // The |−⟩ variant also restores the tested qubit with a Z.
         assert_eq!(ac.circuit().count_ops()["z"], 1);
@@ -393,7 +395,8 @@ mod tests {
         let mut base = QuantumCircuit::new(1, 0);
         base.x(0).unwrap().h(0).unwrap(); // |−⟩
         let mut ac = AssertingCircuit::new(base);
-        ac.assert_superposition(0, SuperpositionBasis::Minus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Minus)
+            .unwrap();
         ac.circuit_mut().h(0).unwrap();
         ac.measure_data();
         let dist = qsim::DensityMatrixBackend::ideal()
@@ -405,8 +408,7 @@ mod tests {
 
     #[test]
     fn strong_mode_uses_pairwise_ancillas() {
-        let mut ac =
-            AssertingCircuit::new(library::ghz(4)).with_mode(EntanglementMode::Strong);
+        let mut ac = AssertingCircuit::new(library::ghz(4)).with_mode(EntanglementMode::Strong);
         ac.assert_entangled([0, 1, 2, 3], Parity::Even).unwrap();
         assert_eq!(ac.records()[0].ancillas.len(), 3);
         assert_eq!(ac.records()[0].clbits.len(), 3);
@@ -455,7 +457,10 @@ mod tests {
         let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
         assert!(matches!(
             ac.assert_classical([5], [false]),
-            Err(AssertError::QubitOutOfRange { qubit: 5, num_qubits: 1 })
+            Err(AssertError::QubitOutOfRange {
+                qubit: 5,
+                num_qubits: 1
+            })
         ));
     }
 
@@ -463,7 +468,8 @@ mod tests {
     fn program_logic_can_continue_after_assertion() {
         let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
         ac.circuit_mut().h(0).unwrap();
-        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Plus)
+            .unwrap();
         // Keep computing on the data qubits after the check.
         ac.circuit_mut().cx(0, 1).unwrap();
         ac.measure_data();

@@ -61,8 +61,8 @@ pub use assertion::{Assertion, EntanglementMode, Parity, SuperpositionBasis};
 pub use error::AssertError;
 pub use estimate::Estimate;
 pub use filter::{assertion_error_rate, error_rate, filter_assertion_bits, ErrorReduction};
-pub use mitigation::ReadoutMitigator;
 pub use instrument::{AssertingCircuit, AssertionId, AssertionRecord};
+pub use mitigation::ReadoutMitigator;
 pub use report::{Comparison, ExperimentReport, OutcomeRow, OutcomeTable};
 pub use runtime::{analyze, run_with_assertions, AssertionOutcome, AssertionStats};
 pub use statistical::{StatisticalAssertion, StatisticalKind, StatisticalVerdict};

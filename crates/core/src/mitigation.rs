@@ -50,10 +50,7 @@ impl ReadoutMitigator {
     /// Builds a mitigator for a circuit's measurement map under a noise
     /// model: `qubit_of_clbit[i]` names the qubit measured into clbit
     /// `i`.
-    pub fn from_noise_model(
-        model: &NoiseModel,
-        qubit_of_clbit: &[qcircuit::QubitId],
-    ) -> Self {
+    pub fn from_noise_model(model: &NoiseModel, qubit_of_clbit: &[qcircuit::QubitId]) -> Self {
         ReadoutMitigator {
             per_clbit: qubit_of_clbit
                 .iter()
@@ -161,9 +158,7 @@ pub fn filter_mitigated(
     let mut out = vec![0.0; probs.len()];
     let mut kept = 0.0;
     for (k, p) in probs.iter().enumerate() {
-        let pass = assertion_clbits
-            .iter()
-            .all(|c| (k >> c.index()) & 1 == 0);
+        let pass = assertion_clbits.iter().all(|c| (k >> c.index()) & 1 == 0);
         if pass && *p > 0.0 {
             out[k] = *p;
             kept += *p;

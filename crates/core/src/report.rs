@@ -5,10 +5,9 @@
 //! exports machine-readable records for `EXPERIMENTS.md`.
 
 use qsim::Counts;
-use serde::Serialize;
 
 /// One row of a paper-style outcome table.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OutcomeRow {
     /// The outcome bits rendered in the table's qubit order.
     pub bits: String,
@@ -19,7 +18,7 @@ pub struct OutcomeRow {
 }
 
 /// A paper-style outcome table.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OutcomeTable {
     /// Table caption.
     pub title: String,
@@ -81,7 +80,10 @@ impl OutcomeTable {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("{}\n", self.title));
-        out.push_str(&format!("{:>8} {:>8}  {}\n", self.bits_header, "%", "Meaning"));
+        out.push_str(&format!(
+            "{:>8} {:>8}  {}\n",
+            self.bits_header, "%", "Meaning"
+        ));
         for row in &self.rows {
             out.push_str(&format!(
                 "{:>8} {:>7.2}%  {}\n",
@@ -93,7 +95,7 @@ impl OutcomeTable {
 }
 
 /// A paper-vs-measured comparison line for `EXPERIMENTS.md`.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Comparison {
     /// What is being compared (e.g. "raw error rate").
     pub metric: String,
@@ -126,7 +128,7 @@ impl Comparison {
 }
 
 /// A complete experiment report.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id from DESIGN.md (e.g. "table1").
     pub id: String,
@@ -152,6 +154,62 @@ impl ExperimentReport {
         }
     }
 
+    /// Serializes the report as a compact JSON object (the suite runs in
+    /// environments without a serde dependency, so this is hand-rolled;
+    /// field order matches declaration order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":{}", json_string(&self.id)));
+        out.push_str(&format!(
+            ",\"description\":{}",
+            json_string(&self.description)
+        ));
+        out.push_str(",\"tables\":[");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"title\":{},\"bits_header\":{},\"rows\":[",
+                json_string(&t.title),
+                json_string(&t.bits_header)
+            ));
+            for (j, r) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"bits\":{},\"percent\":{},\"meaning\":{}}}",
+                    json_string(&r.bits),
+                    json_number(r.percent),
+                    json_string(&r.meaning)
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"comparisons\":[");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"metric\":{},\"paper\":{},\"measured\":{}}}",
+                json_string(&c.metric),
+                json_number(c.paper),
+                json_number(c.measured)
+            ));
+        }
+        out.push_str("],\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(n));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders the report as text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -168,7 +226,11 @@ impl ExperimentReport {
                     c.metric,
                     c.paper,
                     c.measured,
-                    if c.shape_holds() { "shape ok" } else { "DIVERGES" }
+                    if c.shape_holds() {
+                        "shape ok"
+                    } else {
+                        "DIVERGES"
+                    }
                 ));
             }
         }
@@ -176,6 +238,35 @@ impl ExperimentReport {
             out.push_str(&format!("note: {n}\n"));
         }
         out
+    }
+}
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (JSON has no NaN/Inf; those become
+/// null).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        String::from("null")
     }
 }
 
@@ -236,7 +327,8 @@ mod tests {
     #[test]
     fn report_renders_sections() {
         let mut r = ExperimentReport::new("table1", "classical assertion");
-        r.comparisons.push(Comparison::new("raw error", 0.035, 0.031));
+        r.comparisons
+            .push(Comparison::new("raw error", 0.035, 0.031));
         r.notes.push("calibration is era-ballpark".to_string());
         let s = r.render();
         assert!(s.contains("=== table1"));
@@ -246,8 +338,14 @@ mod tests {
 
     #[test]
     fn reports_serialize_to_json() {
-        let r = ExperimentReport::new("fig6", "quirk classical");
-        let json = serde_json::to_string(&r).unwrap();
+        let mut r = ExperimentReport::new("fig6", "quirk classical");
+        r.comparisons
+            .push(Comparison::new("err \"rate\"", 0.5, 0.25));
+        r.notes.push("line1\nline2".to_string());
+        let json = r.to_json();
         assert!(json.contains("\"id\":\"fig6\""));
+        assert!(json.contains("\"metric\":\"err \\\"rate\\\"\""));
+        assert!(json.contains("\"line1\\nline2\""));
+        assert!(json.contains("\"paper\":0.5"));
     }
 }

@@ -49,6 +49,13 @@ impl AssertionOutcome {
 /// Runs an instrumented circuit on `backend` and analyzes assertion
 /// outcomes.
 ///
+/// The instrumented circuit is **lowered once per analysis**: the backend
+/// compiles it to a `qsim::CompiledProgram` (gate matrices materialized,
+/// adjacent single-qubit gates fused, noise channels pre-bound) and every
+/// shot executes the compiled form. Instrumentation ancillas and
+/// assertion clbits pass through compilation untouched, so the analysis
+/// below reads the same classical record as interpreted execution.
+///
 /// # Errors
 ///
 /// Returns [`AssertError::Sim`] when execution fails and
@@ -76,7 +83,8 @@ pub fn run_with_assertions<B: Backend + ?Sized>(
     asserting: &AssertingCircuit,
     shots: u64,
 ) -> Result<AssertionOutcome, AssertError> {
-    let raw = backend.run(asserting.circuit(), shots)?;
+    let program = backend.compile(asserting.circuit())?;
+    let raw = backend.run_compiled(&program, shots)?;
     analyze(raw, asserting)
 }
 
@@ -158,8 +166,7 @@ mod tests {
         let mut ac = AssertingCircuit::new(base);
         ac.assert_classical([0], [false]).unwrap();
         ac.measure_data();
-        let outcome =
-            run_with_assertions(&StatevectorBackend::new().with_seed(2), &ac, 64);
+        let outcome = run_with_assertions(&StatevectorBackend::new().with_seed(2), &ac, 64);
         // Every shot fires the assertion → filter removes everything.
         assert!(matches!(outcome, Err(AssertError::NoShotsKept)));
     }
@@ -180,7 +187,8 @@ mod tests {
     fn superposition_on_classical_input_fires_half_the_time() {
         // Fig. 7: classical input asserted as |+⟩ → 50% assertion error.
         let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
-        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Plus)
+            .unwrap();
         ac.measure_data();
         let outcome =
             run_with_assertions(&StatevectorBackend::new().with_seed(4), &ac, 4000).unwrap();
@@ -251,9 +259,6 @@ mod tests {
         assert_eq!(outcome.data_raw.num_bits(), 2);
         assert_eq!(outcome.data_clbits.len(), 2);
         // All mass on 00/11 in data space.
-        assert_eq!(
-            outcome.data_raw.get(0b00) + outcome.data_raw.get(0b11),
-            500
-        );
+        assert_eq!(outcome.data_raw.get(0b00) + outcome.data_raw.get(0b11), 500);
     }
 }

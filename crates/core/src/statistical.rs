@@ -186,7 +186,9 @@ mod tests {
     fn constructor_validates() {
         assert!(StatisticalAssertion::new(
             [0, 1],
-            StatisticalKind::Classical { expected: vec![true] },
+            StatisticalKind::Classical {
+                expected: vec![true]
+            },
             0.05
         )
         .is_err());
@@ -201,7 +203,9 @@ mod tests {
         let cases = [
             StatisticalAssertion::new(
                 [0, 1],
-                StatisticalKind::Classical { expected: vec![true, false] },
+                StatisticalKind::Classical {
+                    expected: vec![true, false],
+                },
                 0.05,
             )
             .unwrap(),
@@ -219,7 +223,9 @@ mod tests {
     fn classical_expected_distribution_places_mass_correctly() {
         let a = StatisticalAssertion::new(
             [0, 1],
-            StatisticalKind::Classical { expected: vec![true, false] },
+            StatisticalKind::Classical {
+                expected: vec![true, false],
+            },
             0.05,
         )
         .unwrap();
@@ -234,7 +240,9 @@ mod tests {
         prefix.x(1).unwrap();
         let a = StatisticalAssertion::new(
             [0, 1],
-            StatisticalKind::Classical { expected: vec![false, true] },
+            StatisticalKind::Classical {
+                expected: vec![false, true],
+            },
             0.05,
         )
         .unwrap();
@@ -250,7 +258,9 @@ mod tests {
         prefix.x(0).unwrap();
         let a = StatisticalAssertion::new(
             [0],
-            StatisticalKind::Classical { expected: vec![false] },
+            StatisticalKind::Classical {
+                expected: vec![false],
+            },
             0.05,
         )
         .unwrap();
@@ -262,9 +272,8 @@ mod tests {
     #[test]
     fn uniform_superposition_passes_on_h_layer() {
         let prefix = library::uniform_superposition(3);
-        let a =
-            StatisticalAssertion::new([0, 1, 2], StatisticalKind::UniformSuperposition, 0.01)
-                .unwrap();
+        let a = StatisticalAssertion::new([0, 1, 2], StatisticalKind::UniformSuperposition, 0.01)
+            .unwrap();
         let verdict = a.check(&backend(), &prefix, 4000).unwrap();
         assert!(verdict.passed, "p = {}", verdict.chi2.p_value);
     }
@@ -273,8 +282,8 @@ mod tests {
     fn uniform_superposition_fails_on_biased_state() {
         let mut prefix = QuantumCircuit::new(2, 0);
         prefix.h(0).unwrap(); // qubit 1 stays |0⟩ → not uniform over 4
-        let a = StatisticalAssertion::new([0, 1], StatisticalKind::UniformSuperposition, 0.05)
-            .unwrap();
+        let a =
+            StatisticalAssertion::new([0, 1], StatisticalKind::UniformSuperposition, 0.05).unwrap();
         let verdict = a.check(&backend(), &prefix, 2000).unwrap();
         assert!(!verdict.passed);
     }

@@ -90,9 +90,7 @@ mod tests {
             0.0
         );
         // Fully odd-parity state: always fires.
-        assert!(
-            (entanglement_error_probability(c(0.0), c(0.0), c(s), c(s)) - 1.0).abs() < 1e-12
-        );
+        assert!((entanglement_error_probability(c(0.0), c(0.0), c(s), c(s)) - 1.0).abs() < 1e-12);
         // Mixed case.
         let p = entanglement_error_probability(c(0.5), c(0.5), c(0.5), c(0.5));
         assert!((p - 0.5).abs() < 1e-12);

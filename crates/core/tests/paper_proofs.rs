@@ -70,8 +70,7 @@ fn s31_error_probability_matches_born_rule() {
         let dist = qsim::DensityMatrixBackend::ideal()
             .exact_distribution(ac.circuit())
             .unwrap();
-        let predicted =
-            theory::classical_error_probability(Complex::real(a), Complex::real(b));
+        let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
         assert!(
             (dist.probability(1) - predicted).abs() < 1e-10,
             "theta={theta}"
@@ -282,7 +281,8 @@ fn s33_minus_state_drives_ancilla_to_one() {
     base.x(0).unwrap();
     base.h(0).unwrap();
     let mut ac = AssertingCircuit::new(base);
-    ac.assert_superposition(0, SuperpositionBasis::Minus).unwrap();
+    ac.assert_superposition(0, SuperpositionBasis::Minus)
+        .unwrap();
     let dist = qsim::DensityMatrixBackend::ideal()
         .exact_distribution(ac.circuit())
         .unwrap();
@@ -293,7 +293,15 @@ fn s33_minus_state_drives_ancilla_to_one() {
 /// derivation's probability formulas.
 #[test]
 fn s33_outcome_probabilities_match_formula_across_sweep() {
-    for theta in [0.0f64, 0.3, 0.9, 1.5708, 2.2, 3.14159, 4.5] {
+    for theta in [
+        0.0f64,
+        0.3,
+        0.9,
+        std::f64::consts::FRAC_PI_2,
+        2.2,
+        std::f64::consts::PI,
+        4.5,
+    ] {
         let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
         let mut psi = prepare_ry(2, theta);
         psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).unwrap();
@@ -339,7 +347,8 @@ fn s33_classical_input_fires_half_the_time() {
             base.x(0).unwrap();
         }
         let mut ac = AssertingCircuit::new(base);
-        ac.assert_superposition(0, SuperpositionBasis::Plus).unwrap();
+        ac.assert_superposition(0, SuperpositionBasis::Plus)
+            .unwrap();
         let dist = qsim::DensityMatrixBackend::ideal()
             .exact_distribution(ac.circuit())
             .unwrap();

@@ -296,10 +296,7 @@ impl QuantumCircuit {
             });
         }
         for instr in &other.instructions {
-            let mapped = instr.remapped(
-                |q| qubit_map[q.index()],
-                |c| clbit_map[c.index()],
-            );
+            let mapped = instr.remapped(|q| qubit_map[q.index()], |c| clbit_map[c.index()]);
             self.append(mapped)?;
         }
         Ok(self)
@@ -321,7 +318,9 @@ impl QuantumCircuit {
         );
         for instr in self.instructions.iter().rev() {
             if instr.condition().is_some() {
-                return Err(CircuitError::NotInvertible { op: "conditioned gate" });
+                return Err(CircuitError::NotInvertible {
+                    op: "conditioned gate",
+                });
             }
             match instr.kind() {
                 OpKind::Gate(g) => {
@@ -368,12 +367,7 @@ impl QuantumCircuit {
                 .iter()
                 .map(|q| q_level[q.index()])
                 .chain(instr.clbits().iter().map(|c| c_level[c.index()]))
-                .chain(
-                    instr
-                        .condition()
-                        .map(|cond| c_level[cond.clbit.index()])
-                        .into_iter(),
-                )
+                .chain(instr.condition().map(|cond| c_level[cond.clbit.index()]))
                 .max()
                 .unwrap_or(0);
             let level = if matches!(instr.kind(), OpKind::Barrier) {
@@ -707,7 +701,10 @@ mod tests {
         let mut c = QuantumCircuit::new(1, 0);
         assert_eq!(
             c.h(1).unwrap_err(),
-            CircuitError::QubitOutOfRange { qubit: 1, num_qubits: 1 }
+            CircuitError::QubitOutOfRange {
+                qubit: 1,
+                num_qubits: 1
+            }
         );
     }
 
@@ -716,7 +713,10 @@ mod tests {
         let mut c = QuantumCircuit::new(1, 0);
         assert_eq!(
             c.measure(0, 0).unwrap_err(),
-            CircuitError::ClbitOutOfRange { clbit: 0, num_clbits: 0 }
+            CircuitError::ClbitOutOfRange {
+                clbit: 0,
+                num_clbits: 0
+            }
         );
     }
 
@@ -735,14 +735,21 @@ mod tests {
         let err = c.gate(Gate::Cx, [0, 1, 2]).unwrap_err();
         assert_eq!(
             err,
-            CircuitError::ArityMismatch { gate: "cx", expected: 2, got: 3 }
+            CircuitError::ArityMismatch {
+                gate: "cx",
+                expected: 2,
+                got: 3
+            }
         );
     }
 
     #[test]
     fn conditions_only_on_gates_and_resets() {
         let mut c = QuantumCircuit::new(1, 1);
-        let cond = Condition { clbit: ClbitId::new(0), value: true };
+        let cond = Condition {
+            clbit: ClbitId::new(0),
+            value: true,
+        };
         let err = c
             .append(Instruction::measure(0, 0).with_condition(cond))
             .unwrap_err();
@@ -754,7 +761,13 @@ mod tests {
     fn condition_clbit_is_validated() {
         let mut c = QuantumCircuit::new(1, 1);
         let err = c.gate_if(Gate::X, [0], 5, true).unwrap_err();
-        assert_eq!(err, CircuitError::ClbitOutOfRange { clbit: 5, num_clbits: 1 });
+        assert_eq!(
+            err,
+            CircuitError::ClbitOutOfRange {
+                clbit: 5,
+                num_clbits: 1
+            }
+        );
     }
 
     #[test]
@@ -815,8 +828,12 @@ mod tests {
     fn compose_remaps_wires() {
         let mut host = QuantumCircuit::new(3, 2);
         let frag = bell();
-        host.compose(&frag, &[QubitId::new(2), QubitId::new(0)], &[ClbitId::new(0), ClbitId::new(1)])
-            .unwrap();
+        host.compose(
+            &frag,
+            &[QubitId::new(2), QubitId::new(0)],
+            &[ClbitId::new(0), ClbitId::new(1)],
+        )
+        .unwrap();
         assert_eq!(host.len(), 2);
         assert_eq!(host.instructions()[0].qubits(), &[QubitId::new(2)]);
         assert_eq!(
@@ -830,7 +847,13 @@ mod tests {
         let mut host = QuantumCircuit::new(2, 0);
         let frag = bell();
         let err = host.compose(&frag, &[QubitId::new(0)], &[]).unwrap_err();
-        assert!(matches!(err, CircuitError::MappingSizeMismatch { wire_kind: "qubit", .. }));
+        assert!(matches!(
+            err,
+            CircuitError::MappingSizeMismatch {
+                wire_kind: "qubit",
+                ..
+            }
+        ));
     }
 
     #[test]

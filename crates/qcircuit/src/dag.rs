@@ -7,6 +7,7 @@
 //! depth-style scheduling).
 
 use crate::circuit::QuantumCircuit;
+use crate::instruction::OpKind;
 use crate::register::QubitId;
 
 /// Dependency graph of a circuit; node `i` is instruction `i`.
@@ -30,14 +31,15 @@ impl CircuitDag {
         let mut last_on_clbit: Vec<Option<usize>> = vec![None; circuit.num_clbits()];
 
         for (i, instr) in circuit.instructions().iter().enumerate() {
-            let add_edge = |from: Option<usize>, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-                if let Some(p) = from {
-                    if !preds[i].contains(&p) {
-                        preds[i].push(p);
-                        succs[p].push(i);
+            let add_edge =
+                |from: Option<usize>, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+                    if let Some(p) = from {
+                        if !preds[i].contains(&p) {
+                            preds[i].push(p);
+                            succs[p].push(i);
+                        }
                     }
-                }
-            };
+                };
             for q in instr.qubits() {
                 add_edge(last_on_qubit[q.index()], &mut preds, &mut succs);
             }
@@ -118,6 +120,42 @@ impl CircuitDag {
     pub fn topological_order(&self) -> impl Iterator<Item = usize> {
         0..self.preds.len()
     }
+
+    /// Maximal runs (length ≥ 2) of instructions that are adjacent on one
+    /// qubit's wire and are all *unconditioned single-qubit gates* —
+    /// exactly the candidates for 2×2 gate fusion in the compiled
+    /// execution layer.
+    ///
+    /// Adjacency is wire adjacency, not program adjacency: instructions on
+    /// other qubits may interleave in program order, but since every run
+    /// member acts only on this qubit it commutes past them, so fusing the
+    /// run into one matrix preserves semantics. Barriers, measurements,
+    /// resets, multi-qubit gates, and conditioned gates all appear in the
+    /// qubit's chain and therefore break runs.
+    pub fn single_qubit_runs(&self, circuit: &QuantumCircuit) -> Vec<Vec<usize>> {
+        let instrs = circuit.instructions();
+        let mut runs = Vec::new();
+        for chain in &self.qubit_chains {
+            let mut current: Vec<usize> = Vec::new();
+            for &i in chain {
+                let instr = &instrs[i];
+                let fusable = instr.condition().is_none()
+                    && matches!(instr.kind(), OpKind::Gate(g) if g.num_qubits() == 1);
+                if fusable {
+                    current.push(i);
+                } else {
+                    if current.len() >= 2 {
+                        runs.push(std::mem::take(&mut current));
+                    }
+                    current.clear();
+                }
+            }
+            if current.len() >= 2 {
+                runs.push(current);
+            }
+        }
+        runs
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +227,52 @@ mod tests {
         let dag = CircuitDag::build(&QuantumCircuit::new(2, 0));
         assert!(dag.is_empty());
         assert!(dag.layers().is_empty());
+    }
+
+    #[test]
+    fn single_qubit_runs_found_per_wire() {
+        let mut c = QuantumCircuit::new(2, 1);
+        c.h(0).unwrap(); // 0 ┐ run on q0
+        c.t(0).unwrap(); // 1 ┘
+        c.cx(0, 1).unwrap(); // 2 breaks both wires
+        c.s(0).unwrap(); // 3 singleton on q0 — not a run
+        c.x(1).unwrap(); // 4 ┐ run on q1
+        c.z(1).unwrap(); // 5 │
+        c.h(1).unwrap(); // 6 ┘
+        let dag = CircuitDag::build(&c);
+        let runs = dag.single_qubit_runs(&c);
+        assert_eq!(runs, vec![vec![0, 1], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn conditions_measures_and_barriers_break_runs() {
+        let mut c = QuantumCircuit::new(1, 1);
+        c.h(0).unwrap(); // 0
+        c.barrier([0usize]).unwrap(); // 1 breaks
+        c.t(0).unwrap(); // 2
+        c.gate_if(crate::Gate::X, [0usize], 0, true).unwrap(); // 3 breaks
+        c.s(0).unwrap(); // 4
+        c.measure(0, 0).unwrap(); // 5 breaks
+        c.z(0).unwrap(); // 6
+        let dag = CircuitDag::build(&c);
+        assert!(dag.single_qubit_runs(&c).is_empty());
+
+        let mut c2 = QuantumCircuit::new(1, 0);
+        c2.h(0).unwrap();
+        c2.t(0).unwrap();
+        c2.s(0).unwrap();
+        let dag2 = CircuitDag::build(&c2);
+        assert_eq!(dag2.single_qubit_runs(&c2), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn interleaved_other_wire_instructions_do_not_break_runs() {
+        let mut c = QuantumCircuit::new(2, 0);
+        c.h(0).unwrap(); // 0 ┐ run on q0 despite the x(1) in between
+        c.x(1).unwrap(); // 1
+        c.t(0).unwrap(); // 2 ┘
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.single_qubit_runs(&c), vec![vec![0, 2]]);
     }
 
     #[test]

@@ -202,7 +202,14 @@ mod tests {
     #[test]
     fn renders_bell_pair() {
         let mut c = QuantumCircuit::new(2, 2);
-        c.h(0).unwrap().cx(0, 1).unwrap().measure(0, 0).unwrap().measure(1, 1).unwrap();
+        c.h(0)
+            .unwrap()
+            .cx(0, 1)
+            .unwrap()
+            .measure(0, 0)
+            .unwrap()
+            .measure(1, 1)
+            .unwrap();
         let art = render(&c);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3);

@@ -61,25 +61,51 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit q{qubit} out of range for a circuit with {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit q{qubit} out of range for a circuit with {num_qubits} qubits"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "clbit c{clbit} out of range for a circuit with {num_clbits} clbits")
+                write!(
+                    f,
+                    "clbit c{clbit} out of range for a circuit with {num_clbits} clbits"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
-                write!(f, "qubit q{qubit} appears more than once in one instruction")
+                write!(
+                    f,
+                    "qubit q{qubit} appears more than once in one instruction"
+                )
             }
-            CircuitError::ArityMismatch { gate, expected, got } => {
-                write!(f, "gate '{gate}' acts on {expected} qubit(s) but received {got}")
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "gate '{gate}' acts on {expected} qubit(s) but received {got}"
+                )
             }
             CircuitError::UnsupportedCondition { op } => {
                 write!(f, "operation '{op}' cannot carry a classical condition")
             }
             CircuitError::NotInvertible { op } => {
-                write!(f, "circuit contains non-unitary operation '{op}' and cannot be inverted")
+                write!(
+                    f,
+                    "circuit contains non-unitary operation '{op}' and cannot be inverted"
+                )
             }
-            CircuitError::MappingSizeMismatch { wire_kind, expected, got } => {
-                write!(f, "{wire_kind} mapping has {got} entries but the circuit declares {expected}")
+            CircuitError::MappingSizeMismatch {
+                wire_kind,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{wire_kind} mapping has {got} entries but the circuit declares {expected}"
+                )
             }
         }
     }
@@ -93,9 +119,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_specific() {
-        let e = CircuitError::QubitOutOfRange { qubit: 7, num_qubits: 3 };
-        assert_eq!(e.to_string(), "qubit q7 out of range for a circuit with 3 qubits");
-        let e = CircuitError::ArityMismatch { gate: "cx", expected: 2, got: 3 };
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 7,
+            num_qubits: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "qubit q7 out of range for a circuit with 3 qubits"
+        );
+        let e = CircuitError::ArityMismatch {
+            gate: "cx",
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("'cx'"));
     }
 

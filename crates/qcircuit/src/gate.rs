@@ -209,12 +209,7 @@ impl Gate {
                 Complex::ZERO,
                 Complex::cis(t / 2.0),
             ),
-            Gate::P(l) => Mat2::new(
-                Complex::ONE,
-                Complex::ZERO,
-                Complex::ZERO,
-                Complex::cis(*l),
-            ),
+            Gate::P(l) => Mat2::new(Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::cis(*l)),
             Gate::U3(t, p, l) => {
                 let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
                 Mat2::new(
@@ -497,7 +492,10 @@ mod tests {
 
     #[test]
     fn u3_inverse_swaps_phi_lambda() {
-        assert_eq!(Gate::U3(0.4, 1.1, -0.6).inverse(), Gate::U3(-0.4, 0.6, -1.1));
+        assert_eq!(
+            Gate::U3(0.4, 1.1, -0.6).inverse(),
+            Gate::U3(-0.4, 0.6, -1.1)
+        );
     }
 
     #[test]

@@ -237,7 +237,10 @@ mod tests {
     #[test]
     fn gate_constructor_collects_operands() {
         let i = Instruction::gate(Gate::Ccx, [2, 0, 1]);
-        assert_eq!(i.qubits(), &[QubitId::new(2), QubitId::new(0), QubitId::new(1)]);
+        assert_eq!(
+            i.qubits(),
+            &[QubitId::new(2), QubitId::new(0), QubitId::new(1)]
+        );
         assert!(i.clbits().is_empty());
         assert_eq!(i.as_gate(), Some(&Gate::Ccx));
         assert!(!i.is_non_unitary());

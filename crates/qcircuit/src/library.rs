@@ -76,10 +76,15 @@ pub fn teleportation() -> QuantumCircuit {
     c.h(1).expect("in range").cx(1, 2).expect("in range");
     // Bell measurement of q0 against q1.
     c.cx(0, 1).expect("in range").h(0).expect("in range");
-    c.measure(0, 0).expect("in range").measure(1, 1).expect("in range");
+    c.measure(0, 0)
+        .expect("in range")
+        .measure(1, 1)
+        .expect("in range");
     // Bob's corrections.
-    c.gate_if(crate::Gate::X, [2usize], 1, true).expect("in range");
-    c.gate_if(crate::Gate::Z, [2usize], 0, true).expect("in range");
+    c.gate_if(crate::Gate::X, [2usize], 1, true)
+        .expect("in range");
+    c.gate_if(crate::Gate::Z, [2usize], 0, true)
+        .expect("in range");
     c
 }
 
@@ -98,7 +103,10 @@ pub fn superdense_coding(b1: bool, b0: bool) -> QuantumCircuit {
     }
     // Bob decodes.
     c.cx(0, 1).expect("in range").h(0).expect("in range");
-    c.measure(0, 0).expect("in range").measure(1, 1).expect("in range");
+    c.measure(0, 0)
+        .expect("in range")
+        .measure(1, 1)
+        .expect("in range");
     c
 }
 
@@ -187,7 +195,7 @@ pub fn phase_estimation(phi: f64, counting: usize) -> QuantumCircuit {
     }
     // Controlled powers: counting qubit j applies P(2π·phi·2^j).
     for j in 0..n {
-        let angle = std::f64::consts::TAU * phi * f64::from(1u32 << j) as f64;
+        let angle = std::f64::consts::TAU * phi * f64::from(1u32 << j);
         c.cp(angle, j, n).expect("in range");
     }
     // Inverse QFT on the counting register.
@@ -272,8 +280,14 @@ fn append_mcz(c: &mut QuantumCircuit, n: usize) {
 ///
 /// Panics if `n` is not 2 or 3 or `marked >= 2^n`.
 pub fn grover(n: usize, marked: usize, iterations: usize) -> QuantumCircuit {
-    assert!((2..=3).contains(&n), "grover supported for 2 or 3 qubits, got {n}");
-    assert!(marked < (1 << n), "marked state {marked} out of range for {n} qubits");
+    assert!(
+        (2..=3).contains(&n),
+        "grover supported for 2 or 3 qubits, got {n}"
+    );
+    assert!(
+        marked < (1 << n),
+        "marked state {marked} out of range for {n} qubits"
+    );
     let mut c = QuantumCircuit::with_name(format!("grover{n}_m{marked}"), n, n);
     for q in 0..n {
         c.h(q).expect("in range");
@@ -345,7 +359,10 @@ mod tests {
     fn uniform_superposition_is_all_h() {
         let c = uniform_superposition(4);
         assert_eq!(c.len(), 4);
-        assert!(c.instructions().iter().all(|i| i.as_gate() == Some(&Gate::H)));
+        assert!(c
+            .instructions()
+            .iter()
+            .all(|i| i.as_gate() == Some(&Gate::H)));
     }
 
     #[test]

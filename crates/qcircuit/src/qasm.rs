@@ -137,8 +137,7 @@ pub fn to_qasm(circuit: &QuantumCircuit) -> String {
                 if params.is_empty() {
                     out.push_str(name);
                 } else {
-                    let rendered: Vec<String> =
-                        params.iter().map(|p| format!("{p:.17}")).collect();
+                    let rendered: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
                     out.push_str(&format!("{name}({})", rendered.join(",")));
                 }
                 let qs: Vec<String> = instr
@@ -229,11 +228,19 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
                 // qelib1.inc is implied.
             } else if let Some(rest) = stmt.strip_prefix("qreg ") {
                 let (name, size) = parse_reg_decl(rest, lineno)?;
-                qregs.push(Register { name, offset: num_qubits, size });
+                qregs.push(Register {
+                    name,
+                    offset: num_qubits,
+                    size,
+                });
                 num_qubits += size;
             } else if let Some(rest) = stmt.strip_prefix("creg ") {
                 let (name, size) = parse_reg_decl(rest, lineno)?;
-                cregs.push(Register { name, offset: num_clbits, size });
+                cregs.push(Register {
+                    name,
+                    offset: num_clbits,
+                    size,
+                });
                 num_clbits += size;
             } else {
                 body.push((lineno, stmt.to_string(), None));
@@ -246,32 +253,38 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
 
     let mut circuit = QuantumCircuit::new(num_qubits, num_clbits);
 
-    let lookup_q = |name: &str, idx: usize, line: usize| -> Result<QubitId, QasmError> {
-        let reg = qregs
-            .iter()
-            .find(|r| r.name == name)
-            .ok_or_else(|| QasmError::UnknownRegister { line, name: name.to_string() })?;
-        if idx >= reg.size {
-            return Err(QasmError::Malformed {
-                line,
-                reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
-            });
-        }
-        Ok(QubitId::from(reg.offset + idx))
-    };
-    let lookup_c = |name: &str, idx: usize, line: usize| -> Result<ClbitId, QasmError> {
-        let reg = cregs
-            .iter()
-            .find(|r| r.name == name)
-            .ok_or_else(|| QasmError::UnknownRegister { line, name: name.to_string() })?;
-        if idx >= reg.size {
-            return Err(QasmError::Malformed {
-                line,
-                reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
-            });
-        }
-        Ok(ClbitId::from(reg.offset + idx))
-    };
+    let lookup_q =
+        |name: &str, idx: usize, line: usize| -> Result<QubitId, QasmError> {
+            let reg = qregs.iter().find(|r| r.name == name).ok_or_else(|| {
+                QasmError::UnknownRegister {
+                    line,
+                    name: name.to_string(),
+                }
+            })?;
+            if idx >= reg.size {
+                return Err(QasmError::Malformed {
+                    line,
+                    reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
+                });
+            }
+            Ok(QubitId::from(reg.offset + idx))
+        };
+    let lookup_c =
+        |name: &str, idx: usize, line: usize| -> Result<ClbitId, QasmError> {
+            let reg = cregs.iter().find(|r| r.name == name).ok_or_else(|| {
+                QasmError::UnknownRegister {
+                    line,
+                    name: name.to_string(),
+                }
+            })?;
+            if idx >= reg.size {
+                return Err(QasmError::Malformed {
+                    line,
+                    reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
+                });
+            }
+            Ok(ClbitId::from(reg.offset + idx))
+        };
 
     // Interleave pragmas back into the body by line number.
     let mut stream: Vec<(usize, String)> = body
@@ -310,15 +323,22 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
                 reason: "condition must use ==".to_string(),
             })?;
             let reg_name = cond_src[..eq].trim();
-            let value: u64 = cond_src[eq + 2..]
-                .trim()
-                .parse()
-                .map_err(|_| QasmError::Malformed {
-                    line,
-                    reason: "condition value must be an integer".to_string(),
-                })?;
+            let value: u64 =
+                cond_src[eq + 2..]
+                    .trim()
+                    .parse()
+                    .map_err(|_| QasmError::Malformed {
+                        line,
+                        reason: "condition value must be an integer".to_string(),
+                    })?;
             let clbit = lookup_c(reg_name, 0, line)?;
-            (tail, Some(Condition { clbit, value: value != 0 }))
+            (
+                tail,
+                Some(Condition {
+                    clbit,
+                    value: value != 0,
+                }),
+            )
         } else {
             (stmt, None)
         };
@@ -380,8 +400,10 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
             (head, Vec::new())
         };
 
-        let gate = gate_from_name(name, &params)
-            .ok_or_else(|| QasmError::UnknownGate { line, name: name.to_string() })?;
+        let gate = gate_from_name(name, &params).ok_or_else(|| QasmError::UnknownGate {
+            line,
+            name: name.to_string(),
+        })?;
         let mut qs = Vec::new();
         for operand in operands.split(',') {
             let (qname, qidx) = parse_indexed(operand.trim(), line)?;
@@ -695,7 +717,10 @@ mod tests {
 
     #[test]
     fn missing_header_is_rejected() {
-        assert_eq!(from_qasm("qreg q[1];\nh q[0];"), Err(QasmError::MissingHeader));
+        assert_eq!(
+            from_qasm("qreg q[1];\nh q[0];"),
+            Err(QasmError::MissingHeader)
+        );
     }
 
     #[test]
@@ -713,7 +738,10 @@ mod tests {
     #[test]
     fn unknown_register_is_reported() {
         let src = "OPENQASM 2.0;\nqreg q[1];\nh r[0];";
-        assert!(matches!(from_qasm(src), Err(QasmError::UnknownRegister { .. })));
+        assert!(matches!(
+            from_qasm(src),
+            Err(QasmError::UnknownRegister { .. })
+        ));
     }
 
     #[test]
@@ -735,7 +763,7 @@ mod tests {
     }
 
     #[test]
-    fn bad_expressions_are_rejected ()  {
+    fn bad_expressions_are_rejected() {
         assert!(parse_param_expr("pi pi").is_err());
         assert!(parse_param_expr("(1").is_err());
         assert!(parse_param_expr("&").is_err());
@@ -755,7 +783,8 @@ mod tests {
 
     #[test]
     fn multiple_registers_map_to_flat_indices() {
-        let src = "OPENQASM 2.0;\nqreg a[1];\nqreg b[2];\ncreg m[2];\nh b[1];\nmeasure b[1] -> m[0];";
+        let src =
+            "OPENQASM 2.0;\nqreg a[1];\nqreg b[2];\ncreg m[2];\nh b[1];\nmeasure b[1] -> m[0];";
         let c = from_qasm(src).unwrap();
         // a occupies index 0, b occupies 1..3, so b[1] is flat qubit 2.
         assert_eq!(c.instructions()[0].qubits()[0].index(), 2);

@@ -23,8 +23,7 @@ fn arb_gate() -> impl Strategy<Value = Gate> {
         angle.clone().prop_map(Gate::Ry),
         angle.clone().prop_map(Gate::Rz),
         angle.clone().prop_map(Gate::P),
-        (angle.clone(), angle.clone(), angle.clone())
-            .prop_map(|(t, p, l)| Gate::U3(t, p, l)),
+        (angle.clone(), angle.clone(), angle.clone()).prop_map(|(t, p, l)| Gate::U3(t, p, l)),
         Just(Gate::Cx),
         Just(Gate::Cy),
         Just(Gate::Cz),
@@ -39,8 +38,11 @@ fn arb_gate() -> impl Strategy<Value = Gate> {
 /// Builds a random valid circuit over `n` qubits from a gate list,
 /// assigning operands deterministically from a seed stream.
 fn arb_circuit(max_gates: usize) -> impl Strategy<Value = QuantumCircuit> {
-    (3usize..6, proptest::collection::vec((arb_gate(), any::<u64>()), 1..max_gates)).prop_map(
-        |(n, gates)| {
+    (
+        3usize..6,
+        proptest::collection::vec((arb_gate(), any::<u64>()), 1..max_gates),
+    )
+        .prop_map(|(n, gates)| {
             let mut c = QuantumCircuit::new(n, n);
             for (g, seed) in gates {
                 let arity = g.num_qubits();
@@ -49,7 +51,9 @@ fn arb_circuit(max_gates: usize) -> impl Strategy<Value = QuantumCircuit> {
                 let mut s = seed;
                 while qs.len() < arity {
                     let q = (s % n as u64) as usize;
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     if !qs.contains(&q) {
                         qs.push(q);
                     }
@@ -57,8 +61,7 @@ fn arb_circuit(max_gates: usize) -> impl Strategy<Value = QuantumCircuit> {
                 c.gate(g, qs).expect("operands are valid by construction");
             }
             c
-        },
-    )
+        })
 }
 
 proptest! {

@@ -41,8 +41,8 @@ impl Layout {
             "device has {num_physical} qubits, circuit needs {num_logical}"
         );
         let mut physical_to_logical = vec![u32::MAX; num_physical];
-        for l in 0..num_logical {
-            physical_to_logical[l] = l as u32;
+        for (l, slot) in physical_to_logical.iter_mut().take(num_logical).enumerate() {
+            *slot = l as u32;
         }
         Layout {
             logical_to_physical: (0..num_logical as u32).collect(),

@@ -84,7 +84,10 @@ pub fn ring(n: usize) -> Topology {
 ///
 /// Panics when either dimension is zero.
 pub fn grid(width: usize, height: usize) -> Topology {
-    assert!(width >= 1 && height >= 1, "grid dimensions must be positive");
+    assert!(
+        width >= 1 && height >= 1,
+        "grid dimensions must be positive"
+    );
     let mut t = Topology::new(width * height);
     for y in 0..height {
         for x in 0..width {

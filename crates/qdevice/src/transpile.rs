@@ -61,7 +61,10 @@ impl fmt::Display for TranspileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranspileError::TooManyQubits { circuit, device } => {
-                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+                write!(
+                    f,
+                    "circuit needs {circuit} qubits but the device has {device}"
+                )
             }
             TranspileError::Unroutable { a, b } => {
                 write!(f, "no path between physical qubits Q{a} and Q{b}")
@@ -309,12 +312,13 @@ pub fn route(
                 let pa = layout.physical(instr.qubits()[0]);
                 let pb = layout.physical(instr.qubits()[1]);
                 if !topology.are_connected(pa, pb) {
-                    let path = topology.shortest_path(pa, pb).ok_or(
-                        TranspileError::Unroutable {
-                            a: pa.index(),
-                            b: pb.index(),
-                        },
-                    )?;
+                    let path =
+                        topology
+                            .shortest_path(pa, pb)
+                            .ok_or(TranspileError::Unroutable {
+                                a: pa.index(),
+                                b: pb.index(),
+                            })?;
                     // Walk the first operand down the path until it is
                     // adjacent to the second.
                     for w in path.windows(2).take(path.len().saturating_sub(2)) {
@@ -623,14 +627,24 @@ mod tests {
     fn decompositions_are_exact_unitaries() {
         for (builder, n) in [
             (
-                Box::new(|c: &mut QuantumCircuit| c.cz(0, 1).map(|_| ())) as Box<dyn Fn(&mut QuantumCircuit) -> Result<(), CircuitError>>,
+                Box::new(|c: &mut QuantumCircuit| c.cz(0, 1).map(|_| ()))
+                    as Box<dyn Fn(&mut QuantumCircuit) -> Result<(), CircuitError>>,
                 2usize,
             ),
             (Box::new(|c: &mut QuantumCircuit| c.cy(0, 1).map(|_| ())), 2),
             (Box::new(|c: &mut QuantumCircuit| c.ch(0, 1).map(|_| ())), 2),
-            (Box::new(|c: &mut QuantumCircuit| c.cp(1.3, 0, 1).map(|_| ())), 2),
-            (Box::new(|c: &mut QuantumCircuit| c.ccx(0, 1, 2).map(|_| ())), 3),
-            (Box::new(|c: &mut QuantumCircuit| c.cswap(0, 1, 2).map(|_| ())), 3),
+            (
+                Box::new(|c: &mut QuantumCircuit| c.cp(1.3, 0, 1).map(|_| ())),
+                2,
+            ),
+            (
+                Box::new(|c: &mut QuantumCircuit| c.ccx(0, 1, 2).map(|_| ())),
+                3,
+            ),
+            (
+                Box::new(|c: &mut QuantumCircuit| c.cswap(0, 1, 2).map(|_| ())),
+                3,
+            ),
         ] {
             let mut original = QuantumCircuit::new(n, 0);
             builder(&mut original).unwrap();
@@ -679,7 +693,10 @@ mod tests {
         let c = QuantumCircuit::new(5, 0);
         assert!(matches!(
             route(&c, &topo),
-            Err(TranspileError::TooManyQubits { circuit: 5, device: 2 })
+            Err(TranspileError::TooManyQubits {
+                circuit: 5,
+                device: 2
+            })
         ));
     }
 
@@ -689,7 +706,10 @@ mod tests {
         topo.add_edge(0, 1); // 2,3 isolated
         let mut c = QuantumCircuit::new(4, 0);
         c.cx(0, 3).unwrap();
-        assert!(matches!(route(&c, &topo), Err(TranspileError::Unroutable { .. })));
+        assert!(matches!(
+            route(&c, &topo),
+            Err(TranspileError::Unroutable { .. })
+        ));
     }
 
     #[test]
@@ -714,7 +734,11 @@ mod tests {
         let mut c = QuantumCircuit::new(5, 0);
         c.cx(1, 0).unwrap();
         c.cx(0, 1).unwrap();
-        let fixed = FixDirectionPass { topology: topo.clone() }.run(&c).unwrap();
+        let fixed = FixDirectionPass {
+            topology: topo.clone(),
+        }
+        .run(&c)
+        .unwrap();
         // First CX unchanged; second becomes H·H CX(1,0) H·H.
         assert_eq!(fixed.count_ops()["cx"], 2);
         assert_eq!(fixed.count_ops()["h"], 4);
@@ -729,7 +753,16 @@ mod tests {
     #[test]
     fn optimize_cancels_adjacent_self_inverse_pairs() {
         let mut c = QuantumCircuit::new(2, 0);
-        c.h(0).unwrap().h(0).unwrap().cx(0, 1).unwrap().cx(0, 1).unwrap().x(1).unwrap();
+        c.h(0)
+            .unwrap()
+            .h(0)
+            .unwrap()
+            .cx(0, 1)
+            .unwrap()
+            .cx(0, 1)
+            .unwrap()
+            .x(1)
+            .unwrap();
         let opt = OptimizePass.run(&c).unwrap();
         assert_eq!(opt.len(), 1);
         assert_eq!(opt.instructions()[0].as_gate(), Some(&Gate::X));
@@ -819,7 +852,14 @@ mod tests {
     #[test]
     fn basis_translation_leaves_only_u3_and_cx() {
         let mut c = QuantumCircuit::new(2, 0);
-        c.h(0).unwrap().t(1).unwrap().cx(0, 1).unwrap().sdg(0).unwrap();
+        c.h(0)
+            .unwrap()
+            .t(1)
+            .unwrap()
+            .cx(0, 1)
+            .unwrap()
+            .sdg(0)
+            .unwrap();
         let translated = BasisTranslationPass.run(&c).unwrap();
         for instr in translated.instructions() {
             match instr.as_gate().unwrap() {
@@ -837,8 +877,9 @@ mod tests {
         c.h(0).unwrap().ccx(0, 1, 2).unwrap().cz(2, 0).unwrap();
         let result = transpile(&c, &topo).unwrap();
         verify::check_native(&result.circuit, &topo).unwrap();
-        assert!(verify::routed_equivalent(&c, &result.circuit, &result.final_layout, 1e-8)
-            .unwrap());
+        assert!(
+            verify::routed_equivalent(&c, &result.circuit, &result.final_layout, 1e-8).unwrap()
+        );
     }
 
     #[test]

@@ -104,11 +104,11 @@ pub fn circuit_unitary(circuit: &QuantumCircuit) -> Result<CMatrix, TranspileErr
                 });
             }
             match instr.kind() {
-                OpKind::Gate(g) => psi
-                    .apply_gate(g, instr.qubits())
-                    .map_err(|_| TranspileError::UnsupportedOperation {
+                OpKind::Gate(g) => psi.apply_gate(g, instr.qubits()).map_err(|_| {
+                    TranspileError::UnsupportedOperation {
                         op: g.name().to_string(),
-                    })?,
+                    }
+                })?,
                 OpKind::Barrier => {}
                 other => {
                     return Err(TranspileError::UnsupportedOperation {

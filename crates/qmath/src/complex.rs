@@ -176,6 +176,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

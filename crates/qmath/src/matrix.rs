@@ -90,12 +90,7 @@ impl Mat2 {
     /// Conjugate transpose `A†`.
     #[inline]
     pub fn adjoint(&self) -> Mat2 {
-        Mat2::new(
-            self.a.conj(),
-            self.c.conj(),
-            self.b.conj(),
-            self.d.conj(),
-        )
+        Mat2::new(self.a.conj(), self.c.conj(), self.b.conj(), self.d.conj())
     }
 
     /// Entry-wise complex conjugate (no transpose).
@@ -178,7 +173,10 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatrixError::NotSquare { rows, row_len } => {
-                write!(f, "matrix is not square: {rows} rows but a row of length {row_len}")
+                write!(
+                    f,
+                    "matrix is not square: {rows} rows but a row of length {row_len}"
+                )
             }
             MatrixError::DimensionMismatch { left, right } => {
                 write!(f, "matrix dimensions do not match: {left} vs {right}")
@@ -347,12 +345,12 @@ impl CMatrix {
         }
         let n = self.dim;
         let mut out = vec![Complex::ZERO; n];
-        for i in 0..n {
+        for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = Complex::ZERO;
-            for j in 0..n {
-                acc += self.get(i, j) * v[j];
+            for (j, x) in v.iter().enumerate() {
+                acc += self.get(i, j) * *x;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -616,11 +614,8 @@ mod tests {
 
     #[test]
     fn cmatrix_identity_multiplication() {
-        let m = CMatrix::from_rows(&[
-            &[c(1.0, 0.0), c(2.0, 1.0)],
-            &[c(0.0, -1.0), c(3.0, 0.0)],
-        ])
-        .unwrap();
+        let m = CMatrix::from_rows(&[&[c(1.0, 0.0), c(2.0, 1.0)], &[c(0.0, -1.0), c(3.0, 0.0)]])
+            .unwrap();
         let i = CMatrix::identity(2);
         assert!(m.mul(&i).unwrap().approx_eq(&m, 1e-15));
         assert!(i.mul(&m).unwrap().approx_eq(&m, 1e-15));
@@ -650,11 +645,8 @@ mod tests {
 
     #[test]
     fn cmatrix_matvec_applies_rows() {
-        let m = CMatrix::from_rows(&[
-            &[c(0.0, 0.0), c(1.0, 0.0)],
-            &[c(1.0, 0.0), c(0.0, 0.0)],
-        ])
-        .unwrap();
+        let m = CMatrix::from_rows(&[&[c(0.0, 0.0), c(1.0, 0.0)], &[c(1.0, 0.0), c(0.0, 0.0)]])
+            .unwrap();
         let v = m.matvec(&[Complex::ONE, Complex::ZERO]).unwrap();
         assert!(v[0].approx_eq(Complex::ZERO, 1e-15));
         assert!(v[1].approx_eq(Complex::ONE, 1e-15));
@@ -695,17 +687,12 @@ mod tests {
 
     #[test]
     fn cmatrix_hermitian_detection() {
-        let herm = CMatrix::from_rows(&[
-            &[c(1.0, 0.0), c(0.0, -1.0)],
-            &[c(0.0, 1.0), c(2.0, 0.0)],
-        ])
-        .unwrap();
+        let herm = CMatrix::from_rows(&[&[c(1.0, 0.0), c(0.0, -1.0)], &[c(0.0, 1.0), c(2.0, 0.0)]])
+            .unwrap();
         assert!(herm.is_hermitian(1e-15));
-        let not_herm = CMatrix::from_rows(&[
-            &[c(1.0, 0.0), c(1.0, 0.0)],
-            &[c(0.0, 0.0), c(2.0, 0.0)],
-        ])
-        .unwrap();
+        let not_herm =
+            CMatrix::from_rows(&[&[c(1.0, 0.0), c(1.0, 0.0)], &[c(0.0, 0.0), c(2.0, 0.0)]])
+                .unwrap();
         assert!(!not_herm.is_hermitian(1e-15));
     }
 

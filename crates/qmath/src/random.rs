@@ -75,7 +75,10 @@ pub fn haar_unitary2<R: Rng + ?Sized>(rng: &mut R) -> Mat2 {
 /// Panics if `num_qubits` is large enough to overflow the address space
 /// (`num_qubits >= 48`).
 pub fn random_statevector<R: Rng + ?Sized>(num_qubits: usize, rng: &mut R) -> Vec<Complex> {
-    assert!(num_qubits < 48, "statevector of 2^{num_qubits} amplitudes is not addressable");
+    assert!(
+        num_qubits < 48,
+        "statevector of 2^{num_qubits} amplitudes is not addressable"
+    );
     let len = 1usize << num_qubits;
     let mut v: Vec<Complex> = (0..len).map(|_| standard_normal_complex(rng)).collect();
     let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();

@@ -10,14 +10,14 @@
 
 /// Lanczos coefficients for g = 7, n = 9.
 const LANCZOS: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
-    -176.615_029_162_140_59,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
-    9.984_369_578_019_571_6e-6,
+    9.984_369_578_019_572e-6,
     1.505_632_735_149_311_6e-7,
 ];
 
@@ -146,8 +146,14 @@ fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
 /// assert!((chi2_sf(3.841, 1) - 0.05).abs() < 1e-3);
 /// ```
 pub fn chi2_sf(statistic: f64, dof: u32) -> f64 {
-    assert!(dof > 0, "chi-squared requires at least one degree of freedom");
-    assert!(statistic >= 0.0, "chi-squared statistic must be non-negative");
+    assert!(
+        dof > 0,
+        "chi-squared requires at least one degree of freedom"
+    );
+    assert!(
+        statistic >= 0.0,
+        "chi-squared statistic must be non-negative"
+    );
     gamma_q(dof as f64 / 2.0, statistic / 2.0)
 }
 
@@ -158,8 +164,14 @@ pub fn chi2_sf(statistic: f64, dof: u32) -> f64 {
 ///
 /// Panics if `dof == 0` or `statistic < 0`.
 pub fn chi2_cdf(statistic: f64, dof: u32) -> f64 {
-    assert!(dof > 0, "chi-squared requires at least one degree of freedom");
-    assert!(statistic >= 0.0, "chi-squared statistic must be non-negative");
+    assert!(
+        dof > 0,
+        "chi-squared requires at least one degree of freedom"
+    );
+    assert!(
+        statistic >= 0.0,
+        "chi-squared statistic must be non-negative"
+    );
     gamma_p(dof as f64 / 2.0, statistic / 2.0)
 }
 
@@ -206,7 +218,10 @@ impl std::fmt::Display for StatsError {
                 write!(f, "fewer than two non-degenerate categories")
             }
             StatsError::InvalidProbabilities => {
-                write!(f, "expected probabilities are invalid (negative or do not sum to 1)")
+                write!(
+                    f,
+                    "expected probabilities are invalid (negative or do not sum to 1)"
+                )
             }
         }
     }

@@ -49,7 +49,10 @@ impl fmt::Display for ChannelError {
                 write!(f, "pauli error probabilities sum to {sum} > 1")
             }
             ChannelError::InvalidRelaxation { t1, t2 } => {
-                write!(f, "relaxation times are unphysical: t1={t1}, t2={t2} (need 0 < t2 <= 2*t1)")
+                write!(
+                    f,
+                    "relaxation times are unphysical: t1={t1}, t2={t2} (need 0 < t2 <= 2*t1)"
+                )
             }
             ChannelError::InvalidDuration { duration } => {
                 write!(f, "gate duration must be non-negative, got {duration}")
@@ -132,7 +135,10 @@ impl Kraus {
     /// are not a power of two.
     pub fn from_ops(ops: Vec<CMatrix>) -> Self {
         let dim = ops.first().expect("kraus set must be non-empty").dim();
-        assert!(dim.is_power_of_two(), "kraus dimension must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "kraus dimension must be a power of two"
+        );
         assert!(
             ops.iter().all(|k| k.dim() == dim),
             "kraus operators must share one dimension"

@@ -16,7 +16,7 @@
 
 use crate::channel::Kraus;
 use crate::readout::ReadoutError;
-use qcircuit::{Instruction, OpKind, QubitId};
+use qcircuit::{Instruction, OpKind, QuantumCircuit, QubitId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -99,7 +99,11 @@ impl NoiseModel {
     ///
     /// Panics if the channel is not a 1-qubit channel.
     pub fn with_default_1q(&mut self, kraus: Kraus) -> &mut Self {
-        assert_eq!(kraus.num_qubits(), 1, "default 1q channel must act on one qubit");
+        assert_eq!(
+            kraus.num_qubits(),
+            1,
+            "default 1q channel must act on one qubit"
+        );
         self.default_1q.push(kraus);
         self
     }
@@ -113,7 +117,10 @@ impl NoiseModel {
     ///
     /// Panics if the channel acts on more than two qubits.
     pub fn with_default_2q(&mut self, kraus: Kraus) -> &mut Self {
-        assert!(kraus.num_qubits() <= 2, "default 2q channel must act on 1 or 2 qubits");
+        assert!(
+            kraus.num_qubits() <= 2,
+            "default 2q channel must act on 1 or 2 qubits"
+        );
         self.default_2q.push(kraus);
         self
     }
@@ -141,7 +148,11 @@ impl NoiseModel {
         gate_name: impl Into<String>,
         kraus: Kraus,
     ) -> &mut Self {
-        assert_eq!(kraus.num_qubits(), 1, "per-operand channel must act on one qubit");
+        assert_eq!(
+            kraus.num_qubits(),
+            1,
+            "per-operand channel must act on one qubit"
+        );
         self.per_gate
             .entry(gate_name.into())
             .or_default()
@@ -207,10 +218,7 @@ impl NoiseModel {
             .per_gate_qubits
             .get(&(gate.name().to_string(), qubits.to_vec()))
         {
-            return channels
-                .iter()
-                .map(|k| bind(k.clone(), qubits))
-                .collect();
+            return channels.iter().map(|k| bind(k.clone(), qubits)).collect();
         }
         // Tier 2: per-gate-name registration.
         if let Some(scopes) = self.per_gate.get(gate.name()) {
@@ -237,6 +245,21 @@ impl NoiseModel {
             _ => return Vec::new(),
         };
         defaults.iter().map(|k| bind(k.clone(), qubits)).collect()
+    }
+
+    /// Binds the model to a whole circuit at once: entry `i` holds the
+    /// channels to apply after instruction `i`.
+    ///
+    /// This is the compile-time entry point used by `qsim`'s lowering
+    /// pipeline — the rule lookup (gate-name maps, edge-specific rules,
+    /// arity defaults) runs **once per instruction per compilation**
+    /// instead of once per gate per shot.
+    pub fn bind_circuit(&self, circuit: &QuantumCircuit) -> Vec<Vec<AppliedChannel>> {
+        circuit
+            .instructions()
+            .iter()
+            .map(|instr| self.channels_for(instr))
+            .collect()
     }
 }
 
@@ -333,9 +356,11 @@ mod tests {
     #[test]
     fn edge_specific_rule_overrides_per_gate() {
         let mut model = NoiseModel::new();
-        model
-            .with_gate_error("cx", dep2())
-            .with_gate_error_on("cx", [QubitId::new(1), QubitId::new(0)], Kraus::depolarizing2(0.3).unwrap());
+        model.with_gate_error("cx", dep2()).with_gate_error_on(
+            "cx",
+            [QubitId::new(1), QubitId::new(0)],
+            Kraus::depolarizing2(0.3).unwrap(),
+        );
         // The registered edge (1, 0).
         let hit = model.channels_for(&Instruction::gate(Gate::Cx, [1, 0]));
         let weight = hit[0].kraus.ops()[0].get(0, 0).norm_sqr();
@@ -382,10 +407,7 @@ mod tests {
         let mut model = NoiseModel::new();
         model.with_readout_error(1, ReadoutError::symmetric(0.04).unwrap());
         assert!(model.readout_error(QubitId::new(0)).is_ideal());
-        assert_eq!(
-            model.readout_error(QubitId::new(1)).p_meas1_given0(),
-            0.04
-        );
+        assert_eq!(model.readout_error(QubitId::new(1)).p_meas1_given0(), 0.04);
         assert!(!model.is_ideal());
     }
 
@@ -395,6 +417,24 @@ mod tests {
         model.with_default_1q(dep1()).with_default_2q(dep2());
         let channels = model.channels_for(&Instruction::gate(Gate::Ccx, [0, 1, 2]));
         assert!(channels.is_empty());
+    }
+
+    #[test]
+    fn bind_circuit_matches_per_instruction_lookup() {
+        let mut model = NoiseModel::new();
+        model.with_default_1q(dep1()).with_default_2q(dep2());
+        let mut c = QuantumCircuit::new(2, 2);
+        c.h(0).unwrap().cx(0, 1).unwrap();
+        c.measure(0, 0).unwrap().measure(1, 1).unwrap();
+        let bound = model.bind_circuit(&c);
+        assert_eq!(bound.len(), c.len());
+        for (instr, channels) in c.instructions().iter().zip(&bound) {
+            assert_eq!(channels, &model.channels_for(instr));
+        }
+        // Gates get channels, measurements do not.
+        assert_eq!(bound[0].len(), 1);
+        assert_eq!(bound[1].len(), 1);
+        assert!(bound[2].is_empty() && bound[3].is_empty());
     }
 
     #[test]

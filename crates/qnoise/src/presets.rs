@@ -78,8 +78,16 @@ impl Ibmqx4Calibration {
         Ibmqx4Calibration {
             p_gate1: clamp(self.p_gate1),
             p_cx,
-            t1_ns: if factor > 0.0 { self.t1_ns / factor } else { f64::INFINITY },
-            t2_ns: if factor > 0.0 { self.t2_ns / factor } else { f64::INFINITY },
+            t1_ns: if factor > 0.0 {
+                self.t1_ns / factor
+            } else {
+                f64::INFINITY
+            },
+            t2_ns: if factor > 0.0 {
+                self.t2_ns / factor
+            } else {
+                f64::INFINITY
+            },
             ..*self
         }
     }

@@ -42,7 +42,10 @@ impl ReadoutError {
             ("p_meas0_given1", p_meas0_given1),
         ] {
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
-                return Err(crate::ChannelError::InvalidProbability { param: name, value: v });
+                return Err(crate::ChannelError::InvalidProbability {
+                    param: name,
+                    value: v,
+                });
             }
         }
         Ok(ReadoutError {

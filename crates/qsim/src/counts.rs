@@ -149,7 +149,10 @@ impl Counts {
     ///
     /// Panics when the bit widths differ.
     pub fn merge(&mut self, other: &Counts) {
-        assert_eq!(self.num_bits, other.num_bits, "cannot merge different widths");
+        assert_eq!(
+            self.num_bits, other.num_bits,
+            "cannot merge different widths"
+        );
         for (k, n) in other.iter() {
             self.record(k, n);
         }
@@ -232,7 +235,10 @@ impl Counts {
     ///
     /// Panics when the bit widths differ.
     pub fn hellinger(&self, other: &Counts) -> f64 {
-        assert_eq!(self.num_bits, other.num_bits, "hellinger requires equal widths");
+        assert_eq!(
+            self.num_bits, other.num_bits,
+            "hellinger requires equal widths"
+        );
         let keys: std::collections::HashSet<u64> =
             self.map.keys().chain(other.map.keys()).copied().collect();
         let bc: f64 = keys

@@ -9,11 +9,11 @@
 //! The exact noisy executor in [`crate::executor`] uses this type to
 //! reproduce the paper's Tables 1–2 without sampling noise.
 
-use crate::apply::{apply_matrix_at, apply_mat2_at};
+use crate::apply::{apply_mat2_at, apply_matrix_at};
 use crate::error::SimError;
 use crate::statevector::StateVector;
 use qcircuit::{Gate, QubitId};
-use qmath::{CMatrix, Complex};
+use qmath::{CMatrix, Complex, Mat2};
 use qnoise::Kraus;
 
 /// A mixed `n`-qubit quantum state.
@@ -48,7 +48,10 @@ impl DensityMatrix {
     ///
     /// Panics when `num_qubits >= 15` (the buffer holds `4^n` entries).
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits < 15, "density matrix of 4^{num_qubits} entries is too large");
+        assert!(
+            num_qubits < 15,
+            "density matrix of 4^{num_qubits} entries is too large"
+        );
         let dim = 1usize << num_qubits;
         let mut data = vec![Complex::ZERO; dim * dim];
         data[0] = Complex::ONE;
@@ -70,7 +73,10 @@ impl DensityMatrix {
                 data[row + (col << n)] = amps[row] * c;
             }
         }
-        DensityMatrix { num_qubits: n, data }
+        DensityMatrix {
+            num_qubits: n,
+            data,
+        }
     }
 
     /// Number of qubits.
@@ -122,6 +128,20 @@ impl DensityMatrix {
         }
         let m = gate.matrix();
         self.apply_matrix_unchecked(&m, qubits);
+        Ok(())
+    }
+
+    /// Applies a bare 2×2 unitary to one qubit: `ρ → U ρ U†`, via the
+    /// specialized single-qubit kernel (the compiled-program hot path
+    /// for fused and plain single-qubit ops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for a bad operand.
+    pub fn apply_mat2(&mut self, m: &Mat2, qubit: QubitId) -> Result<(), SimError> {
+        let bit = self.check_qubit(qubit)?;
+        apply_mat2_at(&mut self.data, bit, m);
+        apply_mat2_at(&mut self.data, bit + self.num_qubits, &m.conj());
         Ok(())
     }
 
@@ -399,7 +419,8 @@ mod tests {
     #[test]
     fn depolarizing_reduces_purity() {
         let mut rho = DensityMatrix::zero_state(1);
-        rho.apply_kraus(&Kraus::depolarizing(1.0).unwrap(), &[q(0)]).unwrap();
+        rho.apply_kraus(&Kraus::depolarizing(1.0).unwrap(), &[q(0)])
+            .unwrap();
         // Fully depolarized: maximally mixed, purity 1/2.
         assert!((rho.purity() - 0.5).abs() < 1e-10);
         assert!((rho.trace().re - 1.0).abs() < 1e-10);
@@ -408,9 +429,11 @@ mod tests {
     #[test]
     fn kraus_preserves_trace() {
         let mut rho = bell_rho();
-        rho.apply_kraus(&Kraus::amplitude_damping(0.3).unwrap(), &[q(1)]).unwrap();
+        rho.apply_kraus(&Kraus::amplitude_damping(0.3).unwrap(), &[q(1)])
+            .unwrap();
         assert!((rho.trace().re - 1.0).abs() < 1e-10);
-        rho.apply_kraus(&Kraus::depolarizing2(0.2).unwrap(), &[q(0), q(1)]).unwrap();
+        rho.apply_kraus(&Kraus::depolarizing2(0.2).unwrap(), &[q(0), q(1)])
+            .unwrap();
         assert!((rho.trace().re - 1.0).abs() < 1e-10);
     }
 
@@ -418,7 +441,8 @@ mod tests {
     fn amplitude_damping_decays_excited_state() {
         let mut rho = DensityMatrix::zero_state(1);
         rho.apply_gate(&Gate::X, &[q(0)]).unwrap();
-        rho.apply_kraus(&Kraus::amplitude_damping(0.4).unwrap(), &[q(0)]).unwrap();
+        rho.apply_kraus(&Kraus::amplitude_damping(0.4).unwrap(), &[q(0)])
+            .unwrap();
         assert!((rho.probability_of_one(q(0)).unwrap() - 0.6).abs() < 1e-12);
     }
 
@@ -477,7 +501,8 @@ mod tests {
         let mut psi = StateVector::zero_state(1);
         psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
         let mut rho = DensityMatrix::from_statevector(&psi);
-        rho.apply_kraus(&Kraus::phase_damping(0.5).unwrap(), &[q(0)]).unwrap();
+        rho.apply_kraus(&Kraus::phase_damping(0.5).unwrap(), &[q(0)])
+            .unwrap();
         let f = rho.fidelity_pure(&psi).unwrap();
         assert!(f < 1.0 && f > 0.5, "fidelity {f}");
     }
@@ -495,7 +520,9 @@ mod tests {
     fn operand_validation() {
         let mut rho = DensityMatrix::zero_state(1);
         assert!(rho.apply_gate(&Gate::H, &[q(4)]).is_err());
-        assert!(rho.apply_kraus(&Kraus::depolarizing2(0.1).unwrap(), &[q(0)]).is_err());
+        assert!(rho
+            .apply_kraus(&Kraus::depolarizing2(0.1).unwrap(), &[q(0)])
+            .is_err());
         assert!(rho.trace_out(&[q(3)]).is_err());
     }
 }

@@ -56,7 +56,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit q{qubit} out of range for a {num_qubits}-qubit state")
+                write!(
+                    f,
+                    "qubit q{qubit} out of range for a {num_qubits}-qubit state"
+                )
             }
             SimError::InvalidAmplitudeCount { len } => {
                 write!(f, "amplitude buffer length {len} is not a power of two")
@@ -72,11 +75,17 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::MatrixDimensionMismatch { dim, qubits } => {
-                write!(f, "matrix dimension {dim} does not match 2^{qubits} target qubits")
+                write!(
+                    f,
+                    "matrix dimension {dim} does not match 2^{qubits} target qubits"
+                )
             }
             SimError::Circuit(e) => write!(f, "invalid circuit: {e}"),
             SimError::TooManyClbits { num_clbits } => {
-                write!(f, "circuits with {num_clbits} clbits exceed the 64-bit outcome keys")
+                write!(
+                    f,
+                    "circuits with {num_clbits} clbits exceed the 64-bit outcome keys"
+                )
             }
             SimError::AllShotsDiscarded => {
                 write!(f, "post-selection discarded every shot")
@@ -106,9 +115,15 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        let e = SimError::QubitOutOfRange { qubit: 4, num_qubits: 2 };
+        let e = SimError::QubitOutOfRange {
+            qubit: 4,
+            num_qubits: 2,
+        };
         assert!(e.to_string().contains("q4"));
-        let e = SimError::ImpossiblePostSelection { qubit: 1, outcome: true };
+        let e = SimError::ImpossiblePostSelection {
+            qubit: 1,
+            outcome: true,
+        };
         assert!(e.to_string().contains("zero probability"));
     }
 

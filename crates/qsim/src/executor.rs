@@ -1,4 +1,4 @@
-//! Circuit execution backends.
+//! Circuit execution backends over the compiled execution layer.
 //!
 //! Three engines implement the common [`Backend`] trait, mirroring the
 //! paper's methodology (simulator verification, then noisy hardware):
@@ -8,18 +8,40 @@
 //!   sampled; anything with mid-circuit measurement, reset, conditions, or
 //!   post-selection falls back to per-shot execution.
 //! * [`TrajectoryBackend`] — Monte-Carlo noisy execution: after each gate
-//!   the attached Kraus channels are sampled per shot; measurement
-//!   outcomes pass through the per-qubit readout error. Shots are sharded
-//!   across threads deterministically.
+//!   the pre-bound Kraus channels are sampled per shot; measurement
+//!   outcomes pass through the pre-bound per-qubit readout error.
 //! * [`DensityMatrixBackend`] — exact noisy execution: evolves a density
 //!   matrix, branching on measurements (true outcome × recorded outcome)
 //!   and pruning negligible branches. Produces the *exact* outcome
 //!   distribution — this is what regenerates the paper's Tables 1–2
 //!   without sampling noise — and deterministic largest-remainder counts.
+//!
+//! # Compile once, execute many
+//!
+//! Every backend lowers its circuit to a [`CompiledProgram`] exactly once
+//! per [`Backend::run`] (or once per *analysis* when the caller compiles
+//! explicitly via [`Backend::compile`] and reuses the program across
+//! [`Backend::run_compiled`] calls). The per-shot hot loop walks the flat
+//! compiled op stream — matrices pre-materialized, adjacent single-qubit
+//! gates fused, noise channels pre-bound — and never touches
+//! `QuantumCircuit` instructions or the `NoiseModel` again.
+//!
+//! Per-shot backends share one deterministic shot-sharding harness
+//! ([`run_compiled_sharded`]): shards split `shots` evenly, each shard's
+//! RNG stream is derived from the backend seed by [`shard_seed`], and
+//! results are order-independently merged, so counts are identical for a
+//! given `(seed, threads)` regardless of scheduling.
+//!
+//! The original instruction interpreter survives as [`run_shot`]: it is
+//! the *reference semantics* the cross-backend equivalence suite compares
+//! compiled execution against, and remains useful for one-off shots where
+//! compilation would not amortize.
 
+use crate::compile::{compile_with, CompileOptions};
 use crate::counts::Counts;
 use crate::density::DensityMatrix;
 use crate::error::SimError;
+use crate::program::{CompiledKind, CompiledProgram};
 use crate::statevector::StateVector;
 use qcircuit::{OpKind, QuantumCircuit, QubitId};
 use qnoise::{Kraus, NoiseModel};
@@ -49,17 +71,43 @@ impl RunResult {
 }
 
 /// A circuit execution engine.
+///
+/// Backends separate **lowering** ([`Backend::compile`], which binds the
+/// backend's noise model and fuses gates) from **execution**
+/// ([`Backend::run_compiled`]). [`Backend::run`] is the compile-and-go
+/// convenience; callers running one instrumented circuit many times
+/// (e.g. the assertion runtime) compile once and reuse the program.
 pub trait Backend {
     /// Human-readable backend name for reports.
     fn name(&self) -> &str;
 
-    /// Executes `circuit` for `shots` repetitions.
+    /// Lowers `circuit` for this backend (noise pre-bound, gates fused
+    /// according to the backend's options).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the circuit cannot be lowered (e.g.
+    /// more than 64 classical bits).
+    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError>;
+
+    /// Executes an already-compiled program for `shots` repetitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when execution fails or every shot was
+    /// discarded by post-selection.
+    fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError>;
+
+    /// Executes `circuit` for `shots` repetitions (compile + run).
     ///
     /// # Errors
     ///
     /// Returns a [`SimError`] when the circuit is malformed for this
     /// backend or every shot was discarded by post-selection.
-    fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError>;
+    fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
+        let program = self.compile(circuit)?;
+        self.run_compiled(&program, shots)
+    }
 }
 
 /// One executed shot: the final pure state and the classical record.
@@ -100,8 +148,13 @@ fn sample_kraus<R: Rng + ?Sized>(
     unreachable!("kraus probabilities sum to 1")
 }
 
-/// Executes one shot of `circuit` with optional noise; returns `None`
-/// when a post-selection discarded the shot.
+/// Executes one shot of `circuit` by direct instruction interpretation;
+/// returns `None` when a post-selection discarded the shot.
+///
+/// This is the **reference interpreter**: backends execute through
+/// [`CompiledProgram`]s instead, and the equivalence suite checks that
+/// compiled execution reproduces this function's outcomes bit-for-bit
+/// under a shared RNG stream.
 ///
 /// # Errors
 ///
@@ -161,6 +214,152 @@ pub fn run_shot<R: Rng + ?Sized>(
     Ok(Some(ShotRecord { state, clbits }))
 }
 
+/// Applies one compiled unitary op to a pure state.
+fn apply_compiled_unitary(state: &mut StateVector, kind: &CompiledKind) -> Result<(), SimError> {
+    match kind {
+        CompiledKind::Unitary1q { qubit, matrix, .. } => state.apply_mat2(matrix, *qubit),
+        CompiledKind::Controlled1q {
+            control,
+            target,
+            matrix,
+        } => state.apply_controlled_mat2(matrix, *control, *target),
+        CompiledKind::UnitaryK { qubits, matrix } => state.apply_matrix(matrix, qubits),
+        other => unreachable!("non-unitary op {other:?} reached the unitary path"),
+    }
+}
+
+/// Executes one shot of a compiled program; returns `None` when a
+/// post-selection discarded the shot.
+///
+/// Consumes RNG draws in exactly the same order as [`run_shot`] does for
+/// the source circuit, so seeded compiled and interpreted runs agree
+/// shot-for-shot.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when a noise channel is malformed for the
+/// program's width.
+pub fn run_compiled_shot<R: Rng + ?Sized>(
+    program: &CompiledProgram,
+    rng: &mut R,
+) -> Result<Option<ShotRecord>, SimError> {
+    let mut state = StateVector::zero_state(program.num_qubits());
+    let mut clbits = 0u64;
+    for op in program.ops() {
+        if let Some(cond) = op.condition {
+            let bit = (clbits >> cond.clbit.index()) & 1 == 1;
+            if bit != cond.value {
+                continue;
+            }
+        }
+        match &op.kind {
+            CompiledKind::Measure {
+                qubit,
+                clbit,
+                readout,
+            } => {
+                let actual = state.measure(*qubit, rng)?;
+                let recorded = match readout {
+                    Some(r) => r.sample_recorded(actual, rng.gen::<f64>()),
+                    None => actual,
+                };
+                clbits = (clbits & !(1 << clbit)) | (u64::from(recorded) << clbit);
+            }
+            CompiledKind::Reset { qubit } => state.reset(*qubit, rng)?,
+            CompiledKind::PostSelect { qubit, outcome } => {
+                let actual = state.measure(*qubit, rng)?;
+                if actual != *outcome {
+                    return Ok(None);
+                }
+            }
+            unitary => {
+                apply_compiled_unitary(&mut state, unitary)?;
+                for applied in &op.noise {
+                    sample_kraus(&mut state, &applied.kraus, &applied.qubits, rng)?;
+                }
+            }
+        }
+    }
+    Ok(Some(ShotRecord { state, clbits }))
+}
+
+/// The RNG seed of shard `t` under backend seed `seed`, identical across
+/// all per-shot backends.
+///
+/// The golden-ratio offset is finalized with a SplitMix64-style mix:
+/// without it, adjacent shard seeds would differ by exactly the gamma
+/// `StdRng::seed_from_u64` uses for state expansion, leaving neighboring
+/// shards' generator states 75% overlapped.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one shard of shots sequentially.
+fn run_compiled_shard(
+    program: &CompiledProgram,
+    shots: u64,
+    rng_seed: u64,
+) -> Result<(Counts, u64), SimError> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut counts = Counts::new(program.num_clbits());
+    let mut discarded = 0u64;
+    for _ in 0..shots {
+        match run_compiled_shot(program, &mut rng)? {
+            Some(record) => counts.record(record.clbits, 1),
+            None => discarded += 1,
+        }
+    }
+    Ok((counts, discarded))
+}
+
+/// The shared shot-sharding harness for per-shot backends.
+///
+/// Splits `shots` across `threads` scoped worker threads (largest shards
+/// first), seeds shard `t` with [`shard_seed`]`(seed, t)`, and merges the
+/// per-shard histograms. With `threads == 1` the backend seed drives a
+/// single stream directly, preserving the single-threaded behavior of
+/// earlier revisions. Results are deterministic in `(seed, threads)`.
+///
+/// # Errors
+///
+/// Propagates the first shard's [`SimError`], if any.
+pub fn run_compiled_sharded(
+    program: &CompiledProgram,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<(Counts, u64), SimError> {
+    let threads = threads.min(shots.max(1) as usize).max(1);
+    if threads == 1 {
+        return run_compiled_shard(program, shots, seed);
+    }
+    let per = shots / threads as u64;
+    let extra = shots % threads as u64;
+    let results: Vec<Result<(Counts, u64), SimError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let shard_shots = per + u64::from((t as u64) < extra);
+            let rng_seed = shard_seed(seed, t);
+            handles.push(scope.spawn(move || run_compiled_shard(program, shard_shots, rng_seed)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    let mut counts = Counts::new(program.num_clbits());
+    let mut discarded = 0u64;
+    for r in results {
+        let (c, d) = r?;
+        counts.merge(&c);
+        discarded += d;
+    }
+    Ok((counts, discarded))
+}
+
 /// Ideal (noise-free) execution backend.
 ///
 /// # Example
@@ -181,12 +380,18 @@ pub fn run_shot<R: Rng + ?Sized>(
 #[derive(Clone, Debug)]
 pub struct StatevectorBackend {
     seed: u64,
+    threads: usize,
+    fuse_1q: bool,
 }
 
 impl StatevectorBackend {
     /// Creates the backend with the default seed 0.
     pub fn new() -> Self {
-        StatevectorBackend { seed: 0 }
+        StatevectorBackend {
+            seed: 0,
+            threads: 1,
+            fuse_1q: true,
+        }
     }
 
     /// Sets the RNG seed (sampling is deterministic per seed).
@@ -194,6 +399,33 @@ impl StatevectorBackend {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Shards per-shot execution across `threads` worker threads (only
+    /// relevant for circuits that defeat the sample-once fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread required");
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables single-qubit gate fusion (on by default; the
+    /// off position exists for the equivalence suite and benchmarks).
+    #[must_use]
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse_1q = fuse;
+        self
+    }
+
+    fn options(&self) -> CompileOptions {
+        CompileOptions {
+            fuse_1q: self.fuse_1q,
+        }
     }
 
     /// Evolves the circuit's unitary prefix and returns the
@@ -207,7 +439,11 @@ impl StatevectorBackend {
     /// Returns [`SimError::Circuit`] when a measurement, reset,
     /// post-selection, or conditioned gate is present.
     pub fn statevector(&self, circuit: &QuantumCircuit) -> Result<StateVector, SimError> {
-        let mut state = StateVector::zero_state(circuit.num_qubits());
+        // Classical wires are irrelevant to pure unitary evolution, so
+        // lower a gate-only shadow circuit. This keeps analysis circuits
+        // with more than 64 clbits valid — the 64-bit shot-record limit
+        // only constrains the run paths.
+        let mut shadow = QuantumCircuit::new(circuit.num_qubits(), 0);
         for instr in circuit.instructions() {
             if instr.condition().is_some() {
                 return Err(SimError::Circuit(qcircuit::CircuitError::NotInvertible {
@@ -215,14 +451,21 @@ impl StatevectorBackend {
                 }));
             }
             match instr.kind() {
-                OpKind::Gate(g) => state.apply_gate(g, instr.qubits())?,
+                OpKind::Gate(g) => {
+                    shadow.gate(*g, instr.qubits().iter().copied())?;
+                }
                 OpKind::Barrier => {}
                 other => {
                     return Err(SimError::Circuit(qcircuit::CircuitError::NotInvertible {
                         op: other.name(),
-                    }))
+                    }));
                 }
             }
+        }
+        let program = compile_with(&shadow, None, self.options())?;
+        let mut state = StateVector::zero_state(program.num_qubits());
+        for op in program.ops() {
+            apply_compiled_unitary(&mut state, &op.kind)?;
         }
         Ok(state)
     }
@@ -234,55 +477,36 @@ impl Default for StatevectorBackend {
     }
 }
 
-/// Returns `true` when all measurements come after the last gate and the
-/// circuit has no reset/post-select/conditions — the sample-once fast
-/// path.
-fn is_sample_friendly(circuit: &QuantumCircuit) -> bool {
-    let mut seen_measure = false;
-    for instr in circuit.instructions() {
-        if instr.condition().is_some() {
-            return false;
-        }
-        match instr.kind() {
-            OpKind::Reset | OpKind::PostSelect { .. } => return false,
-            OpKind::Measure => seen_measure = true,
-            OpKind::Gate(_) if seen_measure => return false,
-            _ => {}
-        }
-    }
-    true
-}
-
 impl Backend for StatevectorBackend {
     fn name(&self) -> &str {
         "statevector (ideal)"
     }
 
-    fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
-        if circuit.num_clbits() > 64 {
-            return Err(SimError::TooManyClbits {
-                num_clbits: circuit.num_clbits(),
-            });
-        }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut counts = Counts::new(circuit.num_clbits());
+    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
+        compile_with(circuit, None, self.options())
+    }
 
-        if is_sample_friendly(circuit) {
-            let state = self.statevector(&circuit.without_final_measurements())?;
-            // Qubit-to-clbit mapping of the trailing measurements.
-            let mapping: Vec<(usize, usize)> = circuit
-                .instructions()
-                .iter()
-                .filter(|i| matches!(i.kind(), OpKind::Measure))
-                .map(|i| (i.qubits()[0].index(), i.clbits()[0].index()))
-                .collect();
+    fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
+        // The sample-once path is only sound for noise-free programs: a
+        // caller may hand this ideal backend a program compiled against a
+        // noise model, and those pre-bound channels only execute on the
+        // per-shot path.
+        if let (Some(fp), false) = (program.fast_path(), program.is_noisy()) {
+            // Evolve the unitary prefix once, then sample `shots` times.
+            let mut counts = Counts::new(program.num_clbits());
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let mut state = StateVector::zero_state(program.num_qubits());
+            for op in &program.ops()[..fp.unitary_prefix] {
+                apply_compiled_unitary(&mut state, &op.kind)?;
+            }
             for _ in 0..shots {
                 let idx = state.sample_index(&mut rng);
                 let mut key = 0u64;
-                for (q, c) in &mapping {
-                    if (idx >> q) & 1 == 1 {
-                        key |= 1 << c;
-                    }
+                // Mask-then-set in measurement order so duplicate clbits
+                // are last-write-wins, matching per-shot execution.
+                for (q, c) in &fp.mapping {
+                    let bit = (idx >> q) & 1;
+                    key = (key & !(1 << c)) | ((bit as u64) << c);
                 }
                 counts.record(key, 1);
             }
@@ -293,13 +517,7 @@ impl Backend for StatevectorBackend {
             });
         }
 
-        let mut discarded = 0u64;
-        for _ in 0..shots {
-            match run_shot(circuit, None, &mut rng)? {
-                Some(record) => counts.record(record.clbits, 1),
-                None => discarded += 1,
-            }
-        }
+        let (counts, discarded) = run_compiled_sharded(program, shots, self.seed, self.threads)?;
         if shots > 0 && discarded == shots {
             return Err(SimError::AllShotsDiscarded);
         }
@@ -317,6 +535,7 @@ pub struct TrajectoryBackend {
     noise: NoiseModel,
     seed: u64,
     threads: usize,
+    fuse_1q: bool,
 }
 
 impl TrajectoryBackend {
@@ -326,6 +545,7 @@ impl TrajectoryBackend {
             noise,
             seed: 0,
             threads: 1,
+            fuse_1q: true,
         }
     }
 
@@ -349,27 +569,17 @@ impl TrajectoryBackend {
         self
     }
 
+    /// Enables or disables single-qubit gate fusion (on by default;
+    /// gates carrying noise channels never fuse past their channel).
+    #[must_use]
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse_1q = fuse;
+        self
+    }
+
     /// The underlying noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
-    }
-
-    fn run_shard(
-        &self,
-        circuit: &QuantumCircuit,
-        shots: u64,
-        shard_seed: u64,
-    ) -> Result<(Counts, u64), SimError> {
-        let mut rng = StdRng::seed_from_u64(shard_seed);
-        let mut counts = Counts::new(circuit.num_clbits());
-        let mut discarded = 0u64;
-        for _ in 0..shots {
-            match run_shot(circuit, Some(&self.noise), &mut rng)? {
-                Some(record) => counts.record(record.clbits, 1),
-                None => discarded += 1,
-            }
-        }
-        Ok((counts, discarded))
     }
 }
 
@@ -378,45 +588,18 @@ impl Backend for TrajectoryBackend {
         "trajectory (noisy)"
     }
 
-    fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
-        if circuit.num_clbits() > 64 {
-            return Err(SimError::TooManyClbits {
-                num_clbits: circuit.num_clbits(),
-            });
-        }
-        let threads = self.threads.min(shots.max(1) as usize).max(1);
-        let mut counts = Counts::new(circuit.num_clbits());
-        let mut discarded = 0u64;
+    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
+        compile_with(
+            circuit,
+            Some(&self.noise),
+            CompileOptions {
+                fuse_1q: self.fuse_1q,
+            },
+        )
+    }
 
-        if threads == 1 {
-            let (c, d) = self.run_shard(circuit, shots, self.seed)?;
-            counts = c;
-            discarded = d;
-        } else {
-            let per = shots / threads as u64;
-            let extra = shots % threads as u64;
-            let results: Vec<Result<(Counts, u64), SimError>> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for t in 0..threads {
-                    let shard_shots = per + u64::from((t as u64) < extra);
-                    let shard_seed = self
-                        .seed
-                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
-                    handles.push(
-                        scope.spawn(move || self.run_shard(circuit, shard_shots, shard_seed)),
-                    );
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard thread panicked"))
-                    .collect()
-            });
-            for r in results {
-                let (c, d) = r?;
-                counts.merge(&c);
-                discarded += d;
-            }
-        }
+    fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
+        let (counts, discarded) = run_compiled_sharded(program, shots, self.seed, self.threads)?;
         if shots > 0 && discarded == shots {
             return Err(SimError::AllShotsDiscarded);
         }
@@ -456,6 +639,7 @@ impl ExactDistribution {
 #[derive(Clone, Debug)]
 pub struct DensityMatrixBackend {
     noise: Option<NoiseModel>,
+    fuse_1q: bool,
 }
 
 /// One branch of the exact executor: a conditional mixed state with the
@@ -470,15 +654,29 @@ struct Branch {
 impl DensityMatrixBackend {
     /// Creates an exact noisy backend.
     pub fn new(noise: NoiseModel) -> Self {
-        DensityMatrixBackend { noise: Some(noise) }
+        DensityMatrixBackend {
+            noise: Some(noise),
+            fuse_1q: true,
+        }
     }
 
     /// Creates an exact ideal backend.
     pub fn ideal() -> Self {
-        DensityMatrixBackend { noise: None }
+        DensityMatrixBackend {
+            noise: None,
+            fuse_1q: true,
+        }
     }
 
-    /// Computes the exact classical-outcome distribution of `circuit`.
+    /// Enables or disables single-qubit gate fusion (on by default).
+    #[must_use]
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse_1q = fuse;
+        self
+    }
+
+    /// Computes the exact classical-outcome distribution of `circuit`
+    /// (compiles, then evaluates).
     ///
     /// # Errors
     ///
@@ -488,11 +686,21 @@ impl DensityMatrixBackend {
         &self,
         circuit: &QuantumCircuit,
     ) -> Result<ExactDistribution, SimError> {
-        if circuit.num_clbits() > 64 {
-            return Err(SimError::TooManyClbits {
-                num_clbits: circuit.num_clbits(),
-            });
-        }
+        let program = Backend::compile(self, circuit)?;
+        self.exact_distribution_compiled(&program)
+    }
+
+    /// Computes the exact classical-outcome distribution of an
+    /// already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when post-selection removes all probability
+    /// weight.
+    pub fn exact_distribution_compiled(
+        &self,
+        program: &CompiledProgram,
+    ) -> Result<ExactDistribution, SimError> {
         let reset_channel = Kraus::from_ops(vec![
             {
                 // |0⟩⟨0|
@@ -510,61 +718,52 @@ impl DensityMatrixBackend {
 
         let mut branches = vec![Branch {
             weight: 1.0,
-            rho: DensityMatrix::zero_state(circuit.num_qubits()),
+            rho: DensityMatrix::zero_state(program.num_qubits()),
             clbits: 0,
         }];
         let mut discarded_weight = 0.0;
 
-        for instr in circuit.instructions() {
+        for op in program.ops() {
+            // Materialize a wide unitary's dense matrix once per op, not
+            // once per branch (branch counts grow with measurements);
+            // single-qubit ops use the 2×2 kernel and need no densifying.
+            let unitary = match &op.kind {
+                CompiledKind::Unitary1q { .. } => None,
+                other => other.unitary_matrix(),
+            };
             let mut next: Vec<Branch> = Vec::with_capacity(branches.len());
             for mut branch in branches {
-                let condition_met = instr
-                    .condition()
+                let condition_met = op
+                    .condition
                     .map(|c| ((branch.clbits >> c.clbit.index()) & 1 == 1) == c.value)
                     .unwrap_or(true);
                 if !condition_met {
                     next.push(branch);
                     continue;
                 }
-                match instr.kind() {
-                    OpKind::Gate(g) => {
-                        branch.rho.apply_gate(g, instr.qubits())?;
-                        if let Some(model) = &self.noise {
-                            for applied in model.channels_for(instr) {
-                                branch.rho.apply_kraus(&applied.kraus, &applied.qubits)?;
-                            }
-                        }
-                        next.push(branch);
-                    }
-                    OpKind::Barrier => next.push(branch),
-                    OpKind::Reset => {
-                        branch.rho.apply_kraus(&reset_channel, instr.qubits())?;
-                        next.push(branch);
-                    }
-                    OpKind::Measure => {
-                        let qubit = instr.qubits()[0];
-                        let c = instr.clbits()[0].index();
-                        let p1 = branch.rho.probability_of_one(qubit)?;
-                        let readout = self
-                            .noise
-                            .as_ref()
-                            .map(|m| m.readout_error(qubit))
-                            .unwrap_or_default();
+                match &op.kind {
+                    CompiledKind::Measure {
+                        qubit,
+                        clbit,
+                        readout,
+                    } => {
+                        let p1 = branch.rho.probability_of_one(*qubit)?;
+                        let readout = readout.unwrap_or_default();
                         for actual in [false, true] {
                             let p_actual = if actual { p1 } else { 1.0 - p1 };
                             if branch.weight * p_actual < PRUNE_EPS {
                                 continue;
                             }
                             let mut projected = branch.rho.clone();
-                            projected.project(qubit, actual)?;
+                            projected.project(*qubit, actual)?;
                             for recorded in [false, true] {
                                 let p_rec = readout.p_record(actual, recorded);
                                 let w = branch.weight * p_actual * p_rec;
                                 if w < PRUNE_EPS {
                                     continue;
                                 }
-                                let clbits = (branch.clbits & !(1 << c))
-                                    | (u64::from(recorded) << c);
+                                let clbits = (branch.clbits & !(1 << clbit))
+                                    | (u64::from(recorded) << clbit);
                                 next.push(Branch {
                                     weight: w,
                                     rho: projected.clone(),
@@ -573,16 +772,36 @@ impl DensityMatrixBackend {
                             }
                         }
                     }
-                    OpKind::PostSelect { outcome } => {
-                        let qubit = instr.qubits()[0];
-                        let p1 = branch.rho.probability_of_one(qubit)?;
+                    CompiledKind::Reset { qubit } => {
+                        branch.rho.apply_kraus(&reset_channel, &[*qubit])?;
+                        next.push(branch);
+                    }
+                    CompiledKind::PostSelect { qubit, outcome } => {
+                        let p1 = branch.rho.probability_of_one(*qubit)?;
                         let p_keep = if *outcome { p1 } else { 1.0 - p1 };
                         discarded_weight += branch.weight * (1.0 - p_keep);
                         if branch.weight * p_keep < PRUNE_EPS {
                             continue;
                         }
-                        branch.rho.project(qubit, *outcome)?;
+                        branch.rho.project(*qubit, *outcome)?;
                         branch.weight *= p_keep;
+                        next.push(branch);
+                    }
+                    CompiledKind::Unitary1q { qubit, matrix, .. } => {
+                        // Specialized 2×2 kernel — the most common op
+                        // after fusion; skips the dense path entirely.
+                        branch.rho.apply_mat2(matrix, *qubit)?;
+                        for applied in &op.noise {
+                            branch.rho.apply_kraus(&applied.kraus, &applied.qubits)?;
+                        }
+                        next.push(branch);
+                    }
+                    _ => {
+                        let (qubits, matrix) = unitary.as_ref().expect("unitary compiled op");
+                        branch.rho.apply_matrix(matrix, qubits)?;
+                        for applied in &op.noise {
+                            branch.rho.apply_kraus(&applied.kraus, &applied.qubits)?;
+                        }
                         next.push(branch);
                     }
                 }
@@ -601,7 +820,7 @@ impl DensityMatrixBackend {
         let mut outcomes: Vec<(u64, f64)> = grouped.into_iter().collect();
         outcomes.sort_unstable_by_key(|(k, _)| *k);
         Ok(ExactDistribution {
-            num_clbits: circuit.num_clbits(),
+            num_clbits: program.num_clbits(),
             outcomes,
             discarded_weight,
         })
@@ -616,10 +835,20 @@ impl Backend for DensityMatrixBackend {
         }
     }
 
+    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
+        compile_with(
+            circuit,
+            self.noise.as_ref(),
+            CompileOptions {
+                fuse_1q: self.fuse_1q,
+            },
+        )
+    }
+
     /// Deterministic counts: expected shot counts from the exact
     /// distribution via largest-remainder rounding (no sampling noise).
-    fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
-        let dist = self.exact_distribution(circuit)?;
+    fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
+        let dist = self.exact_distribution_compiled(program)?;
         let discarded = (dist.discarded_weight * shots as f64).round() as u64;
         let kept_shots = shots - discarded.min(shots);
 
@@ -664,7 +893,10 @@ mod tests {
     fn ideal_bell_sampling_only_hits_00_and_11() {
         let mut bell = library::bell();
         bell.measure_all();
-        let result = StatevectorBackend::new().with_seed(1).run(&bell, 2000).unwrap();
+        let result = StatevectorBackend::new()
+            .with_seed(1)
+            .run(&bell, 2000)
+            .unwrap();
         assert_eq!(result.counts.total(), 2000);
         assert_eq!(result.counts.get(0b01), 0);
         assert_eq!(result.counts.get(0b10), 0);
@@ -676,26 +908,49 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let mut bell = library::bell();
         bell.measure_all();
-        let a = StatevectorBackend::new().with_seed(9).run(&bell, 500).unwrap();
-        let b = StatevectorBackend::new().with_seed(9).run(&bell, 500).unwrap();
+        let a = StatevectorBackend::new()
+            .with_seed(9)
+            .run(&bell, 500)
+            .unwrap();
+        let b = StatevectorBackend::new()
+            .with_seed(9)
+            .run(&bell, 500)
+            .unwrap();
         assert_eq!(a.counts, b.counts);
     }
 
     #[test]
     fn fast_path_and_slow_path_agree_statistically() {
-        // Same circuit, one variant with a barrier after measurement to
-        // defeat the suffix detection... barriers are fine; use a
-        // conditioned identity instead.
+        // Same circuit, one variant with a conditioned identity appended
+        // to defeat the compile-time fast-path analysis.
         let mut fast = library::bell();
         fast.measure_all();
         let mut slow = library::bell();
         slow.measure_all();
         slow.gate_if(qcircuit::Gate::I, [0usize], 0, true).unwrap();
-        assert!(is_sample_friendly(&fast));
-        assert!(!is_sample_friendly(&slow));
-        let fa = StatevectorBackend::new().with_seed(2).run(&fast, 4000).unwrap();
-        let sl = StatevectorBackend::new().with_seed(3).run(&slow, 4000).unwrap();
+        let backend = StatevectorBackend::new();
+        assert!(backend.compile(&fast).unwrap().fast_path().is_some());
+        assert!(backend.compile(&slow).unwrap().fast_path().is_none());
+        let fa = StatevectorBackend::new()
+            .with_seed(2)
+            .run(&fast, 4000)
+            .unwrap();
+        let sl = StatevectorBackend::new()
+            .with_seed(3)
+            .run(&slow, 4000)
+            .unwrap();
         assert!(fa.counts.tvd(&sl.counts) < 0.05);
+    }
+
+    #[test]
+    fn compile_once_run_many_reuses_the_program() {
+        let mut bell = library::bell();
+        bell.measure_all();
+        let backend = StatevectorBackend::new().with_seed(4);
+        let program = backend.compile(&bell).unwrap();
+        let via_program = backend.run_compiled(&program, 600).unwrap();
+        let via_circuit = backend.run(&bell, 600).unwrap();
+        assert_eq!(via_program.counts, via_circuit.counts);
     }
 
     #[test]
@@ -714,15 +969,26 @@ mod tests {
         let result = StatevectorBackend::new().with_seed(4).run(&c, 300).unwrap();
         // Bit 2 of every outcome must be 1.
         for (key, n) in result.counts.iter() {
-            assert!(n == 0 || (key >> 2) & 1 == 1, "teleported bit wrong in {key:03b}");
+            assert!(
+                n == 0 || (key >> 2) & 1 == 1,
+                "teleported bit wrong in {key:03b}"
+            );
         }
     }
 
     #[test]
     fn post_selection_discards_and_errors_when_impossible() {
         let mut c = qcircuit::QuantumCircuit::new(1, 1);
-        c.h(0).unwrap().post_select(0, true).unwrap().measure(0, 0).unwrap();
-        let result = StatevectorBackend::new().with_seed(5).run(&c, 1000).unwrap();
+        c.h(0)
+            .unwrap()
+            .post_select(0, true)
+            .unwrap()
+            .measure(0, 0)
+            .unwrap();
+        let result = StatevectorBackend::new()
+            .with_seed(5)
+            .run(&c, 1000)
+            .unwrap();
         assert!(result.shots_discarded > 300 && result.shots_discarded < 700);
         assert_eq!(result.counts.get(0), 0);
         assert_eq!(result.counts.get(1), result.shots_kept());
@@ -733,6 +999,29 @@ mod tests {
             StatevectorBackend::new().run(&imp, 100).unwrap_err(),
             SimError::AllShotsDiscarded
         );
+    }
+
+    #[test]
+    fn statevector_slow_path_shards_deterministically() {
+        let mut c = qcircuit::QuantumCircuit::new(2, 2);
+        c.h(0).unwrap();
+        c.measure(0, 0).unwrap();
+        c.cx(0, 1).unwrap(); // mid-circuit measurement: per-shot path
+        c.measure(1, 1).unwrap();
+        let a = StatevectorBackend::new()
+            .with_seed(3)
+            .with_threads(4)
+            .run(&c, 999)
+            .unwrap();
+        let b = StatevectorBackend::new()
+            .with_seed(3)
+            .with_threads(4)
+            .run(&c, 999)
+            .unwrap();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.counts.total(), 999);
+        // Outcomes stay correlated through the sharded path.
+        assert_eq!(a.counts.get(0b01) + a.counts.get(0b10), 0);
     }
 
     #[test]
@@ -752,7 +1041,10 @@ mod tests {
         let mut bell = library::bell();
         bell.measure_all();
         let noise = presets::uniform(2, 0.0, 0.3, 0.0).unwrap();
-        let result = TrajectoryBackend::new(noise).with_seed(7).run(&bell, 4000).unwrap();
+        let result = TrajectoryBackend::new(noise)
+            .with_seed(7)
+            .run(&bell, 4000)
+            .unwrap();
         let bad = result.counts.get(0b01) + result.counts.get(0b10);
         assert!(bad > 100, "expected depolarizing leakage, got {bad}");
     }
@@ -763,7 +1055,10 @@ mod tests {
         c.measure(0, 0).unwrap();
         let mut noise = qnoise::NoiseModel::new();
         noise.with_readout_error(0, ReadoutError::new(0.25, 0.0).unwrap());
-        let result = TrajectoryBackend::new(noise).with_seed(8).run(&c, 8000).unwrap();
+        let result = TrajectoryBackend::new(noise)
+            .with_seed(8)
+            .run(&c, 8000)
+            .unwrap();
         let p1 = result.counts.probability(1);
         assert!((p1 - 0.25).abs() < 0.02, "p1 = {p1}");
     }
@@ -791,7 +1086,9 @@ mod tests {
     fn density_ideal_bell_distribution_is_exact() {
         let mut bell = library::bell();
         bell.measure_all();
-        let dist = DensityMatrixBackend::ideal().exact_distribution(&bell).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(&bell)
+            .unwrap();
         assert_eq!(dist.outcomes.len(), 2);
         assert!((dist.probability(0b00) - 0.5).abs() < 1e-12);
         assert!((dist.probability(0b11) - 0.5).abs() < 1e-12);
@@ -814,7 +1111,9 @@ mod tests {
         c.measure(0, 0).unwrap();
         let mut noise = qnoise::NoiseModel::new();
         noise.with_readout_error(0, ReadoutError::new(0.1, 0.0).unwrap());
-        let dist = DensityMatrixBackend::new(noise).exact_distribution(&c).unwrap();
+        let dist = DensityMatrixBackend::new(noise)
+            .exact_distribution(&c)
+            .unwrap();
         assert!((dist.probability(1) - 0.1).abs() < 1e-12);
     }
 
@@ -823,7 +1122,9 @@ mod tests {
         let mut bell = library::bell();
         bell.measure_all();
         let noise = presets::uniform(2, 0.01, 0.08, 0.03).unwrap();
-        let exact = DensityMatrixBackend::new(noise.clone()).run(&bell, 1 << 16).unwrap();
+        let exact = DensityMatrixBackend::new(noise.clone())
+            .run(&bell, 1 << 16)
+            .unwrap();
         let sampled = TrajectoryBackend::new(noise)
             .with_seed(13)
             .with_threads(2)
@@ -836,8 +1137,15 @@ mod tests {
     #[test]
     fn density_post_selection_tracks_discarded_weight() {
         let mut c = qcircuit::QuantumCircuit::new(1, 1);
-        c.h(0).unwrap().post_select(0, false).unwrap().measure(0, 0).unwrap();
-        let dist = DensityMatrixBackend::ideal().exact_distribution(&c).unwrap();
+        c.h(0)
+            .unwrap()
+            .post_select(0, false)
+            .unwrap()
+            .measure(0, 0)
+            .unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(&c)
+            .unwrap();
         assert!((dist.discarded_weight - 0.5).abs() < 1e-12);
         assert!((dist.probability(0) - 1.0).abs() < 1e-12);
     }
@@ -855,7 +1163,9 @@ mod tests {
         )
         .unwrap();
         c.measure(2, 2).unwrap();
-        let dist = DensityMatrixBackend::ideal().exact_distribution(&c).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(&c)
+            .unwrap();
         // Marginal of bit 2 must be deterministic 1.
         let p_bit2: f64 = dist
             .outcomes
@@ -872,7 +1182,9 @@ mod tests {
         c.h(0).unwrap();
         c.reset(0).unwrap();
         c.measure(0, 0).unwrap();
-        let dist = DensityMatrixBackend::ideal().exact_distribution(&c).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(&c)
+            .unwrap();
         assert!((dist.probability(0) - 1.0).abs() < 1e-12);
     }
 
@@ -885,7 +1197,9 @@ mod tests {
         c.measure(0, 0).unwrap();
         c.cx(0, 1).unwrap();
         c.measure(1, 1).unwrap();
-        let dist = DensityMatrixBackend::ideal().exact_distribution(&c).unwrap();
+        let dist = DensityMatrixBackend::ideal()
+            .exact_distribution(&c)
+            .unwrap();
         assert!((dist.probability(0b00) - 0.5).abs() < 1e-12);
         assert!((dist.probability(0b11) - 0.5).abs() < 1e-12);
         assert_eq!(dist.probability(0b01), 0.0);
@@ -901,5 +1215,56 @@ mod tests {
             TrajectoryBackend::new(presets::ideal()).name(),
             DensityMatrixBackend::new(presets::ideal()).name()
         );
+    }
+
+    #[test]
+    fn fast_path_duplicate_clbits_are_last_write_wins() {
+        // Two trailing measurements into the same clbit: per-shot
+        // semantics keep the later one (qubit 0 = |0⟩), and the
+        // sample-once fast path must agree.
+        let mut c = qcircuit::QuantumCircuit::new(2, 1);
+        c.x(1).unwrap();
+        c.measure(1, 0).unwrap();
+        c.measure(0, 0).unwrap();
+        let backend = StatevectorBackend::new().with_seed(3);
+        assert!(backend.compile(&c).unwrap().fast_path().is_some());
+        let fast = backend.run(&c, 100).unwrap();
+        assert_eq!(fast.counts.get(0), 100, "later measurement must win");
+
+        // Same circuit with the fast path defeated agrees.
+        let mut slow = c.clone();
+        slow.gate_if(qcircuit::Gate::I, [0usize], 0, true).unwrap();
+        let slow_result = backend.run(&slow, 100).unwrap();
+        assert_eq!(fast.counts, slow_result.counts);
+    }
+
+    #[test]
+    fn noisy_programs_skip_the_ideal_fast_path() {
+        // A program compiled against a noise model carries pre-bound
+        // readout errors; the ideal backend must not take the
+        // sample-once path (which would silently drop them).
+        let mut c = qcircuit::QuantumCircuit::new(1, 1);
+        c.measure(0, 0).unwrap();
+        let mut noise = qnoise::NoiseModel::new();
+        noise.with_readout_error(0, ReadoutError::new(0.25, 0.0).unwrap());
+        let program = crate::compile::compile(&c, Some(&noise)).unwrap();
+        assert!(program.fast_path().is_some() && program.is_noisy());
+        let result = StatevectorBackend::new()
+            .with_seed(2)
+            .run_compiled(&program, 8000)
+            .unwrap();
+        let p1 = result.counts.probability(1);
+        assert!((p1 - 0.25).abs() < 0.02, "readout noise dropped: p1 = {p1}");
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let s: Vec<u64> = (0..8).map(|t| shard_seed(42, t)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        // threads == 1 uses the backend seed directly, not shard 0.
+        assert_ne!(shard_seed(42, 0), 42);
     }
 }

@@ -79,9 +79,9 @@ impl PauliString {
         for (q, p) in pairs {
             let q = q.into();
             if seen.contains(&q) {
-                return Err(SimError::Circuit(
-                    qcircuit::CircuitError::DuplicateQubit { qubit: q.index() },
-                ));
+                return Err(SimError::Circuit(qcircuit::CircuitError::DuplicateQubit {
+                    qubit: q.index(),
+                }));
             }
             seen.push(q);
             if p != Pauli::I {
@@ -129,7 +129,7 @@ impl PauliString {
                 Pauli::Y => {
                     mask |= 1 << q.index();
                     // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                    coeff = coeff * if bit == 0 { Complex::I } else { -Complex::I };
+                    coeff *= if bit == 0 { Complex::I } else { -Complex::I };
                 }
                 Pauli::Z => {
                     if bit == 1 {
@@ -273,8 +273,13 @@ mod tests {
     #[test]
     fn bell_state_correlations() {
         let bell = bell();
-        for (label, expected) in [("ZZ", 1.0), ("XX", 1.0), ("YY", -1.0), ("ZI", 0.0), ("IZ", 0.0)]
-        {
+        for (label, expected) in [
+            ("ZZ", 1.0),
+            ("XX", 1.0),
+            ("YY", -1.0),
+            ("ZI", 0.0),
+            ("IZ", 0.0),
+        ] {
             let p = PauliString::parse(label).unwrap();
             let v = p.expectation(&bell).unwrap();
             assert!((v - expected).abs() < 1e-12, "{label}: {v}");
@@ -306,7 +311,10 @@ mod tests {
             .unwrap();
         for label in ["X", "Y", "Z"] {
             let p = PauliString::parse(label).unwrap();
-            assert!(p.expectation_density(&rho).unwrap().abs() < 1e-10, "{label}");
+            assert!(
+                p.expectation_density(&rho).unwrap().abs() < 1e-10,
+                "{label}"
+            );
         }
     }
 
@@ -319,11 +327,17 @@ mod tests {
             let mut psi = bell();
             psi.apply_gate(&Gate::Ry(angle), &[1.into()]).unwrap();
             let label = format!("Z{pauli0}"); // qubit1 = Z (left), qubit0 = pauli0
-            PauliString::parse(&label).unwrap().expectation(&psi).unwrap()
+            PauliString::parse(&label)
+                .unwrap()
+                .expectation(&psi)
+                .unwrap()
         };
         let pi4 = std::f64::consts::FRAC_PI_4;
         let chsh = s(-pi4, 'Z') + s(pi4, 'Z') + s(-pi4, 'X') - s(pi4, 'X');
-        assert!((chsh - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-10, "S = {chsh}");
+        assert!(
+            (chsh - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-10,
+            "S = {chsh}"
+        );
     }
 
     #[test]

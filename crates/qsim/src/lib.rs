@@ -11,9 +11,16 @@
 //!   partial trace,
 //! * [`Counts`] — outcome histograms with the post-selection filtering
 //!   ([`Counts::filter_bit`]) at the heart of the paper's NISQ use case,
+//! * [`compile`] / [`program`] — the compile-once execution layer:
+//!   circuits lower to a [`CompiledProgram`] (matrices pre-materialized,
+//!   adjacent single-qubit gates fused, noise channels pre-bound, the
+//!   statevector fast path decided up front) that the per-shot hot loops
+//!   execute,
 //! * [`Backend`] implementations: [`StatevectorBackend`] (ideal),
 //!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded), and
-//!   [`DensityMatrixBackend`] (exact noisy with measurement branching).
+//!   [`DensityMatrixBackend`] (exact noisy with measurement branching) —
+//!   all consuming [`CompiledProgram`] through a shared deterministic
+//!   shot-sharding harness ([`run_compiled_sharded`]).
 //!
 //! # Bit conventions
 //!
@@ -39,19 +46,23 @@
 //! ```
 
 pub mod apply;
+pub mod compile;
 pub mod counts;
 pub mod density;
 pub mod error;
 pub mod executor;
 pub mod expectation;
+pub mod program;
 pub mod statevector;
 
+pub use compile::{compile, compile_with, CompileOptions};
 pub use counts::{bitstring, key_from_str, Counts};
-pub use expectation::{Pauli, PauliString};
 pub use density::DensityMatrix;
 pub use error::SimError;
 pub use executor::{
-    run_shot, Backend, DensityMatrixBackend, ExactDistribution, RunResult, ShotRecord,
-    StatevectorBackend, TrajectoryBackend,
+    run_compiled_sharded, run_compiled_shot, run_shot, shard_seed, Backend, DensityMatrixBackend,
+    ExactDistribution, RunResult, ShotRecord, StatevectorBackend, TrajectoryBackend,
 };
+pub use expectation::{Pauli, PauliString};
+pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
 pub use statevector::StateVector;

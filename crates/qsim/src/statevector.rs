@@ -8,7 +8,7 @@
 //! inspection helpers the paper-proof tests rely on (probabilities,
 //! fidelity, Z expectations).
 
-use crate::apply::{apply_controlled_mat2_at, apply_matrix_at, apply_mat2_at};
+use crate::apply::{apply_controlled_mat2_at, apply_mat2_at, apply_matrix_at};
 use crate::error::SimError;
 use qcircuit::{Gate, QubitId};
 use qmath::{CMatrix, Complex, Mat2};
@@ -49,7 +49,10 @@ impl StateVector {
     /// Panics when `num_qubits >= 30` (the amplitude buffer would exceed
     /// practical memory for this suite's use cases).
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits < 30, "state of 2^{num_qubits} amplitudes is too large");
+        assert!(
+            num_qubits < 30,
+            "state of 2^{num_qubits} amplitudes is too large"
+        );
         let mut amps = vec![Complex::ZERO; 1 << num_qubits];
         amps[0] = Complex::ONE;
         StateVector { num_qubits, amps }
@@ -140,12 +143,7 @@ impl StateVector {
                     _ => unreachable!(),
                 };
                 let m = target_gate.mat2().expect("controlled target is 1q");
-                apply_controlled_mat2_at(
-                    &mut self.amps,
-                    qubits[0].index(),
-                    qubits[1].index(),
-                    &m,
-                );
+                apply_controlled_mat2_at(&mut self.amps, qubits[0].index(), qubits[1].index(), &m);
                 Ok(())
             }
             _ => {
@@ -165,6 +163,26 @@ impl StateVector {
     pub fn apply_mat2(&mut self, m: &Mat2, qubit: QubitId) -> Result<(), SimError> {
         let bit = self.check_qubit(qubit)?;
         apply_mat2_at(&mut self.amps, bit, m);
+        Ok(())
+    }
+
+    /// Applies a controlled 2×2 unitary: `m` acts on `target` when
+    /// `control` is set. This is the compiled-program entry point for
+    /// every controlled gate (CX, CZ, CY, CH, CP) — identical arithmetic
+    /// to the [`StateVector::apply_gate`] fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for a bad operand.
+    pub fn apply_controlled_mat2(
+        &mut self,
+        m: &Mat2,
+        control: QubitId,
+        target: QubitId,
+    ) -> Result<(), SimError> {
+        let c = self.check_qubit(control)?;
+        let t = self.check_qubit(target)?;
+        apply_controlled_mat2_at(&mut self.amps, c, t, m);
         Ok(())
     }
 
@@ -310,7 +328,9 @@ impl StateVector {
     /// Returns [`SimError::InvalidAmplitudeCount`] when the sizes differ.
     pub fn inner_product(&self, other: &StateVector) -> Result<Complex, SimError> {
         if self.amps.len() != other.amps.len() {
-            return Err(SimError::InvalidAmplitudeCount { len: other.amps.len() });
+            return Err(SimError::InvalidAmplitudeCount {
+                len: other.amps.len(),
+            });
         }
         Ok(self
             .amps
@@ -364,10 +384,7 @@ mod tests {
         assert!(StateVector::from_amplitudes(vec![Complex::ONE; 3]).is_err());
         assert!(StateVector::from_amplitudes(vec![Complex::ONE; 2]).is_err()); // norm 2
         let s = FRAC_1_SQRT_2;
-        let ok = StateVector::from_amplitudes(vec![
-            Complex::real(s),
-            Complex::real(s),
-        ]);
+        let ok = StateVector::from_amplitudes(vec![Complex::real(s), Complex::real(s)]);
         assert!(ok.is_ok());
     }
 
@@ -375,8 +392,12 @@ mod tests {
     fn hadamard_creates_plus_state() {
         let mut psi = StateVector::zero_state(1);
         psi.apply_gate(&Gate::H, &[q(0)]).unwrap();
-        assert!(psi.amplitude(0).approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
-        assert!(psi.amplitude(1).approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(psi
+            .amplitude(0)
+            .approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(psi
+            .amplitude(1)
+            .approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
     }
 
     #[test]
@@ -446,7 +467,10 @@ mod tests {
         }
         let expected = (0.5f64).sin().powi(2); // sin²(θ/2) with θ = 1
         let observed = f64::from(ones) / f64::from(trials);
-        assert!((observed - expected).abs() < 0.03, "{observed} vs {expected}");
+        assert!(
+            (observed - expected).abs() < 0.03,
+            "{observed} vs {expected}"
+        );
     }
 
     #[test]
@@ -465,7 +489,10 @@ mod tests {
         let err = psi.post_select(q(0), true).unwrap_err();
         assert_eq!(
             err,
-            SimError::ImpossiblePostSelection { qubit: 0, outcome: true }
+            SimError::ImpossiblePostSelection {
+                qubit: 0,
+                outcome: true
+            }
         );
     }
 
@@ -521,7 +548,10 @@ mod tests {
         let mut psi = StateVector::zero_state(1);
         assert!(matches!(
             psi.apply_gate(&Gate::H, &[q(3)]),
-            Err(SimError::QubitOutOfRange { qubit: 3, num_qubits: 1 })
+            Err(SimError::QubitOutOfRange {
+                qubit: 3,
+                num_qubits: 1
+            })
         ));
         assert!(psi.probability_of_one(q(9)).is_err());
     }

@@ -155,8 +155,8 @@ proptest! {
         let p1 = psi.probability_of_one(q).unwrap();
         let mut a = psi.clone();
         let mut b = psi.clone();
-        let pa = a.post_select(q, true).map(|p| p).unwrap_or(0.0);
-        let pb = b.post_select(q, false).map(|p| p).unwrap_or(0.0);
+        let pa = a.post_select(q, true).unwrap_or(0.0);
+        let pb = b.post_select(q, false).unwrap_or(0.0);
         prop_assert!((pa + pb - 1.0).abs() < 1e-9);
         prop_assert!((pa - p1).abs() < 1e-9);
     }

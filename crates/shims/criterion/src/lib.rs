@@ -1,0 +1,250 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The build environment cannot fetch crates, so this shim provides the
+//! surface the suite's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], `criterion_group!`,
+//! `criterion_main!` — backed by a simple calibrated wall-clock harness:
+//! each benchmark is warmed up, then timed over enough iterations to fill
+//! a measurement window, and the per-iteration median of several samples
+//! is printed.
+//!
+//! Statistical machinery (outlier analysis, HTML reports) is out of
+//! scope; the numbers are good enough to compare compiled-vs-interpreted
+//! execution within one run on one machine, which is what the suite's
+//! benches are for.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Warm-up budget per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(20);
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Benchmarks `f`, keeping its return value alive via
+    /// [`std::hint::black_box`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up while estimating the iteration count per sample.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP_TARGET {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                self.iters_per_sample =
+                    ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        // Measurement samples.
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if s.is_empty() {
+            return f64::NAN;
+        }
+        s[s.len() / 2] * 1e9
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.median_ns();
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns / 1_000_000.0, "ms")
+    };
+    println!(
+        "bench {name:<52} {value:>10.3} {unit}/iter  ({} samples × {} iters)",
+        bencher.samples.len(),
+        bencher.iters_per_sample
+    );
+}
+
+/// Parameterized benchmark identifiers (`group/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id rendering as just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 11 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_count = self.sample_count;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        report(&format!("{}/{id}", self.name), &bencher);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher, input);
+        report(&format!("{}/{id}", self.name), &bencher);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Prevents the optimizer from eliding a value (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_positive_medians() {
+        let mut b = Bencher::new(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(b.median_ns() > 0.0);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

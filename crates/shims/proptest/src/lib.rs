@@ -1,0 +1,427 @@
+//! Offline, deterministic subset of the `proptest` API.
+//!
+//! The build environment cannot fetch crates, so this shim implements the
+//! slice of proptest the suite's property tests use:
+//!
+//! * [`Strategy`] over numeric ranges, tuples, [`Just`], mapped/filtered
+//!   strategies, and [`collection::vec`],
+//! * `any::<bool>()` / `any::<u64>()`,
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! * `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`.
+//!
+//! Unlike proptest proper there is **no shrinking** and generation is
+//! fully deterministic (a fixed seed per test body), which makes failures
+//! reproducible by construction and keeps CI stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// A value generator.
+///
+/// Implementors produce one value per [`Strategy::pick`] call; the
+/// [`proptest!`] macro drives `cases` picks per test.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling up to a bounded number
+    /// of times (proptest's `prop_filter`).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (**self).pick(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.pick(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let i = (rng.gen::<u64>() % self.options.len() as u64) as usize;
+        self.options[i].pick(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.gen::<u64>() % span) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u64, u32, usize, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// The `any::<T>()` entry point for the types the suite samples.
+pub trait Arbitrary: Sized {
+    /// A full-domain strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// A strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+struct AnyOf<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for AnyOf<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        Box::new(AnyOf(|rng| rng.gen::<bool>()))
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> BoxedStrategy<u64> {
+        Box::new(AnyOf(|rng| rng.gen::<u64>()))
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary() -> BoxedStrategy<u32> {
+        Box::new(AnyOf(|rng| rng.gen::<u32>()))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing vectors whose length is drawn from `len` and
+    /// whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// proptest's `collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.gen::<u64>() % span) as usize;
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` configuration (only the case count is honored).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a property-test file needs in one import.
+pub mod prelude {
+    pub use super::{
+        any, collection, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Deterministic seed for a test body, derived from its name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The deterministic per-test generator used by [`proptest!`] (named so
+/// the macro does not require `rand` in the consuming crate).
+pub fn rng_for(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// Defines deterministic property tests.
+///
+/// Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) ) => {};
+    (
+        @cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::pick(&($strat), &mut rng);)+
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed",
+                        case + 1,
+                        config.cases,
+                        stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// proptest's `prop_oneof!`: uniform choice between strategies of a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts inside a property body (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = <super::TestRng as rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = Strategy::pick(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let y = Strategy::pick(&(-1.5f64..2.5), &mut rng);
+            assert!((-1.5..2.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(0u64), (1u64..10).prop_map(|x| x * 100),];
+        let mut rng = <super::TestRng as rand::SeedableRng>::seed_from_u64(2);
+        let mut saw_zero = false;
+        let mut saw_mapped = false;
+        for _ in 0..100 {
+            match Strategy::pick(&strat, &mut rng) {
+                0 => saw_zero = true,
+                x if (100..1000).contains(&x) && x % 100 == 0 => saw_mapped = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw_zero && saw_mapped);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strat = collection::vec(0u64..5, 2..6);
+        let mut rng = <super::TestRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = Strategy::pick(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(a in 0u64..50, flip in any::<bool>()) {
+            let b = if flip { a } else { a + 1 };
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((x, y) in (0u32..4, 0u32..4)) {
+            prop_assert!(x < 4 && y < 4);
+        }
+    }
+}

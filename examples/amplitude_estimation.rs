@@ -21,7 +21,12 @@ fn assertion_fire_count(
 ) -> Result<u64, Box<dyn std::error::Error>> {
     let raw = backend.run(program.circuit(), shots)?;
     // Single assertion: its clbit is bit 0.
-    Ok(raw.counts.iter().filter(|(k, _)| k & 1 == 1).map(|(_, n)| n).sum())
+    Ok(raw
+        .counts
+        .iter()
+        .filter(|(k, _)| k & 1 == 1)
+        .map(|(_, n)| n)
+        .sum())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,15 +69,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. … and with normalization, the real amplitudes themselves
     //    (up to the a ↔ b ambiguity the assertion cannot resolve).
-    let (a_est, b_est) = estimate::real_amplitudes_from_cross_term(cross.value)
-        .expect("physical cross term");
+    let (a_est, b_est) =
+        estimate::real_amplitudes_from_cross_term(cross.value).expect("physical cross term");
     println!("\nrecovered amplitudes (larger first): a ≈ {a_est:.4}, b ≈ {b_est:.4}");
     println!(
         "true amplitudes (sorted):            a = {:.4}, b = {:.4}",
         a_true.max(b_true),
         a_true.min(b_true)
     );
-    let err = (a_est - a_true.max(b_true)).abs().max((b_est - a_true.min(b_true)).abs());
+    let err = (a_est - a_true.max(b_true))
+        .abs()
+        .max((b_est - a_true.min(b_true)).abs());
     println!("max amplitude error: {err:.4}");
     assert!(err < 0.02, "estimation drifted: {err}");
     Ok(())

@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("correct GHZ(k): paper-mode assertion error rates");
     for width in 2..=5 {
         let rate = detection_rate(EntanglementMode::Paper, width, false)?;
-        let assertion =
-            qassert::Assertion::entanglement(0..width, Parity::Even)?;
+        let assertion = qassert::Assertion::entanglement(0..width, Parity::Even)?;
         println!(
             "  k = {width}: error rate {rate:.4}, CNOT overhead {} (even rule)",
             assertion.cnot_overhead(EntanglementMode::Paper)
@@ -50,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = detection_rate(EntanglementMode::Paper, 4, true)?;
     let strong = detection_rate(EntanglementMode::Strong, 4, true)?;
     println!("  paper mode (1 ancilla):  detection probability {paper:.3}");
-    println!("  strong mode ({} ancillas): detection probability {strong:.3}", 3);
+    println!(
+        "  strong mode ({} ancillas): detection probability {strong:.3}",
+        3
+    );
     assert!(paper < 1e-9 && (strong - 1.0).abs() < 1e-9);
     println!("  → the single parity check is blind to parity-even bugs; strong mode is not.");
 
@@ -58,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut program =
         AssertingCircuit::new(qcircuit::library::ghz(3)).with_mode(EntanglementMode::Strong);
     program.assert_entangled([0, 1, 2], Parity::Even)?;
-    println!("\nstrong-mode GHZ(3) check:\n{}", qcircuit::display::render(program.circuit()));
+    println!(
+        "\nstrong-mode GHZ(3) check:\n{}",
+        qcircuit::display::render(program.circuit())
+    );
     Ok(())
 }

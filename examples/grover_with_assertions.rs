@@ -66,6 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.assertion_error_rate
     );
     println!("  P(found) unfiltered: {p_raw:.3}");
-    println!("  P(found) filtered:   {p_kept:.3}  (assertion filtering helps: {})", p_kept > p_raw);
+    println!(
+        "  P(found) filtered:   {p_kept:.3}  (assertion filtering helps: {})",
+        p_kept > p_raw
+    );
     Ok(())
 }

@@ -9,8 +9,8 @@
 //! directed coupling graph, run under calibrated noise, and print the
 //! paper-style outcome table plus the raw→filtered error-rate reduction.
 
-use qassert_suite::prelude::*;
 use qassert::OutcomeTable;
+use qassert_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Instrumented program.
@@ -53,9 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", table.render());
 
     // The headline metric: error rate before and after filtering.
-    let reduction = ErrorReduction::compute(&outcome.raw.counts, &program.assertion_clbits(), |k| {
-        ((k >> 1) & 1) == ((k >> 2) & 1)
-    });
+    let reduction =
+        ErrorReduction::compute(&outcome.raw.counts, &program.assertion_clbits(), |k| {
+            ((k >> 1) & 1) == ((k >> 2) & 1)
+        });
     println!("raw error rate:      {:.4}", reduction.raw);
     println!("filtered error rate: {:.4}", reduction.filtered);
     println!(

@@ -53,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let buggy = teleport(true)?;
     let raw = backend.run(buggy.circuit(), 2048)?;
     let rate = qassert::assertion_error_rate(&raw.counts, &buggy.assertion_clbits());
-    println!(
-        "buggy teleportation:   assertion error rate {rate:.4} (theory: 0.5 — bug detected!)"
-    );
+    println!("buggy teleportation:   assertion error rate {rate:.4} (theory: 0.5 — bug detected!)");
     assert!(rate > 0.4, "the missing-H bug must be visible");
 
     println!(

@@ -31,11 +31,8 @@ fn bell_assertion_pipeline_trajectory_vs_exact() {
     for raw in [exact, sampled] {
         let outcome = analyze(raw, &program).unwrap();
         let correct = |k: u64| ((k >> 1) & 1) == ((k >> 2) & 1);
-        let red = ErrorReduction::compute(
-            &outcome.raw.counts,
-            &program.assertion_clbits(),
-            correct,
-        );
+        let red =
+            ErrorReduction::compute(&outcome.raw.counts, &program.assertion_clbits(), correct);
         assert!(
             red.filtered < red.raw,
             "filtering failed: {} -> {}",
@@ -141,9 +138,7 @@ fn assertions_detect_coherent_overrotation() {
     program.assert_classical([0], [false]).unwrap();
 
     let mut noise = NoiseModel::with_name("coherent");
-    noise.with_default_1q(
-        Kraus::coherent_overrotation(qnoise::RotationAxis::X, 0.15).unwrap(),
-    );
+    noise.with_default_1q(Kraus::coherent_overrotation(qnoise::RotationAxis::X, 0.15).unwrap());
     let dist = DensityMatrixBackend::new(noise)
         .exact_distribution(program.circuit())
         .unwrap();

@@ -66,7 +66,10 @@ fn post_select_pragma_survives_round_trip_and_simulation() {
     circuit.measure(0, 0).unwrap();
 
     let parsed = qasm::from_qasm(&qasm::to_qasm(&circuit)).unwrap();
-    let result = StatevectorBackend::new().with_seed(3).run(&parsed, 400).unwrap();
+    let result = StatevectorBackend::new()
+        .with_seed(3)
+        .run(&parsed, 400)
+        .unwrap();
     // Post-selected on the Bell partner being 1 → q0 always 1.
     assert_eq!(result.counts.get(0), 0);
     assert!(result.shots_discarded > 0);

@@ -13,8 +13,8 @@ fn both_accept_correct_superposition() {
     let prefix = qcircuit::library::uniform_superposition(2);
 
     // Statistical: batch χ² test on the truncated program.
-    let stat = StatisticalAssertion::new([0, 1], StatisticalKind::UniformSuperposition, 0.01)
-        .unwrap();
+    let stat =
+        StatisticalAssertion::new([0, 1], StatisticalKind::UniformSuperposition, 0.01).unwrap();
     let verdict = stat.check(&ideal(), &prefix, 4000).unwrap();
     assert!(verdict.passed);
 
@@ -38,8 +38,7 @@ fn both_reject_bugged_superposition() {
     let mut prefix = QuantumCircuit::new(1, 0);
     prefix.t(0).unwrap(); // bug: should have been h(0)
 
-    let stat =
-        StatisticalAssertion::new([0], StatisticalKind::UniformSuperposition, 0.05).unwrap();
+    let stat = StatisticalAssertion::new([0], StatisticalKind::UniformSuperposition, 0.05).unwrap();
     let verdict = stat.check(&ideal(), &prefix, 4000).unwrap();
     assert!(!verdict.passed, "statistical missed the bug");
 
@@ -96,7 +95,9 @@ fn dynamic_detects_deterministic_bug_in_one_shot() {
 
     let stat = StatisticalAssertion::new(
         [0],
-        StatisticalKind::Classical { expected: vec![false] },
+        StatisticalKind::Classical {
+            expected: vec![false],
+        },
         0.05,
     )
     .unwrap();

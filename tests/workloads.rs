@@ -140,7 +140,12 @@ fn phase_estimation_exact_binary_fractions() {
         let phi = k as f64 / 8.0;
         let circuit = library::phase_estimation(phi, 3);
         let result = ideal().run(&circuit, 128).unwrap();
-        assert_eq!(result.counts.get(k), 128, "phi = {phi} gave {:?}", result.counts);
+        assert_eq!(
+            result.counts.get(k),
+            128,
+            "phi = {phi} gave {:?}",
+            result.counts
+        );
     }
 }
 
@@ -187,7 +192,6 @@ fn instrumented_bv_assertion_is_silent_and_answer_unchanged() {
 
 #[test]
 fn teleportation_of_random_states_has_unit_fidelity() {
-    
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for _ in 0..10 {
