@@ -1,0 +1,290 @@
+//! Assertion-sweep throughput: pooled + cached vs scoped + fresh-compile.
+//!
+//! The paper's assertion sweeps issue thousands of short `run_compiled`
+//! calls — one instrumented circuit per assertion point per noise
+//! level. This bench reproduces that call pattern (many small seeded
+//! runs of one instrumented circuit) and times the two execution
+//! strategies against each other:
+//!
+//! * **scoped** — PR 1 semantics: every call compiles the circuit
+//!   afresh and spawns scoped shard threads
+//!   (`run_compiled_sharded_scoped`),
+//! * **pooled** — this PR: calls compile through the keyed
+//!   `ProgramCache` (one miss, then hits) and execute shards on the
+//!   persistent work-stealing `ShardPool` (`run_compiled_sharded`).
+//!
+//! Both strategies are verified to produce **bit-identical counts** for
+//! every call before any number is reported. Results are written to
+//! `BENCH_sweep.json` (override with `--out`); `--check <baseline.json>`
+//! turns the run into a CI gate that fails when pooled per-shot time
+//! regresses more than the tolerance (default 25%, override with
+//! `BENCH_TOLERANCE_PCT`) against the checked-in baseline — unless the
+//! machine-independent same-run speedup still clears the baseline's
+//! `min_speedup` floor, which keeps the gate meaningful on CI runners
+//! whose absolute clock differs from the baseline machine's.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench sweep_throughput -- --quick --check
+//! ```
+//!
+//! Cargo runs bench binaries with the package directory as CWD;
+//! `--check` with no path uses the checked-in `sweep_baseline.json`
+//! next to this bench (resolved via `CARGO_MANIFEST_DIR`), and relative
+//! `--out`/`--check` paths resolve against `crates/bench/`.
+
+use qassert::{AssertingCircuit, Parity};
+use qcircuit::library;
+use qsim::{
+    run_compiled_sharded, run_compiled_sharded_scoped, Backend, ProgramCache, ShardPool,
+    TrajectoryBackend,
+};
+use std::time::Instant;
+
+/// One sweep configuration.
+struct Config {
+    mode: &'static str,
+    calls: usize,
+    shots: u64,
+    threads: usize,
+}
+
+/// Results of timing one strategy over the whole sweep.
+struct Timing {
+    wall_secs: f64,
+}
+
+fn instrumented_circuit() -> qcircuit::QuantumCircuit {
+    let mut ac = AssertingCircuit::new(library::bell());
+    ac.assert_entangled([0, 1], Parity::Even)
+        .expect("valid assertion targets");
+    ac.measure_data();
+    ac.circuit().clone()
+}
+
+fn backend() -> TrajectoryBackend {
+    // Mild uniform noise keeps the per-shot path honest (no sample-once
+    // fast path) without drowning the timing in Kraus sampling.
+    TrajectoryBackend::new(
+        qnoise::presets::uniform(3, 0.005, 0.02, 0.01).expect("valid noise parameters"),
+    )
+}
+
+/// The scoped reference strategy: fresh compile + scoped threads, per call.
+fn run_scoped(cfg: &Config) -> (Timing, Vec<qsim::Counts>) {
+    let circuit = instrumented_circuit();
+    let backend = backend();
+    let mut all_counts = Vec::with_capacity(cfg.calls);
+    let start = Instant::now();
+    for call in 0..cfg.calls {
+        let program = backend.compile(&circuit).expect("compiles");
+        let (counts, _) =
+            run_compiled_sharded_scoped(&program, cfg.shots, call as u64, cfg.threads)
+                .expect("runs");
+        all_counts.push(counts);
+    }
+    (
+        Timing {
+            wall_secs: start.elapsed().as_secs_f64(),
+        },
+        all_counts,
+    )
+}
+
+/// The pooled strategy: cached compile + persistent work-stealing pool.
+fn run_pooled(cfg: &Config, cache: &ProgramCache) -> (Timing, Vec<qsim::Counts>) {
+    let circuit = instrumented_circuit();
+    let backend = backend();
+    let mut all_counts = Vec::with_capacity(cfg.calls);
+    let start = Instant::now();
+    for call in 0..cfg.calls {
+        let program = backend.compile_cached(&circuit, cache).expect("compiles");
+        let (counts, _) =
+            run_compiled_sharded(&program, cfg.shots, call as u64, cfg.threads).expect("runs");
+        all_counts.push(counts);
+    }
+    (
+        Timing {
+            wall_secs: start.elapsed().as_secs_f64(),
+        },
+        all_counts,
+    )
+}
+
+/// Extracts `"key": number` from a flat JSON object (the baseline file
+/// is written by this bench, so a full parser is unnecessary).
+fn json_number_field(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    // A flag's value is the next argument unless it is itself a flag
+    // (cargo appends `--bench` to the argument list).
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            calls: 500,
+            shots: 32,
+            threads: 4,
+        }
+    } else {
+        Config {
+            mode: "full",
+            calls: 500,
+            shots: 256,
+            threads: 4,
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/sweep_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    // Warm up: fault in the shard pool's workers and let the CPU settle
+    // on both code paths, outside the timed windows.
+    let warmup = Config {
+        mode: "warmup",
+        calls: 16,
+        shots: cfg.shots,
+        threads: cfg.threads,
+    };
+    let _ = run_scoped(&warmup);
+    let _ = run_pooled(&warmup, &ProgramCache::new(8));
+
+    let (scoped, scoped_counts) = run_scoped(&cfg);
+    let cache = ProgramCache::new(8); // fresh: the sweep's own hit/miss profile
+    let (pooled, pooled_counts) = run_pooled(&cfg, &cache);
+
+    // Correctness before speed: the two strategies must agree
+    // shot-for-shot on every call of the sweep.
+    let identical = scoped_counts == pooled_counts;
+    assert!(
+        identical,
+        "pooled counts diverge from scoped counts — determinism broken"
+    );
+
+    let total_shots = cfg.calls as u64 * cfg.shots;
+    let per_shot_ns = pooled.wall_secs * 1e9 / total_shots as f64;
+    let speedup = scoped.wall_secs / pooled.wall_secs;
+    let stats = cache.stats();
+
+    println!(
+        "sweep_throughput [{}]: {} calls x {} shots, {} shards, pool workers {}",
+        cfg.mode,
+        cfg.calls,
+        cfg.shots,
+        cfg.threads,
+        ShardPool::global().workers(),
+    );
+    println!(
+        "  scoped+fresh-compile: {:>9.3} ms   pooled+cached: {:>9.3} ms   speedup {:.2}x",
+        scoped.wall_secs * 1e3,
+        pooled.wall_secs * 1e3,
+        speedup
+    );
+    println!(
+        "  per-shot {per_shot_ns:.1} ns   cache hits {} misses {} (hit rate {:.4})",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate()
+    );
+
+    let json = format!(
+        "{{\"bench\":\"sweep_throughput\",\"mode\":\"{}\",\"calls\":{},\"shots_per_call\":{},\
+         \"threads\":{},\"pool_workers\":{},\"scoped_ms\":{:.3},\"pooled_ms\":{:.3},\
+         \"speedup\":{:.3},\"per_shot_ns\":{:.1},\"counts_identical\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}}}",
+        cfg.mode,
+        cfg.calls,
+        cfg.shots,
+        cfg.threads,
+        ShardPool::global().workers(),
+        scoped.wall_secs * 1e3,
+        pooled.wall_secs * 1e3,
+        speedup,
+        per_shot_ns,
+        identical,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate()
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let tolerance_pct: f64 = std::env::var("BENCH_TOLERANCE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline_ns = json_number_field(&baseline, "per_shot_ns").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no per_shot_ns field");
+            std::process::exit(1);
+        });
+        let limit = baseline_ns * (1.0 + tolerance_pct / 100.0);
+        println!(
+            "  regression gate: {per_shot_ns:.1} ns vs baseline {baseline_ns:.1} ns \
+             (limit {limit:.1} ns, +{tolerance_pct}%)"
+        );
+        if per_shot_ns > limit {
+            // Absolute per-shot time is machine-dependent (CI runners
+            // differ in core count and clock from the machine that
+            // produced the baseline), so before failing, consult the
+            // machine-independent signal measured in this very run: if
+            // pooled still beats scoped by the baseline's min_speedup,
+            // the pooled path itself has not regressed — a genuine
+            // regression in pool/cache code drags both metrics down.
+            let min_speedup = json_number_field(&baseline, "min_speedup");
+            match min_speedup {
+                Some(floor) if speedup >= floor => {
+                    println!(
+                        "  regression gate: absolute time over limit on this machine, but \
+                         same-run speedup {speedup:.2}x >= required {floor:.2}x — ok"
+                    );
+                }
+                _ => {
+                    eprintln!(
+                        "PERF REGRESSION: per-shot time {per_shot_ns:.1} ns exceeds baseline \
+                         {baseline_ns:.1} ns by more than {tolerance_pct}%{}",
+                        match min_speedup {
+                            Some(floor) => format!(
+                                ", and speedup {speedup:.2}x is below the {floor:.2}x floor"
+                            ),
+                            None => String::new(),
+                        }
+                    );
+                    std::process::exit(4);
+                }
+            }
+        } else {
+            println!("  regression gate: ok");
+        }
+    }
+}

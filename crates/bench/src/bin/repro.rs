@@ -5,9 +5,16 @@
 //! repro table1 fig7    # run selected experiments
 //! repro --list         # list experiment ids
 //! repro --json out.json  # additionally export reports as JSON
+//! repro --quick        # CI smoke: fast experiment subset, exit 3 on
+//!                      # any diverging paper-vs-measured shape
 //! ```
 
 use qassert_bench::{registry, run_by_id};
+
+/// The fast, simulator-only subset `--quick` runs (CI smoke — seconds,
+/// not minutes, but still end-to-end through circuits, compiler, cache,
+/// and backends).
+const QUICK_IDS: [&str; 3] = ["fig6", "fig7", "theory"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,17 +26,22 @@ fn main() {
         return;
     }
 
+    let quick = args.iter().any(|a| a == "--quick");
+
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned());
 
-    let selected: Vec<String> = args
+    let mut selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| json_path.as_deref() != Some(a.as_str()))
         .cloned()
         .collect();
+    if quick && selected.is_empty() {
+        selected = QUICK_IDS.iter().map(|s| s.to_string()).collect();
+    }
 
     let mut reports = Vec::new();
     if selected.is_empty() {
@@ -62,15 +74,8 @@ fn main() {
                 .map(move |c| format!("{}: {}", r.id, c.metric))
         })
         .collect();
-    if diverging.is_empty() {
-        println!("all paper-vs-measured shapes hold.");
-    } else {
-        println!("DIVERGING metrics:");
-        for d in &diverging {
-            println!("  {d}");
-        }
-    }
-
+    // Export before any gate exit so a diverging --quick run still
+    // leaves the JSON evidence behind.
     if let Some(path) = json_path {
         let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
         let json = format!("[{}]", body.join(","));
@@ -79,5 +84,18 @@ fn main() {
             std::process::exit(1);
         });
         println!("wrote {path}");
+    }
+
+    if diverging.is_empty() {
+        println!("all paper-vs-measured shapes hold.");
+    } else {
+        println!("DIVERGING metrics:");
+        for d in &diverging {
+            println!("  {d}");
+        }
+        if quick {
+            // --quick is the CI smoke gate: a diverging shape fails it.
+            std::process::exit(3);
+        }
     }
 }

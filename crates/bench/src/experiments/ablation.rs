@@ -12,7 +12,7 @@
 
 use qassert::{AssertingCircuit, Comparison, EntanglementMode, ExperimentReport, Parity};
 use qcircuit::{library, Gate, QuantumCircuit, QubitId};
-use qsim::{DensityMatrix, DensityMatrixBackend, StateVector};
+use qsim::{Backend, DensityMatrix, DensityMatrixBackend, ProgramCache, StateVector};
 
 fn q(i: u32) -> QubitId {
     QubitId::new(i)
@@ -51,14 +51,22 @@ fn parity_check_effect(k: usize, cnots: usize) -> (f64, f64) {
 
 /// Detection probability of a bug by an instrumented GHZ(4) entanglement
 /// assertion in the given mode. `bug` mutates the prepared state.
+///
+/// The instrumented circuit compiles through the process-wide program
+/// cache: the same `(mode, bug)` pair evaluated again (tests re-running
+/// the ablation, repeated `repro` invocations) skips lowering entirely.
 fn detection_probability(mode: EntanglementMode, bug: impl Fn(&mut QuantumCircuit)) -> f64 {
     let mut base = library::ghz(4);
     bug(&mut base);
     let mut ac = AssertingCircuit::new(base).with_mode(mode);
     ac.assert_entangled([0, 1, 2, 3], Parity::Even)
         .expect("valid targets");
-    let dist = DensityMatrixBackend::ideal()
-        .exact_distribution(ac.circuit())
+    let backend = DensityMatrixBackend::ideal();
+    let program = backend
+        .compile_cached(ac.circuit(), ProgramCache::global())
+        .expect("ablation circuits compile");
+    let dist = backend
+        .exact_distribution_compiled(&program)
         .expect("simulates");
     // Any assertion clbit reading 1 = detected.
     let clear_key = 0u64;
@@ -71,6 +79,7 @@ pub fn run() -> ExperimentReport {
         "ablation",
         "even-CNOT rule (Fig. 4) and strong-mode coverage ablations",
     );
+    let cache_before = ProgramCache::global().stats();
 
     // Part A: even vs odd CNOT count on GHZ(3).
     let (purity_even, fidelity_even) = parity_check_effect(3, 4);
@@ -136,6 +145,7 @@ pub fn run() -> ExperimentReport {
         detection_probability(EntanglementMode::Strong, double_flip),
     ));
 
+    report.push_cache_metrics(ProgramCache::global().stats().since(&cache_before));
     report.notes.push(
         "strong mode spends k−1 ancillas instead of 1; the overhead buys parity-blind bug \
          coverage"

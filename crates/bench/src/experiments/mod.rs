@@ -17,7 +17,7 @@ use qassert::AssertingCircuit;
 use qcircuit::QuantumCircuit;
 use qdevice::transpile::transpile;
 use qnoise::NoiseModel;
-use qsim::{Backend, DensityMatrixBackend, RunResult};
+use qsim::{Backend, DensityMatrixBackend, ProgramCache, RunResult};
 
 /// Shots used by the hardware-model experiments (the paper used IBM Q's
 /// standard 8192).
@@ -40,13 +40,21 @@ pub fn to_ibmqx4(circuit: &QuantumCircuit) -> QuantumCircuit {
 /// Runs a circuit on the exact density-matrix backend under the given
 /// noise model with [`HW_SHOTS`] deterministic largest-remainder counts.
 ///
+/// Compilation goes through the process-wide [`ProgramCache`], so the
+/// sweeps that re-analyze one circuit per noise level (and the tests
+/// that re-run experiments) lower each `(circuit, noise)` pair once.
+///
 /// # Panics
 ///
 /// Panics on simulation failure — experiment circuits are validated by
 /// construction.
 pub fn run_exact(circuit: &QuantumCircuit, noise: NoiseModel) -> RunResult {
-    DensityMatrixBackend::new(noise)
-        .run(circuit, HW_SHOTS)
+    let backend = DensityMatrixBackend::new(noise);
+    let program = backend
+        .compile_cached(circuit, ProgramCache::global())
+        .expect("experiment circuits compile");
+    backend
+        .run_compiled(&program, HW_SHOTS)
         .expect("experiment circuits simulate")
 }
 

@@ -4,11 +4,18 @@
 //! the exact simulator's assertion-error probabilities are compared to
 //! the Section 3 closed forms: `|b|²` (classical), `|c|² + |d|²`
 //! (entanglement, on product inputs), and `(2 − 4ab)/4` (superposition).
+//!
+//! Each assertion circuit is built as a `QuantumCircuit`, lowered
+//! through the process-wide program cache, and evolved via the compiled
+//! op stream ([`StatevectorBackend::statevector_compiled`]) — so
+//! re-running the sweep (tests, repeated `repro` invocations in one
+//! process) is compile-free, with the cache counters exported in the
+//! report's metrics block.
 
 use qassert::{theory, Comparison, ExperimentReport};
-use qcircuit::{Gate, QubitId};
+use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qmath::Complex;
-use qsim::StateVector;
+use qsim::{Backend, ProgramCache, StateVector, StatevectorBackend};
 
 /// Sweep resolution (number of θ samples over `[0, 2π)`).
 const STEPS: usize = 32;
@@ -17,12 +24,25 @@ fn q(i: u32) -> QubitId {
     QubitId::new(i)
 }
 
+/// Compiles `circuit` through the global cache and evolves it from
+/// `|0…0⟩` on the ideal backend.
+fn evolve(backend: &StatevectorBackend, circuit: &QuantumCircuit) -> StateVector {
+    let program = backend
+        .compile_cached(circuit, ProgramCache::global())
+        .expect("theory circuits compile");
+    backend
+        .statevector_compiled(&program)
+        .expect("theory circuits are unitary")
+}
+
 /// Runs the experiment.
 pub fn run() -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "theory",
         "assertion error probabilities vs Section 3 closed forms over an input sweep",
     );
+    let backend = StatevectorBackend::new();
+    let cache_before = ProgramCache::global().stats();
 
     let mut max_dev_classical = 0.0f64;
     let mut max_dev_superposition = 0.0f64;
@@ -33,33 +53,40 @@ pub fn run() -> ExperimentReport {
         let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
 
         // Classical assertion (Fig. 2).
-        let mut psi = StateVector::zero_state(2);
-        psi.apply_gate(&Gate::Ry(theta), &[q(0)]).expect("valid");
-        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).expect("valid");
+        let mut classical = QuantumCircuit::new(2, 0);
+        classical.ry(theta, 0).expect("valid");
+        classical.cx(0, 1).expect("valid");
+        let psi = evolve(&backend, &classical);
         let measured = psi.probability_of_one(q(1)).expect("valid");
         let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
         max_dev_classical = max_dev_classical.max((measured - predicted).abs());
 
         // Superposition assertion (Fig. 5).
-        let mut psi = StateVector::zero_state(2);
-        psi.apply_gate(&Gate::Ry(theta), &[q(0)]).expect("valid");
-        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).expect("valid");
-        psi.apply_gate(&Gate::H, &[q(0)]).expect("valid");
-        psi.apply_gate(&Gate::H, &[q(1)]).expect("valid");
-        psi.apply_gate(&Gate::Cx, &[q(0), q(1)]).expect("valid");
+        let mut superposition = QuantumCircuit::new(2, 0);
+        superposition.ry(theta, 0).expect("valid");
+        superposition.cx(0, 1).expect("valid");
+        superposition.h(0).expect("valid");
+        superposition.h(1).expect("valid");
+        superposition.cx(0, 1).expect("valid");
+        let psi = evolve(&backend, &superposition);
         let measured = psi.probability_of_one(q(1)).expect("valid");
         let (_, predicted) = theory::superposition_outcome_probabilities(a, b);
         max_dev_superposition = max_dev_superposition.max((measured - predicted).abs());
 
         // Entanglement assertion (Fig. 3) on a product input
-        // Ry(θ)|0⟩ ⊗ Ry(0.8)|0⟩.
-        let mut psi = StateVector::zero_state(3);
-        psi.apply_gate(&Gate::Ry(theta), &[q(0)]).expect("valid");
-        psi.apply_gate(&Gate::Ry(0.8), &[q(1)]).expect("valid");
-        let amp = |i: usize| psi.amplitude(i);
+        // Ry(θ)|0⟩ ⊗ Ry(0.8)|0⟩. The closed form reads the *input*
+        // amplitudes, so the prefix and the instrumented circuit are
+        // compiled (and cached) separately.
+        let mut prefix = QuantumCircuit::new(3, 0);
+        prefix.ry(theta, 0).expect("valid");
+        prefix.ry(0.8, 1).expect("valid");
+        let input = evolve(&backend, &prefix);
+        let amp = |i: usize| input.amplitude(i);
         let (aa, bb, cc, dd) = (amp(0b00), amp(0b11), amp(0b01), amp(0b10));
-        psi.apply_gate(&Gate::Cx, &[q(0), q(2)]).expect("valid");
-        psi.apply_gate(&Gate::Cx, &[q(1), q(2)]).expect("valid");
+        let mut entangled = prefix.clone();
+        entangled.gate(Gate::Cx, [q(0), q(2)]).expect("valid");
+        entangled.gate(Gate::Cx, [q(1), q(2)]).expect("valid");
+        let psi = evolve(&backend, &entangled);
         let measured = psi.probability_of_one(q(2)).expect("valid");
         let predicted = theory::entanglement_error_probability(aa, bb, cc, dd);
         max_dev_entanglement = max_dev_entanglement.max((measured - predicted).abs());
@@ -80,6 +107,7 @@ pub fn run() -> ExperimentReport {
         0.0,
         max_dev_entanglement,
     ));
+    report.push_cache_metrics(ProgramCache::global().stats().since(&cache_before));
     report.notes.push(format!(
         "{STEPS} input angles swept uniformly over [0, 2π) for each assertion family"
     ));
@@ -97,5 +125,29 @@ mod tests {
             assert!(c.measured < 1e-10, "{}: deviation {}", c.metric, c.measured);
             assert!(c.shape_holds());
         }
+    }
+
+    #[test]
+    fn sweep_reports_cache_telemetry_and_rerun_is_compile_free() {
+        let first = run();
+        assert!(first
+            .metrics
+            .iter()
+            .any(|m| m.name == "program_cache_hit_rate"));
+        // Second run in the same process: all 4 programs per θ step are
+        // resident, so every one of the 4 × STEPS lookups hits. (Other
+        // tests share the global cache concurrently, so assert on hits —
+        // which only they can inflate — rather than on misses.)
+        let second = run();
+        let hits = second
+            .metrics
+            .iter()
+            .find(|m| m.name == "program_cache_hits")
+            .expect("metric present");
+        assert!(
+            hits.value >= (4 * STEPS) as f64,
+            "re-run should be compile-free, saw {} hits",
+            hits.value
+        );
     }
 }

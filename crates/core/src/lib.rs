@@ -63,6 +63,8 @@ pub use estimate::Estimate;
 pub use filter::{assertion_error_rate, error_rate, filter_assertion_bits, ErrorReduction};
 pub use instrument::{AssertingCircuit, AssertionId, AssertionRecord};
 pub use mitigation::ReadoutMitigator;
-pub use report::{Comparison, ExperimentReport, OutcomeRow, OutcomeTable};
-pub use runtime::{analyze, run_with_assertions, AssertionOutcome, AssertionStats};
+pub use report::{Comparison, ExperimentReport, Metric, OutcomeRow, OutcomeTable};
+pub use runtime::{
+    analyze, run_with_assertions, run_with_assertions_cached, AssertionOutcome, AssertionStats,
+};
 pub use statistical::{StatisticalAssertion, StatisticalKind, StatisticalVerdict};

@@ -127,6 +127,27 @@ impl Comparison {
     }
 }
 
+/// A named scalar measurement attached to a report (runtime telemetry
+/// rather than paper comparisons: cache hit rates, shard counts,
+/// wall-clock figures).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Metric name (e.g. "program_cache_hit_rate").
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Creates a metric.
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Metric {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
 /// A complete experiment report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
@@ -138,6 +159,8 @@ pub struct ExperimentReport {
     pub tables: Vec<OutcomeTable>,
     /// Paper-vs-measured comparisons.
     pub comparisons: Vec<Comparison>,
+    /// Runtime telemetry (cache hit/miss counters, throughput figures).
+    pub metrics: Vec<Metric>,
     /// Free-form notes (calibration caveats, etc.).
     pub notes: Vec<String>,
 }
@@ -150,8 +173,21 @@ impl ExperimentReport {
             description: description.into(),
             tables: Vec::new(),
             comparisons: Vec::new(),
+            metrics: Vec::new(),
             notes: Vec::new(),
         }
+    }
+
+    /// Appends the standard program-cache telemetry block (hits, misses,
+    /// hit rate) from a stats delta, as reported by
+    /// [`qsim::CacheStats::since`].
+    pub fn push_cache_metrics(&mut self, delta: qsim::CacheStats) {
+        self.metrics
+            .push(Metric::new("program_cache_hits", delta.hits as f64));
+        self.metrics
+            .push(Metric::new("program_cache_misses", delta.misses as f64));
+        self.metrics
+            .push(Metric::new("program_cache_hit_rate", delta.hit_rate()));
     }
 
     /// Serializes the report as a compact JSON object (the suite runs in
@@ -199,6 +235,17 @@ impl ExperimentReport {
                 json_number(c.measured)
             ));
         }
+        out.push_str("],\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"value\":{}}}",
+                json_string(&m.name),
+                json_number(m.value)
+            ));
+        }
         out.push_str("],\"notes\":[");
         for (i, n) in self.notes.iter().enumerate() {
             if i > 0 {
@@ -232,6 +279,12 @@ impl ExperimentReport {
                         "DIVERGES"
                     }
                 ));
+            }
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\nmetrics:\n");
+            for m in &self.metrics {
+                out.push_str(&format!("  {:<38} {:.6}\n", m.name, m.value));
             }
         }
         for n in &self.notes {
@@ -347,5 +400,24 @@ mod tests {
         assert!(json.contains("\"metric\":\"err \\\"rate\\\"\""));
         assert!(json.contains("\"line1\\nline2\""));
         assert!(json.contains("\"paper\":0.5"));
+        assert!(json.contains("\"metrics\":[]"));
+    }
+
+    #[test]
+    fn metrics_render_and_serialize() {
+        let mut r = ExperimentReport::new("sweep", "cache telemetry");
+        r.metrics.push(Metric::new("program_cache_hits", 7.0));
+        r.push_cache_metrics(qsim::CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            entries: 1,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"name\":\"program_cache_hits\",\"value\":7"));
+        assert!(json.contains("\"name\":\"program_cache_hit_rate\",\"value\":0.75"));
+        let text = r.render();
+        assert!(text.contains("metrics:"));
+        assert!(text.contains("program_cache_misses"));
     }
 }

@@ -5,7 +5,7 @@ use crate::error::AssertError;
 use crate::filter::{assertion_error_rate, filter_assertion_bits};
 use crate::instrument::{AssertingCircuit, AssertionRecord};
 use qcircuit::ClbitId;
-use qsim::{Backend, Counts, RunResult};
+use qsim::{Backend, Counts, ProgramCache, RunResult};
 
 /// Per-assertion runtime statistics.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,12 +49,17 @@ impl AssertionOutcome {
 /// Runs an instrumented circuit on `backend` and analyzes assertion
 /// outcomes.
 ///
-/// The instrumented circuit is **lowered once per analysis**: the backend
-/// compiles it to a `qsim::CompiledProgram` (gate matrices materialized,
-/// adjacent single-qubit gates fused, noise channels pre-bound) and every
-/// shot executes the compiled form. Instrumentation ancillas and
-/// assertion clbits pass through compilation untouched, so the analysis
-/// below reads the same classical record as interpreted execution.
+/// The instrumented circuit is **lowered at most once per process**: the
+/// backend compiles it to a `qsim::CompiledProgram` (gate matrices
+/// materialized, adjacent single-qubit gates fused, noise channels
+/// pre-bound) through the global [`ProgramCache`], so sweep loops that
+/// re-analyze the same circuit × noise model pay compilation once and
+/// execute compiled programs thereafter. Caching cannot change results:
+/// compilation is deterministic and the cache key covers everything
+/// lowering reads (circuit structure, noise content, options).
+/// Instrumentation ancillas and assertion clbits pass through
+/// compilation untouched, so the analysis below reads the same classical
+/// record as interpreted execution.
 ///
 /// # Errors
 ///
@@ -83,7 +88,24 @@ pub fn run_with_assertions<B: Backend + ?Sized>(
     asserting: &AssertingCircuit,
     shots: u64,
 ) -> Result<AssertionOutcome, AssertError> {
-    let program = backend.compile(asserting.circuit())?;
+    run_with_assertions_cached(backend, asserting, shots, ProgramCache::global())
+}
+
+/// [`run_with_assertions`] through an explicit program cache (callers
+/// that want isolated hit/miss accounting, e.g. benchmarks and tests,
+/// pass their own).
+///
+/// # Errors
+///
+/// Returns [`AssertError::Sim`] when execution fails and
+/// [`AssertError::NoShotsKept`] when the filter removes everything.
+pub fn run_with_assertions_cached<B: Backend + ?Sized>(
+    backend: &B,
+    asserting: &AssertingCircuit,
+    shots: u64,
+    cache: &ProgramCache,
+) -> Result<AssertionOutcome, AssertError> {
+    let program = backend.compile_cached(asserting.circuit(), cache)?;
     let raw = backend.run_compiled(&program, shots)?;
     analyze(raw, asserting)
 }
@@ -157,6 +179,25 @@ mod tests {
         assert_eq!(outcome.shots_kept(), 1000);
         // Data marginal still shows the Bell correlation.
         assert_eq!(outcome.data_kept.get(0b01) + outcome.data_kept.get(0b10), 0);
+    }
+
+    #[test]
+    fn cached_analysis_is_identical_and_compile_free_on_repeat() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let backend = StatevectorBackend::new().with_seed(9);
+        let direct = {
+            let program = backend.compile(ac.circuit()).unwrap();
+            analyze(backend.run_compiled(&program, 400).unwrap(), &ac).unwrap()
+        };
+        let cache = qsim::ProgramCache::new(8);
+        let first = run_with_assertions_cached(&backend, &ac, 400, &cache).unwrap();
+        let second = run_with_assertions_cached(&backend, &ac, 400, &cache).unwrap();
+        assert_eq!(first.raw.counts, direct.raw.counts);
+        assert_eq!(second.raw.counts, direct.raw.counts);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -425,6 +425,100 @@ impl QuantumCircuit {
             )
         })
     }
+
+    /// A 128-bit structural hash of the circuit: register widths plus
+    /// every instruction's operation, exact parameter bit patterns,
+    /// operands, and condition. Circuits that execute identically hash
+    /// identically; the circuit *name* is ignored.
+    ///
+    /// This is the circuit component of `qsim`'s program-cache key, so
+    /// it is built from two independently-seeded 64-bit mix streams —
+    /// a single 64-bit hash would make silent cache collisions (and
+    /// thus silently wrong programs) merely improbable; 128 bits makes
+    /// them unreachable in practice.
+    pub fn structural_hash(&self) -> u128 {
+        let mut lo = StructuralHasher::new(0x243F_6A88_85A3_08D3); // pi
+        let mut hi = StructuralHasher::new(0x1319_8A2E_0370_7344); // more pi
+        for h in [&mut lo, &mut hi] {
+            h.write(self.num_qubits as u64);
+            h.write(self.num_clbits as u64);
+            h.write(self.instructions.len() as u64);
+            for instr in &self.instructions {
+                h.write_instruction(instr);
+            }
+        }
+        (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+    }
+}
+
+/// SplitMix64-based accumulator for [`QuantumCircuit::structural_hash`].
+struct StructuralHasher {
+    state: u64,
+}
+
+impl StructuralHasher {
+    fn new(seed: u64) -> Self {
+        StructuralHasher { state: seed }
+    }
+
+    fn write(&mut self, value: u64) {
+        let mut z = self
+            .state
+            .rotate_left(23)
+            .wrapping_add(value)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.state = z ^ (z >> 31);
+    }
+
+    fn write_instruction(&mut self, instr: &Instruction) {
+        // Operation tag + payload. Gate parameters hash by exact f64 bit
+        // pattern: Rx(0.1) and Rx(0.1 + 1e-17) are different circuits.
+        match instr.kind() {
+            OpKind::Gate(g) => {
+                self.write(1);
+                self.write_str(g.name());
+                for p in g.params() {
+                    self.write(p.to_bits());
+                }
+            }
+            OpKind::Measure => self.write(2),
+            OpKind::Reset => self.write(3),
+            OpKind::Barrier => self.write(4),
+            OpKind::PostSelect { outcome } => {
+                self.write(5);
+                self.write(u64::from(*outcome));
+            }
+        }
+        self.write(instr.qubits().len() as u64);
+        for q in instr.qubits() {
+            self.write(q.index() as u64);
+        }
+        self.write(instr.clbits().len() as u64);
+        for c in instr.clbits() {
+            self.write(c.index() as u64);
+        }
+        match instr.condition() {
+            Some(cond) => {
+                self.write(6);
+                self.write(cond.clbit.index() as u64);
+                self.write(u64::from(cond.value));
+            }
+            None => self.write(7),
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.len() as u64);
+        for b in s.as_bytes() {
+            self.write(u64::from(*b));
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
 }
 
 macro_rules! gate_method {
@@ -680,6 +774,55 @@ mod tests {
         assert_eq!(c.num_qubits(), 3);
         assert_eq!(c.num_clbits(), 1);
         assert_eq!(c.depth(), 0);
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_name_blind() {
+        let a = bell();
+        let mut b = bell();
+        b.set_name("renamed");
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(a.structural_hash(), a.structural_hash());
+    }
+
+    #[test]
+    fn structural_hash_separates_distinct_circuits() {
+        let base = bell();
+        let mut wider = QuantumCircuit::new(3, 2);
+        wider.h(0).unwrap().cx(0, 1).unwrap();
+        let mut reordered = QuantumCircuit::new(2, 2);
+        reordered.cx(0, 1).unwrap().h(0).unwrap();
+        let mut param_a = QuantumCircuit::new(1, 0);
+        param_a.rx(0.5, 0).unwrap();
+        let mut param_b = QuantumCircuit::new(1, 0);
+        param_b.rx(0.5 + 1e-15, 0).unwrap();
+        let mut conditioned = bell();
+        conditioned.gate_if(Gate::X, [0usize], 0, true).unwrap();
+        let mut unconditioned = bell();
+        unconditioned.x(0).unwrap();
+        let hashes = [
+            base.structural_hash(),
+            wider.structural_hash(),
+            reordered.structural_hash(),
+            param_a.structural_hash(),
+            param_b.structural_hash(),
+            conditioned.structural_hash(),
+            unconditioned.structural_hash(),
+        ];
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b, "distinct circuits collided");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_operand_order() {
+        let mut ab = QuantumCircuit::new(2, 0);
+        ab.cx(0, 1).unwrap();
+        let mut ba = QuantumCircuit::new(2, 0);
+        ba.cx(1, 0).unwrap();
+        assert_ne!(ab.structural_hash(), ba.structural_hash());
     }
 
     #[test]

@@ -247,6 +247,78 @@ impl NoiseModel {
         defaults.iter().map(|k| bind(k.clone(), qubits)).collect()
     }
 
+    /// A 128-bit content fingerprint of the model: every registered
+    /// channel's Kraus matrices (exact f64 bit patterns), scope, and
+    /// target, plus all readout errors. Models with identical noise
+    /// semantics fingerprint identically regardless of display name or
+    /// registration-map iteration order; `qsim`'s program cache uses
+    /// this as the noise component of its key.
+    ///
+    /// Two independently-seeded 64-bit mix streams, matching the width
+    /// of `qcircuit`'s structural hash: sweeps hold the circuit fixed
+    /// and vary only the noise, so the noise component alone must make
+    /// silent key collisions (and thus silently wrong pre-bound
+    /// channels) unreachable in practice, not merely improbable.
+    pub fn fingerprint(&self) -> u128 {
+        let mut lo = Fingerprint::new(0xA409_3822_299F_31D0); // pi, third chunk
+        let mut hi = Fingerprint::new(0x082E_FA98_EC4E_6C89); // pi, fourth chunk
+        for h in [&mut lo, &mut hi] {
+            self.write_fingerprint(h);
+        }
+        (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+    }
+
+    /// Feeds the model's entire noise content into one hash stream.
+    fn write_fingerprint(&self, h: &mut Fingerprint) {
+        h.write(self.default_1q.len() as u64);
+        for k in &self.default_1q {
+            h.write_kraus(k);
+        }
+        h.write(self.default_2q.len() as u64);
+        for k in &self.default_2q {
+            h.write_kraus(k);
+        }
+        // HashMap iteration order is unspecified: sort rule keys first.
+        let mut gate_names: Vec<&String> = self.per_gate.keys().collect();
+        gate_names.sort_unstable();
+        for name in gate_names {
+            h.write_str(name);
+            h.write(self.per_gate[name].len() as u64);
+            for scope in &self.per_gate[name] {
+                match scope {
+                    ChannelScope::GateQubits(k) => {
+                        h.write(1);
+                        h.write_kraus(k);
+                    }
+                    ChannelScope::EachQubit(k) => {
+                        h.write(2);
+                        h.write_kraus(k);
+                    }
+                }
+            }
+        }
+        let mut edges: Vec<&(String, Vec<QubitId>)> = self.per_gate_qubits.keys().collect();
+        edges.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for key in edges {
+            h.write_str(&key.0);
+            h.write(key.1.len() as u64);
+            for q in &key.1 {
+                h.write(q.index() as u64);
+            }
+            h.write(self.per_gate_qubits[key].len() as u64);
+            for k in &self.per_gate_qubits[key] {
+                h.write_kraus(k);
+            }
+        }
+        let mut readouts: Vec<(&QubitId, &ReadoutError)> = self.readout.iter().collect();
+        readouts.sort_unstable_by_key(|(q, _)| **q);
+        for (q, r) in readouts {
+            h.write(q.index() as u64);
+            h.write(r.p_meas1_given0().to_bits());
+            h.write(r.p_meas0_given1().to_bits());
+        }
+    }
+
     /// Binds the model to a whole circuit at once: entry `i` holds the
     /// channels to apply after instruction `i`.
     ///
@@ -287,6 +359,51 @@ fn bind(kraus: Kraus, qubits: &[QubitId]) -> AppliedChannel {
             kraus,
             qubits: vec![qubits[0]],
         }
+    }
+}
+
+/// SplitMix64-based accumulator for [`NoiseModel::fingerprint`].
+struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    fn new(seed: u64) -> Self {
+        Fingerprint { state: seed }
+    }
+
+    fn write(&mut self, value: u64) {
+        let mut z = self
+            .state
+            .rotate_left(23)
+            .wrapping_add(value)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.state = z ^ (z >> 31);
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.len() as u64);
+        for b in s.as_bytes() {
+            self.write(u64::from(*b));
+        }
+    }
+
+    fn write_kraus(&mut self, kraus: &Kraus) {
+        let ops = kraus.ops();
+        self.write(ops.len() as u64);
+        for op in ops {
+            self.write(op.dim() as u64);
+            for c in op.as_slice() {
+                self.write(c.re.to_bits());
+                self.write(c.im.to_bits());
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
     }
 }
 
@@ -435,6 +552,64 @@ mod tests {
         assert_eq!(bound[0].len(), 1);
         assert_eq!(bound[1].len(), 1);
         assert!(bound[2].is_empty() && bound[3].is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed_and_name_blind() {
+        let mut a = NoiseModel::with_name("alpha");
+        a.with_default_1q(dep1())
+            .with_gate_error("cx", dep2())
+            .with_readout_error(1, ReadoutError::symmetric(0.04).unwrap());
+        let mut b = NoiseModel::with_name("beta");
+        b.with_default_1q(dep1())
+            .with_gate_error("cx", dep2())
+            .with_readout_error(1, ReadoutError::symmetric(0.04).unwrap());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_different_noise() {
+        let ideal = NoiseModel::new();
+        let mut weak = NoiseModel::new();
+        weak.with_default_1q(dep1());
+        let mut strong = NoiseModel::new();
+        strong.with_default_1q(Kraus::depolarizing(0.011).unwrap());
+        let mut scoped = NoiseModel::new();
+        scoped.with_gate_error_each_qubit("h", dep1());
+        let mut gate = NoiseModel::new();
+        gate.with_gate_error("h", dep1());
+        let mut readout = NoiseModel::new();
+        readout.with_readout_error(0, ReadoutError::new(0.1, 0.0).unwrap());
+        let mut readout_flipped = NoiseModel::new();
+        readout_flipped.with_readout_error(0, ReadoutError::new(0.0, 0.1).unwrap());
+        let fps = [
+            ideal.fingerprint(),
+            weak.fingerprint(),
+            strong.fingerprint(),
+            scoped.fingerprint(),
+            gate.fingerprint(),
+            readout.fingerprint(),
+            readout_flipped.fingerprint(),
+        ];
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b, "distinct noise models collided");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_map_insertion_order() {
+        let mut ab = NoiseModel::new();
+        ab.with_gate_error("h", dep1()).with_gate_error("x", dep1());
+        ab.with_readout_error(0, ReadoutError::symmetric(0.01).unwrap())
+            .with_readout_error(3, ReadoutError::symmetric(0.02).unwrap());
+        let mut ba = NoiseModel::new();
+        ba.with_gate_error("x", dep1()).with_gate_error("h", dep1());
+        ba.with_readout_error(3, ReadoutError::symmetric(0.02).unwrap())
+            .with_readout_error(0, ReadoutError::symmetric(0.01).unwrap());
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
     }
 
     #[test]

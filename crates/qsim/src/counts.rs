@@ -158,6 +158,35 @@ impl Counts {
         }
     }
 
+    /// Merges another histogram into this one by consuming it.
+    ///
+    /// Unlike [`Counts::merge`], no per-key re-insertion happens when
+    /// either side is empty — the larger map is kept wholesale and only
+    /// the smaller side's entries are folded in. This is the merge the
+    /// shot-sharding harness uses: on a 1000-shard sweep it touches each
+    /// allocated map once instead of rehashing every shard's keys into a
+    /// fresh accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bit widths differ.
+    pub fn absorb(&mut self, mut other: Counts) {
+        assert_eq!(
+            self.num_bits, other.num_bits,
+            "cannot merge different widths"
+        );
+        // Addition is commutative: fold the smaller map into the larger
+        // regardless of which side the caller holds.
+        if other.map.len() > self.map.len() {
+            std::mem::swap(&mut self.map, &mut other.map);
+        }
+        for (k, n) in other.map {
+            if n > 0 {
+                *self.map.entry(k).or_insert(0) += n;
+            }
+        }
+    }
+
     /// Keeps only the outcomes for which `predicate` returns `true`.
     pub fn filter(&self, predicate: impl Fn(u64) -> bool) -> Counts {
         Counts {
@@ -400,6 +429,34 @@ mod tests {
     fn merge_rejects_width_mismatch() {
         let mut a = Counts::new(2);
         a.merge(&Counts::new(3));
+    }
+
+    #[test]
+    fn absorb_matches_merge_in_both_directions() {
+        let small = Counts::from_pairs(2, [(0b00, 5)]);
+        let big = Counts::from_pairs(2, [(0b00, 3), (0b01, 2), (0b10, 7)]);
+
+        let mut reference = small.clone();
+        reference.merge(&big);
+
+        let mut small_into_big = small.clone();
+        small_into_big.absorb(big.clone());
+        assert_eq!(small_into_big, reference);
+
+        let mut big_into_small = big;
+        big_into_small.absorb(small);
+        assert_eq!(big_into_small, reference);
+
+        let mut from_empty = Counts::new(2);
+        from_empty.absorb(reference.clone());
+        assert_eq!(from_empty, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths")]
+    fn absorb_rejects_width_mismatch() {
+        let mut a = Counts::new(2);
+        a.absorb(Counts::new(3));
     }
 
     #[test]

@@ -30,23 +30,31 @@
 //! ([`run_compiled_sharded`]): shards split `shots` evenly, each shard's
 //! RNG stream is derived from the backend seed by [`shard_seed`], and
 //! results are order-independently merged, so counts are identical for a
-//! given `(seed, threads)` regardless of scheduling.
+//! given `(seed, threads)` regardless of scheduling. Shards execute on
+//! the persistent work-stealing [`ShardPool`](crate::ShardPool) — a
+//! sweep issuing thousands of small [`Backend::run_compiled`] calls pays
+//! thread spawn cost zero times, not once per call. The previous
+//! scoped-thread strategy survives as [`run_compiled_sharded_scoped`],
+//! the reference the equivalence suite pins pooled execution against.
 //!
 //! The original instruction interpreter survives as [`run_shot`]: it is
 //! the *reference semantics* the cross-backend equivalence suite compares
 //! compiled execution against, and remains useful for one-off shots where
 //! compilation would not amortize.
 
+use crate::cache::ProgramCache;
 use crate::compile::{compile_with, CompileOptions};
 use crate::counts::Counts;
 use crate::density::DensityMatrix;
 use crate::error::SimError;
+use crate::pool::ShardPool;
 use crate::program::{CompiledKind, CompiledProgram};
 use crate::statevector::StateVector;
 use qcircuit::{OpKind, QuantumCircuit, QubitId};
 use qnoise::{Kraus, NoiseModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
 
 /// Branches whose probability weight falls below this are pruned by the
 /// exact executor.
@@ -81,14 +89,51 @@ pub trait Backend {
     /// Human-readable backend name for reports.
     fn name(&self) -> &str;
 
-    /// Lowers `circuit` for this backend (noise pre-bound, gates fused
-    /// according to the backend's options).
+    /// The noise model this backend binds at compile time (`None` for
+    /// ideal lowering).
+    fn noise_model(&self) -> Option<&NoiseModel> {
+        None
+    }
+
+    /// The options this backend lowers with.
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// Lowers `circuit` for this backend: noise from
+    /// [`Backend::noise_model`] pre-bound, gates fused according to
+    /// [`Backend::compile_options`].
     ///
     /// # Errors
     ///
     /// Returns a [`SimError`] when the circuit cannot be lowered (e.g.
     /// more than 64 classical bits).
-    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError>;
+    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
+        compile_with(circuit, self.noise_model(), self.compile_options())
+    }
+
+    /// Lowers `circuit` through `cache`: a repeated
+    /// `(circuit, noise model, options)` triple returns the already
+    /// compiled program instead of lowering again. Compilation is
+    /// deterministic, so results are identical to [`Backend::compile`];
+    /// only the work is skipped.
+    ///
+    /// Implementors overriding [`Backend::compile`] with lowering that
+    /// `compile_with(circuit, self.noise_model(), self.compile_options())`
+    /// does not reproduce must override this too — the cache memoizes
+    /// that exact call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the circuit cannot be lowered (cache
+    /// misses only; errors are never cached).
+    fn compile_cached(
+        &self,
+        circuit: &QuantumCircuit,
+        cache: &ProgramCache,
+    ) -> Result<Arc<CompiledProgram>, SimError> {
+        cache.get_or_compile(circuit, self.noise_model(), self.compile_options())
+    }
 
     /// Executes an already-compiled program for `shots` repetitions.
     ///
@@ -315,13 +360,45 @@ fn run_compiled_shard(
     Ok((counts, discarded))
 }
 
+/// The number of shots in shard `t` of `threads` (even split, earlier
+/// shards take the remainder).
+fn shard_shots(shots: u64, threads: usize, t: usize) -> u64 {
+    shots / threads as u64 + u64::from((t as u64) < shots % threads as u64)
+}
+
+/// One shard's result slot, written by a pool task and drained by the
+/// submitting thread after the batch completes.
+type ShardSlot = Mutex<Option<Result<(Counts, u64), SimError>>>;
+
+/// Merges per-shard results in shard order, propagating the first error.
+fn merge_shards(
+    num_clbits: usize,
+    results: impl IntoIterator<Item = Result<(Counts, u64), SimError>>,
+) -> Result<(Counts, u64), SimError> {
+    let mut counts = Counts::new(num_clbits);
+    let mut discarded = 0u64;
+    for r in results {
+        let (c, d) = r?;
+        counts.absorb(c);
+        discarded += d;
+    }
+    Ok((counts, discarded))
+}
+
 /// The shared shot-sharding harness for per-shot backends.
 ///
-/// Splits `shots` across `threads` scoped worker threads (largest shards
-/// first), seeds shard `t` with [`shard_seed`]`(seed, t)`, and merges the
-/// per-shard histograms. With `threads == 1` the backend seed drives a
-/// single stream directly, preserving the single-threaded behavior of
-/// earlier revisions. Results are deterministic in `(seed, threads)`.
+/// Splits `shots` into `threads` shards (largest first), seeds shard `t`
+/// with [`shard_seed`]`(seed, t)`, executes the shards on the
+/// process-wide work-stealing [`ShardPool`], and merges the per-shard
+/// histograms in shard order. With `threads == 1` the backend seed
+/// drives a single stream directly, preserving the single-threaded
+/// behavior of earlier revisions.
+///
+/// `threads` is the **shard count**, not a worker count: it fixes the
+/// seed derivation and shot split, so counts are bit-identical for a
+/// given `(seed, threads)` regardless of how many pool workers execute
+/// the shards — and bit-identical to the scoped-thread strategy this
+/// replaced ([`run_compiled_sharded_scoped`]).
 ///
 /// # Errors
 ///
@@ -332,32 +409,74 @@ pub fn run_compiled_sharded(
     seed: u64,
     threads: usize,
 ) -> Result<(Counts, u64), SimError> {
+    run_compiled_sharded_on(ShardPool::global(), program, shots, seed, threads)
+}
+
+/// [`run_compiled_sharded`] on an explicit pool (tests and benchmarks
+/// pin determinism across pool sizes with this).
+///
+/// # Errors
+///
+/// Propagates the first shard's [`SimError`], if any.
+pub fn run_compiled_sharded_on(
+    pool: &ShardPool,
+    program: &CompiledProgram,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<(Counts, u64), SimError> {
     let threads = threads.min(shots.max(1) as usize).max(1);
     if threads == 1 {
         return run_compiled_shard(program, shots, seed);
     }
-    let per = shots / threads as u64;
-    let extra = shots % threads as u64;
+    let slots: Vec<ShardSlot> = (0..threads).map(|_| Mutex::new(None)).collect();
+    pool.run_batch(threads, |t| {
+        let result =
+            run_compiled_shard(program, shard_shots(shots, threads, t), shard_seed(seed, t));
+        *slots[t].lock().expect("shard slot") = Some(result);
+    });
+    merge_shards(
+        program.num_clbits(),
+        slots.into_iter().map(|slot| {
+            slot.into_inner()
+                .expect("shard slot")
+                .expect("batch ran every shard")
+        }),
+    )
+}
+
+/// The pre-pool sharding strategy: scoped worker threads spawned per
+/// call. Retained as the **reference implementation** the equivalence
+/// suite and the `sweep_throughput` benchmark compare the pooled
+/// harness against — for any `(seed, threads)` both produce identical
+/// counts; the pool only removes the per-call spawn cost.
+///
+/// # Errors
+///
+/// Propagates the first shard's [`SimError`], if any.
+pub fn run_compiled_sharded_scoped(
+    program: &CompiledProgram,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<(Counts, u64), SimError> {
+    let threads = threads.min(shots.max(1) as usize).max(1);
+    if threads == 1 {
+        return run_compiled_shard(program, shots, seed);
+    }
     let results: Vec<Result<(Counts, u64), SimError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            let shard_shots = per + u64::from((t as u64) < extra);
+            let n = shard_shots(shots, threads, t);
             let rng_seed = shard_seed(seed, t);
-            handles.push(scope.spawn(move || run_compiled_shard(program, shard_shots, rng_seed)));
+            handles.push(scope.spawn(move || run_compiled_shard(program, n, rng_seed)));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("shard thread panicked"))
             .collect()
     });
-    let mut counts = Counts::new(program.num_clbits());
-    let mut discarded = 0u64;
-    for r in results {
-        let (c, d) = r?;
-        counts.merge(&c);
-        discarded += d;
-    }
-    Ok((counts, discarded))
+    merge_shards(program.num_clbits(), results)
 }
 
 /// Ideal (noise-free) execution backend.
@@ -422,12 +541,6 @@ impl StatevectorBackend {
         self
     }
 
-    fn options(&self) -> CompileOptions {
-        CompileOptions {
-            fuse_1q: self.fuse_1q,
-        }
-    }
-
     /// Evolves the circuit's unitary prefix and returns the
     /// pre-measurement state. Errors if the circuit contains *any*
     /// non-unitary operation other than barriers (use
@@ -462,9 +575,34 @@ impl StatevectorBackend {
                 }
             }
         }
-        let program = compile_with(&shadow, None, self.options())?;
+        let program = compile_with(&shadow, None, self.compile_options())?;
+        self.statevector_compiled(&program)
+    }
+
+    /// Evolves an already-compiled unitary program from `|0…0⟩` (the
+    /// compiled-program counterpart of [`StatevectorBackend::statevector`],
+    /// used by sweep harnesses that compile through a
+    /// [`ProgramCache`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Circuit`] when the program contains a
+    /// non-unitary or conditioned op, or was compiled against a noise
+    /// model — pure-state evolution cannot honor pre-bound channels,
+    /// and silently dropping them would misrepresent a noisy program.
+    pub fn statevector_compiled(&self, program: &CompiledProgram) -> Result<StateVector, SimError> {
+        if program.is_noisy() {
+            return Err(SimError::Circuit(qcircuit::CircuitError::NotInvertible {
+                op: "noise-bound program",
+            }));
+        }
         let mut state = StateVector::zero_state(program.num_qubits());
         for op in program.ops() {
+            if !op.kind.is_unitary() || op.condition.is_some() {
+                return Err(SimError::Circuit(qcircuit::CircuitError::NotInvertible {
+                    op: op.kind.name(),
+                }));
+            }
             apply_compiled_unitary(&mut state, &op.kind)?;
         }
         Ok(state)
@@ -482,8 +620,10 @@ impl Backend for StatevectorBackend {
         "statevector (ideal)"
     }
 
-    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
-        compile_with(circuit, None, self.options())
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            fuse_1q: self.fuse_1q,
+        }
     }
 
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
@@ -588,14 +728,14 @@ impl Backend for TrajectoryBackend {
         "trajectory (noisy)"
     }
 
-    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
-        compile_with(
-            circuit,
-            Some(&self.noise),
-            CompileOptions {
-                fuse_1q: self.fuse_1q,
-            },
-        )
+    fn noise_model(&self) -> Option<&NoiseModel> {
+        Some(&self.noise)
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            fuse_1q: self.fuse_1q,
+        }
     }
 
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
@@ -835,14 +975,14 @@ impl Backend for DensityMatrixBackend {
         }
     }
 
-    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
-        compile_with(
-            circuit,
-            self.noise.as_ref(),
-            CompileOptions {
-                fuse_1q: self.fuse_1q,
-            },
-        )
+    fn noise_model(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref()
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            fuse_1q: self.fuse_1q,
+        }
     }
 
     /// Deterministic counts: expected shot counts from the exact
@@ -1255,6 +1395,27 @@ mod tests {
             .unwrap();
         let p1 = result.counts.probability(1);
         assert!((p1 - 0.25).abs() < 0.02, "readout noise dropped: p1 = {p1}");
+    }
+
+    #[test]
+    fn statevector_compiled_rejects_noisy_programs() {
+        // Pure-state evolution cannot apply pre-bound channels; handing
+        // a noisy-compiled program over must error, not silently return
+        // the ideal state.
+        let mut c = qcircuit::QuantumCircuit::new(1, 0);
+        c.h(0).unwrap();
+        let mut noise = qnoise::NoiseModel::new();
+        noise.with_default_1q(qnoise::Kraus::depolarizing(0.1).unwrap());
+        let program = crate::compile::compile(&c, Some(&noise)).unwrap();
+        assert!(program.is_noisy());
+        assert!(StatevectorBackend::new()
+            .statevector_compiled(&program)
+            .is_err());
+        // The same circuit compiled ideally evolves fine.
+        let ideal = crate::compile::compile(&c, None).unwrap();
+        assert!(StatevectorBackend::new()
+            .statevector_compiled(&ideal)
+            .is_ok());
     }
 
     #[test]

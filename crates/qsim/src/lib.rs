@@ -16,6 +16,12 @@
 //!   adjacent single-qubit gates fused, noise channels pre-bound, the
 //!   statevector fast path decided up front) that the per-shot hot loops
 //!   execute,
+//! * [`cache`] — the keyed [`ProgramCache`] (circuit structural hash ×
+//!   noise-model fingerprint × compile options) that makes repeated
+//!   sweep analyses compile-free, with hit/miss/eviction counters,
+//! * [`pool`] — the persistent work-stealing [`ShardPool`] that executes
+//!   shot shards; thousands of small `run_compiled` calls amortize
+//!   thread-spawn cost to ~zero,
 //! * [`Backend`] implementations: [`StatevectorBackend`] (ideal),
 //!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded), and
 //!   [`DensityMatrixBackend`] (exact noisy with measurement branching) —
@@ -46,23 +52,28 @@
 //! ```
 
 pub mod apply;
+pub mod cache;
 pub mod compile;
 pub mod counts;
 pub mod density;
 pub mod error;
 pub mod executor;
 pub mod expectation;
+pub mod pool;
 pub mod program;
 pub mod statevector;
 
+pub use cache::{CacheStats, ProgramCache, ProgramKey};
 pub use compile::{compile, compile_with, CompileOptions};
 pub use counts::{bitstring, key_from_str, Counts};
 pub use density::DensityMatrix;
 pub use error::SimError;
 pub use executor::{
-    run_compiled_sharded, run_compiled_shot, run_shot, shard_seed, Backend, DensityMatrixBackend,
-    ExactDistribution, RunResult, ShotRecord, StatevectorBackend, TrajectoryBackend,
+    run_compiled_sharded, run_compiled_sharded_on, run_compiled_sharded_scoped, run_compiled_shot,
+    run_shot, shard_seed, Backend, DensityMatrixBackend, ExactDistribution, RunResult, ShotRecord,
+    StatevectorBackend, TrajectoryBackend,
 };
 pub use expectation::{Pauli, PauliString};
+pub use pool::ShardPool;
 pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
 pub use statevector::StateVector;

@@ -1,0 +1,440 @@
+//! A persistent work-stealing shard pool.
+//!
+//! The assertion-sweep experiments issue thousands of short
+//! [`Backend::run_compiled`](crate::Backend::run_compiled) calls — one
+//! instrumented circuit per assertion point per noise level. Spawning
+//! scoped threads per call (the previous sharding strategy) pays thread
+//! creation and teardown on every one of them; this module amortizes
+//! that cost to ~zero with a process-wide pool of worker threads that
+//! outlives individual calls.
+//!
+//! # Design
+//!
+//! A small rayon-style deque scheduler built directly on `std::thread`
+//! (the build environment has no access to a crates registry, so rayon
+//! itself is unavailable):
+//!
+//! * each worker owns a deque; batch submission distributes tasks
+//!   round-robin across the deques for locality,
+//! * an idle worker first pops the **front** of its own deque, then
+//!   **steals from the back** of its siblings' deques, so stealing and
+//!   local execution contend on opposite ends,
+//! * the *submitting* thread participates too: while its batch is
+//!   outstanding it drains tasks like a worker instead of blocking, so
+//!   a pool is productive even on single-core machines (worker count 0
+//!   degrades to inline execution),
+//! * workers park on a condvar when every deque is empty; submission
+//!   takes the same lock before notifying, so wakeups cannot be lost.
+//!
+//! # Determinism
+//!
+//! The pool schedules *which thread* runs a shard, never *what* a shard
+//! computes: shard seeding, shard sizing, and merge order are fixed by
+//! the caller ([`crate::run_compiled_sharded`]) before submission.
+//! Results are therefore bit-identical for a given `(seed, threads)`
+//! regardless of pool size or steal order — the equivalence suite pins
+//! pooled execution against the scoped-thread reference shard-for-shard.
+//!
+//! # Lifetime erasure
+//!
+//! [`ShardPool::run_batch`] accepts non-`'static` closures: tasks borrow
+//! the caller's compiled program and result slots. The borrow is sound
+//! because `run_batch` does not return until every task of the batch has
+//! finished running (tracked by an atomic countdown latch), exactly like
+//! `std::thread::scope`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased unit of work (see the module docs on why the
+/// transmute in [`ShardPool::run_batch`] is sound).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch for one submitted batch.
+struct Batch {
+    /// Tasks not yet finished.
+    remaining: AtomicUsize,
+    /// Set when any task panicked (the panic is re-raised on the
+    /// submitting thread once the batch drains).
+    poisoned: AtomicBool,
+    /// Signals the submitting thread when `remaining` reaches zero.
+    done: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Batch {
+    fn new(tasks: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            remaining: AtomicUsize::new(tasks),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Marks one task finished, waking the submitter on the last one.
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done.lock().expect("batch lock");
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// State shared between workers and submitters.
+struct Shared {
+    /// One deque per worker; submitters push round-robin, workers pop
+    /// their own front and steal siblings' backs.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Wakeup lock: pushes notify under it, idle workers re-check queues
+    /// under it before parking (prevents lost wakeups).
+    sleep: Mutex<()>,
+    wake: Condvar,
+    /// Set by [`ShardPool::drop`]: workers drain their deques and exit.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Pops a task from any deque, preferring `home`'s front and
+    /// stealing from siblings' backs.
+    fn pop_task(&self, home: usize) -> Option<Task> {
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        let home = home % n;
+        if let Some(task) = self.deques[home].lock().expect("deque lock").pop_front() {
+            return Some(task);
+        }
+        for offset in 1..n {
+            let victim = (home + offset) % n;
+            if let Some(task) = self.deques[victim].lock().expect("deque lock").pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// A persistent pool of shard workers shared across all backends.
+///
+/// Most callers go through [`ShardPool::global`] (used by
+/// [`crate::run_compiled_sharded`]); tests and benchmarks build private
+/// pools with [`ShardPool::new`] to pin behavior across worker counts.
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    /// Worker join handles, reaped by [`Drop`] (empty for the global
+    /// pool only in the sense that it is never dropped).
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Round-robin submission cursor.
+    next_deque: AtomicUsize,
+}
+
+impl ShardPool {
+    /// Creates a pool with `workers` dedicated worker threads.
+    ///
+    /// `workers == 0` is valid: every batch then runs inline on the
+    /// submitting thread (useful for tests pinning determinism).
+    ///
+    /// Dropping the pool stops and joins its workers (outstanding
+    /// batches cannot exist at that point — [`ShardPool::run_batch`]
+    /// borrows the pool until its batch drains).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            deques: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("qsim-shard-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardPool {
+            shared,
+            workers,
+            handles,
+            next_deque: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide pool, sized to the machine (one worker per
+    /// available core, capped so the submitting thread — which executes
+    /// tasks too — is counted).
+    pub fn global() -> &'static ShardPool {
+        static POOL: OnceLock<ShardPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            ShardPool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Number of dedicated worker threads (the submitter adds one more
+    /// executing thread to every batch).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `run(0), run(1), …, run(tasks - 1)` across the pool and the
+    /// calling thread, returning once all have finished.
+    ///
+    /// Task *outputs* must flow through `run`'s captured state (e.g. a
+    /// slot per index); the pool imposes no ordering between tasks, so
+    /// captured state must be safe for concurrent per-index writes.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic on the calling thread) if any task
+    /// panicked, after the whole batch has drained.
+    pub fn run_batch<F>(&self, tasks: usize, run: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || self.workers == 0 {
+            for i in 0..tasks {
+                run(i);
+            }
+            return;
+        }
+
+        let batch = Batch::new(tasks);
+        let run = &run;
+        {
+            // Queue every task, round-robin across worker deques. The
+            // closures borrow `run` and `batch` from this stack frame;
+            // the wait loop below guarantees the frame outlives them.
+            let mut staged: Vec<Vec<Task>> =
+                (0..self.shared.deques.len()).map(|_| Vec::new()).collect();
+            for i in 0..tasks {
+                let batch = Arc::clone(&batch);
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| run(i)));
+                    if result.is_err() {
+                        batch.poisoned.store(true, Ordering::Release);
+                    }
+                    batch.complete_one();
+                });
+                // SAFETY: `run_batch` blocks until `batch.remaining`
+                // hits zero, i.e. until every queued closure has run to
+                // completion, so the borrowed `run` outlives all tasks.
+                let task: Task = unsafe { std::mem::transmute(task) };
+                let d = self.next_deque.fetch_add(1, Ordering::Relaxed) % staged.len();
+                staged[d].push(task);
+            }
+            for (deque, tasks) in self.shared.deques.iter().zip(staged) {
+                deque.lock().expect("deque lock").extend(tasks);
+            }
+            // Take the sleep lock before notifying so parked workers
+            // cannot miss the push.
+            let _guard = self.shared.sleep.lock().expect("sleep lock");
+            self.shared.wake.notify_all();
+        }
+
+        // Participate: drain tasks (of any batch) instead of blocking.
+        let submitter_home = self.next_deque.load(Ordering::Relaxed);
+        while batch.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(task) = self.shared.pop_task(submitter_home) {
+                task();
+            } else {
+                // Nothing to pop — the last tasks are executing on
+                // workers; wait for the batch latch.
+                let guard = self.done_guard(&batch);
+                drop(guard);
+            }
+        }
+
+        if batch.poisoned.load(Ordering::Acquire) {
+            panic!("shard task panicked");
+        }
+    }
+
+    /// Waits on the batch latch until it drains (or spuriously wakes).
+    fn done_guard<'a>(&self, batch: &'a Batch) -> std::sync::MutexGuard<'a, ()> {
+        let guard = batch.done.lock().expect("batch lock");
+        if batch.remaining.load(Ordering::Acquire) == 0 {
+            return guard;
+        }
+        batch
+            .cv
+            .wait_timeout(guard, std::time::Duration::from_millis(1))
+            .expect("batch wait")
+            .0
+    }
+}
+
+impl Drop for ShardPool {
+    /// Stops and joins the workers. Sound with respect to in-flight
+    /// work: `run_batch` holds `&self` until its batch has fully
+    /// drained, so no tasks can be queued or running once `drop` has
+    /// exclusive access — workers observe `stop` on an empty pool and
+    /// exit.
+    fn drop(&mut self) {
+        {
+            let _guard = self.shared.sleep.lock().expect("sleep lock");
+            self.shared.stop.store(true, Ordering::Release);
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("shard worker exited cleanly");
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardPool {{ workers: {} }}", self.workers)
+    }
+}
+
+/// The worker main loop: pop own front, steal siblings' backs, park
+/// when everything is empty, exit (with empty deques) once the pool
+/// stops.
+fn worker_loop(shared: &Shared, home: usize) {
+    loop {
+        if let Some(task) = shared.pop_task(home) {
+            task();
+            continue;
+        }
+        // Re-check under the sleep lock: a submitter pushes, *then*
+        // takes this lock to notify, so either the re-check sees the
+        // task or the notify arrives after the wait begins. The timeout
+        // is belt-and-braces, not load-bearing.
+        let guard = shared.sleep.lock().expect("sleep lock");
+        if let Some(task) = shared.pop_task(home) {
+            drop(guard);
+            task();
+            continue;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let _unused = shared
+            .wake
+            .wait_timeout(guard, std::time::Duration::from_millis(50))
+            .expect("worker wait");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_batch_executes_every_index_exactly_once() {
+        let pool = ShardPool::new(3);
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run_batch(64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = ShardPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        let sum = AtomicU64::new(0);
+        pool.run_batch(10, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        ShardPool::new(1).run_batch(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn sequential_batches_reuse_the_pool() {
+        let pool = ShardPool::new(2);
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            pool.run_batch(8, |i| {
+                sum.fetch_add(round + i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 8 * round + 28);
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_pool() {
+        let pool = ShardPool::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let sum = AtomicU64::new(0);
+                    pool.run_batch(32, |i| {
+                        sum.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                    assert_eq!(sum.load(Ordering::Relaxed), 496);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_task_poisons_the_batch_but_drains_it() {
+        let pool = ShardPool::new(2);
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(16, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        assert_eq!(ran.load(Ordering::Relaxed), 16, "all tasks still ran");
+        // The pool stays usable afterwards.
+        let sum = AtomicU64::new(0);
+        pool.run_batch(4, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = ShardPool::global() as *const ShardPool;
+        let b = ShardPool::global() as *const ShardPool;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Dropping a pool (even one that has executed work) terminates
+        // its worker threads; repeated create/drop must not accumulate
+        // live threads, which `join` in `Drop` guarantees by blocking
+        // until each worker has exited.
+        for _ in 0..20 {
+            let pool = ShardPool::new(3);
+            let sum = AtomicU64::new(0);
+            pool.run_batch(8, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 28);
+            drop(pool); // blocks until the 3 workers are gone
+        }
+    }
+}

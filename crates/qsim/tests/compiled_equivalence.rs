@@ -19,8 +19,9 @@ use proptest::prelude::*;
 use qcircuit::{library, Gate, QuantumCircuit, QubitId};
 use qnoise::{presets, NoiseModel};
 use qsim::{
-    compile_with, run_compiled_shot, run_shot, shard_seed, Backend, CompileOptions, Counts,
-    DensityMatrixBackend, StateVector, StatevectorBackend, TrajectoryBackend,
+    compile_with, run_compiled_sharded, run_compiled_sharded_on, run_compiled_sharded_scoped,
+    run_compiled_shot, run_shot, shard_seed, Backend, CompileOptions, Counts, DensityMatrixBackend,
+    ShardPool, StateVector, StatevectorBackend, TrajectoryBackend,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -217,6 +218,66 @@ fn trajectory_per_shot_path_is_bit_identical_to_interpretation() {
             );
             assert_eq!(backend_counts.shots_discarded, discarded);
         }
+    }
+}
+
+#[test]
+fn pooled_sharding_is_bit_identical_to_scoped_sharding() {
+    // The tentpole invariant: replacing per-call scoped threads with the
+    // persistent work-stealing pool must not move a single count. Same
+    // shard seeds, same shard sizes, same merge — for every workload,
+    // ideal and noisy, across shard counts (including shard counts that
+    // exceed the pool's worker count).
+    let noise = presets::uniform(4, 0.01, 0.05, 0.02).unwrap();
+    for (name, circuit) in workloads() {
+        for noise in [None, Some(&noise)] {
+            let program = compile_with(&circuit, noise, CompileOptions::default()).unwrap();
+            for threads in [2usize, 4, 7] {
+                let (scoped, scoped_disc) =
+                    run_compiled_sharded_scoped(&program, 999, 42, threads).unwrap();
+                let (pooled, pooled_disc) =
+                    run_compiled_sharded(&program, 999, 42, threads).unwrap();
+                assert_eq!(
+                    scoped,
+                    pooled,
+                    "{name} (threads={threads}, noisy={}): pooled counts diverge from scoped",
+                    noise.is_some()
+                );
+                assert_eq!(scoped_disc, pooled_disc, "{name}: discards diverge");
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_counts_are_independent_of_worker_count() {
+    // `threads` is the shard count, not a worker count: the same shard
+    // layout executed on pools of different sizes (0 workers = inline on
+    // the submitter, up to more workers than shards) must agree exactly.
+    let noise = presets::uniform(4, 0.01, 0.06, 0.02).unwrap();
+    let (_, circuit) = workloads().remove(0);
+    let program = compile_with(&circuit, Some(&noise), CompileOptions::default()).unwrap();
+    let reference = run_compiled_sharded_scoped(&program, 1001, 9, 4).unwrap();
+    for workers in [0usize, 1, 2, 6] {
+        let pool = ShardPool::new(workers);
+        let pooled = run_compiled_sharded_on(&pool, &program, 1001, 9, 4).unwrap();
+        assert_eq!(
+            pooled, reference,
+            "worker count {workers} changed sharded counts"
+        );
+    }
+}
+
+#[test]
+fn pooled_sweep_of_many_small_calls_matches_scoped_call_for_call() {
+    // The assertion-sweep shape: many short seeded calls on one program.
+    let noise = presets::uniform(4, 0.008, 0.04, 0.015).unwrap();
+    let (_, circuit) = workloads().remove(0);
+    let program = compile_with(&circuit, Some(&noise), CompileOptions::default()).unwrap();
+    for call in 0..50u64 {
+        let scoped = run_compiled_sharded_scoped(&program, 64, call, 3).unwrap();
+        let pooled = run_compiled_sharded(&program, 64, call, 3).unwrap();
+        assert_eq!(scoped, pooled, "call {call} diverged");
     }
 }
 
