@@ -3,7 +3,7 @@
 //! verification circuits themselves).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qassert::{run_with_assertions, AssertingCircuit, Parity, SuperpositionBasis};
+use qassert::{AssertingCircuit, AssertionSession, Parity, SuperpositionBasis};
 use qcircuit::library;
 use qsim::{Backend, StatevectorBackend};
 
@@ -41,13 +41,8 @@ fn bench_runtime_overhead(c: &mut Criterion) {
         let mut ac = AssertingCircuit::new(library::bell());
         ac.assert_entangled([0, 1], Parity::Even).unwrap();
         ac.measure_data();
-        b.iter(|| {
-            std::hint::black_box(
-                run_with_assertions(&backend, &ac, 1024)
-                    .unwrap()
-                    .shots_kept(),
-            )
-        });
+        let session = AssertionSession::new(&backend).shots(1024);
+        b.iter(|| std::hint::black_box(session.run(&ac).unwrap().shots_kept()));
     });
     group.finish();
 }

@@ -1,4 +1,5 @@
-//! Assertion-sweep throughput: pooled + cached vs scoped + fresh-compile.
+//! Assertion-sweep throughput: session (pooled + cached) vs scoped +
+//! fresh-compile.
 //!
 //! The paper's assertion sweeps issue thousands of short `run_compiled`
 //! calls — one instrumented circuit per assertion point per noise
@@ -9,14 +10,17 @@
 //! * **scoped** — PR 1 semantics: every call compiles the circuit
 //!   afresh and spawns scoped shard threads
 //!   (`run_compiled_sharded_scoped`),
-//! * **pooled** — this PR: calls compile through the keyed
-//!   `ProgramCache` (one miss, then hits) and execute shards on the
-//!   persistent work-stealing `ShardPool` (`run_compiled_sharded`).
+//! * **session** — the public execution API: each call runs through an
+//!   `AssertionSession` that compiles through the shared keyed
+//!   `ProgramCache` (one miss, then hits) and executes shards on the
+//!   persistent work-stealing `ShardPool`. Per-call session
+//!   construction is part of the timed path on purpose — sessions must
+//!   stay cheap enough to build around a single seeded call.
 //!
 //! Both strategies are verified to produce **bit-identical counts** for
 //! every call before any number is reported. Results are written to
 //! `BENCH_sweep.json` (override with `--out`); `--check <baseline.json>`
-//! turns the run into a CI gate that fails when pooled per-shot time
+//! turns the run into a CI gate that fails when session per-shot time
 //! regresses more than the tolerance (default 25%, override with
 //! `BENCH_TOLERANCE_PCT`) against the checked-in baseline — unless the
 //! machine-independent same-run speedup still clears the baseline's
@@ -32,12 +36,9 @@
 //! next to this bench (resolved via `CARGO_MANIFEST_DIR`), and relative
 //! `--out`/`--check` paths resolve against `crates/bench/`.
 
-use qassert::{AssertingCircuit, Parity};
+use qassert::{AssertingCircuit, AssertionSession, Parity};
 use qcircuit::library;
-use qsim::{
-    run_compiled_sharded, run_compiled_sharded_scoped, Backend, ProgramCache, ShardPool,
-    TrajectoryBackend,
-};
+use qsim::{run_compiled_sharded_scoped, Backend, ProgramCache, ShardPool, TrajectoryBackend};
 use std::time::Instant;
 
 /// One sweep configuration.
@@ -53,12 +54,16 @@ struct Timing {
     wall_secs: f64,
 }
 
-fn instrumented_circuit() -> qcircuit::QuantumCircuit {
+fn instrumented() -> AssertingCircuit {
     let mut ac = AssertingCircuit::new(library::bell());
     ac.assert_entangled([0, 1], Parity::Even)
         .expect("valid assertion targets");
     ac.measure_data();
-    ac.circuit().clone()
+    ac
+}
+
+fn instrumented_circuit() -> qcircuit::QuantumCircuit {
+    instrumented().circuit().clone()
 }
 
 fn backend() -> TrajectoryBackend {
@@ -90,17 +95,26 @@ fn run_scoped(cfg: &Config) -> (Timing, Vec<qsim::Counts>) {
     )
 }
 
-/// The pooled strategy: cached compile + persistent work-stealing pool.
-fn run_pooled(cfg: &Config, cache: &ProgramCache) -> (Timing, Vec<qsim::Counts>) {
-    let circuit = instrumented_circuit();
-    let backend = backend();
+/// The session strategy: per-call `AssertionSession` over a shared
+/// cache, executing on the persistent work-stealing pool. Each call
+/// builds its own session (the seed lives on the backend), so session
+/// construction cost is included in the timing.
+fn run_session(cfg: &Config, cache: &ProgramCache) -> (Timing, Vec<qsim::Counts>) {
+    let ac = instrumented();
+    let proto = backend();
     let mut all_counts = Vec::with_capacity(cfg.calls);
     let start = Instant::now();
     for call in 0..cfg.calls {
-        let program = backend.compile_cached(&circuit, cache).expect("compiles");
-        let (counts, _) =
-            run_compiled_sharded(&program, cfg.shots, call as u64, cfg.threads).expect("runs");
-        all_counts.push(counts);
+        let session = AssertionSession::new(proto.clone().with_seed(call as u64))
+            .cache(cache)
+            .threads(cfg.threads)
+            .shots(cfg.shots)
+            // One-shot session per seeded call: prefix registration
+            // could never pay off, so skip it (the recommended pattern
+            // for single-run sessions).
+            .prefix_reuse(false);
+        let outcome = session.run(&ac).expect("runs");
+        all_counts.push(outcome.raw.counts);
     }
     (
         Timing {
@@ -169,23 +183,23 @@ fn main() {
         threads: cfg.threads,
     };
     let _ = run_scoped(&warmup);
-    let _ = run_pooled(&warmup, &ProgramCache::new(8));
+    let _ = run_session(&warmup, &ProgramCache::new(8));
 
     let (scoped, scoped_counts) = run_scoped(&cfg);
     let cache = ProgramCache::new(8); // fresh: the sweep's own hit/miss profile
-    let (pooled, pooled_counts) = run_pooled(&cfg, &cache);
+    let (session, session_counts) = run_session(&cfg, &cache);
 
     // Correctness before speed: the two strategies must agree
     // shot-for-shot on every call of the sweep.
-    let identical = scoped_counts == pooled_counts;
+    let identical = scoped_counts == session_counts;
     assert!(
         identical,
-        "pooled counts diverge from scoped counts — determinism broken"
+        "session counts diverge from scoped counts — determinism broken"
     );
 
     let total_shots = cfg.calls as u64 * cfg.shots;
-    let per_shot_ns = pooled.wall_secs * 1e9 / total_shots as f64;
-    let speedup = scoped.wall_secs / pooled.wall_secs;
+    let per_shot_ns = session.wall_secs * 1e9 / total_shots as f64;
+    let speedup = scoped.wall_secs / session.wall_secs;
     let stats = cache.stats();
 
     println!(
@@ -197,9 +211,9 @@ fn main() {
         ShardPool::global().workers(),
     );
     println!(
-        "  scoped+fresh-compile: {:>9.3} ms   pooled+cached: {:>9.3} ms   speedup {:.2}x",
+        "  scoped+fresh-compile: {:>9.3} ms   session (pooled+cached): {:>9.3} ms   speedup {:.2}x",
         scoped.wall_secs * 1e3,
-        pooled.wall_secs * 1e3,
+        session.wall_secs * 1e3,
         speedup
     );
     println!(
@@ -220,7 +234,7 @@ fn main() {
         cfg.threads,
         ShardPool::global().workers(),
         scoped.wall_secs * 1e3,
-        pooled.wall_secs * 1e3,
+        session.wall_secs * 1e3,
         speedup,
         per_shot_ns,
         identical,

@@ -10,9 +10,11 @@
 //! parity check can never see it, while the pairwise extension catches
 //! it with certainty.
 
-use qassert::{AssertingCircuit, Comparison, EntanglementMode, ExperimentReport, Parity};
+use qassert::{
+    AssertingCircuit, AssertionSession, Comparison, EntanglementMode, ExperimentReport, Parity,
+};
 use qcircuit::{library, Gate, QuantumCircuit, QubitId};
-use qsim::{Backend, DensityMatrix, DensityMatrixBackend, ProgramCache, StateVector};
+use qsim::{DensityMatrix, DensityMatrixBackend, StateVector};
 
 fn q(i: u32) -> QubitId {
     QubitId::new(i)
@@ -52,20 +54,25 @@ fn parity_check_effect(k: usize, cnots: usize) -> (f64, f64) {
 /// Detection probability of a bug by an instrumented GHZ(4) entanglement
 /// assertion in the given mode. `bug` mutates the prepared state.
 ///
-/// The instrumented circuit compiles through the process-wide program
-/// cache: the same `(mode, bug)` pair evaluated again (tests re-running
-/// the ablation, repeated `repro` invocations) skips lowering entirely.
-fn detection_probability(mode: EntanglementMode, bug: impl Fn(&mut QuantumCircuit)) -> f64 {
+/// The instrumented circuit lowers through the session (process-wide
+/// program cache): the same `(mode, bug)` pair evaluated again (tests
+/// re-running the ablation, repeated `repro` invocations) skips
+/// lowering entirely.
+fn detection_probability(
+    session: &AssertionSession<'_, DensityMatrixBackend>,
+    mode: EntanglementMode,
+    bug: impl Fn(&mut QuantumCircuit),
+) -> f64 {
     let mut base = library::ghz(4);
     bug(&mut base);
     let mut ac = AssertingCircuit::new(base).with_mode(mode);
     ac.assert_entangled([0, 1, 2, 3], Parity::Even)
         .expect("valid targets");
-    let backend = DensityMatrixBackend::ideal();
-    let program = backend
-        .compile_cached(ac.circuit(), ProgramCache::global())
+    let program = session
+        .lower(ac.circuit())
         .expect("ablation circuits compile");
-    let dist = backend
+    let dist = session
+        .backend()
         .exact_distribution_compiled(&program)
         .expect("simulates");
     // Any assertion clbit reading 1 = detected.
@@ -79,7 +86,7 @@ pub fn run() -> ExperimentReport {
         "ablation",
         "even-CNOT rule (Fig. 4) and strong-mode coverage ablations",
     );
-    let cache_before = ProgramCache::global().stats();
+    let session = AssertionSession::new(DensityMatrixBackend::ideal());
 
     // Part A: even vs odd CNOT count on GHZ(3).
     let (purity_even, fidelity_even) = parity_check_effect(3, 4);
@@ -127,25 +134,26 @@ pub fn run() -> ExperimentReport {
     report.comparisons.push(Comparison::new(
         "single bit-flip detection, paper mode",
         1.0,
-        detection_probability(EntanglementMode::Paper, single_flip),
+        detection_probability(&session, EntanglementMode::Paper, single_flip),
     ));
     report.comparisons.push(Comparison::new(
         "single bit-flip detection, strong mode",
         1.0,
-        detection_probability(EntanglementMode::Strong, single_flip),
+        detection_probability(&session, EntanglementMode::Strong, single_flip),
     ));
     report.comparisons.push(Comparison::new(
         "double bit-flip detection, paper mode (parity-blind)",
         0.0,
-        detection_probability(EntanglementMode::Paper, double_flip),
+        detection_probability(&session, EntanglementMode::Paper, double_flip),
     ));
     report.comparisons.push(Comparison::new(
         "double bit-flip detection, strong mode",
         1.0,
-        detection_probability(EntanglementMode::Strong, double_flip),
+        detection_probability(&session, EntanglementMode::Strong, double_flip),
     ));
 
-    report.push_cache_metrics(ProgramCache::global().stats().since(&cache_before));
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
     report.notes.push(
         "strong mode spends k−1 ancillas instead of 1; the overhead buys parity-blind bug \
          coverage"
@@ -174,7 +182,8 @@ mod tests {
 
     #[test]
     fn paper_mode_is_blind_to_double_flips() {
-        let p = detection_probability(EntanglementMode::Paper, |c| {
+        let session = AssertionSession::new(DensityMatrixBackend::ideal());
+        let p = detection_probability(&session, EntanglementMode::Paper, |c| {
             c.x(1).unwrap();
             c.x(2).unwrap();
         });
@@ -183,7 +192,8 @@ mod tests {
 
     #[test]
     fn strong_mode_catches_double_flips() {
-        let p = detection_probability(EntanglementMode::Strong, |c| {
+        let session = AssertionSession::new(DensityMatrixBackend::ideal());
+        let p = detection_probability(&session, EntanglementMode::Strong, |c| {
             c.x(1).unwrap();
             c.x(2).unwrap();
         });

@@ -9,7 +9,8 @@
 //! even projects surviving shots into the asserted entangled subspace.
 
 use qassert::{
-    AssertingCircuit, Comparison, ExperimentReport, Parity, StatisticalAssertion, StatisticalKind,
+    AssertingCircuit, AssertionSession, Comparison, ExperimentReport, Parity, StatisticalAssertion,
+    StatisticalKind,
 };
 use qcircuit::QuantumCircuit;
 use qsim::{DensityMatrixBackend, StatevectorBackend};
@@ -33,16 +34,9 @@ pub fn run() -> ExperimentReport {
     ac.assert_entangled([0, 1], Parity::Even)
         .expect("valid targets");
     ac.measure_data();
-    let dist = DensityMatrixBackend::ideal()
-        .exact_distribution(ac.circuit())
-        .expect("simulates");
-    // Assertion clbit is bit 0.
-    let p_detect: f64 = dist
-        .outcomes
-        .iter()
-        .filter(|(k, _)| k & 1 == 1)
-        .map(|(_, p)| p)
-        .sum();
+    let session = AssertionSession::new(DensityMatrixBackend::ideal()).shots(4096);
+    let outcome = session.run(&ac).expect("buggy bell simulates");
+    let p_detect = outcome.assertion_error_rate;
     // Theory (Sec. 3.2): |+⟩⊗|0⟩ has odd-parity mass 1/2.
     report.comparisons.push(Comparison::new(
         "dynamic: per-shot detection probability",
@@ -57,29 +51,21 @@ pub fn run() -> ExperimentReport {
     ));
 
     // Surviving shots are *forced* into the entangled subspace: data
-    // bits (1 and 2) agree in every kept outcome.
-    let kept_correlated: f64 = dist
-        .outcomes
-        .iter()
-        .filter(|(k, _)| k & 1 == 0 && ((k >> 1) & 1) == ((k >> 2) & 1))
-        .map(|(_, p)| p)
-        .sum();
-    let kept_total: f64 = dist
-        .outcomes
-        .iter()
-        .filter(|(k, _)| k & 1 == 0)
-        .map(|(_, p)| p)
-        .sum();
+    // bits agree in every kept outcome (the session already filtered
+    // them onto the data marginal).
+    let kept_correlated = outcome.data_kept.get(0b00) + outcome.data_kept.get(0b11);
     report.comparisons.push(Comparison::new(
         "dynamic: P(data correlated | passed) — projection effect",
         1.0,
-        kept_correlated / kept_total,
+        kept_correlated as f64 / outcome.shots_kept() as f64,
     ));
     report.comparisons.push(Comparison::new(
         "dynamic: program continues after check (1 = yes)",
         1.0,
         1.0,
     ));
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
 
     // --- Statistical baseline: batch test, program halts. ---
     let stat = StatisticalAssertion::new([0, 1], StatisticalKind::EntangledGhz, 0.05)

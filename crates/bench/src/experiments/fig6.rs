@@ -5,10 +5,12 @@
 //! tested qubit must come out projected to `|0⟩` even though the input
 //! was a superposition.
 
-use qassert::{theory, Comparison, ExperimentReport, OutcomeTable};
-use qcircuit::{Gate, QubitId};
+use qassert::{
+    theory, AssertingCircuit, AssertionSession, Comparison, ExperimentReport, OutcomeTable,
+};
+use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qmath::{Complex, FRAC_1_SQRT_2};
-use qsim::{Counts, StateVector};
+use qsim::{Counts, DensityMatrixBackend, StateVector};
 
 /// Runs the experiment.
 pub fn run() -> ExperimentReport {
@@ -54,6 +56,31 @@ pub fn run() -> ExperimentReport {
         predicted_error,
         1.0 - p_pass,
     ));
+
+    // Cross-check through the instrumented API: run the same Fig. 2
+    // circuit end-to-end on the exact backend and read the filtered
+    // data marginal — passing shots must be projected to |0⟩.
+    let mut base = QuantumCircuit::new(1, 0);
+    base.h(0).expect("valid qubit");
+    let mut program = AssertingCircuit::new(base);
+    program
+        .assert_classical([0], [false])
+        .expect("valid target");
+    program.measure_data();
+    let session = AssertionSession::new(DensityMatrixBackend::ideal()).shots(8192);
+    let outcome = session.run(&program).expect("fig6 circuit simulates");
+    report.comparisons.push(Comparison::new(
+        "instrumented API assertion error rate",
+        predicted_error,
+        outcome.assertion_error_rate,
+    ));
+    report.comparisons.push(Comparison::new(
+        "instrumented API P(q = 1 | passed)",
+        0.0,
+        outcome.data_kept.probability(1),
+    ));
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
 
     // Outcome table of the pre-post-selection joint distribution.
     let probs = psi.probabilities();

@@ -6,7 +6,10 @@
 //! measured — the tested qubit is forced into an equal-magnitude
 //! superposition (`|k| = 1/√2`).
 
-use qassert::{theory, AssertingCircuit, Comparison, ExperimentReport, OutcomeTable};
+use qassert::{
+    theory, AssertingCircuit, AssertionSession, Comparison, ExperimentReport, FilterPolicy,
+    OutcomeTable,
+};
 use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qsim::{Counts, DensityMatrixBackend, StateVector};
 
@@ -55,18 +58,23 @@ pub fn run() -> ExperimentReport {
         ));
     }
 
-    // Cross-check through the instrumented API + exact backend.
+    // Cross-check through the instrumented API + exact backend, run
+    // end-to-end via a session (lenient filtering — half the shots are
+    // flagged by construction, and that rate is the measurement).
     let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
     ac.assert_superposition(0, qassert::SuperpositionBasis::Plus)
         .expect("valid target");
-    let dist = DensityMatrixBackend::ideal()
-        .exact_distribution(ac.circuit())
-        .expect("simulates");
+    let session = AssertionSession::new(DensityMatrixBackend::ideal())
+        .shots(8192)
+        .filter_policy(FilterPolicy::AllowEmpty);
+    let outcome = session.run(&ac).expect("fig7 circuit simulates");
     report.comparisons.push(Comparison::new(
         "instrumented API assertion error rate",
         0.5,
-        dist.probability(1),
+        outcome.assertion_error_rate,
     ));
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
 
     let mut counts = Counts::new(2);
     for (idx, p) in psi.probabilities().iter().enumerate() {

@@ -7,10 +7,10 @@
 //! assertion catches *state* errors (decoherence, gate noise), while
 //! mitigation only repairs *measurement* errors. The combination wins.
 
-use super::{run_exact, to_ibmqx4, HW_SHOTS};
-use qassert::mitigation::{filter_mitigated, mitigated_error_rate, ReadoutMitigator};
-use qassert::{Comparison, ErrorReduction, ExperimentReport};
-use qcircuit::{ClbitId, OpKind, QuantumCircuit, QubitId};
+use super::{exact_session, to_ibmqx4, HW_SHOTS};
+use qassert::mitigation::{mitigated_error_rate, ReadoutMitigator};
+use qassert::{Comparison, ErrorReduction, ExperimentReport, SessionRecord};
+use qcircuit::{OpKind, QuantumCircuit, QubitId};
 
 /// Extracts the qubit measured into each clbit of a lowered circuit.
 fn measurement_map(circuit: &QuantumCircuit) -> Vec<QubitId> {
@@ -23,29 +23,42 @@ fn measurement_map(circuit: &QuantumCircuit) -> Vec<QubitId> {
     map
 }
 
-/// All four error rates on the Table-2 workload:
-/// `(raw, filtered, mitigated, both)`.
-pub fn technique_comparison() -> (f64, f64, f64, f64) {
+/// All four error rates on the Table-2 workload
+/// (`(raw, filtered, mitigated, both)`) plus the session record that
+/// produced them.
+///
+/// The session carries the [`ReadoutMitigator`] built from the device's
+/// assignment matrices, so the analyzed outcome brings the mitigated
+/// raw/filtered distributions along with the counted ones.
+pub fn technique_comparison_with_record() -> ((f64, f64, f64, f64), SessionRecord) {
     let ac = super::table2::circuit();
     let native = to_ibmqx4(ac.circuit());
     let noise = qnoise::presets::ibmqx4();
-    let raw = run_exact(&native, noise.clone());
+    let mitigator = ReadoutMitigator::from_noise_model(&noise, &measurement_map(&native));
+    let session = exact_session(noise).mitigator(mitigator);
+    let raw = session
+        .run_circuit(&native)
+        .expect("experiment circuits simulate");
+    let outcome = session
+        .analyze(raw, &ac)
+        .expect("some shots survive filtering");
 
     let correct = |k: u64| ((k >> 1) & 1) == ((k >> 2) & 1);
-    let assertion_bits: Vec<ClbitId> = ac.assertion_clbits();
+    let reduction = ErrorReduction::compute(&outcome.raw.counts, &ac.assertion_clbits(), correct);
+    let mitigated = outcome.mitigated.as_ref().expect("session has a mitigator");
+    let mitigated_rate = mitigated_error_rate(&mitigated.probs, correct);
+    let both_rate = mitigated_error_rate(&mitigated.kept, correct);
 
-    let reduction = ErrorReduction::compute(&raw.counts, &assertion_bits, correct);
+    (
+        (reduction.raw, reduction.filtered, mitigated_rate, both_rate),
+        session.record(),
+    )
+}
 
-    let mitigator = ReadoutMitigator::from_noise_model(&noise, &measurement_map(&native));
-    let mitigated = mitigator
-        .mitigate_clipped(&raw.counts)
-        .expect("mitigation keeps mass");
-    let mitigated_rate = mitigated_error_rate(&mitigated, correct);
-
-    let both = filter_mitigated(&mitigated, &assertion_bits).expect("some mass passes");
-    let both_rate = mitigated_error_rate(&both, correct);
-
-    (reduction.raw, reduction.filtered, mitigated_rate, both_rate)
+/// All four error rates on the Table-2 workload:
+/// `(raw, filtered, mitigated, both)`.
+pub fn technique_comparison() -> (f64, f64, f64, f64) {
+    technique_comparison_with_record().0
 }
 
 /// Runs the experiment.
@@ -56,7 +69,8 @@ pub fn run() -> ExperimentReport {
             "assertion filtering vs readout mitigation on the Table-2 workload, {HW_SHOTS} shots"
         ),
     );
-    let (raw, filtered, mitigated, both) = technique_comparison();
+    let ((raw, filtered, mitigated, both), record) = technique_comparison_with_record();
+    report.push_session(record);
 
     report
         .comparisons

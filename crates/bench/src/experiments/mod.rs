@@ -13,11 +13,11 @@ pub mod table1;
 pub mod table2;
 pub mod theory_sweep;
 
-use qassert::AssertingCircuit;
+use qassert::{AssertingCircuit, AssertionSession};
 use qcircuit::QuantumCircuit;
 use qdevice::transpile::transpile;
 use qnoise::NoiseModel;
-use qsim::{Backend, DensityMatrixBackend, ProgramCache, RunResult};
+use qsim::DensityMatrixBackend;
 
 /// Shots used by the hardware-model experiments (the paper used IBM Q's
 /// standard 8192).
@@ -37,37 +37,40 @@ pub fn to_ibmqx4(circuit: &QuantumCircuit) -> QuantumCircuit {
         .circuit
 }
 
-/// Runs a circuit on the exact density-matrix backend under the given
-/// noise model with [`HW_SHOTS`] deterministic largest-remainder counts.
+/// An [`AssertionSession`] over the exact density-matrix backend under
+/// the given noise model, configured with [`HW_SHOTS`] deterministic
+/// largest-remainder counts per run.
 ///
-/// Compilation goes through the process-wide [`ProgramCache`], so the
-/// sweeps that re-analyze one circuit per noise level (and the tests
-/// that re-run experiments) lower each `(circuit, noise)` pair once.
-///
-/// # Panics
-///
-/// Panics on simulation failure — experiment circuits are validated by
-/// construction.
-pub fn run_exact(circuit: &QuantumCircuit, noise: NoiseModel) -> RunResult {
-    let backend = DensityMatrixBackend::new(noise);
-    let program = backend
-        .compile_cached(circuit, ProgramCache::global())
-        .expect("experiment circuits compile");
-    backend
-        .run_compiled(&program, HW_SHOTS)
-        .expect("experiment circuits simulate")
+/// Sessions compile through the process-wide program cache, so sweeps
+/// that re-analyze one circuit per noise level (and the tests that
+/// re-run experiments) lower each `(circuit, noise)` pair once.
+pub fn exact_session(noise: NoiseModel) -> AssertionSession<'static, DensityMatrixBackend> {
+    AssertionSession::new(DensityMatrixBackend::new(noise)).shots(HW_SHOTS)
 }
 
-/// Transpiles to `ibmqx4`, runs on its exact noise model, and analyzes
-/// assertion outcomes.
+/// The session the hardware-table experiments run on: exact `ibmqx4`
+/// noise, [`HW_SHOTS`] shots.
+pub fn ibmqx4_session() -> AssertionSession<'static, DensityMatrixBackend> {
+    exact_session(qnoise::presets::ibmqx4())
+}
+
+/// Transpiles to `ibmqx4`, runs on the session's exact noise model, and
+/// analyzes assertion outcomes.
 ///
 /// # Panics
 ///
 /// Panics on simulation failure.
-pub fn run_on_ibmqx4(ac: &AssertingCircuit) -> qassert::AssertionOutcome {
+pub fn run_on_ibmqx4(
+    session: &AssertionSession<'_, DensityMatrixBackend>,
+    ac: &AssertingCircuit,
+) -> qassert::AssertionOutcome {
     let native = to_ibmqx4(ac.circuit());
-    let raw = run_exact(&native, qnoise::presets::ibmqx4());
-    qassert::analyze(raw, ac).expect("some shots survive filtering")
+    let raw = session
+        .run_circuit(&native)
+        .expect("experiment circuits simulate");
+    session
+        .analyze(raw, ac)
+        .expect("some shots survive filtering")
 }
 
 #[cfg(test)]
@@ -91,9 +94,13 @@ mod tests {
         let mut ac = AssertingCircuit::new(library::bell());
         ac.assert_entangled([0, 1], Parity::Even).unwrap();
         ac.measure_data();
-        let outcome = run_on_ibmqx4(&ac);
+        let session = ibmqx4_session();
+        let outcome = run_on_ibmqx4(&session, &ac);
         assert!(outcome.shots_kept() > HW_SHOTS / 2);
         assert!(outcome.assertion_error_rate > 0.0);
         assert!(outcome.assertion_error_rate < 0.5);
+        let t = session.telemetry();
+        assert_eq!(t.runs, 1);
+        assert_eq!(t.shots, HW_SHOTS);
     }
 }

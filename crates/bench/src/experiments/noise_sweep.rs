@@ -7,33 +7,48 @@
 //! the assertion's own 2-CNOT overhead eating into the benefit as noise
 //! grows.
 //!
-//! Every point compiles through the process-wide program cache: the
-//! circuit is fixed and only the noise model varies, so each of the five
-//! `(circuit, noise)` pairs lowers once per process — the headline
-//! re-evaluation at x1.00 (and any re-run) is compile-free. The report's
-//! metrics block exports the cache counters observed during the sweep.
+//! Each factor runs through an [`qassert::AssertionSession`] over the
+//! exact backend at that scale; all sessions share the process-wide
+//! program cache, so each of the five `(circuit, noise)` pairs lowers
+//! once per process — the headline re-evaluation at x1.00 (and any
+//! re-run) is compile-free. The sessions' merged telemetry and the
+//! session configuration are exported in the report's metrics block.
 
-use super::{run_exact, to_ibmqx4, HW_SHOTS};
-use qassert::{Comparison, ErrorReduction, ExperimentReport};
-use qsim::ProgramCache;
+use super::{exact_session, to_ibmqx4, HW_SHOTS};
+use qassert::{Comparison, ErrorReduction, ExperimentReport, SessionRecord, SessionTelemetry};
 
 /// The swept noise scale factors.
 pub const FACTORS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 
-/// One sweep point: `(factor, raw error, filtered error, reduction)`.
-pub fn sweep_point(factor: f64) -> (f64, f64, f64, f64) {
+/// One sweep point plus the telemetry and configuration record of the
+/// session that produced it.
+fn sweep_point_with_telemetry(
+    factor: f64,
+) -> ((f64, f64, f64, f64), SessionTelemetry, SessionRecord) {
     let ac = super::table2::circuit();
     let native = to_ibmqx4(ac.circuit());
-    let raw = run_exact(&native, qnoise::presets::ibmqx4_scaled(factor));
+    let session = exact_session(qnoise::presets::ibmqx4_scaled(factor));
+    let raw = session
+        .run_circuit(&native)
+        .expect("experiment circuits simulate");
     let reduction = ErrorReduction::compute(&raw.counts, &ac.assertion_clbits(), |key| {
         ((key >> 1) & 1) == ((key >> 2) & 1)
     });
     (
-        factor,
-        reduction.raw,
-        reduction.filtered,
-        reduction.relative_reduction(),
+        (
+            factor,
+            reduction.raw,
+            reduction.filtered,
+            reduction.relative_reduction(),
+        ),
+        session.telemetry(),
+        session.record(),
     )
+}
+
+/// One sweep point: `(factor, raw error, filtered error, reduction)`.
+pub fn sweep_point(factor: f64) -> (f64, f64, f64, f64) {
+    sweep_point_with_telemetry(factor).0
 }
 
 /// Runs the experiment.
@@ -42,10 +57,11 @@ pub fn run() -> ExperimentReport {
         "sweep",
         format!("Table-2 circuit under scaled ibmqx4 noise, {HW_SHOTS} shots per point"),
     );
-    let cache_before = ProgramCache::global().stats();
+    let mut telemetry = SessionTelemetry::default();
     let mut prev_raw = 0.0;
     for factor in FACTORS {
-        let (f, raw, filtered, reduction) = sweep_point(factor);
+        let ((f, raw, filtered, reduction), t, _) = sweep_point_with_telemetry(factor);
+        telemetry.merge(&t);
         report.comparisons.push(Comparison::new(
             format!("x{f:.2}: raw error rate"),
             raw.max(1e-9), // the "paper" column doubles as the reference (self-comparison)
@@ -66,13 +82,17 @@ pub fn run() -> ExperimentReport {
     }
     // The headline anchor: at x1.00 the reduction should sit in the
     // paper's regime (Table 2 reports 31.5%).
-    let (_, _, _, at_nominal) = sweep_point(1.0);
+    let ((_, _, _, at_nominal), t, nominal_record) = sweep_point_with_telemetry(1.0);
+    telemetry.merge(&t);
     report.comparisons.push(Comparison::new(
         "reduction at nominal noise (paper Table 2)",
         0.315,
         at_nominal,
     ));
-    report.push_cache_metrics(ProgramCache::global().stats().since(&cache_before));
+    // The per-factor sessions differ only in noise content; record the
+    // nominal one as the representative configuration.
+    report.push_session(nominal_record);
+    report.push_session_telemetry(&telemetry);
     report.notes.push(
         "scaling multiplies gate/readout error probabilities and divides T1/T2 by the factor"
             .to_string(),
@@ -83,6 +103,7 @@ pub fn run() -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qsim::ProgramCache;
 
     #[test]
     fn raw_error_grows_monotonically_with_noise() {
@@ -109,12 +130,14 @@ mod tests {
     fn repeated_points_are_compile_free() {
         let _ = sweep_point(1.0); // ensure the program is resident
         let before = ProgramCache::global().stats();
-        let _ = sweep_point(1.0);
+        let (_, t, _) = sweep_point_with_telemetry(1.0);
         let delta = ProgramCache::global().stats().since(&before);
         assert!(
             delta.hits >= 1,
             "re-evaluating a sweep point should hit the program cache"
         );
+        assert_eq!(t.cache_hits, 1, "the session observed its own hit");
+        assert_eq!(t.runs, 1);
     }
 
     #[test]
@@ -124,5 +147,18 @@ mod tests {
             (0.05..=0.9).contains(&reduction),
             "reduction {reduction} outside plausible regime"
         );
+    }
+
+    #[test]
+    fn report_merges_telemetry_across_factor_sessions() {
+        let report = run();
+        assert!(report.session.is_some());
+        let runs = report
+            .metrics
+            .iter()
+            .find(|m| m.name == "session_runs")
+            .expect("session telemetry exported");
+        // Five factors plus the nominal re-evaluation.
+        assert_eq!(runs.value, 6.0);
     }
 }

@@ -5,7 +5,7 @@
 //! measurements on hardware — capturing erroneous deviations from the
 //! expected superposition state.
 
-use super::{run_on_ibmqx4, HW_SHOTS};
+use super::{ibmqx4_session, run_on_ibmqx4, HW_SHOTS};
 use qassert::{AssertingCircuit, Comparison, ExperimentReport, OutcomeTable, SuperpositionBasis};
 use qcircuit::QuantumCircuit;
 
@@ -30,7 +30,10 @@ pub fn run() -> ExperimentReport {
         format!("superposition assertion on H|0⟩, ibmqx4 model, {HW_SHOTS} shots"),
     );
     let ac = circuit();
-    let outcome = run_on_ibmqx4(&ac);
+    let session = ibmqx4_session();
+    let outcome = run_on_ibmqx4(&session, &ac);
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
 
     report.comparisons.push(Comparison::new(
         "assertion error rate",

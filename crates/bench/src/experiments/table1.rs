@@ -5,7 +5,7 @@
 //! raw vs assertion-filtered error rate of the data qubit, and the
 //! relative error-rate reduction.
 
-use super::{run_on_ibmqx4, HW_SHOTS};
+use super::{ibmqx4_session, run_on_ibmqx4, HW_SHOTS};
 use qassert::{AssertingCircuit, Comparison, ErrorReduction, ExperimentReport, OutcomeTable};
 use qcircuit::QuantumCircuit;
 
@@ -37,7 +37,10 @@ pub fn run() -> ExperimentReport {
         format!("classical assertion (q == |0⟩) on ibmqx4 model, {HW_SHOTS} shots"),
     );
     let ac = circuit();
-    let outcome = run_on_ibmqx4(&ac);
+    let session = ibmqx4_session();
+    let outcome = run_on_ibmqx4(&session, &ac);
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
 
     // Clbit 0 = ancilla, clbit 1 = data; the paper prints q1q2 =
     // (data, ancilla).
@@ -125,5 +128,14 @@ mod tests {
         let first_row = &report.tables[0].rows[0];
         assert_eq!(first_row.bits, "00");
         assert!(first_row.percent > 85.0);
+    }
+
+    #[test]
+    fn table1_records_its_session_configuration() {
+        let report = run();
+        let session = report.session.expect("session recorded");
+        assert_eq!(session.shots, HW_SHOTS);
+        assert!(session.backend.contains("density matrix"));
+        assert!(report.metrics.iter().any(|m| m.name == "session_shots"));
     }
 }

@@ -5,7 +5,7 @@
 //! three. The table lists the eight joint outcomes; filtering shots with
 //! an assertion error reduces the data error rate.
 
-use super::{run_on_ibmqx4, HW_SHOTS};
+use super::{ibmqx4_session, run_on_ibmqx4, HW_SHOTS};
 use qassert::{
     AssertingCircuit, Comparison, ErrorReduction, ExperimentReport, OutcomeTable, Parity,
 };
@@ -39,7 +39,10 @@ pub fn run() -> ExperimentReport {
         format!("entanglement assertion on a Bell pair, ibmqx4 model, {HW_SHOTS} shots"),
     );
     let ac = circuit();
-    let outcome = run_on_ibmqx4(&ac);
+    let session = ibmqx4_session();
+    let outcome = run_on_ibmqx4(&session, &ac);
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
 
     // Clbit 0 = ancilla (paper q0), clbits 1–2 = data (paper q1 q2).
     let table = OutcomeTable::from_counts(

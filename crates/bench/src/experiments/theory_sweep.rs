@@ -6,16 +6,21 @@
 //! (entanglement, on product inputs), and `(2 − 4ab)/4` (superposition).
 //!
 //! Each assertion circuit is built as a `QuantumCircuit`, lowered
-//! through the process-wide program cache, and evolved via the compiled
-//! op stream ([`StatevectorBackend::statevector_compiled`]) — so
-//! re-running the sweep (tests, repeated `repro` invocations in one
-//! process) is compile-free, with the cache counters exported in the
+//! through an [`AssertionSession`] (process-wide program cache +
+//! prefix-aware compilation), and evolved via the compiled op stream
+//! ([`StatevectorBackend::statevector_compiled`]). The per-θ circuits
+//! share lowered prefixes two ways — the classical circuit is an exact
+//! instruction-prefix of the superposition circuit, and the product
+//! preparation is a prefix of the entangled circuit — so on a cold
+//! cache the sweep records `2 × STEPS` prefix hits, and re-running it
+//! (tests, repeated `repro` invocations in one process) is compile-free.
+//! The session's telemetry and configuration are exported in the
 //! report's metrics block.
 
-use qassert::{theory, Comparison, ExperimentReport};
+use qassert::{theory, AssertionSession, Comparison, ExperimentReport};
 use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qmath::Complex;
-use qsim::{Backend, ProgramCache, StateVector, StatevectorBackend};
+use qsim::{StateVector, StatevectorBackend};
 
 /// Sweep resolution (number of θ samples over `[0, 2π)`).
 const STEPS: usize = 32;
@@ -24,15 +29,66 @@ fn q(i: u32) -> QubitId {
     QubitId::new(i)
 }
 
-/// Compiles `circuit` through the global cache and evolves it from
-/// `|0…0⟩` on the ideal backend.
-fn evolve(backend: &StatevectorBackend, circuit: &QuantumCircuit) -> StateVector {
-    let program = backend
-        .compile_cached(circuit, ProgramCache::global())
-        .expect("theory circuits compile");
-    backend
+/// Lowers `circuit` through the session and evolves it from `|0…0⟩` on
+/// the ideal backend.
+fn evolve(
+    session: &AssertionSession<'_, StatevectorBackend>,
+    circuit: &QuantumCircuit,
+) -> StateVector {
+    let program = session.lower(circuit).expect("theory circuits compile");
+    session
+        .backend()
         .statevector_compiled(&program)
         .expect("theory circuits are unitary")
+}
+
+/// The three per-θ deviations `(classical, superposition, entanglement)`
+/// measured through `session`.
+fn point_deviations(
+    session: &AssertionSession<'_, StatevectorBackend>,
+    theta: f64,
+) -> (f64, f64, f64) {
+    let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+
+    // Classical assertion (Fig. 2).
+    let mut classical = QuantumCircuit::new(2, 0);
+    classical.ry(theta, 0).expect("valid");
+    classical.cx(0, 1).expect("valid");
+    let psi = evolve(session, &classical);
+    let measured = psi.probability_of_one(q(1)).expect("valid");
+    let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
+    let dev_classical = (measured - predicted).abs();
+
+    // Superposition assertion (Fig. 5) — extends the classical circuit,
+    // so its prefix is reused from the classical lowering.
+    let mut superposition = classical.clone();
+    superposition.h(0).expect("valid");
+    superposition.h(1).expect("valid");
+    superposition.cx(0, 1).expect("valid");
+    let psi = evolve(session, &superposition);
+    let measured = psi.probability_of_one(q(1)).expect("valid");
+    let (_, predicted) = theory::superposition_outcome_probabilities(a, b);
+    let dev_superposition = (measured - predicted).abs();
+
+    // Entanglement assertion (Fig. 3) on a product input
+    // Ry(θ)|0⟩ ⊗ Ry(0.8)|0⟩. The closed form reads the *input*
+    // amplitudes, so the prefix and the instrumented circuit are
+    // lowered separately — and the instrumented one extends the prefix.
+    let mut prefix = QuantumCircuit::new(3, 0);
+    prefix.ry(theta, 0).expect("valid");
+    prefix.ry(0.8, 1).expect("valid");
+    let input = evolve(session, &prefix);
+    let amp = |i: usize| input.amplitude(i);
+    let (aa, bb, cc, dd) = (amp(0b00), amp(0b11), amp(0b01), amp(0b10));
+    let mut entangled = prefix.clone();
+    entangled.gate(Gate::Cx, [q(0), q(2)]).expect("valid");
+    entangled.gate(Gate::Cx, [q(1), q(2)]).expect("valid");
+    let psi = evolve(session, &entangled);
+    let measured = psi.probability_of_one(q(2)).expect("valid");
+    let predicted = theory::entanglement_error_probability(aa, bb, cc, dd);
+    let dev_entanglement = (measured - predicted).abs();
+
+    (dev_classical, dev_superposition, dev_entanglement)
 }
 
 /// Runs the experiment.
@@ -41,8 +97,7 @@ pub fn run() -> ExperimentReport {
         "theory",
         "assertion error probabilities vs Section 3 closed forms over an input sweep",
     );
-    let backend = StatevectorBackend::new();
-    let cache_before = ProgramCache::global().stats();
+    let session = AssertionSession::new(StatevectorBackend::new());
 
     let mut max_dev_classical = 0.0f64;
     let mut max_dev_superposition = 0.0f64;
@@ -50,46 +105,10 @@ pub fn run() -> ExperimentReport {
 
     for step in 0..STEPS {
         let theta = step as f64 / STEPS as f64 * std::f64::consts::TAU;
-        let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-
-        // Classical assertion (Fig. 2).
-        let mut classical = QuantumCircuit::new(2, 0);
-        classical.ry(theta, 0).expect("valid");
-        classical.cx(0, 1).expect("valid");
-        let psi = evolve(&backend, &classical);
-        let measured = psi.probability_of_one(q(1)).expect("valid");
-        let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
-        max_dev_classical = max_dev_classical.max((measured - predicted).abs());
-
-        // Superposition assertion (Fig. 5).
-        let mut superposition = QuantumCircuit::new(2, 0);
-        superposition.ry(theta, 0).expect("valid");
-        superposition.cx(0, 1).expect("valid");
-        superposition.h(0).expect("valid");
-        superposition.h(1).expect("valid");
-        superposition.cx(0, 1).expect("valid");
-        let psi = evolve(&backend, &superposition);
-        let measured = psi.probability_of_one(q(1)).expect("valid");
-        let (_, predicted) = theory::superposition_outcome_probabilities(a, b);
-        max_dev_superposition = max_dev_superposition.max((measured - predicted).abs());
-
-        // Entanglement assertion (Fig. 3) on a product input
-        // Ry(θ)|0⟩ ⊗ Ry(0.8)|0⟩. The closed form reads the *input*
-        // amplitudes, so the prefix and the instrumented circuit are
-        // compiled (and cached) separately.
-        let mut prefix = QuantumCircuit::new(3, 0);
-        prefix.ry(theta, 0).expect("valid");
-        prefix.ry(0.8, 1).expect("valid");
-        let input = evolve(&backend, &prefix);
-        let amp = |i: usize| input.amplitude(i);
-        let (aa, bb, cc, dd) = (amp(0b00), amp(0b11), amp(0b01), amp(0b10));
-        let mut entangled = prefix.clone();
-        entangled.gate(Gate::Cx, [q(0), q(2)]).expect("valid");
-        entangled.gate(Gate::Cx, [q(1), q(2)]).expect("valid");
-        let psi = evolve(&backend, &entangled);
-        let measured = psi.probability_of_one(q(2)).expect("valid");
-        let predicted = theory::entanglement_error_probability(aa, bb, cc, dd);
-        max_dev_entanglement = max_dev_entanglement.max((measured - predicted).abs());
+        let (dc, ds, de) = point_deviations(&session, theta);
+        max_dev_classical = max_dev_classical.max(dc);
+        max_dev_superposition = max_dev_superposition.max(ds);
+        max_dev_entanglement = max_dev_entanglement.max(de);
     }
 
     report.comparisons.push(Comparison::new(
@@ -107,7 +126,8 @@ pub fn run() -> ExperimentReport {
         0.0,
         max_dev_entanglement,
     ));
-    report.push_cache_metrics(ProgramCache::global().stats().since(&cache_before));
+    report.push_session(session.record());
+    report.push_session_telemetry(&session.telemetry());
     report.notes.push(format!(
         "{STEPS} input angles swept uniformly over [0, 2π) for each assertion family"
     ));
@@ -134,10 +154,13 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name == "program_cache_hit_rate"));
+        assert!(first.metrics.iter().any(|m| m.name == "prefix_hits"));
+        assert!(first.session.is_some());
         // Second run in the same process: all 4 programs per θ step are
-        // resident, so every one of the 4 × STEPS lookups hits. (Other
-        // tests share the global cache concurrently, so assert on hits —
-        // which only they can inflate — rather than on misses.)
+        // resident in the global cache, so every one of the 4 × STEPS
+        // lookups hits. (Other tests share the global cache
+        // concurrently, so assert on hits — which only they can inflate
+        // — rather than on misses.)
         let second = run();
         let hits = second
             .metrics
@@ -148,6 +171,47 @@ mod tests {
             hits.value >= (4 * STEPS) as f64,
             "re-run should be compile-free, saw {} hits",
             hits.value
+        );
+    }
+
+    #[test]
+    fn cold_cache_sweep_reuses_prefixes_with_bit_identical_states() {
+        // A session with its own cold cache must record exactly two
+        // prefix reuses per θ (superposition extends classical,
+        // entangled extends the product preparation) — and the evolved
+        // amplitudes must be bit-identical to fresh unsession'd compiles.
+        use qsim::Backend;
+        let backend = StatevectorBackend::new();
+        let session = AssertionSession::new(StatevectorBackend::new()).private_cache(256);
+        for step in 0..STEPS {
+            let theta = step as f64 / STEPS as f64 * std::f64::consts::TAU;
+            let _ = point_deviations(&session, theta);
+            // Bit-identity spot check through the session's lowering.
+            let mut entangled = QuantumCircuit::new(3, 0);
+            entangled.ry(theta, 0).unwrap();
+            entangled.ry(0.8, 1).unwrap();
+            entangled.gate(Gate::Cx, [q(0), q(2)]).unwrap();
+            entangled.gate(Gate::Cx, [q(1), q(2)]).unwrap();
+            let via_session = session
+                .backend()
+                .statevector_compiled(&session.lower(&entangled).unwrap())
+                .unwrap();
+            let fresh = backend
+                .statevector_compiled(&backend.compile(&entangled).unwrap())
+                .unwrap();
+            for i in 0..8 {
+                let (a, b) = (via_session.amplitude(i), fresh.amplitude(i));
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "amplitude {i} diverges at θ = {theta}"
+                );
+            }
+        }
+        let t = session.telemetry();
+        assert_eq!(
+            t.prefix_hits,
+            (2 * STEPS) as u64,
+            "expected 2 prefix reuses per θ step"
         );
     }
 }

@@ -14,6 +14,21 @@ pub fn filter_assertion_bits(counts: &Counts, assertion_clbits: &[ClbitId]) -> C
     counts.filter(|key| assertion_clbits.iter().all(|c| (key >> c.index()) & 1 == 0))
 }
 
+/// The exact number of shots flagged by at least one of the listed
+/// assertion clbits.
+///
+/// This is the integer the per-assertion `fired` statistics report —
+/// counted directly from the histogram, never reconstructed from a
+/// floating-point rate (which drifts off by one once totals exceed
+/// `f64`'s 2⁵³ integer range).
+pub fn assertion_fired_shots(counts: &Counts, assertion_clbits: &[ClbitId]) -> u64 {
+    counts
+        .iter()
+        .filter(|(key, _)| assertion_clbits.iter().any(|c| (key >> c.index()) & 1 == 1))
+        .map(|(_, n)| n)
+        .sum()
+}
+
 /// The fraction of shots flagged by at least one assertion bit.
 ///
 /// Returns 0 for empty histograms.
@@ -22,12 +37,7 @@ pub fn assertion_error_rate(counts: &Counts, assertion_clbits: &[ClbitId]) -> f6
     if total == 0 {
         return 0.0;
     }
-    let flagged: u64 = counts
-        .iter()
-        .filter(|(key, _)| assertion_clbits.iter().any(|c| (key >> c.index()) & 1 == 1))
-        .map(|(_, n)| n)
-        .sum();
-    flagged as f64 / total as f64
+    assertion_fired_shots(counts, assertion_clbits) as f64 / total as f64
 }
 
 /// The fraction of shots whose outcome `is_correct` rejects.
@@ -126,6 +136,22 @@ mod tests {
         assert!((red.raw - 0.035).abs() < 1e-12);
         assert!((red.filtered - 24.0 / 962.0).abs() < 1e-12);
         assert!((red.relative_reduction() - 0.2871).abs() < 0.01);
+    }
+
+    #[test]
+    fn fired_shots_are_counted_exactly_beyond_f64_precision() {
+        // 2⁵³ + 1 flagged shots: reconstructing the count from
+        // `rate * total` cannot represent the +1; direct counting can.
+        let flagged = (1u64 << 53) + 1;
+        let counts = Counts::from_pairs(2, [(0b00, 3), (0b10, flagged)]);
+        let fired = assertion_fired_shots(&counts, &[ClbitId::new(1)]);
+        assert_eq!(fired, flagged);
+        let rate = assertion_error_rate(&counts, &[ClbitId::new(1)]);
+        let reconstructed = (rate * counts.total() as f64).round() as u64;
+        assert_ne!(
+            reconstructed, flagged,
+            "rate round-trip should drift here — direct counting is the fix"
+        );
     }
 
     #[test]

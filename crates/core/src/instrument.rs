@@ -465,6 +465,126 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_targets_rejected_for_every_assertion_family() {
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
+        assert!(matches!(
+            ac.assert_entangled([0, 7], Parity::Even),
+            Err(AssertError::QubitOutOfRange {
+                qubit: 7,
+                num_qubits: 2
+            })
+        ));
+        assert!(matches!(
+            ac.assert_superposition(9, SuperpositionBasis::Plus),
+            Err(AssertError::QubitOutOfRange {
+                qubit: 9,
+                num_qubits: 2
+            })
+        ));
+        // A failed assertion leaves no partial instrumentation behind.
+        assert_eq!(ac.circuit().num_qubits(), 2);
+        assert_eq!(ac.circuit().num_clbits(), 0);
+        assert!(ac.records().is_empty());
+    }
+
+    #[test]
+    fn duplicate_qubits_rejected_in_entanglement_assertions() {
+        let mut ac = AssertingCircuit::new(library::ghz(3));
+        assert!(matches!(
+            ac.assert_entangled([0, 1, 0], Parity::Even),
+            Err(AssertError::DuplicateQubit { qubit: 0 })
+        ));
+        // Strong mode validates through the same constructor.
+        let mut strong = AssertingCircuit::new(library::ghz(3)).with_mode(EntanglementMode::Strong);
+        assert!(matches!(
+            strong.assert_entangled([2, 2], Parity::Even),
+            Err(AssertError::DuplicateQubit { qubit: 2 })
+        ));
+        assert!(ac.records().is_empty());
+        assert_eq!(ac.circuit().num_qubits(), 3);
+    }
+
+    #[test]
+    fn assertions_after_measure_data_keep_the_clbit_partition_straight() {
+        // measure_data first, then a late assertion: the assertion's
+        // clbit lands *after* the data clbits and the partition helpers
+        // must still separate them correctly.
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        ac.assert_classical([0], [false]).unwrap();
+        assert_eq!(ac.circuit().num_clbits(), 4);
+        let assertion_bits = ac.assertion_clbits();
+        let data_bits = ac.data_clbits();
+        assert_eq!(assertion_bits.len(), 2);
+        assert_eq!(data_bits.len(), 2);
+        // First assertion's clbit precedes the data bits, the late
+        // assertion's follows them.
+        assert_eq!(assertion_bits[0].index(), 0);
+        assert_eq!(assertion_bits[1].index(), 3);
+        assert_eq!(
+            data_bits.iter().map(|c| c.index()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // The late assertion observes the post-measurement state: a
+        // collapsed Bell pair leaves q0 half |1⟩, so it fires ~50%.
+        let dist = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(ac.circuit())
+            .unwrap();
+        let late_fired: f64 = dist
+            .outcomes
+            .iter()
+            .filter(|(k, _)| (k >> 3) & 1 == 1)
+            .map(|(_, p)| p)
+            .sum();
+        assert!((late_fired - 0.5).abs() < 1e-9, "late rate {late_fired}");
+    }
+
+    #[test]
+    fn ancilla_reuse_with_mixed_assertion_families_is_semantics_preserving() {
+        // Entanglement + superposition + classical assertions sharing
+        // one recycled ancilla wire must produce exactly the joint
+        // distribution of the fresh-ancilla instrumentation.
+        let build = |reuse: bool| {
+            let mut base = QuantumCircuit::new(2, 0);
+            base.h(0).unwrap();
+            base.cx(0, 1).unwrap();
+            let mut ac = AssertingCircuit::new(base).with_ancilla_reuse(reuse);
+            ac.assert_entangled([0, 1], Parity::Even).unwrap();
+            ac.circuit_mut().h(0).unwrap();
+            ac.assert_superposition(0, SuperpositionBasis::Plus)
+                .unwrap();
+            ac.assert_classical([1], [false]).unwrap();
+            ac.measure_data();
+            ac
+        };
+        let fresh = build(false);
+        let reused = build(true);
+        assert_eq!(fresh.circuit().num_qubits(), 5);
+        assert_eq!(reused.circuit().num_qubits(), 3);
+        assert_eq!(fresh.circuit().num_clbits(), reused.circuit().num_clbits());
+        // Records agree on clbits even though ancilla wires differ.
+        for (a, b) in fresh.records().iter().zip(reused.records()) {
+            assert_eq!(a.clbits, b.clbits);
+            assert_eq!(a.assertion, b.assertion);
+        }
+        assert_eq!(reused.records()[0].ancillas, reused.records()[1].ancillas);
+        let d1 = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(fresh.circuit())
+            .unwrap();
+        let d2 = qsim::DensityMatrixBackend::ideal()
+            .exact_distribution(reused.circuit())
+            .unwrap();
+        for (key, p) in &d1.outcomes {
+            assert!(
+                (d2.probability(*key) - p).abs() < 1e-9,
+                "key {key:b}: {p} vs {}",
+                d2.probability(*key)
+            );
+        }
+    }
+
+    #[test]
     fn program_logic_can_continue_after_assertion() {
         let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
         ac.circuit_mut().h(0).unwrap();

@@ -29,8 +29,13 @@
 //!
 //! # Quickstart
 //!
+//! Execution goes through an [`AssertionSession`]: it owns the backend,
+//! program cache, shard policy, shot plan, and filter settings, so sweep
+//! loops configure everything once and every run is compile-free after
+//! the first.
+//!
 //! ```
-//! use qassert::{run_with_assertions, AssertingCircuit, Parity};
+//! use qassert::{AssertionSession, AssertingCircuit, Parity};
 //! use qcircuit::library;
 //! use qsim::StatevectorBackend;
 //!
@@ -40,11 +45,23 @@
 //! program.assert_entangled([0, 1], Parity::Even)?;
 //! program.measure_data();
 //!
-//! let outcome = run_with_assertions(&StatevectorBackend::new(), &program, 1024)?;
+//! let session = AssertionSession::new(StatevectorBackend::new()).shots(1024);
+//! let outcome = session.run(&program)?;
 //! assert_eq!(outcome.assertion_error_rate, 0.0); // correct program
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Migrating from the pre-session free functions
+//! (`run_with_assertions` & co., now deprecated):
+//!
+//! | old | new |
+//! |---|---|
+//! | `run_with_assertions(&b, &ac, n)` | `AssertionSession::new(&b).shots(n).run(&ac)` |
+//! | `run_with_assertions_cached(&b, &ac, n, &cache)` | `AssertionSession::new(&b).shots(n).cache(&cache).run(&ac)` |
+//! | `analyze(raw, &ac)` | `session.analyze(raw, &ac)` |
+//! | `b.run(circuit, n)` then `analyze` | `session.run_circuit(circuit)` then `session.analyze` |
+//! | per-point loop + `push_cache_metrics` | `session.run_sweep(circuits)` → `SweepOutcome::telemetry` |
 
 pub mod assertion;
 pub mod error;
@@ -54,17 +71,21 @@ pub mod instrument;
 pub mod mitigation;
 pub mod report;
 pub mod runtime;
+pub mod session;
 pub mod statistical;
 pub mod theory;
 
 pub use assertion::{Assertion, EntanglementMode, Parity, SuperpositionBasis};
 pub use error::AssertError;
 pub use estimate::Estimate;
-pub use filter::{assertion_error_rate, error_rate, filter_assertion_bits, ErrorReduction};
+pub use filter::{
+    assertion_error_rate, assertion_fired_shots, error_rate, filter_assertion_bits, ErrorReduction,
+};
 pub use instrument::{AssertingCircuit, AssertionId, AssertionRecord};
 pub use mitigation::ReadoutMitigator;
-pub use report::{Comparison, ExperimentReport, Metric, OutcomeRow, OutcomeTable};
-pub use runtime::{
-    analyze, run_with_assertions, run_with_assertions_cached, AssertionOutcome, AssertionStats,
-};
+pub use report::{Comparison, ExperimentReport, Metric, OutcomeRow, OutcomeTable, SessionRecord};
+#[allow(deprecated)]
+pub use runtime::{analyze, run_with_assertions, run_with_assertions_cached};
+pub use runtime::{AssertionOutcome, AssertionStats, FilterPolicy, MitigatedOutcome};
+pub use session::{AssertionSession, SessionTelemetry, SweepOutcome, DEFAULT_SHOTS};
 pub use statistical::{StatisticalAssertion, StatisticalKind, StatisticalVerdict};

@@ -148,6 +148,29 @@ impl Metric {
     }
 }
 
+/// The effective configuration of the [`AssertionSession`] that
+/// produced an experiment's numbers — embedded in report JSON so repro
+/// artifacts record how they were run.
+///
+/// Produced by [`AssertionSession::record`].
+///
+/// [`AssertionSession`]: crate::session::AssertionSession
+/// [`AssertionSession::record`]: crate::session::AssertionSession::record
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The backend's human-readable name.
+    pub backend: String,
+    /// The shard/thread override *requested* on the session (`None` =
+    /// backend default). Backends without a shard concept (the exact
+    /// density-matrix executor) ignore the request — the backend name
+    /// above tells a reader whether it took effect.
+    pub threads: Option<usize>,
+    /// Shots per run.
+    pub shots: u64,
+    /// Capacity of the program cache the session compiled through.
+    pub cache_capacity: usize,
+}
+
 /// A complete experiment report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
@@ -161,6 +184,9 @@ pub struct ExperimentReport {
     pub comparisons: Vec<Comparison>,
     /// Runtime telemetry (cache hit/miss counters, throughput figures).
     pub metrics: Vec<Metric>,
+    /// The session configuration the experiment executed under, when it
+    /// ran through an `AssertionSession`.
+    pub session: Option<SessionRecord>,
     /// Free-form notes (calibration caveats, etc.).
     pub notes: Vec<String>,
 }
@@ -174,13 +200,42 @@ impl ExperimentReport {
             tables: Vec::new(),
             comparisons: Vec::new(),
             metrics: Vec::new(),
+            session: None,
             notes: Vec::new(),
         }
     }
 
+    /// Records the session configuration that produced this report
+    /// (backend name, threads, shots, cache capacity) — serialized into
+    /// the JSON artifact and rendered in the text output.
+    pub fn push_session(&mut self, record: SessionRecord) {
+        self.session = Some(record);
+    }
+
+    /// Appends the standard session telemetry block: program-cache
+    /// hits/misses/hit-rate plus prefix reuses, runs, and total shots —
+    /// the counters a session (or one sweep of it) accumulated, as
+    /// reported by [`crate::session::AssertionSession::telemetry`] or
+    /// [`crate::session::SweepOutcome`].
+    pub fn push_session_telemetry(&mut self, t: &crate::session::SessionTelemetry) {
+        self.metrics
+            .push(Metric::new("program_cache_hits", t.cache_hits as f64));
+        self.metrics
+            .push(Metric::new("program_cache_misses", t.cache_misses as f64));
+        self.metrics
+            .push(Metric::new("program_cache_hit_rate", t.hit_rate()));
+        self.metrics
+            .push(Metric::new("prefix_hits", t.prefix_hits as f64));
+        self.metrics
+            .push(Metric::new("session_runs", t.runs as f64));
+        self.metrics
+            .push(Metric::new("session_shots", t.shots as f64));
+    }
+
     /// Appends the standard program-cache telemetry block (hits, misses,
     /// hit rate) from a stats delta, as reported by
-    /// [`qsim::CacheStats::since`].
+    /// [`qsim::CacheStats::since`] — for callers tracking a
+    /// [`qsim::ProgramCache`] directly rather than through a session.
     pub fn push_cache_metrics(&mut self, delta: qsim::CacheStats) {
         self.metrics
             .push(Metric::new("program_cache_hits", delta.hits as f64));
@@ -246,7 +301,23 @@ impl ExperimentReport {
                 json_number(m.value)
             ));
         }
-        out.push_str("],\"notes\":[");
+        out.push_str("],\"session\":");
+        match &self.session {
+            Some(s) => {
+                out.push_str(&format!(
+                    "{{\"backend\":{},\"threads\":{},\"shots\":{},\"cache_capacity\":{}}}",
+                    json_string(&s.backend),
+                    match s.threads {
+                        Some(t) => t.to_string(),
+                        None => String::from("null"),
+                    },
+                    s.shots,
+                    s.cache_capacity
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"notes\":[");
         for (i, n) in self.notes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -286,6 +357,18 @@ impl ExperimentReport {
             for m in &self.metrics {
                 out.push_str(&format!("  {:<38} {:.6}\n", m.name, m.value));
             }
+        }
+        if let Some(s) = &self.session {
+            out.push_str(&format!(
+                "\nsession: backend \"{}\", {} shots, threads requested {}, cache capacity {}\n",
+                s.backend,
+                s.shots,
+                match s.threads {
+                    Some(t) => t.to_string(),
+                    None => String::from("backend default"),
+                },
+                s.cache_capacity
+            ));
         }
         for n in &self.notes {
             out.push_str(&format!("note: {n}\n"));
@@ -401,6 +484,53 @@ mod tests {
         assert!(json.contains("\"line1\\nline2\""));
         assert!(json.contains("\"paper\":0.5"));
         assert!(json.contains("\"metrics\":[]"));
+    }
+
+    #[test]
+    fn session_record_serializes_and_renders() {
+        let mut r = ExperimentReport::new("table1", "classical assertion");
+        assert!(r.to_json().contains("\"session\":null"));
+        r.push_session(SessionRecord {
+            backend: "density matrix (exact noisy)".to_string(),
+            threads: None,
+            shots: 8192,
+            cache_capacity: 256,
+        });
+        let json = r.to_json();
+        assert!(json.contains(
+            "\"session\":{\"backend\":\"density matrix (exact noisy)\",\"threads\":null,\
+             \"shots\":8192,\"cache_capacity\":256}"
+        ));
+        let text = r.render();
+        assert!(text.contains("session: backend \"density matrix (exact noisy)\""));
+        assert!(text.contains("8192 shots"));
+        assert!(text.contains("threads requested backend default"));
+
+        let mut threaded = ExperimentReport::new("x", "y");
+        threaded.push_session(SessionRecord {
+            backend: "trajectory (noisy)".to_string(),
+            threads: Some(4),
+            shots: 100,
+            cache_capacity: 8,
+        });
+        assert!(threaded.to_json().contains("\"threads\":4"));
+    }
+
+    #[test]
+    fn session_telemetry_exports_the_standard_metrics() {
+        let mut r = ExperimentReport::new("sweep", "telemetry");
+        r.push_session_telemetry(&crate::session::SessionTelemetry {
+            runs: 5,
+            shots: 500,
+            cache_hits: 3,
+            cache_misses: 1,
+            prefix_hits: 2,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"name\":\"program_cache_hit_rate\",\"value\":0.75"));
+        assert!(json.contains("\"name\":\"prefix_hits\",\"value\":2"));
+        assert!(json.contains("\"name\":\"session_runs\",\"value\":5"));
+        assert!(json.contains("\"name\":\"session_shots\",\"value\":500"));
     }
 
     #[test]

@@ -1,11 +1,34 @@
-//! The assertion runtime: execute an instrumented circuit and analyze
-//! its assertion outcomes.
+//! The assertion runtime: analyzed outcomes of instrumented circuits,
+//! plus the deprecated free-function entry points that predate
+//! [`AssertionSession`](crate::session::AssertionSession).
+//!
+//! New code executes through a session — it owns the backend, program
+//! cache, shard policy, shot plan, and filter/mitigation settings in one
+//! place. The free functions below survive as thin `#[deprecated]`
+//! wrappers delegating to a default session so downstream callers can
+//! migrate incrementally.
 
 use crate::error::AssertError;
-use crate::filter::{assertion_error_rate, filter_assertion_bits};
+use crate::filter::{assertion_fired_shots, filter_assertion_bits};
 use crate::instrument::{AssertingCircuit, AssertionRecord};
+use crate::mitigation::ReadoutMitigator;
+use crate::session::AssertionSession;
 use qcircuit::ClbitId;
 use qsim::{Backend, Counts, ProgramCache, RunResult};
+
+/// What [`analyze`]-family calls do when assertion filtering removes
+/// every shot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FilterPolicy {
+    /// Error with [`AssertError::NoShotsKept`] — the paper's NISQ
+    /// filtering workflow has nothing left to report (default).
+    #[default]
+    RequireKept,
+    /// Return the outcome with empty `kept` histograms — debugging
+    /// workflows asserting *known-bad* programs (detection-probability
+    /// studies) read the error rate, not the filtered data.
+    AllowEmpty,
+}
 
 /// Per-assertion runtime statistics.
 #[derive(Clone, Debug, PartialEq)]
@@ -15,8 +38,23 @@ pub struct AssertionStats {
     /// Fraction of shots in which this assertion fired (any of its
     /// clbits read 1).
     pub error_rate: f64,
-    /// Absolute number of shots in which it fired.
+    /// Absolute number of shots in which it fired (counted exactly from
+    /// the histogram, not reconstructed from `error_rate`).
     pub fired: u64,
+}
+
+/// Readout-mitigated outcome distributions, attached when the session
+/// carries a [`ReadoutMitigator`].
+#[derive(Clone, Debug)]
+pub struct MitigatedOutcome {
+    /// Quasi-probabilities over the full classical register after
+    /// inverting the per-clbit assignment matrices (clipped to the
+    /// physical simplex).
+    pub probs: Vec<f64>,
+    /// The mitigated distribution additionally filtered on the
+    /// assertion clbits and renormalized; all zeros when filtering
+    /// removed every outcome under [`FilterPolicy::AllowEmpty`].
+    pub kept: Vec<f64>,
 }
 
 /// The analyzed outcome of running an asserting circuit.
@@ -37,6 +75,8 @@ pub struct AssertionOutcome {
     pub per_assertion: Vec<AssertionStats>,
     /// The data clbit indices backing `data_raw`/`data_kept` keys.
     pub data_clbits: Vec<ClbitId>,
+    /// Readout-mitigated distributions (sessions with a mitigator only).
+    pub mitigated: Option<MitigatedOutcome>,
 }
 
 impl AssertionOutcome {
@@ -49,101 +89,121 @@ impl AssertionOutcome {
 /// Runs an instrumented circuit on `backend` and analyzes assertion
 /// outcomes.
 ///
-/// The instrumented circuit is **lowered at most once per process**: the
-/// backend compiles it to a `qsim::CompiledProgram` (gate matrices
-/// materialized, adjacent single-qubit gates fused, noise channels
-/// pre-bound) through the global [`ProgramCache`], so sweep loops that
-/// re-analyze the same circuit × noise model pay compilation once and
-/// execute compiled programs thereafter. Caching cannot change results:
-/// compilation is deterministic and the cache key covers everything
-/// lowering reads (circuit structure, noise content, options).
-/// Instrumentation ancillas and assertion clbits pass through
-/// compilation untouched, so the analysis below reads the same classical
-/// record as interpreted execution.
+/// Equivalent to
+/// `AssertionSession::new(backend).shots(shots).run(asserting)`.
 ///
 /// # Errors
 ///
 /// Returns [`AssertError::Sim`] when execution fails and
 /// [`AssertError::NoShotsKept`] when the filter removes everything.
-///
-/// # Example
-///
-/// ```
-/// use qassert::{run_with_assertions, AssertingCircuit, Parity};
-/// use qcircuit::library;
-/// use qsim::StatevectorBackend;
-///
-/// # fn main() -> Result<(), qassert::AssertError> {
-/// let mut ac = AssertingCircuit::new(library::bell());
-/// ac.assert_entangled([0, 1], Parity::Even)?;
-/// ac.measure_data();
-/// let outcome = run_with_assertions(&StatevectorBackend::new(), &ac, 500)?;
-/// // A correct Bell pair never trips the assertion on an ideal backend.
-/// assert_eq!(outcome.assertion_error_rate, 0.0);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(note = "use qassert::AssertionSession::new(backend).shots(shots).run(..)")]
 pub fn run_with_assertions<B: Backend + ?Sized>(
     backend: &B,
     asserting: &AssertingCircuit,
     shots: u64,
 ) -> Result<AssertionOutcome, AssertError> {
-    run_with_assertions_cached(backend, asserting, shots, ProgramCache::global())
+    // One-shot session: a single run can never reuse a prefix, so skip
+    // the registration work.
+    AssertionSession::new(backend)
+        .shots(shots)
+        .prefix_reuse(false)
+        .run(asserting)
 }
 
-/// [`run_with_assertions`] through an explicit program cache (callers
-/// that want isolated hit/miss accounting, e.g. benchmarks and tests,
-/// pass their own).
+/// [`run_with_assertions`] through an explicit program cache.
+///
+/// Equivalent to
+/// `AssertionSession::new(backend).shots(shots).cache(cache).run(asserting)`.
 ///
 /// # Errors
 ///
 /// Returns [`AssertError::Sim`] when execution fails and
 /// [`AssertError::NoShotsKept`] when the filter removes everything.
+#[deprecated(note = "use qassert::AssertionSession with .cache(..)")]
 pub fn run_with_assertions_cached<B: Backend + ?Sized>(
     backend: &B,
     asserting: &AssertingCircuit,
     shots: u64,
     cache: &ProgramCache,
 ) -> Result<AssertionOutcome, AssertError> {
-    let program = backend.compile_cached(asserting.circuit(), cache)?;
-    let raw = backend.run_compiled(&program, shots)?;
-    analyze(raw, asserting)
+    AssertionSession::new(backend)
+        .shots(shots)
+        .cache(cache)
+        .prefix_reuse(false)
+        .run(asserting)
 }
 
 /// Analyzes an existing backend result against an asserting circuit's
-/// records (useful when the caller ran the circuit itself, e.g. after
-/// transpilation).
+/// records under the default (strict) filter policy.
+///
+/// Equivalent to `session.analyze(raw, asserting)` on a session with
+/// [`FilterPolicy::RequireKept`].
 ///
 /// # Errors
 ///
 /// Returns [`AssertError::NoShotsKept`] when filtering removes every
 /// shot.
+#[deprecated(note = "use qassert::AssertionSession::analyze, which applies the session's policy")]
 pub fn analyze(
     raw: RunResult,
     asserting: &AssertingCircuit,
+) -> Result<AssertionOutcome, AssertError> {
+    analyze_with_policy(raw, asserting, FilterPolicy::RequireKept, None)
+}
+
+/// The analysis shared by sessions and the deprecated free functions.
+pub(crate) fn analyze_with_policy(
+    raw: RunResult,
+    asserting: &AssertingCircuit,
+    policy: FilterPolicy,
+    mitigator: Option<&ReadoutMitigator>,
 ) -> Result<AssertionOutcome, AssertError> {
     let assertion_clbits = asserting.assertion_clbits();
     let data_clbits = asserting.data_clbits();
 
     let kept = filter_assertion_bits(&raw.counts, &assertion_clbits);
-    if raw.counts.total() > 0 && kept.total() == 0 {
+    if policy == FilterPolicy::RequireKept && raw.counts.total() > 0 && kept.total() == 0 {
         return Err(AssertError::NoShotsKept);
     }
-    let overall = assertion_error_rate(&raw.counts, &assertion_clbits);
+    let total = raw.counts.total();
+    let overall_fired = assertion_fired_shots(&raw.counts, &assertion_clbits);
+    let overall = if total == 0 {
+        0.0
+    } else {
+        overall_fired as f64 / total as f64
+    };
 
     let per_assertion = asserting
         .records()
         .iter()
         .map(|record| {
-            let rate = assertion_error_rate(&raw.counts, &record.clbits);
-            let fired = (rate * raw.counts.total() as f64).round() as u64;
+            let fired = assertion_fired_shots(&raw.counts, &record.clbits);
             AssertionStats {
                 record: record.clone(),
-                error_rate: rate,
+                error_rate: if total == 0 {
+                    0.0
+                } else {
+                    fired as f64 / total as f64
+                },
                 fired,
             }
         })
         .collect();
+
+    let mitigated = match mitigator {
+        Some(m) => {
+            let probs = m.mitigate_clipped(&raw.counts)?;
+            let kept = match crate::mitigation::filter_mitigated(&probs, &assertion_clbits) {
+                Ok(kept) => kept,
+                Err(AssertError::NoShotsKept) if policy == FilterPolicy::AllowEmpty => {
+                    vec![0.0; probs.len()]
+                }
+                Err(e) => return Err(e),
+            };
+            Some(MitigatedOutcome { probs, kept })
+        }
+        None => None,
+    };
 
     let data_bit_indices: Vec<usize> = data_clbits.iter().map(|c| c.index()).collect();
     let data_raw = raw.counts.marginal(&data_bit_indices);
@@ -157,6 +217,7 @@ pub fn analyze(
         assertion_error_rate: overall,
         per_assertion,
         data_clbits,
+        mitigated,
     })
 }
 
@@ -164,21 +225,49 @@ pub fn analyze(
 mod tests {
     use super::*;
     use crate::assertion::{Parity, SuperpositionBasis};
+    use crate::session::AssertionSession;
     use qcircuit::{library, QuantumCircuit};
     use qnoise::presets;
     use qsim::{DensityMatrixBackend, StatevectorBackend};
+
+    fn session<B: Backend>(backend: B, shots: u64) -> AssertionSession<'static, B> {
+        AssertionSession::new(backend).shots(shots)
+    }
 
     #[test]
     fn correct_bell_never_fires_on_ideal_backend() {
         let mut ac = AssertingCircuit::new(library::bell());
         ac.assert_entangled([0, 1], Parity::Even).unwrap();
         ac.measure_data();
-        let outcome =
-            run_with_assertions(&StatevectorBackend::new().with_seed(1), &ac, 1000).unwrap();
+        let outcome = session(StatevectorBackend::new().with_seed(1), 1000)
+            .run(&ac)
+            .unwrap();
         assert_eq!(outcome.assertion_error_rate, 0.0);
         assert_eq!(outcome.shots_kept(), 1000);
         // Data marginal still shows the Bell correlation.
         assert_eq!(outcome.data_kept.get(0b01) + outcome.data_kept.get(0b10), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_session() {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let backend = StatevectorBackend::new().with_seed(9);
+        let via_session = session(&backend, 400).run(&ac).unwrap();
+        let via_free = run_with_assertions(&backend, &ac, 400).unwrap();
+        assert_eq!(via_free.raw.counts, via_session.raw.counts);
+        assert_eq!(via_free.kept, via_session.kept);
+
+        let cache = qsim::ProgramCache::new(8);
+        let via_cached = run_with_assertions_cached(&backend, &ac, 400, &cache).unwrap();
+        assert_eq!(via_cached.raw.counts, via_session.raw.counts);
+        assert!(cache.stats().misses >= 1);
+
+        let raw = backend.run(ac.circuit(), 400).unwrap();
+        let via_analyze = analyze(raw, &ac).unwrap();
+        assert_eq!(via_analyze.raw.counts, via_session.raw.counts);
     }
 
     #[test]
@@ -189,11 +278,18 @@ mod tests {
         let backend = StatevectorBackend::new().with_seed(9);
         let direct = {
             let program = backend.compile(ac.circuit()).unwrap();
-            analyze(backend.run_compiled(&program, 400).unwrap(), &ac).unwrap()
+            analyze_with_policy(
+                backend.run_compiled(&program, 400).unwrap(),
+                &ac,
+                FilterPolicy::RequireKept,
+                None,
+            )
+            .unwrap()
         };
         let cache = qsim::ProgramCache::new(8);
-        let first = run_with_assertions_cached(&backend, &ac, 400, &cache).unwrap();
-        let second = run_with_assertions_cached(&backend, &ac, 400, &cache).unwrap();
+        let s = session(&backend, 400).cache(&cache);
+        let first = s.run(&ac).unwrap();
+        let second = s.run(&ac).unwrap();
         assert_eq!(first.raw.counts, direct.raw.counts);
         assert_eq!(second.raw.counts, direct.raw.counts);
         let stats = cache.stats();
@@ -207,9 +303,25 @@ mod tests {
         let mut ac = AssertingCircuit::new(base);
         ac.assert_classical([0], [false]).unwrap();
         ac.measure_data();
-        let outcome = run_with_assertions(&StatevectorBackend::new().with_seed(2), &ac, 64);
+        let outcome = session(StatevectorBackend::new().with_seed(2), 64).run(&ac);
         // Every shot fires the assertion → filter removes everything.
         assert!(matches!(outcome, Err(AssertError::NoShotsKept)));
+    }
+
+    #[test]
+    fn allow_empty_policy_reports_instead_of_erroring() {
+        let mut base = QuantumCircuit::new(1, 0);
+        base.x(0).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        ac.measure_data();
+        let outcome = session(StatevectorBackend::new().with_seed(2), 64)
+            .filter_policy(FilterPolicy::AllowEmpty)
+            .run(&ac)
+            .unwrap();
+        assert_eq!(outcome.assertion_error_rate, 1.0);
+        assert_eq!(outcome.shots_kept(), 0);
+        assert_eq!(outcome.per_assertion[0].fired, 64);
     }
 
     #[test]
@@ -219,8 +331,9 @@ mod tests {
         let mut ac = AssertingCircuit::new(base);
         ac.assert_classical([0], [true]).unwrap();
         ac.measure_data();
-        let outcome =
-            run_with_assertions(&StatevectorBackend::new().with_seed(3), &ac, 200).unwrap();
+        let outcome = session(StatevectorBackend::new().with_seed(3), 200)
+            .run(&ac)
+            .unwrap();
         assert_eq!(outcome.assertion_error_rate, 0.0);
     }
 
@@ -231,8 +344,9 @@ mod tests {
         ac.assert_superposition(0, SuperpositionBasis::Plus)
             .unwrap();
         ac.measure_data();
-        let outcome =
-            run_with_assertions(&StatevectorBackend::new().with_seed(4), &ac, 4000).unwrap();
+        let outcome = session(StatevectorBackend::new().with_seed(4), 4000)
+            .run(&ac)
+            .unwrap();
         assert!(
             (outcome.assertion_error_rate - 0.5).abs() < 0.03,
             "rate = {}",
@@ -243,31 +357,45 @@ mod tests {
     #[test]
     fn per_assertion_stats_are_separated() {
         // First assertion correct (never fires), second wrong (always
-        // fires) — per-assertion stats must distinguish them.
+        // fires) — per-assertion stats must distinguish them, and the
+        // lenient policy lets the outcome report it directly.
         let mut base = QuantumCircuit::new(2, 0);
         base.x(1).unwrap();
         let mut ac = AssertingCircuit::new(base);
         ac.assert_classical([0], [false]).unwrap(); // holds
         ac.assert_classical([1], [false]).unwrap(); // violated
         ac.measure_data();
-        let raw = StatevectorBackend::new()
-            .with_seed(5)
-            .run(ac.circuit(), 100)
+        let strict = session(StatevectorBackend::new().with_seed(5), 100).run(&ac);
+        assert!(matches!(strict, Err(AssertError::NoShotsKept)));
+
+        let outcome = session(StatevectorBackend::new().with_seed(5), 100)
+            .filter_policy(FilterPolicy::AllowEmpty)
+            .run(&ac)
             .unwrap();
-        let outcome = analyze(raw, &ac);
-        // Filtering removes everything (second always fires)...
-        assert!(matches!(outcome, Err(AssertError::NoShotsKept)));
-        // ...so check stats without filtering via a fresh run keeping raw.
-        let raw = StatevectorBackend::new()
-            .with_seed(5)
-            .run(ac.circuit(), 100)
-            .unwrap();
-        let assertion_bits = ac.assertion_clbits();
-        assert_eq!(assertion_bits.len(), 2);
-        let first_rate = assertion_error_rate(&raw.counts, &ac.records()[0].clbits);
-        let second_rate = assertion_error_rate(&raw.counts, &ac.records()[1].clbits);
-        assert_eq!(first_rate, 0.0);
-        assert_eq!(second_rate, 1.0);
+        assert_eq!(outcome.per_assertion.len(), 2);
+        assert_eq!(outcome.per_assertion[0].fired, 0);
+        assert_eq!(outcome.per_assertion[0].error_rate, 0.0);
+        assert_eq!(outcome.per_assertion[1].fired, 100);
+        assert_eq!(outcome.per_assertion[1].error_rate, 1.0);
+    }
+
+    #[test]
+    fn fired_counts_are_exact_integers_from_the_histogram() {
+        use qcircuit::ClbitId;
+        // Synthetic raw result with a total beyond f64's exact-integer
+        // range: `fired` must come out exact, not `rate * total`.
+        let flagged = (1u64 << 53) + 1;
+        let mut ac = AssertingCircuit::new(QuantumCircuit::new(1, 0));
+        ac.assert_classical([0], [false]).unwrap();
+        ac.measure_data();
+        assert_eq!(ac.assertion_clbits(), vec![ClbitId::new(0)]);
+        let raw = RunResult {
+            counts: Counts::from_pairs(2, [(0b00, 5), (0b01, flagged)]),
+            shots_requested: flagged + 5,
+            shots_discarded: 0,
+        };
+        let outcome = analyze_with_policy(raw, &ac, FilterPolicy::RequireKept, None).unwrap();
+        assert_eq!(outcome.per_assertion[0].fired, flagged);
     }
 
     #[test]
@@ -277,7 +405,7 @@ mod tests {
         ac.assert_entangled([0, 1], Parity::Even).unwrap();
         ac.measure_data();
         let backend = DensityMatrixBackend::new(presets::uniform(3, 0.003, 0.03, 0.02).unwrap());
-        let outcome = run_with_assertions(&backend, &ac, 100_000).unwrap();
+        let outcome = session(backend, 100_000).run(&ac).unwrap();
         assert!(outcome.assertion_error_rate > 0.0);
 
         // Data bits: bit 0 = q0, bit 1 = q1; correct Bell outcomes agree.
@@ -295,8 +423,9 @@ mod tests {
         let mut ac = AssertingCircuit::new(library::bell());
         ac.assert_entangled([0, 1], Parity::Even).unwrap();
         ac.measure_data();
-        let outcome =
-            run_with_assertions(&StatevectorBackend::new().with_seed(6), &ac, 500).unwrap();
+        let outcome = session(StatevectorBackend::new().with_seed(6), 500)
+            .run(&ac)
+            .unwrap();
         assert_eq!(outcome.data_raw.num_bits(), 2);
         assert_eq!(outcome.data_clbits.len(), 2);
         // All mass on 00/11 in data space.

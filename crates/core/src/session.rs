@@ -1,0 +1,700 @@
+//! [`AssertionSession`] — the execution API of the suite.
+//!
+//! The paper's workflow is inherently *many runs of one instrumented
+//! circuit family*: noise sweeps, ablations, error-filtering tables.
+//! A session owns everything those runs share — the backend, the
+//! [`ProgramCache`], the shard/thread policy, the shot plan, and the
+//! filter/mitigation settings — so call sites stop hand-wiring them
+//! through free-function parameters:
+//!
+//! ```
+//! use qassert::{AssertionSession, AssertingCircuit, Parity};
+//! use qcircuit::library;
+//! use qsim::StatevectorBackend;
+//!
+//! # fn main() -> Result<(), qassert::AssertError> {
+//! let mut program = AssertingCircuit::new(library::bell());
+//! program.assert_entangled([0, 1], Parity::Even)?;
+//! program.measure_data();
+//!
+//! let session = AssertionSession::new(StatevectorBackend::new()).shots(1024);
+//! let outcome = session.run(&program)?;
+//! assert_eq!(outcome.assertion_error_rate, 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Migrating from the free functions
+//!
+//! | old | new |
+//! |---|---|
+//! | `run_with_assertions(&b, &ac, n)` | `AssertionSession::new(&b).shots(n).run(&ac)` |
+//! | `run_with_assertions_cached(&b, &ac, n, &cache)` | `AssertionSession::new(&b).shots(n).cache(&cache).run(&ac)` |
+//! | `analyze(raw, &ac)` | `session.analyze(raw, &ac)` |
+//! | `b.run(circuit, n)` then `analyze` | `session.run_circuit(circuit)` then `session.analyze` |
+//! | per-point loop + `push_cache_metrics` | `session.run_sweep(circuits)` → [`SweepOutcome::telemetry`] |
+//!
+//! # Prefix-aware sweeps
+//!
+//! Every circuit lowered through a session is also registered in a
+//! [`qsim::PrefixRegistry`]. When a later circuit of the same session
+//! *extends* an earlier one (the per-θ theory circuits do — each
+//! assertion fragment appends to a shared preparation), only the suffix
+//! is lowered and the compiled prefix is reused; `prefix_hits` in the
+//! session telemetry counts those reuses. Reuse is bit-exact: the
+//! registry only splits where no gate-fusion run crosses the boundary,
+//! so the op stream is identical to a fresh compile.
+
+use crate::error::AssertError;
+use crate::instrument::AssertingCircuit;
+use crate::mitigation::ReadoutMitigator;
+use crate::report::SessionRecord;
+use crate::runtime::{analyze_with_policy, AssertionOutcome, FilterPolicy};
+use qcircuit::QuantumCircuit;
+use qsim::{Backend, CompiledProgram, PrefixRegistry, ProgramCache, ProgramKey, RunResult};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default shot plan when [`AssertionSession::shots`] is not called.
+pub const DEFAULT_SHOTS: u64 = 1024;
+
+/// Bound on the session's registered-key memo — matches the prefix
+/// registry's own registration cap, beyond which registering is a no-op
+/// anyway, so remembering more keys buys nothing.
+const REGISTERED_MEMO_CAP: usize = 1024;
+
+/// Which program cache a session compiles through.
+enum CacheRef<'c> {
+    /// The process-wide [`ProgramCache::global`] (default).
+    Global,
+    /// A caller-owned cache — isolated hit/miss accounting, shared
+    /// across sessions at the caller's discretion.
+    Borrowed(&'c ProgramCache),
+    /// A cache owned by this session.
+    Owned(ProgramCache),
+}
+
+/// Counters a session accumulates across its lifetime.
+///
+/// Snapshots are taken with [`AssertionSession::telemetry`]; deltas
+/// (e.g. for one sweep) with [`SessionTelemetry::since`]. Sweep
+/// harnesses export these into report metrics via
+/// [`crate::ExperimentReport::push_session_telemetry`], replacing the
+/// old ad-hoc `push_cache_metrics` plumbing around global cache stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionTelemetry {
+    /// Circuits executed (each [`AssertionSession::run`] or
+    /// [`AssertionSession::run_circuit`] call).
+    pub runs: u64,
+    /// Total shots *requested* across those runs (post-selection may
+    /// discard some of them; per-run discards are on
+    /// [`qsim::RunResult::shots_discarded`]).
+    pub shots: u64,
+    /// Lowerings served whole from the program cache.
+    pub cache_hits: u64,
+    /// Lowerings that had to compile (fully or by prefix extension).
+    pub cache_misses: u64,
+    /// Compiles that reused a previously lowered prefix, lowering only
+    /// the suffix.
+    pub prefix_hits: u64,
+}
+
+impl SessionTelemetry {
+    /// Cache hits over total lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The activity between `earlier` and `self` (counters are
+    /// monotonic, so a plain field-wise difference).
+    pub fn since(&self, earlier: &SessionTelemetry) -> SessionTelemetry {
+        SessionTelemetry {
+            runs: self.runs - earlier.runs,
+            shots: self.shots - earlier.shots,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            prefix_hits: self.prefix_hits - earlier.prefix_hits,
+        }
+    }
+
+    /// Accumulates another session's (or sweep's) counters into this
+    /// one — experiments that build one session per noise point merge
+    /// before reporting.
+    pub fn merge(&mut self, other: &SessionTelemetry) {
+        self.runs += other.runs;
+        self.shots += other.shots;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.prefix_hits += other.prefix_hits;
+    }
+}
+
+/// The result of [`AssertionSession::run_sweep`]: per-point outcomes
+/// plus the cache/prefix/pool telemetry aggregated over the sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One analyzed outcome per swept circuit, in input order.
+    pub points: Vec<AssertionOutcome>,
+    /// Cache and prefix activity attributable to this sweep.
+    pub telemetry: SessionTelemetry,
+}
+
+/// A configured execution context for instrumented circuits.
+///
+/// Construct with [`AssertionSession::new`] (the backend moves in;
+/// references to backends are backends too, so `new(&backend)` borrows)
+/// and chain builder methods. All execution methods take `&self`: a
+/// session is shareable across threads when its backend is.
+pub struct AssertionSession<'c, B: Backend> {
+    backend: B,
+    cache: CacheRef<'c>,
+    shots: u64,
+    threads: Option<usize>,
+    filter: FilterPolicy,
+    mitigator: Option<ReadoutMitigator>,
+    prefix_reuse: bool,
+    prefixes: PrefixRegistry,
+    /// Keys already registered in `prefixes` — repeated cache hits on a
+    /// hot sweep circuit skip recomputing its prefix-hash chain. Capped
+    /// (see [`REGISTERED_MEMO_CAP`]); the registry itself refreshes
+    /// dead registrations on the miss path, so a stale memo entry can
+    /// only delay re-registration until the next cache miss.
+    registered: Mutex<HashSet<ProgramKey>>,
+    /// The backend's noise fingerprint, hashed once on first use —
+    /// fingerprinting walks the model's whole Kraus content, far too
+    /// expensive to repeat on every lookup of a sweep.
+    noise_fp: OnceLock<Option<u128>>,
+    runs: AtomicU64,
+    shots_run: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl<'c, B: Backend> AssertionSession<'c, B> {
+    /// Creates a session over `backend` with the defaults: the global
+    /// program cache, [`DEFAULT_SHOTS`] shots, the backend's own thread
+    /// policy, strict filtering, no mitigation, prefix reuse on.
+    pub fn new(backend: B) -> Self {
+        AssertionSession {
+            backend,
+            cache: CacheRef::Global,
+            shots: DEFAULT_SHOTS,
+            threads: None,
+            filter: FilterPolicy::default(),
+            mitigator: None,
+            prefix_reuse: true,
+            prefixes: PrefixRegistry::new(),
+            registered: Mutex::new(HashSet::new()),
+            noise_fp: OnceLock::new(),
+            runs: AtomicU64::new(0),
+            shots_run: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Compiles through `cache` instead of the process-wide one
+    /// (isolated hit/miss accounting; share one cache across sessions
+    /// by passing the same reference).
+    #[must_use]
+    pub fn cache(mut self, cache: &'c ProgramCache) -> Self {
+        self.cache = CacheRef::Borrowed(cache);
+        self
+    }
+
+    /// Compiles through a cache owned by this session, holding at most
+    /// `capacity` programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    #[must_use]
+    pub fn private_cache(mut self, capacity: usize) -> Self {
+        self.cache = CacheRef::Owned(ProgramCache::new(capacity));
+        self
+    }
+
+    /// Sets the shot plan for every run (default [`DEFAULT_SHOTS`]).
+    #[must_use]
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Overrides the backend's shard/thread count for per-shot
+    /// execution. Backends without a shard concept (the exact
+    /// density-matrix executor) ignore this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread required");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets what analysis does when filtering removes every shot
+    /// (default [`FilterPolicy::RequireKept`]).
+    #[must_use]
+    pub fn filter_policy(mut self, policy: FilterPolicy) -> Self {
+        self.filter = policy;
+        self
+    }
+
+    /// Attaches a readout mitigator: every analyzed outcome additionally
+    /// carries mitigated raw/filtered distributions
+    /// ([`crate::runtime::MitigatedOutcome`]).
+    #[must_use]
+    pub fn mitigator(mut self, mitigator: ReadoutMitigator) -> Self {
+        self.mitigator = Some(mitigator);
+        self
+    }
+
+    /// Enables or disables compiled-prefix reuse across this session's
+    /// lowerings (on by default).
+    ///
+    /// Turn it off for one-shot sessions (a single run can never reuse
+    /// a prefix, so registration is pure overhead — the deprecated
+    /// free-function shims do this), for equivalence tests pinning
+    /// reuse bit-identical to fresh compilation, and for backends that
+    /// override [`qsim::Backend::compile`] with custom lowering: the
+    /// prefix path lowers through the default
+    /// `compile_with(noise_model(), compile_options())` pipeline, the
+    /// same contract [`qsim::Backend::compile_cached`] documents. (With
+    /// reuse off, the session lowers through [`qsim::Backend::compile`]
+    /// itself, honoring such overrides.)
+    #[must_use]
+    pub fn prefix_reuse(mut self, reuse: bool) -> Self {
+        self.prefix_reuse = reuse;
+        self
+    }
+
+    /// The backend this session executes on.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The program cache this session compiles through.
+    pub fn program_cache(&self) -> &ProgramCache {
+        match &self.cache {
+            CacheRef::Global => ProgramCache::global(),
+            CacheRef::Borrowed(cache) => cache,
+            CacheRef::Owned(cache) => cache,
+        }
+    }
+
+    /// The session's effective configuration, for embedding in
+    /// experiment reports ([`crate::ExperimentReport::push_session`]) so
+    /// repro artifacts record how they were produced.
+    pub fn record(&self) -> SessionRecord {
+        SessionRecord {
+            backend: self.backend.name().to_string(),
+            threads: self.threads,
+            shots: self.shots,
+            cache_capacity: self.program_cache().capacity(),
+        }
+    }
+
+    /// A snapshot of this session's lifetime counters.
+    pub fn telemetry(&self) -> SessionTelemetry {
+        SessionTelemetry {
+            runs: self.runs.load(Ordering::Relaxed),
+            shots: self.shots_run.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            prefix_hits: self.prefixes.hits(),
+        }
+    }
+
+    /// Records the first sight of a lowered key, bounding the memo;
+    /// returns whether this call was the first.
+    fn memo_first_sight(&self, key: ProgramKey) -> bool {
+        let mut memo = self.registered.lock().expect("session lock");
+        if memo.len() >= REGISTERED_MEMO_CAP && !memo.contains(&key) {
+            // The prefix registry stops accepting new registrations at
+            // the same cap, so stop attempting (and stop growing).
+            return false;
+        }
+        memo.insert(key)
+    }
+
+    /// Lowers a circuit through the session's cache and prefix registry
+    /// without executing it — sweep harnesses that evolve compiled
+    /// programs directly (e.g. exact statevector evolution) use this to
+    /// get compile-free, prefix-aware lowering with session telemetry.
+    ///
+    /// The program is bound to the backend's noise model and compile
+    /// options, exactly like [`qsim::Backend::compile_cached`] — and
+    /// with the same contract: the prefix-reuse path assumes the
+    /// backend's default lowering pipeline. Backends overriding
+    /// [`qsim::Backend::compile`] must run with
+    /// [`AssertionSession::prefix_reuse`]`(false)`, which lowers
+    /// through `compile` itself and so honors the override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::Sim`] when lowering fails.
+    pub fn lower(&self, circuit: &QuantumCircuit) -> Result<Arc<CompiledProgram>, AssertError> {
+        let noise = self.backend.noise_model();
+        let options = self.backend.compile_options();
+        let cache = self.program_cache();
+        let noise_fp = *self
+            .noise_fp
+            .get_or_init(|| noise.map(qnoise::NoiseModel::fingerprint));
+        let key = ProgramKey::from_fingerprint(circuit, noise_fp, options);
+        if let Some(program) = cache.lookup(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if self.prefix_reuse && self.memo_first_sight(key) {
+                // A cache-served program is still prefix fodder for
+                // longer circuits later in the sweep (first sight only —
+                // repeat hits skip the prefix-hash computation).
+                self.prefixes
+                    .register_with_fingerprint(circuit, noise_fp, options, &program);
+            }
+            return Ok(program);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let program = if self.prefix_reuse {
+            // The registry registers (and revives an eviction-killed
+            // registration for) this circuit itself.
+            let compiled = self
+                .prefixes
+                .compile_with_fingerprint(circuit, noise, noise_fp, options)?;
+            self.memo_first_sight(key);
+            compiled
+        } else {
+            // Honors a Backend::compile override (the prefix path above
+            // cannot — see the method docs).
+            Arc::new(self.backend.compile(circuit)?)
+        };
+        Ok(cache.insert(key, program))
+    }
+
+    /// Lowers and executes a bare circuit under the session's shot and
+    /// thread plan, returning the raw backend result.
+    ///
+    /// This is the entry point for circuits that were rewritten after
+    /// instrumentation (e.g. transpiled to a device topology): run the
+    /// native circuit here, then feed the result to
+    /// [`AssertionSession::analyze`] with the original
+    /// [`AssertingCircuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::Sim`] when lowering or execution fails.
+    pub fn run_circuit(&self, circuit: &QuantumCircuit) -> Result<RunResult, AssertError> {
+        let program = self.lower(circuit)?;
+        let raw = self
+            .backend
+            .run_compiled_threaded(&program, self.shots, self.threads)?;
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.shots_run.fetch_add(self.shots, Ordering::Relaxed);
+        Ok(raw)
+    }
+
+    /// Runs an instrumented circuit and analyzes its assertion outcomes
+    /// under the session's filter and mitigation settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::Sim`] when execution fails and
+    /// [`AssertError::NoShotsKept`] when filtering removes every shot
+    /// under [`FilterPolicy::RequireKept`].
+    pub fn run(&self, asserting: &AssertingCircuit) -> Result<AssertionOutcome, AssertError> {
+        let raw = self.run_circuit(asserting.circuit())?;
+        self.analyze(raw, asserting)
+    }
+
+    /// Analyzes an existing backend result against an asserting
+    /// circuit's records under the session's filter and mitigation
+    /// settings (no execution — for results the caller produced, e.g.
+    /// from a transpiled circuit via [`AssertionSession::run_circuit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssertError::NoShotsKept`] when filtering removes every
+    /// shot under [`FilterPolicy::RequireKept`].
+    pub fn analyze(
+        &self,
+        raw: RunResult,
+        asserting: &AssertingCircuit,
+    ) -> Result<AssertionOutcome, AssertError> {
+        analyze_with_policy(raw, asserting, self.filter, self.mitigator.as_ref())
+    }
+
+    /// Runs a family of instrumented circuits, returning per-point
+    /// outcomes plus the cache/prefix telemetry aggregated over exactly
+    /// this sweep.
+    ///
+    /// Circuits sharing a lowered prefix (parameter sweeps that append
+    /// assertion fragments to a common preparation) compile
+    /// incrementally — see the module docs; `telemetry.prefix_hits`
+    /// counts the reuses.
+    ///
+    /// The sweep's telemetry is a before/after delta of the session's
+    /// shared counters, so it is only attributable to *this* sweep when
+    /// the session is not used concurrently from other threads while it
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first point's error, if any.
+    pub fn run_sweep<I>(&self, circuits: I) -> Result<SweepOutcome, AssertError>
+    where
+        I: IntoIterator<Item = AssertingCircuit>,
+    {
+        let before = self.telemetry();
+        let mut points = Vec::new();
+        for asserting in circuits {
+            points.push(self.run(&asserting)?);
+        }
+        Ok(SweepOutcome {
+            points,
+            telemetry: self.telemetry().since(&before),
+        })
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for AssertionSession<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.telemetry();
+        write!(
+            f,
+            "AssertionSession {{ backend: {:?}, shots: {}, threads: {:?}, runs: {}, \
+             cache {}h/{}m, prefix_hits: {} }}",
+            self.backend.name(),
+            self.shots,
+            self.threads,
+            t.runs,
+            t.cache_hits,
+            t.cache_misses,
+            t.prefix_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::Parity;
+    use qcircuit::library;
+    use qsim::{DensityMatrixBackend, StatevectorBackend, TrajectoryBackend};
+
+    fn bell_assertion() -> AssertingCircuit {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        ac
+    }
+
+    /// One θ point of a staged-assertion sweep: a program asserted after
+    /// its first stage, and the same program grown by a second stage and
+    /// a second assertion — the longer circuit's instruction stream
+    /// extends the shorter's exactly (the assertion ancilla and clbit it
+    /// adds widen the registers, which prefix reuse tolerates).
+    fn theta_pair(theta: f64) -> (AssertingCircuit, AssertingCircuit) {
+        let mut prep = QuantumCircuit::new(2, 0);
+        prep.ry(theta, 0).unwrap();
+        prep.cx(0, 1).unwrap();
+        let mut first = AssertingCircuit::new(prep);
+        first.assert_entangled([0, 1], Parity::Even).unwrap();
+        let mut second = first.clone();
+        second.circuit_mut().x(0).unwrap();
+        second.circuit_mut().x(1).unwrap();
+        second.assert_entangled([0, 1], Parity::Even).unwrap();
+        (first, second)
+    }
+
+    #[test]
+    fn borrowed_and_owned_backends_agree() {
+        let ac = bell_assertion();
+        let backend = StatevectorBackend::new().with_seed(11);
+        let owned = AssertionSession::new(backend.clone()).shots(300);
+        let borrowed = AssertionSession::new(&backend).shots(300);
+        let a = owned.run(&ac).unwrap();
+        let b = borrowed.run(&ac).unwrap();
+        assert_eq!(a.raw.counts, b.raw.counts);
+    }
+
+    #[test]
+    fn threads_override_preserves_seeded_counts() {
+        // `threads` fixes the shard split, so the session override must
+        // reproduce a backend configured with the same count.
+        let ac = bell_assertion();
+        let noise = qnoise::presets::uniform(3, 0.01, 0.04, 0.02).unwrap();
+        let configured = TrajectoryBackend::new(noise.clone())
+            .with_seed(5)
+            .with_threads(4);
+        let overridden = AssertionSession::new(TrajectoryBackend::new(noise).with_seed(5))
+            .threads(4)
+            .shots(801);
+        let a = AssertionSession::new(configured)
+            .shots(801)
+            .run(&ac)
+            .unwrap();
+        let b = overridden.run(&ac).unwrap();
+        assert_eq!(a.raw.counts, b.raw.counts);
+    }
+
+    #[test]
+    fn private_cache_isolates_accounting() {
+        let ac = bell_assertion();
+        let session = AssertionSession::new(StatevectorBackend::new().with_seed(2))
+            .private_cache(4)
+            .shots(100);
+        session.run(&ac).unwrap();
+        session.run(&ac).unwrap();
+        let t = session.telemetry();
+        assert_eq!((t.cache_hits, t.cache_misses), (1, 1));
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.shots, 200);
+        assert_eq!(session.program_cache().stats().entries, 1);
+    }
+
+    #[test]
+    fn sweep_over_a_circuit_family_reuses_prefixes_bit_identically() {
+        let circuits = |steps: usize| {
+            let mut family = Vec::new();
+            for step in 0..steps {
+                let theta = step as f64 / steps as f64 * std::f64::consts::TAU;
+                let (a, b) = theta_pair(theta);
+                family.push(a);
+                family.push(b);
+            }
+            family
+        };
+        let with_prefix = AssertionSession::new(StatevectorBackend::new().with_seed(3))
+            .private_cache(64)
+            .shots(128);
+        let without_prefix = AssertionSession::new(StatevectorBackend::new().with_seed(3))
+            .private_cache(64)
+            .shots(128)
+            .prefix_reuse(false);
+        let a = with_prefix.run_sweep(circuits(6)).unwrap();
+        let b = without_prefix.run_sweep(circuits(6)).unwrap();
+        assert!(
+            a.telemetry.prefix_hits >= 6,
+            "each longer circuit should extend its θ's shorter one, got {}",
+            a.telemetry.prefix_hits
+        );
+        assert_eq!(b.telemetry.prefix_hits, 0);
+        assert_eq!(a.points.len(), b.points.len());
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.raw.counts, y.raw.counts, "prefix reuse changed counts");
+            assert_eq!(x.kept, y.kept);
+        }
+    }
+
+    #[test]
+    fn sweep_telemetry_covers_exactly_the_sweep() {
+        let session = AssertionSession::new(StatevectorBackend::new().with_seed(4))
+            .private_cache(16)
+            .shots(64);
+        session.run(&bell_assertion()).unwrap(); // outside the sweep
+        let sweep = session
+            .run_sweep(vec![bell_assertion(), bell_assertion()])
+            .unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.telemetry.runs, 2);
+        assert_eq!(sweep.telemetry.shots, 128);
+        // Both sweep points hit the program cached by the pre-sweep run.
+        assert_eq!(sweep.telemetry.cache_hits, 2);
+        assert_eq!(sweep.telemetry.cache_misses, 0);
+    }
+
+    #[test]
+    fn lower_is_compile_free_on_repeat_and_feeds_statevector_evolution() {
+        let backend = StatevectorBackend::new();
+        let session = AssertionSession::new(&backend).private_cache(8);
+        let mut prep = QuantumCircuit::new(2, 0);
+        prep.ry(0.9, 0).unwrap();
+        prep.cx(0, 1).unwrap();
+        let p1 = session.lower(&prep).unwrap();
+        let p2 = session.lower(&prep).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let psi = backend.statevector_compiled(&p1).unwrap();
+        let direct = backend.statevector(&prep).unwrap();
+        for i in 0..4 {
+            assert_eq!(psi.amplitude(i), direct.amplitude(i));
+        }
+    }
+
+    #[test]
+    fn record_reports_the_effective_configuration() {
+        let session = AssertionSession::new(DensityMatrixBackend::ideal())
+            .shots(4096)
+            .threads(3)
+            .private_cache(32);
+        let record = session.record();
+        assert_eq!(record.backend, "density matrix (exact ideal)");
+        assert_eq!(record.threads, Some(3));
+        assert_eq!(record.shots, 4096);
+        assert_eq!(record.cache_capacity, 32);
+    }
+
+    #[test]
+    fn mitigator_attaches_mitigated_distributions() {
+        use qnoise::ReadoutError;
+        let mut base = QuantumCircuit::new(1, 0);
+        base.h(0).unwrap();
+        let mut ac = AssertingCircuit::new(base);
+        ac.assert_classical([0], [false]).unwrap();
+        ac.measure_data();
+        let mut noise = qnoise::NoiseModel::new();
+        for q in 0..2 {
+            noise.with_readout_error(q, ReadoutError::new(0.05, 0.05).unwrap());
+        }
+        let mitigator = ReadoutMitigator::from_noise_model(
+            &noise,
+            &[qcircuit::QubitId::new(1), qcircuit::QubitId::new(0)],
+        );
+        let backend = DensityMatrixBackend::new(noise);
+        let session = AssertionSession::new(backend)
+            .shots(1 << 14)
+            .mitigator(mitigator);
+        let outcome = session.run(&ac).unwrap();
+        let mitigated = outcome.mitigated.as_ref().expect("mitigator attached");
+        assert_eq!(mitigated.probs.len(), 4);
+        let sum: f64 = mitigated.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let kept_sum: f64 = mitigated.kept.iter().sum();
+        assert!((kept_sum - 1.0).abs() < 1e-9);
+        // Filtered mass only on outcomes whose assertion bit is clear.
+        for (k, p) in mitigated.kept.iter().enumerate() {
+            if k & 1 == 1 {
+                assert_eq!(*p, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_merge_and_hit_rate() {
+        let mut a = SessionTelemetry {
+            runs: 2,
+            shots: 100,
+            cache_hits: 3,
+            cache_misses: 1,
+            prefix_hits: 1,
+        };
+        let b = SessionTelemetry {
+            runs: 1,
+            shots: 50,
+            cache_hits: 1,
+            cache_misses: 3,
+            prefix_hits: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.shots, 150);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(SessionTelemetry::default().hit_rate(), 0.0);
+    }
+}

@@ -449,6 +449,33 @@ impl QuantumCircuit {
         }
         (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
     }
+
+    /// Rolling 128-bit structural hashes of the circuit's instruction
+    /// prefixes: element `k` hashes `instructions[0..k]`, so element `0`
+    /// covers the empty stream and element `len()` the whole stream.
+    ///
+    /// Unlike [`QuantumCircuit::structural_hash`] (which also folds in
+    /// the register widths and instruction count up front, making it
+    /// non-incremental), these hashes satisfy the prefix property:
+    /// circuit `A`'s instruction stream is an exact prefix of `B`'s iff
+    /// `A.prefix_hashes().last() == B.prefix_hashes()[A.len()]`. The
+    /// register widths are deliberately excluded — an instrumented
+    /// circuit family grows ancilla wires and clbits as assertions are
+    /// appended, yet each member's stream still extends the previous
+    /// one. Sweep harnesses use this to detect shared lowered prefixes
+    /// across a family without comparing instruction streams.
+    pub fn prefix_hashes(&self) -> Vec<u128> {
+        let mut lo = StructuralHasher::new(0x4528_21E6_38D0_1377); // pi, fifth chunk
+        let mut hi = StructuralHasher::new(0xBE54_66CF_34E9_0C6C); // pi, sixth chunk
+        let mut out = Vec::with_capacity(self.instructions.len() + 1);
+        out.push((u128::from(hi.finish()) << 64) | u128::from(lo.finish()));
+        for instr in &self.instructions {
+            lo.write_instruction(instr);
+            hi.write_instruction(instr);
+            out.push((u128::from(hi.finish()) << 64) | u128::from(lo.finish()));
+        }
+        out
+    }
 }
 
 /// SplitMix64-based accumulator for [`QuantumCircuit::structural_hash`].
@@ -814,6 +841,32 @@ mod tests {
                 assert_ne!(a, b, "distinct circuits collided");
             }
         }
+    }
+
+    #[test]
+    fn prefix_hashes_satisfy_the_prefix_property() {
+        let mut prefix = QuantumCircuit::new(3, 0);
+        prefix.ry(0.7, 0).unwrap().ry(0.8, 1).unwrap();
+        let mut full = prefix.clone();
+        full.cx(0, 2).unwrap().cx(1, 2).unwrap();
+        let ph = prefix.prefix_hashes();
+        let fh = full.prefix_hashes();
+        assert_eq!(ph.len(), prefix.len() + 1);
+        assert_eq!(fh.len(), full.len() + 1);
+        // Shared prefix ⇒ shared chain values, diverging afterwards.
+        assert_eq!(&ph[..], &fh[..ph.len()]);
+        assert_ne!(fh[2], fh[3]);
+        // Register widths do NOT participate: instrumented families grow
+        // ancilla wires while their streams keep extending each other.
+        let mut wider = QuantumCircuit::new(4, 1);
+        wider.ry(0.7, 0).unwrap().ry(0.8, 1).unwrap();
+        assert_eq!(wider.prefix_hashes()[2], ph[2]);
+        // Different parameters diverge at the instruction that differs.
+        let mut other = QuantumCircuit::new(3, 0);
+        other.ry(0.7, 0).unwrap().ry(0.9, 1).unwrap();
+        let oh = other.prefix_hashes();
+        assert_eq!(oh[1], ph[1]);
+        assert_ne!(oh[2], ph[2]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Keyed program cache: compile-free repeated analyses.
 //!
 //! Sweep workloads (`noise_sweep`, `theory_sweep`, `ablation`, and any
-//! `run_with_assertions` loop) lower the *same* instrumented circuit
+//! assertion-session loop) lower the *same* instrumented circuit
 //! against the *same* noise model over and over — once per assertion
 //! point per noise level. [`ProgramCache`] memoizes
 //! [`crate::compile::compile_with`] behind a key of
@@ -48,9 +48,21 @@ impl ProgramKey {
         noise: Option<&NoiseModel>,
         options: CompileOptions,
     ) -> Self {
+        ProgramKey::from_fingerprint(circuit, noise.map(NoiseModel::fingerprint), options)
+    }
+
+    /// Like [`ProgramKey::new`] with the noise fingerprint already
+    /// computed. Fingerprinting hashes the model's entire Kraus content,
+    /// so sessions issuing thousands of lookups against one fixed
+    /// backend compute it once and key through this.
+    pub fn from_fingerprint(
+        circuit: &QuantumCircuit,
+        noise_fingerprint: Option<u128>,
+        options: CompileOptions,
+    ) -> Self {
         ProgramKey {
             circuit: circuit.structural_hash(),
-            noise: noise.map(NoiseModel::fingerprint),
+            noise: noise_fingerprint,
             fuse_1q: options.fuse_1q,
         }
     }
@@ -181,18 +193,40 @@ impl ProgramCache {
         options: CompileOptions,
     ) -> Result<Arc<CompiledProgram>, SimError> {
         let key = ProgramKey::new(circuit, noise, options);
-        {
-            let mut inner = self.inner.lock().expect("cache lock");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.map.get_mut(&key) {
+        if let Some(program) = self.lookup(&key) {
+            return Ok(program);
+        }
+        let program = Arc::new(compile_with(circuit, noise, options)?);
+        Ok(self.insert(key, program))
+    }
+
+    /// Looks up a compiled program by key, counting a hit or a miss.
+    ///
+    /// Callers that compile through a different path than
+    /// [`ProgramCache::get_or_compile`] (e.g. prefix-aware sweep
+    /// lowering) pair this with [`ProgramCache::insert`].
+    pub fn lookup(&self, key: &ProgramKey) -> Option<Arc<CompiledProgram>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.program));
+                Some(Arc::clone(&entry.program))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let program = Arc::new(compile_with(circuit, noise, options)?);
+    }
+
+    /// Inserts a compiled program under `key`, returning the resident
+    /// program (first insert wins on a race — compilation is
+    /// deterministic, so racing programs are identical) and evicting
+    /// least-recently-used entries beyond capacity.
+    pub fn insert(&self, key: ProgramKey, program: Arc<CompiledProgram>) -> Arc<CompiledProgram> {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
@@ -200,7 +234,7 @@ impl ProgramCache {
             .map
             .entry(key)
             .or_insert_with(|| Entry {
-                program: Arc::clone(&program),
+                program,
                 last_used: tick,
             })
             .program
@@ -215,7 +249,7 @@ impl ProgramCache {
             inner.map.remove(&coldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(resident)
+        resident
     }
 
     /// Current counters and occupancy.

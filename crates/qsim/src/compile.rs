@@ -198,6 +198,101 @@ pub fn compile_with(
     ))
 }
 
+/// Extends an already-compiled prefix: lowers only
+/// `circuit.instructions()[prefix_len..]` and concatenates the op
+/// streams, recomputing the fast-path analysis over the whole program.
+///
+/// `prefix` must be the compilation of the first `prefix_len`
+/// instructions of `circuit` under the *same noise model and options* —
+/// sweep harnesses obtain it from an earlier point of the same sweep.
+/// Its register widths may be narrower than `circuit`'s (instrumented
+/// families grow ancilla wires as assertions append): compiled ops carry
+/// absolute qubit/clbit indices and noise binds per instruction, so the
+/// op stream of a prefix does not depend on the declared widths. The
+/// result is **identical** to a fresh [`compile_with`] of the full
+/// circuit provided no single-qubit fusion run crosses the prefix
+/// boundary; callers check that with [`extension_fusion_safe`] first.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the suffix cannot be lowered.
+pub fn compile_extension(
+    prefix: &CompiledProgram,
+    circuit: &QuantumCircuit,
+    prefix_len: usize,
+    noise: Option<&NoiseModel>,
+    options: CompileOptions,
+) -> Result<CompiledProgram, SimError> {
+    debug_assert_eq!(prefix.source_instructions(), prefix_len);
+    if circuit.num_clbits() > 64 {
+        return Err(SimError::TooManyClbits {
+            num_clbits: circuit.num_clbits(),
+        });
+    }
+    let mut suffix = QuantumCircuit::new(circuit.num_qubits(), circuit.num_clbits());
+    for instr in &circuit.instructions()[prefix_len..] {
+        suffix.append(instr.clone()).map_err(SimError::Circuit)?;
+    }
+    let tail = compile_with(&suffix, noise, options)?;
+    let mut ops: Vec<CompiledOp> = prefix.ops().to_vec();
+    ops.extend(tail.ops().iter().cloned());
+    let fast_path = analyze_fast_path(&ops);
+    Ok(CompiledProgram::new(
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+        ops,
+        fast_path,
+        prefix.source_instructions() + tail.source_instructions(),
+        prefix.fused_gates() + tail.fused_gates(),
+    ))
+}
+
+/// Whether splitting `circuit` at `prefix_len` cannot change the fused
+/// op stream: no single-qubit fusion run crosses the boundary.
+///
+/// A run crosses the boundary on wire `w` exactly when the last
+/// instruction before the cut touching `w` and the first instruction
+/// after the cut touching `w` are both run-fusable (unconditioned
+/// single-qubit gates — mirroring
+/// [`qcircuit::CircuitDag::single_qubit_runs`] membership); they are
+/// adjacent in wire order by construction. With fusion disabled every
+/// split is safe. The check is conservative about noise: a channel on
+/// the boundary gate would flush the run anyway, but declaring such
+/// splits unsafe only costs a prefix reuse, never correctness.
+pub fn extension_fusion_safe(
+    circuit: &QuantumCircuit,
+    prefix_len: usize,
+    options: CompileOptions,
+) -> bool {
+    if !options.fuse_1q {
+        return true;
+    }
+    let instrs = circuit.instructions();
+    let fusable = |i: usize| {
+        instrs[i].condition().is_none()
+            && matches!(instrs[i].kind(), OpKind::Gate(g) if g.num_qubits() == 1)
+    };
+    let mut last_before: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for (i, instr) in instrs[..prefix_len].iter().enumerate() {
+        for q in instr.qubits() {
+            last_before[q.index()] = Some(i);
+        }
+    }
+    let mut first_after: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for (i, instr) in instrs[prefix_len..].iter().enumerate() {
+        for q in instr.qubits() {
+            let slot = &mut first_after[q.index()];
+            if slot.is_none() {
+                *slot = Some(prefix_len + i);
+            }
+        }
+    }
+    (0..circuit.num_qubits()).all(|w| match (last_before[w], first_after[w]) {
+        (Some(p), Some(s)) => !(fusable(p) && fusable(s)),
+        _ => true,
+    })
+}
+
 /// The 2×2 matrix of a single-qubit gate (fusion-path helper).
 fn gate_mat2(g: &Gate) -> Mat2 {
     g.mat2().expect("single-qubit gate has a 2x2 matrix")

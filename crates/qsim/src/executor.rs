@@ -143,6 +143,30 @@ pub trait Backend {
     /// discarded by post-selection.
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError>;
 
+    /// Executes an already-compiled program, overriding the backend's
+    /// configured shard count with `threads` when given.
+    ///
+    /// This is the execution hook for session-style callers
+    /// (`qassert::AssertionSession`) that own the thread policy instead
+    /// of threading it through backend constructors. The default
+    /// implementation ignores the override — correct for backends with
+    /// no shard concept (the exact density-matrix executor); per-shot
+    /// backends honor it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when execution fails or every shot was
+    /// discarded by post-selection.
+    fn run_compiled_threaded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let _ = threads;
+        self.run_compiled(program, shots)
+    }
+
     /// Executes `circuit` for `shots` repetitions (compile + run).
     ///
     /// # Errors
@@ -152,6 +176,53 @@ pub trait Backend {
     fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
         let program = self.compile(circuit)?;
         self.run_compiled(&program, shots)
+    }
+}
+
+/// References to backends are backends: every method forwards, so
+/// overridden behavior (noise binding, fast paths, thread overrides) is
+/// preserved. This lets owning APIs like `qassert::AssertionSession`
+/// accept either a moved backend or a borrow of one.
+impl<B: Backend + ?Sized> Backend for &B {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn noise_model(&self) -> Option<&NoiseModel> {
+        (**self).noise_model()
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        (**self).compile_options()
+    }
+
+    fn compile(&self, circuit: &QuantumCircuit) -> Result<CompiledProgram, SimError> {
+        (**self).compile(circuit)
+    }
+
+    fn compile_cached(
+        &self,
+        circuit: &QuantumCircuit,
+        cache: &ProgramCache,
+    ) -> Result<Arc<CompiledProgram>, SimError> {
+        (**self).compile_cached(circuit, cache)
+    }
+
+    fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
+        (**self).run_compiled(program, shots)
+    }
+
+    fn run_compiled_threaded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        (**self).run_compiled_threaded(program, shots, threads)
+    }
+
+    fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
+        (**self).run(circuit, shots)
     }
 }
 
@@ -627,6 +698,15 @@ impl Backend for StatevectorBackend {
     }
 
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
+        self.run_compiled_threaded(program, shots, None)
+    }
+
+    fn run_compiled_threaded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
         // The sample-once path is only sound for noise-free programs: a
         // caller may hand this ideal backend a program compiled against a
         // noise model, and those pre-bound channels only execute on the
@@ -657,7 +737,8 @@ impl Backend for StatevectorBackend {
             });
         }
 
-        let (counts, discarded) = run_compiled_sharded(program, shots, self.seed, self.threads)?;
+        let (counts, discarded) =
+            run_compiled_sharded(program, shots, self.seed, threads.unwrap_or(self.threads))?;
         if shots > 0 && discarded == shots {
             return Err(SimError::AllShotsDiscarded);
         }
@@ -739,7 +820,17 @@ impl Backend for TrajectoryBackend {
     }
 
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
-        let (counts, discarded) = run_compiled_sharded(program, shots, self.seed, self.threads)?;
+        self.run_compiled_threaded(program, shots, None)
+    }
+
+    fn run_compiled_threaded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let (counts, discarded) =
+            run_compiled_sharded(program, shots, self.seed, threads.unwrap_or(self.threads))?;
         if shots > 0 && discarded == shots {
             return Err(SimError::AllShotsDiscarded);
         }

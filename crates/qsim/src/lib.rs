@@ -60,11 +60,14 @@ pub mod error;
 pub mod executor;
 pub mod expectation;
 pub mod pool;
+pub mod prefix;
 pub mod program;
 pub mod statevector;
 
 pub use cache::{CacheStats, ProgramCache, ProgramKey};
-pub use compile::{compile, compile_with, CompileOptions};
+pub use compile::{
+    compile, compile_extension, compile_with, extension_fusion_safe, CompileOptions,
+};
 pub use counts::{bitstring, key_from_str, Counts};
 pub use density::DensityMatrix;
 pub use error::SimError;
@@ -75,5 +78,6 @@ pub use executor::{
 };
 pub use expectation::{Pauli, PauliString};
 pub use pool::ShardPool;
+pub use prefix::PrefixRegistry;
 pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
 pub use statevector::StateVector;

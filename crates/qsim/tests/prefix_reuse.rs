@@ -1,0 +1,180 @@
+//! Prefix-reuse correctness: a program assembled from a registered
+//! compiled prefix plus a freshly lowered suffix must be
+//! **byte-identical** to a fresh full compile — and execution through it
+//! indistinguishable, seeded shot for seeded shot.
+//!
+//! The registry only consumes a prefix when `extension_fusion_safe`
+//! proves no single-qubit fusion run crosses the cut; these tests pin
+//! both sides of that contract: safe splits reproduce the full compile
+//! exactly, and unsafe splits fall back (never producing a stream that
+//! diverges from `compile_with`).
+
+use proptest::prelude::*;
+use qcircuit::{Gate, QuantumCircuit};
+use qnoise::{presets, NoiseModel};
+use qsim::{
+    compile_with, Backend, CompileOptions, PrefixRegistry, StatevectorBackend, TrajectoryBackend,
+};
+
+mod support;
+use support::digest;
+
+/// The theory-sweep shape: a per-θ preparation extended by an assertion
+/// fragment (multi-qubit boundary, always fusion-safe).
+fn theory_family(theta: f64) -> Vec<QuantumCircuit> {
+    let mut classical = QuantumCircuit::new(2, 0);
+    classical.ry(theta, 0).unwrap();
+    classical.cx(0, 1).unwrap();
+    let mut superposition = classical.clone();
+    superposition.h(0).unwrap();
+    superposition.h(1).unwrap();
+    superposition.cx(0, 1).unwrap();
+    let mut prefix = QuantumCircuit::new(3, 0);
+    prefix.ry(theta, 0).unwrap();
+    prefix.ry(0.8, 1).unwrap();
+    let mut entangled = prefix.clone();
+    entangled.cx(0, 2).unwrap();
+    entangled.cx(1, 2).unwrap();
+    vec![classical, superposition, prefix, entangled]
+}
+
+#[test]
+fn theory_shapes_extend_byte_identically() {
+    let noise = presets::uniform(3, 0.01, 0.04, 0.02).unwrap();
+    for noise in [None, Some(&noise)] {
+        let registry = PrefixRegistry::new();
+        // The registry holds weak references, so keep every lowered
+        // program alive for the duration of the sweep (the role a
+        // ProgramCache plays in the session flow).
+        let mut alive = Vec::new();
+        let mut hits = 0;
+        for step in 0..8 {
+            let theta = step as f64 / 8.0 * std::f64::consts::TAU;
+            for circuit in theory_family(theta) {
+                let reused = registry
+                    .compile(&circuit, noise, CompileOptions::default())
+                    .unwrap();
+                let fresh = compile_with(&circuit, noise, CompileOptions::default()).unwrap();
+                assert_eq!(
+                    digest(&reused),
+                    digest(&fresh),
+                    "prefix-extended compile diverges at θ = {theta}"
+                );
+                alive.push(reused);
+            }
+            hits = registry.hits();
+        }
+        // Two of the four family members extend an earlier one, each θ.
+        assert_eq!(hits, 16, "expected 2 prefix hits per θ step");
+    }
+}
+
+#[test]
+fn execution_through_extended_programs_matches_fresh_seeded_runs() {
+    let noise = presets::uniform(3, 0.01, 0.04, 0.02).unwrap();
+    let registry = PrefixRegistry::new();
+    let mut base = QuantumCircuit::new(3, 3);
+    base.h(0).unwrap();
+    base.cx(0, 1).unwrap();
+    base.measure(0, 0).unwrap(); // mid-circuit: defeats the fast path
+    let mut full = base.clone();
+    full.cx(1, 2).unwrap();
+    full.measure(1, 1).unwrap();
+    full.measure(2, 2).unwrap();
+
+    let _alive = registry
+        .compile(&base, Some(&noise), CompileOptions::default())
+        .unwrap();
+    let extended = registry
+        .compile(&full, Some(&noise), CompileOptions::default())
+        .unwrap();
+    assert_eq!(registry.hits(), 1);
+    let fresh = compile_with(&full, Some(&noise), CompileOptions::default()).unwrap();
+    assert_eq!(digest(&extended), digest(&fresh));
+
+    let backend = TrajectoryBackend::new(noise).with_seed(23).with_threads(3);
+    let a = backend.run_compiled(&extended, 900).unwrap();
+    let b = backend.run_compiled(&fresh, 900).unwrap();
+    assert_eq!(a.counts, b.counts);
+
+    let ideal = StatevectorBackend::new().with_seed(7);
+    let a = ideal.run_compiled(&extended, 900).unwrap();
+    let b = ideal.run_compiled(&fresh, 900).unwrap();
+    assert_eq!(a.counts, b.counts);
+}
+
+#[test]
+fn fast_path_is_recomputed_over_the_extended_stream() {
+    // The registered prefix is unitary-only (fast path with no
+    // measurements); the extension appends trailing measurements. The
+    // extended program must carry the full fast path.
+    let registry = PrefixRegistry::new();
+    let mut prep = QuantumCircuit::new(2, 2);
+    prep.h(0).unwrap();
+    prep.cx(0, 1).unwrap();
+    let mut measured = prep.clone();
+    measured.measure(0, 0).unwrap();
+    measured.measure(1, 1).unwrap();
+    let _alive = registry
+        .compile(&prep, None, CompileOptions::default())
+        .unwrap();
+    let program = registry
+        .compile(&measured, None, CompileOptions::default())
+        .unwrap();
+    assert_eq!(registry.hits(), 1);
+    let fp = program.fast_path().expect("trailing-measure shape");
+    assert_eq!(fp.unitary_prefix, 2);
+    assert_eq!(fp.mapping, vec![(0, 0), (1, 1)]);
+}
+
+fn arb_1q_gate() -> impl Strategy<Value = Gate> {
+    let angle = -6.3f64..6.3f64;
+    prop_oneof![
+        Just(Gate::X),
+        Just(Gate::H),
+        Just(Gate::S),
+        Just(Gate::T),
+        angle.clone().prop_map(Gate::Rx),
+        angle.clone().prop_map(Gate::Ry),
+        angle.prop_map(Gate::Rz),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random circuit pairs (a truncation and its full form, mixing 1q
+    /// runs, entangling gates, and measurements) lower identically
+    /// whether the prefix is reused or not — including splits where the
+    /// fusion boundary is unsafe and the registry must fall back.
+    #[test]
+    fn random_truncations_extend_byte_identically(
+        gates in proptest::collection::vec((arb_1q_gate(), 0u64..3), 4..18),
+        cut_frac in 0.2f64..0.9,
+        noisy in any::<bool>(),
+    ) {
+        let mut circuit = QuantumCircuit::new(3, 3);
+        for (i, (g, q)) in gates.iter().enumerate() {
+            circuit.gate(*g, [(*q % 3) as usize]).unwrap();
+            if i % 5 == 4 {
+                circuit.cx((*q % 3) as usize, ((*q + 1) % 3) as usize).unwrap();
+            }
+            if i % 7 == 6 {
+                circuit.measure((*q % 3) as usize, (*q % 3) as usize).unwrap();
+            }
+        }
+        circuit.measure_all();
+        let cut = ((circuit.len() as f64 * cut_frac) as usize).clamp(1, circuit.len() - 1);
+        let mut truncated = QuantumCircuit::new(3, 3);
+        for instr in &circuit.instructions()[..cut] {
+            truncated.append(instr.clone()).unwrap();
+        }
+        let model = presets::uniform(3, 0.01, 0.03, 0.01).unwrap();
+        let noise: Option<&NoiseModel> = if noisy { Some(&model) } else { None };
+        let registry = PrefixRegistry::new();
+        let _alive = registry.compile(&truncated, noise, CompileOptions::default()).unwrap();
+        let extended = registry.compile(&circuit, noise, CompileOptions::default()).unwrap();
+        let fresh = compile_with(&circuit, noise, CompileOptions::default()).unwrap();
+        prop_assert_eq!(digest(&extended), digest(&fresh));
+    }
+}

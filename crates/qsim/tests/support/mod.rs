@@ -1,0 +1,131 @@
+//! Shared helpers for the qsim integration suites.
+
+use qsim::{CompiledKind, CompiledProgram};
+
+/// Folds one f64 into a digest by exact bit pattern.
+pub fn mix(digest: &mut u64, value: u64) {
+    let mut z = digest
+        .rotate_left(19)
+        .wrapping_add(value)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    *digest = z ^ (z >> 31);
+}
+
+pub fn mix_f64(digest: &mut u64, value: f64) {
+    mix(digest, value.to_bits());
+}
+
+pub fn mix_complex(digest: &mut u64, c: qmath::Complex) {
+    mix_f64(digest, c.re);
+    mix_f64(digest, c.im);
+}
+
+pub fn mix_mat2(digest: &mut u64, m: &qmath::Mat2) {
+    for c in [m.a, m.b, m.c, m.d] {
+        mix_complex(digest, c);
+    }
+}
+
+/// A byte-level digest of a compiled program's entire observable state:
+/// widths, fast path, and every op's kind, operands, matrices (exact
+/// f64 bits), condition, and pre-bound noise channels.
+pub fn digest(program: &CompiledProgram) -> u64 {
+    let mut d = 0u64;
+    mix(&mut d, program.num_qubits() as u64);
+    mix(&mut d, program.num_clbits() as u64);
+    mix(&mut d, program.source_instructions() as u64);
+    mix(&mut d, program.fused_gates() as u64);
+    match program.fast_path() {
+        Some(fp) => {
+            mix(&mut d, 1);
+            mix(&mut d, fp.unitary_prefix as u64);
+            for (q, c) in &fp.mapping {
+                mix(&mut d, *q as u64);
+                mix(&mut d, *c as u64);
+            }
+        }
+        None => mix(&mut d, 2),
+    }
+    mix(&mut d, program.ops().len() as u64);
+    for op in program.ops() {
+        match &op.kind {
+            CompiledKind::Unitary1q {
+                qubit,
+                matrix,
+                fused,
+            } => {
+                mix(&mut d, 10);
+                mix(&mut d, qubit.index() as u64);
+                mix(&mut d, *fused as u64);
+                mix_mat2(&mut d, matrix);
+            }
+            CompiledKind::Controlled1q {
+                control,
+                target,
+                matrix,
+            } => {
+                mix(&mut d, 11);
+                mix(&mut d, control.index() as u64);
+                mix(&mut d, target.index() as u64);
+                mix_mat2(&mut d, matrix);
+            }
+            CompiledKind::UnitaryK { qubits, matrix } => {
+                mix(&mut d, 12);
+                for q in qubits {
+                    mix(&mut d, q.index() as u64);
+                }
+                for c in matrix.as_slice() {
+                    mix_complex(&mut d, *c);
+                }
+            }
+            CompiledKind::Measure {
+                qubit,
+                clbit,
+                readout,
+            } => {
+                mix(&mut d, 13);
+                mix(&mut d, qubit.index() as u64);
+                mix(&mut d, *clbit as u64);
+                match readout {
+                    Some(r) => {
+                        mix(&mut d, 1);
+                        mix_f64(&mut d, r.p_meas1_given0());
+                        mix_f64(&mut d, r.p_meas0_given1());
+                    }
+                    None => mix(&mut d, 2),
+                }
+            }
+            CompiledKind::Reset { qubit } => {
+                mix(&mut d, 14);
+                mix(&mut d, qubit.index() as u64);
+            }
+            CompiledKind::PostSelect { qubit, outcome } => {
+                mix(&mut d, 15);
+                mix(&mut d, qubit.index() as u64);
+                mix(&mut d, u64::from(*outcome));
+            }
+        }
+        match op.condition {
+            Some(cond) => {
+                mix(&mut d, 20);
+                mix(&mut d, cond.clbit.index() as u64);
+                mix(&mut d, u64::from(cond.value));
+            }
+            None => mix(&mut d, 21),
+        }
+        mix(&mut d, op.noise.len() as u64);
+        for applied in &op.noise {
+            for q in &applied.qubits {
+                mix(&mut d, q.index() as u64);
+            }
+            for k in applied.kraus.ops() {
+                mix(&mut d, k.dim() as u64);
+                for c in k.as_slice() {
+                    mix_complex(&mut d, *c);
+                }
+            }
+        }
+    }
+    d
+}

@@ -14,26 +14,24 @@
 use qassert::estimate;
 use qassert_suite::prelude::*;
 
+/// Shots in which the program's single assertion fired — read straight
+/// off the session's per-assertion statistics (counted exactly from the
+/// histogram).
 fn assertion_fire_count(
-    backend: &StatevectorBackend,
+    session: &AssertionSession<'_, StatevectorBackend>,
     program: &AssertingCircuit,
-    shots: u64,
 ) -> Result<u64, Box<dyn std::error::Error>> {
-    let raw = backend.run(program.circuit(), shots)?;
-    // Single assertion: its clbit is bit 0.
-    Ok(raw
-        .counts
-        .iter()
-        .filter(|(k, _)| k & 1 == 1)
-        .map(|(_, n)| n)
-        .sum())
+    let outcome = session.run(program)?;
+    Ok(outcome.per_assertion[0].fired)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hidden_theta = 1.23f64;
     let (a_true, b_true) = ((hidden_theta / 2.0).cos(), (hidden_theta / 2.0).sin());
     let shots = 50_000u64;
-    let backend = StatevectorBackend::new().with_seed(2026);
+    let session = AssertionSession::new(StatevectorBackend::new().with_seed(2026))
+        .shots(shots)
+        .filter_policy(FilterPolicy::AllowEmpty);
     println!("hidden state: {a_true:.4}|0⟩ + {b_true:.4}|1⟩   ({shots} shots per assertion)\n");
 
     // 1. Classical assertion: P(error) = |b|² (Section 3.1).
@@ -41,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     prep.ry(hidden_theta, 0)?;
     let mut program = AssertingCircuit::new(prep.clone());
     program.assert_classical([0], [false])?;
-    let fired = assertion_fire_count(&backend, &program, shots)?;
+    let fired = assertion_fire_count(&session, &program)?;
     let pop = estimate::excited_population(fired, shots, 1.96);
     println!(
         "classical assertion:   |b|² = {:.4} ∈ [{:.4}, {:.4}]   (truth {:.4}, covered: {})",
@@ -56,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    which pins down the cross term ab …
     let mut program = AssertingCircuit::new(prep);
     program.assert_superposition(0, SuperpositionBasis::Plus)?;
-    let fired = assertion_fire_count(&backend, &program, shots)?;
+    let fired = assertion_fire_count(&session, &program)?;
     let cross = estimate::cross_term(fired, shots, 1.96);
     println!(
         "superposition assertion: ab = {:.4} ∈ [{:.4}, {:.4}]   (truth {:.4}, covered: {})",

@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = grover_with_check(marked)?;
 
     // Ideal: the assertion is silent and Grover finds the marked item.
-    let ideal = run_with_assertions(&StatevectorBackend::new().with_seed(3), &program, 2048)?;
+    let ideal_session = AssertionSession::new(StatevectorBackend::new().with_seed(3)).shots(2048);
+    let ideal = ideal_session.run(&program)?;
     println!(
         "ideal backend: assertion error rate {:.4}, P(found {marked:02b}) = {:.3}",
         ideal.assertion_error_rate,
@@ -56,19 +57,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Noisy ibmqx4 model: filtering on the assertion bits improves the
-    // search success probability.
-    let noisy_backend = DensityMatrixBackend::new(qnoise::presets::ibmqx4());
-    let outcome = run_with_assertions(&noisy_backend, &program, 8192)?;
-    let p_raw = outcome.data_raw.probability(marked as u64);
-    let p_kept = outcome.data_kept.probability(marked as u64);
+    // search success probability. A sweep over all four marked states
+    // runs through one session — every compile after the first marked
+    // state's reuses cached lowerings where circuits repeat.
+    let session =
+        AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4())).shots(8192);
+    let sweep = session.run_sweep(
+        (0..4)
+            .map(grover_with_check)
+            .collect::<Result<Vec<_>, _>>()?,
+    )?;
+    for (m, outcome) in sweep.points.iter().enumerate() {
+        let p_raw = outcome.data_raw.probability(m as u64);
+        let p_kept = outcome.data_kept.probability(m as u64);
+        println!(
+            "ibmqx4, marked {m:02b}: assertion error rate {:.4}, P(found) {p_raw:.3} → {p_kept:.3} \
+             filtered (helps: {})",
+            outcome.assertion_error_rate,
+            p_kept > p_raw
+        );
+    }
     println!(
-        "ibmqx4 model:  assertion error rate {:.4}",
-        outcome.assertion_error_rate
-    );
-    println!("  P(found) unfiltered: {p_raw:.3}");
-    println!(
-        "  P(found) filtered:   {p_kept:.3}  (assertion filtering helps: {})",
-        p_kept > p_raw
+        "sweep telemetry: {} runs, {} cache hits / {} misses",
+        sweep.telemetry.runs, sweep.telemetry.cache_hits, sweep.telemetry.cache_misses
     );
     Ok(())
 }

@@ -29,10 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lowered.circuit.depth()
     );
 
-    // Exact noisy execution.
-    let backend = DensityMatrixBackend::new(qnoise::presets::ibmqx4());
-    let raw = backend.run(&lowered.circuit, 8192)?;
-    let outcome = analyze(raw, &program)?;
+    // Exact noisy execution: the session runs the *transpiled* circuit
+    // and analyzes it against the original instrumented program.
+    let session =
+        AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4())).shots(8192);
+    let raw = session.run_circuit(&lowered.circuit)?;
+    let outcome = session.analyze(raw, &program)?;
 
     // Paper-style table: ancilla (q0) printed first.
     let table = OutcomeTable::from_counts(

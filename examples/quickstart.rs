@@ -24,8 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{}", qcircuit::display::render(program.circuit()));
 
-    // 4. Run and analyze.
-    let outcome = run_with_assertions(&StatevectorBackend::new().with_seed(7), &program, 1024)?;
+    // 4. Run and analyze through a session: it owns the backend, shot
+    //    plan, and program cache, so repeated runs are compile-free.
+    let session = AssertionSession::new(StatevectorBackend::new().with_seed(7)).shots(1024);
+    let outcome = session.run(&program)?;
     println!(
         "assertion error rate: {:.4} (correct program — never fires)",
         outcome.assertion_error_rate
@@ -38,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut program = AssertingCircuit::new(buggy);
     program.assert_entangled([0, 1], Parity::Even)?;
     program.measure_data();
-    let outcome = run_with_assertions(&StatevectorBackend::new().with_seed(7), &program, 1024)?;
+    let outcome = session.run(&program)?;
     println!(
         "buggy program assertion error rate: {:.3} (theory: 0.5)",
         outcome.assertion_error_rate

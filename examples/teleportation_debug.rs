@@ -40,10 +40,10 @@ fn teleport(inject_bug: bool) -> Result<AssertingCircuit, Box<dyn std::error::Er
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let backend = StatevectorBackend::new().with_seed(11);
+    let session = AssertionSession::new(StatevectorBackend::new().with_seed(11)).shots(2048);
 
     let correct = teleport(false)?;
-    let outcome = run_with_assertions(&backend, &correct, 2048)?;
+    let outcome = session.run(&correct)?;
     println!(
         "correct teleportation: assertion error rate {:.4} (expect 0)",
         outcome.assertion_error_rate
@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(outcome.assertion_error_rate < 1e-12);
 
     let buggy = teleport(true)?;
-    let raw = backend.run(buggy.circuit(), 2048)?;
-    let rate = qassert::assertion_error_rate(&raw.counts, &buggy.assertion_clbits());
+    let outcome = session.run(&buggy)?;
+    let rate = outcome.assertion_error_rate;
     println!("buggy teleportation:   assertion error rate {rate:.4} (theory: 0.5 — bug detected!)");
     assert!(rate > 0.4, "the missing-H bug must be visible");
 

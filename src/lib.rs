@@ -22,7 +22,8 @@
 //! let mut program = AssertingCircuit::new(qcircuit::library::ghz(3));
 //! program.assert_entangled([0, 1, 2], Parity::Even)?;
 //! program.measure_data();
-//! let outcome = run_with_assertions(&StatevectorBackend::new(), &program, 256)?;
+//! let session = AssertionSession::new(StatevectorBackend::new()).shots(256);
+//! let outcome = session.run(&program)?;
 //! assert_eq!(outcome.assertion_error_rate, 0.0);
 //! # Ok(())
 //! # }
@@ -37,10 +38,12 @@ pub use qsim;
 
 /// The names most programs need, in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use qassert::{analyze, run_with_assertions};
     pub use qassert::{
-        analyze, run_with_assertions, AssertError, AssertingCircuit, Assertion, AssertionOutcome,
-        EntanglementMode, ErrorReduction, Parity, StatisticalAssertion, StatisticalKind,
-        SuperpositionBasis,
+        AssertError, AssertingCircuit, Assertion, AssertionOutcome, AssertionSession,
+        EntanglementMode, ErrorReduction, FilterPolicy, Parity, SessionTelemetry,
+        StatisticalAssertion, StatisticalKind, SuperpositionBasis, SweepOutcome,
     };
     pub use qcircuit::{Gate, QuantumCircuit, QubitId};
     pub use qnoise::{Kraus, NoiseModel, ReadoutError};

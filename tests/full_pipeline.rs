@@ -16,20 +16,20 @@ fn bell_assertion_pipeline_trajectory_vs_exact() {
     qdevice::verify::check_native(&lowered.circuit, &topo).unwrap();
 
     let noise = qnoise::presets::ibmqx4();
-    let exact = DensityMatrixBackend::new(noise.clone())
-        .run(&lowered.circuit, 1 << 15)
-        .unwrap();
-    let sampled = TrajectoryBackend::new(noise)
-        .with_seed(42)
-        .with_threads(4)
-        .run(&lowered.circuit, 1 << 15)
-        .unwrap();
+    let exact_session =
+        AssertionSession::new(DensityMatrixBackend::new(noise.clone())).shots(1 << 15);
+    let sampled_session = AssertionSession::new(TrajectoryBackend::new(noise).with_seed(42))
+        .threads(4)
+        .shots(1 << 15);
+    let exact = exact_session.run_circuit(&lowered.circuit).unwrap();
+    let sampled = sampled_session.run_circuit(&lowered.circuit).unwrap();
     let tvd = exact.counts.tvd(&sampled.counts);
     assert!(tvd < 0.015, "trajectory vs exact tvd = {tvd}");
 
-    // Filtering helps on both.
+    // Filtering helps on both (analysis is backend-independent, so one
+    // session's policy serves both results).
     for raw in [exact, sampled] {
-        let outcome = analyze(raw, &program).unwrap();
+        let outcome = exact_session.analyze(raw, &program).unwrap();
         let correct = |k: u64| ((k >> 1) & 1) == ((k >> 2) & 1);
         let red =
             ErrorReduction::compute(&outcome.raw.counts, &program.assertion_clbits(), correct);
@@ -88,10 +88,10 @@ fn ghz3_assertion_on_device_reduces_error() {
     let lowered = qdevice::transpile::transpile(program.circuit(), &topo).unwrap();
     qdevice::verify::check_native(&lowered.circuit, &topo).unwrap();
 
-    let raw = DensityMatrixBackend::new(qnoise::presets::ibmqx4())
-        .run(&lowered.circuit, 1 << 14)
-        .unwrap();
-    let outcome = analyze(raw, &program).unwrap();
+    let session =
+        AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4())).shots(1 << 14);
+    let raw = session.run_circuit(&lowered.circuit).unwrap();
+    let outcome = session.analyze(raw, &program).unwrap();
     assert!(outcome.assertion_error_rate > 0.0);
 
     // Correct GHZ outcomes: all three data bits agree (clbits 1..4).
@@ -116,14 +116,15 @@ fn ideal_backends_agree_on_asserted_program() {
     program.assert_entangled([0, 1], Parity::Even).unwrap();
     program.measure_data();
 
-    let sv = StatevectorBackend::new()
-        .with_seed(1)
-        .run(program.circuit(), 1 << 15)
+    let sv = AssertionSession::new(StatevectorBackend::new().with_seed(1))
+        .shots(1 << 15)
+        .run(&program)
         .unwrap();
-    let dm = DensityMatrixBackend::ideal()
-        .run(program.circuit(), 1 << 15)
+    let dm = AssertionSession::new(DensityMatrixBackend::ideal())
+        .shots(1 << 15)
+        .run(&program)
         .unwrap();
-    assert!(sv.counts.tvd(&dm.counts) < 0.02);
+    assert!(sv.raw.counts.tvd(&dm.raw.counts) < 0.02);
 }
 
 /// Assertions catch *coherent* errors too: a systematic over-rotation
@@ -152,6 +153,48 @@ fn assertions_detect_coherent_overrotation() {
         "fired {fired}, predicted {coherent_prediction}"
     );
     assert!(fired > 0.25);
+}
+
+/// A staged-assertion sweep through the session API: each point extends
+/// the previous program by one stage plus a fresh assertion, so the
+/// sweep compiles incrementally (prefix reuse) while every outcome stays
+/// identical to isolated runs.
+#[test]
+fn staged_assertion_sweep_reuses_prefixes_without_changing_outcomes() {
+    // Each stage entangles, asserts, and disentangles, ending on a CX so
+    // the stage boundary is never inside a single-qubit fusion run.
+    let staged = |stages: usize| {
+        let mut program = AssertingCircuit::new(QuantumCircuit::new(2, 0));
+        for _ in 0..stages {
+            program.circuit_mut().h(0).unwrap();
+            program.circuit_mut().cx(0, 1).unwrap();
+            program.assert_entangled([0, 1], Parity::Even).unwrap();
+            program.circuit_mut().cx(0, 1).unwrap();
+        }
+        program
+    };
+    let family: Vec<AssertingCircuit> = (1..=4).map(staged).collect();
+
+    let session = AssertionSession::new(StatevectorBackend::new().with_seed(9)).shots(256);
+    let sweep = session.run_sweep(family.clone()).unwrap();
+    assert_eq!(sweep.points.len(), 4);
+    assert_eq!(
+        sweep.telemetry.prefix_hits, 3,
+        "each point after the first should extend its predecessor"
+    );
+    // Correct program: no assertion ever fires, at any depth.
+    for point in &sweep.points {
+        assert_eq!(point.assertion_error_rate, 0.0);
+    }
+    // Bit-identical to isolated, prefix-free sessions.
+    for (i, program) in family.iter().enumerate() {
+        let isolated = AssertionSession::new(StatevectorBackend::new().with_seed(9))
+            .shots(256)
+            .prefix_reuse(false)
+            .run(program)
+            .unwrap();
+        assert_eq!(isolated.raw.counts, sweep.points[i].raw.counts);
+    }
 }
 
 /// Ancilla reuse halves the qubit cost of sequential assertions without

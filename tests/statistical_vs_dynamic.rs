@@ -27,7 +27,10 @@ fn both_accept_correct_superposition() {
         .assert_superposition(1, SuperpositionBasis::Plus)
         .unwrap();
     program.measure_data();
-    let outcome = run_with_assertions(&ideal(), &program, 2000).unwrap();
+    let outcome = AssertionSession::new(ideal())
+        .shots(2000)
+        .run(&program)
+        .unwrap();
     assert_eq!(outcome.assertion_error_rate, 0.0);
 }
 
@@ -47,8 +50,11 @@ fn both_reject_bugged_superposition() {
         .assert_superposition(0, SuperpositionBasis::Plus)
         .unwrap();
     program.measure_data();
-    let raw = ideal().run(program.circuit(), 4000).unwrap();
-    let rate = qassert::assertion_error_rate(&raw.counts, &program.assertion_clbits());
+    let outcome = AssertionSession::new(ideal())
+        .shots(4000)
+        .run(&program)
+        .unwrap();
+    let rate = outcome.assertion_error_rate;
     // Theory: a = 1, b = 0 after T on |0⟩ → fires 50% of the time.
     assert!((rate - 0.5).abs() < 0.05, "dynamic rate {rate}");
 }
@@ -64,7 +70,10 @@ fn only_dynamic_assertions_preserve_downstream_computation() {
     program.circuit_mut().x(0).unwrap();
     program.circuit_mut().x(1).unwrap();
     program.measure_data();
-    let outcome = run_with_assertions(&ideal(), &program, 1000).unwrap();
+    let outcome = AssertionSession::new(ideal())
+        .shots(1000)
+        .run(&program)
+        .unwrap();
     // Downstream X's executed on the *still-entangled* state.
     assert_eq!(outcome.assertion_error_rate, 0.0);
     assert_eq!(
@@ -89,9 +98,13 @@ fn dynamic_detects_deterministic_bug_in_one_shot() {
 
     let mut program = AssertingCircuit::new(prefix.clone());
     program.assert_classical([0], [false]).unwrap();
-    let raw = ideal().run(program.circuit(), 1).unwrap();
-    let rate = qassert::assertion_error_rate(&raw.counts, &program.assertion_clbits());
-    assert_eq!(rate, 1.0, "one shot suffices");
+    let outcome = AssertionSession::new(ideal())
+        .shots(1)
+        .filter_policy(FilterPolicy::AllowEmpty)
+        .run(&program)
+        .unwrap();
+    assert_eq!(outcome.assertion_error_rate, 1.0, "one shot suffices");
+    assert_eq!(outcome.per_assertion[0].fired, 1);
 
     let stat = StatisticalAssertion::new(
         [0],

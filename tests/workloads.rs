@@ -184,7 +184,10 @@ fn instrumented_bv_assertion_is_silent_and_answer_unchanged() {
     for q in 0..3 {
         c.measure(q, q).unwrap();
     }
-    let outcome = run_with_assertions(&ideal(), &program, 512).unwrap();
+    let outcome = AssertionSession::new(ideal())
+        .shots(512)
+        .run(&program)
+        .unwrap();
     assert_eq!(outcome.assertion_error_rate, 0.0);
     // Secret 011 (LSB first: q0=1, q1=1, q2=0) = key 0b011.
     assert_eq!(outcome.raw.counts.marginal(&[0, 1, 2]).get(0b011), 512);
