@@ -1,0 +1,247 @@
+//! Batched-apply throughput: layer-planned blocked kernels vs per-op
+//! compiled execution.
+//!
+//! The paper's instrumented circuits are wide and shallow — many
+//! disjoint 1q/controlled ops per DAG layer. This bench builds exactly
+//! that shape (alternating full-width 1q layers and disjoint CX layers,
+//! assertion-instrumented, executed per-shot under readout noise so the
+//! sample-once fast path stays out of the picture) and times the same
+//! compiled circuit with batching on vs off:
+//!
+//! * **unbatched** — PR 1 semantics: every op is one full sweep over the
+//!   amplitude array (`CompileOptions { batching: false }`),
+//! * **batched** — the default compiled path: the planner groups each
+//!   wide layer into one `BatchedApply` node and the blocked SoA kernels
+//!   execute it in a single pass.
+//!
+//! Counts are verified **bit-identical** before any number is reported.
+//! Results are written to `BENCH_batch.json` (override with `--out`);
+//! `--check <baseline.json>` turns the run into a CI gate that fails
+//! when
+//!
+//! * the batched-vs-unbatched speedup measured in this very run falls
+//!   below the baseline's `min_speedup` floor (machine-independent), or
+//! * batched per-shot time regresses more than the tolerance (default
+//!   25%, override with `BENCH_TOLERANCE_PCT`) against the baseline's
+//!   `per_shot_ns`. The absolute gate is hard — it catches kernel
+//!   pessimizations that slow batched and unbatched paths equally,
+//!   which the speedup floor cannot see; widen `BENCH_TOLERANCE_PCT`
+//!   on runners slower than the (single-core) baseline machine.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench batch_throughput -- --quick --check
+//! ```
+
+use qassert_bench::workloads::{readout_noise, wide_instrumented};
+use qsim::{Backend, Counts, ShardPool, TrajectoryBackend};
+use std::time::Instant;
+
+/// One bench configuration.
+struct Config {
+    mode: &'static str,
+    qubits: usize,
+    rounds: usize,
+    shots: u64,
+    threads: usize,
+}
+
+/// Times `shots` per-shot executions of one compiled program.
+fn run_timed(
+    backend: &TrajectoryBackend,
+    program: &qsim::CompiledProgram,
+    shots: u64,
+) -> (f64, Counts) {
+    let start = Instant::now();
+    let result = backend.run_compiled(program, shots).expect("runs");
+    (start.elapsed().as_secs_f64(), result.counts)
+}
+
+/// Extracts `"key": number` from a flat JSON object (the baseline file
+/// is written by this bench, so a full parser is unnecessary).
+fn json_number_field(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            qubits: 14,
+            rounds: 8,
+            shots: 600,
+            threads: 4,
+        }
+    } else {
+        Config {
+            mode: "full",
+            qubits: 14,
+            rounds: 8,
+            shots: 3000,
+            threads: 4,
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/batch_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    let ac = wide_instrumented(cfg.qubits, cfg.rounds);
+    let circuit = ac.circuit().clone();
+    let noise = readout_noise(cfg.qubits);
+    let batched_backend = TrajectoryBackend::new(noise.clone())
+        .with_seed(7)
+        .with_threads(cfg.threads);
+    let unbatched_backend = TrajectoryBackend::new(noise)
+        .with_seed(7)
+        .with_threads(cfg.threads)
+        .with_batching(false);
+
+    let batched_program = batched_backend.compile(&circuit).expect("compiles");
+    let unbatched_program = unbatched_backend.compile(&circuit).expect("compiles");
+    assert_eq!(
+        batched_program.ops().len(),
+        unbatched_program.ops().len(),
+        "the two compilations must differ only in the plan"
+    );
+    assert!(batched_program.fast_path().is_none() || batched_program.is_noisy());
+    assert!(
+        batched_program.batched_ops() > 0,
+        "the wide layers must batch"
+    );
+
+    // Warm up: fault in the pool workers and settle both code paths.
+    let _ = run_timed(&unbatched_backend, &unbatched_program, cfg.shots / 8);
+    let _ = run_timed(&batched_backend, &batched_program, cfg.shots / 8);
+
+    let (unbatched_secs, unbatched_counts) =
+        run_timed(&unbatched_backend, &unbatched_program, cfg.shots);
+    let (batched_secs, batched_counts) = run_timed(&batched_backend, &batched_program, cfg.shots);
+
+    // Correctness before speed: blocked kernels must reproduce per-op
+    // execution bit-for-bit.
+    let identical = batched_counts == unbatched_counts;
+    assert!(
+        identical,
+        "batched counts diverge from sequential counts — bit-identity broken"
+    );
+
+    let per_shot_ns = batched_secs * 1e9 / cfg.shots as f64;
+    let speedup = unbatched_secs / batched_secs;
+
+    println!(
+        "batch_throughput [{}]: {} qubits x {} rounds, {} shots, {} shards, pool workers {}",
+        cfg.mode,
+        cfg.qubits,
+        cfg.rounds,
+        cfg.shots,
+        cfg.threads,
+        ShardPool::global().workers(),
+    );
+    println!(
+        "  program: {} ops, {} batched into {} passes",
+        batched_program.ops().len(),
+        batched_program.batched_ops(),
+        batched_program.batch_passes(),
+    );
+    println!(
+        "  unbatched: {:>9.3} ms   batched: {:>9.3} ms   speedup {:.2}x   per-shot {:.0} ns",
+        unbatched_secs * 1e3,
+        batched_secs * 1e3,
+        speedup,
+        per_shot_ns,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"batch_throughput\",\"mode\":\"{}\",\"qubits\":{},\"rounds\":{},\
+         \"shots\":{},\"threads\":{},\"pool_workers\":{},\"ops\":{},\"batched_ops\":{},\
+         \"batch_passes\":{},\"unbatched_ms\":{:.3},\"batched_ms\":{:.3},\"speedup\":{:.3},\
+         \"per_shot_ns\":{:.1},\"counts_identical\":{}}}",
+        cfg.mode,
+        cfg.qubits,
+        cfg.rounds,
+        cfg.shots,
+        cfg.threads,
+        ShardPool::global().workers(),
+        batched_program.ops().len(),
+        batched_program.batched_ops(),
+        batched_program.batch_passes(),
+        unbatched_secs * 1e3,
+        batched_secs * 1e3,
+        speedup,
+        per_shot_ns,
+        identical,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let tolerance_pct: f64 = std::env::var("BENCH_TOLERANCE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline_ns = json_number_field(&baseline, "per_shot_ns").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no per_shot_ns field");
+            std::process::exit(1);
+        });
+        let floor = json_number_field(&baseline, "min_speedup").unwrap_or(1.5);
+
+        // Machine-independent primary gate: the batched path must beat
+        // the unbatched path measured in this same run.
+        println!("  speedup gate: {speedup:.2}x vs required {floor:.2}x");
+        if speedup < floor {
+            eprintln!(
+                "PERF REGRESSION: batched speedup {speedup:.2}x is below the {floor:.2}x floor"
+            );
+            std::process::exit(4);
+        }
+
+        // Absolute per-shot time gate. Unlike sweep_throughput this has
+        // no speedup fallback — the speedup floor above already passed,
+        // so a fallback here would make this gate unfailable. It
+        // catches regressions that slow batched and unbatched equally
+        // (the speedup gate is blind to those); the baseline is
+        // generous (single-core reference machine) and
+        // BENCH_TOLERANCE_PCT widens it for slower runners.
+        let limit = baseline_ns * (1.0 + tolerance_pct / 100.0);
+        println!(
+            "  regression gate: {per_shot_ns:.1} ns vs baseline {baseline_ns:.1} ns \
+             (limit {limit:.1} ns, +{tolerance_pct}%)"
+        );
+        if per_shot_ns > limit {
+            eprintln!(
+                "PERF REGRESSION: batched per-shot time {per_shot_ns:.1} ns exceeds baseline \
+                 {baseline_ns:.1} ns by more than {tolerance_pct}%"
+            );
+            std::process::exit(4);
+        }
+        println!("  regression gate: ok");
+    }
+}

@@ -97,15 +97,19 @@ fn run_scoped(cfg: &Config) -> (Timing, Vec<qsim::Counts>) {
 
 /// The session strategy: per-call `AssertionSession` over a shared
 /// cache, executing on the persistent work-stealing pool. Each call
-/// builds its own session (the seed lives on the backend), so session
-/// construction cost is included in the timing.
+/// builds its own session around a *borrowed* backend and overrides the
+/// seed per run (`AssertionSession::seed` → the
+/// `Backend::run_compiled_seeded` hook), so a seed sweep neither
+/// rebuilds nor clones the backend; session construction cost is
+/// included in the timing on purpose.
 fn run_session(cfg: &Config, cache: &ProgramCache) -> (Timing, Vec<qsim::Counts>) {
     let ac = instrumented();
     let proto = backend();
     let mut all_counts = Vec::with_capacity(cfg.calls);
     let start = Instant::now();
     for call in 0..cfg.calls {
-        let session = AssertionSession::new(proto.clone().with_seed(call as u64))
+        let session = AssertionSession::new(&proto)
+            .seed(call as u64)
             .cache(cache)
             .threads(cfg.threads)
             .shots(cfg.shots)

@@ -10,11 +10,48 @@
 //! ```
 
 use qassert_bench::{registry, run_by_id};
+use qsim::Backend;
 
 /// The fast, simulator-only subset `--quick` runs (CI smoke — seconds,
 /// not minutes, but still end-to-end through circuits, compiler, cache,
 /// and backends).
 const QUICK_IDS: [&str; 3] = ["fig6", "fig7", "theory"];
+
+/// `--quick` additionally smokes the batched execution path: a wide
+/// shallow instrumented circuit (the shape the batch planner exists
+/// for, shared with the `batch_throughput` bench via
+/// [`qassert_bench::workloads`]) must actually batch, and its batched
+/// counts must be bit-identical to per-op sequential execution.
+fn batch_smoke() -> Result<String, String> {
+    let circuit = qassert_bench::workloads::wide_instrumented(10, 4)
+        .circuit()
+        .clone();
+    let noise = qassert_bench::workloads::readout_noise(10);
+    let batched = qsim::TrajectoryBackend::new(noise.clone())
+        .with_seed(3)
+        .with_threads(2);
+    let unbatched = qsim::TrajectoryBackend::new(noise)
+        .with_seed(3)
+        .with_threads(2)
+        .with_batching(false);
+    let program = batched.compile(&circuit).map_err(|e| e.to_string())?;
+    if program.batched_ops() == 0 {
+        return Err("wide instrumented circuit did not batch".to_string());
+    }
+    let a = batched
+        .run_compiled(&program, 400)
+        .map_err(|e| e.to_string())?;
+    let b = unbatched.run(&circuit, 400).map_err(|e| e.to_string())?;
+    if a.counts != b.counts {
+        return Err("batched counts diverge from sequential counts".to_string());
+    }
+    Ok(format!(
+        "batch smoke: {} of {} ops batched into {} passes, counts bit-identical",
+        program.batched_ops(),
+        program.ops().len(),
+        program.batch_passes()
+    ))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +78,16 @@ fn main() {
         .collect();
     if quick && selected.is_empty() {
         selected = QUICK_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if quick {
+        // The batched hot path is part of the CI smoke gate.
+        match batch_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("batch smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
     }
 
     let mut reports = Vec::new();

@@ -28,6 +28,11 @@ fn sweep_point_with_telemetry(
     let ac = super::table2::circuit();
     let native = to_ibmqx4(ac.circuit());
     let session = exact_session(qnoise::presets::ibmqx4_scaled(factor));
+    // Delta against the fresh session's baseline: the session-local
+    // counters start at zero, but the pool counters are process-wide
+    // snapshots — merging raw snapshots across factor sessions would
+    // multiply-count the pool (see `SessionTelemetry::merge`).
+    let before = session.telemetry();
     let raw = session
         .run_circuit(&native)
         .expect("experiment circuits simulate");
@@ -41,7 +46,7 @@ fn sweep_point_with_telemetry(
             reduction.filtered,
             reduction.relative_reduction(),
         ),
-        session.telemetry(),
+        session.telemetry().since(&before),
         session.record(),
     )
 }

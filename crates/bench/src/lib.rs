@@ -14,6 +14,7 @@
 //! ```
 
 pub mod experiments;
+pub mod workloads;
 
 use qassert::ExperimentReport;
 

@@ -1,0 +1,51 @@
+//! Shared benchmark/smoke workload builders.
+//!
+//! The batched-apply surfaces (the `batch_throughput` bench and
+//! `repro --quick`'s batch smoke) exercise the same shape — a wide
+//! shallow instrumented circuit under readout-only noise — so there is
+//! exactly one definition of it here.
+
+use qassert::{AssertingCircuit, Parity};
+
+/// The wide shallow instrumented circuit the batch planner exists for:
+/// `rounds` repetitions of a full-width 1q layer followed by a disjoint
+/// CX layer (offset every other round so columns cannot fuse away), an
+/// entanglement assertion, and full data measurement.
+pub fn wide_instrumented(qubits: usize, rounds: usize) -> AssertingCircuit {
+    let mut prep = qcircuit::QuantumCircuit::new(qubits, 0);
+    for round in 0..rounds {
+        for q in 0..qubits {
+            match (q + round) % 4 {
+                0 => prep.h(q).expect("in range"),
+                1 => prep.t(q).expect("in range"),
+                2 => prep.s(q).expect("in range"),
+                _ => prep.x(q).expect("in range"),
+            };
+        }
+        let mut a = round % 2;
+        while a + 1 < qubits {
+            prep.cx(a, a + 1).expect("in range");
+            a += 2;
+        }
+    }
+    let mut ac = AssertingCircuit::new(prep);
+    ac.assert_entangled([0, 1], Parity::Even)
+        .expect("valid assertion targets");
+    ac.measure_data();
+    ac
+}
+
+/// Readout-only noise over `qubits` data qubits plus one assertion
+/// ancilla: gates stay ideal (and batchable), measurements sample per
+/// shot — the Table-1 execution shape without a sample-once escape
+/// hatch.
+pub fn readout_noise(qubits: usize) -> qnoise::NoiseModel {
+    let mut model = qnoise::NoiseModel::new();
+    for q in 0..qubits + 1 {
+        model.with_readout_error(
+            q,
+            qnoise::ReadoutError::new(0.02, 0.01).expect("valid rates"),
+        );
+    }
+    model
+}

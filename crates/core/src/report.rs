@@ -165,6 +165,10 @@ pub struct SessionRecord {
     /// density-matrix executor) ignore the request — the backend name
     /// above tells a reader whether it took effect.
     pub threads: Option<usize>,
+    /// The per-run RNG seed override *requested* on the session
+    /// (`None` = backend default). Backends without sampling randomness
+    /// ignore the request.
+    pub seed: Option<u64>,
     /// Shots per run.
     pub shots: u64,
     /// Capacity of the program cache the session compiled through.
@@ -230,6 +234,14 @@ impl ExperimentReport {
             .push(Metric::new("session_runs", t.runs as f64));
         self.metrics
             .push(Metric::new("session_shots", t.shots as f64));
+        self.metrics
+            .push(Metric::new("batched_ops", t.batched_ops as f64));
+        self.metrics
+            .push(Metric::new("batch_passes", t.batch_passes as f64));
+        self.metrics
+            .push(Metric::new("pool_tasks", t.pool_tasks as f64));
+        self.metrics
+            .push(Metric::new("pool_steals", t.pool_steals as f64));
     }
 
     /// Appends the standard program-cache telemetry block (hits, misses,
@@ -305,10 +317,14 @@ impl ExperimentReport {
         match &self.session {
             Some(s) => {
                 out.push_str(&format!(
-                    "{{\"backend\":{},\"threads\":{},\"shots\":{},\"cache_capacity\":{}}}",
+                    "{{\"backend\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"cache_capacity\":{}}}",
                     json_string(&s.backend),
                     match s.threads {
                         Some(t) => t.to_string(),
+                        None => String::from("null"),
+                    },
+                    match s.seed {
+                        Some(v) => v.to_string(),
                         None => String::from("null"),
                     },
                     s.shots,
@@ -360,11 +376,16 @@ impl ExperimentReport {
         }
         if let Some(s) = &self.session {
             out.push_str(&format!(
-                "\nsession: backend \"{}\", {} shots, threads requested {}, cache capacity {}\n",
+                "\nsession: backend \"{}\", {} shots, threads requested {}, seed requested {}, \
+                 cache capacity {}\n",
                 s.backend,
                 s.shots,
                 match s.threads {
                     Some(t) => t.to_string(),
+                    None => String::from("backend default"),
+                },
+                match s.seed {
+                    Some(v) => v.to_string(),
                     None => String::from("backend default"),
                 },
                 s.cache_capacity
@@ -493,27 +514,31 @@ mod tests {
         r.push_session(SessionRecord {
             backend: "density matrix (exact noisy)".to_string(),
             threads: None,
+            seed: None,
             shots: 8192,
             cache_capacity: 256,
         });
         let json = r.to_json();
         assert!(json.contains(
             "\"session\":{\"backend\":\"density matrix (exact noisy)\",\"threads\":null,\
-             \"shots\":8192,\"cache_capacity\":256}"
+             \"seed\":null,\"shots\":8192,\"cache_capacity\":256}"
         ));
         let text = r.render();
         assert!(text.contains("session: backend \"density matrix (exact noisy)\""));
         assert!(text.contains("8192 shots"));
         assert!(text.contains("threads requested backend default"));
+        assert!(text.contains("seed requested backend default"));
 
         let mut threaded = ExperimentReport::new("x", "y");
         threaded.push_session(SessionRecord {
             backend: "trajectory (noisy)".to_string(),
             threads: Some(4),
+            seed: Some(17),
             shots: 100,
             cache_capacity: 8,
         });
         assert!(threaded.to_json().contains("\"threads\":4"));
+        assert!(threaded.to_json().contains("\"seed\":17"));
     }
 
     #[test]
@@ -525,12 +550,20 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             prefix_hits: 2,
+            batched_ops: 40,
+            batch_passes: 10,
+            pool_tasks: 20,
+            pool_steals: 3,
         });
         let json = r.to_json();
         assert!(json.contains("\"name\":\"program_cache_hit_rate\",\"value\":0.75"));
         assert!(json.contains("\"name\":\"prefix_hits\",\"value\":2"));
         assert!(json.contains("\"name\":\"session_runs\",\"value\":5"));
         assert!(json.contains("\"name\":\"session_shots\",\"value\":500"));
+        assert!(json.contains("\"name\":\"batched_ops\",\"value\":40"));
+        assert!(json.contains("\"name\":\"batch_passes\",\"value\":10"));
+        assert!(json.contains("\"name\":\"pool_tasks\",\"value\":20"));
+        assert!(json.contains("\"name\":\"pool_steals\",\"value\":3"));
     }
 
     #[test]

@@ -98,6 +98,26 @@ pub struct SessionTelemetry {
     /// Compiles that reused a previously lowered prefix, lowering only
     /// the suffix.
     pub prefix_hits: u64,
+    /// Ops covered by batched plan nodes across executed programs
+    /// (summed per run, not per shot). Per-shot backends execute these
+    /// through the blocked SoA kernels; the exact density-matrix
+    /// executor compiles plans but walks ops per branch, so for it
+    /// this counts plan *coverage*, not kernel executions.
+    pub batched_ops: u64,
+    /// Batched plan nodes across executed programs (summed per run,
+    /// not per shot) — blocked apply passes per shot on the per-shot
+    /// backends.
+    pub batch_passes: u64,
+    /// Shard-pool tasks executed since the session was created
+    /// ([`qsim::PoolStats::tasks_run`] deltas against the session's
+    /// creation-time baseline). The global pool serves every session,
+    /// so the count is attributable to this session only while nothing
+    /// else submits concurrently.
+    pub pool_tasks: u64,
+    /// Shard-pool steals since the session was created
+    /// ([`qsim::PoolStats::steals`]); same attribution caveat as
+    /// [`SessionTelemetry::pool_tasks`].
+    pub pool_steals: u64,
 }
 
 impl SessionTelemetry {
@@ -120,18 +140,28 @@ impl SessionTelemetry {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             prefix_hits: self.prefix_hits - earlier.prefix_hits,
+            batched_ops: self.batched_ops - earlier.batched_ops,
+            batch_passes: self.batch_passes - earlier.batch_passes,
+            pool_tasks: self.pool_tasks - earlier.pool_tasks,
+            pool_steals: self.pool_steals - earlier.pool_steals,
         }
     }
 
     /// Accumulates another session's (or sweep's) counters into this
     /// one — experiments that build one session per noise point merge
-    /// before reporting.
+    /// before reporting. (Merge *deltas* when pool counters matter:
+    /// they are process-wide snapshots, so merging two raw snapshots
+    /// double-counts the pool.)
     pub fn merge(&mut self, other: &SessionTelemetry) {
         self.runs += other.runs;
         self.shots += other.shots;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.prefix_hits += other.prefix_hits;
+        self.batched_ops += other.batched_ops;
+        self.batch_passes += other.batch_passes;
+        self.pool_tasks += other.pool_tasks;
+        self.pool_steals += other.pool_steals;
     }
 }
 
@@ -156,6 +186,7 @@ pub struct AssertionSession<'c, B: Backend> {
     cache: CacheRef<'c>,
     shots: u64,
     threads: Option<usize>,
+    seed: Option<u64>,
     filter: FilterPolicy,
     mitigator: Option<ReadoutMitigator>,
     prefix_reuse: bool,
@@ -174,6 +205,12 @@ pub struct AssertionSession<'c, B: Backend> {
     shots_run: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    batched_ops: AtomicU64,
+    batch_passes: AtomicU64,
+    /// Global-pool counters at session creation: [`Self::telemetry`]
+    /// reports pool activity *since then*, so per-experiment sessions
+    /// don't attribute earlier workloads' tasks to themselves.
+    pool_baseline: qsim::PoolStats,
 }
 
 impl<'c, B: Backend> AssertionSession<'c, B> {
@@ -186,6 +223,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             cache: CacheRef::Global,
             shots: DEFAULT_SHOTS,
             threads: None,
+            seed: None,
             filter: FilterPolicy::default(),
             mitigator: None,
             prefix_reuse: true,
@@ -196,6 +234,9 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             shots_run: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+            batch_passes: AtomicU64::new(0),
+            pool_baseline: qsim::ShardPool::global_stats(),
         }
     }
 
@@ -238,6 +279,18 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "at least one thread required");
         self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the backend's RNG seed for every run of this session
+    /// (via [`qsim::Backend::run_compiled_seeded`]). Seed sweeps build
+    /// one cheap session per seed around a *borrowed* backend instead
+    /// of rebuilding (or cloning) the backend per call. Backends that
+    /// draw no sampling randomness (the exact density-matrix executor)
+    /// ignore the override.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
         self
     }
 
@@ -298,19 +351,28 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         SessionRecord {
             backend: self.backend.name().to_string(),
             threads: self.threads,
+            seed: self.seed,
             shots: self.shots,
             cache_capacity: self.program_cache().capacity(),
         }
     }
 
-    /// A snapshot of this session's lifetime counters.
+    /// A snapshot of this session's lifetime counters, plus the global
+    /// shard pool's activity since this session was created
+    /// (process-wide pool — see [`SessionTelemetry::pool_tasks`]).
+    /// Reading counters never spawns the pool.
     pub fn telemetry(&self) -> SessionTelemetry {
+        let pool = qsim::ShardPool::global_stats().since(&self.pool_baseline);
         SessionTelemetry {
             runs: self.runs.load(Ordering::Relaxed),
             shots: self.shots_run.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             prefix_hits: self.prefixes.hits(),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            batch_passes: self.batch_passes.load(Ordering::Relaxed),
+            pool_tasks: pool.tasks_run,
+            pool_steals: pool.steals,
         }
     }
 
@@ -392,11 +454,15 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     /// Returns [`AssertError::Sim`] when lowering or execution fails.
     pub fn run_circuit(&self, circuit: &QuantumCircuit) -> Result<RunResult, AssertError> {
         let program = self.lower(circuit)?;
-        let raw = self
-            .backend
-            .run_compiled_threaded(&program, self.shots, self.threads)?;
+        let raw =
+            self.backend
+                .run_compiled_seeded(&program, self.shots, self.seed, self.threads)?;
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.shots_run.fetch_add(self.shots, Ordering::Relaxed);
+        self.batched_ops
+            .fetch_add(program.batched_ops() as u64, Ordering::Relaxed);
+        self.batch_passes
+            .fetch_add(program.batch_passes() as u64, Ordering::Relaxed);
         Ok(raw)
     }
 
@@ -683,6 +749,10 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             prefix_hits: 1,
+            batched_ops: 10,
+            batch_passes: 2,
+            pool_tasks: 8,
+            pool_steals: 1,
         };
         let b = SessionTelemetry {
             runs: 1,
@@ -690,11 +760,73 @@ mod tests {
             cache_hits: 1,
             cache_misses: 3,
             prefix_hits: 0,
+            batched_ops: 5,
+            batch_passes: 1,
+            pool_tasks: 4,
+            pool_steals: 0,
         };
         a.merge(&b);
         assert_eq!(a.runs, 3);
         assert_eq!(a.shots, 150);
+        assert_eq!(a.batched_ops, 15);
+        assert_eq!(a.batch_passes, 3);
+        assert_eq!(a.pool_tasks, 12);
+        assert_eq!(a.pool_steals, 1);
         assert!((a.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(SessionTelemetry::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn seed_override_matches_a_reseeded_backend() {
+        // One session per seed over a *borrowed* backend must reproduce
+        // rebuilding the backend with that seed — the point of the
+        // per-run seed hook.
+        let ac = bell_assertion();
+        let noise = qnoise::presets::uniform(3, 0.01, 0.04, 0.02).unwrap();
+        let proto = TrajectoryBackend::new(noise.clone());
+        for seed in [0u64, 7, 1234] {
+            let via_session = AssertionSession::new(&proto)
+                .seed(seed)
+                .shots(301)
+                .run(&ac)
+                .unwrap();
+            let via_backend =
+                AssertionSession::new(TrajectoryBackend::new(noise.clone()).with_seed(seed))
+                    .shots(301)
+                    .run(&ac)
+                    .unwrap();
+            assert_eq!(
+                via_session.raw.counts, via_backend.raw.counts,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_telemetry_counts_per_run() {
+        // A wide ideal layer batches; two runs double the counters.
+        let mut prep = QuantumCircuit::new(4, 0);
+        for _ in 0..2 {
+            for q in 0..4 {
+                prep.h(q).unwrap();
+            }
+            for q in 0..2 {
+                prep.cx(q, q + 2).unwrap();
+            }
+        }
+        let mut ac = AssertingCircuit::new(prep);
+        ac.assert_classical([0], [false]).unwrap();
+        ac.measure_data();
+        let session = AssertionSession::new(StatevectorBackend::new().with_seed(1))
+            .private_cache(4)
+            .shots(64);
+        session.run(&ac).unwrap();
+        let t1 = session.telemetry();
+        assert!(t1.batched_ops > 0, "wide layers must batch");
+        assert!(t1.batch_passes > 0);
+        session.run(&ac).unwrap();
+        let t2 = session.telemetry();
+        assert_eq!(t2.batched_ops, 2 * t1.batched_ops);
+        assert_eq!(t2.batch_passes, 2 * t1.batch_passes);
     }
 }

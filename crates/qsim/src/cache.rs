@@ -38,7 +38,7 @@ pub struct ProgramKey {
     /// `None` for ideal compilation (distinct from any model
     /// fingerprint, including an *empty* model's).
     noise: Option<u128>,
-    fuse_1q: bool,
+    options: CompileOptions,
 }
 
 impl ProgramKey {
@@ -63,7 +63,7 @@ impl ProgramKey {
         ProgramKey {
             circuit: circuit.structural_hash(),
             noise: noise_fingerprint,
-            fuse_1q: options.fuse_1q,
+            options,
         }
     }
 }
@@ -315,7 +315,14 @@ mod tests {
             .get_or_compile(&c, None, CompileOptions::default())
             .unwrap();
         let unfused = cache
-            .get_or_compile(&c, None, CompileOptions { fuse_1q: false })
+            .get_or_compile(
+                &c,
+                None,
+                CompileOptions {
+                    fuse_1q: false,
+                    ..CompileOptions::default()
+                },
+            )
             .unwrap();
         let noise = qnoise::presets::ideal();
         let noisy = cache

@@ -39,18 +39,28 @@ use qmath::Mat2;
 use qnoise::NoiseModel;
 
 /// Compilation knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CompileOptions {
     /// Fuse runs of adjacent single-qubit gates into one matrix
     /// (default: on). Turning this off yields straight interpretation of
     /// the instruction stream — the reference the equivalence suite
     /// compares against.
     pub fuse_1q: bool,
+    /// Plan batched execution: contiguous runs of disjoint 1q and
+    /// controlled-1q ops become [`crate::batch::PlanNode::BatchedApply`]
+    /// nodes executed as one blocked pass per shot (default: on).
+    /// Batched execution is bit-identical to sequential execution of the
+    /// same op stream — the off position exists for the equivalence
+    /// suite and the `batch_throughput` benchmark's unbatched reference.
+    pub batching: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { fuse_1q: true }
+        CompileOptions {
+            fuse_1q: true,
+            batching: true,
+        }
     }
 }
 
@@ -185,14 +195,20 @@ pub fn compile_with(
         });
     }
 
-    // 4. Fast-path analysis on the compiled stream.
+    // 4. Fast-path and batch analyses on the compiled stream.
     let fast_path = analyze_fast_path(&ops);
+    let batch_plan = if options.batching {
+        crate::batch::plan(&ops)
+    } else {
+        None
+    };
 
     Ok(CompiledProgram::new(
         circuit.num_qubits(),
         circuit.num_clbits(),
         ops,
         fast_path,
+        batch_plan,
         n,
         fused_gates,
     ))
@@ -236,12 +252,22 @@ pub fn compile_extension(
     let tail = compile_with(&suffix, noise, options)?;
     let mut ops: Vec<CompiledOp> = prefix.ops().to_vec();
     ops.extend(tail.ops().iter().cloned());
+    // Both analyses are pure functions of the concatenated op stream, so
+    // recomputing them here yields exactly what a fresh full compile
+    // would (the prefix's own plan is not reusable: a batch may span the
+    // concatenation seam).
     let fast_path = analyze_fast_path(&ops);
+    let batch_plan = if options.batching {
+        crate::batch::plan(&ops)
+    } else {
+        None
+    };
     Ok(CompiledProgram::new(
         circuit.num_qubits(),
         circuit.num_clbits(),
         ops,
         fast_path,
+        batch_plan,
         prefix.source_instructions() + tail.source_instructions(),
         prefix.fused_gates() + tail.fused_gates(),
     ))
@@ -390,7 +416,15 @@ mod tests {
     fn fusion_off_is_straight_interpretation() {
         let mut c = QuantumCircuit::new(1, 0);
         c.h(0).unwrap().t(0).unwrap().s(0).unwrap();
-        let program = compile_with(&c, None, CompileOptions { fuse_1q: false }).unwrap();
+        let program = compile_with(
+            &c,
+            None,
+            CompileOptions {
+                fuse_1q: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(program.ops().len(), 3);
         assert_eq!(program.fused_gates(), 0);
     }

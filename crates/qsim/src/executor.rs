@@ -42,13 +42,14 @@
 //! compiled execution against, and remains useful for one-off shots where
 //! compilation would not amortize.
 
+use crate::batch::PlanNode;
 use crate::cache::ProgramCache;
 use crate::compile::{compile_with, CompileOptions};
 use crate::counts::Counts;
 use crate::density::DensityMatrix;
 use crate::error::SimError;
 use crate::pool::ShardPool;
-use crate::program::{CompiledKind, CompiledProgram};
+use crate::program::{CompiledKind, CompiledOp, CompiledProgram};
 use crate::statevector::StateVector;
 use qcircuit::{OpKind, QuantumCircuit, QubitId};
 use qnoise::{Kraus, NoiseModel};
@@ -167,6 +168,33 @@ pub trait Backend {
         self.run_compiled(program, shots)
     }
 
+    /// Executes an already-compiled program, overriding the backend's
+    /// configured RNG seed and/or shard count per run.
+    ///
+    /// This is the per-run seed hook for session-style callers driving
+    /// seed sweeps (`AssertionSession::seed`): one session over one
+    /// borrowed backend can issue each call under a different seed
+    /// without rebuilding the backend. The default implementation
+    /// ignores the seed override — correct for backends that draw no
+    /// sampling randomness (the exact density-matrix executor computes
+    /// deterministic largest-remainder counts); sampling backends honor
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when execution fails or every shot was
+    /// discarded by post-selection.
+    fn run_compiled_seeded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        seed: Option<u64>,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let _ = seed;
+        self.run_compiled_threaded(program, shots, threads)
+    }
+
     /// Executes `circuit` for `shots` repetitions (compile + run).
     ///
     /// # Errors
@@ -219,6 +247,16 @@ impl<B: Backend + ?Sized> Backend for &B {
         threads: Option<usize>,
     ) -> Result<RunResult, SimError> {
         (**self).run_compiled_threaded(program, shots, threads)
+    }
+
+    fn run_compiled_seeded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        seed: Option<u64>,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        (**self).run_compiled_seeded(program, shots, seed, threads)
     }
 
     fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
@@ -344,26 +382,17 @@ fn apply_compiled_unitary(state: &mut StateVector, kind: &CompiledKind) -> Resul
     }
 }
 
-/// Executes one shot of a compiled program; returns `None` when a
-/// post-selection discarded the shot.
-///
-/// Consumes RNG draws in exactly the same order as [`run_shot`] does for
-/// the source circuit, so seeded compiled and interpreted runs agree
-/// shot-for-shot.
-///
-/// # Errors
-///
-/// Returns a [`SimError`] when a noise channel is malformed for the
-/// program's width.
-pub fn run_compiled_shot<R: Rng + ?Sized>(
-    program: &CompiledProgram,
+/// Executes a contiguous slice of a program's op stream one op at a
+/// time; returns `Ok(false)` when a post-selection discarded the shot.
+fn run_ops_sequential<R: Rng + ?Sized>(
+    ops: &[CompiledOp],
+    state: &mut StateVector,
+    clbits: &mut u64,
     rng: &mut R,
-) -> Result<Option<ShotRecord>, SimError> {
-    let mut state = StateVector::zero_state(program.num_qubits());
-    let mut clbits = 0u64;
-    for op in program.ops() {
+) -> Result<bool, SimError> {
+    for op in ops {
         if let Some(cond) = op.condition {
-            let bit = (clbits >> cond.clbit.index()) & 1 == 1;
+            let bit = (*clbits >> cond.clbit.index()) & 1 == 1;
             if bit != cond.value {
                 continue;
             }
@@ -379,24 +408,107 @@ pub fn run_compiled_shot<R: Rng + ?Sized>(
                     Some(r) => r.sample_recorded(actual, rng.gen::<f64>()),
                     None => actual,
                 };
-                clbits = (clbits & !(1 << clbit)) | (u64::from(recorded) << clbit);
+                *clbits = (*clbits & !(1 << clbit)) | (u64::from(recorded) << clbit);
             }
             CompiledKind::Reset { qubit } => state.reset(*qubit, rng)?,
             CompiledKind::PostSelect { qubit, outcome } => {
                 let actual = state.measure(*qubit, rng)?;
                 if actual != *outcome {
-                    return Ok(None);
+                    return Ok(false);
                 }
             }
             unitary => {
-                apply_compiled_unitary(&mut state, unitary)?;
+                apply_compiled_unitary(state, unitary)?;
                 for applied in &op.noise {
-                    sample_kraus(&mut state, &applied.kraus, &applied.qubits, rng)?;
+                    sample_kraus(state, &applied.kraus, &applied.qubits, rng)?;
                 }
             }
         }
     }
+    Ok(true)
+}
+
+/// Executes one shot of a compiled program; returns `None` when a
+/// post-selection discarded the shot.
+///
+/// Consumes RNG draws in exactly the same order as [`run_shot`] does for
+/// the source circuit, so seeded compiled and interpreted runs agree
+/// shot-for-shot. Programs carrying a [`crate::batch::BatchPlan`]
+/// execute their batched nodes through the blocked SoA kernels — batched
+/// ops are noise-free unconditioned unitaries, so they consume no RNG
+/// and the draw sequence (and every amplitude) stays bit-identical to
+/// sequential execution.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when a noise channel is malformed for the
+/// program's width.
+pub fn run_compiled_shot<R: Rng + ?Sized>(
+    program: &CompiledProgram,
+    rng: &mut R,
+) -> Result<Option<ShotRecord>, SimError> {
+    let mut state = StateVector::zero_state(program.num_qubits());
+    let mut clbits = 0u64;
+    match program.batch_plan() {
+        Some(plan) => {
+            let ops = program.ops();
+            for node in plan.nodes() {
+                match node {
+                    PlanNode::BatchedApply { kernel, .. } => kernel.apply(state.amps_mut()),
+                    PlanNode::Sequential { start, end } => {
+                        if !run_ops_sequential(&ops[*start..*end], &mut state, &mut clbits, rng)? {
+                            return Ok(None);
+                        }
+                    }
+                }
+            }
+        }
+        None => {
+            if !run_ops_sequential(program.ops(), &mut state, &mut clbits, rng)? {
+                return Ok(None);
+            }
+        }
+    }
     Ok(Some(ShotRecord { state, clbits }))
+}
+
+/// Evolves `state` through the unitary ops `[0, upto)` of `program`,
+/// dispatching batched plan nodes to the blocked kernels. Used by the
+/// statevector sample-once fast path and compiled statevector
+/// evolution; bit-identical to per-op application.
+fn evolve_unitary_prefix(
+    program: &CompiledProgram,
+    upto: usize,
+    state: &mut StateVector,
+) -> Result<(), SimError> {
+    let ops = program.ops();
+    if let Some(plan) = program.batch_plan() {
+        for node in plan.nodes() {
+            let (start, end) = node.range();
+            if start >= upto {
+                break;
+            }
+            match node {
+                PlanNode::BatchedApply { kernel, .. } if end <= upto => {
+                    kernel.apply(state.amps_mut());
+                }
+                // A node straddling the cut (or a sequential node):
+                // apply its in-range ops one at a time — blocked and
+                // per-op application are bit-identical, so mixing is
+                // safe.
+                _ => {
+                    for op in &ops[start..end.min(upto)] {
+                        apply_compiled_unitary(state, &op.kind)?;
+                    }
+                }
+            }
+        }
+    } else {
+        for op in &ops[..upto] {
+            apply_compiled_unitary(state, &op.kind)?;
+        }
+    }
+    Ok(())
 }
 
 /// The RNG seed of shard `t` under backend seed `seed`, identical across
@@ -572,6 +684,7 @@ pub struct StatevectorBackend {
     seed: u64,
     threads: usize,
     fuse_1q: bool,
+    batching: bool,
 }
 
 impl StatevectorBackend {
@@ -581,6 +694,7 @@ impl StatevectorBackend {
             seed: 0,
             threads: 1,
             fuse_1q: true,
+            batching: true,
         }
     }
 
@@ -609,6 +723,15 @@ impl StatevectorBackend {
     #[must_use]
     pub fn with_fusion(mut self, fuse: bool) -> Self {
         self.fuse_1q = fuse;
+        self
+    }
+
+    /// Enables or disables batched execution planning (on by default;
+    /// the off position is the per-op reference the batch equivalence
+    /// suite and the `batch_throughput` benchmark compare against).
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -667,15 +790,15 @@ impl StatevectorBackend {
                 op: "noise-bound program",
             }));
         }
-        let mut state = StateVector::zero_state(program.num_qubits());
         for op in program.ops() {
             if !op.kind.is_unitary() || op.condition.is_some() {
                 return Err(SimError::Circuit(qcircuit::CircuitError::NotInvertible {
                     op: op.kind.name(),
                 }));
             }
-            apply_compiled_unitary(&mut state, &op.kind)?;
         }
+        let mut state = StateVector::zero_state(program.num_qubits());
+        evolve_unitary_prefix(program, program.ops().len(), &mut state)?;
         Ok(state)
     }
 }
@@ -694,11 +817,12 @@ impl Backend for StatevectorBackend {
     fn compile_options(&self) -> CompileOptions {
         CompileOptions {
             fuse_1q: self.fuse_1q,
+            batching: self.batching,
         }
     }
 
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
-        self.run_compiled_threaded(program, shots, None)
+        self.run_compiled_seeded(program, shots, None, None)
     }
 
     fn run_compiled_threaded(
@@ -707,18 +831,28 @@ impl Backend for StatevectorBackend {
         shots: u64,
         threads: Option<usize>,
     ) -> Result<RunResult, SimError> {
+        self.run_compiled_seeded(program, shots, None, threads)
+    }
+
+    fn run_compiled_seeded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        seed: Option<u64>,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let seed = seed.unwrap_or(self.seed);
         // The sample-once path is only sound for noise-free programs: a
         // caller may hand this ideal backend a program compiled against a
         // noise model, and those pre-bound channels only execute on the
         // per-shot path.
         if let (Some(fp), false) = (program.fast_path(), program.is_noisy()) {
-            // Evolve the unitary prefix once, then sample `shots` times.
+            // Evolve the unitary prefix once (batched where planned),
+            // then sample `shots` times.
             let mut counts = Counts::new(program.num_clbits());
-            let mut rng = StdRng::seed_from_u64(self.seed);
+            let mut rng = StdRng::seed_from_u64(seed);
             let mut state = StateVector::zero_state(program.num_qubits());
-            for op in &program.ops()[..fp.unitary_prefix] {
-                apply_compiled_unitary(&mut state, &op.kind)?;
-            }
+            evolve_unitary_prefix(program, fp.unitary_prefix, &mut state)?;
             for _ in 0..shots {
                 let idx = state.sample_index(&mut rng);
                 let mut key = 0u64;
@@ -738,7 +872,7 @@ impl Backend for StatevectorBackend {
         }
 
         let (counts, discarded) =
-            run_compiled_sharded(program, shots, self.seed, threads.unwrap_or(self.threads))?;
+            run_compiled_sharded(program, shots, seed, threads.unwrap_or(self.threads))?;
         if shots > 0 && discarded == shots {
             return Err(SimError::AllShotsDiscarded);
         }
@@ -757,6 +891,7 @@ pub struct TrajectoryBackend {
     seed: u64,
     threads: usize,
     fuse_1q: bool,
+    batching: bool,
 }
 
 impl TrajectoryBackend {
@@ -767,6 +902,7 @@ impl TrajectoryBackend {
             seed: 0,
             threads: 1,
             fuse_1q: true,
+            batching: true,
         }
     }
 
@@ -798,6 +934,15 @@ impl TrajectoryBackend {
         self
     }
 
+    /// Enables or disables batched execution planning (on by default).
+    /// Ops carrying noise channels never batch, but the ideal stretches
+    /// of a noisy program still do.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
     /// The underlying noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
@@ -816,11 +961,12 @@ impl Backend for TrajectoryBackend {
     fn compile_options(&self) -> CompileOptions {
         CompileOptions {
             fuse_1q: self.fuse_1q,
+            batching: self.batching,
         }
     }
 
     fn run_compiled(&self, program: &CompiledProgram, shots: u64) -> Result<RunResult, SimError> {
-        self.run_compiled_threaded(program, shots, None)
+        self.run_compiled_seeded(program, shots, None, None)
     }
 
     fn run_compiled_threaded(
@@ -829,8 +975,22 @@ impl Backend for TrajectoryBackend {
         shots: u64,
         threads: Option<usize>,
     ) -> Result<RunResult, SimError> {
-        let (counts, discarded) =
-            run_compiled_sharded(program, shots, self.seed, threads.unwrap_or(self.threads))?;
+        self.run_compiled_seeded(program, shots, None, threads)
+    }
+
+    fn run_compiled_seeded(
+        &self,
+        program: &CompiledProgram,
+        shots: u64,
+        seed: Option<u64>,
+        threads: Option<usize>,
+    ) -> Result<RunResult, SimError> {
+        let (counts, discarded) = run_compiled_sharded(
+            program,
+            shots,
+            seed.unwrap_or(self.seed),
+            threads.unwrap_or(self.threads),
+        )?;
         if shots > 0 && discarded == shots {
             return Err(SimError::AllShotsDiscarded);
         }
@@ -871,6 +1031,7 @@ impl ExactDistribution {
 pub struct DensityMatrixBackend {
     noise: Option<NoiseModel>,
     fuse_1q: bool,
+    batching: bool,
 }
 
 /// One branch of the exact executor: a conditional mixed state with the
@@ -888,6 +1049,7 @@ impl DensityMatrixBackend {
         DensityMatrixBackend {
             noise: Some(noise),
             fuse_1q: true,
+            batching: true,
         }
     }
 
@@ -896,6 +1058,7 @@ impl DensityMatrixBackend {
         DensityMatrixBackend {
             noise: None,
             fuse_1q: true,
+            batching: true,
         }
     }
 
@@ -903,6 +1066,18 @@ impl DensityMatrixBackend {
     #[must_use]
     pub fn with_fusion(mut self, fuse: bool) -> Self {
         self.fuse_1q = fuse;
+        self
+    }
+
+    /// Enables or disables batch planning at compile time (on by
+    /// default). The exact executor walks the flat op stream per branch
+    /// and **ignores the plan** — the amplitude-pair kernels do not
+    /// apply to density matrices — but keeping the option (and key)
+    /// aligned with the per-shot backends lets one cached compilation
+    /// serve both.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -1073,6 +1248,7 @@ impl Backend for DensityMatrixBackend {
     fn compile_options(&self) -> CompileOptions {
         CompileOptions {
             fuse_1q: self.fuse_1q,
+            batching: self.batching,
         }
     }
 

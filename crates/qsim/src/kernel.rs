@@ -1,0 +1,521 @@
+//! Cache-blocked SoA apply kernels for batched op execution.
+//!
+//! A [`BatchKernel`] is the executable form of one
+//! [`BatchedApply`](crate::batch::PlanNode::BatchedApply) plan node: a
+//! group of single-qubit / controlled-single-qubit ops on pairwise
+//! disjoint qubits, compiled into a structure-of-arrays layout (parallel
+//! `strides` / `cmasks` / coefficient tables, indexed by op) and executed
+//! as **one blocked pass** over the amplitude array instead of one full
+//! sweep per op.
+//!
+//! # Blocking and bit-identity
+//!
+//! The amplitude array is walked in aligned blocks of `2^block_bits`
+//! entries, where `block_bits` exceeds every target bit of the batch.
+//! Each op's index pairs `(i, i | stride)` therefore lie entirely inside
+//! one block, so applying the ops **in op order within each block** is
+//! float-exact with respect to applying each op in a full sweep of its
+//! own: every amplitude sees the same arithmetic operations on the same
+//! values in the same order; only the traversal order of *independent*
+//! pair updates changes. Counts, probabilities, and amplitudes are
+//! bit-identical to sequential application (the equivalence suite in
+//! `tests/batch_equivalence.rs` pins this across backends, seeds, and
+//! thread counts). Blocks are sized to keep a block plus its working set
+//! resident in L1 while all ops of the batch stream over it.
+//!
+//! # Coefficient classes
+//!
+//! Each op's 2×2 matrix is classified once at plan time
+//! ([`OpClass`]): phase gates (S, T, Z, P, CZ) touch only the set-bit
+//! amplitude, X/CX reduce to swaps, real matrices (H, Ry) drop the
+//! imaginary half of the complex products. Specialized products elide
+//! only multiplications by exact `0.0`/`1.0` coefficients, which is
+//! float-exact for every finite amplitude up to the sign of zero — and
+//! `-0.0 == 0.0`, `(-0.0)² == 0.0`, so sampling, probabilities, and
+//! amplitude comparisons are unaffected.
+
+use qmath::{Complex, Mat2};
+
+/// Blocks hold at least `2^MIN_BLOCK_BITS` amplitudes (2048 × 16 B =
+/// 32 KiB — sized to a typical L1 data cache) unless the batch addresses
+/// a higher qubit, in which case the block grows to cover its pairs.
+pub(crate) const MIN_BLOCK_BITS: usize = 11;
+
+/// One op of a batch, as handed over by the planner.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct KernelOp {
+    /// Target qubit (bit position of the index pairs).
+    pub target: usize,
+    /// Control qubit, if any.
+    pub control: Option<usize>,
+    /// The 2×2 unitary applied to the target.
+    pub matrix: Mat2,
+}
+
+/// The coefficient structure of one op's matrix, chosen once at plan
+/// time so the per-block inner loops are monomorphic.
+#[derive(Clone, Debug)]
+enum OpClass {
+    /// `diag(1, d)` — S, T, Z, P and the target of CZ/CP: only the
+    /// set-bit amplitude is loaded, scaled, and stored.
+    Phase { d: Complex },
+    /// `diag(a, d)` — Rz and fused diagonal runs.
+    Scale { a: Complex, d: Complex },
+    /// `offdiag(1, 1)` — X and the target of CX: a pure amplitude swap,
+    /// no arithmetic at all.
+    Swap,
+    /// `offdiag(b, c)` — Y and phased flips.
+    Flip { b: Complex, c: Complex },
+    /// All four entries real — H, Ry, and their fusions: half the
+    /// multiplies of the complex path.
+    RealGeneral { a: f64, b: f64, c: f64, d: f64 },
+    /// Anything else: the full [`Mat2::apply`] product.
+    General { m: Mat2 },
+}
+
+fn classify(m: &Mat2) -> OpClass {
+    let zero = Complex::ZERO;
+    let one = Complex::ONE;
+    if m.b == zero && m.c == zero {
+        if m.a == one {
+            OpClass::Phase { d: m.d }
+        } else {
+            OpClass::Scale { a: m.a, d: m.d }
+        }
+    } else if m.a == zero && m.d == zero {
+        if m.b == one && m.c == one {
+            OpClass::Swap
+        } else {
+            OpClass::Flip { b: m.b, c: m.c }
+        }
+    } else if m.a.im == 0.0 && m.b.im == 0.0 && m.c.im == 0.0 && m.d.im == 0.0 {
+        OpClass::RealGeneral {
+            a: m.a.re,
+            b: m.b.re,
+            c: m.c.re,
+            d: m.d.re,
+        }
+    } else {
+        OpClass::General { m: *m }
+    }
+}
+
+/// A compiled batch of disjoint-qubit ops in SoA layout, applied to an
+/// amplitude array in one blocked pass.
+#[derive(Clone, Debug)]
+pub struct BatchKernel {
+    /// `strides[j] = 1 << target_bit(j)` — the index-pair stride of op
+    /// `j` (parallel to `cmasks` and `classes`).
+    strides: Vec<usize>,
+    /// `cmasks[j]` is the single-bit control mask of op `j`, or 0 when
+    /// uncontrolled.
+    cmasks: Vec<usize>,
+    /// Coefficient class of op `j`.
+    classes: Vec<OpClass>,
+    /// log₂ of the block length.
+    block_bits: usize,
+    /// Highest bit any op addresses (validated against the amplitude
+    /// array length on every apply).
+    max_bit: usize,
+}
+
+impl BatchKernel {
+    /// Compiles a batch. The planner guarantees `ops` is non-empty and
+    /// its qubit sets are pairwise disjoint; both are debug-asserted.
+    pub(crate) fn new(ops: &[KernelOp]) -> Self {
+        debug_assert!(!ops.is_empty(), "empty batch");
+        // The block must cover every op's index pairs: pairs differ only
+        // in the target bit, so block_bits > max target bit suffices.
+        // (A control bit above the block is constant per block and is
+        // hoisted to a whole-block skip in `apply`.)
+        let max_target = ops.iter().map(|op| op.target).max().expect("non-empty");
+        let block_bits = MIN_BLOCK_BITS.max(max_target + 1);
+        Self::with_block_bits(ops, block_bits)
+    }
+
+    /// [`BatchKernel::new`] with an explicit block size — tests pin the
+    /// blocked/unblocked equivalence with this.
+    pub(crate) fn with_block_bits(ops: &[KernelOp], block_bits: usize) -> Self {
+        let mut seen = 0u128;
+        let mut strides = Vec::with_capacity(ops.len());
+        let mut cmasks = Vec::with_capacity(ops.len());
+        let mut classes = Vec::with_capacity(ops.len());
+        let mut max_bit = 0usize;
+        for op in ops {
+            // The planner caps batched qubits (MAX_BATCH_QUBIT) well
+            // under the usize shifts below; the mask bound is looser.
+            debug_assert!(op.target < 128 && seen & (1u128 << op.target) == 0);
+            seen |= 1u128 << (op.target % 128);
+            max_bit = max_bit.max(op.target);
+            if let Some(c) = op.control {
+                debug_assert_ne!(c, op.target, "control equals target");
+                debug_assert!(c < 128 && seen & (1u128 << c) == 0);
+                seen |= 1u128 << (c % 128);
+                max_bit = max_bit.max(c);
+            }
+            debug_assert!(block_bits > op.target, "block must cover the pair stride");
+            strides.push(1usize << op.target);
+            cmasks.push(op.control.map_or(0, |c| 1usize << c));
+            classes.push(classify(&op.matrix));
+        }
+        BatchKernel {
+            strides,
+            cmasks,
+            classes,
+            block_bits,
+            max_bit,
+        }
+    }
+
+    /// Ops in this batch.
+    pub fn len(&self) -> usize {
+        self.strides.len()
+    }
+
+    /// Returns `true` when the batch holds no ops (never produced by the
+    /// planner; here for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.strides.is_empty()
+    }
+
+    /// Applies every op of the batch to `amps` in one blocked pass,
+    /// bit-identical to applying the ops sequentially in full sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps` is not a power-of-two length covering every
+    /// qubit the batch addresses.
+    pub fn apply(&self, amps: &mut [Complex]) {
+        let n = amps.len();
+        assert!(
+            n.is_power_of_two() && n >= (2usize << self.max_bit),
+            "amplitude array of {n} cannot hold qubit bit {}",
+            self.max_bit
+        );
+        let block = (1usize << self.block_bits).min(n);
+        let mut base = 0usize;
+        while base < n {
+            for j in 0..self.strides.len() {
+                let stride = self.strides[j];
+                let mut cmask = self.cmasks[j];
+                if cmask >= block {
+                    // Control bit lives above the block: it is constant
+                    // across the whole block — skip the block outright
+                    // or drop the per-pair test.
+                    if base & cmask == 0 {
+                        continue;
+                    }
+                    cmask = 0;
+                }
+                // In-bounds by construction: `base + block <= n` (n is a
+                // multiple of the power-of-two block) and every pair
+                // index is `off | stride < base + block` because
+                // `stride < block`.
+                apply_class_block(amps, base, block, stride, cmask, &self.classes[j]);
+            }
+            base += block;
+        }
+    }
+}
+
+/// Walks the index pairs `(off, off | stride)` of one op inside the
+/// block `[base, base + block)`, invoking `f` on each pair that passes
+/// the (in-block) control mask. Every produced index is below
+/// `base + block` because `stride < block` — the unchecked accesses in
+/// [`apply_class_block`] rely on the caller bounding `base + block` by
+/// the buffer length.
+#[inline(always)]
+fn for_pairs(
+    base: usize,
+    block: usize,
+    stride: usize,
+    cmask: usize,
+    mut f: impl FnMut(usize, usize),
+) {
+    let top = base + block;
+    let mut lo = base;
+    if cmask == 0 {
+        while lo < top {
+            for off in lo..lo + stride {
+                f(off, off + stride);
+            }
+            lo += 2 * stride;
+        }
+    } else {
+        while lo < top {
+            for off in lo..lo + stride {
+                if off & cmask != 0 {
+                    f(off, off + stride);
+                }
+            }
+            lo += 2 * stride;
+        }
+    }
+}
+
+/// Applies one classified op to one block. The specialized products are
+/// float-exact against [`Mat2::apply`] up to the sign of zero (see the
+/// module docs).
+#[inline(always)]
+fn apply_class_block(
+    amps: &mut [Complex],
+    base: usize,
+    block: usize,
+    stride: usize,
+    cmask: usize,
+    class: &OpClass,
+) {
+    debug_assert!(base + block <= amps.len() && stride < block);
+    let ptr = amps.as_mut_ptr();
+    // SAFETY (each block below): `for_pairs` produces indices strictly
+    // below `base + block <= amps.len()` (checked above; in release the
+    // caller's `apply` asserted the array covers `max_bit`), and
+    // `i0 != i1`, so every raw access is in-bounds and non-aliasing
+    // within one `f` invocation.
+    match class {
+        OpClass::Phase { d } => {
+            let d = *d;
+            for_pairs(base, block, stride, cmask, |_, i1| unsafe {
+                let y = ptr.add(i1);
+                *y = d * *y;
+            });
+        }
+        OpClass::Scale { a, d } => {
+            let (a, d) = (*a, *d);
+            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
+                let x = ptr.add(i0);
+                let y = ptr.add(i1);
+                *x = a * *x;
+                *y = d * *y;
+            });
+        }
+        OpClass::Swap => {
+            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
+                std::ptr::swap(ptr.add(i0), ptr.add(i1));
+            });
+        }
+        OpClass::Flip { b, c } => {
+            let (b, c) = (*b, *c);
+            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
+                let x = ptr.add(i0);
+                let y = ptr.add(i1);
+                let old_x = *x;
+                *x = b * *y;
+                *y = c * old_x;
+            });
+        }
+        OpClass::RealGeneral { a, b, c, d } => {
+            let (a, b, c, d) = (*a, *b, *c, *d);
+            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
+                let px = ptr.add(i0);
+                let py = ptr.add(i1);
+                let x = *px;
+                let y = *py;
+                *px = Complex::new(a * x.re + b * y.re, a * x.im + b * y.im);
+                *py = Complex::new(c * x.re + d * y.re, c * x.im + d * y.im);
+            });
+        }
+        OpClass::General { m } => {
+            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
+                let px = ptr.add(i0);
+                let py = ptr.add(i1);
+                let (x, y) = m.apply(*px, *py);
+                *px = x;
+                *py = y;
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::{apply_controlled_mat2_at, apply_mat2_at};
+    use qcircuit::Gate;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A reproducible dense state (not normalized — the kernels are
+    /// linear, normalization is irrelevant to bit-identity).
+    fn random_amps(num_qubits: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..1usize << num_qubits)
+            .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect()
+    }
+
+    /// Sequential reference: full sweep per op via the scalar kernels.
+    fn reference(ops: &[KernelOp], amps: &mut [Complex]) {
+        for op in ops {
+            match op.control {
+                Some(c) => apply_controlled_mat2_at(amps, c, op.target, &op.matrix),
+                None => apply_mat2_at(amps, op.target, &op.matrix),
+            }
+        }
+    }
+
+    fn mat(g: Gate) -> Mat2 {
+        g.mat2().expect("single-qubit gate")
+    }
+
+    fn assert_states_equal(a: &[Complex], b: &[Complex]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            // `==` on f64 treats -0.0 and 0.0 as equal, which is exactly
+            // the contract the specialized products promise.
+            assert_eq!(x, y, "amplitude {i} diverged");
+        }
+    }
+
+    #[test]
+    fn every_class_matches_the_scalar_kernels_bit_for_bit() {
+        let cases: Vec<Vec<KernelOp>> = vec![
+            // Phase / Scale / Swap / Flip / RealGeneral / General singles.
+            vec![KernelOp {
+                target: 2,
+                control: None,
+                matrix: mat(Gate::T),
+            }],
+            vec![KernelOp {
+                target: 1,
+                control: None,
+                matrix: mat(Gate::Rz(0.83)),
+            }],
+            vec![KernelOp {
+                target: 3,
+                control: None,
+                matrix: mat(Gate::X),
+            }],
+            vec![KernelOp {
+                target: 0,
+                control: None,
+                matrix: mat(Gate::Y),
+            }],
+            vec![KernelOp {
+                target: 2,
+                control: None,
+                matrix: mat(Gate::H),
+            }],
+            vec![KernelOp {
+                target: 1,
+                control: None,
+                matrix: mat(Gate::U3(0.4, 1.1, -0.6)),
+            }],
+            // Controlled variants (CX = controlled Swap, CZ = controlled
+            // Phase, CH = controlled RealGeneral).
+            vec![KernelOp {
+                target: 2,
+                control: Some(0),
+                matrix: mat(Gate::X),
+            }],
+            vec![KernelOp {
+                target: 0,
+                control: Some(3),
+                matrix: mat(Gate::Z),
+            }],
+            vec![KernelOp {
+                target: 1,
+                control: Some(4),
+                matrix: mat(Gate::H),
+            }],
+            // A wide disjoint layer mixing every class.
+            vec![
+                KernelOp {
+                    target: 0,
+                    control: None,
+                    matrix: mat(Gate::H),
+                },
+                KernelOp {
+                    target: 1,
+                    control: None,
+                    matrix: mat(Gate::T),
+                },
+                KernelOp {
+                    target: 2,
+                    control: None,
+                    matrix: mat(Gate::X),
+                },
+                KernelOp {
+                    target: 4,
+                    control: Some(3),
+                    matrix: mat(Gate::X),
+                },
+                KernelOp {
+                    target: 5,
+                    control: None,
+                    matrix: mat(Gate::U3(0.2, 0.3, 0.4)),
+                },
+            ],
+        ];
+        for (k, ops) in cases.iter().enumerate() {
+            let mut batched = random_amps(6, k as u64);
+            let mut sequential = batched.clone();
+            BatchKernel::new(ops).apply(&mut batched);
+            reference(ops, &mut sequential);
+            assert_states_equal(&batched, &sequential);
+        }
+    }
+
+    #[test]
+    fn blocking_is_bit_identical_to_one_big_block() {
+        // 8 qubits, forced tiny blocks: every block boundary is crossed
+        // by the walk, including control bits above the block size.
+        let ops = vec![
+            KernelOp {
+                target: 0,
+                control: None,
+                matrix: mat(Gate::H),
+            },
+            KernelOp {
+                target: 1,
+                control: Some(6),
+                matrix: mat(Gate::X),
+            },
+            KernelOp {
+                target: 2,
+                control: None,
+                matrix: mat(Gate::T),
+            },
+            KernelOp {
+                target: 3,
+                control: Some(7),
+                matrix: mat(Gate::S),
+            },
+        ];
+        let amps0 = random_amps(8, 42);
+        let mut small_blocks = amps0.clone();
+        let mut one_block = amps0.clone();
+        let mut sequential = amps0;
+        BatchKernel::with_block_bits(&ops, 4).apply(&mut small_blocks);
+        BatchKernel::with_block_bits(&ops, 8).apply(&mut one_block);
+        reference(&ops, &mut sequential);
+        assert_states_equal(&small_blocks, &one_block);
+        assert_states_equal(&small_blocks, &sequential);
+    }
+
+    #[test]
+    fn default_block_covers_high_targets() {
+        // Target above MIN_BLOCK_BITS: the block must grow to cover it.
+        let ops = vec![KernelOp {
+            target: 13,
+            control: None,
+            matrix: mat(Gate::H),
+        }];
+        let mut batched = random_amps(14, 7);
+        let mut sequential = batched.clone();
+        BatchKernel::new(&ops).apply(&mut batched);
+        reference(&ops, &mut sequential);
+        assert_states_equal(&batched, &sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold qubit bit")]
+    fn too_small_state_panics() {
+        let ops = vec![KernelOp {
+            target: 4,
+            control: None,
+            matrix: mat(Gate::H),
+        }];
+        let mut amps = random_amps(3, 0);
+        BatchKernel::new(&ops).apply(&mut amps);
+    }
+}

@@ -16,6 +16,12 @@
 //!   adjacent single-qubit gates fused, noise channels pre-bound, the
 //!   statevector fast path decided up front) that the per-shot hot loops
 //!   execute,
+//! * [`batch`] / [`kernel`] — the batched execution layer: a compile-time
+//!   planner groups contiguous runs of disjoint 1q/controlled-1q ops
+//!   (the wide layers assertion instrumentation produces) into
+//!   [`PlanNode::BatchedApply`] nodes, and cache-blocked SoA kernels
+//!   execute each group in one pass over the amplitude array —
+//!   bit-identical to per-op application,
 //! * [`cache`] — the keyed [`ProgramCache`] (circuit structural hash ×
 //!   noise-model fingerprint × compile options) that makes repeated
 //!   sweep analyses compile-free, with hit/miss/eviction counters,
@@ -52,6 +58,7 @@
 //! ```
 
 pub mod apply;
+pub mod batch;
 pub mod cache;
 pub mod compile;
 pub mod counts;
@@ -59,11 +66,13 @@ pub mod density;
 pub mod error;
 pub mod executor;
 pub mod expectation;
+pub mod kernel;
 pub mod pool;
 pub mod prefix;
 pub mod program;
 pub mod statevector;
 
+pub use batch::{BatchPlan, PlanNode};
 pub use cache::{CacheStats, ProgramCache, ProgramKey};
 pub use compile::{
     compile, compile_extension, compile_with, extension_fusion_safe, CompileOptions,
@@ -77,7 +86,8 @@ pub use executor::{
     StatevectorBackend, TrajectoryBackend,
 };
 pub use expectation::{Pauli, PauliString};
-pub use pool::ShardPool;
+pub use kernel::BatchKernel;
+pub use pool::{PoolStats, ShardPool};
 pub use prefix::PrefixRegistry;
 pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
 pub use statevector::StateVector;

@@ -45,12 +45,41 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A point-in-time snapshot of a pool's execution counters.
+///
+/// Counters are lifetime totals over the pool (process-wide for
+/// [`ShardPool::global`]); take deltas with [`PoolStats::since`] to
+/// attribute activity to one workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed to completion (by workers, by draining
+    /// submitters, and inline when a batch bypasses the deques).
+    pub tasks_run: u64,
+    /// Tasks obtained by stealing from another thread's deque rather
+    /// than popping the thread's own.
+    pub steals: u64,
+}
+
+impl PoolStats {
+    /// The activity between `earlier` and `self` (counters are
+    /// monotonic, so a plain field-wise difference).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            tasks_run: self.tasks_run - earlier.tasks_run,
+            steals: self.steals - earlier.steals,
+        }
+    }
+}
 
 /// A lifetime-erased unit of work (see the module docs on why the
 /// transmute in [`ShardPool::run_batch`] is sound).
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The lazily-created process-wide pool ([`ShardPool::global`]).
+static GLOBAL_POOL: OnceLock<ShardPool> = OnceLock::new();
 
 /// Completion latch for one submitted batch.
 struct Batch {
@@ -94,6 +123,10 @@ struct Shared {
     wake: Condvar,
     /// Set by [`ShardPool::drop`]: workers drain their deques and exit.
     stop: AtomicBool,
+    /// Tasks popped (home or stolen) plus tasks run inline.
+    tasks_run: AtomicU64,
+    /// Tasks popped from a sibling's deque.
+    steals: AtomicU64,
 }
 
 impl Shared {
@@ -106,11 +139,14 @@ impl Shared {
         }
         let home = home % n;
         if let Some(task) = self.deques[home].lock().expect("deque lock").pop_front() {
+            self.tasks_run.fetch_add(1, Ordering::Relaxed);
             return Some(task);
         }
         for offset in 1..n {
             let victim = (home + offset) % n;
             if let Some(task) = self.deques[victim].lock().expect("deque lock").pop_back() {
+                self.tasks_run.fetch_add(1, Ordering::Relaxed);
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(task);
             }
         }
@@ -150,6 +186,8 @@ impl ShardPool {
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
+            tasks_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         });
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -173,8 +211,7 @@ impl ShardPool {
     /// available core, capped so the submitting thread — which executes
     /// tasks too — is counted).
     pub fn global() -> &'static ShardPool {
-        static POOL: OnceLock<ShardPool> = OnceLock::new();
-        POOL.get_or_init(|| {
+        GLOBAL_POOL.get_or_init(|| {
             let cores = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1);
@@ -182,10 +219,29 @@ impl ShardPool {
         })
     }
 
+    /// [`ShardPool::stats`] of the global pool **without creating it**:
+    /// zeros when no sharded execution has started the pool yet.
+    /// Telemetry readers use this so that merely *observing* counters
+    /// never spawns the worker threads.
+    pub fn global_stats() -> PoolStats {
+        GLOBAL_POOL.get().map(ShardPool::stats).unwrap_or_default()
+    }
+
     /// Number of dedicated worker threads (the submitter adds one more
     /// executing thread to every batch).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Lifetime execution counters: tasks run and steals. For the
+    /// global pool these aggregate every workload in the process —
+    /// attribute activity to one caller with [`PoolStats::since`]
+    /// deltas taken while nothing else submits.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_run: self.shared.tasks_run.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs `run(0), run(1), …, run(tasks - 1)` across the pool and the
@@ -210,6 +266,9 @@ impl ShardPool {
             for i in 0..tasks {
                 run(i);
             }
+            self.shared
+                .tasks_run
+                .fetch_add(tasks as u64, Ordering::Relaxed);
             return;
         }
 
@@ -412,6 +471,30 @@ mod tests {
             sum.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn stats_count_every_task_and_bound_steals() {
+        let pool = ShardPool::new(2);
+        let before = pool.stats();
+        pool.run_batch(32, |_| {});
+        pool.run_batch(16, |_| {});
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.tasks_run, 48);
+        assert!(delta.steals <= delta.tasks_run);
+
+        // The inline paths (single task / zero workers) count too.
+        pool.run_batch(1, |_| {});
+        assert_eq!(pool.stats().since(&before).tasks_run, 49);
+        let inline_pool = ShardPool::new(0);
+        inline_pool.run_batch(5, |_| {});
+        assert_eq!(
+            inline_pool.stats(),
+            PoolStats {
+                tasks_run: 5,
+                steals: 0
+            }
+        );
     }
 
     #[test]

@@ -30,10 +30,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
-/// Live registrations beyond this count stop being recorded — a
-/// backstop so a long-lived session lowering unboundedly many distinct
-/// circuits cannot grow the registry's *map* without limit. (Lookups
-/// still succeed against everything registered before the cap.)
+/// Default registration capacity (see [`PrefixRegistry::with_capacity`])
+/// — a backstop so a long-lived session lowering unboundedly many
+/// distinct circuits cannot grow the registry's map without limit.
 const REGISTRY_CAP: usize = 1024;
 
 /// The identity of one registered lowering: the rolling hash of the
@@ -45,7 +44,7 @@ const REGISTRY_CAP: usize = 1024;
 struct PrefixKey {
     chain: u128,
     noise: Option<u128>,
-    fuse_1q: bool,
+    options: CompileOptions,
 }
 
 struct Registered {
@@ -55,6 +54,15 @@ struct Registered {
     /// whose program has been dropped simply stops matching.
     program: Weak<CompiledProgram>,
     len: usize,
+    /// Registration order, driving FIFO eviction at capacity.
+    stamp: u64,
+}
+
+/// The mutex-guarded registry state.
+struct Inner {
+    map: HashMap<PrefixKey, Registered>,
+    /// Monotonic registration clock ([`Registered::stamp`] source).
+    clock: u64,
 }
 
 /// A registry of lowered circuits enabling compiled-prefix reuse across
@@ -95,15 +103,39 @@ struct Registered {
 /// # }
 /// ```
 pub struct PrefixRegistry {
-    inner: Mutex<HashMap<PrefixKey, Registered>>,
+    inner: Mutex<Inner>,
+    capacity: usize,
     hits: AtomicU64,
 }
 
 impl PrefixRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default capacity (1024
+    /// registrations).
     pub fn new() -> Self {
+        PrefixRegistry::with_capacity(REGISTRY_CAP)
+    }
+
+    /// Creates an empty registry holding at most `capacity`
+    /// registrations.
+    ///
+    /// At capacity, a new registration first **compacts** entries whose
+    /// programs have been dropped (cache-evicted) — they can never
+    /// match again, so they always go first — and only if every entry
+    /// is still live evicts the **oldest registration** (FIFO). Sweeps
+    /// extend recent circuits, so the oldest prefix is the least likely
+    /// to be extended next.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "registry capacity must be at least 1");
         PrefixRegistry {
-            inner: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
             hits: AtomicU64::new(0),
         }
     }
@@ -149,7 +181,7 @@ impl PrefixRegistry {
         let key_at = |k: usize| PrefixKey {
             chain: chains[k],
             noise: noise_fp,
-            fuse_1q: options.fuse_1q,
+            options,
         };
 
         // Longest registered, fusion-safe proper prefix, if any. The
@@ -159,6 +191,7 @@ impl PrefixRegistry {
             let inner = self.inner.lock().expect("prefix registry lock");
             (1..circuit.len()).rev().find_map(|k| {
                 inner
+                    .map
                     .get(&key_at(k))
                     .filter(|r| r.len == k)
                     .and_then(|r| r.program.upgrade())
@@ -215,35 +248,48 @@ impl PrefixRegistry {
                 .last()
                 .expect("prefix hash chain is never empty"),
             noise: noise_fp,
-            fuse_1q: options.fuse_1q,
+            options,
         };
         self.register_keyed(key, circuit.len(), program);
     }
 
     fn register_keyed(&self, key: PrefixKey, len: usize, program: &Arc<CompiledProgram>) {
         let mut inner = self.inner.lock().expect("prefix registry lock");
-        if inner.len() >= REGISTRY_CAP && !inner.contains_key(&key) {
-            // Make room by dropping registrations whose programs died
-            // (evicted from their cache); only refuse if all are live.
-            inner.retain(|_, r| r.program.strong_count() > 0);
-            if inner.len() >= REGISTRY_CAP {
-                return;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // Make room by compacting registrations whose programs died
+            // (evicted from their cache) — they can never match again.
+            inner.map.retain(|_, r| r.program.strong_count() > 0);
+            // Still full of live entries: evict the oldest
+            // registrations (FIFO) rather than refusing the new one.
+            while inner.map.len() >= self.capacity {
+                let oldest = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, r)| r.stamp)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty at-capacity registry");
+                inner.map.remove(&oldest);
             }
         }
+        inner.clock += 1;
+        let stamp = inner.clock;
         // A dead registration (its program was evicted, then the circuit
         // recompiled) is *replaced* — keeping the corpse would disable
         // prefix reuse for this key for the registry's whole lifetime.
         inner
+            .map
             .entry(key)
             .and_modify(|r| {
                 if r.program.strong_count() == 0 {
                     r.program = Arc::downgrade(program);
                     r.len = len;
+                    r.stamp = stamp;
                 }
             })
             .or_insert_with(|| Registered {
                 program: Arc::downgrade(program),
                 len,
+                stamp,
             });
     }
 }
@@ -258,8 +304,9 @@ impl std::fmt::Debug for PrefixRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "PrefixRegistry {{ registered: {}, hits: {} }}",
-            self.inner.lock().expect("prefix registry lock").len(),
+            "PrefixRegistry {{ registered: {}, capacity: {}, hits: {} }}",
+            self.inner.lock().expect("prefix registry lock").map.len(),
+            self.capacity,
             self.hits()
         )
     }
@@ -331,7 +378,10 @@ mod tests {
     #[test]
     fn fusion_off_makes_every_boundary_safe() {
         let registry = PrefixRegistry::new();
-        let opts = CompileOptions { fuse_1q: false };
+        let opts = CompileOptions {
+            fuse_1q: false,
+            ..CompileOptions::default()
+        };
         let mut prefix = QuantumCircuit::new(1, 0);
         prefix.h(0).unwrap();
         let mut full = prefix.clone();
@@ -443,6 +493,58 @@ mod tests {
             .compile(&entangled, None, CompileOptions::default())
             .unwrap();
         assert_eq!(registry.hits(), 1);
+    }
+
+    /// A one-op circuit family member: `cx(0,1)` repeated `n` times
+    /// (distinct prefix chains per length, no 1q fusion involved).
+    fn chain_circuit(n: usize) -> QuantumCircuit {
+        let mut c = QuantumCircuit::new(2, 0);
+        for _ in 0..n {
+            c.cx(0, 1).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn at_capacity_dead_registrations_compact_before_live_ones_evict() {
+        let registry = PrefixRegistry::with_capacity(2);
+        let opts = CompileOptions::default();
+        let a = registry.compile(&chain_circuit(1), None, opts).unwrap();
+        let b = registry.compile(&chain_circuit(2), None, opts).unwrap();
+        assert_eq!(registry.hits(), 1); // b extended a
+        drop(a); // a's program dies (cache eviction)
+
+        // Registering at capacity must compact the dead `a`, keeping
+        // the live `b` even though `a` is older.
+        let mut unrelated = QuantumCircuit::new(2, 0);
+        unrelated.swap(0, 1).unwrap();
+        let _c = registry.compile(&unrelated, None, opts).unwrap();
+        let _extended = registry.compile(&chain_circuit(3), None, opts).unwrap();
+        assert_eq!(registry.hits(), 2, "live b must survive compaction");
+        drop(b);
+    }
+
+    #[test]
+    fn at_capacity_with_all_live_entries_the_oldest_evicts_first() {
+        let registry = PrefixRegistry::with_capacity(2);
+        let opts = CompileOptions::default();
+        let mut first = QuantumCircuit::new(2, 0);
+        first.swap(0, 1).unwrap();
+        let _a = registry.compile(&first, None, opts).unwrap(); // oldest
+        let _b = registry.compile(&chain_circuit(1), None, opts).unwrap();
+        // All live, at capacity: the next registration evicts `first`
+        // (FIFO), not `chain_circuit(1)`.
+        let _c = registry.compile(&chain_circuit(2), None, opts).unwrap();
+        assert_eq!(registry.hits(), 1, "the younger chain prefix survived");
+
+        // `first` was evicted: a circuit extending it compiles fresh...
+        let mut first_ext = first.clone();
+        first_ext.cx(0, 1).unwrap();
+        let _d = registry.compile(&first_ext, None, opts).unwrap();
+        assert_eq!(registry.hits(), 1, "evicted oldest entry must not match");
+        // ...while the chain family (still resident) keeps extending.
+        let _e = registry.compile(&chain_circuit(3), None, opts).unwrap();
+        assert_eq!(registry.hits(), 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! [`crate::executor`]; none of them walk raw circuit instructions per
 //! shot anymore.
 
+use crate::batch::BatchPlan;
 use qcircuit::{Condition, QubitId};
 use qmath::{CMatrix, Complex, Mat2};
 use qnoise::{AppliedChannel, ReadoutError};
@@ -169,6 +170,7 @@ pub struct CompiledProgram {
     num_clbits: usize,
     ops: Vec<CompiledOp>,
     fast_path: Option<FastPath>,
+    batch_plan: Option<BatchPlan>,
     source_instructions: usize,
     fused_gates: usize,
 }
@@ -180,6 +182,7 @@ impl CompiledProgram {
         num_clbits: usize,
         ops: Vec<CompiledOp>,
         fast_path: Option<FastPath>,
+        batch_plan: Option<BatchPlan>,
         source_instructions: usize,
         fused_gates: usize,
     ) -> Self {
@@ -188,6 +191,7 @@ impl CompiledProgram {
             num_clbits,
             ops,
             fast_path,
+            batch_plan,
             source_instructions,
             fused_gates,
         }
@@ -212,6 +216,24 @@ impl CompiledProgram {
     /// non-unitary operations are trailing measurements.
     pub fn fast_path(&self) -> Option<&FastPath> {
         self.fast_path.as_ref()
+    }
+
+    /// The batched execution schedule planned at compile time (`None`
+    /// when compiled with batching off, or when nothing in the stream
+    /// batches — executors then walk the flat op stream as before).
+    pub fn batch_plan(&self) -> Option<&BatchPlan> {
+        self.batch_plan.as_ref()
+    }
+
+    /// Ops covered by batched plan nodes (0 without a plan).
+    pub fn batched_ops(&self) -> usize {
+        self.batch_plan.as_ref().map_or(0, BatchPlan::batched_ops)
+    }
+
+    /// Blocked apply passes per shot — the number of batched plan nodes
+    /// (0 without a plan).
+    pub fn batch_passes(&self) -> usize {
+        self.batch_plan.as_ref().map_or(0, BatchPlan::passes)
     }
 
     /// Instructions in the source circuit (including barriers, which
@@ -245,12 +267,20 @@ impl std::fmt::Display for CompiledProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "compiled program ({} qubits, {} clbits): {} ops from {} instructions, {} gates fused{}",
+            "compiled program ({} qubits, {} clbits): {} ops from {} instructions, {} gates fused{}{}",
             self.num_qubits,
             self.num_clbits,
             self.ops.len(),
             self.source_instructions,
             self.fused_gates,
+            match &self.batch_plan {
+                Some(plan) => format!(
+                    ", {} ops batched into {} passes",
+                    plan.batched_ops(),
+                    plan.passes()
+                ),
+                None => String::new(),
+            },
             if self.fast_path.is_some() {
                 ", sample-once fast path"
             } else {

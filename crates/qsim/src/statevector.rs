@@ -98,6 +98,12 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable amplitude access for the in-crate batch kernels
+    /// ([`crate::kernel`]); callers must preserve normalization.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
     fn check_qubit(&self, q: QubitId) -> Result<usize, SimError> {
         if q.index() >= self.num_qubits {
             Err(SimError::QubitOutOfRange {
