@@ -56,28 +56,11 @@ fn run_timed(
     (start.elapsed().as_secs_f64(), result.counts)
 }
 
-/// Extracts `"key": number` from a flat JSON object (the baseline file
-/// is written by this bench, so a full parser is unnecessary).
-fn json_number_field(body: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = body.find(&needle)? + needle.len();
-    let rest = &body[at..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let value_of = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .filter(|v| !v.starts_with("--"))
-            .cloned()
-    };
+    let flag = |name: &str| qassert_bench::harness::flag(&args, name);
+    let value_of = |name: &str| qassert_bench::harness::value_of(&args, name);
+    let json_number_field = qassert_bench::harness::json_number_field;
 
     let quick = flag("--quick");
     let cfg = if quick {

@@ -1,0 +1,239 @@
+//! Parallel-points sweep throughput: `AssertionSession::run_sweep`
+//! under `SweepPolicy::Parallel` vs `SweepPolicy::Serial`.
+//!
+//! The companion of `sweep_throughput` (which times the pooled+cached
+//! execution of many *independent seeded calls*): this bench times the
+//! sweep API itself on the paper's 500-point shape — one instrumented
+//! circuit re-run across 500 derived per-point seeds
+//! (`qsim::sweep_point_seed`) through a single session — and compares
+//! serial point execution against fanning whole points out across the
+//! `ShardPool` (the 2-D points × shots plan). Per-point counts and the
+//! deterministic telemetry fields are asserted **bit-identical** before
+//! any number is reported; `.threads(1)` pins within-point sharding off
+//! so the comparison isolates the point-level lever.
+//!
+//! Results go to `BENCH_psweep.json` (override with `--out`);
+//! `--check <baseline.json>` turns the run into a CI gate:
+//!
+//! * **speedup floor** (primary, machine-independent *given cores*):
+//!   the same-run parallel-vs-serial speedup must clear the baseline's
+//!   `min_speedup`, derated to `cores / 2` on machines with fewer than
+//!   `2 × min_speedup` cores — a 1-core container cannot show 2×, but
+//!   parallel dispatch must still not cost more than pool overhead
+//!   (floor 0.5), while the 4-core CI runners enforce the full 2×.
+//! * **absolute per-shot time** vs the baseline's `per_shot_ns`
+//!   (+tolerance, `BENCH_TOLERANCE_PCT` override), with the same-run
+//!   speedup as the cross-machine fallback, like the other benches.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench psweep_throughput -- --quick --check
+//! ```
+
+use qassert::{AssertingCircuit, AssertionSession, Parity, SweepOutcome, SweepPolicy};
+use qcircuit::library;
+use qsim::{ShardPool, TrajectoryBackend};
+use std::time::Instant;
+
+/// One sweep configuration.
+struct Config {
+    mode: &'static str,
+    points: usize,
+    shots: u64,
+}
+
+fn instrumented() -> AssertingCircuit {
+    let mut ac = AssertingCircuit::new(library::bell());
+    ac.assert_entangled([0, 1], Parity::Even)
+        .expect("valid assertion targets");
+    ac.measure_data();
+    ac
+}
+
+fn backend() -> TrajectoryBackend {
+    // Mild uniform noise keeps every point on the per-shot path (no
+    // sample-once fast path) without drowning the timing in Kraus
+    // sampling — the same workload profile as sweep_throughput.
+    TrajectoryBackend::new(
+        qnoise::presets::uniform(3, 0.005, 0.02, 0.01).expect("valid noise parameters"),
+    )
+}
+
+/// Runs the 500-point sweep under one policy, timing the whole
+/// `run_sweep` call (lowering + dispatch + merge).
+fn run_policy(cfg: &Config, proto: &TrajectoryBackend, policy: SweepPolicy) -> (f64, SweepOutcome) {
+    let session = AssertionSession::new(proto)
+        .private_cache(8)
+        .shots(cfg.shots)
+        .threads(1)
+        .seed(12345)
+        .sweep_policy(policy);
+    let circuits: Vec<AssertingCircuit> = (0..cfg.points).map(|_| instrumented()).collect();
+    let start = Instant::now();
+    let sweep = session.run_sweep(circuits).expect("sweep runs");
+    (start.elapsed().as_secs_f64(), sweep)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| qassert_bench::harness::flag(&args, name);
+    let value_of = |name: &str| qassert_bench::harness::value_of(&args, name);
+    let json_number_field = qassert_bench::harness::json_number_field;
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            points: 500,
+            shots: 32,
+        }
+    } else {
+        Config {
+            mode: "full",
+            points: 500,
+            shots: 256,
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_psweep.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/psweep_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    let proto = backend();
+    // Warm up: fault in the pool workers and settle both paths.
+    let warmup = Config {
+        mode: "warmup",
+        points: 32,
+        shots: cfg.shots,
+    };
+    let _ = run_policy(&warmup, &proto, SweepPolicy::Serial);
+    let _ = run_policy(&warmup, &proto, SweepPolicy::Parallel);
+
+    let (serial_secs, serial) = run_policy(&cfg, &proto, SweepPolicy::Serial);
+    let (parallel_secs, parallel) = run_policy(&cfg, &proto, SweepPolicy::Parallel);
+
+    // Correctness before speed: bit-identical points and deterministic
+    // telemetry under both policies.
+    let mut identical = parallel.points.len() == serial.points.len();
+    for (a, b) in parallel.points.iter().zip(&serial.points) {
+        identical &= a.raw.counts == b.raw.counts && a.kept == b.kept;
+    }
+    identical &= parallel.telemetry.runs == serial.telemetry.runs
+        && parallel.telemetry.shots == serial.telemetry.shots
+        && parallel.telemetry.cache_hits == serial.telemetry.cache_hits
+        && parallel.telemetry.cache_misses == serial.telemetry.cache_misses
+        && parallel.telemetry.prefix_hits == serial.telemetry.prefix_hits;
+    if !identical {
+        eprintln!("DETERMINISM BROKEN: parallel sweep diverges from serial sweep");
+        std::process::exit(2);
+    }
+
+    let total_shots = cfg.points as u64 * cfg.shots;
+    let per_shot_ns = parallel_secs * 1e9 / total_shots as f64;
+    let speedup = serial_secs / parallel_secs;
+    let workers = ShardPool::global().workers();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!(
+        "psweep_throughput [{}]: {} points x {} shots, threads 1, pool workers {workers} ({cores} cores)",
+        cfg.mode, cfg.points, cfg.shots,
+    );
+    println!(
+        "  serial points: {:>9.3} ms   parallel points: {:>9.3} ms   speedup {:.2}x",
+        serial_secs * 1e3,
+        parallel_secs * 1e3,
+        speedup
+    );
+    println!(
+        "  per-shot {per_shot_ns:.1} ns   sweep pool tasks {} (steals {})",
+        parallel.telemetry.pool_tasks, parallel.telemetry.pool_steals
+    );
+
+    let json = format!(
+        "{{\"bench\":\"psweep_throughput\",\"mode\":\"{}\",\"points\":{},\"shots_per_point\":{},\
+         \"pool_workers\":{},\"cores\":{},\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
+         \"speedup\":{:.3},\"per_shot_ns\":{:.1},\"counts_identical\":{},\
+         \"pool_tasks\":{},\"pool_steals\":{}}}",
+        cfg.mode,
+        cfg.points,
+        cfg.shots,
+        workers,
+        cores,
+        serial_secs * 1e3,
+        parallel_secs * 1e3,
+        speedup,
+        per_shot_ns,
+        identical,
+        parallel.telemetry.pool_tasks,
+        parallel.telemetry.pool_steals,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let tolerance_pct: f64 = std::env::var("BENCH_TOLERANCE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline_ns = json_number_field(&baseline, "per_shot_ns").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no per_shot_ns field");
+            std::process::exit(1);
+        });
+        let min_speedup = json_number_field(&baseline, "min_speedup").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no min_speedup field");
+            std::process::exit(1);
+        });
+
+        // Primary gate: the speedup floor, derated on machines without
+        // enough cores to reach it (a parallelism floor is meaningless
+        // on a 1-core container; cores/2 keeps it demanding exactly
+        // where parallelism is available).
+        let required = min_speedup.min(cores as f64 / 2.0);
+        println!(
+            "  speedup gate: {speedup:.2}x vs required {required:.2}x \
+             (baseline floor {min_speedup:.2}x, {cores} cores)"
+        );
+        if speedup < required {
+            eprintln!(
+                "PERF REGRESSION: parallel-points speedup {speedup:.2}x is below the \
+                 {required:.2}x floor for this machine"
+            );
+            std::process::exit(4);
+        }
+
+        let limit = baseline_ns * (1.0 + tolerance_pct / 100.0);
+        println!(
+            "  per-shot gate: {per_shot_ns:.1} ns vs baseline {baseline_ns:.1} ns \
+             (limit {limit:.1} ns, +{tolerance_pct}%)"
+        );
+        if per_shot_ns > limit {
+            if speedup >= min_speedup {
+                println!(
+                    "  per-shot gate: absolute time over limit on this machine, but \
+                     same-run speedup {speedup:.2}x >= baseline floor {min_speedup:.2}x — ok"
+                );
+            } else {
+                eprintln!(
+                    "PERF REGRESSION: per-shot time {per_shot_ns:.1} ns exceeds baseline \
+                     {baseline_ns:.1} ns by more than {tolerance_pct}%, and speedup \
+                     {speedup:.2}x is below the {min_speedup:.2}x floor"
+                );
+                std::process::exit(4);
+            }
+        } else {
+            println!("  per-shot gate: ok");
+        }
+    }
+}

@@ -53,6 +53,69 @@ fn batch_smoke() -> Result<String, String> {
     ))
 }
 
+/// `--quick` also smokes the parallel sweep path: a seeded multi-point
+/// sweep dispatched across the `ShardPool` must reproduce the serial
+/// path bit-for-bit — counts, kept histograms, and the deterministic
+/// telemetry fields. This is the end-to-end CI twin of the
+/// `sweep_equivalence` property suite (exit 3 on divergence).
+fn psweep_smoke() -> Result<String, String> {
+    use qassert::{AssertingCircuit, AssertionSession, Parity, SweepPolicy};
+    let circuits = || -> Vec<AssertingCircuit> {
+        (0..24)
+            .map(|i| {
+                let mut prep = qcircuit::QuantumCircuit::new(2, 0);
+                prep.ry(0.2 + i as f64 * 0.26, 0).expect("valid");
+                prep.cx(0, 1).expect("valid");
+                let mut ac = AssertingCircuit::new(prep);
+                ac.assert_entangled([0, 1], Parity::Even).expect("valid");
+                ac.measure_data();
+                ac
+            })
+            .collect()
+    };
+    let noise = qnoise::presets::uniform(3, 0.01, 0.04, 0.02).expect("valid noise");
+    let proto = qsim::TrajectoryBackend::new(noise);
+    let run = |policy: SweepPolicy| {
+        AssertionSession::new(&proto)
+            .private_cache(32)
+            .shots(64)
+            .threads(2)
+            .seed(7)
+            .sweep_policy(policy)
+            .run_sweep(circuits())
+            .map_err(|e| e.to_string())
+    };
+    let serial = run(SweepPolicy::Serial)?;
+    let parallel = run(SweepPolicy::Parallel)?;
+    for (p, (a, b)) in parallel.points.iter().zip(&serial.points).enumerate() {
+        if a.raw.counts != b.raw.counts || a.kept != b.kept {
+            return Err(format!("point {p} diverges between parallel and serial"));
+        }
+    }
+    let (pt, st) = (&parallel.telemetry, &serial.telemetry);
+    if (
+        pt.runs,
+        pt.shots,
+        pt.cache_hits,
+        pt.cache_misses,
+        pt.prefix_hits,
+    ) != (
+        st.runs,
+        st.shots,
+        st.cache_hits,
+        st.cache_misses,
+        st.prefix_hits,
+    ) {
+        return Err("sweep telemetry diverges between parallel and serial".to_string());
+    }
+    Ok(format!(
+        "psweep smoke: {} points bit-identical across policies ({} pool tasks, {} steals)",
+        parallel.points.len(),
+        pt.pool_tasks,
+        pt.pool_steals
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -85,6 +148,14 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(why) => {
                 eprintln!("batch smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
+        // So is parallel-sweep bit-identity.
+        match psweep_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("psweep smoke FAILED: {why}");
                 std::process::exit(3);
             }
         }

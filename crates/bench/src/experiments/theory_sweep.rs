@@ -20,7 +20,8 @@
 use qassert::{theory, AssertionSession, Comparison, ExperimentReport};
 use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qmath::Complex;
-use qsim::{StateVector, StatevectorBackend};
+use qsim::{CompiledProgram, ShardPool, StateVector, StatevectorBackend};
+use std::sync::{Arc, Mutex};
 
 /// Sweep resolution (number of θ samples over `[0, 2π)`).
 const STEPS: usize = 32;
@@ -29,35 +30,15 @@ fn q(i: u32) -> QubitId {
     QubitId::new(i)
 }
 
-/// Lowers `circuit` through the session and evolves it from `|0…0⟩` on
-/// the ideal backend.
-fn evolve(
-    session: &AssertionSession<'_, StatevectorBackend>,
-    circuit: &QuantumCircuit,
-) -> StateVector {
-    let program = session.lower(circuit).expect("theory circuits compile");
-    session
-        .backend()
-        .statevector_compiled(&program)
-        .expect("theory circuits are unitary")
-}
-
-/// The three per-θ deviations `(classical, superposition, entanglement)`
-/// measured through `session`.
-fn point_deviations(
-    session: &AssertionSession<'_, StatevectorBackend>,
-    theta: f64,
-) -> (f64, f64, f64) {
-    let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-
+/// The four circuits of one θ point, in the lowering order that makes
+/// the superposition circuit extend the classical one and the
+/// instrumented entanglement circuit extend the product preparation
+/// (two prefix reuses per θ).
+fn point_circuits(theta: f64) -> [QuantumCircuit; 4] {
     // Classical assertion (Fig. 2).
     let mut classical = QuantumCircuit::new(2, 0);
     classical.ry(theta, 0).expect("valid");
     classical.cx(0, 1).expect("valid");
-    let psi = evolve(session, &classical);
-    let measured = psi.probability_of_one(q(1)).expect("valid");
-    let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
-    let dev_classical = (measured - predicted).abs();
 
     // Superposition assertion (Fig. 5) — extends the classical circuit,
     // so its prefix is reused from the classical lowering.
@@ -65,10 +46,6 @@ fn point_deviations(
     superposition.h(0).expect("valid");
     superposition.h(1).expect("valid");
     superposition.cx(0, 1).expect("valid");
-    let psi = evolve(session, &superposition);
-    let measured = psi.probability_of_one(q(1)).expect("valid");
-    let (_, predicted) = theory::superposition_outcome_probabilities(a, b);
-    let dev_superposition = (measured - predicted).abs();
 
     // Entanglement assertion (Fig. 3) on a product input
     // Ry(θ)|0⟩ ⊗ Ry(0.8)|0⟩. The closed form reads the *input*
@@ -77,18 +54,69 @@ fn point_deviations(
     let mut prefix = QuantumCircuit::new(3, 0);
     prefix.ry(theta, 0).expect("valid");
     prefix.ry(0.8, 1).expect("valid");
-    let input = evolve(session, &prefix);
-    let amp = |i: usize| input.amplitude(i);
-    let (aa, bb, cc, dd) = (amp(0b00), amp(0b11), amp(0b01), amp(0b10));
     let mut entangled = prefix.clone();
     entangled.gate(Gate::Cx, [q(0), q(2)]).expect("valid");
     entangled.gate(Gate::Cx, [q(1), q(2)]).expect("valid");
-    let psi = evolve(session, &entangled);
+
+    [classical, superposition, prefix, entangled]
+}
+
+/// The three per-θ deviations `(classical, superposition, entanglement)`
+/// computed by evolving one point's already-lowered programs on
+/// `backend`. Pure floating-point evolution — bit-identical wherever
+/// (and on whatever thread) it runs.
+fn deviations_from(
+    backend: &StatevectorBackend,
+    theta: f64,
+    programs: &[Arc<CompiledProgram>; 4],
+) -> (f64, f64, f64) {
+    let (a, b) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let evolve = |program: &Arc<CompiledProgram>| -> StateVector {
+        backend
+            .statevector_compiled(program)
+            .expect("theory circuits are unitary")
+    };
+    let [classical, superposition, prefix, entangled] = programs;
+
+    let psi = evolve(classical);
+    let measured = psi.probability_of_one(q(1)).expect("valid");
+    let predicted = theory::classical_error_probability(Complex::real(a), Complex::real(b));
+    let dev_classical = (measured - predicted).abs();
+
+    let psi = evolve(superposition);
+    let measured = psi.probability_of_one(q(1)).expect("valid");
+    let (_, predicted) = theory::superposition_outcome_probabilities(a, b);
+    let dev_superposition = (measured - predicted).abs();
+
+    let input = evolve(prefix);
+    let amp = |i: usize| input.amplitude(i);
+    let (aa, bb, cc, dd) = (amp(0b00), amp(0b11), amp(0b01), amp(0b10));
+    let psi = evolve(entangled);
     let measured = psi.probability_of_one(q(2)).expect("valid");
     let predicted = theory::entanglement_error_probability(aa, bb, cc, dd);
     let dev_entanglement = (measured - predicted).abs();
 
     (dev_classical, dev_superposition, dev_entanglement)
+}
+
+/// Lowers one θ point's circuits through the session, in prefix order.
+fn lower_point(
+    session: &AssertionSession<'_, StatevectorBackend>,
+    theta: f64,
+) -> [Arc<CompiledProgram>; 4] {
+    point_circuits(theta).map(|circuit| session.lower(&circuit).expect("theory circuits compile"))
+}
+
+/// The three per-θ deviations measured through `session` (serial
+/// lowering + evolution — the reference the tests pin [`run`]'s
+/// parallel evolution against).
+#[cfg(test)]
+fn point_deviations(
+    session: &AssertionSession<'_, StatevectorBackend>,
+    theta: f64,
+) -> (f64, f64, f64) {
+    let programs = lower_point(session, theta);
+    deviations_from(session.backend(), theta, &programs)
 }
 
 /// Runs the experiment.
@@ -99,13 +127,38 @@ pub fn run() -> ExperimentReport {
     );
     let session = AssertionSession::new(StatevectorBackend::new());
 
+    // Lower serially, in θ order: prefix-extension chains (and the
+    // 2 × STEPS prefix-hit telemetry) depend on lowering order, so the
+    // compile pass stays on this thread — the same 2-D split
+    // `AssertionSession::run_sweep` uses.
+    let thetas: Vec<f64> = (0..STEPS)
+        .map(|step| step as f64 / STEPS as f64 * std::f64::consts::TAU)
+        .collect();
+    let lowered: Vec<[Arc<CompiledProgram>; 4]> = thetas
+        .iter()
+        .map(|&theta| lower_point(&session, theta))
+        .collect();
+
+    // Evolve the θ points in parallel across the shard pool: pure
+    // compiled-program evolution, bit-identical on any worker, reduced
+    // in slot order so the report is deterministic. The point count is
+    // fixed up front, so the plain batch API fits (run_sweep needs the
+    // scope/latch-group machinery; this fan-out doesn't).
+    let slots: Vec<Mutex<Option<(f64, f64, f64)>>> = (0..STEPS).map(|_| Mutex::new(None)).collect();
+    let backend = session.backend();
+    ShardPool::global().run_batch(STEPS, |step| {
+        let deviations = deviations_from(backend, thetas[step], &lowered[step]);
+        *slots[step].lock().expect("theory slot") = Some(deviations);
+    });
+
     let mut max_dev_classical = 0.0f64;
     let mut max_dev_superposition = 0.0f64;
     let mut max_dev_entanglement = 0.0f64;
-
-    for step in 0..STEPS {
-        let theta = step as f64 / STEPS as f64 * std::f64::consts::TAU;
-        let (dc, ds, de) = point_deviations(&session, theta);
+    for slot in &slots {
+        let (dc, ds, de) = slot
+            .lock()
+            .expect("theory slot")
+            .expect("every point evolved");
         max_dev_classical = max_dev_classical.max(dc);
         max_dev_superposition = max_dev_superposition.max(ds);
         max_dev_entanglement = max_dev_entanglement.max(de);
@@ -144,6 +197,31 @@ mod tests {
         for c in &report.comparisons {
             assert!(c.measured < 1e-10, "{}: deviation {}", c.metric, c.measured);
             assert!(c.shape_holds());
+        }
+    }
+
+    #[test]
+    fn parallel_evolution_matches_serial_reference_bitwise() {
+        // run() evolves θ points across the pool; the maxima it reports
+        // must equal a fully serial recompute bit-for-bit (evolution is
+        // pure FP over identical compiled programs).
+        let report = run();
+        let session = AssertionSession::new(StatevectorBackend::new()).private_cache(256);
+        let mut maxima = [0.0f64; 3];
+        for step in 0..STEPS {
+            let theta = step as f64 / STEPS as f64 * std::f64::consts::TAU;
+            let (dc, ds, de) = point_deviations(&session, theta);
+            maxima[0] = maxima[0].max(dc);
+            maxima[1] = maxima[1].max(ds);
+            maxima[2] = maxima[2].max(de);
+        }
+        for (comparison, serial) in report.comparisons.iter().zip(maxima) {
+            assert_eq!(
+                comparison.measured.to_bits(),
+                serial.to_bits(),
+                "{} diverges from the serial reference",
+                comparison.metric
+            );
         }
     }
 

@@ -1,0 +1,63 @@
+//! Shared plumbing for the `harness = false` throughput benches
+//! (`sweep_throughput`, `batch_throughput`, `psweep_throughput`): CLI
+//! flag parsing and baseline-JSON field extraction, factored here (like
+//! [`crate::workloads`]) so the three gate binaries cannot drift apart.
+
+/// Whether `name` appears among the arguments.
+pub fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The value following `name`, unless it is itself a flag (cargo
+/// appends `--bench` to bench argument lists).
+pub fn value_of(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+/// Extracts `"key": number` from a flat JSON object. The baseline files
+/// are written by the benches themselves, so a full parser is
+/// unnecessary — but the needle includes the quotes and colon, so key
+/// names appearing inside string values (the baselines' `note` fields)
+/// cannot match.
+pub fn json_number_field(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_values_parse_like_the_benches_expect() {
+        let a = args(&["--quick", "--out", "x.json", "--check", "--bench"]);
+        assert!(flag(&a, "--quick"));
+        assert!(!flag(&a, "--full"));
+        assert_eq!(value_of(&a, "--out").as_deref(), Some("x.json"));
+        // A flag followed by another flag has no value.
+        assert_eq!(value_of(&a, "--check"), None);
+        assert_eq!(value_of(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn json_fields_extract_without_matching_note_text() {
+        let body = r#"{"note":"per_shot_ns is documented here","per_shot_ns":1200.5,"min_speedup":2.0,"neg":-3e-2}"#;
+        assert_eq!(json_number_field(body, "per_shot_ns"), Some(1200.5));
+        assert_eq!(json_number_field(body, "min_speedup"), Some(2.0));
+        assert_eq!(json_number_field(body, "neg"), Some(-0.03));
+        assert_eq!(json_number_field(body, "absent"), None);
+    }
+}

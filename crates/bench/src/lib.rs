@@ -14,6 +14,7 @@
 //! ```
 
 pub mod experiments;
+pub mod harness;
 pub mod workloads;
 
 use qassert::ExperimentReport;

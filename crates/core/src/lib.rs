@@ -87,5 +87,5 @@ pub use report::{Comparison, ExperimentReport, Metric, OutcomeRow, OutcomeTable,
 #[allow(deprecated)]
 pub use runtime::{analyze, run_with_assertions, run_with_assertions_cached};
 pub use runtime::{AssertionOutcome, AssertionStats, FilterPolicy, MitigatedOutcome};
-pub use session::{AssertionSession, SessionTelemetry, SweepOutcome, DEFAULT_SHOTS};
+pub use session::{AssertionSession, SessionTelemetry, SweepOutcome, SweepPolicy, DEFAULT_SHOTS};
 pub use statistical::{StatisticalAssertion, StatisticalKind, StatisticalVerdict};

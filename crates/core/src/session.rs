@@ -44,6 +44,24 @@
 //! session telemetry counts those reuses. Reuse is bit-exact: the
 //! registry only splits where no gate-fusion run crosses the boundary,
 //! so the op stream is identical to a fresh compile.
+//!
+//! # Parallel sweeps
+//!
+//! [`AssertionSession::run_sweep`] executes its points across the
+//! process-wide [`qsim::ShardPool`] by default ([`SweepPolicy`]),
+//! making the shot plan two-dimensional: whole points are pool tasks,
+//! and each point's shot shards are nested tasks under the sweep's
+//! latch group — so the work-stealing scheduler splits the machine
+//! between points and shots adaptively. Scheduling never changes
+//! results: lowering stays serial in input order, per-point seeds are
+//! pure functions of `(session seed, point index)`
+//! ([`qsim::sweep_point_seed`]), and per-point counts are bit-identical
+//! for any `(seed, threads, policy, worker count)`. Sweep telemetry is
+//! assembled from per-point traces plus the latch group's own pool
+//! counters, so it stays exact even when several sweeps run
+//! concurrently — which also makes concurrent [`qsim::ProgramCache`]
+//! and [`qsim::PrefixRegistry`] access from pool workers a routine,
+//! tested path.
 
 use crate::error::AssertError;
 use crate::instrument::AssertingCircuit;
@@ -51,7 +69,10 @@ use crate::mitigation::ReadoutMitigator;
 use crate::report::SessionRecord;
 use crate::runtime::{analyze_with_policy, AssertionOutcome, FilterPolicy};
 use qcircuit::QuantumCircuit;
-use qsim::{Backend, CompiledProgram, PrefixRegistry, ProgramCache, ProgramKey, RunResult};
+use qsim::{
+    sweep_point_seed, Backend, CompiledProgram, PrefixRegistry, ProgramCache, ProgramKey,
+    RunResult, ShardPool,
+};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -63,6 +84,30 @@ pub const DEFAULT_SHOTS: u64 = 1024;
 /// registry's own registration cap, beyond which registering is a no-op
 /// anyway, so remembering more keys buys nothing.
 const REGISTERED_MEMO_CAP: usize = 1024;
+
+/// How [`AssertionSession::run_sweep`] schedules its points.
+///
+/// Scheduling never changes results: for any policy, worker count, and
+/// thread count, per-point counts and the sweep telemetry's
+/// deterministic fields are bit-identical — pinned by the
+/// `sweep_equivalence` property suite across all three backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepPolicy {
+    /// Points execute one after another on the calling thread (the
+    /// pre-parallel behavior). Within a point, shots still shard across
+    /// the pool under the session's thread plan.
+    Serial,
+    /// Points fan out across the shard pool as whole-point tasks
+    /// (default), the second dimension of the 2-D `points × shots`
+    /// plan. Each point's shot shards submit *nested* pool tasks, so
+    /// the work-stealing scheduler adapts automatically: with few
+    /// points, idle workers steal a point's shot shards (shot-level
+    /// parallelism); with many points, every worker is busy with its
+    /// own point and drains its own shards inline (point-level
+    /// parallelism).
+    #[default]
+    Parallel,
+}
 
 /// Which program cache a session compiles through.
 enum CacheRef<'c> {
@@ -165,6 +210,16 @@ impl SessionTelemetry {
     }
 }
 
+/// What one [`AssertionSession::lower`]-family call observed — the
+/// per-call attribution sweeps aggregate into exact telemetry.
+#[derive(Clone, Copy, Debug)]
+struct LowerTrace {
+    /// The lowering was served whole from the program cache.
+    cache_hit: bool,
+    /// The compile reused a registered prefix (miss path only).
+    prefix_hit: bool,
+}
+
 /// The result of [`AssertionSession::run_sweep`]: per-point outcomes
 /// plus the cache/prefix/pool telemetry aggregated over the sweep.
 #[derive(Debug)]
@@ -189,6 +244,11 @@ pub struct AssertionSession<'c, B: Backend> {
     seed: Option<u64>,
     filter: FilterPolicy,
     mitigator: Option<ReadoutMitigator>,
+    sweep_policy: SweepPolicy,
+    /// The pool sweeps dispatch on (`None` = the process-wide
+    /// [`ShardPool::global`]); injectable so tests pin behavior across
+    /// worker counts.
+    pool: Option<&'c ShardPool>,
     prefix_reuse: bool,
     prefixes: PrefixRegistry,
     /// Keys already registered in `prefixes` — repeated cache hits on a
@@ -226,6 +286,8 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             seed: None,
             filter: FilterPolicy::default(),
             mitigator: None,
+            sweep_policy: SweepPolicy::default(),
+            pool: None,
             prefix_reuse: true,
             prefixes: PrefixRegistry::new(),
             registered: Mutex::new(HashSet::new()),
@@ -288,9 +350,42 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     /// of rebuilding (or cloning) the backend per call. Backends that
     /// draw no sampling randomness (the exact density-matrix executor)
     /// ignore the override.
+    ///
+    /// [`AssertionSession::run_sweep`] derives **per-point** seeds from
+    /// this value through [`qsim::sweep_point_seed`] (point `p` runs
+    /// under `sweep_point_seed(seed, p)`), so sweep points draw
+    /// statistically independent streams while staying a pure function
+    /// of `(seed, point)` — identical under serial and parallel
+    /// scheduling. Without a session seed, every sweep point runs under
+    /// the backend's own seed, as single runs do.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets how [`AssertionSession::run_sweep`] schedules its points
+    /// (default [`SweepPolicy::Parallel`]). Results are bit-identical
+    /// under every policy; `Serial` exists for equivalence tests and
+    /// for callers that must not occupy the pool.
+    #[must_use]
+    pub fn sweep_policy(mut self, policy: SweepPolicy) -> Self {
+        self.sweep_policy = policy;
+        self
+    }
+
+    /// Dispatches this session's sweeps on an explicit pool instead of
+    /// the process-wide [`ShardPool::global`]. Scheduling never changes
+    /// results (see [`SweepPolicy`]); tests use explicit pools to pin
+    /// worker-count independence, benchmarks to isolate interference.
+    ///
+    /// Only whole-point sweep tasks move to this pool: shot shards
+    /// *within* a run still execute wherever the backend's sharding
+    /// harness puts them (the global pool), nested under the sweep's
+    /// latch group either way.
+    #[must_use]
+    pub fn pool(mut self, pool: &'c ShardPool) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -405,6 +500,17 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     ///
     /// Returns [`AssertError::Sim`] when lowering fails.
     pub fn lower(&self, circuit: &QuantumCircuit) -> Result<Arc<CompiledProgram>, AssertError> {
+        self.lower_traced(circuit).map(|(program, _)| program)
+    }
+
+    /// [`AssertionSession::lower`] additionally reporting what *this*
+    /// call observed (cache hit vs miss, prefix reuse). Sweeps build
+    /// per-point telemetry from these traces instead of shared-counter
+    /// deltas, which would cross-attribute under concurrent use.
+    fn lower_traced(
+        &self,
+        circuit: &QuantumCircuit,
+    ) -> Result<(Arc<CompiledProgram>, LowerTrace), AssertError> {
         let noise = self.backend.noise_model();
         let options = self.backend.compile_options();
         let cache = self.program_cache();
@@ -421,23 +527,35 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
                 self.prefixes
                     .register_with_fingerprint(circuit, noise_fp, options, &program);
             }
-            return Ok(program);
+            return Ok((
+                program,
+                LowerTrace {
+                    cache_hit: true,
+                    prefix_hit: false,
+                },
+            ));
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let program = if self.prefix_reuse {
+        let (program, prefix_hit) = if self.prefix_reuse {
             // The registry registers (and revives an eviction-killed
             // registration for) this circuit itself.
-            let compiled = self
+            let (compiled, reused) = self
                 .prefixes
-                .compile_with_fingerprint(circuit, noise, noise_fp, options)?;
+                .compile_traced_with_fingerprint(circuit, noise, noise_fp, options)?;
             self.memo_first_sight(key);
-            compiled
+            (compiled, reused)
         } else {
             // Honors a Backend::compile override (the prefix path above
             // cannot — see the method docs).
-            Arc::new(self.backend.compile(circuit)?)
+            (Arc::new(self.backend.compile(circuit)?), false)
         };
-        Ok(cache.insert(key, program))
+        Ok((
+            cache.insert(key, program),
+            LowerTrace {
+                cache_hit: false,
+                prefix_hit,
+            },
+        ))
     }
 
     /// Lowers and executes a bare circuit under the session's shot and
@@ -496,36 +614,188 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         analyze_with_policy(raw, asserting, self.filter, self.mitigator.as_ref())
     }
 
+    /// Executes an already-lowered sweep point: point `p` runs under
+    /// the seed [`qsim::sweep_point_seed`]`(session_seed, p)` when the
+    /// session has one, then analyzes under the session's filter and
+    /// mitigation settings. Pure function of `(program, point, session
+    /// config)`, which is what makes scheduling-independent sweeps
+    /// possible.
+    fn run_sweep_point(
+        &self,
+        program: &Arc<CompiledProgram>,
+        point: usize,
+        asserting: &AssertingCircuit,
+    ) -> Result<AssertionOutcome, AssertError> {
+        let seed = self.seed.map(|s| sweep_point_seed(s, point));
+        let raw = self
+            .backend
+            .run_compiled_seeded(program, self.shots, seed, self.threads)?;
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.shots_run.fetch_add(self.shots, Ordering::Relaxed);
+        self.batched_ops
+            .fetch_add(program.batched_ops() as u64, Ordering::Relaxed);
+        self.batch_passes
+            .fetch_add(program.batch_passes() as u64, Ordering::Relaxed);
+        self.analyze(raw, asserting)
+    }
+
     /// Runs a family of instrumented circuits, returning per-point
-    /// outcomes plus the cache/prefix telemetry aggregated over exactly
-    /// this sweep.
+    /// outcomes plus the cache/prefix/pool telemetry aggregated over
+    /// exactly this sweep.
     ///
-    /// Circuits sharing a lowered prefix (parameter sweeps that append
-    /// assertion fragments to a common preparation) compile
-    /// incrementally — see the module docs; `telemetry.prefix_hits`
-    /// counts the reuses.
+    /// # The 2-D shot plan
     ///
-    /// The sweep's telemetry is a before/after delta of the session's
-    /// shared counters, so it is only attributable to *this* sweep when
-    /// the session is not used concurrently from other threads while it
-    /// runs.
+    /// Every circuit is lowered **on the calling thread, in input
+    /// order** (so the cache hit/miss sequence and prefix-extension
+    /// chains are identical under every policy — circuits sharing a
+    /// lowered prefix compile incrementally, see the module docs), then
+    /// points execute according to the session's [`SweepPolicy`]:
+    /// serially, or fanned out across the shard pool with each point's
+    /// shot shards nested under the same latch group. Point `p` runs
+    /// under the derived seed [`qsim::sweep_point_seed`]`(seed, p)`
+    /// when the session has a seed (statistically independent streams
+    /// per point), under the backend's own seed otherwise. Counts are
+    /// **bit-identical** for any `(seed, threads, policy, worker
+    /// count)`.
+    ///
+    /// # Telemetry
+    ///
+    /// Aggregated from per-point traces and the sweep's own pool latch
+    /// group — not from shared-counter snapshots — so it stays exact
+    /// even when other sweeps or sessions run concurrently.
+    /// `pool_tasks`/`pool_steals` cover exactly this sweep's tasks
+    /// (whole-point tasks under [`SweepPolicy::Parallel`] plus nested
+    /// shot shards under either policy); `pool_steals` (and under
+    /// `Parallel` also `pool_tasks`' split between stolen and home
+    /// pops) is scheduling-dependent, every other field is
+    /// deterministic.
+    ///
+    /// # Memory
+    ///
+    /// [`SweepPolicy::Serial`] streams — one lowered program is alive
+    /// at a time beyond the cache, exactly like a hand-written
+    /// lower/run loop. [`SweepPolicy::Parallel`] must materialize all
+    /// lowered points before dispatch (worst case `O(points)` programs
+    /// beyond the cache's LRU bound, released point by point as they
+    /// finish executing) — prefer `Serial` for sweeps of very many
+    /// very large distinct circuits.
     ///
     /// # Errors
     ///
-    /// Returns the first point's error, if any.
+    /// Returns the lowest-indexed point's error, if any. Under
+    /// [`SweepPolicy::Serial`] the sweep stops at the first failure
+    /// (points before it have executed, as in a hand-written loop);
+    /// under [`SweepPolicy::Parallel`] a lowering error surfaces before
+    /// anything executes, and an execution error does not prevent
+    /// other points from executing first. Either way the `Err` carries
+    /// no partial outcomes or telemetry.
     pub fn run_sweep<I>(&self, circuits: I) -> Result<SweepOutcome, AssertError>
     where
         I: IntoIterator<Item = AssertingCircuit>,
+        B: Sync,
     {
-        let before = self.telemetry();
-        let mut points = Vec::new();
-        for asserting in circuits {
-            points.push(self.run(&asserting)?);
+        let circuits: Vec<AssertingCircuit> = circuits.into_iter().collect();
+        if circuits.is_empty() {
+            return Ok(SweepOutcome {
+                points: Vec::new(),
+                telemetry: SessionTelemetry::default(),
+            });
         }
-        Ok(SweepOutcome {
-            points,
-            telemetry: self.telemetry().since(&before),
-        })
+        let pool = match self.pool {
+            Some(pool) => pool,
+            None => ShardPool::global(),
+        };
+        // Either policy lowers on the calling thread, in input order,
+        // accumulating exact per-call traces — so cache/prefix
+        // telemetry (and prefix reuse itself) is policy-independent.
+        let mut telemetry = SessionTelemetry::default();
+        let mut record_lowering = |trace: LowerTrace, program: &CompiledProgram, shots: u64| {
+            telemetry.cache_hits += u64::from(trace.cache_hit);
+            telemetry.cache_misses += u64::from(!trace.cache_hit);
+            telemetry.prefix_hits += u64::from(trace.prefix_hit);
+            telemetry.batched_ops += program.batched_ops() as u64;
+            telemetry.batch_passes += program.batch_passes() as u64;
+            telemetry.runs += 1;
+            telemetry.shots += shots;
+        };
+
+        let (points, pool_stats) = match self.sweep_policy {
+            SweepPolicy::Serial => {
+                // Stream lower → run per point: one lowered program
+                // alive at a time, the pre-parallel loop semantics.
+                let mut points = Vec::with_capacity(circuits.len());
+                let mut failure = None;
+                let ((), pool_stats) = pool.scope(|scope| {
+                    scope.run_attributed(|| {
+                        for (point, asserting) in circuits.iter().enumerate() {
+                            let attempt = self.lower_traced(asserting.circuit()).and_then(
+                                |(program, trace)| {
+                                    record_lowering(trace, &program, self.shots);
+                                    self.run_sweep_point(&program, point, asserting)
+                                },
+                            );
+                            match attempt {
+                                Ok(outcome) => points.push(outcome),
+                                Err(error) => {
+                                    failure = Some(error);
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                });
+                if let Some(error) = failure {
+                    return Err(error);
+                }
+                (points, pool_stats)
+            }
+            SweepPolicy::Parallel => {
+                // Phase 1 — lower every point up front (execution can't
+                // start before its program exists); a lowering error
+                // returns before anything executes.
+                let mut programs: Vec<Mutex<Option<Arc<CompiledProgram>>>> =
+                    Vec::with_capacity(circuits.len());
+                for asserting in &circuits {
+                    let (program, trace) = self.lower_traced(asserting.circuit())?;
+                    record_lowering(trace, &program, self.shots);
+                    programs.push(Mutex::new(Some(program)));
+                }
+
+                // Phase 2 — execute the points under one pool latch
+                // group, so the group's stats are exactly this sweep's
+                // pool activity. Each task takes its program out of the
+                // slot, releasing memory as the sweep progresses.
+                let slots: Vec<Mutex<Option<Result<AssertionOutcome, AssertError>>>> =
+                    circuits.iter().map(|_| Mutex::new(None)).collect();
+                let ((), pool_stats) = pool.scope(|scope| {
+                    let (slots, programs) = (&slots, &programs);
+                    for (point, asserting) in circuits.iter().enumerate() {
+                        scope.submit(move || {
+                            let program = programs[point]
+                                .lock()
+                                .expect("program slot")
+                                .take()
+                                .expect("each point's program is taken once");
+                            let result = self.run_sweep_point(&program, point, asserting);
+                            *slots[point].lock().expect("sweep slot") = Some(result);
+                        });
+                    }
+                });
+
+                let mut points = Vec::with_capacity(slots.len());
+                for slot in slots {
+                    match slot.into_inner().expect("sweep slot") {
+                        Some(Ok(outcome)) => points.push(outcome),
+                        Some(Err(error)) => return Err(error),
+                        None => unreachable!("scope drained with an unexecuted point"),
+                    }
+                }
+                (points, pool_stats)
+            }
+        };
+        telemetry.pool_tasks = pool_stats.tasks_run;
+        telemetry.pool_steals = pool_stats.steals;
+        Ok(SweepOutcome { points, telemetry })
     }
 }
 
@@ -800,6 +1070,125 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn sweep_policies_and_worker_counts_agree_bit_identically() {
+        let noise = qnoise::presets::uniform(3, 0.01, 0.04, 0.02).unwrap();
+        let family = || {
+            (0..5)
+                .map(|i| {
+                    let mut prep = QuantumCircuit::new(2, 0);
+                    prep.ry(0.3 + i as f64 * 0.4, 0).unwrap();
+                    prep.cx(0, 1).unwrap();
+                    let mut ac = AssertingCircuit::new(prep);
+                    ac.assert_entangled([0, 1], Parity::Even).unwrap();
+                    ac.measure_data();
+                    ac
+                })
+                .collect::<Vec<_>>()
+        };
+        let backend = TrajectoryBackend::new(noise);
+        let reference = AssertionSession::new(&backend)
+            .private_cache(16)
+            .shots(150)
+            .seed(9)
+            .threads(2)
+            .sweep_policy(SweepPolicy::Serial)
+            .run_sweep(family())
+            .unwrap();
+        for workers in [0, 3] {
+            let pool = qsim::ShardPool::new(workers);
+            let sweep = AssertionSession::new(&backend)
+                .private_cache(16)
+                .shots(150)
+                .seed(9)
+                .threads(2)
+                .sweep_policy(SweepPolicy::Parallel)
+                .pool(&pool)
+                .run_sweep(family())
+                .unwrap();
+            assert_eq!(sweep.points.len(), reference.points.len());
+            for (a, b) in sweep.points.iter().zip(&reference.points) {
+                assert_eq!(a.raw.counts, b.raw.counts, "{workers} workers");
+                assert_eq!(a.kept, b.kept);
+            }
+            // Deterministic telemetry fields agree exactly; pool fields
+            // differ by construction (parallel adds the point tasks) and
+            // steals are scheduling-dependent.
+            assert_eq!(sweep.telemetry.runs, reference.telemetry.runs);
+            assert_eq!(sweep.telemetry.shots, reference.telemetry.shots);
+            assert_eq!(sweep.telemetry.cache_hits, reference.telemetry.cache_hits);
+            assert_eq!(
+                sweep.telemetry.cache_misses,
+                reference.telemetry.cache_misses
+            );
+            assert_eq!(sweep.telemetry.prefix_hits, reference.telemetry.prefix_hits);
+        }
+    }
+
+    #[test]
+    fn sweep_derives_independent_per_point_seeds() {
+        // With a session seed, point p must run under
+        // sweep_point_seed(seed, p) — reproducible by a single-run
+        // session configured with that exact seed — and distinct points
+        // draw distinct streams even for identical circuits.
+        let noise = qnoise::presets::uniform(3, 0.01, 0.05, 0.02).unwrap();
+        let backend = TrajectoryBackend::new(noise);
+        let ac = bell_assertion();
+        let sweep = AssertionSession::new(&backend)
+            .private_cache(4)
+            .shots(300)
+            .seed(42)
+            .run_sweep(vec![ac.clone(), ac.clone()])
+            .unwrap();
+        for (p, point) in sweep.points.iter().enumerate() {
+            let isolated = AssertionSession::new(&backend)
+                .private_cache(4)
+                .shots(300)
+                .seed(qsim::sweep_point_seed(42, p))
+                .run(&ac)
+                .unwrap();
+            assert_eq!(point.raw.counts, isolated.raw.counts, "point {p}");
+        }
+        assert_ne!(
+            sweep.points[0].raw.counts, sweep.points[1].raw.counts,
+            "identical circuits at different points must draw distinct streams"
+        );
+    }
+
+    #[test]
+    fn concurrent_sweeps_keep_exact_pool_telemetry() {
+        // The satellite regression: two sweeps running concurrently on
+        // one process must each report exactly their own pool activity
+        // (latch-group attribution), not racy global-counter deltas
+        // that cross-count each other's tasks. With .threads(2) every
+        // point contributes 1 point task + 2 shard tasks = 3.
+        let noise = qnoise::presets::uniform(3, 0.01, 0.04, 0.02).unwrap();
+        let backend = TrajectoryBackend::new(noise);
+        let family = |n: usize| {
+            (0..n)
+                .map(|_| bell_assertion())
+                .collect::<Vec<AssertingCircuit>>()
+        };
+        std::thread::scope(|threads| {
+            for n in [4usize, 9] {
+                let backend = &backend;
+                threads.spawn(move || {
+                    let sweep = AssertionSession::new(backend)
+                        .private_cache(4)
+                        .shots(64)
+                        .threads(2)
+                        .run_sweep(family(n))
+                        .unwrap();
+                    assert_eq!(
+                        sweep.telemetry.pool_tasks,
+                        3 * n as u64,
+                        "sweep of {n} points must count exactly its own tasks"
+                    );
+                });
+            }
+        });
     }
 
     #[test]

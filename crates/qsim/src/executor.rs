@@ -525,6 +525,26 @@ pub fn shard_seed(seed: u64, shard: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The base seed of sweep point `point` under sweep seed `seed` — the
+/// second dimension of the 2-D `(points × shots)` seed plan: a sweep
+/// derives each point's backend seed here, and each point's shards then
+/// derive their RNG streams from it via [`shard_seed`]. Points get
+/// statistically independent streams while staying a pure function of
+/// `(seed, point)`, so serial and parallel sweep execution are
+/// bit-identical by construction.
+///
+/// Uses the same SplitMix64-style finalizer as [`shard_seed`] with a
+/// distinct stream offset (Steele et al.'s alternate golden gamma), so
+/// point-seed and shard-seed streams never collapse onto each other:
+/// `shard_seed(sweep_point_seed(s, p), t)` mixes two decorrelated
+/// offsets before the per-stream expansion.
+pub fn sweep_point_seed(seed: u64, point: usize) -> u64 {
+    let mut z = seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(point as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Runs one shard of shots sequentially.
 fn run_compiled_shard(
     program: &CompiledProgram,

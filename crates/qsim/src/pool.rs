@@ -37,16 +37,76 @@
 //!
 //! # Lifetime erasure
 //!
-//! [`ShardPool::run_batch`] accepts non-`'static` closures: tasks borrow
-//! the caller's compiled program and result slots. The borrow is sound
-//! because `run_batch` does not return until every task of the batch has
-//! finished running (tracked by an atomic countdown latch), exactly like
+//! [`ShardPool::run_batch`] and [`PoolScope::submit`] accept
+//! non-`'static` closures: tasks borrow the caller's compiled program
+//! and result slots. The borrow is sound because neither `run_batch` nor
+//! [`ShardPool::scope`] returns until every submitted task has finished
+//! running (tracked by an atomic countdown latch), exactly like
 //! `std::thread::scope`.
+//!
+//! # Latch groups
+//!
+//! [`ShardPool::scope`] opens a **latch group**: tasks can be submitted
+//! one by one across the scope body (a sweep submits one task per
+//! point), nested submissions are legal (a point task's shot shards
+//! submit sub-batches to the same fixed worker set without deadlock —
+//! every waiting thread *drains* tasks instead of blocking), and the
+//! scope returns the group's own [`PoolStats`]: exactly the tasks run
+//! on behalf of this scope, including tasks transitively submitted from
+//! inside its tasks. Group attribution is how sweep telemetry stays
+//! exact when several sweeps share the process-wide pool concurrently —
+//! global counter deltas would cross-count each other's tasks.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Worker stack size: nested scope/batch drains can stack several task
+/// frames on one worker (a waiting point task executes other points'
+/// tasks inline), so give workers more headroom than the 2 MiB default.
+const WORKER_STACK: usize = 8 << 20;
+
+/// Maximum nested task frames a *waiting* thread will stack before it
+/// stops picking up **foreign** tasks and only services the latch it is
+/// waiting on. Without the cap, a drain inside point A can pop point B,
+/// whose drain pops point C, … — one frame chain per queued task,
+/// overflowing the stack on multi-thousand-point sweeps (including on
+/// *submitting* threads with the default 2 MiB stack). At the cap, a
+/// drain pops only tasks belonging to its awaited latch: every such pop
+/// directly advances the wait (so nested waits always make progress and
+/// terminate, by induction over the workload's structural nesting),
+/// while re-popping at the *same* depth between own-latch tasks keeps
+/// chains bounded by how deeply the workload itself nests — never by
+/// queue length. Foreign tasks skipped at the cap fall back to workers
+/// and scoping threads, which run near depth zero.
+#[doc(hidden)]
+pub const MAX_NEST_DEPTH: usize = 8;
+
+thread_local! {
+    /// The latch group of the task currently executing on this thread,
+    /// if any. Tasks submitted while a group is current (nested
+    /// `run_batch` shards, nested scope submissions through
+    /// [`ShardPool::run_batch`]) inherit it, so group counters cover a
+    /// scope's work transitively.
+    static CURRENT_GROUP: RefCell<Option<Arc<Group>>> = const { RefCell::new(None) };
+    /// Nested [`run_task`] frames on this thread's stack (drives the
+    /// [`MAX_NEST_DEPTH`] guard).
+    static NEST_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// A clone of the calling thread's current attribution group.
+fn current_group() -> Option<Arc<Group>> {
+    CURRENT_GROUP.with(|g| g.borrow().clone())
+}
+
+/// The calling thread's current nested task depth (test instrumentation
+/// for the stack-bound guarantee; not part of the public API).
+#[doc(hidden)]
+pub fn nest_depth() -> usize {
+    NEST_DEPTH.with(std::cell::Cell::get)
+}
 
 /// A point-in-time snapshot of a pool's execution counters.
 ///
@@ -75,42 +135,95 @@ impl PoolStats {
 }
 
 /// A lifetime-erased unit of work (see the module docs on why the
-/// transmute in [`ShardPool::run_batch`] is sound).
-type Task = Box<dyn FnOnce() + Send + 'static>;
-
-/// The lazily-created process-wide pool ([`ShardPool::global`]).
-static GLOBAL_POOL: OnceLock<ShardPool> = OnceLock::new();
-
-/// Completion latch for one submitted batch.
-struct Batch {
-    /// Tasks not yet finished.
-    remaining: AtomicUsize,
-    /// Set when any task panicked (the panic is re-raised on the
-    /// submitting thread once the batch drains).
-    poisoned: AtomicBool,
-    /// Signals the submitting thread when `remaining` reaches zero.
-    done: Mutex<()>,
-    cv: Condvar,
+/// transmutes in [`ShardPool::run_batch`] and [`PoolScope::submit`] are
+/// sound), tagged with the latch group its execution is attributed to.
+struct Task {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    /// The group charged for this task's execution: the submitting
+    /// scope's for scope tasks, the submitting *thread's* current group
+    /// for batch tasks (nested shards inherit their point's group).
+    group: Option<Arc<Group>>,
+    /// The completion latch this task counts down — its batch's for
+    /// [`ShardPool::run_batch`] tasks, its scope's for
+    /// [`PoolScope::submit`] tasks. Drains past [`MAX_NEST_DEPTH`] pop
+    /// only tasks of the latch they are waiting on (see the constant).
+    latch: Arc<Group>,
 }
 
-impl Batch {
-    fn new(tasks: usize) -> Arc<Batch> {
-        Arc::new(Batch {
-            remaining: AtomicUsize::new(tasks),
+/// The completion latch (and, for scopes, execution counters) of one
+/// [`ShardPool::run_batch`] batch or [`ShardPool::scope`] latch group.
+struct Group {
+    /// Tasks belonging to the latch and not yet finished (preset for
+    /// batches, incremented per submission for scopes).
+    remaining: AtomicUsize,
+    /// Set when any task of the latch panicked (re-raised on the
+    /// waiting thread once the latch drains).
+    poisoned: AtomicBool,
+    /// Signals the waiting thread when `remaining` reaches zero.
+    done: Mutex<()>,
+    cv: Condvar,
+    /// Tasks run on behalf of this group (directly submitted or
+    /// transitively inherited; scope attribution only).
+    tasks_run: AtomicU64,
+    /// Group tasks obtained by stealing (scope attribution only).
+    steals: AtomicU64,
+}
+
+impl Group {
+    fn new(remaining: usize) -> Arc<Group> {
+        Arc::new(Group {
+            remaining: AtomicUsize::new(remaining),
             poisoned: AtomicBool::new(false),
             done: Mutex::new(()),
             cv: Condvar::new(),
+            tasks_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         })
     }
 
-    /// Marks one task finished, waking the submitter on the last one.
+    /// Marks one latch task finished, waking the waiter on the last one.
     fn complete_one(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.done.lock().expect("batch lock");
+            let _guard = self.done.lock().expect("group lock");
             self.cv.notify_all();
         }
     }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
 }
+
+/// Executes a popped (or inline) task: charges the shared counters, the
+/// task's group counters, and runs it with the group installed as the
+/// thread's current group so nested submissions inherit it.
+fn run_task(shared: &Shared, task: Task, stolen: bool) {
+    shared.tasks_run.fetch_add(1, Ordering::Relaxed);
+    if stolen {
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(group) = &task.group {
+        group.tasks_run.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            group.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Install the task's group (or clear a stale one: a drained foreign
+    // task must not charge the drainer's group) and bump the nest
+    // depth. Task closures catch their own unwinds, so the restores
+    // below are always reached.
+    let prev = CURRENT_GROUP.with(|g| g.replace(task.group.clone()));
+    NEST_DEPTH.with(|d| d.set(d.get() + 1));
+    (task.run)();
+    NEST_DEPTH.with(|d| d.set(d.get() - 1));
+    CURRENT_GROUP.with(|g| g.replace(prev));
+}
+
+/// The lazily-created process-wide pool ([`ShardPool::global`]).
+static GLOBAL_POOL: OnceLock<ShardPool> = OnceLock::new();
 
 /// State shared between workers and submitters.
 struct Shared {
@@ -131,23 +244,60 @@ struct Shared {
 
 impl Shared {
     /// Pops a task from any deque, preferring `home`'s front and
-    /// stealing from siblings' backs.
-    fn pop_task(&self, home: usize) -> Option<Task> {
+    /// stealing from siblings' backs; the flag reports whether the task
+    /// was stolen. Counters are charged by [`run_task`], not here.
+    ///
+    /// `awaited` is the latch the caller is waiting on (`None` from a
+    /// worker's top loop, which waits on nothing). While the calling
+    /// thread is below [`MAX_NEST_DEPTH`] anything is poppable; past
+    /// the cap, only tasks whose [`Task::latch`] *is* the awaited
+    /// latch — found by *scanning* each deque rather than taking the
+    /// end task. The scan (capped threads only — the rare case)
+    /// matters for progress: a capped drain must be able to reach its
+    /// awaited tasks even when foreign tasks sit in front of them,
+    /// otherwise two capped threads on a small pool could wait on each
+    /// other's shielded tasks forever.
+    fn pop_task(&self, home: usize, awaited: Option<&Group>) -> Option<(Task, bool)> {
         let n = self.deques.len();
         if n == 0 {
             return None;
         }
+        // Below the cap (or from a worker's top loop) anything goes;
+        // past it, only tasks of the awaited latch.
+        let only_awaited = match awaited {
+            Some(latch) if nest_depth() >= MAX_NEST_DEPTH => Some(latch as *const Group),
+            _ => None,
+        };
         let home = home % n;
-        if let Some(task) = self.deques[home].lock().expect("deque lock").pop_front() {
-            self.tasks_run.fetch_add(1, Ordering::Relaxed);
-            return Some(task);
+        {
+            let mut deque = self.deques[home].lock().expect("deque lock");
+            match only_awaited {
+                None => {
+                    if let Some(task) = deque.pop_front() {
+                        return Some((task, false));
+                    }
+                }
+                Some(latch) => {
+                    if let Some(i) = deque.iter().position(|t| Arc::as_ptr(&t.latch) == latch) {
+                        return deque.remove(i).map(|t| (t, false));
+                    }
+                }
+            }
         }
         for offset in 1..n {
             let victim = (home + offset) % n;
-            if let Some(task) = self.deques[victim].lock().expect("deque lock").pop_back() {
-                self.tasks_run.fetch_add(1, Ordering::Relaxed);
-                self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(task);
+            let mut deque = self.deques[victim].lock().expect("deque lock");
+            match only_awaited {
+                None => {
+                    if let Some(task) = deque.pop_back() {
+                        return Some((task, true));
+                    }
+                }
+                Some(latch) => {
+                    if let Some(i) = deque.iter().rposition(|t| Arc::as_ptr(&t.latch) == latch) {
+                        return deque.remove(i).map(|t| (t, true));
+                    }
+                }
             }
         }
         None
@@ -195,6 +345,9 @@ impl ShardPool {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("qsim-shard-{w}"))
+                    // Nested scope/batch drains can stack task frames
+                    // (a waiting point executes other points inline).
+                    .stack_size(WORKER_STACK)
                     .spawn(move || worker_loop(&shared, w))
                     .expect("spawn shard worker"),
             );
@@ -269,10 +422,19 @@ impl ShardPool {
             self.shared
                 .tasks_run
                 .fetch_add(tasks as u64, Ordering::Relaxed);
+            // Inline execution still belongs to the enclosing scope, if
+            // any: a point task's single-shard run counts as its work.
+            if let Some(group) = current_group() {
+                group.tasks_run.fetch_add(tasks as u64, Ordering::Relaxed);
+            }
             return;
         }
 
-        let batch = Batch::new(tasks);
+        let batch = Group::new(tasks);
+        // Tasks of this batch are attributed to the *submitting thread's*
+        // group: a shard batch submitted from inside a scope task (a
+        // sweep point running its shots) charges that scope.
+        let inherited = current_group();
         let run = &run;
         {
             // Queue every task, round-robin across worker deques. The
@@ -281,18 +443,23 @@ impl ShardPool {
             let mut staged: Vec<Vec<Task>> =
                 (0..self.shared.deques.len()).map(|_| Vec::new()).collect();
             for i in 0..tasks {
-                let batch = Arc::clone(&batch);
+                let latch = Arc::clone(&batch);
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| run(i)));
                     if result.is_err() {
-                        batch.poisoned.store(true, Ordering::Release);
+                        latch.poisoned.store(true, Ordering::Release);
                     }
-                    batch.complete_one();
+                    latch.complete_one();
                 });
                 // SAFETY: `run_batch` blocks until `batch.remaining`
                 // hits zero, i.e. until every queued closure has run to
                 // completion, so the borrowed `run` outlives all tasks.
-                let task: Task = unsafe { std::mem::transmute(task) };
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+                let task = Task {
+                    run: task,
+                    group: inherited.clone(),
+                    latch: Arc::clone(&batch),
+                };
                 let d = self.next_deque.fetch_add(1, Ordering::Relaxed) % staged.len();
                 staged[d].push(task);
             }
@@ -305,35 +472,162 @@ impl ShardPool {
             self.shared.wake.notify_all();
         }
 
-        // Participate: drain tasks (of any batch) instead of blocking.
-        let submitter_home = self.next_deque.load(Ordering::Relaxed);
-        while batch.remaining.load(Ordering::Acquire) > 0 {
-            if let Some(task) = self.shared.pop_task(submitter_home) {
-                task();
-            } else {
-                // Nothing to pop — the last tasks are executing on
-                // workers; wait for the batch latch.
-                let guard = self.done_guard(&batch);
-                drop(guard);
-            }
-        }
+        // Participate: drain tasks instead of blocking (any task below
+        // the nest-depth cap, only this batch's own past it — see
+        // MAX_NEST_DEPTH).
+        self.drain_latch(&batch);
 
         if batch.poisoned.load(Ordering::Acquire) {
             panic!("shard task panicked");
         }
     }
 
-    /// Waits on the batch latch until it drains (or spuriously wakes).
-    fn done_guard<'a>(&self, batch: &'a Batch) -> std::sync::MutexGuard<'a, ()> {
-        let guard = batch.done.lock().expect("batch lock");
-        if batch.remaining.load(Ordering::Acquire) == 0 {
-            return guard;
+    /// Opens a **latch group** over the pool: `f` receives a
+    /// [`PoolScope`] through which it submits any number of tasks, and
+    /// `scope` returns — after every submitted task (including tasks
+    /// still in flight when `f` returns) has finished — `f`'s result
+    /// plus the group's own [`PoolStats`]: exactly the tasks run on
+    /// behalf of this scope, *including* tasks transitively submitted
+    /// from inside scope tasks (a point task's nested shard batches).
+    ///
+    /// Unlike [`ShardPool::run_batch`], tasks need not be known up
+    /// front, and the scoping thread keeps running `f` while early
+    /// submissions already execute. Nested use is deadlock-free on any
+    /// worker count (including zero): every waiting thread drains
+    /// queued tasks instead of blocking.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (after the whole group has drained) if `f` or any
+    /// submitted task panicked.
+    pub fn scope<'env, F, R>(&'env self, f: F) -> (R, PoolStats)
+    where
+        F: FnOnce(&PoolScope<'env>) -> R,
+    {
+        let scope = PoolScope {
+            pool: self,
+            group: Group::new(0),
+            _invariant: std::marker::PhantomData,
+        };
+        // Drain before unwinding out of a panicking `f`: in-flight tasks
+        // may borrow `f`'s frame.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.drain_latch(&scope.group);
+        let stats = scope.group.stats();
+        match result {
+            Ok(value) => {
+                if scope.group.poisoned.load(Ordering::Acquire) {
+                    panic!("scoped pool task panicked");
+                }
+                (value, stats)
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
         }
-        batch
-            .cv
-            .wait_timeout(guard, std::time::Duration::from_millis(1))
-            .expect("batch wait")
-            .0
+    }
+
+    /// Participates until every task of `latch` has finished: pops and
+    /// runs queued tasks (restricted to the latch's own past the
+    /// nest-depth cap), parking briefly on the latch when nothing is
+    /// poppable.
+    fn drain_latch(&self, latch: &Group) {
+        let home = self.next_deque.load(Ordering::Relaxed);
+        while latch.remaining.load(Ordering::Acquire) > 0 {
+            if let Some((task, stolen)) = self.shared.pop_task(home, Some(latch)) {
+                run_task(&self.shared, task, stolen);
+            } else {
+                let guard = latch.done.lock().expect("group lock");
+                if latch.remaining.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                let _unused = latch
+                    .cv
+                    .wait_timeout(guard, std::time::Duration::from_millis(1))
+                    .expect("group wait");
+            }
+        }
+    }
+}
+
+/// Submission handle of one [`ShardPool::scope`] latch group.
+pub struct PoolScope<'p> {
+    pool: &'p ShardPool,
+    group: Arc<Group>,
+    /// Invariance over `'p`. Without it `PoolScope` would be covariant,
+    /// and the borrow checker could shrink `'p` at a `submit` call site
+    /// — accepting tasks that capture borrows dying before the scope
+    /// drains (a use-after-free once the lifetime is erased). Same trick
+    /// as `std::thread::scope`'s `Scope`.
+    _invariant: std::marker::PhantomData<&'p mut &'p ()>,
+}
+
+impl<'p> PoolScope<'p> {
+    /// Submits one task to the scope's group. The task may borrow data
+    /// that outlives the [`ShardPool::scope`] call (result slots
+    /// declared before the call); [`ShardPool::scope`] does not return
+    /// until every submitted task has finished, exactly like
+    /// `std::thread::scope`.
+    ///
+    /// On a pool with zero workers the task runs inline, preserving the
+    /// pool's single-core degradation.
+    pub fn submit<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'p,
+    {
+        self.group.remaining.fetch_add(1, Ordering::AcqRel);
+        let group = Arc::clone(&self.group);
+        let run: Box<dyn FnOnce() + Send + 'p> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                group.poisoned.store(true, Ordering::Release);
+            }
+            group.complete_one();
+        });
+        // SAFETY: `ShardPool::scope` drains the group before returning
+        // (even when its body panics), so every borrow the task captures
+        // outlives the task's execution.
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(run) };
+        let task = Task {
+            run,
+            group: Some(Arc::clone(&self.group)),
+            latch: Arc::clone(&self.group),
+        };
+        if self.pool.workers == 0 {
+            run_task(&self.pool.shared, task, false);
+            return;
+        }
+        let d =
+            self.pool.next_deque.fetch_add(1, Ordering::Relaxed) % self.pool.shared.deques.len();
+        self.pool.shared.deques[d]
+            .lock()
+            .expect("deque lock")
+            .push_back(task);
+        let _guard = self.pool.shared.sleep.lock().expect("sleep lock");
+        self.pool.shared.wake.notify_all();
+    }
+
+    /// Runs `f` on the calling thread with this scope installed as the
+    /// thread's attribution group: pool work `f` triggers indirectly
+    /// (nested [`ShardPool::run_batch`] shard tasks, inline runs) is
+    /// charged to the scope's [`PoolStats`] even though `f` itself never
+    /// became a task. Serial sweep paths use this so serial and parallel
+    /// execution attribute their pool activity identically.
+    pub fn run_attributed<R>(&self, f: impl FnOnce() -> R) -> R {
+        /// Restores the previous group even when `f` unwinds.
+        struct Restore(Option<Arc<Group>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT_GROUP.with(|g| g.replace(prev));
+            }
+        }
+        let _restore = Restore(CURRENT_GROUP.with(|g| g.replace(Some(Arc::clone(&self.group)))));
+        f()
+    }
+
+    /// The group's counters so far. Exact once [`ShardPool::scope`] has
+    /// returned (the scope's return value includes the final snapshot);
+    /// mid-scope reads race in-flight tasks.
+    pub fn stats(&self) -> PoolStats {
+        self.group.stats()
     }
 }
 
@@ -366,8 +660,10 @@ impl std::fmt::Debug for ShardPool {
 /// stops.
 fn worker_loop(shared: &Shared, home: usize) {
     loop {
-        if let Some(task) = shared.pop_task(home) {
-            task();
+        // The loop runs at depth zero, so nesting tasks are always
+        // poppable here — capped drains rely on workers for them.
+        if let Some((task, stolen)) = shared.pop_task(home, None) {
+            run_task(shared, task, stolen);
             continue;
         }
         // Re-check under the sleep lock: a submitter pushes, *then*
@@ -375,9 +671,9 @@ fn worker_loop(shared: &Shared, home: usize) {
         // task or the notify arrives after the wait begins. The timeout
         // is belt-and-braces, not load-bearing.
         let guard = shared.sleep.lock().expect("sleep lock");
-        if let Some(task) = shared.pop_task(home) {
+        if let Some((task, stolen)) = shared.pop_task(home, None) {
             drop(guard);
-            task();
+            run_task(shared, task, stolen);
             continue;
         }
         if shared.stop.load(Ordering::Acquire) {
@@ -495,6 +791,141 @@ mod tests {
                 steals: 0
             }
         );
+    }
+
+    #[test]
+    fn scope_runs_every_submission_and_counts_exactly() {
+        let pool = ShardPool::new(3);
+        let hits: Vec<AtomicU64> = (0..40).map(|_| AtomicU64::new(0)).collect();
+        let ((), stats) = pool.scope(|scope| {
+            for (i, hit) in hits.iter().enumerate() {
+                scope.submit(move || {
+                    hit.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), i as u64 + 1, "index {i}");
+        }
+        assert_eq!(stats.tasks_run, 40, "group stats count exactly the scope");
+        assert!(stats.steals <= stats.tasks_run);
+    }
+
+    #[test]
+    fn scope_on_zero_worker_pool_runs_inline() {
+        let pool = ShardPool::new(0);
+        let sum = AtomicU64::new(0);
+        let ((), stats) = pool.scope(|scope| {
+            let sum = &sum;
+            for i in 0..10u64 {
+                scope.submit(move || {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        assert_eq!(stats.tasks_run, 10);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn nested_batches_inherit_the_scope_group() {
+        // A scope task that runs a batch charges the batch's tasks to
+        // the scope — the attribution path sweep telemetry relies on.
+        for workers in [0, 1, 3] {
+            let pool = ShardPool::new(workers);
+            let sum = AtomicU64::new(0);
+            let ((), stats) = pool.scope(|scope| {
+                for _ in 0..4 {
+                    scope.submit(|| {
+                        pool.run_batch(8, |i| {
+                            sum.fetch_add(i as u64, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 4 * 28);
+            assert_eq!(
+                stats.tasks_run,
+                4 + 4 * 8,
+                "4 scope tasks + 32 inherited batch tasks ({workers} workers)"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_cross_attribute() {
+        // Two scopes sharing one pool: each group's counters cover its
+        // own submissions only, while the global counters cover both.
+        let pool = ShardPool::new(2);
+        let before = pool.stats();
+        std::thread::scope(|threads| {
+            let mut handles = Vec::new();
+            for n in [16u64, 48] {
+                let pool = &pool;
+                handles.push(threads.spawn(move || {
+                    let ((), stats) = pool.scope(|scope| {
+                        for _ in 0..n {
+                            scope.submit(|| {
+                                std::hint::black_box(0u64);
+                            });
+                        }
+                    });
+                    assert_eq!(stats.tasks_run, n, "scope of {n} tasks");
+                }));
+            }
+            for h in handles {
+                h.join().expect("scope thread");
+            }
+        });
+        assert_eq!(pool.stats().since(&before).tasks_run, 64);
+    }
+
+    #[test]
+    fn run_attributed_charges_indirect_pool_work_to_the_scope() {
+        let pool = ShardPool::new(2);
+        let ((), stats) = pool.scope(|scope| {
+            scope.run_attributed(|| {
+                pool.run_batch(6, |_| {});
+                pool.run_batch(1, |_| {}); // inline path attributes too
+            });
+        });
+        assert_eq!(stats.tasks_run, 7, "6 batch tasks + 1 inline");
+    }
+
+    #[test]
+    fn scope_panics_propagate_after_draining() {
+        let pool = ShardPool::new(2);
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                let ran = &ran;
+                for i in 0..12u64 {
+                    scope.submit(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        if i == 5 {
+                            panic!("boom");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the scoping thread");
+        assert_eq!(ran.load(Ordering::Relaxed), 12, "group fully drained");
+        // The pool stays usable.
+        let sum = AtomicU64::new(0);
+        pool.run_batch(4, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn empty_scope_returns_zero_stats() {
+        let pool = ShardPool::new(1);
+        let (value, stats) = pool.scope(|_| 7u32);
+        assert_eq!(value, 7);
+        assert_eq!(stats, PoolStats::default());
     }
 
     #[test]

@@ -177,6 +177,28 @@ impl PrefixRegistry {
         noise_fp: Option<u128>,
         options: CompileOptions,
     ) -> Result<Arc<CompiledProgram>, SimError> {
+        self.compile_traced_with_fingerprint(circuit, noise, noise_fp, options)
+            .map(|(program, _)| program)
+    }
+
+    /// [`PrefixRegistry::compile_with_fingerprint`] additionally
+    /// reporting whether *this* compile reused a registered prefix.
+    ///
+    /// Callers attributing prefix hits to individual compiles (a sweep
+    /// building per-point telemetry while other points lower
+    /// concurrently) need the per-call flag: deltas of the shared
+    /// [`PrefixRegistry::hits`] counter would race.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from lowering.
+    pub fn compile_traced_with_fingerprint(
+        &self,
+        circuit: &QuantumCircuit,
+        noise: Option<&NoiseModel>,
+        noise_fp: Option<u128>,
+        options: CompileOptions,
+    ) -> Result<(Arc<CompiledProgram>, bool), SimError> {
         let chains = circuit.prefix_hashes();
         let key_at = |k: usize| PrefixKey {
             chain: chains[k],
@@ -200,16 +222,16 @@ impl PrefixRegistry {
             })
         };
 
-        let program = match reusable {
+        let (program, reused) = match reusable {
             Some((prefix, len)) => {
                 let extended = Arc::new(compile_extension(&prefix, circuit, len, noise, options)?);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                extended
+                (extended, true)
             }
-            None => Arc::new(compile_with(circuit, noise, options)?),
+            None => (Arc::new(compile_with(circuit, noise, options)?), false),
         };
         self.register_keyed(key_at(circuit.len()), circuit.len(), &program);
-        Ok(program)
+        Ok((program, reused))
     }
 
     /// Registers an already-compiled program (e.g. one served whole from
