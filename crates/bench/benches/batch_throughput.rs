@@ -26,14 +26,25 @@
 //!   `per_shot_ns`. The absolute gate is hard — it catches kernel
 //!   pessimizations that slow batched and unbatched paths equally,
 //!   which the speedup floor cannot see; widen `BENCH_TOLERANCE_PCT`
-//!   on runners slower than the (single-core) baseline machine.
+//!   on runners slower than the (single-core) baseline machine, or
+//! * the SIMD speedup (the unbatched sweep program forced onto the
+//!   scalar reference loops vs the dispatched vector ISA, same binary,
+//!   same run) falls below `simd_baseline.json`'s `min_speedup` —
+//!   derated to its `scalar_floor` when no vector ISA is active (a
+//!   feature-less runner, or `QSIM_SIMD=scalar`, cannot show a vector
+//!   win). The sweep path is where vector width shows: its long
+//!   contiguous runs are compute-bound. The batched blocked path is
+//!   already L1-resident and load/store-port bound on the dominant
+//!   (phase/real) gate classes, so its scalar-vs-vector ratio sits near
+//!   1 by construction and is not gated. Scalar and vector counts are
+//!   asserted bit-identical first.
 //!
 //! ```text
 //! cargo bench -p qassert-bench --bench batch_throughput -- --quick --check
 //! ```
 
 use qassert_bench::workloads::{readout_noise, wide_instrumented};
-use qsim::{Backend, Counts, ShardPool, TrajectoryBackend};
+use qsim::{simd, Backend, Counts, ShardPool, SimdBackend, TrajectoryBackend};
 use std::time::Instant;
 
 /// One bench configuration.
@@ -129,8 +140,23 @@ fn main() {
         "batched counts diverge from sequential counts — bit-identity broken"
     );
 
+    // Third leg: the unbatched sweep program with every kernel forced
+    // onto the scalar reference loops — the dispatched unbatched run
+    // above is the "after", this is the "before", both from one binary
+    // in one run.
+    let dispatched_simd = simd::active_backend();
+    simd::set_backend_override(Some(SimdBackend::Scalar));
+    let _ = run_timed(&unbatched_backend, &unbatched_program, cfg.shots / 8);
+    let (scalar_secs, scalar_counts) = run_timed(&unbatched_backend, &unbatched_program, cfg.shots);
+    simd::set_backend_override(None);
+    assert_eq!(
+        scalar_counts, unbatched_counts,
+        "forced-scalar counts diverge from dispatched counts — SIMD bit-identity broken"
+    );
+
     let per_shot_ns = batched_secs * 1e9 / cfg.shots as f64;
     let speedup = unbatched_secs / batched_secs;
+    let simd_speedup = scalar_secs / unbatched_secs;
 
     println!(
         "batch_throughput [{}]: {} qubits x {} rounds, {} shots, {} shards, pool workers {}",
@@ -154,12 +180,22 @@ fn main() {
         speedup,
         per_shot_ns,
     );
+    println!(
+        "  simd [{} -> {}]: scalar sweeps {:>9.3} ms   dispatched sweeps {:>9.3} ms   \
+         simd speedup {:.2}x",
+        SimdBackend::Scalar.name(),
+        dispatched_simd.name(),
+        scalar_secs * 1e3,
+        unbatched_secs * 1e3,
+        simd_speedup,
+    );
 
     let json = format!(
         "{{\"bench\":\"batch_throughput\",\"mode\":\"{}\",\"qubits\":{},\"rounds\":{},\
          \"shots\":{},\"threads\":{},\"pool_workers\":{},\"ops\":{},\"batched_ops\":{},\
          \"batch_passes\":{},\"unbatched_ms\":{:.3},\"batched_ms\":{:.3},\"speedup\":{:.3},\
-         \"per_shot_ns\":{:.1},\"counts_identical\":{}}}",
+         \"per_shot_ns\":{:.1},\"counts_identical\":{},\"simd\":\"{}\",\"detected_simd\":\"{}\",\
+         \"scalar_unbatched_ms\":{:.3},\"simd_speedup\":{:.3}}}",
         cfg.mode,
         cfg.qubits,
         cfg.rounds,
@@ -174,6 +210,10 @@ fn main() {
         speedup,
         per_shot_ns,
         identical,
+        dispatched_simd.name(),
+        simd::detected_backend().name(),
+        scalar_secs * 1e3,
+        simd_speedup,
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("failed to write {out_path}: {e}");
@@ -226,5 +266,40 @@ fn main() {
             std::process::exit(4);
         }
         println!("  regression gate: ok");
+
+        // SIMD gate: scalar-vs-dispatched from this same run, against
+        // the committed floor. Derated (psweep-style) to scalar_floor
+        // when no vector ISA is active — forced-scalar vs scalar is
+        // ~1.0x by construction and a floor above 1 would be
+        // unmeetable there.
+        let simd_baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/simd_baseline.json");
+        let simd_baseline = std::fs::read_to_string(simd_baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read SIMD baseline {simd_baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let simd_floor = json_number_field(&simd_baseline, "min_speedup").unwrap_or_else(|| {
+            eprintln!("SIMD baseline {simd_baseline_path} has no min_speedup field");
+            std::process::exit(1);
+        });
+        let scalar_floor = json_number_field(&simd_baseline, "scalar_floor").unwrap_or(0.5);
+        let required = if dispatched_simd == SimdBackend::Scalar {
+            scalar_floor
+        } else {
+            simd_floor
+        };
+        println!(
+            "  simd gate: {simd_speedup:.2}x vs required {required:.2}x \
+             (baseline floor {simd_floor:.2}x, dispatched {})",
+            dispatched_simd.name(),
+        );
+        if simd_speedup < required {
+            eprintln!(
+                "PERF REGRESSION: SIMD speedup {simd_speedup:.2}x ({} vs scalar) is below the \
+                 {required:.2}x floor",
+                dispatched_simd.name(),
+            );
+            std::process::exit(4);
+        }
+        println!("  simd gate: ok");
     }
 }

@@ -53,6 +53,42 @@ fn batch_smoke() -> Result<String, String> {
     ))
 }
 
+/// `--quick` also smokes the SIMD dispatch layer: the same seeded
+/// instrumented workload executed once with every amplitude kernel
+/// forced onto the scalar reference loops and once on the detected
+/// vector ISA must produce bit-identical counts — the end-to-end CI
+/// twin of the `simd_equivalence` property suite (exit 3 on
+/// divergence).
+fn simd_smoke() -> Result<String, String> {
+    let circuit = qassert_bench::workloads::wide_instrumented(10, 4)
+        .circuit()
+        .clone();
+    let noise = qassert_bench::workloads::readout_noise(10);
+    let backend = qsim::TrajectoryBackend::new(noise)
+        .with_seed(5)
+        .with_threads(2);
+    let vector = qsim::simd::detected_backend();
+    let run_on = |be: qsim::SimdBackend| {
+        qsim::simd::set_backend_override(Some(be));
+        let result = backend.run(&circuit, 400).map_err(|e| e.to_string());
+        qsim::simd::set_backend_override(None);
+        result
+    };
+    let scalar_counts = run_on(qsim::SimdBackend::Scalar)?.counts;
+    let vector_counts = run_on(vector)?.counts;
+    if scalar_counts != vector_counts {
+        return Err(format!(
+            "forced-scalar counts diverge from {} counts",
+            vector.name()
+        ));
+    }
+    Ok(format!(
+        "simd smoke: scalar vs {} counts bit-identical (active backend: {})",
+        vector.name(),
+        qsim::simd::active_backend().name()
+    ))
+}
+
 /// `--quick` also smokes the parallel sweep path: a seeded multi-point
 /// sweep dispatched across the `ShardPool` must reproduce the serial
 /// path bit-for-bit — counts, kept histograms, and the deterministic
@@ -148,6 +184,14 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(why) => {
                 eprintln!("batch smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
+        // So is scalar-vs-vector bit-identity of the SIMD kernels.
+        match simd_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("simd smoke FAILED: {why}");
                 std::process::exit(3);
             }
         }

@@ -173,6 +173,11 @@ pub struct SessionRecord {
     pub shots: u64,
     /// Capacity of the program cache the session compiled through.
     pub cache_capacity: usize,
+    /// The SIMD backend the amplitude kernels dispatched to
+    /// ([`qsim::simd::active_backend`] at record time) — which ISA path
+    /// produced the numbers. All backends are bit-identical; this is
+    /// provenance for perf artifacts, not a correctness knob.
+    pub simd: String,
 }
 
 /// A complete experiment report.
@@ -317,7 +322,7 @@ impl ExperimentReport {
         match &self.session {
             Some(s) => {
                 out.push_str(&format!(
-                    "{{\"backend\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"cache_capacity\":{}}}",
+                    "{{\"backend\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"cache_capacity\":{},\"simd\":{}}}",
                     json_string(&s.backend),
                     match s.threads {
                         Some(t) => t.to_string(),
@@ -328,7 +333,8 @@ impl ExperimentReport {
                         None => String::from("null"),
                     },
                     s.shots,
-                    s.cache_capacity
+                    s.cache_capacity,
+                    json_string(&s.simd)
                 ));
             }
             None => out.push_str("null"),
@@ -377,7 +383,7 @@ impl ExperimentReport {
         if let Some(s) = &self.session {
             out.push_str(&format!(
                 "\nsession: backend \"{}\", {} shots, threads requested {}, seed requested {}, \
-                 cache capacity {}\n",
+                 cache capacity {}, simd \"{}\"\n",
                 s.backend,
                 s.shots,
                 match s.threads {
@@ -388,7 +394,8 @@ impl ExperimentReport {
                     Some(v) => v.to_string(),
                     None => String::from("backend default"),
                 },
-                s.cache_capacity
+                s.cache_capacity,
+                s.simd
             ));
         }
         for n in &self.notes {
@@ -517,17 +524,19 @@ mod tests {
             seed: None,
             shots: 8192,
             cache_capacity: 256,
+            simd: "avx2".to_string(),
         });
         let json = r.to_json();
         assert!(json.contains(
             "\"session\":{\"backend\":\"density matrix (exact noisy)\",\"threads\":null,\
-             \"seed\":null,\"shots\":8192,\"cache_capacity\":256}"
+             \"seed\":null,\"shots\":8192,\"cache_capacity\":256,\"simd\":\"avx2\"}"
         ));
         let text = r.render();
         assert!(text.contains("session: backend \"density matrix (exact noisy)\""));
         assert!(text.contains("8192 shots"));
         assert!(text.contains("threads requested backend default"));
         assert!(text.contains("seed requested backend default"));
+        assert!(text.contains("simd \"avx2\""));
 
         let mut threaded = ExperimentReport::new("x", "y");
         threaded.push_session(SessionRecord {
@@ -536,6 +545,7 @@ mod tests {
             seed: Some(17),
             shots: 100,
             cache_capacity: 8,
+            simd: "scalar".to_string(),
         });
         assert!(threaded.to_json().contains("\"threads\":4"));
         assert!(threaded.to_json().contains("\"seed\":17"));
@@ -554,6 +564,7 @@ mod tests {
             batch_passes: 10,
             pool_tasks: 20,
             pool_steals: 3,
+            simd_backend: "scalar",
         });
         let json = r.to_json();
         assert!(json.contains("\"name\":\"program_cache_hit_rate\",\"value\":0.75"));

@@ -163,6 +163,12 @@ pub struct SessionTelemetry {
     /// ([`qsim::PoolStats::steals`]); same attribution caveat as
     /// [`SessionTelemetry::pool_tasks`].
     pub pool_steals: u64,
+    /// The SIMD backend name the amplitude kernels dispatch to
+    /// ([`qsim::simd::active_backend`] at snapshot time; `""` until a
+    /// snapshot is taken). Provenance, not a counter: every backend is
+    /// bit-identical, so this never changes results — it records which
+    /// ISA produced the throughput numbers next to it.
+    pub simd_backend: &'static str,
 }
 
 impl SessionTelemetry {
@@ -189,6 +195,7 @@ impl SessionTelemetry {
             batch_passes: self.batch_passes - earlier.batch_passes,
             pool_tasks: self.pool_tasks - earlier.pool_tasks,
             pool_steals: self.pool_steals - earlier.pool_steals,
+            simd_backend: self.simd_backend,
         }
     }
 
@@ -207,6 +214,9 @@ impl SessionTelemetry {
         self.batch_passes += other.batch_passes;
         self.pool_tasks += other.pool_tasks;
         self.pool_steals += other.pool_steals;
+        if self.simd_backend.is_empty() {
+            self.simd_backend = other.simd_backend;
+        }
     }
 }
 
@@ -449,6 +459,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             seed: self.seed,
             shots: self.shots,
             cache_capacity: self.program_cache().capacity(),
+            simd: qsim::simd::active_backend().name().to_string(),
         }
     }
 
@@ -468,6 +479,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             batch_passes: self.batch_passes.load(Ordering::Relaxed),
             pool_tasks: pool.tasks_run,
             pool_steals: pool.steals,
+            simd_backend: qsim::simd::active_backend().name(),
         }
     }
 
@@ -795,6 +807,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         };
         telemetry.pool_tasks = pool_stats.tasks_run;
         telemetry.pool_steals = pool_stats.steals;
+        telemetry.simd_backend = qsim::simd::active_backend().name();
         Ok(SweepOutcome { points, telemetry })
     }
 }
@@ -1023,6 +1036,7 @@ mod tests {
             batch_passes: 2,
             pool_tasks: 8,
             pool_steals: 1,
+            simd_backend: "",
         };
         let b = SessionTelemetry {
             runs: 1,
@@ -1034,6 +1048,7 @@ mod tests {
             batch_passes: 1,
             pool_tasks: 4,
             pool_steals: 0,
+            simd_backend: "avx2",
         };
         a.merge(&b);
         assert_eq!(a.runs, 3);
@@ -1042,6 +1057,8 @@ mod tests {
         assert_eq!(a.batch_passes, 3);
         assert_eq!(a.pool_tasks, 12);
         assert_eq!(a.pool_steals, 1);
+        // An empty backend slot takes the merged-in one.
+        assert_eq!(a.simd_backend, "avx2");
         assert!((a.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(SessionTelemetry::default().hit_rate(), 0.0);
     }

@@ -22,7 +22,10 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(z.norm(), 5.0);
 /// assert_eq!(z * z.conj(), Complex::new(25.0, 0.0));
 /// ```
+// `repr(C)` pins the layout to `[re, im]` — the `qsim::simd` kernels
+// reinterpret `&[Complex]` as interleaved `f64` lanes and rely on it.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

@@ -4,7 +4,10 @@
 //! complex entries: entry `(row, col)` lives at index `row + (col << n)`.
 //! This makes gate and Kraus application reuse the state-vector kernels —
 //! applying `U` to qubit `q` of `ρ` means applying `U` at bit `q` (the
-//! row side) and `U*` at bit `q + n` (the column side).
+//! row side) and `U*` at bit `q + n` (the column side). Both the row and
+//! column 2×2 sweeps therefore ride on the same SIMD-dispatched
+//! [`crate::apply`] kernels as the state-vector path (see
+//! [`crate::simd`]), with the identical bit-exactness contract.
 //!
 //! The exact noisy executor in [`crate::executor`] uses this type to
 //! reproduce the paper's Tables 1–2 without sampling noise.

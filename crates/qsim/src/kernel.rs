@@ -4,26 +4,44 @@
 //! [`BatchedApply`](crate::batch::PlanNode::BatchedApply) plan node: a
 //! group of single-qubit / controlled-single-qubit ops on pairwise
 //! disjoint qubits, compiled into a structure-of-arrays layout (parallel
-//! `strides` / `cmasks` / coefficient tables, indexed by op) and executed
-//! as **one blocked pass** over the amplitude array instead of one full
-//! sweep per op.
+//! `strides` / `shapes` / `block_masks` / `classes` tables, indexed by
+//! op) and executed as **one blocked pass** over the amplitude array
+//! instead of one full sweep per op.
 //!
 //! # Blocking and bit-identity
 //!
-//! The amplitude array is walked in aligned blocks of `2^block_bits`
-//! entries, where `block_bits` exceeds every target bit of the batch.
-//! Each op's index pairs `(i, i | stride)` therefore lie entirely inside
-//! one block, so applying the ops **in op order within each block** is
+//! The batch is split **in plan order** into segments: maximal runs of
+//! *low* ops (target bit below `block_bits`) execute as one blocked
+//! pass — the amplitude array is walked in aligned L1-sized blocks of
+//! `2^block_bits` entries and every op of the segment is applied to a
+//! block before the walk moves on — while each *high* op (target bit at
+//! or above the block) executes as a single full-array sweep of
+//! maximal-length runs, which streams at vector width anyway. A low
+//! op's index pairs `(i, i | stride)` lie entirely inside one block, so
+//! applying the segment's ops **in op order within each block** is
 //! float-exact with respect to applying each op in a full sweep of its
 //! own: every amplitude sees the same arithmetic operations on the same
 //! values in the same order; only the traversal order of *independent*
-//! pair updates changes. Counts, probabilities, and amplitudes are
-//! bit-identical to sequential application (the equivalence suite in
-//! `tests/batch_equivalence.rs` pins this across backends, seeds, and
-//! thread counts). Blocks are sized to keep a block plus its working set
-//! resident in L1 while all ops of the batch stream over it.
+//! pair updates changes. Since segments preserve plan order, the whole
+//! pass is bit-identical to sequential application (the equivalence
+//! suite in `tests/batch_equivalence.rs` pins this across backends,
+//! seeds, and thread counts). Keeping the block L1-resident — instead
+//! of growing it to cover the batch's highest target — is what lets the
+//! low ops reuse cached amplitudes while all of them stream over a
+//! block, and it is where the SIMD backends win: L1-resident blocks are
+//! compute-bound, not bandwidth-bound.
 //!
-//! # Coefficient classes
+//! # Control handling
+//!
+//! Control masks are resolved entirely at compile time, never per pair:
+//! a control bit at or above the block becomes a whole-block skip mask
+//! (`block_masks`), and a control bit inside the block folds into the
+//! op's [`RunShape`] — the precomputed skip-stride table that walks only
+//! the passing pairs as contiguous runs. The inner loops are branch-free
+//! over each run, which is also what lets the SIMD backends stream full
+//! vectors.
+//!
+//! # Coefficient classes and SIMD
 //!
 //! Each op's 2×2 matrix is classified once at plan time
 //! ([`OpClass`]): phase gates (S, T, Z, P, CZ) touch only the set-bit
@@ -33,12 +51,20 @@
 //! float-exact for every finite amplitude up to the sign of zero — and
 //! `-0.0 == 0.0`, `(-0.0)² == 0.0`, so sampling, probabilities, and
 //! amplitude comparisons are unaffected.
+//!
+//! Each class bottoms out in one [`crate::simd`] run primitive; the
+//! whole blocked walk is compiled once per instruction set and selected
+//! at runtime ([`crate::simd::active_backend`]). All backends are
+//! bit-identical by the [`crate::simd`] contract.
 
+use crate::simd::scalar::ScalarIsa;
+use crate::simd::{self, for_runs, Isa, RunShape, SimdBackend};
 use qmath::{Complex, Mat2};
 
-/// Blocks hold at least `2^MIN_BLOCK_BITS` amplitudes (2048 × 16 B =
-/// 32 KiB — sized to a typical L1 data cache) unless the batch addresses
-/// a higher qubit, in which case the block grows to cover its pairs.
+/// Blocks hold `2^MIN_BLOCK_BITS` amplitudes (2048 × 16 B = 32 KiB —
+/// sized to a typical L1 data cache). Ops whose target bit does not fit
+/// the block are not blocked at all: they run as full-array sweeps in
+/// their plan-order slot (see the module docs).
 pub(crate) const MIN_BLOCK_BITS: usize = 11;
 
 /// One op of a batch, as handed over by the planner.
@@ -100,19 +126,37 @@ fn classify(m: &Mat2) -> OpClass {
     }
 }
 
+/// One plan-order slice of a batch: either a run of low ops executed as
+/// a blocked pass, or a single high op executed as a full-array sweep.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    /// Op range `[start, end)` into the SoA tables.
+    start: usize,
+    end: usize,
+    /// `true` → blocked pass over L1-sized blocks; `false` → one
+    /// full-array sweep (`end == start + 1`).
+    blocked: bool,
+}
+
 /// A compiled batch of disjoint-qubit ops in SoA layout, applied to an
 /// amplitude array in one blocked pass.
 #[derive(Clone, Debug)]
 pub struct BatchKernel {
     /// `strides[j] = 1 << target_bit(j)` — the index-pair stride of op
-    /// `j` (parallel to `cmasks` and `classes`).
+    /// `j` (parallel to `shapes`, `block_masks`, and `classes`).
     strides: Vec<usize>,
-    /// `cmasks[j]` is the single-bit control mask of op `j`, or 0 when
-    /// uncontrolled.
-    cmasks: Vec<usize>,
+    /// Precomputed in-block run decomposition of op `j` (control bits
+    /// below the block folded in — no per-pair tests remain).
+    shapes: Vec<RunShape>,
+    /// Control mask of op `j` when the control bit lives at or above the
+    /// block: constant across a block, tested once per block. 0 = none.
+    block_masks: Vec<usize>,
     /// Coefficient class of op `j`.
     classes: Vec<OpClass>,
-    /// log₂ of the block length.
+    /// Plan-order execution segments (blocked low-op runs interleaved
+    /// with full-sweep high ops).
+    segments: Vec<Segment>,
+    /// log₂ of the block length used by blocked segments.
     block_bits: usize,
     /// Highest bit any op addresses (validated against the amplitude
     /// array length on every apply).
@@ -124,13 +168,7 @@ impl BatchKernel {
     /// its qubit sets are pairwise disjoint; both are debug-asserted.
     pub(crate) fn new(ops: &[KernelOp]) -> Self {
         debug_assert!(!ops.is_empty(), "empty batch");
-        // The block must cover every op's index pairs: pairs differ only
-        // in the target bit, so block_bits > max target bit suffices.
-        // (A control bit above the block is constant per block and is
-        // hoisted to a whole-block skip in `apply`.)
-        let max_target = ops.iter().map(|op| op.target).max().expect("non-empty");
-        let block_bits = MIN_BLOCK_BITS.max(max_target + 1);
-        Self::with_block_bits(ops, block_bits)
+        Self::with_block_bits(ops, MIN_BLOCK_BITS)
     }
 
     /// [`BatchKernel::new`] with an explicit block size — tests pin the
@@ -138,10 +176,12 @@ impl BatchKernel {
     pub(crate) fn with_block_bits(ops: &[KernelOp], block_bits: usize) -> Self {
         let mut seen = 0u128;
         let mut strides = Vec::with_capacity(ops.len());
-        let mut cmasks = Vec::with_capacity(ops.len());
+        let mut shapes = Vec::with_capacity(ops.len());
+        let mut block_masks = Vec::with_capacity(ops.len());
         let mut classes = Vec::with_capacity(ops.len());
+        let mut segments: Vec<Segment> = Vec::new();
         let mut max_bit = 0usize;
-        for op in ops {
+        for (j, op) in ops.iter().enumerate() {
             // The planner caps batched qubits (MAX_BATCH_QUBIT) well
             // under the usize shifts below; the mask bound is looser.
             debug_assert!(op.target < 128 && seen & (1u128 << op.target) == 0);
@@ -153,15 +193,41 @@ impl BatchKernel {
                 seen |= 1u128 << (c % 128);
                 max_bit = max_bit.max(c);
             }
-            debug_assert!(block_bits > op.target, "block must cover the pair stride");
-            strides.push(1usize << op.target);
-            cmasks.push(op.control.map_or(0, |c| 1usize << c));
+            let stride = 1usize << op.target;
+            let cmask = op.control.map_or(0, |c| 1usize << c);
+            let low = op.target < block_bits;
+            // Split the control between the block walk and the run
+            // shape at compile time. For a low op, whenever the mask
+            // could matter (cmask < n, i.e. the state holds the control
+            // bit), the apply-time block is exactly `2^block_bits`, so
+            // the split is decidable here: at or above the block →
+            // constant per block, test once per block; below → fold
+            // into the runs. A high op sweeps the whole array, so its
+            // control always folds into the runs.
+            let (block_mask, in_run) = if low && cmask >= 1usize << block_bits {
+                (cmask, 0)
+            } else {
+                (0, cmask)
+            };
+            strides.push(stride);
+            shapes.push(RunShape::new(stride, in_run));
+            block_masks.push(block_mask);
             classes.push(classify(&op.matrix));
+            match segments.last_mut() {
+                Some(seg) if low && seg.blocked && seg.end == j => seg.end = j + 1,
+                _ => segments.push(Segment {
+                    start: j,
+                    end: j + 1,
+                    blocked: low,
+                }),
+            }
         }
         BatchKernel {
             strides,
-            cmasks,
+            shapes,
+            block_masks,
             classes,
+            segments,
             block_bits,
             max_bit,
         }
@@ -178,151 +244,197 @@ impl BatchKernel {
         self.strides.is_empty()
     }
 
-    /// Applies every op of the batch to `amps` in one blocked pass,
-    /// bit-identical to applying the ops sequentially in full sweeps.
+    /// Applies every op of the batch to `amps` in one blocked pass on
+    /// the active SIMD backend, bit-identical to applying the ops
+    /// sequentially in full sweeps.
     ///
     /// # Panics
     ///
     /// Panics when `amps` is not a power-of-two length covering every
     /// qubit the batch addresses.
     pub fn apply(&self, amps: &mut [Complex]) {
+        self.apply_on(simd::active_backend(), amps)
+    }
+
+    /// [`BatchKernel::apply`] on an explicit SIMD backend — the
+    /// equivalence suites use this to compare backends deterministically
+    /// without touching the process-global dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `backend` is not available on this host, or when
+    /// `amps` is not a power-of-two length covering every qubit the
+    /// batch addresses.
+    pub fn apply_on(&self, backend: SimdBackend, amps: &mut [Complex]) {
         let n = amps.len();
         assert!(
             n.is_power_of_two() && n >= (2usize << self.max_bit),
             "amplitude array of {n} cannot hold qubit bit {}",
             self.max_bit
         );
+        assert!(
+            backend.is_available(),
+            "SIMD backend {} is not available on this host",
+            backend.name()
+        );
+        // SAFETY: length checked above; the per-backend wrappers only
+        // add the `target_feature` proof just asserted available.
+        unsafe {
+            match backend {
+                SimdBackend::Scalar => self.apply_with::<ScalarIsa>(amps),
+                #[cfg(target_arch = "x86_64")]
+                SimdBackend::Avx2 => self.apply_avx2(amps),
+                #[cfg(target_arch = "aarch64")]
+                SimdBackend::Neon => self.apply_neon(amps),
+                #[allow(unreachable_patterns)]
+                other => unreachable!("{} unavailable", other.name()),
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn apply_avx2(&self, amps: &mut [Complex]) {
+        self.apply_with::<crate::simd::x86::Avx2Isa>(amps)
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn apply_neon(&self, amps: &mut [Complex]) {
+        self.apply_with::<crate::simd::aarch64::NeonIsa>(amps)
+    }
+
+    /// The blocked walk, generic over the instruction set and inlined
+    /// into each `target_feature` wrapper so the run primitives compile
+    /// as native vector code.
+    ///
+    /// # Safety
+    ///
+    /// `amps.len()` must be a power of two covering `max_bit` (the
+    /// public entry points assert it), and the caller must hold the
+    /// `I`-specific CPU-feature proof.
+    #[inline(always)]
+    unsafe fn apply_with<I: Isa>(&self, amps: &mut [Complex]) {
+        let n = amps.len();
         let block = (1usize << self.block_bits).min(n);
-        let mut base = 0usize;
-        while base < n {
-            for j in 0..self.strides.len() {
-                let stride = self.strides[j];
-                let mut cmask = self.cmasks[j];
-                if cmask >= block {
-                    // Control bit lives above the block: it is constant
-                    // across the whole block — skip the block outright
-                    // or drop the per-pair test.
-                    if base & cmask == 0 {
+        let ptr = amps.as_mut_ptr();
+        for seg in &self.segments {
+            if !seg.blocked {
+                // High op: one full-array sweep in its plan-order slot.
+                // In-bounds: `n` is a power of two covering `max_bit`,
+                // so it is a multiple of 2 × stride.
+                let j = seg.start;
+                apply_class_runs::<I>(
+                    ptr,
+                    0,
+                    n,
+                    self.strides[j],
+                    &self.shapes[j],
+                    &self.classes[j],
+                );
+                continue;
+            }
+            let mut base = 0usize;
+            while base < n {
+                for j in seg.start..seg.end {
+                    let block_mask = self.block_masks[j];
+                    if block_mask != 0 && base & block_mask == 0 {
+                        // Control bit lives at or above the block:
+                        // constant across the whole block — skip it
+                        // outright.
                         continue;
                     }
-                    cmask = 0;
+                    // In-bounds by construction: `base + block <= n` (n
+                    // is a multiple of the power-of-two block) and every
+                    // pair index is `off | stride < base + block`
+                    // because `stride < block`.
+                    apply_class_runs::<I>(
+                        ptr,
+                        base,
+                        block,
+                        self.strides[j],
+                        &self.shapes[j],
+                        &self.classes[j],
+                    );
                 }
-                // In-bounds by construction: `base + block <= n` (n is a
-                // multiple of the power-of-two block) and every pair
-                // index is `off | stride < base + block` because
-                // `stride < block`.
-                apply_class_block(amps, base, block, stride, cmask, &self.classes[j]);
+                base += block;
             }
-            base += block;
         }
     }
 }
 
-/// Walks the index pairs `(off, off | stride)` of one op inside the
-/// block `[base, base + block)`, invoking `f` on each pair that passes
-/// the (in-block) control mask. Every produced index is below
-/// `base + block` because `stride < block` — the unchecked accesses in
-/// [`apply_class_block`] rely on the caller bounding `base + block` by
-/// the buffer length.
+/// Applies one classified op to one block by streaming the op's
+/// [`RunShape`] runs through the matching `I` primitive. The specialized
+/// products are float-exact against [`Mat2::apply`] up to the sign of
+/// zero (see the module docs).
+///
+/// # Safety
+///
+/// As for [`for_runs`]: `ptr` valid over `[base, base + block)`, `block`
+/// and `base` multiples of `2 × stride`, plus the `I`-specific
+/// CPU-feature proof.
 #[inline(always)]
-fn for_pairs(
+unsafe fn apply_class_runs<I: Isa>(
+    ptr: *mut Complex,
     base: usize,
     block: usize,
     stride: usize,
-    cmask: usize,
-    mut f: impl FnMut(usize, usize),
-) {
-    let top = base + block;
-    let mut lo = base;
-    if cmask == 0 {
-        while lo < top {
-            for off in lo..lo + stride {
-                f(off, off + stride);
-            }
-            lo += 2 * stride;
-        }
-    } else {
-        while lo < top {
-            for off in lo..lo + stride {
-                if off & cmask != 0 {
-                    f(off, off + stride);
-                }
-            }
-            lo += 2 * stride;
-        }
-    }
-}
-
-/// Applies one classified op to one block. The specialized products are
-/// float-exact against [`Mat2::apply`] up to the sign of zero (see the
-/// module docs).
-#[inline(always)]
-fn apply_class_block(
-    amps: &mut [Complex],
-    base: usize,
-    block: usize,
-    stride: usize,
-    cmask: usize,
+    shape: &RunShape,
     class: &OpClass,
 ) {
-    debug_assert!(base + block <= amps.len() && stride < block);
-    let ptr = amps.as_mut_ptr();
-    // SAFETY (each block below): `for_pairs` produces indices strictly
-    // below `base + block <= amps.len()` (checked above; in release the
-    // caller's `apply` asserted the array covers `max_bit`), and
-    // `i0 != i1`, so every raw access is in-bounds and non-aliasing
-    // within one `f` invocation.
+    if stride == 1 && shape.group_mask == 0 {
+        // Qubit-0 op, uncontrolled in-block: runs degenerate to single
+        // pairs, so use the interleaved-pair primitives instead (same
+        // pairs, same order, vector-width arithmetic).
+        let p = ptr.add(base);
+        let pairs = block / 2;
+        match class {
+            OpClass::Phase { d } => I::phase_pairs(p, pairs, *d),
+            OpClass::Scale { a, d } => I::scale_pairs(p, pairs, *a, *d),
+            OpClass::Swap => I::swap_pairs(p, pairs),
+            OpClass::Flip { b, c } => I::flip_pairs(p, pairs, *b, *c),
+            OpClass::RealGeneral { a, b, c, d } => {
+                I::real_general_pairs(p, pairs, [*a, *b, *c, *d])
+            }
+            OpClass::General { m } => I::general_pairs(p, pairs, m),
+        }
+        return;
+    }
     match class {
         OpClass::Phase { d } => {
             let d = *d;
-            for_pairs(base, block, stride, cmask, |_, i1| unsafe {
-                let y = ptr.add(i1);
-                *y = d * *y;
-            });
+            for_runs!(ptr, base, block, stride, shape, |_x, y, len| I::cmul(
+                y, len, d
+            ));
         }
         OpClass::Scale { a, d } => {
             let (a, d) = (*a, *d);
-            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
-                let x = ptr.add(i0);
-                let y = ptr.add(i1);
-                *x = a * *x;
-                *y = d * *y;
+            for_runs!(ptr, base, block, stride, shape, |x, y, len| {
+                I::cmul(x, len, a);
+                I::cmul(y, len, d);
             });
         }
         OpClass::Swap => {
-            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
-                std::ptr::swap(ptr.add(i0), ptr.add(i1));
-            });
+            for_runs!(ptr, base, block, stride, shape, |x, y, len| I::swap(
+                x, y, len
+            ));
         }
         OpClass::Flip { b, c } => {
             let (b, c) = (*b, *c);
-            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
-                let x = ptr.add(i0);
-                let y = ptr.add(i1);
-                let old_x = *x;
-                *x = b * *y;
-                *y = c * old_x;
-            });
+            for_runs!(ptr, base, block, stride, shape, |x, y, len| I::flip(
+                x, y, len, b, c
+            ));
         }
         OpClass::RealGeneral { a, b, c, d } => {
-            let (a, b, c, d) = (*a, *b, *c, *d);
-            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
-                let px = ptr.add(i0);
-                let py = ptr.add(i1);
-                let x = *px;
-                let y = *py;
-                *px = Complex::new(a * x.re + b * y.re, a * x.im + b * y.im);
-                *py = Complex::new(c * x.re + d * y.re, c * x.im + d * y.im);
+            let m = [*a, *b, *c, *d];
+            for_runs!(ptr, base, block, stride, shape, |x, y, len| {
+                I::real_general(x, y, len, m)
             });
         }
         OpClass::General { m } => {
-            for_pairs(base, block, stride, cmask, |i0, i1| unsafe {
-                let px = ptr.add(i0);
-                let py = ptr.add(i1);
-                let (x, y) = m.apply(*px, *py);
-                *px = x;
-                *py = y;
-            });
+            for_runs!(ptr, base, block, stride, shape, |x, y, len| I::general(
+                x, y, len, m
+            ));
         }
     }
 }
@@ -330,7 +442,7 @@ fn apply_class_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::apply::{apply_controlled_mat2_at, apply_mat2_at};
+    use crate::apply::{apply_controlled_mat2_at_on, apply_mat2_at_on};
     use qcircuit::Gate;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -344,12 +456,15 @@ mod tests {
             .collect()
     }
 
-    /// Sequential reference: full sweep per op via the scalar kernels.
+    /// Sequential reference: full sweep per op via the forced-scalar
+    /// kernels.
     fn reference(ops: &[KernelOp], amps: &mut [Complex]) {
         for op in ops {
             match op.control {
-                Some(c) => apply_controlled_mat2_at(amps, c, op.target, &op.matrix),
-                None => apply_mat2_at(amps, op.target, &op.matrix),
+                Some(c) => {
+                    apply_controlled_mat2_at_on(SimdBackend::Scalar, amps, c, op.target, &op.matrix)
+                }
+                None => apply_mat2_at_on(SimdBackend::Scalar, amps, op.target, &op.matrix),
             }
         }
     }
@@ -366,9 +481,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn every_class_matches_the_scalar_kernels_bit_for_bit() {
-        let cases: Vec<Vec<KernelOp>> = vec![
+    fn cases() -> Vec<Vec<KernelOp>> {
+        vec![
             // Phase / Scale / Swap / Flip / RealGeneral / General singles.
             vec![KernelOp {
                 target: 2,
@@ -401,7 +515,8 @@ mod tests {
                 matrix: mat(Gate::U3(0.4, 1.1, -0.6)),
             }],
             // Controlled variants (CX = controlled Swap, CZ = controlled
-            // Phase, CH = controlled RealGeneral).
+            // Phase, CH = controlled RealGeneral), with controls below
+            // and above the target to hit both RunShape arms.
             vec![KernelOp {
                 target: 2,
                 control: Some(0),
@@ -445,13 +560,44 @@ mod tests {
                     matrix: mat(Gate::U3(0.2, 0.3, 0.4)),
                 },
             ],
-        ];
-        for (k, ops) in cases.iter().enumerate() {
+        ]
+    }
+
+    #[test]
+    fn every_class_matches_the_scalar_kernels_bit_for_bit() {
+        for (k, ops) in cases().iter().enumerate() {
             let mut batched = random_amps(6, k as u64);
             let mut sequential = batched.clone();
             BatchKernel::new(ops).apply(&mut batched);
             reference(ops, &mut sequential);
             assert_states_equal(&batched, &sequential);
+        }
+    }
+
+    #[test]
+    fn every_backend_is_bit_identical_to_forced_scalar() {
+        // Strict `to_bits` equality, not `==`: scalar and vector run the
+        // same operation sequence, so even zero signs must agree.
+        let vector = simd::detected_backend();
+        for (k, ops) in cases().iter().enumerate() {
+            let scalar_out = {
+                let mut amps = random_amps(6, 100 + k as u64);
+                BatchKernel::new(ops).apply_on(SimdBackend::Scalar, &mut amps);
+                amps
+            };
+            let vector_out = {
+                let mut amps = random_amps(6, 100 + k as u64);
+                BatchKernel::new(ops).apply_on(vector, &mut amps);
+                amps
+            };
+            for (i, (a, b)) in scalar_out.iter().zip(&vector_out).enumerate() {
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "amplitude {i} diverged between scalar and {} on case {k}",
+                    vector.name()
+                );
+            }
         }
     }
 
@@ -493,8 +639,9 @@ mod tests {
     }
 
     #[test]
-    fn default_block_covers_high_targets() {
-        // Target above MIN_BLOCK_BITS: the block must grow to cover it.
+    fn high_targets_run_as_full_sweeps() {
+        // Target at/above MIN_BLOCK_BITS: executed as a full-array
+        // sweep in its plan-order slot, not a blocked pass.
         let ops = vec![KernelOp {
             target: 13,
             control: None,
@@ -503,6 +650,42 @@ mod tests {
         let mut batched = random_amps(14, 7);
         let mut sequential = batched.clone();
         BatchKernel::new(&ops).apply(&mut batched);
+        reference(&ops, &mut sequential);
+        assert_states_equal(&batched, &sequential);
+    }
+
+    #[test]
+    fn interleaved_low_and_high_ops_preserve_plan_order() {
+        // low, high, low, high with tiny blocks: two blocked segments
+        // split around full sweeps, bit-identical to sequential order.
+        // The high ops carry controls below and above their target to
+        // exercise both RunShape arms in the sweep path.
+        let ops = vec![
+            KernelOp {
+                target: 0,
+                control: None,
+                matrix: mat(Gate::H),
+            },
+            KernelOp {
+                target: 6,
+                control: Some(2),
+                matrix: mat(Gate::U3(0.9, -0.3, 0.5)),
+            },
+            KernelOp {
+                target: 3,
+                control: None,
+                matrix: mat(Gate::T),
+            },
+            KernelOp {
+                target: 5,
+                control: Some(7),
+                matrix: mat(Gate::X),
+            },
+        ];
+        let amps0 = random_amps(8, 99);
+        let mut batched = amps0.clone();
+        let mut sequential = amps0;
+        BatchKernel::with_block_bits(&ops, 4).apply(&mut batched);
         reference(&ops, &mut sequential);
         assert_states_equal(&batched, &sequential);
     }

@@ -28,6 +28,10 @@
 //! * [`pool`] — the persistent work-stealing [`ShardPool`] that executes
 //!   shot shards; thousands of small `run_compiled` calls amortize
 //!   thread-spawn cost to ~zero,
+//! * [`simd`] — explicit-width vector implementations of the amplitude
+//!   run primitives with runtime CPU-feature dispatch (AVX2 / NEON /
+//!   scalar, `QSIM_SIMD` override), bit-identical across backends by a
+//!   strict no-FMA, same-association contract,
 //! * [`Backend`] implementations: [`StatevectorBackend`] (ideal),
 //!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded), and
 //!   [`DensityMatrixBackend`] (exact noisy with measurement branching) —
@@ -70,6 +74,7 @@ pub mod kernel;
 pub mod pool;
 pub mod prefix;
 pub mod program;
+pub mod simd;
 pub mod statevector;
 
 pub use batch::{BatchPlan, PlanNode};
@@ -90,4 +95,5 @@ pub use kernel::BatchKernel;
 pub use pool::{PoolScope, PoolStats, ShardPool};
 pub use prefix::PrefixRegistry;
 pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
+pub use simd::SimdBackend;
 pub use statevector::StateVector;

@@ -11,9 +11,12 @@
 use proptest::prelude::*;
 use qcircuit::QuantumCircuit;
 use qsim::{
-    compile_with, Backend, CompileOptions, DensityMatrixBackend, StatevectorBackend,
+    compile_with, Backend, CompileOptions, DensityMatrixBackend, SimdBackend, StatevectorBackend,
     TrajectoryBackend,
 };
+
+mod support;
+use support::with_forced_simd;
 
 const BATCHED: CompileOptions = CompileOptions {
     fuse_1q: true,
@@ -166,6 +169,29 @@ proptest! {
             // f64 `==`: exact, modulo the (invisible) sign of zero.
             prop_assert_eq!(a.amplitude(i), b.amplitude(i));
         }
+    }
+
+    #[test]
+    fn batched_counts_bit_identical_forced_scalar_vs_forced_vector(
+        num_qubits in 4usize..9,
+        layer_codes in collection::vec(any::<u64>(), 2..8),
+        seed in any::<u64>(),
+    ) {
+        // The SIMD axis of the same property: a *batched* program (the
+        // blocked kernels are the vectorized hot path) must produce
+        // bit-identical counts whether every kernel runs the scalar
+        // reference loops or the detected vector ISA.
+        let c = layered_circuit(num_qubits, &layer_codes);
+        let batched = compile_with(&c, None, BATCHED).unwrap();
+        let backend = StatevectorBackend::new().with_seed(seed);
+        let scalar = with_forced_simd(SimdBackend::Scalar, || {
+            backend.run_compiled(&batched, 257).unwrap()
+        });
+        let vectored = with_forced_simd(qsim::simd::detected_backend(), || {
+            backend.run_compiled(&batched, 257).unwrap()
+        });
+        prop_assert_eq!(scalar.counts, vectored.counts);
+        prop_assert_eq!(scalar.shots_discarded, vectored.shots_discarded);
     }
 }
 

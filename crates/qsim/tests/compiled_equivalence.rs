@@ -26,6 +26,9 @@ use qsim::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+mod support;
+use support::with_forced_simd;
+
 /// The workloads the acceptance criteria name: GHZ, teleportation, and
 /// Grover, each with a classical record.
 fn workloads() -> Vec<(&'static str, QuantumCircuit)> {
@@ -407,6 +410,31 @@ proptest! {
             .run(&c, 512)
             .unwrap();
         prop_assert_eq!(fused.counts, unfused.counts);
+    }
+
+    /// The SIMD axis: random 1q-heavy compiled circuits sample
+    /// bit-identically with every kernel forced onto the scalar
+    /// reference loops vs the detected vector ISA — fusion on, so the
+    /// fused General-class matrices go through the vector path too.
+    #[test]
+    fn random_circuits_sample_identically_forced_scalar_vs_forced_vector(
+        gates in proptest::collection::vec((arb_1q_gate(), 0u64..5), 4..20),
+        seed in 0u64..1_000,
+    ) {
+        let mut c = QuantumCircuit::new(5, 5);
+        for (i, (g, q)) in gates.iter().enumerate() {
+            c.gate(*g, [(*q % 5) as usize]).unwrap();
+            if i % 4 == 3 {
+                c.cx((*q % 5) as usize, ((*q + 1) % 5) as usize).unwrap();
+            }
+        }
+        c.measure_all();
+        let backend = StatevectorBackend::new().with_seed(seed);
+        let scalar =
+            with_forced_simd(qsim::SimdBackend::Scalar, || backend.run(&c, 512).unwrap());
+        let vectored =
+            with_forced_simd(qsim::simd::detected_backend(), || backend.run(&c, 512).unwrap());
+        prop_assert_eq!(scalar.counts, vectored.counts);
     }
 }
 

@@ -1,6 +1,29 @@
 //! Shared helpers for the qsim integration suites.
+#![allow(dead_code)] // each suite binary uses its own subset
 
 use qsim::{CompiledKind, CompiledProgram};
+use std::sync::Mutex;
+
+/// Serializes uses of the process-global SIMD override so concurrently
+/// running `#[test]`s can't observe each other's forcing mid-comparison.
+/// (Even a race would be benign — all backends are bit-identical — but
+/// serialized forcing keeps each comparison honestly single-backend.)
+static SIMD_FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with every kernel dispatch forced onto `backend`, restoring
+/// auto-detection afterwards (also on panic).
+pub fn with_forced_simd<T>(backend: qsim::SimdBackend, f: impl FnOnce() -> T) -> T {
+    let _guard = SIMD_FORCE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            qsim::simd::set_backend_override(None);
+        }
+    }
+    let _restore = Restore;
+    qsim::simd::set_backend_override(Some(backend));
+    f()
+}
 
 /// Folds one f64 into a digest by exact bit pattern.
 pub fn mix(digest: &mut u64, value: u64) {
