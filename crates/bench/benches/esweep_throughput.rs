@@ -1,0 +1,239 @@
+//! Sequential shot-plan throughput: `ShotPlan::Sequential` early
+//! termination vs the full `ShotPlan::Fixed` budget on the paper's
+//! 500-point sweep shape.
+//!
+//! The companion of `psweep_throughput` (which times point-level
+//! parallel dispatch): this bench measures the *statistical* lever —
+//! anytime-valid sequential tests let clear-cut points stop after a few
+//! tranches instead of burning the whole fixed budget. The workload
+//! alternates correct Even-parity bell assertions (noise-level firing →
+//! `Holds`) with structurally violated Odd ones (every shot fires →
+//! `Violated`), so every point is clear-cut and the sequential plan
+//! should decide early at all of them.
+//!
+//! Correctness before speed, asserted before any number is reported:
+//!
+//! * every sequential point reaches the **same verdict** as the fixed
+//!   plan at the same point (early stopping must not flip decisions);
+//! * the sequential sweep is **bit-reproducible** across sweep
+//!   policies (Serial vs Parallel): identical counts, shots used, and
+//!   stop reasons (exit 2 on divergence).
+//!
+//! Results go to `BENCH_esweep.json` (override with `--out`);
+//! `--check <baseline.json>` turns the run into a CI gate on the
+//! machine-independent **shots-saved ratio** (fixed budget ÷ sequential
+//! shots actually spent), which must clear the baseline's `min_ratio`.
+//! The ratio is a pure property of the seeded count streams and the
+//! e-process thresholds — no derating for cores or wall clock needed.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench esweep_throughput -- --quick --check
+//! ```
+
+use qassert::{
+    AssertingCircuit, AssertionSession, FilterPolicy, Parity, ShotPlan, StopReason, SweepOutcome,
+    SweepPolicy,
+};
+use qcircuit::library;
+use qsim::TrajectoryBackend;
+use std::time::Instant;
+
+/// One sweep configuration.
+struct Config {
+    mode: &'static str,
+    points: usize,
+    max_shots: u64,
+}
+
+/// Clear-cut alternating family: even points assert the parity the bell
+/// state satisfies, odd points assert its negation.
+fn family(points: usize) -> Vec<AssertingCircuit> {
+    (0..points)
+        .map(|i| {
+            let mut ac = AssertingCircuit::new(library::bell());
+            let parity = if i % 2 == 0 {
+                Parity::Even
+            } else {
+                Parity::Odd
+            };
+            ac.assert_entangled([0, 1], parity)
+                .expect("valid assertion targets");
+            ac.measure_data();
+            ac
+        })
+        .collect()
+}
+
+fn backend() -> TrajectoryBackend {
+    // Mild uniform noise keeps every point on the per-shot path without
+    // drowning the verdicts — the same profile as psweep_throughput.
+    TrajectoryBackend::new(
+        qnoise::presets::uniform(3, 0.005, 0.02, 0.01).expect("valid noise parameters"),
+    )
+}
+
+/// Runs the sweep under one plan, timing the whole `run_sweep` call.
+fn run_plan(
+    cfg: &Config,
+    proto: &TrajectoryBackend,
+    plan: ShotPlan,
+    policy: SweepPolicy,
+) -> (f64, SweepOutcome) {
+    let session = AssertionSession::new(proto)
+        .private_cache(8)
+        .filter_policy(FilterPolicy::AllowEmpty)
+        .shot_plan(plan)
+        .threads(1)
+        .seed(12345)
+        .sweep_policy(policy);
+    let start = Instant::now();
+    let sweep = session.run_sweep(family(cfg.points)).expect("sweep runs");
+    (start.elapsed().as_secs_f64(), sweep)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| qassert_bench::harness::flag(&args, name);
+    let value_of = |name: &str| qassert_bench::harness::value_of(&args, name);
+    let json_number_field = qassert_bench::harness::json_number_field;
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            points: 500,
+            max_shots: 1024,
+        }
+    } else {
+        Config {
+            mode: "full",
+            points: 500,
+            max_shots: 4096,
+        }
+    };
+    let plan = ShotPlan::Sequential {
+        alpha: 0.05,
+        min_shots: 64,
+        max_shots: cfg.max_shots,
+        tranche: 64,
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_esweep.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/esweep_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    let proto = backend();
+    // Warm up: fault in the pool workers and settle both paths.
+    let warmup = Config {
+        mode: "warmup",
+        points: 32,
+        max_shots: cfg.max_shots,
+    };
+    let _ = run_plan(&warmup, &proto, plan, SweepPolicy::Serial);
+    let _ = run_plan(
+        &warmup,
+        &proto,
+        ShotPlan::Fixed(cfg.max_shots),
+        SweepPolicy::Parallel,
+    );
+
+    let (fixed_secs, fixed) = run_plan(
+        &cfg,
+        &proto,
+        ShotPlan::Fixed(cfg.max_shots),
+        SweepPolicy::Serial,
+    );
+    let (seq_secs, sequential) = run_plan(&cfg, &proto, plan, SweepPolicy::Serial);
+    let (_, replay) = run_plan(&cfg, &proto, plan, SweepPolicy::Parallel);
+
+    // Correctness before speed: verdict parity with the fixed plan and
+    // bit-reproducibility across sweep policies.
+    let mut sound = sequential.len() == fixed.len() && replay.len() == sequential.len();
+    let mut early_stops = 0usize;
+    for ((s, r), f) in sequential.iter().zip(replay.iter()).zip(fixed.iter()) {
+        sound &= s.outcome().raw.counts == r.outcome().raw.counts
+            && s.shots_used() == r.shots_used()
+            && s.stop() == r.stop();
+        sound &= s
+            .verdicts()
+            .iter()
+            .zip(f.verdicts())
+            .all(|(sv, fv)| sv.verdict == fv.verdict);
+        early_stops += usize::from(s.stop() == StopReason::Decided);
+    }
+    if !sound {
+        eprintln!(
+            "SEQUENTIAL PLAN BROKEN: verdicts diverge from the fixed plan or the \
+             sweep is not policy-reproducible"
+        );
+        std::process::exit(2);
+    }
+
+    let budget = fixed.shots_used();
+    let used = sequential.shots_used();
+    let ratio = budget as f64 / used as f64;
+    let decided_pct = early_stops as f64 * 100.0 / cfg.points as f64;
+
+    println!(
+        "esweep_throughput [{}]: {} points, fixed budget {} shots/point, \
+         sequential alpha 0.05 min 64 tranche 64",
+        cfg.mode, cfg.points, cfg.max_shots,
+    );
+    println!(
+        "  fixed plan: {:>9.3} ms / {budget} shots   sequential: {:>9.3} ms / {used} shots",
+        fixed_secs * 1e3,
+        seq_secs * 1e3,
+    );
+    println!(
+        "  shots saved {ratio:.2}x   early stops {early_stops}/{} ({decided_pct:.1}%)   \
+         tranches {}",
+        cfg.points, sequential.telemetry.tranches,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"esweep_throughput\",\"mode\":\"{}\",\"points\":{},\"max_shots\":{},\
+         \"fixed_shots\":{},\"sequential_shots\":{},\"shots_saved_ratio\":{:.3},\
+         \"early_stops\":{},\"tranches\":{},\"fixed_ms\":{:.3},\"sequential_ms\":{:.3},\
+         \"verdicts_match\":{}}}",
+        cfg.mode,
+        cfg.points,
+        cfg.max_shots,
+        budget,
+        used,
+        ratio,
+        early_stops,
+        sequential.telemetry.tranches,
+        fixed_secs * 1e3,
+        seq_secs * 1e3,
+        sound,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let min_ratio = json_number_field(&baseline, "min_ratio").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no min_ratio field");
+            std::process::exit(1);
+        });
+        println!("  shots-saved gate: {ratio:.2}x vs required {min_ratio:.2}x");
+        if ratio < min_ratio {
+            eprintln!(
+                "PERF REGRESSION: sequential plan saved only {ratio:.2}x shots, below the \
+                 {min_ratio:.2}x floor — early termination has regressed"
+            );
+            std::process::exit(4);
+        }
+        println!("  shots-saved gate: ok");
+    }
+}

@@ -117,8 +117,8 @@ fn main() {
 
     // Correctness before speed: bit-identical points and deterministic
     // telemetry under both policies.
-    let mut identical = parallel.points.len() == serial.points.len();
-    for (a, b) in parallel.points.iter().zip(&serial.points) {
+    let mut identical = parallel.len() == serial.len();
+    for (a, b) in parallel.outcomes().iter().zip(serial.outcomes()) {
         identical &= a.raw.counts == b.raw.counts && a.kept == b.kept;
     }
     identical &= parallel.telemetry.runs == serial.telemetry.runs

@@ -123,9 +123,13 @@ fn psweep_smoke() -> Result<String, String> {
     };
     let serial = run(SweepPolicy::Serial)?;
     let parallel = run(SweepPolicy::Parallel)?;
-    for (p, (a, b)) in parallel.points.iter().zip(&serial.points).enumerate() {
-        if a.raw.counts != b.raw.counts || a.kept != b.kept {
-            return Err(format!("point {p} diverges between parallel and serial"));
+    for (a, b) in parallel.iter().zip(serial.iter()) {
+        if a.outcome().raw.counts != b.outcome().raw.counts || a.outcome().kept != b.outcome().kept
+        {
+            return Err(format!(
+                "point {} diverges between parallel and serial",
+                a.index()
+            ));
         }
     }
     let (pt, st) = (&parallel.telemetry, &serial.telemetry);
@@ -146,9 +150,93 @@ fn psweep_smoke() -> Result<String, String> {
     }
     Ok(format!(
         "psweep smoke: {} points bit-identical across policies ({} pool tasks, {} steals)",
-        parallel.points.len(),
+        parallel.len(),
         pt.pool_tasks,
         pt.pool_steals
+    ))
+}
+
+/// `--quick` also smokes the sequential shot plan: a clear-cut seeded
+/// sweep under `ShotPlan::Sequential` must reach the same verdict at
+/// every point as the full fixed budget while spending meaningfully
+/// fewer shots, and must reproduce itself bit-for-bit across sweep
+/// policies. The end-to-end CI twin of the `esweep_throughput` gate
+/// (exit 3 on divergence).
+fn esweep_smoke() -> Result<String, String> {
+    use qassert::{
+        AssertingCircuit, AssertionSession, FilterPolicy, Parity, ShotPlan, StopReason, SweepPolicy,
+    };
+    // Alternating clear-cut points: correct Even-parity bell assertions
+    // (noise-level firing → Holds) and structurally violated Odd ones
+    // (every shot fires → Violated).
+    let circuits = || -> Vec<AssertingCircuit> {
+        (0..16)
+            .map(|i| {
+                let mut ac = AssertingCircuit::new(qcircuit::library::bell());
+                let parity = if i % 2 == 0 {
+                    Parity::Even
+                } else {
+                    Parity::Odd
+                };
+                ac.assert_entangled([0, 1], parity).expect("valid");
+                ac.measure_data();
+                ac
+            })
+            .collect()
+    };
+    let noise = qnoise::presets::uniform(3, 0.005, 0.02, 0.01).expect("valid noise");
+    let proto = qsim::TrajectoryBackend::new(noise);
+    let plan = ShotPlan::Sequential {
+        alpha: 0.05,
+        min_shots: 64,
+        max_shots: 2048,
+        tranche: 64,
+    };
+    let run = |plan: ShotPlan, policy: SweepPolicy| {
+        AssertionSession::new(&proto)
+            .private_cache(32)
+            .filter_policy(FilterPolicy::AllowEmpty)
+            .shot_plan(plan)
+            .threads(2)
+            .seed(11)
+            .sweep_policy(policy)
+            .run_sweep(circuits())
+            .map_err(|e| e.to_string())
+    };
+    let sequential = run(plan, SweepPolicy::Serial)?;
+    let replay = run(plan, SweepPolicy::Parallel)?;
+    let fixed = run(ShotPlan::Fixed(2048), SweepPolicy::Serial)?;
+    for ((s, r), f) in sequential.iter().zip(replay.iter()).zip(fixed.iter()) {
+        let p = s.index();
+        if s.outcome().raw.counts != r.outcome().raw.counts
+            || s.shots_used() != r.shots_used()
+            || s.stop() != r.stop()
+        {
+            return Err(format!("sequential point {p} is not policy-reproducible"));
+        }
+        if s.stop() != StopReason::Decided {
+            return Err(format!("clear-cut point {p} failed to stop early"));
+        }
+        for (sv, fv) in s.verdicts().iter().zip(f.verdicts()) {
+            if sv.verdict != fv.verdict {
+                return Err(format!(
+                    "point {p}: sequential verdict {:?} != fixed verdict {:?}",
+                    sv.verdict, fv.verdict
+                ));
+            }
+        }
+    }
+    let (used, budget) = (sequential.shots_used(), fixed.shots_used());
+    if used * 4 > budget {
+        return Err(format!(
+            "sequential plan saved too little: {used} of {budget} shots"
+        ));
+    }
+    Ok(format!(
+        "esweep smoke: verdicts match fixed plan, {used} of {budget} shots spent \
+         ({:.1}x saved), {} early stops",
+        budget as f64 / used as f64,
+        sequential.telemetry.early_stops
     ))
 }
 
@@ -200,6 +288,14 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(why) => {
                 eprintln!("psweep smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
+        // And sequential-plan early termination.
+        match esweep_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("esweep smoke FAILED: {why}");
                 std::process::exit(3);
             }
         }

@@ -9,8 +9,8 @@
 //! even projects surviving shots into the asserted entangled subspace.
 
 use qassert::{
-    AssertingCircuit, AssertionSession, Comparison, ExperimentReport, Parity, StatisticalAssertion,
-    StatisticalKind,
+    AssertingCircuit, AssertionSession, Comparison, ExperimentReport, Parity, ShotPlan,
+    StatisticalAssertion, StatisticalKind,
 };
 use qcircuit::QuantumCircuit;
 use qsim::{DensityMatrixBackend, StatevectorBackend};
@@ -34,7 +34,8 @@ pub fn run() -> ExperimentReport {
     ac.assert_entangled([0, 1], Parity::Even)
         .expect("valid targets");
     ac.measure_data();
-    let session = AssertionSession::new(DensityMatrixBackend::ideal()).shots(4096);
+    let session =
+        AssertionSession::new(DensityMatrixBackend::ideal()).shot_plan(ShotPlan::Fixed(4096));
     let outcome = session.run(&ac).expect("buggy bell simulates");
     let p_detect = outcome.assertion_error_rate;
     // Theory (Sec. 3.2): |+⟩⊗|0⟩ has odd-parity mass 1/2.

@@ -7,6 +7,7 @@
 
 use qassert::{
     theory, AssertingCircuit, AssertionSession, Comparison, ExperimentReport, OutcomeTable,
+    ShotPlan,
 };
 use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qmath::{Complex, FRAC_1_SQRT_2};
@@ -67,7 +68,8 @@ pub fn run() -> ExperimentReport {
         .assert_classical([0], [false])
         .expect("valid target");
     program.measure_data();
-    let session = AssertionSession::new(DensityMatrixBackend::ideal()).shots(8192);
+    let session =
+        AssertionSession::new(DensityMatrixBackend::ideal()).shot_plan(ShotPlan::Fixed(8192));
     let outcome = session.run(&program).expect("fig6 circuit simulates");
     report.comparisons.push(Comparison::new(
         "instrumented API assertion error rate",

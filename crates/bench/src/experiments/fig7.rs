@@ -8,7 +8,7 @@
 
 use qassert::{
     theory, AssertingCircuit, AssertionSession, Comparison, ExperimentReport, FilterPolicy,
-    OutcomeTable,
+    OutcomeTable, ShotPlan,
 };
 use qcircuit::{Gate, QuantumCircuit, QubitId};
 use qsim::{Counts, DensityMatrixBackend, StateVector};
@@ -65,7 +65,7 @@ pub fn run() -> ExperimentReport {
     ac.assert_superposition(0, qassert::SuperpositionBasis::Plus)
         .expect("valid target");
     let session = AssertionSession::new(DensityMatrixBackend::ideal())
-        .shots(8192)
+        .shot_plan(ShotPlan::Fixed(8192))
         .filter_policy(FilterPolicy::AllowEmpty);
     let outcome = session.run(&ac).expect("fig7 circuit simulates");
     report.comparisons.push(Comparison::new(

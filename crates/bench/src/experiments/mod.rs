@@ -13,7 +13,7 @@ pub mod table1;
 pub mod table2;
 pub mod theory_sweep;
 
-use qassert::{AssertingCircuit, AssertionSession};
+use qassert::{AssertingCircuit, AssertionSession, ShotPlan};
 use qcircuit::QuantumCircuit;
 use qdevice::transpile::transpile;
 use qnoise::NoiseModel;
@@ -45,7 +45,7 @@ pub fn to_ibmqx4(circuit: &QuantumCircuit) -> QuantumCircuit {
 /// that re-analyze one circuit per noise level (and the tests that
 /// re-run experiments) lower each `(circuit, noise)` pair once.
 pub fn exact_session(noise: NoiseModel) -> AssertionSession<'static, DensityMatrixBackend> {
-    AssertionSession::new(DensityMatrixBackend::new(noise)).shots(HW_SHOTS)
+    AssertionSession::new(DensityMatrixBackend::new(noise)).shot_plan(ShotPlan::Fixed(HW_SHOTS))
 }
 
 /// The session the hardware-table experiments run on: exact `ibmqx4`

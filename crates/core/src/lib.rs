@@ -45,15 +45,24 @@
 //! program.assert_entangled([0, 1], Parity::Even)?;
 //! program.measure_data();
 //!
-//! let session = AssertionSession::new(StatevectorBackend::new()).shots(1024);
+//! let session = AssertionSession::new(StatevectorBackend::new())
+//!     .shot_plan(qassert::ShotPlan::Fixed(1024));
 //! let outcome = session.run(&program)?;
 //! assert_eq!(outcome.assertion_error_rate, 0.0); // correct program
 //! # Ok(())
 //! # }
 //! ```
 //!
+//! The shot budget is a [`ShotPlan`]: `Fixed(n)` (the default, and what
+//! the `.shots(n)` shim sets) runs the whole budget in one backend call;
+//! [`ShotPlan::Sequential`] runs tranches and stops each run as soon as
+//! every assertion's anytime-valid verdict
+//! ([`statistical::SequentialTest`]) is decided — see
+//! [`session`]'s module docs.
+//!
 //! Migrating from the pre-session free functions
-//! (`run_with_assertions` & co., now deprecated):
+//! (`run_with_assertions` & co., now behind the off-by-default
+//! `legacy-api` cargo feature):
 //!
 //! | old | new |
 //! |---|---|
@@ -62,6 +71,8 @@
 //! | `analyze(raw, &ac)` | `session.analyze(raw, &ac)` |
 //! | `b.run(circuit, n)` then `analyze` | `session.run_circuit(circuit)` then `session.analyze` |
 //! | per-point loop + `push_cache_metrics` | `session.run_sweep(circuits)` → `SweepOutcome::telemetry` |
+//! | `.shots(n)` | `.shot_plan(ShotPlan::Fixed(n))`, or keep the shim |
+//! | `sweep.points[i]` | `sweep.point(i)` / `sweep.iter()` / `sweep.outcomes()` |
 
 pub mod assertion;
 pub mod error;
@@ -69,6 +80,7 @@ pub mod estimate;
 pub mod filter;
 pub mod instrument;
 pub mod mitigation;
+pub mod plan;
 pub mod report;
 pub mod runtime;
 pub mod session;
@@ -83,9 +95,19 @@ pub use filter::{
 };
 pub use instrument::{AssertingCircuit, AssertionId, AssertionRecord};
 pub use mitigation::ReadoutMitigator;
+pub use plan::{
+    PlanTrace, ShotPlan, StopReason, DEFAULT_SEQUENTIAL_MAX_SHOTS, DEFAULT_SEQUENTIAL_MIN_SHOTS,
+    DEFAULT_SEQUENTIAL_TRANCHE,
+};
 pub use report::{Comparison, ExperimentReport, Metric, OutcomeRow, OutcomeTable, SessionRecord};
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use runtime::{analyze, run_with_assertions, run_with_assertions_cached};
 pub use runtime::{AssertionOutcome, AssertionStats, FilterPolicy, MitigatedOutcome};
-pub use session::{AssertionSession, SessionTelemetry, SweepOutcome, SweepPolicy, DEFAULT_SHOTS};
-pub use statistical::{StatisticalAssertion, StatisticalKind, StatisticalVerdict};
+pub use session::{
+    AssertionSession, SessionTelemetry, SweepOutcome, SweepPoint, SweepPolicy, DEFAULT_SHOTS,
+};
+pub use statistical::{
+    AssertionVerdict, SequentialTest, SequentialVerdict, StatisticalAssertion, StatisticalKind,
+    StatisticalVerdict, DEFAULT_VERDICT_ALPHA, DEFAULT_VERDICT_THRESHOLD,
+};

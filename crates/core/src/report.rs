@@ -169,8 +169,14 @@ pub struct SessionRecord {
     /// (`None` = backend default). Backends without sampling randomness
     /// ignore the request.
     pub seed: Option<u64>,
-    /// Shots per run.
+    /// The plan's shot budget per run ([`crate::ShotPlan::budget`]):
+    /// the exact count under a fixed plan, `max_shots` under a
+    /// sequential one.
     pub shots: u64,
+    /// The session's shot plan, rendered
+    /// ([`crate::ShotPlan`]'s `Display` — e.g. `fixed(1024)` or
+    /// `sequential(alpha=0.05, min=64, max=8192, tranche=256)`).
+    pub plan: String,
     /// Capacity of the program cache the session compiled through.
     pub cache_capacity: usize,
     /// The SIMD backend the amplitude kernels dispatched to
@@ -239,6 +245,10 @@ impl ExperimentReport {
             .push(Metric::new("session_runs", t.runs as f64));
         self.metrics
             .push(Metric::new("session_shots", t.shots as f64));
+        self.metrics
+            .push(Metric::new("session_tranches", t.tranches as f64));
+        self.metrics
+            .push(Metric::new("session_early_stops", t.early_stops as f64));
         self.metrics
             .push(Metric::new("batched_ops", t.batched_ops as f64));
         self.metrics
@@ -322,7 +332,7 @@ impl ExperimentReport {
         match &self.session {
             Some(s) => {
                 out.push_str(&format!(
-                    "{{\"backend\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"cache_capacity\":{},\"simd\":{}}}",
+                    "{{\"backend\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"plan\":{},\"cache_capacity\":{},\"simd\":{}}}",
                     json_string(&s.backend),
                     match s.threads {
                         Some(t) => t.to_string(),
@@ -333,6 +343,7 @@ impl ExperimentReport {
                         None => String::from("null"),
                     },
                     s.shots,
+                    json_string(&s.plan),
                     s.cache_capacity,
                     json_string(&s.simd)
                 ));
@@ -382,10 +393,10 @@ impl ExperimentReport {
         }
         if let Some(s) = &self.session {
             out.push_str(&format!(
-                "\nsession: backend \"{}\", {} shots, threads requested {}, seed requested {}, \
+                "\nsession: backend \"{}\", plan {}, threads requested {}, seed requested {}, \
                  cache capacity {}, simd \"{}\"\n",
                 s.backend,
-                s.shots,
+                s.plan,
                 match s.threads {
                     Some(t) => t.to_string(),
                     None => String::from("backend default"),
@@ -523,17 +534,19 @@ mod tests {
             threads: None,
             seed: None,
             shots: 8192,
+            plan: "fixed(8192)".to_string(),
             cache_capacity: 256,
             simd: "avx2".to_string(),
         });
         let json = r.to_json();
         assert!(json.contains(
             "\"session\":{\"backend\":\"density matrix (exact noisy)\",\"threads\":null,\
-             \"seed\":null,\"shots\":8192,\"cache_capacity\":256,\"simd\":\"avx2\"}"
+             \"seed\":null,\"shots\":8192,\"plan\":\"fixed(8192)\",\"cache_capacity\":256,\
+             \"simd\":\"avx2\"}"
         ));
         let text = r.render();
         assert!(text.contains("session: backend \"density matrix (exact noisy)\""));
-        assert!(text.contains("8192 shots"));
+        assert!(text.contains("plan fixed(8192)"));
         assert!(text.contains("threads requested backend default"));
         assert!(text.contains("seed requested backend default"));
         assert!(text.contains("simd \"avx2\""));
@@ -544,11 +557,15 @@ mod tests {
             threads: Some(4),
             seed: Some(17),
             shots: 100,
+            plan: "sequential(alpha=0.05, min=64, max=100, tranche=32)".to_string(),
             cache_capacity: 8,
             simd: "scalar".to_string(),
         });
         assert!(threaded.to_json().contains("\"threads\":4"));
         assert!(threaded.to_json().contains("\"seed\":17"));
+        assert!(threaded
+            .to_json()
+            .contains("\"plan\":\"sequential(alpha=0.05, min=64, max=100, tranche=32)\""));
     }
 
     #[test]
@@ -557,6 +574,8 @@ mod tests {
         r.push_session_telemetry(&crate::session::SessionTelemetry {
             runs: 5,
             shots: 500,
+            tranches: 9,
+            early_stops: 2,
             cache_hits: 3,
             cache_misses: 1,
             prefix_hits: 2,
@@ -571,6 +590,8 @@ mod tests {
         assert!(json.contains("\"name\":\"prefix_hits\",\"value\":2"));
         assert!(json.contains("\"name\":\"session_runs\",\"value\":5"));
         assert!(json.contains("\"name\":\"session_shots\",\"value\":500"));
+        assert!(json.contains("\"name\":\"session_tranches\",\"value\":9"));
+        assert!(json.contains("\"name\":\"session_early_stops\",\"value\":2"));
         assert!(json.contains("\"name\":\"batched_ops\",\"value\":40"));
         assert!(json.contains("\"name\":\"batch_passes\",\"value\":10"));
         assert!(json.contains("\"name\":\"pool_tasks\",\"value\":20"));

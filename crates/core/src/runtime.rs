@@ -1,20 +1,21 @@
 //! The assertion runtime: analyzed outcomes of instrumented circuits,
-//! plus the deprecated free-function entry points that predate
+//! plus the legacy free-function entry points that predate
 //! [`AssertionSession`](crate::session::AssertionSession).
 //!
 //! New code executes through a session — it owns the backend, program
 //! cache, shard policy, shot plan, and filter/mitigation settings in one
-//! place. The free functions below survive as thin `#[deprecated]`
-//! wrappers delegating to a default session so downstream callers can
-//! migrate incrementally.
+//! place. The long-deprecated free functions (`run_with_assertions` &
+//! co.) are gated behind the **`legacy-api`** cargo feature (off by
+//! default): enable it only while migrating pre-session callers.
 
 use crate::error::AssertError;
 use crate::filter::{assertion_fired_shots, filter_assertion_bits};
 use crate::instrument::{AssertingCircuit, AssertionRecord};
 use crate::mitigation::ReadoutMitigator;
-use crate::session::AssertionSession;
+use crate::plan::PlanTrace;
+use crate::statistical::{SequentialTest, SequentialVerdict};
 use qcircuit::ClbitId;
-use qsim::{Backend, Counts, ProgramCache, RunResult};
+use qsim::{Counts, RunResult};
 
 /// What [`analyze`]-family calls do when assertion filtering removes
 /// every shot.
@@ -77,12 +78,25 @@ pub struct AssertionOutcome {
     pub data_clbits: Vec<ClbitId>,
     /// Readout-mitigated distributions (sessions with a mitigator only).
     pub mitigated: Option<MitigatedOutcome>,
+    /// Per-assertion anytime-valid verdicts (instrumentation order),
+    /// evaluated at the final counts under the session's
+    /// [`SequentialTest`]. Sequential plans stop on these; fixed plans
+    /// still report them, so fixed and sequential runs of the same
+    /// program are comparable verdict-for-verdict.
+    pub verdicts: Vec<SequentialVerdict>,
+    /// How the shot plan actually spent its budget on this run.
+    pub plan: PlanTrace,
 }
 
 impl AssertionOutcome {
     /// Shots surviving the filter.
     pub fn shots_kept(&self) -> u64 {
         self.kept.total()
+    }
+
+    /// Whether every assertion's sequential verdict is decided.
+    pub fn decided(&self) -> bool {
+        self.verdicts.iter().all(SequentialVerdict::decided)
     }
 }
 
@@ -92,19 +106,22 @@ impl AssertionOutcome {
 /// Equivalent to
 /// `AssertionSession::new(backend).shots(shots).run(asserting)`.
 ///
+/// Only available with the `legacy-api` cargo feature.
+///
 /// # Errors
 ///
 /// Returns [`AssertError::Sim`] when execution fails and
 /// [`AssertError::NoShotsKept`] when the filter removes everything.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use qassert::AssertionSession::new(backend).shots(shots).run(..)")]
-pub fn run_with_assertions<B: Backend + ?Sized>(
+pub fn run_with_assertions<B: qsim::Backend + ?Sized>(
     backend: &B,
     asserting: &AssertingCircuit,
     shots: u64,
 ) -> Result<AssertionOutcome, AssertError> {
     // One-shot session: a single run can never reuse a prefix, so skip
     // the registration work.
-    AssertionSession::new(backend)
+    crate::session::AssertionSession::new(backend)
         .shots(shots)
         .prefix_reuse(false)
         .run(asserting)
@@ -115,18 +132,21 @@ pub fn run_with_assertions<B: Backend + ?Sized>(
 /// Equivalent to
 /// `AssertionSession::new(backend).shots(shots).cache(cache).run(asserting)`.
 ///
+/// Only available with the `legacy-api` cargo feature.
+///
 /// # Errors
 ///
 /// Returns [`AssertError::Sim`] when execution fails and
 /// [`AssertError::NoShotsKept`] when the filter removes everything.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use qassert::AssertionSession with .cache(..)")]
-pub fn run_with_assertions_cached<B: Backend + ?Sized>(
+pub fn run_with_assertions_cached<B: qsim::Backend + ?Sized>(
     backend: &B,
     asserting: &AssertingCircuit,
     shots: u64,
-    cache: &ProgramCache,
+    cache: &qsim::ProgramCache,
 ) -> Result<AssertionOutcome, AssertError> {
-    AssertionSession::new(backend)
+    crate::session::AssertionSession::new(backend)
         .shots(shots)
         .cache(cache)
         .prefix_reuse(false)
@@ -139,24 +159,39 @@ pub fn run_with_assertions_cached<B: Backend + ?Sized>(
 /// Equivalent to `session.analyze(raw, asserting)` on a session with
 /// [`FilterPolicy::RequireKept`].
 ///
+/// Only available with the `legacy-api` cargo feature.
+///
 /// # Errors
 ///
 /// Returns [`AssertError::NoShotsKept`] when filtering removes every
 /// shot.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use qassert::AssertionSession::analyze, which applies the session's policy")]
 pub fn analyze(
     raw: RunResult,
     asserting: &AssertingCircuit,
 ) -> Result<AssertionOutcome, AssertError> {
-    analyze_with_policy(raw, asserting, FilterPolicy::RequireKept, None)
+    let trace = PlanTrace::fixed(raw.shots_requested);
+    analyze_with_policy(
+        raw,
+        asserting,
+        FilterPolicy::RequireKept,
+        None,
+        &SequentialTest::default(),
+        trace,
+    )
 }
 
-/// The analysis shared by sessions and the deprecated free functions.
+/// The analysis shared by sessions and the legacy free functions.
+/// `test` produces the per-assertion verdicts from the final counts;
+/// `plan` records how the shot plan spent its budget producing `raw`.
 pub(crate) fn analyze_with_policy(
     raw: RunResult,
     asserting: &AssertingCircuit,
     policy: FilterPolicy,
     mitigator: Option<&ReadoutMitigator>,
+    test: &SequentialTest,
+    plan: PlanTrace,
 ) -> Result<AssertionOutcome, AssertError> {
     let assertion_clbits = asserting.assertion_clbits();
     let data_clbits = asserting.data_clbits();
@@ -173,7 +208,7 @@ pub(crate) fn analyze_with_policy(
         overall_fired as f64 / total as f64
     };
 
-    let per_assertion = asserting
+    let per_assertion: Vec<AssertionStats> = asserting
         .records()
         .iter()
         .map(|record| {
@@ -188,6 +223,14 @@ pub(crate) fn analyze_with_policy(
                 fired,
             }
         })
+        .collect();
+
+    // Verdicts are a pure function of each assertion's accumulated
+    // (recorded, fired) totals, so evaluating here reproduces exactly
+    // the state a sequential tranche loop stopped on.
+    let verdicts = per_assertion
+        .iter()
+        .map(|stats| test.evaluate(total, stats.fired))
         .collect();
 
     let mitigated = match mitigator {
@@ -218,6 +261,8 @@ pub(crate) fn analyze_with_policy(
         per_assertion,
         data_clbits,
         mitigated,
+        verdicts,
+        plan,
     })
 }
 
@@ -228,7 +273,7 @@ mod tests {
     use crate::session::AssertionSession;
     use qcircuit::{library, QuantumCircuit};
     use qnoise::presets;
-    use qsim::{DensityMatrixBackend, StatevectorBackend};
+    use qsim::{Backend, DensityMatrixBackend, StatevectorBackend};
 
     fn session<B: Backend>(backend: B, shots: u64) -> AssertionSession<'static, B> {
         AssertionSession::new(backend).shots(shots)
@@ -246,8 +291,20 @@ mod tests {
         assert_eq!(outcome.shots_kept(), 1000);
         // Data marginal still shows the Bell correlation.
         assert_eq!(outcome.data_kept.get(0b01) + outcome.data_kept.get(0b10), 0);
+        // A clean 1000-shot stream is decided Holds even on a fixed
+        // plan, and the trace records the single fixed call.
+        assert_eq!(outcome.verdicts.len(), 1);
+        assert_eq!(
+            outcome.verdicts[0].verdict,
+            crate::statistical::AssertionVerdict::Holds
+        );
+        assert!(outcome.decided());
+        assert_eq!(outcome.plan.shots_used, 1000);
+        assert_eq!(outcome.plan.tranches, 1);
+        assert_eq!(outcome.plan.stop, crate::plan::StopReason::Fixed);
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     #[allow(deprecated)]
     fn deprecated_wrappers_delegate_to_the_session() {
@@ -283,6 +340,8 @@ mod tests {
                 &ac,
                 FilterPolicy::RequireKept,
                 None,
+                &SequentialTest::default(),
+                PlanTrace::fixed(400),
             )
             .unwrap()
         };
@@ -322,6 +381,10 @@ mod tests {
         assert_eq!(outcome.assertion_error_rate, 1.0);
         assert_eq!(outcome.shots_kept(), 0);
         assert_eq!(outcome.per_assertion[0].fired, 64);
+        assert_eq!(
+            outcome.verdicts[0].verdict,
+            crate::statistical::AssertionVerdict::Violated
+        );
     }
 
     #[test]
@@ -394,7 +457,15 @@ mod tests {
             shots_requested: flagged + 5,
             shots_discarded: 0,
         };
-        let outcome = analyze_with_policy(raw, &ac, FilterPolicy::RequireKept, None).unwrap();
+        let outcome = analyze_with_policy(
+            raw,
+            &ac,
+            FilterPolicy::RequireKept,
+            None,
+            &SequentialTest::default(),
+            PlanTrace::fixed(flagged + 5),
+        )
+        .unwrap();
         assert_eq!(outcome.per_assertion[0].fired, flagged);
     }
 

@@ -17,12 +17,29 @@
 //! program.assert_entangled([0, 1], Parity::Even)?;
 //! program.measure_data();
 //!
-//! let session = AssertionSession::new(StatevectorBackend::new()).shots(1024);
+//! let session =
+//!     AssertionSession::new(StatevectorBackend::new()).shot_plan(qassert::ShotPlan::Fixed(1024));
 //! let outcome = session.run(&program)?;
 //! assert_eq!(outcome.assertion_error_rate, 0.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Shot plans
+//!
+//! The budget every run spends is a [`ShotPlan`], set with
+//! [`AssertionSession::shot_plan`] ([`AssertionSession::shots`] is a
+//! shim for [`ShotPlan::Fixed`], which stays the bit-identical
+//! default). [`ShotPlan::Sequential`] runs shots in tranches and stops
+//! as soon as every assertion's anytime-valid sequential verdict
+//! ([`crate::statistical::SequentialTest`]) is decided — clear-cut
+//! points finish in hundreds of shots instead of the full budget, and
+//! [`AssertionOutcome::plan`] / [`AssertionOutcome::verdicts`] record
+//! how and why each run stopped. Tranche boundaries are a pure function
+//! of the accumulated counts and tranche `k` draws its RNG streams from
+//! [`qsim::tranche_seed`]`(base, k)`, so sequential results are
+//! bit-reproducible for any `(seed, plan, threads, policy, workers)` —
+//! pinned, like fixed plans, by the `sweep_equivalence` property suite.
 //!
 //! # Migrating from the free functions
 //!
@@ -33,6 +50,8 @@
 //! | `analyze(raw, &ac)` | `session.analyze(raw, &ac)` |
 //! | `b.run(circuit, n)` then `analyze` | `session.run_circuit(circuit)` then `session.analyze` |
 //! | per-point loop + `push_cache_metrics` | `session.run_sweep(circuits)` → [`SweepOutcome::telemetry`] |
+//! | `.shots(n)` | `.shot_plan(ShotPlan::Fixed(n))`, or keep the shim |
+//! | `sweep.points[i]` | `sweep.point(i)` / `sweep.iter()` / `sweep.outcomes()` |
 //!
 //! # Prefix-aware sweeps
 //!
@@ -66,18 +85,23 @@
 use crate::error::AssertError;
 use crate::instrument::AssertingCircuit;
 use crate::mitigation::ReadoutMitigator;
+use crate::plan::{PlanTrace, ShotPlan, StopReason};
 use crate::report::SessionRecord;
 use crate::runtime::{analyze_with_policy, AssertionOutcome, FilterPolicy};
+use crate::statistical::{
+    SequentialTest, SequentialVerdict, DEFAULT_VERDICT_ALPHA, DEFAULT_VERDICT_THRESHOLD,
+};
 use qcircuit::QuantumCircuit;
 use qsim::{
-    sweep_point_seed, Backend, CompiledProgram, PrefixRegistry, ProgramCache, ProgramKey,
-    RunResult, ShardPool,
+    sweep_point_seed, tranche_seed, Backend, CompiledProgram, PrefixRegistry, ProgramCache,
+    ProgramKey, RunResult, ShardPool, SimError,
 };
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Default shot plan when [`AssertionSession::shots`] is not called.
+/// Default fixed shot budget when neither [`AssertionSession::shots`]
+/// nor [`AssertionSession::shot_plan`] is called.
 pub const DEFAULT_SHOTS: u64 = 1024;
 
 /// Bound on the session's registered-key memo — matches the prefix
@@ -134,8 +158,16 @@ pub struct SessionTelemetry {
     pub runs: u64,
     /// Total shots *requested* across those runs (post-selection may
     /// discard some of them; per-run discards are on
-    /// [`qsim::RunResult::shots_discarded`]).
+    /// [`qsim::RunResult::shots_discarded`]). Under a sequential plan
+    /// this is the shots actually spent, not the budget.
     pub shots: u64,
+    /// Backend calls the shot plan made across those runs — one per run
+    /// under [`ShotPlan::Fixed`], one per tranche under
+    /// [`ShotPlan::Sequential`].
+    pub tranches: u64,
+    /// Sequential runs that stopped with every verdict decided before
+    /// exhausting their budget ([`StopReason::Decided`]).
+    pub early_stops: u64,
     /// Lowerings served whole from the program cache.
     pub cache_hits: u64,
     /// Lowerings that had to compile (fully or by prefix extension).
@@ -188,6 +220,8 @@ impl SessionTelemetry {
         SessionTelemetry {
             runs: self.runs - earlier.runs,
             shots: self.shots - earlier.shots,
+            tranches: self.tranches - earlier.tranches,
+            early_stops: self.early_stops - earlier.early_stops,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             prefix_hits: self.prefix_hits - earlier.prefix_hits,
@@ -207,6 +241,8 @@ impl SessionTelemetry {
     pub fn merge(&mut self, other: &SessionTelemetry) {
         self.runs += other.runs;
         self.shots += other.shots;
+        self.tranches += other.tranches;
+        self.early_stops += other.early_stops;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.prefix_hits += other.prefix_hits;
@@ -232,12 +268,126 @@ struct LowerTrace {
 
 /// The result of [`AssertionSession::run_sweep`]: per-point outcomes
 /// plus the cache/prefix/pool telemetry aggregated over the sweep.
+///
+/// Read points through the structured accessors —
+/// [`SweepOutcome::point`], [`SweepOutcome::iter`],
+/// [`SweepOutcome::outcomes`] — rather than poking the deprecated
+/// `points` field: a [`SweepPoint`] carries the point index next to the
+/// verdicts, shots spent, and stop reason, so harness code stops
+/// re-deriving them from raw histograms.
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// One analyzed outcome per swept circuit, in input order.
+    #[deprecated(
+        note = "use SweepOutcome::point/iter/outcomes instead of poking the raw vec directly"
+    )]
     pub points: Vec<AssertionOutcome>,
     /// Cache and prefix activity attributable to this sweep.
     pub telemetry: SessionTelemetry,
+}
+
+impl SweepOutcome {
+    /// Assembles a sweep outcome (the only place the deprecated field
+    /// is written).
+    #[allow(deprecated)]
+    fn assemble(points: Vec<AssertionOutcome>, telemetry: SessionTelemetry) -> Self {
+        SweepOutcome { points, telemetry }
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.outcomes().len()
+    }
+
+    /// Whether the sweep had no points.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes().is_empty()
+    }
+
+    /// The structured view of point `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn point(&self, index: usize) -> SweepPoint<'_> {
+        SweepPoint {
+            index,
+            outcome: &self.outcomes()[index],
+        }
+    }
+
+    /// Iterates the points in input order as structured views.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = SweepPoint<'_>> {
+        self.outcomes()
+            .iter()
+            .enumerate()
+            .map(|(index, outcome)| SweepPoint { index, outcome })
+    }
+
+    /// The analyzed outcomes, in input order.
+    pub fn outcomes(&self) -> &[AssertionOutcome] {
+        #[allow(deprecated)]
+        &self.points
+    }
+
+    /// Consumes the sweep into its outcome vector (for harnesses that
+    /// need owned outcomes).
+    pub fn into_outcomes(self) -> Vec<AssertionOutcome> {
+        #[allow(deprecated)]
+        self.points
+    }
+
+    /// Total shots the sweep actually requested across all points —
+    /// under a sequential plan, the number the early stops saved from.
+    pub fn shots_used(&self) -> u64 {
+        self.outcomes().iter().map(|o| o.plan.shots_used).sum()
+    }
+}
+
+/// One sweep point's analyzed outcome with its position and shot-plan
+/// attribution — what [`SweepOutcome::point`]/[`SweepOutcome::iter`]
+/// hand out instead of a bare vec entry.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint<'a> {
+    index: usize,
+    outcome: &'a AssertionOutcome,
+}
+
+impl<'a> SweepPoint<'a> {
+    /// The point's position in the swept input.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The full analyzed outcome.
+    pub fn outcome(&self) -> &'a AssertionOutcome {
+        self.outcome
+    }
+
+    /// Per-assertion sequential verdicts, in instrumentation order.
+    pub fn verdicts(&self) -> &'a [SequentialVerdict] {
+        &self.outcome.verdicts
+    }
+
+    /// Shots the plan requested for this point.
+    pub fn shots_used(&self) -> u64 {
+        self.outcome.plan.shots_used
+    }
+
+    /// Backend calls the plan made for this point.
+    pub fn tranches(&self) -> u64 {
+        self.outcome.plan.tranches
+    }
+
+    /// Why this point stopped requesting shots.
+    pub fn stop(&self) -> StopReason {
+        self.outcome.plan.stop
+    }
+
+    /// Whether every assertion's verdict is decided at this point.
+    pub fn decided(&self) -> bool {
+        self.outcome.decided()
+    }
 }
 
 /// A configured execution context for instrumented circuits.
@@ -249,7 +399,10 @@ pub struct SweepOutcome {
 pub struct AssertionSession<'c, B: Backend> {
     backend: B,
     cache: CacheRef<'c>,
-    shots: u64,
+    plan: ShotPlan,
+    /// Firing-rate threshold of the analysis verdicts (see
+    /// [`AssertionSession::verdict_threshold`]).
+    threshold: f64,
     threads: Option<usize>,
     seed: Option<u64>,
     filter: FilterPolicy,
@@ -273,6 +426,8 @@ pub struct AssertionSession<'c, B: Backend> {
     noise_fp: OnceLock<Option<u128>>,
     runs: AtomicU64,
     shots_run: AtomicU64,
+    tranches_run: AtomicU64,
+    early_stops: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     batched_ops: AtomicU64,
@@ -285,13 +440,15 @@ pub struct AssertionSession<'c, B: Backend> {
 
 impl<'c, B: Backend> AssertionSession<'c, B> {
     /// Creates a session over `backend` with the defaults: the global
-    /// program cache, [`DEFAULT_SHOTS`] shots, the backend's own thread
-    /// policy, strict filtering, no mitigation, prefix reuse on.
+    /// program cache, a fixed [`DEFAULT_SHOTS`]-shot plan, the
+    /// backend's own thread policy, strict filtering, no mitigation,
+    /// prefix reuse on.
     pub fn new(backend: B) -> Self {
         AssertionSession {
             backend,
             cache: CacheRef::Global,
-            shots: DEFAULT_SHOTS,
+            plan: ShotPlan::default(),
+            threshold: DEFAULT_VERDICT_THRESHOLD,
             threads: None,
             seed: None,
             filter: FilterPolicy::default(),
@@ -304,6 +461,8 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             noise_fp: OnceLock::new(),
             runs: AtomicU64::new(0),
             shots_run: AtomicU64::new(0),
+            tranches_run: AtomicU64::new(0),
+            early_stops: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             batched_ops: AtomicU64::new(0),
@@ -333,10 +492,56 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         self
     }
 
-    /// Sets the shot plan for every run (default [`DEFAULT_SHOTS`]).
+    /// Sets the shot plan for every run (default
+    /// [`ShotPlan::Fixed`]`(`[`DEFAULT_SHOTS`]`)`).
+    ///
+    /// [`ShotPlan::Fixed`] runs its whole budget in one backend call —
+    /// bit-identical to the pre-plan behavior. [`ShotPlan::Sequential`]
+    /// runs tranches and stops each run as soon as every assertion's
+    /// anytime-valid verdict is decided (see the module docs); its
+    /// `alpha` also becomes the significance of the analysis verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan's parameters are invalid
+    /// ([`ShotPlan::validate`]).
     #[must_use]
-    pub fn shots(mut self, shots: u64) -> Self {
-        self.shots = shots;
+    pub fn shot_plan(mut self, plan: ShotPlan) -> Self {
+        if let Err(why) = plan.validate() {
+            panic!("invalid shot plan: {why}");
+        }
+        self.plan = plan;
+        self
+    }
+
+    /// Shim for [`AssertionSession::shot_plan`] with
+    /// [`ShotPlan::Fixed`]`(shots)` — the pre-plan surface, kept for
+    /// the one-line fixed-budget case.
+    #[must_use]
+    pub fn shots(self, shots: u64) -> Self {
+        self.shot_plan(ShotPlan::Fixed(shots))
+    }
+
+    /// Sets the firing-rate threshold the per-assertion verdicts test
+    /// against (default
+    /// [`DEFAULT_VERDICT_THRESHOLD`](crate::statistical::DEFAULT_VERDICT_THRESHOLD)):
+    /// rates decisively below it report
+    /// [`AssertionVerdict::Holds`](crate::statistical::AssertionVerdict::Holds),
+    /// decisively above it
+    /// [`AssertionVerdict::Violated`](crate::statistical::AssertionVerdict::Violated).
+    /// Set it between the backend's noise-level firing rate and the
+    /// structural rate of a genuinely violated assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1)`.
+    #[must_use]
+    pub fn verdict_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "verdict threshold must be in (0, 1), got {threshold}"
+        );
+        self.threshold = threshold;
         self
     }
 
@@ -457,7 +662,8 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             backend: self.backend.name().to_string(),
             threads: self.threads,
             seed: self.seed,
-            shots: self.shots,
+            shots: self.plan.budget(),
+            plan: self.plan.to_string(),
             cache_capacity: self.program_cache().capacity(),
             simd: qsim::simd::active_backend().name().to_string(),
         }
@@ -472,6 +678,8 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         SessionTelemetry {
             runs: self.runs.load(Ordering::Relaxed),
             shots: self.shots_run.load(Ordering::Relaxed),
+            tranches: self.tranches_run.load(Ordering::Relaxed),
+            early_stops: self.early_stops.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             prefix_hits: self.prefixes.hits(),
@@ -570,8 +778,21 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         ))
     }
 
-    /// Lowers and executes a bare circuit under the session's shot and
-    /// thread plan, returning the raw backend result.
+    /// The sequential test the session's verdicts evaluate under: the
+    /// session's firing threshold at the plan's significance (fixed
+    /// plans use [`DEFAULT_VERDICT_ALPHA`]).
+    fn verdict_test(&self) -> SequentialTest {
+        SequentialTest::new(
+            self.threshold,
+            self.plan.alpha().unwrap_or(DEFAULT_VERDICT_ALPHA),
+        )
+    }
+
+    /// Lowers and executes a bare circuit, returning the raw backend
+    /// result. Runs the plan's full budget in one backend call: a bare
+    /// circuit carries no assertion records, so a sequential plan has no
+    /// verdicts to stop on — use [`AssertionSession::run`] with the
+    /// instrumented circuit for early termination.
     ///
     /// This is the entry point for circuits that were rewritten after
     /// instrumentation (e.g. transpiled to a device topology): run the
@@ -584,20 +805,136 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     /// Returns [`AssertError::Sim`] when lowering or execution fails.
     pub fn run_circuit(&self, circuit: &QuantumCircuit) -> Result<RunResult, AssertError> {
         let program = self.lower(circuit)?;
-        let raw =
-            self.backend
-                .run_compiled_seeded(&program, self.shots, self.seed, self.threads)?;
+        let shots = self.plan.budget();
+        let raw = self
+            .backend
+            .run_compiled_seeded(&program, shots, self.seed, self.threads)?;
+        self.record_run(&program, &PlanTrace::fixed(shots));
+        Ok(raw)
+    }
+
+    /// Bumps the session's lifetime counters for one executed run.
+    fn record_run(&self, program: &CompiledProgram, trace: &PlanTrace) {
         self.runs.fetch_add(1, Ordering::Relaxed);
-        self.shots_run.fetch_add(self.shots, Ordering::Relaxed);
+        self.shots_run
+            .fetch_add(trace.shots_used, Ordering::Relaxed);
+        self.tranches_run
+            .fetch_add(trace.tranches, Ordering::Relaxed);
+        if trace.stop == StopReason::Decided {
+            self.early_stops.fetch_add(1, Ordering::Relaxed);
+        }
         self.batched_ops
             .fetch_add(program.batched_ops() as u64, Ordering::Relaxed);
         self.batch_passes
             .fetch_add(program.batch_passes() as u64, Ordering::Relaxed);
-        Ok(raw)
     }
 
-    /// Runs an instrumented circuit and analyzes its assertion outcomes
-    /// under the session's filter and mitigation settings.
+    /// Executes one instrumented program under the session's shot plan.
+    ///
+    /// [`ShotPlan::Fixed`] is exactly one backend call under
+    /// `base_seed` — bit-identical to the pre-plan behavior, including
+    /// `base_seed = None` deferring to the backend's own seed.
+    /// [`ShotPlan::Sequential`] runs tranches, tranche `k` under
+    /// [`qsim::tranche_seed`]`(base, k)` where `base` is `base_seed` or
+    /// 0 (the derivation needs *some* base so tranches draw independent
+    /// streams even on unseeded sessions), folds the accumulated counts
+    /// into every assertion's sequential test once `min_shots` have
+    /// been requested, and stops when all verdicts are decided or the
+    /// budget runs out. The stop point is a pure function of the
+    /// accumulated counts — never timing or worker count.
+    ///
+    /// A tranche that discards every shot
+    /// ([`qsim::SimError::AllShotsDiscarded`]) contributes zero
+    /// recorded shots but still counts against the budget; the error
+    /// only propagates if *every* accumulated shot was discarded.
+    fn run_planned(
+        &self,
+        program: &Arc<CompiledProgram>,
+        asserting: &AssertingCircuit,
+        base_seed: Option<u64>,
+    ) -> Result<(RunResult, PlanTrace), AssertError> {
+        let (raw, trace) = match self.plan {
+            ShotPlan::Fixed(shots) => {
+                let raw =
+                    self.backend
+                        .run_compiled_seeded(program, shots, base_seed, self.threads)?;
+                (raw, PlanTrace::fixed(shots))
+            }
+            ShotPlan::Sequential {
+                min_shots,
+                max_shots,
+                tranche,
+                ..
+            } => {
+                let test = self.verdict_test();
+                let base = base_seed.unwrap_or(0);
+                let records = asserting.records();
+                let mut accumulated: Option<RunResult> = None;
+                let mut requested = 0u64;
+                let mut discarded = 0u64;
+                let mut tranches = 0u64;
+                let mut stop = StopReason::Budget;
+                while requested < max_shots {
+                    let shots = tranche.min(max_shots - requested);
+                    let seed = Some(tranche_seed(base, tranches as usize));
+                    tranches += 1;
+                    requested += shots;
+                    match self
+                        .backend
+                        .run_compiled_seeded(program, shots, seed, self.threads)
+                    {
+                        Ok(result) => {
+                            discarded += result.shots_discarded;
+                            accumulated = Some(match accumulated {
+                                Some(mut acc) => {
+                                    acc.counts.absorb(result.counts);
+                                    acc
+                                }
+                                None => result,
+                            });
+                        }
+                        // A fully-discarded tranche is evidence, not
+                        // failure: record zero kept shots and continue.
+                        Err(SimError::AllShotsDiscarded) => discarded += shots,
+                        Err(error) => return Err(error.into()),
+                    }
+                    if requested >= min_shots {
+                        let total = accumulated.as_ref().map_or(0, |acc| acc.counts.total());
+                        let all_decided = records.iter().all(|record| {
+                            let fired = accumulated.as_ref().map_or(0, |acc| {
+                                crate::filter::assertion_fired_shots(&acc.counts, &record.clbits)
+                            });
+                            test.evaluate(total, fired).decided()
+                        });
+                        if all_decided {
+                            stop = StopReason::Decided;
+                            break;
+                        }
+                    }
+                }
+                let mut raw = accumulated.ok_or(AssertError::Sim(SimError::AllShotsDiscarded))?;
+                raw.shots_requested = requested;
+                raw.shots_discarded = discarded;
+                (
+                    raw,
+                    PlanTrace {
+                        shots_used: requested,
+                        tranches,
+                        stop,
+                    },
+                )
+            }
+        };
+        self.record_run(program, &trace);
+        Ok((raw, trace))
+    }
+
+    /// Runs an instrumented circuit under the session's shot plan and
+    /// analyzes its assertion outcomes under the session's filter and
+    /// mitigation settings. Under [`ShotPlan::Sequential`] this is the
+    /// early-terminating path: the run stops as soon as every
+    /// assertion's verdict is decided, and the outcome's
+    /// [`AssertionOutcome::plan`] records how it stopped.
     ///
     /// # Errors
     ///
@@ -605,14 +942,17 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     /// [`AssertError::NoShotsKept`] when filtering removes every shot
     /// under [`FilterPolicy::RequireKept`].
     pub fn run(&self, asserting: &AssertingCircuit) -> Result<AssertionOutcome, AssertError> {
-        let raw = self.run_circuit(asserting.circuit())?;
-        self.analyze(raw, asserting)
+        let program = self.lower(asserting.circuit())?;
+        let (raw, trace) = self.run_planned(&program, asserting, self.seed)?;
+        self.analyze_traced(raw, asserting, trace)
     }
 
     /// Analyzes an existing backend result against an asserting
     /// circuit's records under the session's filter and mitigation
     /// settings (no execution — for results the caller produced, e.g.
     /// from a transpiled circuit via [`AssertionSession::run_circuit`]).
+    /// The result is treated as one fixed run of `raw.shots_requested`
+    /// shots.
     ///
     /// # Errors
     ///
@@ -623,32 +963,61 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         raw: RunResult,
         asserting: &AssertingCircuit,
     ) -> Result<AssertionOutcome, AssertError> {
-        analyze_with_policy(raw, asserting, self.filter, self.mitigator.as_ref())
+        let trace = PlanTrace::fixed(raw.shots_requested);
+        self.analyze_traced(raw, asserting, trace)
     }
 
-    /// Executes an already-lowered sweep point: point `p` runs under
-    /// the seed [`qsim::sweep_point_seed`]`(session_seed, p)` when the
-    /// session has one, then analyzes under the session's filter and
-    /// mitigation settings. Pure function of `(program, point, session
-    /// config)`, which is what makes scheduling-independent sweeps
-    /// possible.
+    /// [`AssertionSession::analyze`] with an explicit plan trace — the
+    /// internal path for planned runs. Verdicts are recomputed from the
+    /// final accumulated counts, which equals the tranche loop's stop
+    /// state exactly because the sequential test is a pure function of
+    /// the running totals.
+    fn analyze_traced(
+        &self,
+        raw: RunResult,
+        asserting: &AssertingCircuit,
+        trace: PlanTrace,
+    ) -> Result<AssertionOutcome, AssertError> {
+        analyze_with_policy(
+            raw,
+            asserting,
+            self.filter,
+            self.mitigator.as_ref(),
+            &self.verdict_test(),
+            trace,
+        )
+    }
+
+    /// The base seed sweep point `p` runs under. A fixed plan keeps the
+    /// exact legacy semantics: derived only when the session has a seed,
+    /// `None` (backend's own seed) otherwise. A sequential plan *always*
+    /// derives — its tranche streams come from
+    /// `tranche_seed(base, k)`, so without a per-point base every point
+    /// of an unseeded sweep would replay the same streams.
+    fn sweep_point_base_seed(&self, point: usize) -> Option<u64> {
+        if self.plan.is_sequential() {
+            Some(sweep_point_seed(self.seed.unwrap_or(0), point))
+        } else {
+            self.seed.map(|s| sweep_point_seed(s, point))
+        }
+    }
+
+    /// Executes an already-lowered sweep point under the session's shot
+    /// plan: point `p` runs under the base seed
+    /// [`qsim::sweep_point_seed`]`(session_seed, p)` (see
+    /// [`AssertionSession::sweep_point_base_seed`] for the unseeded
+    /// cases), then analyzes under the session's filter and mitigation
+    /// settings. Pure function of `(program, point, session config)`,
+    /// which is what makes scheduling-independent sweeps possible.
     fn run_sweep_point(
         &self,
         program: &Arc<CompiledProgram>,
         point: usize,
         asserting: &AssertingCircuit,
     ) -> Result<AssertionOutcome, AssertError> {
-        let seed = self.seed.map(|s| sweep_point_seed(s, point));
-        let raw = self
-            .backend
-            .run_compiled_seeded(program, self.shots, seed, self.threads)?;
-        self.runs.fetch_add(1, Ordering::Relaxed);
-        self.shots_run.fetch_add(self.shots, Ordering::Relaxed);
-        self.batched_ops
-            .fetch_add(program.batched_ops() as u64, Ordering::Relaxed);
-        self.batch_passes
-            .fetch_add(program.batch_passes() as u64, Ordering::Relaxed);
-        self.analyze(raw, asserting)
+        let base = self.sweep_point_base_seed(point);
+        let (raw, trace) = self.run_planned(program, asserting, base)?;
+        self.analyze_traced(raw, asserting, trace)
     }
 
     /// Runs a family of instrumented circuits, returning per-point
@@ -708,10 +1077,10 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     {
         let circuits: Vec<AssertingCircuit> = circuits.into_iter().collect();
         if circuits.is_empty() {
-            return Ok(SweepOutcome {
-                points: Vec::new(),
-                telemetry: SessionTelemetry::default(),
-            });
+            return Ok(SweepOutcome::assemble(
+                Vec::new(),
+                SessionTelemetry::default(),
+            ));
         }
         let pool = match self.pool {
             Some(pool) => pool,
@@ -720,15 +1089,16 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         // Either policy lowers on the calling thread, in input order,
         // accumulating exact per-call traces — so cache/prefix
         // telemetry (and prefix reuse itself) is policy-independent.
+        // Run/shot/tranche accounting is assembled from per-point plan
+        // traces *after* execution: under a sequential plan the shots a
+        // point spends aren't known at lowering time.
         let mut telemetry = SessionTelemetry::default();
-        let mut record_lowering = |trace: LowerTrace, program: &CompiledProgram, shots: u64| {
+        let mut record_lowering = |trace: LowerTrace, program: &CompiledProgram| {
             telemetry.cache_hits += u64::from(trace.cache_hit);
             telemetry.cache_misses += u64::from(!trace.cache_hit);
             telemetry.prefix_hits += u64::from(trace.prefix_hit);
             telemetry.batched_ops += program.batched_ops() as u64;
             telemetry.batch_passes += program.batch_passes() as u64;
-            telemetry.runs += 1;
-            telemetry.shots += shots;
         };
 
         let (points, pool_stats) = match self.sweep_policy {
@@ -742,7 +1112,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
                         for (point, asserting) in circuits.iter().enumerate() {
                             let attempt = self.lower_traced(asserting.circuit()).and_then(
                                 |(program, trace)| {
-                                    record_lowering(trace, &program, self.shots);
+                                    record_lowering(trace, &program);
                                     self.run_sweep_point(&program, point, asserting)
                                 },
                             );
@@ -769,7 +1139,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
                     Vec::with_capacity(circuits.len());
                 for asserting in &circuits {
                     let (program, trace) = self.lower_traced(asserting.circuit())?;
-                    record_lowering(trace, &program, self.shots);
+                    record_lowering(trace, &program);
                     programs.push(Mutex::new(Some(program)));
                 }
 
@@ -805,10 +1175,19 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
                 (points, pool_stats)
             }
         };
+        // Run/shot/tranche accounting from the per-point plan traces —
+        // exact under any plan, policy, or concurrent session activity.
+        telemetry.runs = points.len() as u64;
+        telemetry.shots = points.iter().map(|p| p.plan.shots_used).sum();
+        telemetry.tranches = points.iter().map(|p| p.plan.tranches).sum();
+        telemetry.early_stops = points
+            .iter()
+            .filter(|p| p.plan.stop == StopReason::Decided)
+            .count() as u64;
         telemetry.pool_tasks = pool_stats.tasks_run;
         telemetry.pool_steals = pool_stats.steals;
         telemetry.simd_backend = qsim::simd::active_backend().name();
-        Ok(SweepOutcome { points, telemetry })
+        Ok(SweepOutcome::assemble(points, telemetry))
     }
 }
 
@@ -817,10 +1196,10 @@ impl<B: Backend> std::fmt::Debug for AssertionSession<'_, B> {
         let t = self.telemetry();
         write!(
             f,
-            "AssertionSession {{ backend: {:?}, shots: {}, threads: {:?}, runs: {}, \
+            "AssertionSession {{ backend: {:?}, plan: {}, threads: {:?}, runs: {}, \
              cache {}h/{}m, prefix_hits: {} }}",
             self.backend.name(),
-            self.shots,
+            self.plan,
             self.threads,
             t.runs,
             t.cache_hits,
@@ -935,8 +1314,8 @@ mod tests {
             a.telemetry.prefix_hits
         );
         assert_eq!(b.telemetry.prefix_hits, 0);
-        assert_eq!(a.points.len(), b.points.len());
-        for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.outcomes().iter().zip(b.outcomes()) {
             assert_eq!(x.raw.counts, y.raw.counts, "prefix reuse changed counts");
             assert_eq!(x.kept, y.kept);
         }
@@ -951,9 +1330,12 @@ mod tests {
         let sweep = session
             .run_sweep(vec![bell_assertion(), bell_assertion()])
             .unwrap();
-        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.len(), 2);
         assert_eq!(sweep.telemetry.runs, 2);
         assert_eq!(sweep.telemetry.shots, 128);
+        assert_eq!(sweep.telemetry.tranches, 2);
+        assert_eq!(sweep.telemetry.early_stops, 0);
+        assert_eq!(sweep.shots_used(), 128);
         // Both sweep points hit the program cached by the pre-sweep run.
         assert_eq!(sweep.telemetry.cache_hits, 2);
         assert_eq!(sweep.telemetry.cache_misses, 0);
@@ -986,7 +1368,16 @@ mod tests {
         assert_eq!(record.backend, "density matrix (exact ideal)");
         assert_eq!(record.threads, Some(3));
         assert_eq!(record.shots, 4096);
+        assert_eq!(record.plan, "fixed(4096)");
         assert_eq!(record.cache_capacity, 32);
+        let sequential = AssertionSession::new(DensityMatrixBackend::ideal())
+            .shot_plan(ShotPlan::sequential(0.05))
+            .record();
+        assert_eq!(sequential.shots, 8192);
+        assert_eq!(
+            sequential.plan,
+            "sequential(alpha=0.05, min=64, max=8192, tranche=256)"
+        );
     }
 
     #[test]
@@ -1029,6 +1420,8 @@ mod tests {
         let mut a = SessionTelemetry {
             runs: 2,
             shots: 100,
+            tranches: 2,
+            early_stops: 0,
             cache_hits: 3,
             cache_misses: 1,
             prefix_hits: 1,
@@ -1041,6 +1434,8 @@ mod tests {
         let b = SessionTelemetry {
             runs: 1,
             shots: 50,
+            tranches: 4,
+            early_stops: 1,
             cache_hits: 1,
             cache_misses: 3,
             prefix_hits: 0,
@@ -1053,6 +1448,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.runs, 3);
         assert_eq!(a.shots, 150);
+        assert_eq!(a.tranches, 6);
+        assert_eq!(a.early_stops, 1);
         assert_eq!(a.batched_ops, 15);
         assert_eq!(a.batch_passes, 3);
         assert_eq!(a.pool_tasks, 12);
@@ -1125,8 +1522,8 @@ mod tests {
                 .pool(&pool)
                 .run_sweep(family())
                 .unwrap();
-            assert_eq!(sweep.points.len(), reference.points.len());
-            for (a, b) in sweep.points.iter().zip(&reference.points) {
+            assert_eq!(sweep.len(), reference.len());
+            for (a, b) in sweep.outcomes().iter().zip(reference.outcomes()) {
                 assert_eq!(a.raw.counts, b.raw.counts, "{workers} workers");
                 assert_eq!(a.kept, b.kept);
             }
@@ -1159,17 +1556,23 @@ mod tests {
             .seed(42)
             .run_sweep(vec![ac.clone(), ac.clone()])
             .unwrap();
-        for (p, point) in sweep.points.iter().enumerate() {
+        for point in sweep.iter() {
             let isolated = AssertionSession::new(&backend)
                 .private_cache(4)
                 .shots(300)
-                .seed(qsim::sweep_point_seed(42, p))
+                .seed(qsim::sweep_point_seed(42, point.index()))
                 .run(&ac)
                 .unwrap();
-            assert_eq!(point.raw.counts, isolated.raw.counts, "point {p}");
+            assert_eq!(
+                point.outcome().raw.counts,
+                isolated.raw.counts,
+                "point {}",
+                point.index()
+            );
         }
         assert_ne!(
-            sweep.points[0].raw.counts, sweep.points[1].raw.counts,
+            sweep.outcomes()[0].raw.counts,
+            sweep.outcomes()[1].raw.counts,
             "identical circuits at different points must draw distinct streams"
         );
     }
@@ -1234,5 +1637,232 @@ mod tests {
         let t2 = session.telemetry();
         assert_eq!(t2.batched_ops, 2 * t1.batched_ops);
         assert_eq!(t2.batch_passes, 2 * t1.batch_passes);
+    }
+
+    /// A bell pair asserted with the *wrong* parity: the assertion fires
+    /// on essentially every shot, the clearest possible violation.
+    fn violated_bell_assertion() -> AssertingCircuit {
+        let mut ac = AssertingCircuit::new(library::bell());
+        ac.assert_entangled([0, 1], Parity::Odd).unwrap();
+        ac.measure_data();
+        ac
+    }
+
+    #[test]
+    fn sequential_plan_stops_clear_cut_runs_early() {
+        let plan = ShotPlan::Sequential {
+            alpha: 0.05,
+            min_shots: 64,
+            max_shots: 4096,
+            tranche: 64,
+        };
+        let session = AssertionSession::new(StatevectorBackend::new())
+            .private_cache(4)
+            .shot_plan(plan)
+            .seed(7);
+        let outcome = session.run(&bell_assertion()).unwrap();
+        assert_eq!(outcome.plan.stop, StopReason::Decided);
+        assert!(
+            outcome.plan.shots_used < 4096,
+            "a clean run must stop before the budget, used {}",
+            outcome.plan.shots_used
+        );
+        assert_eq!(outcome.plan.tranches, outcome.plan.shots_used / 64);
+        assert_eq!(
+            outcome.verdicts[0].verdict,
+            crate::statistical::AssertionVerdict::Holds
+        );
+        assert!(outcome.decided());
+        let t = session.telemetry();
+        assert_eq!(t.runs, 1);
+        assert_eq!(t.shots, outcome.plan.shots_used);
+        assert_eq!(t.tranches, outcome.plan.tranches);
+        assert_eq!(t.early_stops, 1);
+
+        // A violated assertion fires on every shot — one tranche past
+        // the floor decides it.
+        let violated = AssertionSession::new(StatevectorBackend::new())
+            .private_cache(4)
+            .filter_policy(FilterPolicy::AllowEmpty)
+            .shot_plan(plan)
+            .seed(7)
+            .run(&violated_bell_assertion())
+            .unwrap();
+        assert_eq!(violated.plan.stop, StopReason::Decided);
+        assert_eq!(violated.plan.shots_used, 64);
+        assert_eq!(
+            violated.verdicts[0].verdict,
+            crate::statistical::AssertionVerdict::Violated
+        );
+    }
+
+    #[test]
+    fn sequential_plan_exhausts_budget_near_the_threshold() {
+        // A state firing at exactly the 10% verdict threshold can never
+        // decide; the plan must stop at max_shots with Budget.
+        let theta = 2.0 * (0.1f64.sqrt()).asin();
+        let mut prep = QuantumCircuit::new(2, 0);
+        prep.ry(theta, 0).unwrap();
+        let mut ac = AssertingCircuit::new(prep);
+        ac.assert_entangled([0, 1], Parity::Even).unwrap();
+        ac.measure_data();
+        let outcome = AssertionSession::new(StatevectorBackend::new())
+            .private_cache(4)
+            .shot_plan(ShotPlan::Sequential {
+                alpha: 0.05,
+                min_shots: 64,
+                max_shots: 512,
+                tranche: 64,
+            })
+            .seed(3)
+            .run(&ac)
+            .unwrap();
+        assert_eq!(outcome.plan.stop, StopReason::Budget);
+        assert_eq!(outcome.plan.shots_used, 512);
+        assert_eq!(outcome.plan.tranches, 8);
+        assert!(!outcome.decided());
+        assert_eq!(
+            outcome.verdicts[0].verdict,
+            crate::statistical::AssertionVerdict::Undecided
+        );
+    }
+
+    #[test]
+    fn sequential_verdicts_match_fixed_plan_verdicts() {
+        // Early termination must never change *what* is decided, only
+        // how many shots it takes: a clear-cut circuit gets the same
+        // verdict from a sequential plan and a full fixed budget.
+        for (ac, expected) in [
+            (
+                bell_assertion(),
+                crate::statistical::AssertionVerdict::Holds,
+            ),
+            (
+                violated_bell_assertion(),
+                crate::statistical::AssertionVerdict::Violated,
+            ),
+        ] {
+            let sequential = AssertionSession::new(StatevectorBackend::new())
+                .private_cache(4)
+                .filter_policy(FilterPolicy::AllowEmpty)
+                .shot_plan(ShotPlan::Sequential {
+                    alpha: 0.05,
+                    min_shots: 64,
+                    max_shots: 2048,
+                    tranche: 64,
+                })
+                .seed(11)
+                .run(&ac)
+                .unwrap();
+            let fixed = AssertionSession::new(StatevectorBackend::new())
+                .private_cache(4)
+                .filter_policy(FilterPolicy::AllowEmpty)
+                .shots(2048)
+                .seed(11)
+                .run(&ac)
+                .unwrap();
+            assert_eq!(sequential.verdicts[0].verdict, expected);
+            assert_eq!(fixed.verdicts[0].verdict, expected);
+            assert!(sequential.plan.shots_used < fixed.plan.shots_used);
+        }
+    }
+
+    #[test]
+    fn sequential_sweeps_are_policy_and_worker_independent() {
+        // The determinism contract extended to sequential plans: for a
+        // fixed (seed, plan, threads), per-point counts, shots_used,
+        // tranches, and stop reasons are bit-identical under every
+        // sweep policy and worker count.
+        let noise = qnoise::presets::uniform(3, 0.005, 0.02, 0.01).unwrap();
+        let backend = TrajectoryBackend::new(noise);
+        let family = || {
+            (0..6)
+                .map(|i| {
+                    let mut prep = QuantumCircuit::new(2, 0);
+                    prep.ry(0.2 + i as f64 * 0.5, 0).unwrap();
+                    prep.cx(0, 1).unwrap();
+                    let mut ac = AssertingCircuit::new(prep);
+                    ac.assert_entangled([0, 1], Parity::Even).unwrap();
+                    ac.measure_data();
+                    ac
+                })
+                .collect::<Vec<_>>()
+        };
+        let plan = ShotPlan::Sequential {
+            alpha: 0.05,
+            min_shots: 64,
+            max_shots: 1024,
+            tranche: 64,
+        };
+        let reference = AssertionSession::new(&backend)
+            .private_cache(16)
+            .shot_plan(plan)
+            .seed(13)
+            .threads(2)
+            .sweep_policy(SweepPolicy::Serial)
+            .run_sweep(family())
+            .unwrap();
+        assert!(
+            reference.telemetry.early_stops > 0,
+            "clean family points must stop early"
+        );
+        for workers in [0, 3] {
+            let pool = qsim::ShardPool::new(workers);
+            let sweep = AssertionSession::new(&backend)
+                .private_cache(16)
+                .shot_plan(plan)
+                .seed(13)
+                .threads(2)
+                .sweep_policy(SweepPolicy::Parallel)
+                .pool(&pool)
+                .run_sweep(family())
+                .unwrap();
+            assert_eq!(sweep.len(), reference.len());
+            for (a, b) in sweep.iter().zip(reference.iter()) {
+                assert_eq!(
+                    a.outcome().raw.counts,
+                    b.outcome().raw.counts,
+                    "{workers} workers, point {}",
+                    a.index()
+                );
+                assert_eq!(a.shots_used(), b.shots_used());
+                assert_eq!(a.tranches(), b.tranches());
+                assert_eq!(a.stop(), b.stop());
+                assert_eq!(
+                    a.verdicts()[0].verdict,
+                    b.verdicts()[0].verdict,
+                    "{workers} workers"
+                );
+            }
+            assert_eq!(sweep.telemetry.shots, reference.telemetry.shots);
+            assert_eq!(sweep.telemetry.tranches, reference.telemetry.tranches);
+            assert_eq!(sweep.telemetry.early_stops, reference.telemetry.early_stops);
+            assert_eq!(sweep.shots_used(), reference.shots_used());
+        }
+    }
+
+    #[test]
+    fn unseeded_sequential_sweep_points_draw_distinct_streams() {
+        // Without a session seed a sequential sweep still derives
+        // per-point bases (from 0): identical circuits at different
+        // points must not replay the same tranche streams.
+        let noise = qnoise::presets::uniform(3, 0.01, 0.05, 0.02).unwrap();
+        let backend = TrajectoryBackend::new(noise);
+        let ac = bell_assertion();
+        let sweep = AssertionSession::new(&backend)
+            .private_cache(4)
+            .shot_plan(ShotPlan::Sequential {
+                alpha: 0.05,
+                min_shots: 256,
+                max_shots: 256,
+                tranche: 64,
+            })
+            .run_sweep(vec![ac.clone(), ac])
+            .unwrap();
+        assert_ne!(
+            sweep.outcomes()[0].raw.counts,
+            sweep.outcomes()[1].raw.counts,
+            "unseeded sequential points must still draw distinct streams"
+        );
     }
 }

@@ -23,7 +23,7 @@
 use proptest::prelude::*;
 use qassert::{
     AssertError, AssertingCircuit, AssertionSession, FilterPolicy, Parity, SessionTelemetry,
-    SweepOutcome, SweepPolicy,
+    ShotPlan, SweepOutcome, SweepPolicy,
 };
 use qcircuit::QuantumCircuit;
 use qsim::{
@@ -112,6 +112,11 @@ fn family_circuits(family: Family, points: usize) -> Vec<AssertingCircuit> {
 fn assert_telemetry_eq(parallel: &SessionTelemetry, serial: &SessionTelemetry, context: &str) {
     assert_eq!(parallel.runs, serial.runs, "{context}: runs");
     assert_eq!(parallel.shots, serial.shots, "{context}: shots");
+    assert_eq!(parallel.tranches, serial.tranches, "{context}: tranches");
+    assert_eq!(
+        parallel.early_stops, serial.early_stops,
+        "{context}: early_stops"
+    );
     assert_eq!(
         parallel.cache_hits, serial.cache_hits,
         "{context}: cache_hits"
@@ -135,12 +140,13 @@ fn assert_telemetry_eq(parallel: &SessionTelemetry, serial: &SessionTelemetry, c
 }
 
 fn assert_outcomes_eq(parallel: &SweepOutcome, serial: &SweepOutcome, context: &str) {
-    assert_eq!(
-        parallel.points.len(),
-        serial.points.len(),
-        "{context}: point count"
-    );
-    for (p, (a, b)) in parallel.points.iter().zip(&serial.points).enumerate() {
+    assert_eq!(parallel.len(), serial.len(), "{context}: point count");
+    for (p, (a, b)) in parallel
+        .outcomes()
+        .iter()
+        .zip(serial.outcomes())
+        .enumerate()
+    {
         assert_eq!(a.raw.counts, b.raw.counts, "{context}: point {p} raw");
         assert_eq!(
             a.raw.shots_discarded, b.raw.shots_discarded,
@@ -162,6 +168,27 @@ fn assert_outcomes_eq(parallel: &SweepOutcome, serial: &SweepOutcome, context: &
         for (x, y) in a.per_assertion.iter().zip(&b.per_assertion) {
             assert_eq!(x.fired, y.fired, "{context}: point {p} fired");
         }
+        assert_eq!(a.plan, b.plan, "{context}: point {p} plan trace");
+        assert_eq!(
+            a.verdicts.len(),
+            b.verdicts.len(),
+            "{context}: point {p} verdict count"
+        );
+        for (x, y) in a.verdicts.iter().zip(&b.verdicts) {
+            assert_eq!(x.verdict, y.verdict, "{context}: point {p} verdict");
+            assert_eq!(x.shots, y.shots, "{context}: point {p} verdict shots");
+            assert_eq!(x.fired, y.fired, "{context}: point {p} verdict fired");
+            assert_eq!(
+                x.log_e_violated.to_bits(),
+                y.log_e_violated.to_bits(),
+                "{context}: point {p} e-value (violated)"
+            );
+            assert_eq!(
+                x.log_e_holds.to_bits(),
+                y.log_e_holds.to_bits(),
+                "{context}: point {p} e-value (holds)"
+            );
+        }
     }
     assert_telemetry_eq(&parallel.telemetry, &serial.telemetry, context);
 }
@@ -174,7 +201,7 @@ fn check_backend<B: Backend + Sync>(
     backend: &B,
     family: Family,
     points: usize,
-    shots: u64,
+    plan: ShotPlan,
     threads: usize,
     seed: Option<u64>,
     prefix_reuse: bool,
@@ -182,14 +209,14 @@ fn check_backend<B: Backend + Sync>(
 ) {
     fn configure<'c, B: Backend>(
         session: AssertionSession<'c, B>,
-        shots: u64,
+        plan: ShotPlan,
         threads: usize,
         prefix_reuse: bool,
         seed: Option<u64>,
     ) -> AssertionSession<'c, B> {
         let session = session
             .private_cache(32)
-            .shots(shots)
+            .shot_plan(plan)
             .threads(threads)
             .prefix_reuse(prefix_reuse);
         match seed {
@@ -199,7 +226,7 @@ fn check_backend<B: Backend + Sync>(
     }
     let serial = configure(
         AssertionSession::new(backend),
-        shots,
+        plan,
         threads,
         prefix_reuse,
         seed,
@@ -210,7 +237,7 @@ fn check_backend<B: Backend + Sync>(
     let pool = ShardPool::new(workers);
     let parallel = configure(
         AssertionSession::new(backend),
-        shots,
+        plan,
         threads,
         prefix_reuse,
         seed,
@@ -220,7 +247,7 @@ fn check_backend<B: Backend + Sync>(
     .run_sweep(family_circuits(family, points))
     .unwrap();
     let context = format!(
-        "{family:?} x{points}, {shots} shots, {threads} threads, seed {seed:?}, \
+        "{family:?} x{points}, plan {plan}, {threads} threads, seed {seed:?}, \
          prefix {prefix_reuse}, {workers} workers"
     );
     assert_outcomes_eq(&parallel, &serial, &context);
@@ -245,7 +272,7 @@ proptest! {
             &backend,
             FAMILIES[family],
             points,
-            shots,
+            ShotPlan::Fixed(shots),
             threads,
             with_seed.then_some(raw_seed),
             prefix_reuse,
@@ -270,7 +297,7 @@ proptest! {
             &backend,
             FAMILIES[family],
             points,
-            shots,
+            ShotPlan::Fixed(shots),
             threads,
             with_seed.then_some(raw_seed),
             prefix_reuse,
@@ -295,10 +322,74 @@ proptest! {
             &backend,
             FAMILIES[family],
             points,
-            shots,
+            ShotPlan::Fixed(shots),
             1,
             None,
             prefix_reuse,
+            workers,
+        );
+    }
+
+    #[test]
+    fn sequential_sweeps_are_policy_independent(
+        family in 0usize..4,
+        points in 1usize..5,
+        min_shots in 1u64..64,
+        extra_budget in 0u64..256,
+        tranche in 1u64..48,
+        threads in 1usize..4,
+        raw_seed in any::<u64>(),
+        with_seed in any::<bool>(),
+        prefix_reuse in any::<bool>(),
+        workers in 0usize..4,
+    ) {
+        // The tentpole contract: sequential stop points, plan traces,
+        // verdicts, and counts are pure functions of (seed, plan,
+        // threads) — bit-identical under every policy and worker count.
+        let plan = ShotPlan::Sequential {
+            alpha: 0.05,
+            min_shots,
+            max_shots: min_shots + extra_budget,
+            tranche,
+        };
+        let noise = qnoise::presets::uniform(4, 0.008, 0.03, 0.015).unwrap();
+        let backend = TrajectoryBackend::new(noise).with_seed(raw_seed ^ 0x3c);
+        check_backend(
+            &backend,
+            FAMILIES[family],
+            points,
+            plan,
+            threads,
+            with_seed.then_some(raw_seed),
+            prefix_reuse,
+            workers,
+        );
+    }
+
+    #[test]
+    fn sequential_statevector_sweeps_are_policy_independent(
+        family in 0usize..4,
+        points in 1usize..5,
+        tranche in 1u64..48,
+        threads in 1usize..4,
+        raw_seed in any::<u64>(),
+        workers in 0usize..4,
+    ) {
+        let plan = ShotPlan::Sequential {
+            alpha: 0.05,
+            min_shots: 32,
+            max_shots: 192,
+            tranche,
+        };
+        let backend = StatevectorBackend::new().with_seed(raw_seed ^ 0xc3);
+        check_backend(
+            &backend,
+            FAMILIES[family],
+            points,
+            plan,
+            threads,
+            Some(raw_seed),
+            true,
             workers,
         );
     }
@@ -312,7 +403,7 @@ fn empty_sweep_returns_no_points_and_zero_telemetry() {
             .sweep_policy(policy)
             .run_sweep(Vec::<AssertingCircuit>::new())
             .unwrap();
-        assert!(sweep.points.is_empty(), "{policy:?}");
+        assert!(sweep.is_empty(), "{policy:?}");
         assert_eq!(sweep.telemetry, SessionTelemetry::default(), "{policy:?}");
     }
 }
@@ -330,7 +421,7 @@ fn single_point_sweep_matches_a_plain_run_with_the_derived_seed() {
             .sweep_policy(policy)
             .run_sweep(vec![ac.clone()])
             .unwrap();
-        assert_eq!(sweep.points.len(), 1);
+        assert_eq!(sweep.len(), 1);
         let isolated = AssertionSession::new(&backend)
             .private_cache(4)
             .shots(200)
@@ -338,7 +429,8 @@ fn single_point_sweep_matches_a_plain_run_with_the_derived_seed() {
             .run(&ac)
             .unwrap();
         assert_eq!(
-            sweep.points[0].raw.counts, isolated.raw.counts,
+            sweep.point(0).outcome().raw.counts,
+            isolated.raw.counts,
             "{policy:?}"
         );
     }
@@ -357,7 +449,8 @@ fn single_point_sweep_matches_a_plain_run_with_the_derived_seed() {
             .run(&ac)
             .unwrap();
         assert_eq!(
-            sweep.points[0].raw.counts, isolated.raw.counts,
+            sweep.outcomes()[0].raw.counts,
+            isolated.raw.counts,
             "{policy:?} unseeded"
         );
     }
@@ -402,7 +495,7 @@ fn mid_sweep_lowering_failure_propagates_without_partial_results() {
         let sweep = session
             .run_sweep(vec![bell_assertion(), bell_assertion()])
             .unwrap();
-        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.len(), 2);
         assert_eq!(sweep.telemetry.runs, 2);
     }
 }
@@ -439,10 +532,10 @@ fn all_filtered_point_honors_the_filter_policy_mid_sweep() {
         let sweep = lenient
             .run_sweep(vec![bell_assertion(), always_fires(), bell_assertion()])
             .unwrap();
-        assert_eq!(sweep.points.len(), 3, "{policy:?}");
-        assert_eq!(sweep.points[1].shots_kept(), 0, "{policy:?}");
-        assert_eq!(sweep.points[1].assertion_error_rate, 1.0, "{policy:?}");
-        assert_eq!(sweep.points[0].shots_kept(), 64, "{policy:?}");
+        assert_eq!(sweep.len(), 3, "{policy:?}");
+        assert_eq!(sweep.outcomes()[1].shots_kept(), 0, "{policy:?}");
+        assert_eq!(sweep.outcomes()[1].assertion_error_rate, 1.0, "{policy:?}");
+        assert_eq!(sweep.outcomes()[0].shots_kept(), 64, "{policy:?}");
     }
 }
 
@@ -480,7 +573,12 @@ fn concurrent_sweeps_on_one_session_stay_bit_identical() {
         }
         for (handle, reference) in handles.into_iter().zip(&references) {
             let sweep = handle.join().expect("sweep thread").unwrap();
-            for (p, (a, b)) in sweep.points.iter().zip(&reference.points).enumerate() {
+            for (p, (a, b)) in sweep
+                .outcomes()
+                .iter()
+                .zip(reference.outcomes())
+                .enumerate()
+            {
                 assert_eq!(a.raw.counts, b.raw.counts, "concurrent point {p}");
                 assert_eq!(a.kept, b.kept, "concurrent point {p}");
             }
@@ -491,6 +589,79 @@ fn concurrent_sweeps_on_one_session_stay_bit_identical() {
             assert_eq!(sweep.telemetry.shots, reference.telemetry.shots);
         }
     });
+}
+
+#[test]
+fn fixed_plan_counts_are_pinned_to_the_pre_plan_stream() {
+    // ShotPlan::Fixed must stay byte-identical to the pre-plan `.shots`
+    // behavior: exactly one seeded backend call per point, same RNG
+    // streams. These golden histograms were recorded when the plan API
+    // was introduced; if this fails, the fixed path stopped being a
+    // passthrough — fix the path, don't regenerate the goldens.
+    fn histogram<B: Backend + Sync>(backend: &B) -> Vec<Vec<(u64, u64)>> {
+        let sweep = AssertionSession::new(backend)
+            .private_cache(16)
+            .shot_plan(ShotPlan::Fixed(160))
+            .seed(42)
+            .threads(2)
+            .run_sweep(family_circuits(Family::Thetas, 3))
+            .unwrap();
+        sweep
+            .outcomes()
+            .iter()
+            .map(|o| {
+                let mut pairs: Vec<(u64, u64)> = o.raw.counts.iter().collect();
+                pairs.sort_unstable();
+                pairs
+            })
+            .collect()
+    }
+    assert_eq!(
+        histogram(&StatevectorBackend::new().with_seed(9)),
+        vec![
+            vec![(0, 160)],
+            vec![(0, 143), (6, 17)],
+            vec![(0, 123), (6, 37)],
+        ],
+        "statevector fixed-plan stream moved"
+    );
+    let noise = qnoise::presets::uniform(4, 0.008, 0.03, 0.015).unwrap();
+    assert_eq!(
+        histogram(&TrajectoryBackend::new(noise.clone()).with_seed(9)),
+        vec![
+            vec![(0, 139), (1, 5), (2, 2), (3, 2), (4, 5), (5, 1), (6, 6)],
+            vec![(0, 127), (1, 5), (2, 3), (3, 3), (4, 5), (5, 6), (6, 11)],
+            vec![(0, 120), (1, 4), (2, 2), (3, 5), (4, 3), (5, 1), (6, 25)],
+        ],
+        "trajectory fixed-plan stream moved"
+    );
+    assert_eq!(
+        histogram(&DensityMatrixBackend::new(noise)),
+        vec![
+            vec![(0, 141), (1, 5), (2, 4), (3, 2), (4, 3), (5, 2), (6, 3)],
+            vec![
+                (0, 130),
+                (1, 4),
+                (2, 3),
+                (3, 2),
+                (4, 3),
+                (5, 2),
+                (6, 15),
+                (7, 1)
+            ],
+            vec![
+                (0, 109),
+                (1, 4),
+                (2, 4),
+                (3, 2),
+                (4, 3),
+                (5, 2),
+                (6, 35),
+                (7, 1)
+            ],
+        ],
+        "density-matrix fixed-plan stream moved"
+    );
 }
 
 #[test]

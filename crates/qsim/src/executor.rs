@@ -545,6 +545,27 @@ pub fn sweep_point_seed(seed: u64, point: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The base seed of shot tranche `tranche` under base seed `seed` — the
+/// third dimension of the seed plan, used by sequential shot plans that
+/// execute a point's budget in early-terminating tranches. Tranche `k`
+/// of a run runs under `tranche_seed(base, k)`, and its shot shards then
+/// derive their RNG streams from that via [`shard_seed`] exactly like a
+/// fixed-budget run — so a sequential run's counts are a pure function
+/// of `(base seed, tranche index, tranche size, threads)`, never of
+/// timing or worker count.
+///
+/// Same SplitMix64-style finalizer as [`shard_seed`] and
+/// [`sweep_point_seed`] with a third distinct stream offset, so
+/// tranche-seed streams never collapse onto point- or shard-seed
+/// streams: `shard_seed(tranche_seed(sweep_point_seed(s, p), k), t)`
+/// mixes three decorrelated offsets before per-stream expansion.
+pub fn tranche_seed(seed: u64, tranche: usize) -> u64 {
+    let mut z = seed ^ 0xA076_1D64_78BD_642Fu64.wrapping_mul(tranche as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Runs one shard of shots sequentially.
 fn run_compiled_shard(
     program: &CompiledProgram,

@@ -87,8 +87,8 @@ pub use density::DensityMatrix;
 pub use error::SimError;
 pub use executor::{
     run_compiled_sharded, run_compiled_sharded_on, run_compiled_sharded_scoped, run_compiled_shot,
-    run_shot, shard_seed, sweep_point_seed, Backend, DensityMatrixBackend, ExactDistribution,
-    RunResult, ShotRecord, StatevectorBackend, TrajectoryBackend,
+    run_shot, shard_seed, sweep_point_seed, tranche_seed, Backend, DensityMatrixBackend,
+    ExactDistribution, RunResult, ShotRecord, StatevectorBackend, TrajectoryBackend,
 };
 pub use expectation::{Pauli, PauliString};
 pub use kernel::BatchKernel;

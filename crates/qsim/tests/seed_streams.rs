@@ -1,22 +1,25 @@
 //! Golden vectors for the deterministic seed-derivation functions.
 //!
-//! Every reproducibility guarantee in the suite bottoms out in two pure
-//! functions: [`qsim::shard_seed`] (the per-shard RNG streams of one
-//! run) and [`qsim::sweep_point_seed`] (the per-point base seeds of one
-//! sweep — the second dimension of the 2-D `points × shots` plan).
-//! Checked-in results, benchmark baselines, and the parallel-vs-serial
-//! sweep equivalence all assume these streams never move; this test
-//! pins their exact outputs so a refactor that silently shifts any RNG
-//! stream fails here first, with an explanation, rather than as an
-//! opaque count mismatch in an equivalence suite.
+//! Every reproducibility guarantee in the suite bottoms out in three
+//! pure functions: [`qsim::shard_seed`] (the per-shard RNG streams of
+//! one run), [`qsim::sweep_point_seed`] (the per-point base seeds of one
+//! sweep — the second dimension of the 2-D `points × shots` plan), and
+//! [`qsim::tranche_seed`] (the per-tranche base seeds of a sequential
+//! shot plan, nested between the two). Checked-in results, benchmark
+//! baselines, and the parallel-vs-serial sweep equivalence all assume
+//! these streams never move; this test pins their exact outputs so a
+//! refactor that silently shifts any RNG stream fails here first, with
+//! an explanation, rather than as an opaque count mismatch in an
+//! equivalence suite.
 //!
 //! The vectors were generated from the definitions at the time the
 //! functions were frozen (PR 1 froze `shard_seed`; the parallel-sweep
-//! PR froze `sweep_point_seed`). If this test fails, the fix is to
-//! restore the functions — not to regenerate the vectors — unless a
-//! release deliberately breaks every seeded result in the repository.
+//! PR froze `sweep_point_seed`; the sequential-shot-plan PR froze
+//! `tranche_seed`). If this test fails, the fix is to restore the
+//! functions — not to regenerate the vectors — unless a release
+//! deliberately breaks every seeded result in the repository.
 
-use qsim::{shard_seed, sweep_point_seed};
+use qsim::{shard_seed, sweep_point_seed, tranche_seed};
 
 #[test]
 fn shard_seed_golden_vectors() {
@@ -97,6 +100,62 @@ fn sweep_point_seed_golden_vectors() {
 }
 
 #[test]
+fn tranche_seed_golden_vectors() {
+    let expected_seed0: [u64; 8] = [
+        0x7DE5_3DE7_72EA_694C,
+        0xBC15_1AE9_9DD3_7C1D,
+        0xB223_3404_FCC1_C43D,
+        0x31C4_A9E7_DE11_E678,
+        0x8910_FB66_6972_7139,
+        0x16D7_79FA_D764_DC4E,
+        0x6F47_428C_978F_E7D9,
+        0xDA68_CF82_F421_7D9C,
+    ];
+    let expected_seed42: [u64; 8] = [
+        0x5BA2_0A6D_52C8_4552,
+        0x7FE7_73F4_BE83_BF95,
+        0xA9D9_2261_D6FA_B4B0,
+        0xDBFF_BF34_1147_F789,
+        0xEE8B_58A4_EA0F_DFB1,
+        0xDEE1_C21C_51A7_1E22,
+        0x6244_CE6E_6BF2_973F,
+        0xB871_25E9_DA33_9633,
+    ];
+    for (k, (&a, &b)) in expected_seed0.iter().zip(&expected_seed42).enumerate() {
+        assert_eq!(tranche_seed(0, k), a, "tranche_seed(0, {k})");
+        assert_eq!(tranche_seed(42, k), b, "tranche_seed(42, {k})");
+    }
+    let expected_max: [u64; 4] = [
+        0x9D4A_EBFF_E50E_99FE,
+        0xE0FB_4D7E_945B_30B2,
+        0x329A_C168_4B6C_7366,
+        0x96E6_75A5_A882_E77E,
+    ];
+    for (k, &v) in expected_max.iter().enumerate() {
+        assert_eq!(tranche_seed(u64::MAX, k), v, "tranche_seed(MAX, {k})");
+    }
+}
+
+#[test]
+fn composed_point_tranche_shard_streams_are_pinned() {
+    // A sequential sweep composes all three derivations: shard t of
+    // tranche k of sweep point p runs under
+    // shard_seed(tranche_seed(sweep_point_seed(seed, p), k), t). Pin one
+    // composed family so the interaction of the three distinct stream
+    // offsets is frozen too.
+    let expected: [u64; 4] = [
+        0x26E5_D605_4182_016A,
+        0x796B_C00E_F97F_D675,
+        0x9351_FAB1_95A7_BCE6,
+        0x251F_5DD9_821A_663F,
+    ];
+    let base = tranche_seed(sweep_point_seed(42, 3), 2);
+    for (t, &v) in expected.iter().enumerate() {
+        assert_eq!(shard_seed(base, t), v, "composed sequential shard {t}");
+    }
+}
+
+#[test]
 fn composed_point_then_shard_streams_are_pinned() {
     // The 2-D plan composes the two derivations: shard t of sweep point
     // p runs under shard_seed(sweep_point_seed(seed, p), t). Pin one
@@ -116,15 +175,28 @@ fn composed_point_then_shard_streams_are_pinned() {
 
 #[test]
 fn point_and_shard_streams_never_collide_on_small_indices() {
-    // The two derivations use distinct golden-gamma offsets; the seeds
-    // a sweep actually uses (small points × small shards over one base
-    // seed) must all be distinct — a collision would correlate two
-    // supposedly independent RNG streams.
+    // The derivations use distinct golden-gamma offsets; the seeds a
+    // sweep actually uses (small points × small tranches × small shards
+    // over one base seed) must all be distinct — a collision would
+    // correlate two supposedly independent RNG streams.
     for base in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
         let mut seen = std::collections::HashSet::new();
         for p in 0..32 {
             let ps = sweep_point_seed(base, p);
             assert!(seen.insert(ps), "point seed collision at ({base}, {p})");
+            for k in 0..4 {
+                let ts = tranche_seed(ps, k);
+                assert!(
+                    seen.insert(ts),
+                    "tranche seed collision at ({base}, {p}, {k})"
+                );
+                for t in 0..4 {
+                    assert!(
+                        seen.insert(shard_seed(ts, t)),
+                        "sequential shard stream collision at ({base}, {p}, {k}, {t})"
+                    );
+                }
+            }
             for t in 0..8 {
                 assert!(
                     seen.insert(shard_seed(ps, t)),
@@ -140,8 +212,11 @@ fn derivations_differ_from_each_other_and_from_identity() {
     for seed in [0u64, 7, 1 << 40] {
         for i in 0..8 {
             assert_ne!(shard_seed(seed, i), sweep_point_seed(seed, i));
+            assert_ne!(shard_seed(seed, i), tranche_seed(seed, i));
+            assert_ne!(sweep_point_seed(seed, i), tranche_seed(seed, i));
             assert_ne!(shard_seed(seed, i), seed);
             assert_ne!(sweep_point_seed(seed, i), seed);
+            assert_ne!(tranche_seed(seed, i), seed);
         }
     }
 }

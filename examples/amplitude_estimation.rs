@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (a_true, b_true) = ((hidden_theta / 2.0).cos(), (hidden_theta / 2.0).sin());
     let shots = 50_000u64;
     let session = AssertionSession::new(StatevectorBackend::new().with_seed(2026))
-        .shots(shots)
+        .shot_plan(ShotPlan::Fixed(shots))
         .filter_policy(FilterPolicy::AllowEmpty);
     println!("hidden state: {a_true:.4}|0⟩ + {b_true:.4}|1⟩   ({shots} shots per assertion)\n");
 

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One session drives every run: exact backend, 4096 shots, lenient
     // filtering so fully-flagged (certain-detection) runs still report.
     let session = AssertionSession::new(DensityMatrixBackend::ideal())
-        .shots(4096)
+        .shot_plan(ShotPlan::Fixed(4096))
         .filter_policy(FilterPolicy::AllowEmpty);
 
     // Correct GHZ states: the assertion is silent at every width, and

@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = grover_with_check(marked)?;
 
     // Ideal: the assertion is silent and Grover finds the marked item.
-    let ideal_session = AssertionSession::new(StatevectorBackend::new().with_seed(3)).shots(2048);
+    let ideal_session = AssertionSession::new(StatevectorBackend::new().with_seed(3))
+        .shot_plan(ShotPlan::Fixed(2048));
     let ideal = ideal_session.run(&program)?;
     println!(
         "ideal backend: assertion error rate {:.4}, P(found {marked:02b}) = {:.3}",
@@ -60,14 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // search success probability. A sweep over all four marked states
     // runs through one session — every compile after the first marked
     // state's reuses cached lowerings where circuits repeat.
-    let session =
-        AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4())).shots(8192);
+    let session = AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4()))
+        .shot_plan(ShotPlan::Fixed(8192));
     let sweep = session.run_sweep(
         (0..4)
             .map(grover_with_check)
             .collect::<Result<Vec<_>, _>>()?,
     )?;
-    for (m, outcome) in sweep.points.iter().enumerate() {
+    for point in sweep.iter() {
+        let (m, outcome) = (point.index(), point.outcome());
         let p_raw = outcome.data_raw.probability(m as u64);
         let p_kept = outcome.data_kept.probability(m as u64);
         println!(

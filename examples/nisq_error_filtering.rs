@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exact noisy execution: the session runs the *transpiled* circuit
     // and analyzes it against the original instrumented program.
-    let session =
-        AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4())).shots(8192);
+    let session = AssertionSession::new(DensityMatrixBackend::new(qnoise::presets::ibmqx4()))
+        .shot_plan(ShotPlan::Fixed(8192));
     let raw = session.run_circuit(&lowered.circuit)?;
     let outcome = session.analyze(raw, &program)?;
 

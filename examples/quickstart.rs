@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run and analyze through a session: it owns the backend, shot
     //    plan, and program cache, so repeated runs are compile-free.
-    let session = AssertionSession::new(StatevectorBackend::new().with_seed(7)).shots(1024);
+    let session = AssertionSession::new(StatevectorBackend::new().with_seed(7))
+        .shot_plan(ShotPlan::Fixed(1024));
     let outcome = session.run(&program)?;
     println!(
         "assertion error rate: {:.4} (correct program — never fires)",

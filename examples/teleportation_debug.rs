@@ -40,7 +40,8 @@ fn teleport(inject_bug: bool) -> Result<AssertingCircuit, Box<dyn std::error::Er
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let session = AssertionSession::new(StatevectorBackend::new().with_seed(11)).shots(2048);
+    let session = AssertionSession::new(StatevectorBackend::new().with_seed(11))
+        .shot_plan(ShotPlan::Fixed(2048));
 
     let correct = teleport(false)?;
     let outcome = session.run(&correct)?;

@@ -22,7 +22,7 @@
 //! let mut program = AssertingCircuit::new(qcircuit::library::ghz(3));
 //! program.assert_entangled([0, 1, 2], Parity::Even)?;
 //! program.measure_data();
-//! let session = AssertionSession::new(StatevectorBackend::new()).shots(256);
+//! let session = AssertionSession::new(StatevectorBackend::new()).shot_plan(ShotPlan::Fixed(256));
 //! let outcome = session.run(&program)?;
 //! assert_eq!(outcome.assertion_error_rate, 0.0);
 //! # Ok(())
@@ -38,12 +38,14 @@ pub use qsim;
 
 /// The names most programs need, in one import.
 pub mod prelude {
+    #[cfg(feature = "legacy-api")]
     #[allow(deprecated)]
     pub use qassert::{analyze, run_with_assertions};
     pub use qassert::{
         AssertError, AssertingCircuit, Assertion, AssertionOutcome, AssertionSession,
-        EntanglementMode, ErrorReduction, FilterPolicy, Parity, SessionTelemetry,
-        StatisticalAssertion, StatisticalKind, SuperpositionBasis, SweepOutcome,
+        AssertionVerdict, EntanglementMode, ErrorReduction, FilterPolicy, Parity, SequentialTest,
+        SequentialVerdict, SessionTelemetry, ShotPlan, StatisticalAssertion, StatisticalKind,
+        StopReason, SuperpositionBasis, SweepOutcome, SweepPoint,
     };
     pub use qcircuit::{Gate, QuantumCircuit, QubitId};
     pub use qnoise::{Kraus, NoiseModel, ReadoutError};

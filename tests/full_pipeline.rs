@@ -177,13 +177,13 @@ fn staged_assertion_sweep_reuses_prefixes_without_changing_outcomes() {
 
     let session = AssertionSession::new(StatevectorBackend::new().with_seed(9)).shots(256);
     let sweep = session.run_sweep(family.clone()).unwrap();
-    assert_eq!(sweep.points.len(), 4);
+    assert_eq!(sweep.len(), 4);
     assert_eq!(
         sweep.telemetry.prefix_hits, 3,
         "each point after the first should extend its predecessor"
     );
     // Correct program: no assertion ever fires, at any depth.
-    for point in &sweep.points {
+    for point in sweep.outcomes() {
         assert_eq!(point.assertion_error_rate, 0.0);
     }
     // Bit-identical to isolated, prefix-free sessions.
@@ -193,7 +193,7 @@ fn staged_assertion_sweep_reuses_prefixes_without_changing_outcomes() {
             .prefix_reuse(false)
             .run(program)
             .unwrap();
-        assert_eq!(isolated.raw.counts, sweep.points[i].raw.counts);
+        assert_eq!(isolated.raw.counts, sweep.outcomes()[i].raw.counts);
     }
 }
 
