@@ -1,0 +1,227 @@
+//! Stabilizer tableau throughput: `StabilizerBackend` vs the
+//! per-shot statevector path on a Clifford workload, plus the scale
+//! leg the backend exists for — a 1,024-qubit assertion-shaped GHZ
+//! parity circuit no amplitude backend can represent.
+//!
+//! The workload is a mid-circuit-measure Clifford circuit (GHZ chain,
+//! S-dressed CX layers, one mid measurement): the measurement defeats
+//! the statevector sample-once fast path, so both backends run the
+//! honest per-shot loop and the comparison isolates tableau vs
+//! amplitude per-shot cost at equal semantics.
+//!
+//! Correctness before speed, asserted before any number is reported
+//! (exit 2):
+//!
+//! * stabilizer counts at n=10 land within TVD 0.02 of the exact
+//!   distribution (`DensityMatrixBackend::exact_distribution`);
+//! * seeded stabilizer runs are bit-reproducible call-to-call;
+//! * every shot of the 1,024-qubit GHZ parity leg has even end-to-end
+//!   parity (the two measured clbits agree).
+//!
+//! Results go to `BENCH_stab.json` (override with `--out`);
+//! `--check <baseline.json>` turns the run into a CI gate on the
+//! same-run **stabilizer-vs-statevector per-shot speedup**, which must
+//! clear the baseline's `min_speedup`. Both paths are timed in the
+//! same process on the same machine, so the floor needs no per-host
+//! derating.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench stab_throughput -- --quick --check
+//! ```
+
+use qcircuit::QuantumCircuit;
+use qsim::{Backend, DensityMatrixBackend, StabilizerBackend, StatevectorBackend};
+use std::time::Instant;
+
+struct Config {
+    mode: &'static str,
+    shots: u64,
+    big_shots: u64,
+}
+
+/// The comparison workload: an n-qubit GHZ chain with one mid-circuit
+/// measurement (fast-path defeating) and two S-dressed CX layers, all
+/// Clifford, fully measured.
+fn clifford_workload(n: usize) -> QuantumCircuit {
+    let mut c = QuantumCircuit::new(n, n);
+    c.h(0).expect("valid qubit");
+    for q in 0..n - 1 {
+        c.cx(q, q + 1).expect("valid qubits");
+    }
+    c.measure(0, 0).expect("valid measurement"); // defeats the fast path
+    for q in 0..n {
+        c.s(q).expect("valid qubit");
+    }
+    for q in (1..n - 1).step_by(2) {
+        c.cx(q, q + 1).expect("valid qubits");
+    }
+    for q in 0..n {
+        c.sdg(q).expect("valid qubit");
+    }
+    c.measure_all();
+    c
+}
+
+/// The scale leg: a 1,024-qubit GHZ state with the end qubits measured
+/// into two clbits — the assertion-shaped parity probe of
+/// `examples/ghz_parity_check.rs` at a width only the tableau holds.
+fn ghz_parity_1024() -> QuantumCircuit {
+    let mut c = qcircuit::library::ghz(1024);
+    c.add_clbit();
+    c.add_clbit();
+    c.measure(0, 0).expect("valid measurement");
+    c.measure(1023, 1).expect("valid measurement");
+    c
+}
+
+/// Times `shots` seeded shots of `program` on `backend`, returning
+/// (seconds, counts).
+fn run_timed<B: Backend>(
+    backend: &B,
+    program: &qsim::CompiledProgram,
+    shots: u64,
+) -> (f64, qsim::Counts) {
+    let start = Instant::now();
+    let result = backend
+        .run_compiled_seeded(program, shots, Some(7), Some(1))
+        .expect("workload runs");
+    (start.elapsed().as_secs_f64(), result.counts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| qassert_bench::harness::flag(&args, name);
+    let value_of = |name: &str| qassert_bench::harness::value_of(&args, name);
+    let json_number_field = qassert_bench::harness::json_number_field;
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            shots: 2_000,
+            big_shots: 256,
+        }
+    } else {
+        Config {
+            mode: "full",
+            shots: 20_000,
+            big_shots: 2_048,
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_stab.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/stab_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    let n = 10;
+    let circuit = clifford_workload(n);
+    let stab = StabilizerBackend::ideal();
+    let sv = StatevectorBackend::new();
+    let program = stab.compile(&circuit).expect("clifford workload compiles");
+    assert!(
+        program.is_clifford(),
+        "the comparison workload must be clifford-eligible"
+    );
+
+    // Correctness before speed. (a) Distribution agreement with the
+    // exact backend at a TVD a 20k-shot sample clears comfortably.
+    let exact = DensityMatrixBackend::ideal()
+        .exact_distribution(&circuit)
+        .expect("exact distribution");
+    let (_, probe) = run_timed(&stab, &program, cfg.shots.max(8_192));
+    let tvd: f64 = (0..(1u64 << n))
+        .map(|k| (probe.probability(k) - exact.probability(k)).abs() / 2.0)
+        .sum();
+    // (b) Seeded runs are bit-reproducible.
+    let (_, once) = run_timed(&stab, &program, cfg.shots);
+    let (_, again) = run_timed(&stab, &program, cfg.shots);
+    let reproducible = once == again;
+    if tvd > 0.02 || !reproducible {
+        eprintln!(
+            "STABILIZER BACKEND BROKEN: tvd {tvd:.4} vs exact (limit 0.02), \
+             reproducible {reproducible}"
+        );
+        std::process::exit(2);
+    }
+
+    // Warm both paths, then time them on the same program.
+    let _ = run_timed(&sv, &program, cfg.shots / 4);
+    let _ = run_timed(&stab, &program, cfg.shots / 4);
+    let (sv_secs, sv_counts) = run_timed(&sv, &program, cfg.shots);
+    let (stab_secs, stab_counts) = run_timed(&stab, &program, cfg.shots);
+    assert_eq!(sv_counts.total(), stab_counts.total());
+    let sv_per_shot = sv_secs * 1e9 / cfg.shots as f64;
+    let stab_per_shot = stab_secs * 1e9 / cfg.shots as f64;
+    let speedup = sv_per_shot / stab_per_shot;
+
+    // The scale leg: 1,024-qubit GHZ parity, stabilizer only. Every
+    // shot must have matching end qubits (even parity).
+    let big = ghz_parity_1024();
+    let big_program = stab.compile(&big).expect("1024-qubit ghz compiles");
+    let warm = run_timed(&stab, &big_program, cfg.big_shots.min(32)).1;
+    let (big_secs, big_counts) = run_timed(&stab, &big_program, cfg.big_shots);
+    let parity_ok = [&warm, &big_counts]
+        .iter()
+        .all(|counts| counts.iter().all(|(key, _)| key == 0b00 || key == 0b11));
+    if !parity_ok {
+        eprintln!("STABILIZER BACKEND BROKEN: odd parity in the 1,024-qubit GHZ leg");
+        std::process::exit(2);
+    }
+    let big_per_shot = big_secs * 1e9 / cfg.big_shots as f64;
+
+    println!(
+        "stab_throughput [{}]: n={n} clifford workload, {} shots/path; \
+         1024-qubit ghz parity, {} shots",
+        cfg.mode, cfg.shots, cfg.big_shots,
+    );
+    println!(
+        "  statevector per-shot: {sv_per_shot:>10.0} ns   stabilizer per-shot: \
+         {stab_per_shot:>10.0} ns   speedup {speedup:.2}x"
+    );
+    println!("  1024-qubit stabilizer per-shot: {big_per_shot:>10.0} ns   tvd vs exact {tvd:.4}");
+
+    let json = format!(
+        "{{\"bench\":\"stab_throughput\",\"mode\":\"{}\",\"qubits\":{n},\"shots\":{},\
+         \"sv_per_shot_ns\":{:.0},\"stab_per_shot_ns\":{:.0},\"speedup\":{:.3},\
+         \"big_qubits\":1024,\"big_shots\":{},\"big_per_shot_ns\":{:.0},\
+         \"tvd\":{:.5},\"reproducible\":{}}}",
+        cfg.mode,
+        cfg.shots,
+        sv_per_shot,
+        stab_per_shot,
+        speedup,
+        cfg.big_shots,
+        big_per_shot,
+        tvd,
+        reproducible,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let min_speedup = json_number_field(&baseline, "min_speedup").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no min_speedup field");
+            std::process::exit(1);
+        });
+        println!("  speedup gate: {speedup:.2}x vs required {min_speedup:.2}x");
+        if speedup < min_speedup {
+            eprintln!(
+                "PERF REGRESSION: stabilizer ran only {speedup:.2}x faster than the \
+                 per-shot statevector path, below the {min_speedup:.2}x floor"
+            );
+            std::process::exit(4);
+        }
+        println!("  speedup gate: ok");
+    }
+}

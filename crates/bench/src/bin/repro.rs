@@ -240,6 +240,75 @@ fn esweep_smoke() -> Result<String, String> {
     ))
 }
 
+/// `--quick` also smokes the stabilizer tableau backend at the scale
+/// it exists for: a 1,024-qubit assertion-instrumented GHZ parity run
+/// through the full `AssertionSession` machinery must hold its verdict
+/// and stop early, and at small n the tableau's counts must agree with
+/// the exact distribution. The end-to-end CI twin of the
+/// `stabilizer_equivalence` suite and the `stab_throughput` gate (exit
+/// 3 on divergence).
+fn stabilizer_smoke() -> Result<String, String> {
+    use qassert::{AssertingCircuit, AssertionSession, AssertionVerdict, Parity, ShotPlan};
+    use qsim::Backend;
+
+    // The scale leg: GHZ(1024) with an even-parity assertion between
+    // the end qubits (1,025 qubits instrumented).
+    let mut big = AssertingCircuit::new(qcircuit::library::ghz(1024));
+    big.assert_entangled([0, 1023], Parity::Even)
+        .expect("valid assertion");
+    let session = AssertionSession::new(qsim::StabilizerBackend::ideal())
+        .private_cache(4)
+        .shot_plan(ShotPlan::Sequential {
+            alpha: 0.05,
+            min_shots: 64,
+            max_shots: 2048,
+            tranche: 64,
+        })
+        .seed(7)
+        .threads(2);
+    let outcome = session.run(&big).map_err(|e| e.to_string())?;
+    if outcome.verdicts[0].verdict != AssertionVerdict::Holds {
+        return Err(format!(
+            "1024-qubit ghz parity verdict {:?}, expected Holds",
+            outcome.verdicts[0].verdict
+        ));
+    }
+    if outcome.plan.shots_used >= 2048 {
+        return Err("1024-qubit clear-cut run failed to stop early".to_string());
+    }
+    let record = session.record();
+
+    // The small-n cross-check: stabilizer counts vs the exact
+    // distribution on a mid-measure Clifford workload.
+    let mut small = qcircuit::QuantumCircuit::new(5, 5);
+    small.h(0).expect("valid");
+    for q in 0..4 {
+        small.cx(q, q + 1).expect("valid");
+    }
+    small.measure(0, 0).expect("valid");
+    small.s(1).expect("valid");
+    small.sdg(1).expect("valid");
+    small.measure_all();
+    let stab = qsim::StabilizerBackend::ideal().with_seed(5);
+    let counts = stab.run(&small, 8192).map_err(|e| e.to_string())?.counts;
+    let exact = qsim::DensityMatrixBackend::ideal()
+        .exact_distribution(&small)
+        .map_err(|e| e.to_string())?;
+    let tvd: f64 = (0..32u64)
+        .map(|k| (counts.probability(k) - exact.probability(k)).abs() / 2.0)
+        .sum();
+    if tvd > 0.02 {
+        return Err(format!(
+            "stabilizer counts diverge from exact distribution: tvd {tvd:.4}"
+        ));
+    }
+    Ok(format!(
+        "stabilizer smoke: {} backend at {} qubits, verdict Holds after {} of 2048 \
+         shots, small-n tvd {tvd:.4}",
+        record.backend_kind, record.max_qubits, outcome.plan.shots_used
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -296,6 +365,14 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(why) => {
                 eprintln!("esweep smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
+        // And the stabilizer tableau backend at scale.
+        match stabilizer_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("stabilizer smoke FAILED: {why}");
                 std::process::exit(3);
             }
         }

@@ -160,6 +160,10 @@ impl Metric {
 pub struct SessionRecord {
     /// The backend's human-readable name.
     pub backend: String,
+    /// The backend's kind ([`qsim::BackendKind::as_str`] — e.g.
+    /// `"statevector"` or `"stabilizer"`), a stable machine-readable
+    /// label where the name above is free-form prose.
+    pub backend_kind: String,
     /// The shard/thread override *requested* on the session (`None` =
     /// backend default). Backends without a shard concept (the exact
     /// density-matrix executor) ignore the request — the backend name
@@ -173,6 +177,12 @@ pub struct SessionRecord {
     /// the exact count under a fixed plan, `max_shots` under a
     /// sequential one.
     pub shots: u64,
+    /// The widest program (qubit count) the session had executed when
+    /// the record was taken — `0` if nothing ran yet. Together with
+    /// `backend_kind` this tells a reader whether a result came from an
+    /// amplitude backend near its ~30-qubit ceiling or from the
+    /// stabilizer tableau at thousands of qubits.
+    pub max_qubits: u64,
     /// The session's shot plan, rendered
     /// ([`crate::ShotPlan`]'s `Display` — e.g. `fixed(1024)` or
     /// `sequential(alpha=0.05, min=64, max=8192, tranche=256)`).
@@ -332,8 +342,9 @@ impl ExperimentReport {
         match &self.session {
             Some(s) => {
                 out.push_str(&format!(
-                    "{{\"backend\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"plan\":{},\"cache_capacity\":{},\"simd\":{}}}",
+                    "{{\"backend\":{},\"backend_kind\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"max_qubits\":{},\"plan\":{},\"cache_capacity\":{},\"simd\":{}}}",
                     json_string(&s.backend),
+                    json_string(&s.backend_kind),
                     match s.threads {
                         Some(t) => t.to_string(),
                         None => String::from("null"),
@@ -343,6 +354,7 @@ impl ExperimentReport {
                         None => String::from("null"),
                     },
                     s.shots,
+                    s.max_qubits,
                     json_string(&s.plan),
                     s.cache_capacity,
                     json_string(&s.simd)
@@ -393,9 +405,11 @@ impl ExperimentReport {
         }
         if let Some(s) = &self.session {
             out.push_str(&format!(
-                "\nsession: backend \"{}\", plan {}, threads requested {}, seed requested {}, \
-                 cache capacity {}, simd \"{}\"\n",
+                "\nsession: backend \"{}\" ({}), max qubits {}, plan {}, threads requested {}, \
+                 seed requested {}, cache capacity {}, simd \"{}\"\n",
                 s.backend,
+                s.backend_kind,
+                s.max_qubits,
                 s.plan,
                 match s.threads {
                     Some(t) => t.to_string(),
@@ -531,21 +545,25 @@ mod tests {
         assert!(r.to_json().contains("\"session\":null"));
         r.push_session(SessionRecord {
             backend: "density matrix (exact noisy)".to_string(),
+            backend_kind: "density-matrix".to_string(),
             threads: None,
             seed: None,
             shots: 8192,
+            max_qubits: 3,
             plan: "fixed(8192)".to_string(),
             cache_capacity: 256,
             simd: "avx2".to_string(),
         });
         let json = r.to_json();
         assert!(json.contains(
-            "\"session\":{\"backend\":\"density matrix (exact noisy)\",\"threads\":null,\
-             \"seed\":null,\"shots\":8192,\"plan\":\"fixed(8192)\",\"cache_capacity\":256,\
-             \"simd\":\"avx2\"}"
+            "\"session\":{\"backend\":\"density matrix (exact noisy)\",\
+             \"backend_kind\":\"density-matrix\",\"threads\":null,\
+             \"seed\":null,\"shots\":8192,\"max_qubits\":3,\"plan\":\"fixed(8192)\",\
+             \"cache_capacity\":256,\"simd\":\"avx2\"}"
         ));
         let text = r.render();
-        assert!(text.contains("session: backend \"density matrix (exact noisy)\""));
+        assert!(text.contains("session: backend \"density matrix (exact noisy)\" (density-matrix)"));
+        assert!(text.contains("max qubits 3"));
         assert!(text.contains("plan fixed(8192)"));
         assert!(text.contains("threads requested backend default"));
         assert!(text.contains("seed requested backend default"));
@@ -554,15 +572,21 @@ mod tests {
         let mut threaded = ExperimentReport::new("x", "y");
         threaded.push_session(SessionRecord {
             backend: "trajectory (noisy)".to_string(),
+            backend_kind: "trajectory".to_string(),
             threads: Some(4),
             seed: Some(17),
             shots: 100,
+            max_qubits: 1024,
             plan: "sequential(alpha=0.05, min=64, max=100, tranche=32)".to_string(),
             cache_capacity: 8,
             simd: "scalar".to_string(),
         });
         assert!(threaded.to_json().contains("\"threads\":4"));
         assert!(threaded.to_json().contains("\"seed\":17"));
+        assert!(threaded.to_json().contains("\"max_qubits\":1024"));
+        assert!(threaded
+            .to_json()
+            .contains("\"backend_kind\":\"trajectory\""));
         assert!(threaded
             .to_json()
             .contains("\"plan\":\"sequential(alpha=0.05, min=64, max=100, tranche=32)\""));

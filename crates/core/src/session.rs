@@ -432,6 +432,10 @@ pub struct AssertionSession<'c, B: Backend> {
     cache_misses: AtomicU64,
     batched_ops: AtomicU64,
     batch_passes: AtomicU64,
+    /// The widest program (qubit count) executed so far — reported in
+    /// [`SessionRecord::max_qubits`] so repro artifacts show the scale
+    /// a backend actually ran at.
+    max_qubits: AtomicU64,
     /// Global-pool counters at session creation: [`Self::telemetry`]
     /// reports pool activity *since then*, so per-experiment sessions
     /// don't attribute earlier workloads' tasks to themselves.
@@ -467,6 +471,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             cache_misses: AtomicU64::new(0),
             batched_ops: AtomicU64::new(0),
             batch_passes: AtomicU64::new(0),
+            max_qubits: AtomicU64::new(0),
             pool_baseline: qsim::ShardPool::global_stats(),
         }
     }
@@ -660,9 +665,11 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     pub fn record(&self) -> SessionRecord {
         SessionRecord {
             backend: self.backend.name().to_string(),
+            backend_kind: self.backend.kind().as_str().to_string(),
             threads: self.threads,
             seed: self.seed,
             shots: self.plan.budget(),
+            max_qubits: self.max_qubits.load(Ordering::Relaxed),
             plan: self.plan.to_string(),
             cache_capacity: self.program_cache().capacity(),
             simd: qsim::simd::active_backend().name().to_string(),
@@ -816,6 +823,8 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
     /// Bumps the session's lifetime counters for one executed run.
     fn record_run(&self, program: &CompiledProgram, trace: &PlanTrace) {
         self.runs.fetch_add(1, Ordering::Relaxed);
+        self.max_qubits
+            .fetch_max(program.num_qubits() as u64, Ordering::Relaxed);
         self.shots_run
             .fetch_add(trace.shots_used, Ordering::Relaxed);
         self.tranches_run

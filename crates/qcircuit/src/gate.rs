@@ -17,6 +17,47 @@
 use qmath::{CMatrix, Complex, Mat2, FRAC_1_SQRT_2};
 use std::fmt;
 
+/// Exact Clifford classification of a gate, by enum variant.
+///
+/// Each variant names a generator of the Clifford group with a known
+/// tableau action; a stabilizer simulator can dispatch on it without
+/// ever inspecting a gate matrix. The classification is **structural**
+/// metadata carried by the [`Gate`] variant itself — never derived from
+/// floating-point matrix entries — so an eligibility pass can trust it
+/// bit-for-bit. The flip side is that it is deliberately conservative:
+/// parametrized gates classify as non-Clifford even at Clifford angles
+/// (`Rz(π/2)` *is* a Clifford unitary, but recognizing it would require
+/// float comparison, which this metadata refuses by contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CliffordKind {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate √Z.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// √X.
+    Sx,
+    /// Inverse √X.
+    Sxdg,
+    /// Controlled-X; qubit order `[control, target]`.
+    Cx,
+    /// Controlled-Y; qubit order `[control, target]`.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// SWAP (symmetric).
+    Swap,
+}
+
 /// A quantum gate (unitary operation) with bound parameters.
 ///
 /// # Example
@@ -167,6 +208,39 @@ impl Gate {
     /// Returns `true` for gates that are their own inverse.
     pub fn is_self_inverse(&self) -> bool {
         self.inverse() == *self
+    }
+
+    /// The gate's exact [`CliffordKind`], or `None` for gates outside
+    /// the Clifford group (and for all parametrized gates, which carry
+    /// float parameters this classification refuses to inspect — see
+    /// [`CliffordKind`] for the exactness contract).
+    pub const fn clifford_kind(&self) -> Option<CliffordKind> {
+        match self {
+            Gate::I => Some(CliffordKind::I),
+            Gate::X => Some(CliffordKind::X),
+            Gate::Y => Some(CliffordKind::Y),
+            Gate::Z => Some(CliffordKind::Z),
+            Gate::H => Some(CliffordKind::H),
+            Gate::S => Some(CliffordKind::S),
+            Gate::Sdg => Some(CliffordKind::Sdg),
+            Gate::Sx => Some(CliffordKind::Sx),
+            Gate::Sxdg => Some(CliffordKind::Sxdg),
+            Gate::Cx => Some(CliffordKind::Cx),
+            Gate::Cy => Some(CliffordKind::Cy),
+            Gate::Cz => Some(CliffordKind::Cz),
+            Gate::Swap => Some(CliffordKind::Swap),
+            Gate::T
+            | Gate::Tdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::P(_)
+            | Gate::U3(..)
+            | Gate::Ch
+            | Gate::Cp(_)
+            | Gate::Ccx
+            | Gate::Cswap => None,
+        }
     }
 
     /// The 2×2 matrix of a single-qubit gate, or `None` for multi-qubit
@@ -517,6 +591,114 @@ mod tests {
     fn display_includes_params() {
         assert_eq!(Gate::H.to_string(), "h");
         assert_eq!(Gate::Rx(0.5).to_string(), "rx(0.500000)");
+    }
+
+    /// The single-qubit Pauli matrices, indexed I, X, Y, Z.
+    fn pauli(code: usize) -> CMatrix {
+        match code {
+            0 => CMatrix::identity(2),
+            1 => Gate::X.matrix(),
+            2 => Gate::Y.matrix(),
+            3 => Gate::Z.matrix(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The n-qubit Pauli string whose qubit-`j` factor is digit `j`
+    /// (base 4) of `code`, in the local-basis convention (qubit `j` is
+    /// bit `j`, so the highest qubit is the leftmost Kronecker factor).
+    fn pauli_string(code: usize, n: usize) -> CMatrix {
+        let mut m = pauli((code >> (2 * (n - 1))) & 3);
+        for j in (0..n - 1).rev() {
+            m = m.kron(&pauli((code >> (2 * j)) & 3));
+        }
+        m
+    }
+
+    /// Whether `u` is a Clifford unitary: conjugating every Pauli
+    /// generator (X_q and Z_q for each qubit) must land back in the
+    /// Pauli group up to sign.
+    fn is_clifford_by_matrix(u: &CMatrix) -> bool {
+        let n = u.dim().trailing_zeros() as usize;
+        let udg = u.adjoint();
+        for q in 0..n {
+            for gen in [1usize, 3] {
+                let p = pauli_string(gen << (2 * q), n);
+                let conj = u.mul(&p).unwrap().mul(&udg).unwrap();
+                let in_group = (0..4usize.pow(n as u32)).any(|code| {
+                    let candidate = pauli_string(code, n);
+                    conj.approx_eq(&candidate, 1e-12)
+                        || conj.approx_eq(&candidate.scale(-1.0), 1e-12)
+                });
+                if !in_group {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn clifford_classification_matches_matrix_conjugation() {
+        // The classification table is exact variant metadata; this pins
+        // it against ground truth: a gate classifies as Clifford iff its
+        // matrix conjugates every Pauli generator to a signed Pauli
+        // string. (The parametrized instances in ALL_GATES sit at
+        // non-Clifford angles, so the equivalence is exact here; the
+        // conservative parametrized case is pinned separately below.)
+        for g in ALL_GATES {
+            assert_eq!(
+                g.clifford_kind().is_some(),
+                is_clifford_by_matrix(&g.matrix()),
+                "{g:?} classification disagrees with its matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn clifford_classification_table() {
+        use CliffordKind as K;
+        let expected: &[(Gate, Option<CliffordKind>)] = &[
+            (Gate::I, Some(K::I)),
+            (Gate::X, Some(K::X)),
+            (Gate::Y, Some(K::Y)),
+            (Gate::Z, Some(K::Z)),
+            (Gate::H, Some(K::H)),
+            (Gate::S, Some(K::S)),
+            (Gate::Sdg, Some(K::Sdg)),
+            (Gate::Sx, Some(K::Sx)),
+            (Gate::Sxdg, Some(K::Sxdg)),
+            (Gate::Cx, Some(K::Cx)),
+            (Gate::Cy, Some(K::Cy)),
+            (Gate::Cz, Some(K::Cz)),
+            (Gate::Swap, Some(K::Swap)),
+            (Gate::T, None),
+            (Gate::Tdg, None),
+            (Gate::Ch, None),
+            (Gate::Ccx, None),
+            (Gate::Cswap, None),
+        ];
+        for (gate, kind) in expected {
+            assert_eq!(gate.clifford_kind(), *kind, "{gate:?}");
+        }
+    }
+
+    #[test]
+    fn parametrized_clifford_angles_stay_unclassified() {
+        // Rz(π/2) and P(π/2) are Clifford *unitaries* (P(π/2) ≈ S up to
+        // the float value of π/2), but classification is structural: a
+        // parametrized gate never classifies, because recognizing the
+        // angle would make eligibility depend on float comparison.
+        for g in [
+            Gate::Rz(FRAC_PI_2),
+            Gate::Rx(PI),
+            Gate::P(FRAC_PI_2),
+            Gate::Cp(PI),
+            Gate::U3(FRAC_PI_2, 0.0, PI),
+        ] {
+            assert!(is_clifford_by_matrix(&g.matrix()), "{g:?}");
+            assert_eq!(g.clifford_kind(), None, "{g:?} must stay unclassified");
+        }
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod register;
 pub use circuit::QuantumCircuit;
 pub use dag::CircuitDag;
 pub use error::CircuitError;
-pub use gate::Gate;
+pub use gate::{CliffordKind, Gate};
 pub use instruction::{Condition, Instruction, OpKind};
 pub use register::{ClbitId, QubitId};

@@ -63,6 +63,27 @@ impl fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
+/// A single-qubit factor of a Pauli string, as detected by
+/// [`Kraus::as_pauli_channel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PauliTerm {
+    /// Identity factor.
+    I,
+    /// Pauli-X factor.
+    X,
+    /// Pauli-Y factor.
+    Y,
+    /// Pauli-Z factor.
+    Z,
+}
+
+impl PauliTerm {
+    /// The term's single-qubit matrix.
+    pub fn matrix(self) -> CMatrix {
+        pauli(self as usize)
+    }
+}
+
 /// Rotation axis for [`Kraus::coherent_overrotation`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RotationAxis {
@@ -404,6 +425,62 @@ impl Kraus {
     pub fn is_cptp(&self, tol: f64) -> bool {
         is_cptp(&self.ops, tol).unwrap_or(false)
     }
+
+    /// Detects whether this channel is a **Pauli channel** — every Kraus
+    /// operator a scalar multiple of a Pauli string — and returns its
+    /// probability table `[(pᵢ, Pᵢ)]` with `pᵢ = |cᵢ|²` when it is.
+    ///
+    /// Entry `j` of each returned string is the factor on local qubit
+    /// `j` (the channel's low-order qubit first, matching the gate
+    /// local-basis convention). Zero-weight operators (e.g. the pruned
+    /// `p = 0` Paulis of [`Kraus::depolarizing`]) are dropped from the
+    /// table; the remaining probabilities must sum to 1 within `1e-9`
+    /// or the channel is rejected.
+    ///
+    /// Returns `None` for anything else — amplitude/phase damping,
+    /// thermal relaxation, and generic coherent errors all mix Pauli
+    /// strings coherently and cannot be sampled as stochastic Pauli
+    /// injections. `tol` bounds the per-entry matrix comparison.
+    pub fn as_pauli_channel(&self, tol: f64) -> Option<Vec<(f64, Vec<PauliTerm>)>> {
+        const TERMS: [PauliTerm; 4] = [PauliTerm::I, PauliTerm::X, PauliTerm::Y, PauliTerm::Z];
+        let n = self.num_qubits;
+        let codes = 4usize.pow(n as u32);
+        let mut table = Vec::with_capacity(self.ops.len());
+        let mut total = 0.0;
+        'ops: for k in &self.ops {
+            if k.is_zero(tol) {
+                continue; // zero-weight operator: probability 0
+            }
+            for code in 0..codes {
+                // Build the candidate string (qubit n−1 is the leftmost
+                // Kronecker factor, matching CMatrix::kron's MSB-left
+                // convention and the local-basis qubit-j-is-bit-j rule).
+                let mut p = pauli((code >> (2 * (n - 1))) & 3);
+                for j in (0..n - 1).rev() {
+                    p = p.kron(&pauli((code >> (2 * j)) & 3));
+                }
+                // Pauli strings have exactly one nonzero entry per row,
+                // of unit modulus: the scalar, if K = c·P, is read off
+                // row 0 as c = K₀ⱼ / P₀ⱼ.
+                let col = (0..p.dim())
+                    .find(|&j| p.get(0, j) != Complex::ZERO)
+                    .expect("pauli strings have a nonzero entry per row");
+                let c = k.get(0, col) / p.get(0, col);
+                if c.norm_sqr() > tol * tol && k.approx_eq(&p.scale_c(c), tol) {
+                    let string: Vec<PauliTerm> =
+                        (0..n).map(|j| TERMS[(code >> (2 * j)) & 3]).collect();
+                    total += c.norm_sqr();
+                    table.push((c.norm_sqr(), string));
+                    continue 'ops;
+                }
+            }
+            return None; // this operator is not a scaled Pauli string
+        }
+        if (total - 1.0).abs() > 1e-9 || table.is_empty() {
+            return None;
+        }
+        Some(table)
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +618,64 @@ mod tests {
         let ab = a.kron(&b);
         assert_eq!(ab.num_qubits(), 2);
         assert!(ab.is_cptp(1e-10));
+    }
+
+    #[test]
+    fn pauli_channels_are_detected_with_exact_probabilities() {
+        let table = Kraus::pauli_channel(0.1, 0.05, 0.2)
+            .unwrap()
+            .as_pauli_channel(1e-9)
+            .expect("pauli_channel is a Pauli channel");
+        let prob_of = |term: PauliTerm| {
+            table
+                .iter()
+                .find(|(_, s)| s == &vec![term])
+                .map(|(p, _)| *p)
+                .unwrap_or(0.0)
+        };
+        assert!((prob_of(PauliTerm::I) - 0.65).abs() < 1e-12);
+        assert!((prob_of(PauliTerm::X) - 0.1).abs() < 1e-12);
+        assert!((prob_of(PauliTerm::Y) - 0.05).abs() < 1e-12);
+        assert!((prob_of(PauliTerm::Z) - 0.2).abs() < 1e-12);
+
+        // Two-qubit depolarizing: 16 strings of weight p/16 plus the
+        // dominant identity, each of length 2.
+        let table = Kraus::depolarizing2(0.16)
+            .unwrap()
+            .as_pauli_channel(1e-9)
+            .expect("depolarizing2 is a Pauli channel");
+        assert_eq!(table.len(), 16);
+        assert!(table.iter().all(|(_, s)| s.len() == 2));
+        let sum: f64 = table.iter().map(|(p, _)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+
+        // Zero-probability ops are dropped, not reported.
+        let table = Kraus::depolarizing(0.0)
+            .unwrap()
+            .as_pauli_channel(1e-9)
+            .expect("p=0 depolarizing is the identity channel");
+        assert_eq!(table, vec![(1.0, vec![PauliTerm::I])]);
+    }
+
+    #[test]
+    fn non_pauli_channels_are_rejected() {
+        for ch in [
+            Kraus::amplitude_damping(0.25).unwrap(),
+            Kraus::phase_damping(0.15).unwrap(),
+            Kraus::thermal_relaxation(50_000.0, 30_000.0, 100.0).unwrap(),
+            Kraus::coherent_overrotation(RotationAxis::X, 0.3).unwrap(),
+        ] {
+            assert_eq!(ch.as_pauli_channel(1e-9), None, "{ch:?}");
+        }
+        // A coherent rotation that happens to *be* a Pauli (Rx(π) =
+        // −iX) is legitimately a unit-probability Pauli channel.
+        let table = Kraus::coherent_overrotation(RotationAxis::X, std::f64::consts::PI)
+            .unwrap()
+            .as_pauli_channel(1e-9)
+            .expect("Rx(pi) is -iX, a pure Pauli");
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].1, vec![PauliTerm::X]);
+        assert!((table[0].0 - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -195,13 +195,18 @@ pub fn compile_with(
         });
     }
 
-    // 4. Fast-path and batch analyses on the compiled stream.
+    // 4. Fast-path, batch and Clifford-eligibility analyses. The
+    //    Clifford pass reads the *source* instructions (classification
+    //    is exact per gate; fusion would erase it) plus the same bound
+    //    channels, so one compilation serves amplitude and tableau
+    //    backends alike.
     let fast_path = analyze_fast_path(&ops);
     let batch_plan = if options.batching {
         crate::batch::plan(&ops)
     } else {
         None
     };
+    let clifford = crate::stabilizer::lower_clifford(circuit, &bound, noise);
 
     Ok(CompiledProgram::new(
         circuit.num_qubits(),
@@ -211,6 +216,7 @@ pub fn compile_with(
         batch_plan,
         n,
         fused_gates,
+        clifford,
     ))
 }
 
@@ -262,6 +268,14 @@ pub fn compile_extension(
     } else {
         None
     };
+    // The Clifford stream composes by concatenation (it is lowered from
+    // source instructions, which never fuse across the seam); a suffix
+    // verdict re-anchors its instruction index after the prefix.
+    let clifford = match (prefix.clifford(), tail.clifford()) {
+        (Ok(p), Ok(t)) => Ok(p.concat(t, circuit.num_qubits(), circuit.num_clbits())),
+        (Err(block), _) => Err(block.clone()),
+        (Ok(_), Err(block)) => Err(block.offset(prefix_len)),
+    };
     Ok(CompiledProgram::new(
         circuit.num_qubits(),
         circuit.num_clbits(),
@@ -270,6 +284,7 @@ pub fn compile_extension(
         batch_plan,
         prefix.source_instructions() + tail.source_instructions(),
         prefix.fused_gates() + tail.fused_gates(),
+        clifford,
     ))
 }
 

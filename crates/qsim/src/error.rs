@@ -50,6 +50,58 @@ pub enum SimError {
     /// The executor ran out of shots: every shot was discarded by
     /// post-selection.
     AllShotsDiscarded,
+    /// The program is not Clifford-eligible, so the stabilizer tableau
+    /// backend cannot run it. Decided once at compile time (like the
+    /// statevector fast path) and carried on the compiled program; the
+    /// payload names the first offending instruction.
+    NotClifford(CliffordBlock),
+}
+
+/// Why a compiled program is ineligible for the stabilizer backend.
+///
+/// Produced by the Clifford-eligibility pass in [`crate::compile`],
+/// which classifies every **source** instruction (pre-fusion, via
+/// [`qcircuit::Gate::clifford_kind`]) and every bound noise channel
+/// (via [`qnoise::Kraus::as_pauli_channel`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliffordBlock {
+    /// A gate outside the Clifford group — including every parametrized
+    /// gate, whose float parameters the exact classifier refuses to
+    /// inspect.
+    NonCliffordGate {
+        /// The gate's OpenQASM-style name.
+        gate: String,
+        /// Index of the offending source instruction.
+        instruction: usize,
+    },
+    /// A bound noise channel that is not a Pauli channel (amplitude or
+    /// phase damping, thermal relaxation, generic coherent errors), so
+    /// it cannot be lowered to stochastic Pauli injections.
+    NonPauliChannel {
+        /// Name of the source op the channel is bound to.
+        op: String,
+        /// Index of the offending source instruction.
+        instruction: usize,
+    },
+}
+
+impl fmt::Display for CliffordBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliffordBlock::NonCliffordGate { gate, instruction } => {
+                write!(
+                    f,
+                    "instruction {instruction} ({gate}) is not an exact Clifford gate"
+                )
+            }
+            CliffordBlock::NonPauliChannel { op, instruction } => {
+                write!(
+                    f,
+                    "instruction {instruction} ({op}) carries a non-Pauli noise channel"
+                )
+            }
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -89,6 +141,9 @@ impl fmt::Display for SimError {
             }
             SimError::AllShotsDiscarded => {
                 write!(f, "post-selection discarded every shot")
+            }
+            SimError::NotClifford(block) => {
+                write!(f, "program is not Clifford-eligible: {block}")
             }
         }
     }

@@ -79,6 +79,44 @@ impl RunResult {
     }
 }
 
+/// The simulation strategy a [`Backend`] implements, for telemetry and
+/// session reports. Unlike [`Backend::name`] (free-form, configuration
+/// dependent) this is a closed classification: report consumers match
+/// on it to describe scaling (amplitudes vs density matrices vs
+/// tableaus) without parsing names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Per-shot state-vector amplitudes (`O(2^n)` memory).
+    Statevector,
+    /// Per-shot noisy state-vector trajectories (`O(2^n)` memory).
+    Trajectory,
+    /// Exact density-matrix evolution via branch enumeration.
+    DensityMatrix,
+    /// Bit-packed stabilizer tableau (`O(n²)` memory, Clifford-only).
+    Stabilizer,
+    /// A backend outside this crate's taxonomy.
+    Other,
+}
+
+impl BackendKind {
+    /// Stable lowercase identifier used in report JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Statevector => "statevector",
+            BackendKind::Trajectory => "trajectory",
+            BackendKind::DensityMatrix => "density-matrix",
+            BackendKind::Stabilizer => "stabilizer",
+            BackendKind::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A circuit execution engine.
 ///
 /// Backends separate **lowering** ([`Backend::compile`], which binds the
@@ -89,6 +127,11 @@ impl RunResult {
 pub trait Backend {
     /// Human-readable backend name for reports.
     fn name(&self) -> &str;
+
+    /// The backend's simulation strategy (see [`BackendKind`]).
+    fn kind(&self) -> BackendKind {
+        BackendKind::Other
+    }
 
     /// The noise model this backend binds at compile time (`None` for
     /// ideal lowering).
@@ -214,6 +257,10 @@ pub trait Backend {
 impl<B: Backend + ?Sized> Backend for &B {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn kind(&self) -> BackendKind {
+        (**self).kind()
     }
 
     fn noise_model(&self) -> Option<&NoiseModel> {
@@ -649,18 +696,41 @@ pub fn run_compiled_sharded_on(
     seed: u64,
     threads: usize,
 ) -> Result<(Counts, u64), SimError> {
+    run_sharded_generic_on(pool, program.num_clbits(), shots, seed, threads, |n, s| {
+        run_compiled_shard(program, n, s)
+    })
+}
+
+/// The state-representation-agnostic core of the sharding harness:
+/// splits `shots` into `threads` shards (largest first), runs
+/// `run_shard(shard_shots, shard_seed)` for each on `pool`, and merges
+/// the histograms in shard order. [`run_compiled_sharded_on`] drives it
+/// with the state-vector shot loop; the stabilizer backend drives it
+/// with the tableau loop — both inherit the identical shot split and
+/// [`shard_seed`] derivation, so every per-shot backend's counts are a
+/// pure function of `(seed, threads)` under any pool size.
+pub(crate) fn run_sharded_generic_on<F>(
+    pool: &ShardPool,
+    num_clbits: usize,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    run_shard: F,
+) -> Result<(Counts, u64), SimError>
+where
+    F: Fn(u64, u64) -> Result<(Counts, u64), SimError> + Sync,
+{
     let threads = threads.min(shots.max(1) as usize).max(1);
     if threads == 1 {
-        return run_compiled_shard(program, shots, seed);
+        return run_shard(shots, seed);
     }
     let slots: Vec<ShardSlot> = (0..threads).map(|_| Mutex::new(None)).collect();
     pool.run_batch(threads, |t| {
-        let result =
-            run_compiled_shard(program, shard_shots(shots, threads, t), shard_seed(seed, t));
+        let result = run_shard(shard_shots(shots, threads, t), shard_seed(seed, t));
         *slots[t].lock().expect("shard slot") = Some(result);
     });
     merge_shards(
-        program.num_clbits(),
+        num_clbits,
         slots.into_iter().map(|slot| {
             slot.into_inner()
                 .expect("shard slot")
@@ -855,6 +925,10 @@ impl Backend for StatevectorBackend {
         "statevector (ideal)"
     }
 
+    fn kind(&self) -> BackendKind {
+        BackendKind::Statevector
+    }
+
     fn compile_options(&self) -> CompileOptions {
         CompileOptions {
             fuse_1q: self.fuse_1q,
@@ -993,6 +1067,10 @@ impl TrajectoryBackend {
 impl Backend for TrajectoryBackend {
     fn name(&self) -> &str {
         "trajectory (noisy)"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Trajectory
     }
 
     fn noise_model(&self) -> Option<&NoiseModel> {
@@ -1280,6 +1358,10 @@ impl Backend for DensityMatrixBackend {
             Some(_) => "density matrix (exact noisy)",
             None => "density matrix (exact ideal)",
         }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::DensityMatrix
     }
 
     fn noise_model(&self) -> Option<&NoiseModel> {

@@ -32,11 +32,16 @@
 //!   run primitives with runtime CPU-feature dispatch (AVX2 / NEON /
 //!   scalar, `QSIM_SIMD` override), bit-identical across backends by a
 //!   strict no-FMA, same-association contract,
+//! * [`stabilizer`] — the bit-packed Aaronson–Gottesman tableau
+//!   executor: Clifford-only programs (eligibility decided at compile
+//!   time, carried on the [`CompiledProgram`]) run in `O(n²)` memory,
+//!   reaching thousands of qubits where amplitude backends stop near 30,
 //! * [`Backend`] implementations: [`StatevectorBackend`] (ideal),
-//!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded), and
-//!   [`DensityMatrixBackend`] (exact noisy with measurement branching) —
-//!   all consuming [`CompiledProgram`] through a shared deterministic
-//!   shot-sharding harness ([`run_compiled_sharded`]).
+//!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded),
+//!   [`DensityMatrixBackend`] (exact noisy with measurement branching),
+//!   and [`StabilizerBackend`] (Clifford tableau) — all consuming
+//!   [`CompiledProgram`] through a shared deterministic shot-sharding
+//!   harness ([`run_compiled_sharded`]).
 //!
 //! # Bit conventions
 //!
@@ -75,6 +80,7 @@ pub mod pool;
 pub mod prefix;
 pub mod program;
 pub mod simd;
+pub mod stabilizer;
 pub mod statevector;
 
 pub use batch::{BatchPlan, PlanNode};
@@ -84,11 +90,12 @@ pub use compile::{
 };
 pub use counts::{bitstring, key_from_str, Counts};
 pub use density::DensityMatrix;
-pub use error::SimError;
+pub use error::{CliffordBlock, SimError};
 pub use executor::{
     run_compiled_sharded, run_compiled_sharded_on, run_compiled_sharded_scoped, run_compiled_shot,
-    run_shot, shard_seed, sweep_point_seed, tranche_seed, Backend, DensityMatrixBackend,
-    ExactDistribution, RunResult, ShotRecord, StatevectorBackend, TrajectoryBackend,
+    run_shot, shard_seed, sweep_point_seed, tranche_seed, Backend, BackendKind,
+    DensityMatrixBackend, ExactDistribution, RunResult, ShotRecord, StatevectorBackend,
+    TrajectoryBackend,
 };
 pub use expectation::{Pauli, PauliString};
 pub use kernel::BatchKernel;
@@ -96,4 +103,8 @@ pub use pool::{PoolScope, PoolStats, ShardPool};
 pub use prefix::PrefixRegistry;
 pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
 pub use simd::SimdBackend;
+pub use stabilizer::{
+    run_clifford_sharded, run_clifford_sharded_on, CliffordOp, CliffordOpKind, CliffordProgram,
+    PauliNoise, StabilizerBackend, Tableau,
+};
 pub use statevector::StateVector;

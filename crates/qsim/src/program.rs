@@ -23,6 +23,8 @@
 //! shot anymore.
 
 use crate::batch::BatchPlan;
+use crate::error::CliffordBlock;
+use crate::stabilizer::CliffordProgram;
 use qcircuit::{Condition, QubitId};
 use qmath::{CMatrix, Complex, Mat2};
 use qnoise::{AppliedChannel, ReadoutError};
@@ -173,10 +175,12 @@ pub struct CompiledProgram {
     batch_plan: Option<BatchPlan>,
     source_instructions: usize,
     fused_gates: usize,
+    clifford: Result<CliffordProgram, CliffordBlock>,
 }
 
 impl CompiledProgram {
     /// Assembles a program (called by the compiler).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         num_qubits: usize,
         num_clbits: usize,
@@ -185,6 +189,7 @@ impl CompiledProgram {
         batch_plan: Option<BatchPlan>,
         source_instructions: usize,
         fused_gates: usize,
+        clifford: Result<CliffordProgram, CliffordBlock>,
     ) -> Self {
         CompiledProgram {
             num_qubits,
@@ -194,6 +199,7 @@ impl CompiledProgram {
             batch_plan,
             source_instructions,
             fused_gates,
+            clifford,
         }
     }
 
@@ -247,6 +253,19 @@ impl CompiledProgram {
         self.fused_gates
     }
 
+    /// The program's Clifford lowering — the tableau op stream the
+    /// stabilizer backend executes — or the first blocking instruction
+    /// when the program is ineligible. Decided once at compile time,
+    /// like the statevector fast path.
+    pub fn clifford(&self) -> Result<&CliffordProgram, &CliffordBlock> {
+        self.clifford.as_ref()
+    }
+
+    /// Returns `true` when the stabilizer backend can run this program.
+    pub fn is_clifford(&self) -> bool {
+        self.clifford.is_ok()
+    }
+
     /// Returns `true` when any op carries pre-bound noise or readout
     /// error.
     pub fn is_noisy(&self) -> bool {
@@ -281,10 +300,11 @@ impl std::fmt::Display for CompiledProgram {
                 ),
                 None => String::new(),
             },
-            if self.fast_path.is_some() {
-                ", sample-once fast path"
-            } else {
-                ""
+            match (&self.fast_path, &self.clifford) {
+                (Some(_), Ok(_)) => ", sample-once fast path, clifford-eligible",
+                (Some(_), Err(_)) => ", sample-once fast path",
+                (None, Ok(_)) => ", clifford-eligible",
+                (None, Err(_)) => "",
             }
         )
     }

@@ -1,0 +1,275 @@
+//! The bit-packed Aaronson–Gottesman tableau.
+//!
+//! # Layout
+//!
+//! A [`Tableau`] over `n` qubits stores `2n + 1` Pauli rows: rows
+//! `0..n` are the destabilizers, rows `n..2n` the stabilizers, and row
+//! `2n` is the scratch row used by deterministic measurement. Each row
+//! is a Pauli string encoded as two bit vectors — qubit `q` of row `r`
+//! contributes `X^x Z^z` with `x` at bit `q % 64` of word
+//! `r·words + q/64` of the X plane and `z` at the same position of the
+//! Z plane — plus one sign bit per row (`+1`/`−1`, packed 64 rows per
+//! word). Rows are **row-major**: the `words = ⌈n/64⌉` words of one
+//! row are contiguous, so row-wise operations (the `rowsum` inner loop
+//! of measurement) stream linearly through memory, 64 qubits per word
+//! operation.
+//!
+//! Memory is `O(n²)` bits — ~0.5 MiB at 1,024 qubits and change,
+//! against the 2^n·16-byte amplitude array a statevector would need.
+//!
+//! # Phase bookkeeping
+//!
+//! [`Tableau::rowsum`] multiplies one row into another tracking the
+//! phase exponent mod 4 with word-parallel bit logic (the `g` function
+//! of Aaronson & Gottesman's CHP algorithm, evaluated 64 columns at a
+//! time with popcounts). Products of commuting stabilizer-group
+//! elements always land on a real sign, which `debug_assert!` checks.
+
+/// A stabilizer tableau over `n` qubits (see the [module docs](self)
+/// for the exact bit layout).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tableau {
+    /// Qubit count.
+    n: usize,
+    /// Words per row: `⌈n/64⌉`.
+    words: usize,
+    /// X bits, row-major: `(2n+1)·words` words.
+    xs: Vec<u64>,
+    /// Z bits, row-major: `(2n+1)·words` words.
+    zs: Vec<u64>,
+    /// Sign bits, one per row, packed 64 rows per word.
+    rs: Vec<u64>,
+}
+
+impl Tableau {
+    /// Creates the tableau of `|0…0⟩`: destabilizer `i` is `X_i`,
+    /// stabilizer `i` is `Z_i`, all signs `+`.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            words,
+            xs: vec![0; rows * words],
+            zs: vec![0; rows * words],
+            rs: vec![0; rows.div_ceil(64)],
+        };
+        t.reset_state();
+        t
+    }
+
+    /// Resets to the `|0…0⟩` tableau in place (per-shot reuse: shards
+    /// allocate one tableau and reset it between shots).
+    pub fn reset_state(&mut self) {
+        self.xs.fill(0);
+        self.zs.fill(0);
+        self.rs.fill(0);
+        for i in 0..self.n {
+            let (w, m) = (i / 64, 1u64 << (i % 64));
+            self.xs[i * self.words + w] |= m; // destabilizer i = X_i
+            self.zs[(self.n + i) * self.words + w] |= m; // stabilizer i = Z_i
+        }
+    }
+
+    /// Qubit count.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row.
+    pub(super) fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The X bit of row `row`, qubit `q`.
+    #[inline]
+    pub(super) fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.xs[row * self.words + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    /// The Z bit of row `row`, qubit `q`.
+    #[inline]
+    pub(super) fn z_bit(&self, row: usize, q: usize) -> bool {
+        self.zs[row * self.words + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    /// The sign bit of row `row` (`true` = −1).
+    #[inline]
+    pub(super) fn r_bit(&self, row: usize) -> bool {
+        self.rs[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Sets the sign bit of row `row`.
+    #[inline]
+    pub(super) fn set_r_bit(&mut self, row: usize, sign: bool) {
+        let (w, m) = (row / 64, 1u64 << (row % 64));
+        self.rs[w] = (self.rs[w] & !m) | (u64::from(sign) << (row % 64));
+    }
+
+    /// Flips the sign bit of row `row`.
+    #[inline]
+    pub(super) fn flip_r_bit(&mut self, row: usize) {
+        self.rs[row / 64] ^= 1u64 << (row % 64);
+    }
+
+    /// Mutable access to one word of the X plane (gate kernels index
+    /// `row·words + q/64` directly).
+    #[inline]
+    pub(super) fn x_word_mut(&mut self, idx: usize) -> &mut u64 {
+        &mut self.xs[idx]
+    }
+
+    /// Mutable access to one word of the Z plane.
+    #[inline]
+    pub(super) fn z_word_mut(&mut self, idx: usize) -> &mut u64 {
+        &mut self.zs[idx]
+    }
+
+    /// One word of the X plane.
+    #[inline]
+    pub(super) fn x_word(&self, idx: usize) -> u64 {
+        self.xs[idx]
+    }
+
+    /// One word of the Z plane.
+    #[inline]
+    pub(super) fn z_word(&self, idx: usize) -> u64 {
+        self.zs[idx]
+    }
+
+    /// Copies row `src` over row `dst` (bits and sign).
+    pub(super) fn copy_row(&mut self, dst: usize, src: usize) {
+        let w = self.words;
+        self.xs.copy_within(src * w..(src + 1) * w, dst * w);
+        self.zs.copy_within(src * w..(src + 1) * w, dst * w);
+        let sign = self.r_bit(src);
+        self.set_r_bit(dst, sign);
+    }
+
+    /// Clears row `row` to the identity Pauli with sign `+`.
+    pub(super) fn clear_row(&mut self, row: usize) {
+        let w = self.words;
+        self.xs[row * w..(row + 1) * w].fill(0);
+        self.zs[row * w..(row + 1) * w].fill(0);
+        self.set_r_bit(row, false);
+    }
+
+    /// Sets the Z bit of row `row`, qubit `q` (used to install the
+    /// post-measurement stabilizer `±Z_q`).
+    pub(super) fn set_z_bit(&mut self, row: usize, q: usize) {
+        self.zs[row * self.words + q / 64] |= 1u64 << (q % 64);
+    }
+
+    /// Multiplies row `i` into row `h` (`row_h := row_i · row_h` as
+    /// Pauli group elements), updating `h`'s sign with the
+    /// word-parallel phase rule described in the [module docs](self).
+    pub(super) fn rowsum(&mut self, h: usize, i: usize) {
+        let w = self.words;
+        let (hb, ib) = (h * w, i * w);
+        let mut balance = 0i64;
+        for k in 0..w {
+            let xi = self.xs[ib + k];
+            let zi = self.zs[ib + k];
+            let xh = self.xs[hb + k];
+            let zh = self.zs[hb + k];
+            // Row i's factor class per column: Y = XZ, X-only, Z-only.
+            let yi = xi & zi;
+            let xo = xi & !zi;
+            let zo = !xi & zi;
+            // The ±i exponent of (row i col)·(row h col), evaluated 64
+            // columns at once (Aaronson–Gottesman's g function).
+            let plus = (yi & zh & !xh) | (xo & xh & zh) | (zo & xh & !zh);
+            let minus = (yi & xh & !zh) | (xo & zh & !xh) | (zo & xh & zh);
+            balance += plus.count_ones() as i64 - minus.count_ones() as i64;
+            self.xs[hb + k] = xh ^ xi;
+            self.zs[hb + k] = zh ^ zi;
+        }
+        let total =
+            (2 * (i64::from(self.r_bit(h)) + i64::from(self.r_bit(i))) + balance).rem_euclid(4);
+        debug_assert_eq!(total % 2, 0, "stabilizer product phase must be real");
+        self.set_r_bit(h, total == 2);
+    }
+
+    /// Renders one row as a sign followed by one letter per qubit
+    /// (`I`/`X`/`Y`/`Z`, qubit 0 leftmost) — the golden-vector format
+    /// of the equivalence suite.
+    pub fn row_string(&self, row: usize) -> String {
+        let mut s = String::with_capacity(self.n + 1);
+        s.push(if self.r_bit(row) { '-' } else { '+' });
+        for q in 0..self.n {
+            s.push(match (self.x_bit(row, q), self.z_bit(row, q)) {
+                (false, false) => 'I',
+                (true, false) => 'X',
+                (true, true) => 'Y',
+                (false, true) => 'Z',
+            });
+        }
+        s
+    }
+
+    /// Renders stabilizer `i` (`0 ≤ i < n`) as `±` + letters, qubit 0
+    /// leftmost.
+    pub fn stabilizer_string(&self, i: usize) -> String {
+        assert!(i < self.n, "stabilizer index out of range");
+        self.row_string(self.n + i)
+    }
+
+    /// Renders destabilizer `i` (`0 ≤ i < n`).
+    pub fn destabilizer_string(&self, i: usize) -> String {
+        assert!(i < self.n, "destabilizer index out of range");
+        self.row_string(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tableau_stabilizes_the_zero_state() {
+        let t = Tableau::new(3);
+        assert_eq!(t.stabilizer_string(0), "+ZII");
+        assert_eq!(t.stabilizer_string(1), "+IZI");
+        assert_eq!(t.stabilizer_string(2), "+IIZ");
+        assert_eq!(t.destabilizer_string(0), "+XII");
+        assert_eq!(t.destabilizer_string(2), "+IIX");
+    }
+
+    #[test]
+    fn layout_survives_the_word_boundary() {
+        // 70 qubits: rows span two words; the identity bits land on
+        // both sides of the 64-bit boundary.
+        let t = Tableau::new(70);
+        for i in [0, 63, 64, 69] {
+            assert!(t.x_bit(i, i), "destabilizer {i}");
+            assert!(t.z_bit(70 + i, i), "stabilizer {i}");
+            assert!(!t.x_bit(70 + i, i), "stabilizer {i} has no X part");
+        }
+    }
+
+    #[test]
+    fn rowsum_tracks_pauli_products() {
+        // X · Z = -iY ... as stabilizer-group elements the tracked
+        // result is the XZ bit pattern; signs must follow the g rule:
+        // multiplying Z_0 (row n+0) into X_0 (row 0) gives phase
+        // exponent g(Z into X) = +1, an imaginary phase — only even
+        // products occur in the algorithm, so test with a real one:
+        // Y·Y = I with exponent 2·? — use Z into Z: identity, sign +.
+        let mut t = Tableau::new(2);
+        t.rowsum(2, 3); // stabilizer Z0 *= stabilizer Z1 → +ZZ
+        assert_eq!(t.row_string(2), "+ZZ");
+        t.rowsum(2, 3); // back to +Z0 (Z1 cancels)
+        assert_eq!(t.row_string(2), "+ZI");
+    }
+
+    #[test]
+    fn reset_state_restores_the_identity_tableau() {
+        let mut t = Tableau::new(5);
+        t.rowsum(5, 6);
+        t.set_r_bit(5, true);
+        let fresh = Tableau::new(5);
+        assert_ne!(t, fresh);
+        t.reset_state();
+        assert_eq!(t, fresh);
+    }
+}

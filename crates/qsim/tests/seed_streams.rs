@@ -220,3 +220,60 @@ fn derivations_differ_from_each_other_and_from_identity() {
         }
     }
 }
+
+#[test]
+fn stabilizer_outcome_streams_are_pinned() {
+    // The stabilizer backend draws one `gen::<bool>()` per
+    // random-outcome measurement (and nothing for deterministic ones);
+    // its shards seed from the same frozen derivations as the amplitude
+    // backends. Pin (a) the raw outcome stream of repeated |+⟩
+    // measurements under shard stream 0 of seed 42, (b) seeded
+    // single-shard counts, and (c) counts under the fully composed
+    // point→tranche→shard plan — freezing the backend's
+    // measurement-outcome stream end to end. If this fails, restore the
+    // tableau draw order; do not regenerate the vectors.
+    use qcircuit::QuantumCircuit;
+    use qsim::{compile, run_clifford_sharded, Tableau};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(shard_seed(42, 0));
+    let mut t = Tableau::new(1);
+    let mut bits = 0u32;
+    for i in 0..32 {
+        t.reset_state();
+        t.h(0);
+        bits |= u32::from(t.measure(0, &mut rng)) << i;
+    }
+    assert_eq!(
+        bits, 0x0263_6FC4,
+        "raw |+⟩ outcome stream, shard 0 of seed 42"
+    );
+
+    let mut c = QuantumCircuit::new(3, 3);
+    c.h(0).unwrap();
+    c.h(1).unwrap();
+    c.h(2).unwrap();
+    c.measure_all();
+    let program = compile(&c, None).unwrap();
+    let clifford = program.clifford().unwrap();
+
+    let (counts, discarded) = run_clifford_sharded(clifford, 32, 42, 1).unwrap();
+    assert_eq!(discarded, 0);
+    let got: Vec<u64> = (0..8).map(|k| counts.get(k)).collect();
+    assert_eq!(
+        got,
+        [2, 2, 3, 4, 8, 4, 6, 3],
+        "single-shard counts, seed 42"
+    );
+
+    let base = tranche_seed(sweep_point_seed(42, 3), 2);
+    let (counts, discarded) = run_clifford_sharded(clifford, 64, base, 4).unwrap();
+    assert_eq!(discarded, 0);
+    let got: Vec<u64> = (0..8).map(|k| counts.get(k)).collect();
+    assert_eq!(
+        got,
+        [5, 6, 6, 11, 10, 10, 8, 8],
+        "composed point→tranche→shard counts"
+    );
+}

@@ -9,7 +9,11 @@
 //! Fig. 4 rule — an even number of CNOTs keeps the ancilla disentangled
 //! so the program can continue — and (b) the coverage difference between
 //! the paper's single-parity check and the pairwise strong mode against
-//! a parity-preserving double bit-flip bug.
+//! a parity-preserving double bit-flip bug. A final section re-runs the
+//! parity check on a 1,024-qubit GHZ state through the stabilizer
+//! tableau backend — the assertion circuitry is pure Clifford, so the
+//! same session machinery scales three orders of magnitude past the
+//! amplitude backends' ceiling.
 
 use qassert_suite::prelude::*;
 
@@ -73,5 +77,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nstrong-mode GHZ(3) check:\n{}",
         qcircuit::display::render(program.circuit())
     );
+
+    // The same parity assertion at 1,024 qubits: the GHZ preparation
+    // and the instrumentation are all Clifford, so the stabilizer
+    // tableau backend runs it in O(n²) bits where a statevector would
+    // need 2^1025 amplitudes. A sequential plan stops as soon as the
+    // "holds" verdict is decided.
+    let width = 1024;
+    let mut big = AssertingCircuit::new(qcircuit::library::ghz(width));
+    big.assert_entangled([0, width - 1], Parity::Even)?;
+    let big_session = AssertionSession::new(StabilizerBackend::ideal())
+        .shot_plan(ShotPlan::Sequential {
+            alpha: 0.05,
+            min_shots: 64,
+            max_shots: 4096,
+            tranche: 64,
+        })
+        .seed(7);
+    let outcome = big_session.run(&big)?;
+    let record = big_session.record();
+    println!(
+        "\nGHZ({width}) end-to-end parity on the {} backend ({} qubits instrumented):",
+        record.backend_kind, record.max_qubits
+    );
+    println!(
+        "  error rate {:.4}, verdict {:?} after {} of 4096 budgeted shots ({})",
+        outcome.assertion_error_rate,
+        outcome.verdicts[0].verdict,
+        outcome.plan.shots_used,
+        outcome.plan.stop
+    );
+    assert_eq!(outcome.verdicts[0].verdict, AssertionVerdict::Holds);
+    assert!(outcome.plan.shots_used < 4096);
     Ok(())
 }

@@ -8,7 +8,8 @@
 //! * [`qassert`] — the paper's contribution: assertion circuits,
 //!   instrumentation runtime, filtering, the statistical baseline,
 //! * [`qcircuit`] — circuit IR, standard library, QASM, rendering,
-//! * [`qsim`] — ideal, trajectory, and exact-density backends,
+//! * [`qsim`] — ideal, trajectory, exact-density, and stabilizer
+//!   tableau backends,
 //! * [`qnoise`] — channels and the `ibmqx4` calibration,
 //! * [`qdevice`] — topologies and the transpiler,
 //! * [`qmath`] — complex/matrix/statistics substrate.
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use qcircuit::{Gate, QuantumCircuit, QubitId};
     pub use qnoise::{Kraus, NoiseModel, ReadoutError};
     pub use qsim::{
-        Backend, Counts, DensityMatrixBackend, StateVector, StatevectorBackend, TrajectoryBackend,
+        Backend, BackendKind, Counts, DensityMatrixBackend, StabilizerBackend, StateVector,
+        StatevectorBackend, TrajectoryBackend,
     };
 }
