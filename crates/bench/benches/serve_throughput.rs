@@ -1,0 +1,281 @@
+//! Assertion-service throughput: an in-process `qassert-serve`
+//! [`Server`] on a loopback ephemeral port, driven by a concurrent
+//! load generator issuing a **mixed job set** — statevector GHZ jobs
+//! with entanglement + superposition assertions, a sequential-plan
+//! superposition job, and a Clifford Bell job on the stabilizer
+//! backend — through the crate's own blocking HTTP client, so every
+//! timed request pays the full wire cost: connect, HTTP parse, JSON
+//! decode, QASM parse, admission, session execution over the shared
+//! cache/prefix registry, and chunked NDJSON streaming.
+//!
+//! Correctness before speed, asserted before any number is reported
+//! (exit 2): for every distinct job in the mix, the NDJSON verdict,
+//! counts, and plan records fetched over the wire must be
+//! **bit-identical** to the same spec executed directly through
+//! [`AssertionSession`] with the same seed and plan.
+//!
+//! Results go to `BENCH_serve.json` (override with `--out`);
+//! `--check <baseline.json>` turns the run into a CI gate:
+//!
+//! * sustained throughput must clear the baseline's `min_jobs_per_sec`
+//!   derated by `BENCH_TOLERANCE_PCT` (default 25%) for slower
+//!   runners, and
+//! * p99 request latency must stay under `max_p99_ms` widened by the
+//!   same tolerance.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench serve_throughput -- --quick --check
+//! ```
+
+use qassert::AssertionSession;
+use qassert_serve::json::Value;
+use qassert_serve::protocol::outcome_records;
+use qassert_serve::{client, JobSpec, Server, ServerConfig};
+use qsim::{BackendKind, StabilizerBackend, StatevectorBackend};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+struct Config {
+    mode: &'static str,
+    jobs: usize,
+    clients: usize,
+}
+
+const GHZ_QASM: &str = "OPENQASM 2.0;\\nqreg q[3];\\nh q[0];\\ncx q[0],q[1];\\ncx q[1],q[2];\\n";
+const BELL_QASM: &str = "OPENQASM 2.0;\\nqreg q[2];\\nh q[0];\\ncx q[0],q[1];\\n";
+const PLUS_QASM: &str = "OPENQASM 2.0;\\nqreg q[1];\\nh q[0];\\n";
+
+/// The mixed job set: amplitude and tableau backends, fixed and
+/// sequential plans, all seeded so wire-vs-direct parity is exact.
+fn job_mix() -> Vec<String> {
+    vec![
+        format!(
+            "{{\"qasm\": \"{GHZ_QASM}\", \"seed\": 11, \"plan\": {{\"fixed\": 256}}, \
+             \"assertions\": [ \
+               {{\"kind\": \"entangled\", \"qubits\": [0, 1, 2], \"parity\": \"even\"}}, \
+               {{\"kind\": \"superposition\", \"qubit\": 0}} ]}}"
+        ),
+        format!(
+            "{{\"qasm\": \"{BELL_QASM}\", \"backend\": \"stabilizer\", \"seed\": 13, \
+             \"plan\": {{\"fixed\": 512}}, \
+             \"assertions\": [ \
+               {{\"kind\": \"entangled\", \"qubits\": [0, 1], \"parity\": \"even\"}} ]}}"
+        ),
+        format!(
+            "{{\"qasm\": \"{PLUS_QASM}\", \"seed\": 17, \
+             \"plan\": {{\"sequential\": {{\"alpha\": 0.05, \"min_shots\": 64, \
+             \"max_shots\": 1024, \"tranche\": 64}}}}, \
+             \"assertions\": [ \
+               {{\"kind\": \"superposition\", \"qubit\": 0, \"basis\": \"plus\"}} ]}}"
+        ),
+    ]
+}
+
+/// Renders the direct-session record stream for `body` — the parity
+/// reference the wire response must match byte for byte (telemetry
+/// trailer excluded: it carries live server gauges).
+fn direct_lines(body: &str) -> Vec<String> {
+    let spec = JobSpec::from_json(body).expect("bench job parses");
+    let circuit = spec.build_circuit().expect("bench job builds");
+    let run = |spec: &JobSpec| match spec.backend {
+        BackendKind::Stabilizer => {
+            let session = AssertionSession::new(StabilizerBackend::ideal())
+                .seed(spec.seed.expect("seeded"))
+                .shot_plan(spec.plan)
+                .filter_policy(spec.filter);
+            session.run(&circuit).expect("direct run")
+        }
+        _ => {
+            let session = AssertionSession::new(StatevectorBackend::new())
+                .seed(spec.seed.expect("seeded"))
+                .shot_plan(spec.plan)
+                .filter_policy(spec.filter);
+            session.run(&circuit).expect("direct run")
+        }
+    };
+    let outcome = run(&spec);
+    outcome_records(&outcome, circuit.records())
+        .iter()
+        .map(Value::render)
+        .collect()
+}
+
+fn wire_lines(addr: SocketAddr, body: &str) -> Vec<String> {
+    let response = client::post_job(addr, "bench", body).expect("wire job");
+    assert_eq!(response.status, 200, "wire job failed: {}", response.body);
+    response
+        .ndjson_lines()
+        .into_iter()
+        .filter(|l| !l.contains("\"type\":\"telemetry\""))
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| qassert_bench::harness::flag(&args, name);
+    let value_of = |name: &str| qassert_bench::harness::value_of(&args, name);
+    let json_number_field = qassert_bench::harness::json_number_field;
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            jobs: 240,
+            clients: 4,
+        }
+    } else {
+        Config {
+            mode: "full",
+            jobs: 2_400,
+            clients: 8,
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/serve_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        job_workers: cfg.clients,
+        conn_workers: 2 * cfg.clients,
+        queue_capacity: 4 * cfg.clients,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let mix = job_mix();
+
+    // Correctness before speed: wire records must be bit-identical to
+    // the direct session for every job in the mix.
+    for (i, body) in mix.iter().enumerate() {
+        let wire = wire_lines(addr, body);
+        let direct = direct_lines(body);
+        if wire != direct {
+            eprintln!(
+                "SERVE PARITY BROKEN: job {i} wire records differ from the direct \
+                 session\n  wire:   {wire:?}\n  direct: {direct:?}"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    // Warm the shared cache/registry and the connection path.
+    for body in &mix {
+        let _ = wire_lines(addr, body);
+    }
+
+    // The load generator: `clients` threads pull job indices from one
+    // shared counter and record per-request wall time.
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let next = &next;
+                let mix = &mix;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cfg.jobs {
+                            return mine;
+                        }
+                        let body = &mix[i % mix.len()];
+                        let t0 = Instant::now();
+                        let response = client::post_job(addr, "bench", body).expect("load job");
+                        assert_eq!(response.status, 200, "load job failed");
+                        mine.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    assert_eq!(latencies.len(), cfg.jobs);
+    let jobs_per_sec = cfg.jobs as f64 / elapsed;
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct =
+        |p: f64| sorted[(((sorted.len() as f64) * p).ceil() as usize - 1).min(sorted.len() - 1)];
+    let p50_ms = pct(0.50);
+    let p99_ms = pct(0.99);
+
+    println!(
+        "serve_throughput [{}]: {} mixed jobs over {} loopback clients \
+         ({} job workers)",
+        cfg.mode, cfg.jobs, cfg.clients, cfg.clients,
+    );
+    println!(
+        "  throughput: {jobs_per_sec:>8.1} jobs/s   p50 {p50_ms:>7.2} ms   \
+         p99 {p99_ms:>7.2} ms"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"serve_throughput\",\"mode\":\"{}\",\"jobs\":{},\"clients\":{},\
+         \"jobs_per_sec\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"parity\":true}}",
+        cfg.mode, cfg.jobs, cfg.clients, jobs_per_sec, p50_ms, p99_ms,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let tolerance_pct: f64 = std::env::var("BENCH_TOLERANCE_PCT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25.0);
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let min_jobs = json_number_field(&baseline, "min_jobs_per_sec").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no min_jobs_per_sec field");
+            std::process::exit(1);
+        });
+        let max_p99 = json_number_field(&baseline, "max_p99_ms").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no max_p99_ms field");
+            std::process::exit(1);
+        });
+        // Derate both gates for runners slower than the baseline host.
+        let jobs_floor = min_jobs / (1.0 + tolerance_pct / 100.0);
+        let p99_limit = max_p99 * (1.0 + tolerance_pct / 100.0);
+        println!(
+            "  throughput gate: {jobs_per_sec:.1} jobs/s vs floor {jobs_floor:.1} \
+             (baseline {min_jobs:.1}, -{tolerance_pct}%)"
+        );
+        if jobs_per_sec < jobs_floor {
+            eprintln!(
+                "PERF REGRESSION: serve throughput {jobs_per_sec:.1} jobs/s is below \
+                 the derated floor {jobs_floor:.1} jobs/s"
+            );
+            std::process::exit(4);
+        }
+        println!(
+            "  p99 gate: {p99_ms:.2} ms vs limit {p99_limit:.2} \
+             (baseline {max_p99:.2}, +{tolerance_pct}%)"
+        );
+        if p99_ms > p99_limit {
+            eprintln!(
+                "PERF REGRESSION: serve p99 latency {p99_ms:.2} ms exceeds the widened \
+                 limit {p99_limit:.2} ms"
+            );
+            std::process::exit(4);
+        }
+        println!("  gates: ok");
+    }
+}

@@ -309,6 +309,73 @@ fn stabilizer_smoke() -> Result<String, String> {
     ))
 }
 
+/// `--quick` also smokes the assertion service end to end: an
+/// in-process `qassert-serve` server on an ephemeral loopback port, an
+/// instrumented GHZ job submitted over real HTTP, and the streamed
+/// NDJSON verdict/counts/plan records compared **bit-identical** to
+/// the same spec executed directly through `AssertionSession` — the CI
+/// twin of the `serve_throughput` gate and `examples/serve_client.rs`
+/// (exit 3 on divergence).
+fn serve_smoke() -> Result<String, String> {
+    use qassert::AssertionSession;
+    use qassert_serve::json::Value;
+    use qassert_serve::protocol::outcome_records;
+    use qassert_serve::{client, JobSpec, Server, ServerConfig};
+
+    let body =
+        "{\"qasm\": \"OPENQASM 2.0;\\nqreg q[3];\\nh q[0];\\ncx q[0],q[1];\\ncx q[1],q[2];\\n\", \
+                \"seed\": 7, \"plan\": {\"fixed\": 512}, \
+                \"assertions\": [ \
+                  {\"kind\": \"entangled\", \"qubits\": [0, 1, 2], \"parity\": \"even\"}, \
+                  {\"kind\": \"superposition\", \"qubit\": 0} ]}";
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        job_workers: 2,
+        conn_workers: 4,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+    let response =
+        client::post_job(server.addr(), "repro", body).map_err(|e| format!("wire job: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "wire job failed: status {} body {}",
+            response.status, response.body
+        ));
+    }
+    let wire: Vec<&str> = response
+        .ndjson_lines()
+        .into_iter()
+        .filter(|l| !l.contains("\"type\":\"telemetry\""))
+        .collect();
+    server.shutdown();
+
+    let spec = JobSpec::from_json(body).map_err(|e| format!("spec: {}", e.message))?;
+    let circuit = spec
+        .build_circuit()
+        .map_err(|e| format!("circuit: {}", e.message))?;
+    let session = AssertionSession::new(qsim::StatevectorBackend::new())
+        .seed(7)
+        .shot_plan(spec.plan);
+    let outcome = session.run(&circuit).map_err(|e| e.to_string())?;
+    let direct: Vec<String> = outcome_records(&outcome, circuit.records())
+        .iter()
+        .map(Value::render)
+        .collect();
+    if wire != direct {
+        return Err(format!(
+            "wire records diverge from the direct session\n  wire:   {wire:?}\n  direct: {direct:?}"
+        ));
+    }
+    Ok(format!(
+        "serve smoke: {} NDJSON records over loopback HTTP, bit-identical to the \
+         direct session",
+        wire.len()
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -373,6 +440,14 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(why) => {
                 eprintln!("stabilizer smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
+        // And the assertion service over real loopback HTTP.
+        match serve_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("serve smoke FAILED: {why}");
                 std::process::exit(3);
             }
         }

@@ -413,7 +413,15 @@ pub struct AssertionSession<'c, B: Backend> {
     /// worker counts.
     pool: Option<&'c ShardPool>,
     prefix_reuse: bool,
-    prefixes: PrefixRegistry,
+    /// The prefix registry lowering compiles through. Owned by default;
+    /// [`AssertionSession::prefix_registry`] shares one across sessions
+    /// (the multi-tenant server shape), which is why hits are counted
+    /// per-session in `prefix_hits` rather than read off the registry.
+    prefixes: Arc<PrefixRegistry>,
+    /// Prefix reuses observed by *this session's* lowerings. The
+    /// registry's own [`PrefixRegistry::hits`] aggregates every sharer,
+    /// so telemetry reads this session-local counter instead.
+    prefix_hits: AtomicU64,
     /// Keys already registered in `prefixes` — repeated cache hits on a
     /// hot sweep circuit skip recomputing its prefix-hash chain. Capped
     /// (see [`REGISTERED_MEMO_CAP`]); the registry itself refreshes
@@ -460,7 +468,8 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             sweep_policy: SweepPolicy::default(),
             pool: None,
             prefix_reuse: true,
-            prefixes: PrefixRegistry::new(),
+            prefixes: Arc::new(PrefixRegistry::new()),
+            prefix_hits: AtomicU64::new(0),
             registered: Mutex::new(HashSet::new()),
             noise_fp: OnceLock::new(),
             runs: AtomicU64::new(0),
@@ -645,6 +654,22 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
         self
     }
 
+    /// Compiles through a shared [`PrefixRegistry`] instead of a
+    /// session-owned one: sessions built around the same `Arc` reuse
+    /// each other's compiled prefixes, the cross-tenant amortization
+    /// the assertion server runs on (many users submitting variants of
+    /// the same instrumented families).
+    ///
+    /// Sharing never changes results — prefix reuse is bit-identical
+    /// to fresh compilation by construction — and telemetry stays
+    /// exactly attributed: [`SessionTelemetry::prefix_hits`] counts
+    /// only *this* session's reuses, not the registry-wide total.
+    #[must_use]
+    pub fn prefix_registry(mut self, registry: Arc<PrefixRegistry>) -> Self {
+        self.prefixes = registry;
+        self
+    }
+
     /// The backend this session executes on.
     pub fn backend(&self) -> &B {
         &self.backend
@@ -689,7 +714,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             early_stops: self.early_stops.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            prefix_hits: self.prefixes.hits(),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
             batched_ops: self.batched_ops.load(Ordering::Relaxed),
             batch_passes: self.batch_passes.load(Ordering::Relaxed),
             pool_tasks: pool.tasks_run,
@@ -770,6 +795,9 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
                 .prefixes
                 .compile_traced_with_fingerprint(circuit, noise, noise_fp, options)?;
             self.memo_first_sight(key);
+            if reused {
+                self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+            }
             (compiled, reused)
         } else {
             // Honors a Backend::compile override (the prefix path above

@@ -1,0 +1,176 @@
+//! Concurrent multi-tenant sessions over *shared* infrastructure: N
+//! tenant threads, each with its own [`AssertionSession`], all wired
+//! to one [`ProgramCache`] and one [`PrefixRegistry`] (the serving
+//! topology of `qassert-serve`).
+//!
+//! Pins two contracts:
+//!
+//! 1. **Bit-identity** — per-tenant counts and verdicts are identical
+//!    to the same tenant running serially on private infrastructure.
+//!    Sharing compiled programs and prefixes changes *work*, never
+//!    *results*.
+//! 2. **Exact telemetry attribution** — each session's counters
+//!    reflect only its own runs (tenant families are structurally
+//!    disjoint, so per-tenant telemetry must match the serial
+//!    reference field for field), and the shared components' global
+//!    counters are exactly the sum of the per-session ones: no event
+//!    is lost, duplicated, or attributed to a bystander session.
+
+use qassert::{
+    AssertingCircuit, AssertionSession, AssertionVerdict, Parity, SessionTelemetry, ShotPlan,
+};
+use qcircuit::QuantumCircuit;
+use qsim::{PrefixRegistry, ProgramCache, StatevectorBackend};
+use std::sync::Arc;
+
+const TENANTS: usize = 4;
+/// Staged circuits per tenant; circuit k+1 extends circuit k exactly,
+/// so a chain produces `CHAIN - 1` prefix reuses on first sight.
+const CHAIN: usize = 3;
+/// Each tenant runs its chain twice: the second pass is all cache
+/// hits (and zero new prefix events).
+const PASSES: usize = 2;
+const SHOTS: u64 = 256;
+
+/// Tenant `t`'s circuit family: a prefix-extension chain whose
+/// rotation angles depend on the tenant, so no circuit is shared
+/// *across* tenants — any cross-tenant cache or prefix event would be
+/// a key collision, and any cross-tenant telemetry would show up as a
+/// per-tenant mismatch against the serial reference.
+fn tenant_circuits(t: usize) -> Vec<AssertingCircuit> {
+    (1..=CHAIN)
+        .map(|stages| {
+            let mut ac = AssertingCircuit::new(QuantumCircuit::new(2, 0));
+            for j in 0..stages {
+                let theta = 0.17 + t as f64 * 0.59 + j as f64 * 0.13;
+                ac.circuit_mut().ry(theta, 0).unwrap();
+                ac.circuit_mut().cx(0, 1).unwrap();
+                ac.assert_entangled([0, 1], Parity::Even).unwrap();
+                ac.circuit_mut().cx(0, 1).unwrap();
+            }
+            ac
+        })
+        .collect()
+}
+
+/// What one tenant observed: per-run kept counts and verdicts, plus
+/// the session's own telemetry.
+struct TenantResult {
+    counts: Vec<Vec<(String, u64)>>,
+    verdicts: Vec<Vec<AssertionVerdict>>,
+    telemetry: SessionTelemetry,
+}
+
+fn run_tenant<'c, F>(t: usize, configure: F) -> TenantResult
+where
+    F: FnOnce(AssertionSession<'c, StatevectorBackend>) -> AssertionSession<'c, StatevectorBackend>,
+{
+    let session = configure(
+        AssertionSession::new(StatevectorBackend::new())
+            .seed(0xA5A5 + t as u64)
+            .shot_plan(ShotPlan::Fixed(SHOTS)),
+    );
+    let circuits = tenant_circuits(t);
+    let mut counts = Vec::new();
+    let mut verdicts = Vec::new();
+    for _ in 0..PASSES {
+        for circuit in &circuits {
+            let outcome = session.run(circuit).expect("tenant run");
+            counts.push(outcome.kept.to_sorted_vec());
+            verdicts.push(outcome.verdicts.iter().map(|v| v.verdict).collect());
+        }
+    }
+    TenantResult {
+        counts,
+        verdicts,
+        telemetry: session.telemetry(),
+    }
+}
+
+#[test]
+fn concurrent_tenants_on_shared_infrastructure_match_serial_exactly() {
+    // Serial reference: every tenant on private infrastructure.
+    let serial: Vec<TenantResult> = (0..TENANTS)
+        .map(|t| {
+            let cache = ProgramCache::new(64);
+            run_tenant(t, |session| session.cache(&cache))
+        })
+        .collect();
+
+    // Concurrent: one cache, one prefix registry, N tenant threads.
+    let cache = ProgramCache::new(64);
+    let registry = Arc::new(PrefixRegistry::new());
+    let concurrent: Vec<TenantResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|t| {
+                let cache = &cache;
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    run_tenant(t, |session| session.cache(cache).prefix_registry(registry))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect()
+    });
+
+    let runs_per_tenant = (CHAIN * PASSES) as u64;
+    for (t, (concurrent, serial)) in concurrent.iter().zip(&serial).enumerate() {
+        // Contract 1: bit-identical results.
+        assert_eq!(
+            concurrent.counts, serial.counts,
+            "tenant {t}: kept counts diverged from the serial reference"
+        );
+        assert_eq!(
+            concurrent.verdicts, serial.verdicts,
+            "tenant {t}: verdicts diverged from the serial reference"
+        );
+
+        // Contract 2a: per-session telemetry attributes only this
+        // tenant's events, exactly as if it had run alone.
+        let (c, s) = (&concurrent.telemetry, &serial.telemetry);
+        assert_eq!(c.runs, runs_per_tenant, "tenant {t}: runs");
+        assert_eq!(c.shots, runs_per_tenant * SHOTS, "tenant {t}: shots");
+        assert_eq!(c.tranches, s.tranches, "tenant {t}: tranches");
+        assert_eq!(c.early_stops, s.early_stops, "tenant {t}: early_stops");
+        assert_eq!(c.cache_hits, s.cache_hits, "tenant {t}: cache_hits");
+        assert_eq!(c.cache_misses, s.cache_misses, "tenant {t}: cache_misses");
+        assert_eq!(c.prefix_hits, s.prefix_hits, "tenant {t}: prefix_hits");
+        // The chain shape makes the exact values predictable too.
+        assert_eq!(
+            c.cache_misses, CHAIN as u64,
+            "tenant {t}: one miss per circuit"
+        );
+        assert_eq!(
+            c.cache_hits,
+            (CHAIN * (PASSES - 1)) as u64,
+            "tenant {t}: later passes all hit"
+        );
+        assert_eq!(
+            c.prefix_hits,
+            (CHAIN - 1) as u64,
+            "tenant {t}: each extension reuses its predecessor"
+        );
+    }
+
+    // Contract 2b: the shared components saw exactly the sum of what
+    // the sessions report — nothing lost, nothing double-counted.
+    let stats = cache.stats();
+    let sum = |f: fn(&SessionTelemetry) -> u64| -> u64 {
+        concurrent.iter().map(|r| f(&r.telemetry)).sum()
+    };
+    assert_eq!(stats.hits, sum(|t| t.cache_hits), "shared cache hits");
+    assert_eq!(stats.misses, sum(|t| t.cache_misses), "shared cache misses");
+    assert_eq!(
+        registry.hits(),
+        sum(|t| t.prefix_hits),
+        "shared prefix registry hits"
+    );
+    assert_eq!(
+        stats.entries,
+        TENANTS * CHAIN,
+        "disjoint tenant families must not collide in the cache"
+    );
+}

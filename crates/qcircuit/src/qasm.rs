@@ -8,6 +8,11 @@
 //! Classically-conditioned gates are exported by declaring one
 //! single-bit classical register per circuit clbit (`creg c3[1];`), since
 //! OpenQASM 2 conditions apply to whole registers.
+//!
+//! Parse failures are always a typed [`QasmError`] carrying a
+//! [`Span`] (1-based line and column of the offending token), never a
+//! panic — services that accept QASM over the wire turn them into
+//! structured 400 bodies.
 
 use crate::circuit::QuantumCircuit;
 use crate::error::CircuitError;
@@ -16,6 +21,42 @@ use crate::instruction::{Condition, Instruction, OpKind};
 use crate::register::{ClbitId, QubitId};
 use std::fmt;
 
+/// A source location: 1-based line and 1-based byte column.
+///
+/// Columns count bytes from the start of the line (identical to
+/// character columns for the ASCII sources OpenQASM 2.0 programs are in
+/// practice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Line number (1-based).
+    pub line: usize,
+    /// Byte column within the line (1-based).
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at `line:col`.
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// The span of `token` given the span of the `parent` slice that
+/// contains it (`token` must be a subslice of `parent`).
+fn sub_span(parent: &str, token: &str, parent_span: Span) -> Span {
+    let rel = (token.as_ptr() as usize).saturating_sub(parent.as_ptr() as usize);
+    Span {
+        line: parent_span.line,
+        col: parent_span.col + rel,
+    }
+}
+
 /// Error produced while parsing OpenQASM source.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QasmError {
@@ -23,22 +64,22 @@ pub enum QasmError {
     MissingHeader,
     /// A statement could not be parsed.
     Malformed {
-        /// Line number (1-based).
-        line: usize,
+        /// Location of the offending statement or token.
+        span: Span,
         /// Description of the problem.
         reason: String,
     },
     /// A gate name is not in the supported vocabulary.
     UnknownGate {
-        /// Line number (1-based).
-        line: usize,
+        /// Location of the gate name.
+        span: Span,
         /// The unrecognized name.
         name: String,
     },
     /// A register reference was not declared.
     UnknownRegister {
-        /// Line number (1-based).
-        line: usize,
+        /// Location of the register reference.
+        span: Span,
         /// The unrecognized register name.
         name: String,
     },
@@ -46,18 +87,32 @@ pub enum QasmError {
     Invalid(CircuitError),
 }
 
+impl QasmError {
+    /// The source location of the failure, when it has one
+    /// ([`QasmError::MissingHeader`] and [`QasmError::Invalid`] are
+    /// whole-program conditions).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            QasmError::Malformed { span, .. }
+            | QasmError::UnknownGate { span, .. }
+            | QasmError::UnknownRegister { span, .. } => Some(*span),
+            QasmError::MissingHeader | QasmError::Invalid(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QasmError::MissingHeader => write!(f, "missing OPENQASM 2.0 header"),
-            QasmError::Malformed { line, reason } => {
-                write!(f, "malformed statement on line {line}: {reason}")
+            QasmError::Malformed { span, reason } => {
+                write!(f, "malformed statement at {span}: {reason}")
             }
-            QasmError::UnknownGate { line, name } => {
-                write!(f, "unknown gate '{name}' on line {line}")
+            QasmError::UnknownGate { span, name } => {
+                write!(f, "unknown gate '{name}' at {span}")
             }
-            QasmError::UnknownRegister { line, name } => {
-                write!(f, "unknown register '{name}' on line {line}")
+            QasmError::UnknownRegister { span, name } => {
+                write!(f, "unknown register '{name}' at {span}")
             }
             QasmError::Invalid(e) => write!(f, "invalid circuit: {e}"),
         }
@@ -184,6 +239,15 @@ struct Register {
     size: usize,
 }
 
+/// One body statement awaiting the second parse pass.
+enum Stmt {
+    /// A `// pragma qassert …` directive (the pragma text, prefix
+    /// stripped).
+    Pragma(String),
+    /// An ordinary `;`-terminated statement.
+    Code(String),
+}
+
 /// Parses OpenQASM 2.0 source into a circuit.
 ///
 /// Supports the statement subset produced by [`to_qasm`]: register
@@ -193,21 +257,23 @@ struct Register {
 ///
 /// # Errors
 ///
-/// Returns a [`QasmError`] describing the first offending line.
+/// Returns a [`QasmError`] describing the first offending statement,
+/// with the [`Span`] (line and column) of the token that broke. Never
+/// panics on malformed input.
 pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
     let mut qregs: Vec<Register> = Vec::new();
     let mut cregs: Vec<Register> = Vec::new();
     let mut num_qubits = 0usize;
     let mut num_clbits = 0usize;
-    let mut body: Vec<(usize, String, Option<Condition>)> = Vec::new();
+    let mut stream: Vec<(Span, Stmt)> = Vec::new();
     let mut saw_header = false;
-    let mut pragmas: Vec<(usize, String)> = Vec::new();
 
     for (lineno, raw) in source.lines().enumerate() {
         let lineno = lineno + 1;
+        let line_span = |token: &str| sub_span(raw, token, Span::new(lineno, 1));
         let line = raw.trim();
         if let Some(rest) = line.strip_prefix("// pragma qassert ") {
-            pragmas.push((lineno, rest.to_string()));
+            stream.push((line_span(rest), Stmt::Pragma(rest.to_string())));
             continue;
         }
         let line = match line.find("//") {
@@ -222,12 +288,13 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
             if stmt.is_empty() {
                 continue;
             }
+            let span = line_span(stmt);
             if stmt.starts_with("OPENQASM") {
                 saw_header = true;
             } else if stmt.starts_with("include") {
                 // qelib1.inc is implied.
             } else if let Some(rest) = stmt.strip_prefix("qreg ") {
-                let (name, size) = parse_reg_decl(rest, lineno)?;
+                let (name, size) = parse_reg_decl(rest, line_span(rest))?;
                 qregs.push(Register {
                     name,
                     offset: num_qubits,
@@ -235,7 +302,7 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
                 });
                 num_qubits += size;
             } else if let Some(rest) = stmt.strip_prefix("creg ") {
-                let (name, size) = parse_reg_decl(rest, lineno)?;
+                let (name, size) = parse_reg_decl(rest, line_span(rest))?;
                 cregs.push(Register {
                     name,
                     offset: num_clbits,
@@ -243,7 +310,7 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
                 });
                 num_clbits += size;
             } else {
-                body.push((lineno, stmt.to_string(), None));
+                stream.push((span, Stmt::Code(stmt.to_string())));
             }
         }
     }
@@ -254,195 +321,220 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QasmError> {
     let mut circuit = QuantumCircuit::new(num_qubits, num_clbits);
 
     let lookup_q =
-        |name: &str, idx: usize, line: usize| -> Result<QubitId, QasmError> {
+        |name: &str, idx: usize, span: Span| -> Result<QubitId, QasmError> {
             let reg = qregs.iter().find(|r| r.name == name).ok_or_else(|| {
                 QasmError::UnknownRegister {
-                    line,
+                    span,
                     name: name.to_string(),
                 }
             })?;
             if idx >= reg.size {
                 return Err(QasmError::Malformed {
-                    line,
+                    span,
                     reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
                 });
             }
             Ok(QubitId::from(reg.offset + idx))
         };
     let lookup_c =
-        |name: &str, idx: usize, line: usize| -> Result<ClbitId, QasmError> {
+        |name: &str, idx: usize, span: Span| -> Result<ClbitId, QasmError> {
             let reg = cregs.iter().find(|r| r.name == name).ok_or_else(|| {
                 QasmError::UnknownRegister {
-                    line,
+                    span,
                     name: name.to_string(),
                 }
             })?;
             if idx >= reg.size {
                 return Err(QasmError::Malformed {
-                    line,
+                    span,
                     reason: format!("index {idx} out of range for register {name}[{}]", reg.size),
                 });
             }
             Ok(ClbitId::from(reg.offset + idx))
         };
 
-    // Interleave pragmas back into the body by line number.
-    let mut stream: Vec<(usize, String)> = body
-        .into_iter()
-        .map(|(l, s, _)| (l, s))
-        .chain(pragmas.into_iter().map(|(l, p)| (l, format!("@{p}"))))
-        .collect();
-    stream.sort_by_key(|(l, _)| *l);
-
-    for (line, stmt) in stream {
-        if let Some(p) = stmt.strip_prefix('@') {
-            // post_select q[i] v
-            let parts: Vec<&str> = p.split_whitespace().collect();
-            if parts.len() != 3 || parts[0] != "post_select" {
-                return Err(QasmError::Malformed {
-                    line,
-                    reason: format!("unrecognized pragma '{p}'"),
-                });
+    for (span, stmt) in stream {
+        match stmt {
+            Stmt::Pragma(p) => {
+                // post_select q[i] v
+                let parts: Vec<&str> = p.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "post_select" {
+                    return Err(QasmError::Malformed {
+                        span,
+                        reason: format!("unrecognized pragma '{p}'"),
+                    });
+                }
+                let operand_span = sub_span(&p, parts[1], span);
+                let (name, idx) = parse_indexed(parts[1], operand_span)?;
+                let q = lookup_q(&name, idx, operand_span)?;
+                let outcome = parts[2] == "1";
+                circuit.append(Instruction::post_select(q, outcome))?;
             }
-            let (name, idx) = parse_indexed(parts[1], line)?;
-            let q = lookup_q(&name, idx, line)?;
-            let outcome = parts[2] == "1";
-            circuit.append(Instruction::post_select(q, outcome))?;
-            continue;
-        }
-
-        let (stmt, condition) = if let Some(rest) = stmt.strip_prefix("if(") {
-            let close = rest.find(')').ok_or_else(|| QasmError::Malformed {
-                line,
-                reason: "unterminated if(...)".to_string(),
-            })?;
-            let cond_src = &rest[..close];
-            let tail = rest[close + 1..].trim().to_string();
-            let eq = cond_src.find("==").ok_or_else(|| QasmError::Malformed {
-                line,
-                reason: "condition must use ==".to_string(),
-            })?;
-            let reg_name = cond_src[..eq].trim();
-            let value: u64 =
-                cond_src[eq + 2..]
-                    .trim()
-                    .parse()
-                    .map_err(|_| QasmError::Malformed {
-                        line,
-                        reason: "condition value must be an integer".to_string(),
-                    })?;
-            let clbit = lookup_c(reg_name, 0, line)?;
-            (
-                tail,
-                Some(Condition {
-                    clbit,
-                    value: value != 0,
-                }),
-            )
-        } else {
-            (stmt, None)
-        };
-
-        if let Some(rest) = stmt.strip_prefix("measure ") {
-            let arrow = rest.find("->").ok_or_else(|| QasmError::Malformed {
-                line,
-                reason: "measure requires '->'".to_string(),
-            })?;
-            let (qname, qidx) = parse_indexed(rest[..arrow].trim(), line)?;
-            let (cname, cidx) = parse_indexed(rest[arrow + 2..].trim(), line)?;
-            let instr =
-                Instruction::measure(lookup_q(&qname, qidx, line)?, lookup_c(&cname, cidx, line)?);
-            circuit.append(instr)?;
-            continue;
-        }
-        if let Some(rest) = stmt.strip_prefix("reset ") {
-            let (qname, qidx) = parse_indexed(rest.trim(), line)?;
-            let mut instr = Instruction::reset(lookup_q(&qname, qidx, line)?);
-            if let Some(c) = condition {
-                instr = instr.with_condition(c);
+            Stmt::Code(stmt) => {
+                parse_code_statement(&stmt, span, &mut circuit, &lookup_q, &lookup_c)?;
             }
-            circuit.append(instr)?;
-            continue;
         }
-        if let Some(rest) = stmt.strip_prefix("barrier ") {
-            let mut qs = Vec::new();
-            for operand in rest.split(',') {
-                let (qname, qidx) = parse_indexed(operand.trim(), line)?;
-                qs.push(lookup_q(&qname, qidx, line)?);
-            }
-            circuit.append(Instruction::barrier(qs))?;
-            continue;
-        }
-
-        // Gate application: name[(params)] operands
-        let (head, operands) = match stmt.find(' ') {
-            Some(pos) => (&stmt[..pos], stmt[pos + 1..].trim()),
-            None => {
-                return Err(QasmError::Malformed {
-                    line,
-                    reason: format!("unrecognized statement '{stmt}'"),
-                })
-            }
-        };
-        let (name, params) = if let Some(open) = head.find('(') {
-            let close = head.rfind(')').ok_or_else(|| QasmError::Malformed {
-                line,
-                reason: "unterminated parameter list".to_string(),
-            })?;
-            let params: Result<Vec<f64>, QasmError> = head[open + 1..close]
-                .split(',')
-                .map(|e| {
-                    parse_param_expr(e).map_err(|reason| QasmError::Malformed { line, reason })
-                })
-                .collect();
-            (&head[..open], params?)
-        } else {
-            (head, Vec::new())
-        };
-
-        let gate = gate_from_name(name, &params).ok_or_else(|| QasmError::UnknownGate {
-            line,
-            name: name.to_string(),
-        })?;
-        let mut qs = Vec::new();
-        for operand in operands.split(',') {
-            let (qname, qidx) = parse_indexed(operand.trim(), line)?;
-            qs.push(lookup_q(&qname, qidx, line)?);
-        }
-        let mut instr = Instruction::gate(gate, qs);
-        if let Some(c) = condition {
-            instr = instr.with_condition(c);
-        }
-        circuit.append(instr)?;
     }
 
     Ok(circuit)
 }
 
+/// Parses one non-pragma body statement (gate application, `measure`,
+/// `reset`, `barrier`, optionally behind an `if(c==v)` condition) and
+/// appends it to `circuit`.
+fn parse_code_statement(
+    stmt: &str,
+    span: Span,
+    circuit: &mut QuantumCircuit,
+    lookup_q: &impl Fn(&str, usize, Span) -> Result<QubitId, QasmError>,
+    lookup_c: &impl Fn(&str, usize, Span) -> Result<ClbitId, QasmError>,
+) -> Result<(), QasmError> {
+    let whole = stmt;
+    let token_span = |token: &str| sub_span(whole, token, span);
+
+    let (stmt, condition) = if let Some(rest) = stmt.strip_prefix("if(") {
+        let close = rest.find(')').ok_or_else(|| QasmError::Malformed {
+            span,
+            reason: "unterminated if(...)".to_string(),
+        })?;
+        let cond_src = &rest[..close];
+        let tail = rest[close + 1..].trim();
+        let eq = cond_src.find("==").ok_or_else(|| QasmError::Malformed {
+            span: token_span(cond_src),
+            reason: "condition must use ==".to_string(),
+        })?;
+        let reg_name = cond_src[..eq].trim();
+        let value_src = cond_src[eq + 2..].trim();
+        let value: u64 = value_src.parse().map_err(|_| QasmError::Malformed {
+            span: token_span(value_src),
+            reason: "condition value must be an integer".to_string(),
+        })?;
+        let clbit = lookup_c(reg_name, 0, token_span(reg_name))?;
+        (
+            tail,
+            Some(Condition {
+                clbit,
+                value: value != 0,
+            }),
+        )
+    } else {
+        (stmt, None)
+    };
+    let span = token_span(stmt);
+
+    if let Some(rest) = stmt.strip_prefix("measure ") {
+        let arrow = rest.find("->").ok_or_else(|| QasmError::Malformed {
+            span,
+            reason: "measure requires '->'".to_string(),
+        })?;
+        let q_src = rest[..arrow].trim();
+        let c_src = rest[arrow + 2..].trim();
+        let (qname, qidx) = parse_indexed(q_src, token_span(q_src))?;
+        let (cname, cidx) = parse_indexed(c_src, token_span(c_src))?;
+        let instr = Instruction::measure(
+            lookup_q(&qname, qidx, token_span(q_src))?,
+            lookup_c(&cname, cidx, token_span(c_src))?,
+        );
+        circuit.append(instr)?;
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("reset ") {
+        let operand = rest.trim();
+        let (qname, qidx) = parse_indexed(operand, token_span(operand))?;
+        let mut instr = Instruction::reset(lookup_q(&qname, qidx, token_span(operand))?);
+        if let Some(c) = condition {
+            instr = instr.with_condition(c);
+        }
+        circuit.append(instr)?;
+        return Ok(());
+    }
+    if let Some(rest) = stmt.strip_prefix("barrier ") {
+        let mut qs = Vec::new();
+        for operand in rest.split(',') {
+            let operand = operand.trim();
+            let (qname, qidx) = parse_indexed(operand, token_span(operand))?;
+            qs.push(lookup_q(&qname, qidx, token_span(operand))?);
+        }
+        circuit.append(Instruction::barrier(qs))?;
+        return Ok(());
+    }
+
+    // Gate application: name[(params)] operands
+    let (head, operands) = match stmt.find(' ') {
+        Some(pos) => (&stmt[..pos], stmt[pos + 1..].trim()),
+        None => {
+            return Err(QasmError::Malformed {
+                span,
+                reason: format!("unrecognized statement '{stmt}'"),
+            })
+        }
+    };
+    let (name, params) = if let Some(open) = head.find('(') {
+        let close = head
+            .rfind(')')
+            .filter(|close| *close > open)
+            .ok_or_else(|| QasmError::Malformed {
+                span: token_span(head),
+                reason: "unterminated parameter list".to_string(),
+            })?;
+        let param_src = &head[open + 1..close];
+        let params: Result<Vec<f64>, QasmError> = param_src
+            .split(',')
+            .map(|e| {
+                parse_param_expr(e).map_err(|reason| QasmError::Malformed {
+                    span: token_span(e),
+                    reason,
+                })
+            })
+            .collect();
+        (&head[..open], params?)
+    } else {
+        (head, Vec::new())
+    };
+
+    let gate = gate_from_name(name, &params).ok_or_else(|| QasmError::UnknownGate {
+        span: token_span(name),
+        name: name.to_string(),
+    })?;
+    let mut qs = Vec::new();
+    for operand in operands.split(',') {
+        let operand = operand.trim();
+        let (qname, qidx) = parse_indexed(operand, token_span(operand))?;
+        qs.push(lookup_q(&qname, qidx, token_span(operand))?);
+    }
+    let mut instr = Instruction::gate(gate, qs);
+    if let Some(c) = condition {
+        instr = instr.with_condition(c);
+    }
+    circuit.append(instr)?;
+    Ok(())
+}
+
 /// Parses `name[size]` from a register declaration.
-fn parse_reg_decl(src: &str, line: usize) -> Result<(String, usize), QasmError> {
-    let (name, idx) = parse_indexed(src.trim(), line)?;
+fn parse_reg_decl(src: &str, span: Span) -> Result<(String, usize), QasmError> {
+    let (name, idx) = parse_indexed(src.trim(), span)?;
     Ok((name, idx))
 }
 
 /// Parses `name[index]` into its parts.
-fn parse_indexed(src: &str, line: usize) -> Result<(String, usize), QasmError> {
+fn parse_indexed(src: &str, span: Span) -> Result<(String, usize), QasmError> {
     let open = src.find('[').ok_or_else(|| QasmError::Malformed {
-        line,
+        span,
         reason: format!("expected name[index], got '{src}'"),
     })?;
-    let close = src.rfind(']').ok_or_else(|| QasmError::Malformed {
-        line,
-        reason: format!("missing ']' in '{src}'"),
-    })?;
-    let name = src[..open].trim().to_string();
-    let idx: usize = src[open + 1..close]
-        .trim()
-        .parse()
-        .map_err(|_| QasmError::Malformed {
-            line,
-            reason: format!("index in '{src}' is not an integer"),
+    let close = src
+        .rfind(']')
+        .filter(|close| *close > open)
+        .ok_or_else(|| QasmError::Malformed {
+            span,
+            reason: format!("missing ']' in '{src}'"),
         })?;
+    let name = src[..open].trim().to_string();
+    let idx_src = src[open + 1..close].trim();
+    let idx: usize = idx_src.parse().map_err(|_| QasmError::Malformed {
+        span: sub_span(src, idx_src, span),
+        reason: format!("index in '{src}' is not an integer"),
+    })?;
     Ok((name, idx))
 }
 
@@ -724,30 +816,135 @@ mod tests {
     }
 
     #[test]
-    fn unknown_gate_is_reported_with_line() {
+    fn truncated_header_is_rejected_not_panicked() {
+        // A header cut mid-keyword is not a header; the file's first
+        // statement becomes an unknown gate application and the parse
+        // must fail typed (header missing is detected first).
+        assert_eq!(from_qasm("OPENQ"), Err(QasmError::MissingHeader));
+        assert_eq!(from_qasm(""), Err(QasmError::MissingHeader));
+        // Header truncated after the version number still identifies
+        // itself (the exporter always writes the semicolon, but hand-cut
+        // files arrive over the wire).
+        assert!(from_qasm("OPENQASM 2.0\nqreg q[1];\nh q[0];").is_ok());
+    }
+
+    #[test]
+    fn truncated_declaration_reports_span() {
+        // The qreg statement is cut before its closing bracket.
+        let src = "OPENQASM 2.0;\nqreg q[";
+        match from_qasm(src) {
+            Err(QasmError::Malformed { span, reason }) => {
+                assert_eq!(span, Span::new(2, 6));
+                assert!(reason.contains("missing ']'"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_is_reported_with_line_and_col() {
         let src = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];";
         match from_qasm(src) {
-            Err(QasmError::UnknownGate { line, name }) => {
-                assert_eq!(line, 3);
+            Err(QasmError::UnknownGate { span, name }) => {
+                assert_eq!(span, Span::new(3, 1));
                 assert_eq!(name, "frobnicate");
+            }
+            other => panic!("expected UnknownGate, got {other:?}"),
+        }
+        // Column points at the gate name even behind indentation and a
+        // condition prefix.
+        let src = "OPENQASM 2.0;\nqreg q[1];\ncreg c0[1];\n   if(c0==1) frob q[0];";
+        match from_qasm(src) {
+            Err(QasmError::UnknownGate { span, name }) => {
+                assert_eq!(span, Span::new(4, 14));
+                assert_eq!(name, "frob");
             }
             other => panic!("expected UnknownGate, got {other:?}"),
         }
     }
 
     #[test]
-    fn unknown_register_is_reported() {
+    fn unknown_register_is_reported_with_span() {
         let src = "OPENQASM 2.0;\nqreg q[1];\nh r[0];";
-        assert!(matches!(
-            from_qasm(src),
-            Err(QasmError::UnknownRegister { .. })
-        ));
+        match from_qasm(src) {
+            Err(QasmError::UnknownRegister { span, name }) => {
+                assert_eq!(span, Span::new(3, 3));
+                assert_eq!(name, "r");
+            }
+            other => panic!("expected UnknownRegister, got {other:?}"),
+        }
     }
 
     #[test]
-    fn index_out_of_range_is_reported() {
+    fn index_out_of_range_is_reported_with_span() {
         let src = "OPENQASM 2.0;\nqreg q[1];\nh q[3];";
+        match from_qasm(src) {
+            Err(QasmError::Malformed { span, reason }) => {
+                assert_eq!(span, Span::new(3, 3));
+                assert!(reason.contains("out of range"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_integer_index_reports_the_index_span() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[abc];";
+        match from_qasm(src) {
+            Err(QasmError::Malformed { span, reason }) => {
+                // Column of `abc` inside the second operand.
+                assert_eq!(span, Span::new(3, 11));
+                assert!(reason.contains("not an integer"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_brackets_do_not_panic() {
+        // `]` before `[` used to slice out of order and panic.
+        for stmt in ["h q]0[;", "h q][;", "measure q]0[ -> c[0];"] {
+            let src = format!("OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n{stmt}");
+            assert!(
+                matches!(from_qasm(&src), Err(QasmError::Malformed { .. })),
+                "statement {stmt:?} must fail typed"
+            );
+        }
+        // Same for `)` before `(` in a parameter list.
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrx)0.5( q[0];";
         assert!(matches!(from_qasm(src), Err(QasmError::Malformed { .. })));
+    }
+
+    #[test]
+    fn error_span_accessor_exposes_location() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];";
+        let err = from_qasm(src).unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(3, 1)));
+        assert_eq!(from_qasm("").unwrap_err().span(), None);
+    }
+
+    #[test]
+    fn second_statement_on_a_line_gets_its_own_column() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0]; zz q[1];";
+        match from_qasm(src) {
+            Err(QasmError::UnknownGate { span, name }) => {
+                assert_eq!(span, Span::new(3, 9));
+                assert_eq!(name, "zz");
+            }
+            other => panic!("expected UnknownGate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_pragma_reports_pragma_span() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\n// pragma qassert bogus q[0] 1 2";
+        match from_qasm(src) {
+            Err(QasmError::Malformed { span, reason }) => {
+                assert_eq!(span.line, 3);
+                assert!(reason.contains("unrecognized pragma"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

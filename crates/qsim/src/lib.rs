@@ -99,7 +99,7 @@ pub use executor::{
 };
 pub use expectation::{Pauli, PauliString};
 pub use kernel::BatchKernel;
-pub use pool::{PoolScope, PoolStats, ShardPool};
+pub use pool::{PoolGauges, PoolScope, PoolStats, ShardPool};
 pub use prefix::PrefixRegistry;
 pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
 pub use simd::SimdBackend;

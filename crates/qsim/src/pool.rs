@@ -134,6 +134,22 @@ impl PoolStats {
     }
 }
 
+/// A point-in-time load snapshot of a pool: sizing plus instantaneous
+/// queue depth.
+///
+/// Unlike [`PoolStats`] (monotonic lifetime counters), gauges describe
+/// *now*: admission controllers and health endpoints read them to
+/// report load without deltaing counters across racing workloads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolGauges {
+    /// Dedicated worker threads (0 for an inline pool).
+    pub workers: usize,
+    /// Tasks currently queued across all deques and not yet picked up.
+    /// A momentary snapshot: tasks in flight on a worker no longer
+    /// count, tasks queued after the read are missed.
+    pub queue_depth: usize,
+}
+
 /// A lifetime-erased unit of work (see the module docs on why the
 /// transmutes in [`ShardPool::run_batch`] and [`PoolScope::submit`] are
 /// sound), tagged with the latch group its execution is attributed to.
@@ -384,6 +400,36 @@ impl ShardPool {
     /// executing thread to every batch).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Tasks currently queued and not yet picked up, summed across the
+    /// worker deques. A momentary gauge (see [`PoolGauges`]): each
+    /// deque is locked briefly in turn, so concurrent submission can
+    /// shift the sum, but the read never blocks behind task execution
+    /// (tasks run outside the deque locks).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .deques
+            .iter()
+            .map(|d| d.lock().expect("deque lock").len())
+            .sum()
+    }
+
+    /// The pool's current [`PoolGauges`] snapshot.
+    pub fn gauges(&self) -> PoolGauges {
+        PoolGauges {
+            workers: self.workers,
+            queue_depth: self.queue_depth(),
+        }
+    }
+
+    /// [`ShardPool::gauges`] of the global pool **without creating
+    /// it**: a default (zero-worker, empty-queue) snapshot when no
+    /// sharded execution has started the pool yet. Like
+    /// [`ShardPool::global_stats`], merely observing load never spawns
+    /// the worker threads.
+    pub fn global_gauges() -> PoolGauges {
+        GLOBAL_POOL.get().map(ShardPool::gauges).unwrap_or_default()
     }
 
     /// Lifetime execution counters: tasks run and steals. For the
@@ -926,6 +972,69 @@ mod tests {
         let (value, stats) = pool.scope(|_| 7u32);
         assert_eq!(value, 7);
         assert_eq!(stats, PoolStats::default());
+    }
+
+    #[test]
+    fn gauges_report_workers_and_momentary_depth() {
+        let pool = ShardPool::new(2);
+        let gauges = pool.gauges();
+        assert_eq!(gauges.workers, 2);
+        assert_eq!(gauges.queue_depth, 0, "idle pool has an empty queue");
+
+        // While a batch is blocked on a gate, its queued tasks are
+        // visible in the depth gauge; once released and drained, the
+        // gauge returns to zero.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let inner = Arc::clone(&gate);
+        std::thread::scope(|threads| {
+            let handle = threads.spawn(|| {
+                pool.run_batch(16, move |_| {
+                    let (lock, cv) = &*inner;
+                    let mut open = lock.lock().expect("gate lock");
+                    while !*open {
+                        open = cv.wait(open).expect("gate wait");
+                    }
+                });
+            });
+            // Some tasks are necessarily still queued while the first
+            // few block every executing thread on the gate.
+            let mut saw_depth = false;
+            for _ in 0..1_000 {
+                if pool.queue_depth() > 0 {
+                    saw_depth = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            let (lock, cv) = &*gate;
+            *lock.lock().expect("gate lock") = true;
+            cv.notify_all();
+            handle.join().expect("batch thread");
+            assert!(saw_depth, "queued tasks must show up in queue_depth");
+        });
+        assert_eq!(pool.queue_depth(), 0, "drained pool has an empty queue");
+    }
+
+    #[test]
+    fn zero_worker_gauges_are_empty() {
+        let pool = ShardPool::new(0);
+        assert_eq!(
+            pool.gauges(),
+            PoolGauges {
+                workers: 0,
+                queue_depth: 0
+            }
+        );
+    }
+
+    #[test]
+    fn global_gauges_never_spawn_the_pool() {
+        // Whether or not another test already started the global pool,
+        // reading gauges must be consistent with reading stats: both
+        // observe without creating.
+        let before = GLOBAL_POOL.get().is_some();
+        let _ = ShardPool::global_gauges();
+        assert_eq!(GLOBAL_POOL.get().is_some(), before);
     }
 
     #[test]
