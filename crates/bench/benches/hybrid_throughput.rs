@@ -1,0 +1,217 @@
+//! Hybrid Clifford-routing throughput: `HybridBackend` (tableau
+//! prefix, amplitude handoff at the first non-Clifford island) vs the
+//! pure per-shot statevector path on the workload the router exists
+//! for — a Clifford-dominated circuit with a small T island near the
+//! end.
+//!
+//! The workload is a 12-qubit circuit of H/CX/S layer rounds with one
+//! mid-circuit measurement (fast-path defeating, and it proves clbits
+//! survive the handoff), a two-op T island, and a 4-qubit readout. The
+//! statevector replays every prefix layer over all 4,096 amplitudes per
+//! shot; the hybrid backend runs the prefix on the `O(n²)`-bit tableau
+//! and only touches amplitudes from the island on.
+//!
+//! Correctness before speed, asserted before any number is reported
+//! (exit 2):
+//!
+//! * the compiled program carries a **profitable** hybrid plan (the
+//!   routed path is actually exercised, not the fallback);
+//! * hybrid counts land within TVD 0.03 of the same-seed statevector
+//!   sample (both 8,192-shot empirical distributions over 16 keys);
+//! * seeded hybrid runs are bit-reproducible call-to-call.
+//!
+//! Results go to `BENCH_hybrid.json` (override with `--out`);
+//! `--check <baseline.json>` turns the run into a CI gate on the
+//! same-run **hybrid-vs-statevector per-shot speedup**, which must
+//! clear the baseline's `min_speedup`. Both paths are timed in the
+//! same process on the same machine, so the floor needs no per-host
+//! derating.
+//!
+//! ```text
+//! cargo bench -p qassert-bench --bench hybrid_throughput -- --quick --check
+//! ```
+
+use qcircuit::QuantumCircuit;
+use qsim::{Backend, HybridBackend, StatevectorBackend};
+use std::time::Instant;
+
+struct Config {
+    mode: &'static str,
+    shots: u64,
+}
+
+/// The routed workload: `rounds` H/CX/S Clifford layers over `n`
+/// qubits with one mid-circuit measurement, then a two-op T island and
+/// a 4-qubit readout (narrow readout keeps the TVD probe's outcome
+/// space small).
+fn clifford_dominated(n: usize, rounds: usize) -> QuantumCircuit {
+    let mut c = QuantumCircuit::new(n, 4);
+    for r in 0..rounds {
+        for q in 0..n {
+            c.h(q).expect("valid qubit");
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1).expect("valid qubits");
+        }
+        for q in 0..n {
+            c.s(q).expect("valid qubit");
+        }
+        if r == 0 {
+            c.measure(0, 0).expect("valid measurement"); // defeats the fast path
+        }
+    }
+    c.t(0).expect("valid qubit"); // the island
+    c.t(1).expect("valid qubit");
+    for q in 0..4 {
+        c.measure(q, q).expect("valid measurement");
+    }
+    c
+}
+
+/// Times `shots` seeded shots of `program` on `backend`, returning
+/// (seconds, counts).
+fn run_timed<B: Backend>(
+    backend: &B,
+    program: &qsim::CompiledProgram,
+    shots: u64,
+) -> (f64, qsim::Counts) {
+    let start = Instant::now();
+    let result = backend
+        .run_compiled_seeded(program, shots, Some(7), Some(1))
+        .expect("workload runs");
+    (start.elapsed().as_secs_f64(), result.counts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| qassert_bench::harness::flag(&args, name);
+    let value_of = |name: &str| qassert_bench::harness::value_of(&args, name);
+    let json_number_field = qassert_bench::harness::json_number_field;
+
+    let quick = flag("--quick");
+    let cfg = if quick {
+        Config {
+            mode: "quick",
+            shots: 4_000,
+        }
+    } else {
+        Config {
+            mode: "full",
+            shots: 20_000,
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_hybrid.json".to_string());
+    let check_path = match (flag("--check"), value_of("--check")) {
+        (true, Some(path)) => Some(path),
+        (true, None) => {
+            Some(concat!(env!("CARGO_MANIFEST_DIR"), "/hybrid_baseline.json").to_string())
+        }
+        (false, _) => None,
+    };
+
+    let n = 12;
+    let rounds = 6;
+    let circuit = clifford_dominated(n, rounds);
+    let hybrid = HybridBackend::ideal();
+    let sv = StatevectorBackend::new();
+    let program = hybrid.compile(&circuit).expect("workload compiles");
+
+    // Correctness before speed. (a) The cost model must actually route
+    // this workload — otherwise the numbers below compare the
+    // statevector against itself.
+    let plan = program.hybrid().unwrap_or_else(|| {
+        eprintln!("HYBRID ROUTING BROKEN: no clifford prefix recorded");
+        std::process::exit(2);
+    });
+    if !plan.profitable() {
+        eprintln!(
+            "HYBRID ROUTING BROKEN: {}-op clifford prefix judged unprofitable at n={n}",
+            plan.prefix().ops().len()
+        );
+        std::process::exit(2);
+    }
+    // (b) Distributional parity with the statevector path (the streams
+    // differ by contract, so agreement is TVD, not bit-identity).
+    let probe_shots = 8_192;
+    let (_, hybrid_probe) = run_timed(&hybrid, &program, probe_shots);
+    let (_, sv_probe) = run_timed(&sv, &program, probe_shots);
+    let tvd: f64 = (0..16u64)
+        .map(|k| (hybrid_probe.probability(k) - sv_probe.probability(k)).abs() / 2.0)
+        .sum();
+    // (c) Seeded hybrid runs are bit-reproducible.
+    let (_, once) = run_timed(&hybrid, &program, cfg.shots);
+    let (_, again) = run_timed(&hybrid, &program, cfg.shots);
+    let reproducible = once == again;
+    if tvd > 0.03 || !reproducible {
+        eprintln!(
+            "HYBRID BACKEND BROKEN: tvd {tvd:.4} vs statevector (limit 0.03), \
+             reproducible {reproducible}"
+        );
+        std::process::exit(2);
+    }
+
+    // Warm both paths, then time them on the same program.
+    let _ = run_timed(&sv, &program, cfg.shots / 4);
+    let _ = run_timed(&hybrid, &program, cfg.shots / 4);
+    let (sv_secs, sv_counts) = run_timed(&sv, &program, cfg.shots);
+    let (hybrid_secs, hybrid_counts) = run_timed(&hybrid, &program, cfg.shots);
+    assert_eq!(sv_counts.total(), hybrid_counts.total());
+    let sv_per_shot = sv_secs * 1e9 / cfg.shots as f64;
+    let hybrid_per_shot = hybrid_secs * 1e9 / cfg.shots as f64;
+    let speedup = sv_per_shot / hybrid_per_shot;
+
+    let prefix_ops = plan.prefix().ops().len();
+    println!(
+        "hybrid_throughput [{}]: n={n} clifford-dominated workload ({} prefix ops, \
+         boundary {}), {} shots/path",
+        cfg.mode,
+        prefix_ops,
+        plan.boundary(),
+        cfg.shots,
+    );
+    println!(
+        "  statevector per-shot: {sv_per_shot:>10.0} ns   hybrid per-shot: \
+         {hybrid_per_shot:>10.0} ns   speedup {speedup:.2}x"
+    );
+    println!("  tvd vs statevector {tvd:.4}");
+
+    let json = format!(
+        "{{\"bench\":\"hybrid_throughput\",\"mode\":\"{}\",\"qubits\":{n},\"shots\":{},\
+         \"prefix_ops\":{prefix_ops},\"boundary\":{},\
+         \"sv_per_shot_ns\":{:.0},\"hybrid_per_shot_ns\":{:.0},\"speedup\":{:.3},\
+         \"tvd\":{:.5},\"reproducible\":{}}}",
+        cfg.mode,
+        cfg.shots,
+        plan.boundary(),
+        sv_per_shot,
+        hybrid_per_shot,
+        speedup,
+        tvd,
+        reproducible,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let min_speedup = json_number_field(&baseline, "min_speedup").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no min_speedup field");
+            std::process::exit(1);
+        });
+        println!("  speedup gate: {speedup:.2}x vs required {min_speedup:.2}x");
+        if speedup < min_speedup {
+            eprintln!(
+                "PERF REGRESSION: hybrid routing ran only {speedup:.2}x faster than the \
+                 per-shot statevector path, below the {min_speedup:.2}x floor"
+            );
+            std::process::exit(4);
+        }
+        println!("  speedup gate: ok");
+    }
+}

@@ -309,6 +309,97 @@ fn stabilizer_smoke() -> Result<String, String> {
     ))
 }
 
+/// `--quick` also smokes hybrid Clifford routing on the workload it
+/// exists for: an assertion-instrumented Clifford-dominated circuit
+/// with a non-Clifford island run through the full `AssertionSession`
+/// machinery must hold its verdict, and at small n a routed program
+/// (profitable plan asserted) must agree with the exact distribution.
+/// The end-to-end CI twin of the `hybrid_equivalence` suite and the
+/// `hybrid_throughput` gate (exit 3 on divergence).
+fn hybrid_smoke() -> Result<String, String> {
+    use qassert::{AssertingCircuit, AssertionSession, AssertionVerdict, Parity, ShotPlan};
+    use qsim::Backend;
+
+    // The session leg: GHZ(12) with Clifford padding and a T·T† island
+    // (identity, so the parity assertion must still hold), instrumented
+    // and run end to end on the hybrid backend.
+    let mut base = qcircuit::library::ghz(12);
+    for q in 0..12 {
+        base.s(q).expect("valid");
+        base.sdg(q).expect("valid");
+    }
+    base.t(0).expect("valid");
+    base.tdg(0).expect("valid");
+    let mut asserted = AssertingCircuit::new(base);
+    asserted
+        .assert_entangled([0, 11], Parity::Even)
+        .expect("valid assertion");
+    let session = AssertionSession::new(qsim::HybridBackend::ideal())
+        .shot_plan(ShotPlan::Fixed(512))
+        .seed(7)
+        .threads(2);
+    let outcome = session.run(&asserted).map_err(|e| e.to_string())?;
+    if outcome.verdicts[0].verdict != AssertionVerdict::Holds {
+        return Err(format!(
+            "ghz parity verdict through the hybrid backend: {:?}, expected Holds",
+            outcome.verdicts[0].verdict
+        ));
+    }
+    let record = session.record();
+
+    // The small-n cross-check: a circuit the cost model must actually
+    // route (profitable plan asserted, so this cannot silently test the
+    // statevector fallback), sampled against the exact distribution.
+    let n = 10;
+    let mut small = qcircuit::QuantumCircuit::new(n, 3);
+    small.h(0).expect("valid");
+    for q in 0..n - 1 {
+        small.cx(q, q + 1).expect("valid");
+    }
+    for q in 0..n {
+        small.s(q).expect("valid");
+        small.sdg(q).expect("valid");
+    }
+    small.t(0).expect("valid");
+    small.h(0).expect("valid");
+    for q in 0..3 {
+        small.measure(q, q).expect("valid");
+    }
+    let hybrid = qsim::HybridBackend::ideal();
+    let program = hybrid.compile(&small).map_err(|e| e.to_string())?;
+    let plan = program
+        .hybrid()
+        .ok_or("no clifford prefix recorded on the routed workload")?;
+    if !plan.profitable() {
+        return Err(format!(
+            "{}-op clifford prefix judged unprofitable at n={n}",
+            plan.prefix().ops().len()
+        ));
+    }
+    let counts = hybrid
+        .run_compiled_seeded(&program, 8192, Some(5), Some(2))
+        .map_err(|e| e.to_string())?
+        .counts;
+    let exact = qsim::DensityMatrixBackend::ideal()
+        .exact_distribution(&small)
+        .map_err(|e| e.to_string())?;
+    let tvd: f64 = (0..8u64)
+        .map(|k| (counts.probability(k) - exact.probability(k)).abs() / 2.0)
+        .sum();
+    if tvd > 0.03 {
+        return Err(format!(
+            "routed counts diverge from exact distribution: tvd {tvd:.4}"
+        ));
+    }
+    Ok(format!(
+        "hybrid smoke: {} backend, verdict Holds through the session, routed \
+         small-n plan cuts at instruction {} ({}-op tableau prefix), tvd {tvd:.4}",
+        record.backend_kind,
+        plan.boundary(),
+        plan.prefix().ops().len()
+    ))
+}
+
 /// `--quick` also smokes the assertion service end to end: an
 /// in-process `qassert-serve` server on an ephemeral loopback port, an
 /// instrumented GHZ job submitted over real HTTP, and the streamed
@@ -440,6 +531,14 @@ fn main() {
             Ok(summary) => println!("{summary}"),
             Err(why) => {
                 eprintln!("stabilizer smoke FAILED: {why}");
+                std::process::exit(3);
+            }
+        }
+        // And hybrid Clifford routing end to end.
+        match hybrid_smoke() {
+            Ok(summary) => println!("{summary}"),
+            Err(why) => {
+                eprintln!("hybrid smoke FAILED: {why}");
                 std::process::exit(3);
             }
         }

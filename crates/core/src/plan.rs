@@ -107,14 +107,19 @@ impl ShotPlan {
         }
     }
 
-    /// Checks the plan's parameters: `Sequential` needs `alpha` in
-    /// `(0, 1)`, `tranche >= 1`, and `1 <= min_shots <= max_shots`.
+    /// Checks the plan's parameters: every plan needs a non-zero shot
+    /// budget, and `Sequential` additionally needs `alpha` in `(0, 1)`,
+    /// `tranche >= 1`, and `1 <= min_shots <= max_shots`. A plan that
+    /// can never run a shot can never produce a verdict, so the core
+    /// rejects it here — frontends must not need their own special
+    /// cases.
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         match *self {
+            ShotPlan::Fixed(0) => Err(String::from("fixed plan must request at least one shot")),
             ShotPlan::Fixed(_) => Ok(()),
             ShotPlan::Sequential {
                 alpha,
@@ -267,7 +272,8 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(ShotPlan::Fixed(0).validate().is_ok());
+        assert!(ShotPlan::Fixed(0).validate().is_err());
+        assert!(ShotPlan::Fixed(1).validate().is_ok());
     }
 
     #[test]

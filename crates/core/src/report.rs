@@ -165,10 +165,16 @@ pub struct SessionRecord {
     /// label where the name above is free-form prose.
     pub backend_kind: String,
     /// The shard/thread override *requested* on the session (`None` =
-    /// backend default). Backends without a shard concept (the exact
-    /// density-matrix executor) ignore the request — the backend name
-    /// above tells a reader whether it took effect.
+    /// backend default). Always records what the caller asked for, even
+    /// when the backend ignores it — `threads_effective` below says
+    /// what actually took effect.
     pub threads: Option<usize>,
+    /// The shard/thread count the backend *actually honors*
+    /// ([`qsim::Backend::effective_threads`]): equal to `threads` on
+    /// the per-shot backends, `None` on backends without a shard
+    /// concept (the exact density-matrix executor) whatever was
+    /// requested.
+    pub threads_effective: Option<usize>,
     /// The per-run RNG seed override *requested* on the session
     /// (`None` = backend default). Backends without sampling randomness
     /// ignore the request.
@@ -342,10 +348,14 @@ impl ExperimentReport {
         match &self.session {
             Some(s) => {
                 out.push_str(&format!(
-                    "{{\"backend\":{},\"backend_kind\":{},\"threads\":{},\"seed\":{},\"shots\":{},\"max_qubits\":{},\"plan\":{},\"cache_capacity\":{},\"simd\":{}}}",
+                    "{{\"backend\":{},\"backend_kind\":{},\"threads\":{},\"threads_effective\":{},\"seed\":{},\"shots\":{},\"max_qubits\":{},\"plan\":{},\"cache_capacity\":{},\"simd\":{}}}",
                     json_string(&s.backend),
                     json_string(&s.backend_kind),
                     match s.threads {
+                        Some(t) => t.to_string(),
+                        None => String::from("null"),
+                    },
+                    match s.threads_effective {
                         Some(t) => t.to_string(),
                         None => String::from("null"),
                     },
@@ -405,13 +415,17 @@ impl ExperimentReport {
         }
         if let Some(s) = &self.session {
             out.push_str(&format!(
-                "\nsession: backend \"{}\" ({}), max qubits {}, plan {}, threads requested {}, \
-                 seed requested {}, cache capacity {}, simd \"{}\"\n",
+                "\nsession: backend \"{}\" ({}), max qubits {}, plan {}, threads requested {} \
+                 (effective {}), seed requested {}, cache capacity {}, simd \"{}\"\n",
                 s.backend,
                 s.backend_kind,
                 s.max_qubits,
                 s.plan,
                 match s.threads {
+                    Some(t) => t.to_string(),
+                    None => String::from("backend default"),
+                },
+                match s.threads_effective {
                     Some(t) => t.to_string(),
                     None => String::from("backend default"),
                 },
@@ -546,7 +560,8 @@ mod tests {
         r.push_session(SessionRecord {
             backend: "density matrix (exact noisy)".to_string(),
             backend_kind: "density-matrix".to_string(),
-            threads: None,
+            threads: Some(4),
+            threads_effective: None,
             seed: None,
             shots: 8192,
             max_qubits: 3,
@@ -555,9 +570,12 @@ mod tests {
             simd: "avx2".to_string(),
         });
         let json = r.to_json();
+        // The requested override is recorded even though the exact
+        // backend ignores it; the effective field says it didn't take.
         assert!(json.contains(
             "\"session\":{\"backend\":\"density matrix (exact noisy)\",\
-             \"backend_kind\":\"density-matrix\",\"threads\":null,\
+             \"backend_kind\":\"density-matrix\",\"threads\":4,\
+             \"threads_effective\":null,\
              \"seed\":null,\"shots\":8192,\"max_qubits\":3,\"plan\":\"fixed(8192)\",\
              \"cache_capacity\":256,\"simd\":\"avx2\"}"
         ));
@@ -565,7 +583,7 @@ mod tests {
         assert!(text.contains("session: backend \"density matrix (exact noisy)\" (density-matrix)"));
         assert!(text.contains("max qubits 3"));
         assert!(text.contains("plan fixed(8192)"));
-        assert!(text.contains("threads requested backend default"));
+        assert!(text.contains("threads requested 4 (effective backend default)"));
         assert!(text.contains("seed requested backend default"));
         assert!(text.contains("simd \"avx2\""));
 
@@ -574,6 +592,7 @@ mod tests {
             backend: "trajectory (noisy)".to_string(),
             backend_kind: "trajectory".to_string(),
             threads: Some(4),
+            threads_effective: Some(4),
             seed: Some(17),
             shots: 100,
             max_qubits: 1024,

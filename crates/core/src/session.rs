@@ -692,6 +692,7 @@ impl<'c, B: Backend> AssertionSession<'c, B> {
             backend: self.backend.name().to_string(),
             backend_kind: self.backend.kind().as_str().to_string(),
             threads: self.threads,
+            threads_effective: self.backend.effective_threads(self.threads),
             seed: self.seed,
             shots: self.plan.budget(),
             max_qubits: self.max_qubits.load(Ordering::Relaxed),
@@ -1279,6 +1280,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "invalid shot plan")]
+    fn zero_shot_fixed_plan_is_rejected_at_the_session() {
+        // Regression: core validation owns the zero-budget rejection
+        // (it used to live as a serve-side special case).
+        let _ = AssertionSession::new(DensityMatrixBackend::ideal()).shots(0);
+    }
+
+    #[test]
     fn borrowed_and_owned_backends_agree() {
         let ac = bell_assertion();
         let backend = StatevectorBackend::new().with_seed(11);
@@ -1403,10 +1412,18 @@ mod tests {
             .private_cache(32);
         let record = session.record();
         assert_eq!(record.backend, "density matrix (exact ideal)");
+        // The requested override is recorded even though the exact
+        // backend ignores it; threads_effective carries what took hold.
         assert_eq!(record.threads, Some(3));
+        assert_eq!(record.threads_effective, None);
         assert_eq!(record.shots, 4096);
         assert_eq!(record.plan, "fixed(4096)");
         assert_eq!(record.cache_capacity, 32);
+        let sharded = AssertionSession::new(StatevectorBackend::new())
+            .threads(3)
+            .record();
+        assert_eq!(sharded.threads, Some(3));
+        assert_eq!(sharded.threads_effective, Some(3));
         let sequential = AssertionSession::new(DensityMatrixBackend::ideal())
             .shot_plan(ShotPlan::sequential(0.05))
             .record();

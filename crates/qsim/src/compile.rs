@@ -32,8 +32,9 @@
 //! cross-backend equivalence suite pins behavior: for seeded runs the
 //! sampled counts are bit-identical to unfused interpretation.
 
-use crate::error::SimError;
-use crate::program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
+use crate::error::{CliffordBlock, SimError};
+use crate::program::{CompiledKind, CompiledOp, CompiledProgram, FastPath, HybridPlan};
+use crate::stabilizer::CliffordProgram;
 use qcircuit::{CircuitDag, Gate, OpKind, QuantumCircuit};
 use qmath::Mat2;
 use qnoise::NoiseModel;
@@ -199,14 +200,22 @@ pub fn compile_with(
     //    Clifford pass reads the *source* instructions (classification
     //    is exact per gate; fusion would erase it) plus the same bound
     //    channels, so one compilation serves amplitude and tableau
-    //    backends alike.
+    //    backends alike. Ineligible programs additionally get the
+    //    hybrid routing analysis: the maximal Clifford prefix plus a
+    //    standalone compilation of the suffix past the first
+    //    non-Clifford island.
     let fast_path = analyze_fast_path(&ops);
     let batch_plan = if options.batching {
         crate::batch::plan(&ops)
     } else {
         None
     };
-    let clifford = crate::stabilizer::lower_clifford(circuit, &bound, noise);
+    let (clifford, clifford_prefix) =
+        crate::stabilizer::lower_clifford_scan(circuit, &bound, noise);
+    let hybrid = match (&clifford, clifford_prefix) {
+        (Err(block), Some(prefix)) => analyze_hybrid(circuit, noise, options, block, prefix),
+        _ => None,
+    };
 
     Ok(CompiledProgram::new(
         circuit.num_qubits(),
@@ -217,6 +226,70 @@ pub fn compile_with(
         n,
         fused_gates,
         clifford,
+        hybrid,
+    ))
+}
+
+/// Amplitude-array passes one tableau→statevector handoff costs: the
+/// canonicalization is `O(n³)` bit-operations and the materialization
+/// writes every nonzero amplitude once, together worth a few full
+/// passes over the `2^n` array.
+const HANDOFF_EXTRACTION_PASSES: f64 = 3.0;
+
+/// Discount on the prefix op count when estimating the amplitude passes
+/// the tableau saves: single-qubit fusion and batching would have
+/// collapsed part of the prefix on the statevector path anyway, so only
+/// a fraction of the lowered Clifford ops count as saved passes.
+/// Conservative (biases toward the fallback near the break-even point).
+const PREFIX_FUSION_DISCOUNT: f64 = 0.5;
+
+/// The hybrid routing analysis for a program blocked at `block`:
+/// compiles the suffix `[boundary..]` standalone at full register
+/// widths (compiled ops carry absolute indices and noise binds per
+/// instruction, so the op stream is position-independent — the
+/// [`compile_extension`] technique) and runs the compile-time cost
+/// model deciding whether the tableau prefix + extraction beats
+/// replaying the prefix on amplitudes.
+fn analyze_hybrid(
+    circuit: &QuantumCircuit,
+    noise: Option<&NoiseModel>,
+    options: CompileOptions,
+    block: &CliffordBlock,
+    prefix: CliffordProgram,
+) -> Option<HybridPlan> {
+    let boundary = block.instruction();
+    if prefix.ops().is_empty() {
+        return None;
+    }
+    let mut suffix = QuantumCircuit::new(circuit.num_qubits(), circuit.num_clbits());
+    for instr in &circuit.instructions()[boundary..] {
+        suffix.append(instr.clone()).ok()?;
+    }
+    // The suffix starts with the non-Clifford blocker, so this
+    // recursion bottoms out immediately (the inner program's own
+    // hybrid analysis sees an empty prefix).
+    let suffix = compile_with(&suffix, noise, options).ok()?;
+
+    // Cost model, in units of full passes over the 2^n amplitude
+    // array. Saved: the prefix ops the statevector path no longer
+    // executes (discounted for fusion). Paid: the extraction plus the
+    // tableau's own prefix cost — `O(n²)` bits per op against `2^n`
+    // amplitudes per pass, negligible at every width the handoff
+    // supports but modeled so narrow states don't misroute.
+    let n = circuit.num_qubits();
+    let prefix_ops = prefix.ops().len() as f64;
+    let tableau_pass_fraction = if n >= 24 {
+        0.0
+    } else {
+        (2 * n * n) as f64 / (1u64 << n) as f64
+    };
+    let profitable = prefix_ops * PREFIX_FUSION_DISCOUNT
+        > HANDOFF_EXTRACTION_PASSES + prefix_ops * tableau_pass_fraction;
+    Some(HybridPlan::new(
+        prefix,
+        boundary,
+        Box::new(suffix),
+        profitable,
     ))
 }
 
@@ -276,6 +349,30 @@ pub fn compile_extension(
         (Err(block), _) => Err(block.clone()),
         (Ok(_), Err(block)) => Err(block.offset(prefix_len)),
     };
+    // The hybrid analysis does not compose across the seam (the maximal
+    // Clifford prefix may end inside either half): recompute it from
+    // the full circuit. Scan + analysis are pure functions of
+    // `(circuit, noise, options)`, so the result is identical to a
+    // fresh compile's.
+    let hybrid = match &clifford {
+        Ok(_) => None,
+        Err(block) => {
+            let bound_full: Vec<Vec<qnoise::AppliedChannel>> = match noise {
+                Some(model) => model.bind_circuit(circuit),
+                None => vec![Vec::new(); circuit.instructions().len()],
+            };
+            match crate::stabilizer::lower_clifford_scan(circuit, &bound_full, noise) {
+                (Err(fresh), Some(clifford_prefix)) => {
+                    debug_assert_eq!(
+                        &fresh, block,
+                        "composed Clifford verdict must match a fresh scan of the full circuit"
+                    );
+                    analyze_hybrid(circuit, noise, options, &fresh, clifford_prefix)
+                }
+                _ => None,
+            }
+        }
+    };
     Ok(CompiledProgram::new(
         circuit.num_qubits(),
         circuit.num_clbits(),
@@ -285,6 +382,7 @@ pub fn compile_extension(
         prefix.source_instructions() + tail.source_instructions(),
         prefix.fused_gates() + tail.fused_gates(),
         clifford,
+        hybrid,
     ))
 }
 

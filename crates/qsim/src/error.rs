@@ -85,6 +85,18 @@ pub enum CliffordBlock {
     },
 }
 
+impl CliffordBlock {
+    /// Source-circuit index of the blocking instruction — an **absolute**
+    /// index into the full circuit's instruction list, also when the
+    /// verdict was composed through `compile_extension`.
+    pub fn instruction(&self) -> usize {
+        match self {
+            CliffordBlock::NonCliffordGate { instruction, .. }
+            | CliffordBlock::NonPauliChannel { instruction, .. } => *instruction,
+        }
+    }
+}
+
 impl fmt::Display for CliffordBlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

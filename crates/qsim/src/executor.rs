@@ -94,6 +94,9 @@ pub enum BackendKind {
     DensityMatrix,
     /// Bit-packed stabilizer tableau (`O(n²)` memory, Clifford-only).
     Stabilizer,
+    /// Tableau for the maximal Clifford prefix, amplitude handoff at
+    /// the first non-Clifford island, statevector for the suffix.
+    Hybrid,
     /// A backend outside this crate's taxonomy.
     Other,
 }
@@ -106,6 +109,7 @@ impl BackendKind {
             BackendKind::Trajectory => "trajectory",
             BackendKind::DensityMatrix => "density-matrix",
             BackendKind::Stabilizer => "stabilizer",
+            BackendKind::Hybrid => "hybrid",
             BackendKind::Other => "other",
         }
     }
@@ -248,6 +252,18 @@ pub trait Backend {
         let program = self.compile(circuit)?;
         self.run_compiled(&program, shots)
     }
+
+    /// The shard count this backend would actually run under a
+    /// `threads` override — what session records report as the
+    /// *effective* thread policy, as opposed to the requested one.
+    ///
+    /// The default echoes the request (per-shot backends honor
+    /// overrides); backends with no shard concept override this to
+    /// return `None` so reports stop claiming an override took effect
+    /// when it was ignored.
+    fn effective_threads(&self, requested: Option<usize>) -> Option<usize> {
+        requested
+    }
 }
 
 /// References to backends are backends: every method forwards, so
@@ -308,6 +324,10 @@ impl<B: Backend + ?Sized> Backend for &B {
 
     fn run(&self, circuit: &QuantumCircuit, shots: u64) -> Result<RunResult, SimError> {
         (**self).run(circuit, shots)
+    }
+
+    fn effective_threads(&self, requested: Option<usize>) -> Option<usize> {
+        (**self).effective_threads(requested)
     }
 }
 
@@ -496,6 +516,24 @@ pub fn run_compiled_shot<R: Rng + ?Sized>(
 ) -> Result<Option<ShotRecord>, SimError> {
     let mut state = StateVector::zero_state(program.num_qubits());
     let mut clbits = 0u64;
+    if !run_compiled_from(program, &mut state, &mut clbits, rng)? {
+        return Ok(None);
+    }
+    Ok(Some(ShotRecord { state, clbits }))
+}
+
+/// Executes a compiled program's whole op stream on an existing
+/// `(state, clbits)` pair — the hybrid handoff entry point: the suffix
+/// program of a routed shot starts from the tableau-extracted state and
+/// the prefix's classical record instead of `|0…0⟩`. Dispatches batched
+/// plan nodes exactly like [`run_compiled_shot`]; returns `Ok(false)`
+/// when a post-selection discarded the shot.
+pub(crate) fn run_compiled_from<R: Rng + ?Sized>(
+    program: &CompiledProgram,
+    state: &mut StateVector,
+    clbits: &mut u64,
+    rng: &mut R,
+) -> Result<bool, SimError> {
     match program.batch_plan() {
         Some(plan) => {
             let ops = program.ops();
@@ -503,20 +541,20 @@ pub fn run_compiled_shot<R: Rng + ?Sized>(
                 match node {
                     PlanNode::BatchedApply { kernel, .. } => kernel.apply(state.amps_mut()),
                     PlanNode::Sequential { start, end } => {
-                        if !run_ops_sequential(&ops[*start..*end], &mut state, &mut clbits, rng)? {
-                            return Ok(None);
+                        if !run_ops_sequential(&ops[*start..*end], state, clbits, rng)? {
+                            return Ok(false);
                         }
                     }
                 }
             }
         }
         None => {
-            if !run_ops_sequential(program.ops(), &mut state, &mut clbits, rng)? {
-                return Ok(None);
+            if !run_ops_sequential(program.ops(), state, clbits, rng)? {
+                return Ok(false);
             }
         }
     }
-    Ok(Some(ShotRecord { state, clbits }))
+    Ok(true)
 }
 
 /// Evolves `state` through the unitary ops `[0, upto)` of `program`,
@@ -1373,6 +1411,13 @@ impl Backend for DensityMatrixBackend {
             fuse_1q: self.fuse_1q,
             batching: self.batching,
         }
+    }
+
+    /// Exact evolution is single-pass and deterministic: a requested
+    /// thread count is ignored, so the effective value is `None`
+    /// whatever the session asked for.
+    fn effective_threads(&self, _requested: Option<usize>) -> Option<usize> {
+        None
     }
 
     /// Deterministic counts: expected shot counts from the exact

@@ -36,10 +36,16 @@
 //!   executor: Clifford-only programs (eligibility decided at compile
 //!   time, carried on the [`CompiledProgram`]) run in `O(n²)` memory,
 //!   reaching thousands of qubits where amplitude backends stop near 30,
+//! * [`hybrid`] — Clifford routing: the maximal Clifford prefix
+//!   (recorded at compile time) runs per shot on the tableau, the live
+//!   state is materialized as amplitudes at the first non-Clifford
+//!   island, and the separately compiled suffix finishes the shot on
+//!   the amplitude executor,
 //! * [`Backend`] implementations: [`StatevectorBackend`] (ideal),
 //!   [`TrajectoryBackend`] (Monte-Carlo noisy, multi-threaded),
 //!   [`DensityMatrixBackend`] (exact noisy with measurement branching),
-//!   and [`StabilizerBackend`] (Clifford tableau) — all consuming
+//!   [`StabilizerBackend`] (Clifford tableau), and [`HybridBackend`]
+//!   (tableau prefix + amplitude suffix) — all consuming
 //!   [`CompiledProgram`] through a shared deterministic shot-sharding
 //!   harness ([`run_compiled_sharded`]).
 //!
@@ -75,6 +81,7 @@ pub mod density;
 pub mod error;
 pub mod executor;
 pub mod expectation;
+pub mod hybrid;
 pub mod kernel;
 pub mod pool;
 pub mod prefix;
@@ -98,10 +105,11 @@ pub use executor::{
     TrajectoryBackend,
 };
 pub use expectation::{Pauli, PauliString};
+pub use hybrid::{HybridBackend, MAX_HANDOFF_QUBITS};
 pub use kernel::BatchKernel;
 pub use pool::{PoolGauges, PoolScope, PoolStats, ShardPool};
 pub use prefix::PrefixRegistry;
-pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath};
+pub use program::{CompiledKind, CompiledOp, CompiledProgram, FastPath, HybridPlan};
 pub use simd::SimdBackend;
 pub use stabilizer::{
     run_clifford_sharded, run_clifford_sharded_on, CliffordOp, CliffordOpKind, CliffordProgram,

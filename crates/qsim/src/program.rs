@@ -162,6 +162,69 @@ pub struct FastPath {
     pub mapping: Vec<(usize, usize)>,
 }
 
+/// The hybrid Clifford routing decided at compile time: how a program
+/// that is *not* Clifford-eligible splits at its first non-Clifford
+/// island.
+///
+/// The maximal Clifford prefix (everything before the blocking
+/// instruction) runs per shot on the stabilizer tableau; at the
+/// boundary the live state is materialized as amplitudes
+/// ([`crate::Tableau::to_statevector`]) and the separately compiled
+/// suffix finishes the shot on the amplitude executor — batched/SIMD
+/// kernels included. [`Self::profitable`] carries the compile-time cost
+/// verdict; the hybrid backend falls back to the pure statevector path
+/// when it is `false`.
+#[derive(Clone, Debug)]
+pub struct HybridPlan {
+    prefix: CliffordProgram,
+    boundary: usize,
+    suffix: Box<CompiledProgram>,
+    profitable: bool,
+}
+
+impl HybridPlan {
+    /// Assembles a plan (called by the compiler's hybrid analysis).
+    pub(crate) fn new(
+        prefix: CliffordProgram,
+        boundary: usize,
+        suffix: Box<CompiledProgram>,
+        profitable: bool,
+    ) -> Self {
+        HybridPlan {
+            prefix,
+            boundary,
+            suffix,
+            profitable,
+        }
+    }
+
+    /// The maximal Clifford prefix, lowered for the tableau (full
+    /// register widths — clbits written here are carried across the
+    /// handoff).
+    pub fn prefix(&self) -> &CliffordProgram {
+        &self.prefix
+    }
+
+    /// Source-circuit index of the first non-Clifford instruction (the
+    /// cut point; instructions `[0, boundary)` are the prefix).
+    pub fn boundary(&self) -> usize {
+        self.boundary
+    }
+
+    /// The suffix `[boundary..]`, compiled standalone at full register
+    /// widths (its own fusion runs and batch plan, starting from the
+    /// handed-off state rather than `|0…0⟩`).
+    pub fn suffix(&self) -> &CompiledProgram {
+        &self.suffix
+    }
+
+    /// Whether the compile-time cost model expects the tableau prefix +
+    /// extraction to beat replaying the prefix on amplitudes.
+    pub fn profitable(&self) -> bool {
+        self.profitable
+    }
+}
+
 /// A circuit lowered once for execute-many workloads.
 ///
 /// Build one with [`crate::compile::compile`] (or through
@@ -176,6 +239,7 @@ pub struct CompiledProgram {
     source_instructions: usize,
     fused_gates: usize,
     clifford: Result<CliffordProgram, CliffordBlock>,
+    hybrid: Option<HybridPlan>,
 }
 
 impl CompiledProgram {
@@ -190,6 +254,7 @@ impl CompiledProgram {
         source_instructions: usize,
         fused_gates: usize,
         clifford: Result<CliffordProgram, CliffordBlock>,
+        hybrid: Option<HybridPlan>,
     ) -> Self {
         CompiledProgram {
             num_qubits,
@@ -200,6 +265,7 @@ impl CompiledProgram {
             source_instructions,
             fused_gates,
             clifford,
+            hybrid,
         }
     }
 
@@ -266,6 +332,15 @@ impl CompiledProgram {
         self.clifford.is_ok()
     }
 
+    /// The hybrid Clifford routing plan, present exactly when the
+    /// program is *not* Clifford-eligible but has a non-empty maximal
+    /// Clifford prefix before its first non-Clifford island. Decided at
+    /// compile time like the other analyses; the hybrid backend
+    /// consults [`HybridPlan::profitable`] before using it.
+    pub fn hybrid(&self) -> Option<&HybridPlan> {
+        self.hybrid.as_ref()
+    }
+
     /// Returns `true` when any op carries pre-bound noise or readout
     /// error.
     pub fn is_noisy(&self) -> bool {
@@ -286,7 +361,7 @@ impl std::fmt::Display for CompiledProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "compiled program ({} qubits, {} clbits): {} ops from {} instructions, {} gates fused{}{}",
+            "compiled program ({} qubits, {} clbits): {} ops from {} instructions, {} gates fused{}{}{}",
             self.num_qubits,
             self.num_clbits,
             self.ops.len(),
@@ -305,6 +380,13 @@ impl std::fmt::Display for CompiledProgram {
                 (Some(_), Err(_)) => ", sample-once fast path",
                 (None, Ok(_)) => ", clifford-eligible",
                 (None, Err(_)) => "",
+            },
+            match &self.hybrid {
+                Some(plan) if plan.profitable() => format!(
+                    ", hybrid clifford prefix of {} instructions",
+                    plan.boundary()
+                ),
+                _ => String::new(),
             }
         )
     }

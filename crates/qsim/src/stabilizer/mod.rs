@@ -50,6 +50,7 @@
 //! (which burns one `f64` per measurement regardless); cross-backend
 //! agreement is distributional, pinned by the equivalence suite.
 
+mod extract;
 mod gates;
 mod measure;
 pub mod tableau;
@@ -221,89 +222,120 @@ impl CliffordBlock {
     }
 }
 
-/// The Clifford-eligibility pass: classifies every source instruction
-/// and lowers every bound channel, producing either the tableau op
-/// stream or the first blocking instruction.
-///
-/// Runs unconditionally inside [`crate::compile::compile_with`] — the
-/// verdict rides on every [`CompiledProgram`] so eligibility is decided
-/// once per compilation, not per run.
-pub(crate) fn lower_clifford(
+/// Lowers one source instruction, or names it as the blocker.
+/// `Ok(None)` is a barrier (compiles away).
+fn lower_clifford_instr(
+    i: usize,
+    instr: &qcircuit::Instruction,
+    bound: &[AppliedChannel],
+    noise: Option<&NoiseModel>,
+) -> Result<Option<CliffordOp>, CliffordBlock> {
+    let condition = instr.condition();
+    let (kind, noise_ops) = match instr.kind() {
+        OpKind::Barrier => return Ok(None),
+        OpKind::Gate(g) => {
+            let kind = g.clifford_kind().ok_or(CliffordBlock::NonCliffordGate {
+                gate: g.name().to_string(),
+                instruction: i,
+            })?;
+            let mut lowered = Vec::with_capacity(bound.len());
+            for applied in bound {
+                let table = applied.kraus.as_pauli_channel(PAULI_TOL).ok_or(
+                    CliffordBlock::NonPauliChannel {
+                        op: g.name().to_string(),
+                        instruction: i,
+                    },
+                )?;
+                lowered.push(PauliNoise {
+                    qubits: applied.qubits.iter().map(|q| q.index()).collect(),
+                    table,
+                });
+            }
+            (
+                CliffordOpKind::Gate {
+                    kind,
+                    qubits: instr.qubits().iter().map(|q| q.index()).collect(),
+                },
+                lowered,
+            )
+        }
+        OpKind::Measure => (
+            CliffordOpKind::Measure {
+                qubit: instr.qubits()[0].index(),
+                clbit: instr.clbits()[0].index(),
+                readout: noise.map(|m| m.readout_error(instr.qubits()[0])),
+            },
+            Vec::new(),
+        ),
+        OpKind::Reset => (
+            CliffordOpKind::Reset {
+                qubit: instr.qubits()[0].index(),
+            },
+            Vec::new(),
+        ),
+        OpKind::PostSelect { outcome } => (
+            CliffordOpKind::PostSelect {
+                qubit: instr.qubits()[0].index(),
+                outcome: *outcome,
+            },
+            Vec::new(),
+        ),
+    };
+    Ok(Some(CliffordOp {
+        kind,
+        condition,
+        noise: noise_ops,
+    }))
+}
+
+/// The Clifford-eligibility pass, maximal-prefix form: classifies every
+/// source instruction and lowers every bound channel. Returns the full
+/// lowering (`Ok`) with no prefix, or the first blocking instruction
+/// **plus the maximal Clifford prefix** — the lowered ops of every
+/// instruction before the blocker, at the full circuit's register
+/// widths — which the hybrid routing analysis consumes.
+pub(crate) fn lower_clifford_scan(
     circuit: &QuantumCircuit,
     bound: &[Vec<AppliedChannel>],
     noise: Option<&NoiseModel>,
-) -> Result<CliffordProgram, CliffordBlock> {
+) -> (
+    Result<CliffordProgram, CliffordBlock>,
+    Option<CliffordProgram>,
+) {
     let instrs = circuit.instructions();
     let mut ops = Vec::with_capacity(instrs.len());
     for (i, instr) in instrs.iter().enumerate() {
-        let condition = instr.condition();
-        let (kind, noise_ops) = match instr.kind() {
-            OpKind::Barrier => continue,
-            OpKind::Gate(g) => {
-                let kind = g.clifford_kind().ok_or(CliffordBlock::NonCliffordGate {
-                    gate: g.name().to_string(),
-                    instruction: i,
-                })?;
-                let mut lowered = Vec::with_capacity(bound[i].len());
-                for applied in &bound[i] {
-                    let table = applied.kraus.as_pauli_channel(PAULI_TOL).ok_or(
-                        CliffordBlock::NonPauliChannel {
-                            op: g.name().to_string(),
-                            instruction: i,
-                        },
-                    )?;
-                    lowered.push(PauliNoise {
-                        qubits: applied.qubits.iter().map(|q| q.index()).collect(),
-                        table,
-                    });
-                }
-                (
-                    CliffordOpKind::Gate {
-                        kind,
-                        qubits: instr.qubits().iter().map(|q| q.index()).collect(),
-                    },
-                    lowered,
-                )
+        match lower_clifford_instr(i, instr, &bound[i], noise) {
+            Ok(Some(op)) => ops.push(op),
+            Ok(None) => {}
+            Err(block) => {
+                let prefix = CliffordProgram {
+                    num_qubits: circuit.num_qubits(),
+                    num_clbits: circuit.num_clbits(),
+                    ops,
+                };
+                return (Err(block), Some(prefix));
             }
-            OpKind::Measure => (
-                CliffordOpKind::Measure {
-                    qubit: instr.qubits()[0].index(),
-                    clbit: instr.clbits()[0].index(),
-                    readout: noise.map(|m| m.readout_error(instr.qubits()[0])),
-                },
-                Vec::new(),
-            ),
-            OpKind::Reset => (
-                CliffordOpKind::Reset {
-                    qubit: instr.qubits()[0].index(),
-                },
-                Vec::new(),
-            ),
-            OpKind::PostSelect { outcome } => (
-                CliffordOpKind::PostSelect {
-                    qubit: instr.qubits()[0].index(),
-                    outcome: *outcome,
-                },
-                Vec::new(),
-            ),
-        };
-        ops.push(CliffordOp {
-            kind,
-            condition,
-            noise: noise_ops,
-        });
+        }
     }
-    Ok(CliffordProgram {
-        num_qubits: circuit.num_qubits(),
-        num_clbits: circuit.num_clbits(),
-        ops,
-    })
+    (
+        Ok(CliffordProgram {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            ops,
+        }),
+        None,
+    )
 }
 
 /// Executes one shot on `tableau` (reset by the caller); returns `None`
 /// when a post-selection discarded the shot. The RNG draw order is the
 /// frozen contract in the [module docs](self).
-fn run_clifford_shot<R: Rng + ?Sized>(
+///
+/// `pub(crate)` so the hybrid backend can drive the same loop for the
+/// Clifford prefix of a routed program (carrying the clbits across the
+/// handoff).
+pub(crate) fn run_clifford_shot<R: Rng + ?Sized>(
     program: &CliffordProgram,
     tableau: &mut Tableau,
     rng: &mut R,

@@ -127,6 +127,39 @@ fn fast_path_is_recomputed_over_the_extended_stream() {
     assert_eq!(fp.mapping, vec![(0, 0), (1, 1)]);
 }
 
+#[test]
+fn prefix_reused_programs_report_absolute_blocking_indices() {
+    // Regression: a program assembled from a registered Clifford prefix
+    // plus an ineligible suffix must name the blocker by its absolute
+    // index in the *full* circuit, not its offset within the extension.
+    let registry = PrefixRegistry::new();
+    let mut prep = QuantumCircuit::new(2, 2);
+    prep.h(0).unwrap();
+    prep.cx(0, 1).unwrap();
+    prep.s(1).unwrap();
+    let mut full = prep.clone();
+    full.t(0).unwrap(); // absolute instruction 3, extension-local 0
+    full.measure_all();
+    let _alive = registry
+        .compile(&prep, None, CompileOptions::default())
+        .unwrap();
+    let program = registry
+        .compile(&full, None, CompileOptions::default())
+        .unwrap();
+    assert_eq!(registry.hits(), 1, "extension must actually reuse");
+    let block = program.clifford().expect_err("t defeats the tableau");
+    assert_eq!(
+        block.instruction(),
+        3,
+        "blocking index must be absolute in the full circuit"
+    );
+    // The hybrid routing boundary derives from the same verdict, so it
+    // must be absolute too: instructions [0, 3) form the prefix.
+    let plan = program.hybrid().expect("clifford prefix recorded");
+    assert_eq!(plan.boundary(), 3);
+    assert_eq!(plan.prefix().ops().len(), 3);
+}
+
 fn arb_1q_gate() -> impl Strategy<Value = Gate> {
     let angle = -6.3f64..6.3f64;
     prop_oneof![

@@ -277,3 +277,88 @@ fn stabilizer_outcome_streams_are_pinned() {
         "composed point→tranche→shard counts"
     );
 }
+
+#[test]
+fn hybrid_handoff_draw_order_is_pinned() {
+    // The hybrid backend's frozen per-shot draw order: the Clifford
+    // prefix draws per the tableau contract, the handoff draws exactly
+    // one `f64` marker (extraction itself draws nothing), and the
+    // suffix draws per the amplitude contract. A manual replay of that
+    // sequence through the public Tableau/StateVector APIs must land on
+    // the backend's exact histogram — any inserted, dropped, or
+    // reordered draw scrambles the downstream outcomes. If this fails,
+    // restore the draw order; do not regenerate the vectors.
+    use qcircuit::{Gate, QuantumCircuit};
+    use qsim::{Backend, Counts, HybridBackend, Tableau};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // GHZ chain + S layer (routes at n = 10), a prefix measurement
+    // (draws one bool: the GHZ outcome is random), then a T island and
+    // a suffix measurement.
+    let n = 10;
+    let mut c = QuantumCircuit::new(n, 2);
+    c.h(0).unwrap();
+    for q in 0..n - 1 {
+        c.cx(q, q + 1).unwrap();
+    }
+    for q in 0..n {
+        c.s(q).unwrap();
+    }
+    c.measure(0, 0).unwrap();
+    c.t(1).unwrap();
+    c.measure(1, 1).unwrap();
+
+    let backend = HybridBackend::ideal();
+    let program = backend.compile(&c).unwrap();
+    let plan = program.hybrid().expect("clifford prefix recorded");
+    assert!(plan.profitable(), "21-op prefix at n = 10 must route");
+    assert_eq!(plan.boundary(), 21);
+
+    // Manual replay on the single-shard stream (threads = 1 drives the
+    // backend seed directly, as in every per-shot harness).
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut manual = Counts::new(2);
+    let mut t = Tableau::new(n);
+    for shot in 0..64 {
+        if shot > 0 {
+            t.reset_state();
+        }
+        t.h(0);
+        for q in 0..n - 1 {
+            t.cx(q, q + 1);
+        }
+        for q in 0..n {
+            t.s(q);
+        }
+        let m0 = t.measure(0, &mut rng); // prefix: one bool
+        let _marker: f64 = rng.gen(); // handoff: one f64
+        let mut psi = t.to_statevector(); // extraction: no draws
+        psi.apply_gate(&Gate::T, &[1.into()]).unwrap();
+        let m1 = psi.measure(1.into(), &mut rng).unwrap(); // suffix: one f64
+        manual.record(u64::from(m0) | (u64::from(m1) << 1), 1);
+    }
+    let result = backend
+        .run_compiled_seeded(&program, 64, Some(42), Some(1))
+        .unwrap();
+    assert_eq!(
+        result.counts, manual,
+        "handoff draw order diverged from the frozen contract"
+    );
+
+    // Golden count vectors: single-shard, and the fully composed
+    // point→tranche→shard derivation with four shards.
+    let got: Vec<u64> = (0..4).map(|k| result.counts.get(k)).collect();
+    assert_eq!(got, [38, 0, 0, 26], "single-shard hybrid counts, seed 42");
+
+    let base = tranche_seed(sweep_point_seed(42, 3), 2);
+    let result = backend
+        .run_compiled_seeded(&program, 96, Some(base), Some(4))
+        .unwrap();
+    let got: Vec<u64> = (0..4).map(|k| result.counts.get(k)).collect();
+    assert_eq!(
+        got,
+        [47, 0, 0, 49],
+        "composed point→tranche→shard hybrid counts"
+    );
+}

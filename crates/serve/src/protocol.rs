@@ -259,14 +259,6 @@ fn parse_plan(value: Option<&Value>) -> Result<ShotPlan, ApiError> {
             format!("invalid shot plan: {why}"),
         ));
     }
-    // Core tolerates zero-shot plans (a no-op run); a service job that
-    // can never produce a verdict is a client mistake — say so.
-    if plan.budget() == 0 {
-        return Err(ApiError::bad_request(
-            "invalid_plan",
-            "shot plan must request at least one shot",
-        ));
-    }
     if plan.budget() > MAX_JOB_SHOTS {
         return Err(ApiError {
             status: 400,
@@ -310,12 +302,13 @@ impl JobSpec {
             Some("trajectory") => BackendKind::Trajectory,
             Some("density-matrix") => BackendKind::DensityMatrix,
             Some("stabilizer") => BackendKind::Stabilizer,
+            Some("hybrid") => BackendKind::Hybrid,
             Some(other) => {
                 return Err(ApiError::bad_request(
                     "unknown_backend",
                     format!(
                         "unknown backend '{other}' (expected statevector, trajectory, \
-                         density-matrix, or stabilizer)"
+                         density-matrix, stabilizer, or hybrid)"
                     ),
                 ))
             }

@@ -44,8 +44,8 @@ use qassert::{AssertingCircuit, AssertionSession, SessionTelemetry};
 use qnoise::presets;
 use qsim::PrefixRegistry;
 use qsim::{
-    Backend, BackendKind, DensityMatrixBackend, ProgramCache, ShardPool, StabilizerBackend,
-    StatevectorBackend, TrajectoryBackend,
+    Backend, BackendKind, DensityMatrixBackend, HybridBackend, ProgramCache, ShardPool,
+    StabilizerBackend, StatevectorBackend, TrajectoryBackend,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -519,6 +519,10 @@ fn execute(
         BackendKind::Stabilizer => match noise_for(spec)? {
             Some(noise) => run_session(state, spec, circuit, StabilizerBackend::new(noise)),
             None => run_session(state, spec, circuit, StabilizerBackend::ideal()),
+        },
+        BackendKind::Hybrid => match noise_for(spec)? {
+            Some(noise) => run_session(state, spec, circuit, HybridBackend::new(noise)),
+            None => run_session(state, spec, circuit, HybridBackend::ideal()),
         },
         BackendKind::Other => Err(ApiError::bad_request(
             "unknown_backend",
